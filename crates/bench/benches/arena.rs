@@ -1,0 +1,43 @@
+//! Arena allocation and item read/write costs (the per-op memory work a
+//! shard core performs).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hydra_store::{Arena, ItemRef};
+
+fn bench_alloc_free(c: &mut Criterion) {
+    let mut g = c.benchmark_group("arena");
+    g.bench_function("alloc_free_exact_fit", |b| {
+        let mut a = Arena::new(1 << 16);
+        b.iter(|| {
+            let off = a.alloc(9).expect("fits");
+            a.free(off, 9);
+            black_box(off)
+        })
+    });
+    g.bench_function("item_write_16k_32v", |b| {
+        let mut a = Arena::new(1 << 16);
+        let off = a.alloc(9).unwrap();
+        let key = [0x11u8; 16];
+        let value = [0x22u8; 32];
+        b.iter(|| {
+            let item = ItemRef::write_new(a.words(), off, &key, &value);
+            black_box(item.off)
+        })
+    });
+    g.bench_function("item_value_read", |b| {
+        let mut a = Arena::new(1 << 16);
+        let off = a.alloc(9).unwrap();
+        let item = ItemRef::write_new(a.words(), off, &[0x11; 16], &[0x22; 32]);
+        b.iter(|| black_box(item.value(a.words()).len()))
+    });
+    g.bench_function("item_key_eq", |b| {
+        let mut a = Arena::new(1 << 16);
+        let off = a.alloc(9).unwrap();
+        let item = ItemRef::write_new(a.words(), off, &[0x11; 16], &[0x22; 32]);
+        b.iter(|| black_box(item.key_eq(a.words(), &[0x11; 16])))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_alloc_free);
+criterion_main!(benches);

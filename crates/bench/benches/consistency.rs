@@ -1,0 +1,67 @@
+//! A-CONSISTENCY — guardian-word validation (HydraDB, §4.2.3) vs
+//! Pilaf-style self-verifying checksums: the wall-clock cost of validating
+//! one fetched item, across item sizes. The guardian check is O(1); the
+//! checksum is O(size) on every read *and* every write.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hydra_store::{Arena, ChecksumItem, ChecksumVerdict, Crc64, FetchedItem, ItemRef};
+
+fn bench_validation(c: &mut Criterion) {
+    let crc = Crc64::new();
+    let mut g = c.benchmark_group("read_validation");
+    for &vlen in &[32usize, 512, 4096, 65536] {
+        let key = [0x11u8; 16];
+        let value = vec![0x22u8; vlen];
+
+        // Guardian path: fetch blob + O(1) validation.
+        let mut arena = Arena::new((vlen / 8 + 64) * 2);
+        let off = arena.alloc(hydra_store::item_words(16, vlen)).unwrap();
+        let item = ItemRef::write_new(arena.words(), off, &key, &value);
+        let blob: Vec<u8> = {
+            let len = item.read_len(arena.words()) as usize;
+            let mut b = Vec::with_capacity(len);
+            for w in 0..len / 8 {
+                b.extend_from_slice(
+                    &arena.words()[off as usize + w]
+                        .load(std::sync::atomic::Ordering::Relaxed)
+                        .to_le_bytes(),
+                );
+            }
+            b
+        };
+        g.bench_function(BenchmarkId::new("guardian", vlen), |b| {
+            b.iter(|| black_box(FetchedItem::parse(&blob, &key).unwrap().value.len()))
+        });
+
+        // Checksum path: recompute CRC over the whole item.
+        let citem = ChecksumItem::build(&crc, &key, &value);
+        g.bench_function(BenchmarkId::new("checksum", vlen), |b| {
+            b.iter(|| match ChecksumItem::verify(&crc, citem.bytes()) {
+                ChecksumVerdict::Valid(v) => black_box(v.len()),
+                other => panic!("{other:?}"),
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_write_side(c: &mut Criterion) {
+    let crc = Crc64::new();
+    let mut g = c.benchmark_group("write_side_cost");
+    for &vlen in &[32usize, 4096] {
+        let key = [0x11u8; 16];
+        let value = vec![0x22u8; vlen];
+        let mut arena = Arena::new((vlen / 8 + 64) * 2);
+        let off = arena.alloc(hydra_store::item_words(16, vlen)).unwrap();
+        g.bench_function(BenchmarkId::new("guardian_item_write", vlen), |b| {
+            b.iter(|| black_box(ItemRef::write_new(arena.words(), off, &key, &value).off))
+        });
+        g.bench_function(BenchmarkId::new("checksum_item_build", vlen), |b| {
+            b.iter(|| black_box(ChecksumItem::build(&crc, &key, &value).bytes().len()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_validation, bench_write_side);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Lock-free shared pointer-cache map costs (§4.2.4), single-threaded and
+//! under cross-thread contention.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hydra_lockfree::LockFreeMap;
+
+fn bench_single(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lockfree_single");
+    let m: LockFreeMap<u64, u64> = LockFreeMap::new(4096);
+    for i in 0..10_000u64 {
+        m.insert(i, i);
+    }
+    g.bench_function("get_hit", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 10_000;
+            black_box(m.get(&i))
+        })
+    });
+    g.bench_function("insert_replace", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 10_000;
+            black_box(m.insert(i, i * 2))
+        })
+    });
+    g.bench_function("insert_remove_cycle", |b| {
+        let mut i = 20_000u64;
+        b.iter(|| {
+            i += 1;
+            m.insert(i, i);
+            black_box(m.remove(&i))
+        })
+    });
+    g.finish();
+}
+
+fn bench_contended(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lockfree_contended");
+    g.sample_size(10);
+    g.bench_function("4thread_mixed_100k_ops", |b| {
+        b.iter(|| {
+            let m: Arc<LockFreeMap<u64, u64>> = Arc::new(LockFreeMap::new(1024));
+            let handles: Vec<_> = (0..4u64)
+                .map(|t| {
+                    let m = m.clone();
+                    std::thread::spawn(move || {
+                        for i in 0..25_000u64 {
+                            let k = (i * 7 + t) % 512;
+                            match i % 3 {
+                                0 => {
+                                    m.insert(k, i);
+                                }
+                                1 => {
+                                    black_box(m.get(&k));
+                                }
+                                _ => {
+                                    m.remove(&k);
+                                }
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_single, bench_contended);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Simulator kernel throughput: events/second bounds how large a cluster
+//! experiment the harness can afford.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hydra_sim::{FifoResource, Histogram, Sim};
+
+fn bench_events(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim");
+    g.sample_size(20);
+    g.bench_function("schedule_run_10k_events", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(1);
+            for i in 0..10_000u64 {
+                sim.schedule_at(i, |_| {});
+            }
+            sim.run();
+            black_box(sim.executed_events())
+        })
+    });
+    g.bench_function("chained_events_10k", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(1);
+            fn chain(sim: &mut Sim, left: u32) {
+                if left > 0 {
+                    sim.schedule_in(5, move |sim| chain(sim, left - 1));
+                }
+            }
+            chain(&mut sim, 10_000);
+            sim.run();
+            black_box(sim.now())
+        })
+    });
+    g.bench_function("fifo_acquire", |b| {
+        let mut r = FifoResource::new("bench");
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 10;
+            black_box(r.acquire(t, 7))
+        })
+    });
+    g.bench_function("histogram_record", |b| {
+        let mut h = Histogram::new();
+        let mut v = 1u64;
+        b.iter(|| {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(v >> 40);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_events);
+criterion_main!(benches);

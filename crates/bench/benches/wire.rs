@@ -1,0 +1,65 @@
+//! Hot-path costs of the wire layer: indicator framing and request/response
+//! codecs (§4.2.1).
+
+use std::sync::atomic::AtomicU64;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hydra_wire::{frame, RemotePtr, Request, Response, Status};
+
+fn bench_framing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("frame_roundtrip");
+    for &len in &[32usize, 256, 4096] {
+        let payload = vec![0xABu8; len];
+        let slot: Vec<AtomicU64> = (0..frame::frame_words(len) + 2)
+            .map(|_| AtomicU64::new(0))
+            .collect();
+        g.bench_function(BenchmarkId::new("write_poll_consume", len), |b| {
+            b.iter(|| {
+                frame::write_message(&slot, &payload).unwrap();
+                let got = frame::poll_message(&slot).unwrap().unwrap();
+                frame::consume_message(&slot, got.len());
+                black_box(got.len())
+            })
+        });
+        g.bench_function(BenchmarkId::new("frame_to_words", len), |b| {
+            b.iter(|| black_box(frame::frame_to_words(&payload).len()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec");
+    let key = [0x11u8; 16];
+    let value = [0x22u8; 32];
+    g.bench_function("request_encode_decode", |b| {
+        b.iter(|| {
+            let enc = Request::Insert {
+                req_id: 7,
+                key: &key,
+                value: &value,
+            }
+            .encode();
+            let dec = Request::decode(&enc).unwrap();
+            black_box(dec.req_id())
+        })
+    });
+    let resp = Response {
+        status: Status::Ok,
+        req_id: 7,
+        value: &value,
+        rptr: RemotePtr::new(1, 4096, 64),
+        lease_expiry: 123,
+    };
+    g.bench_function("response_encode_decode", |b| {
+        b.iter(|| {
+            let enc = resp.encode();
+            let dec = Response::decode(&enc).unwrap();
+            black_box(dec.lease_expiry)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_framing, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Workload-generation costs — the reason the paper (and this harness)
+//! pre-generates request streams.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hydra_ycsb::{KeyDist, Workload, ZipfianGenerator};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_draws(c: &mut Criterion) {
+    let mut g = c.benchmark_group("zipf_draw");
+    for &n in &[10_000u64, 1_000_000] {
+        let gen = ZipfianGenerator::with_default_theta(n);
+        let mut rng = SmallRng::seed_from_u64(1);
+        g.bench_function(BenchmarkId::new("next_rank", n), |b| {
+            b.iter(|| black_box(gen.next_rank(&mut rng)))
+        });
+        g.bench_function(BenchmarkId::new("next_scrambled", n), |b| {
+            b.iter(|| black_box(gen.next_scrambled(&mut rng)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_pregen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload_pregen");
+    g.sample_size(10);
+    let wl = Workload {
+        records: 100_000,
+        ops: 100_000,
+        read_ratio: 0.9,
+        dist: KeyDist::zipfian(),
+        key_len: 16,
+        value_len: 32,
+        seed: 1,
+    };
+    g.bench_function("generate_100k_ops_8_clients", |b| {
+        b.iter(|| black_box(wl.generate(8).len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_draws, bench_pregen);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Figure 3 — G2 Sensemaking scaling: aggregated throughput as analytics
+//! engines are added, HydraDB vs the lock-serialized in-memory database it
+//! replaced (§2.2). Each engine continuously performs entity lookups (60%)
+//! and assertion writes (40%) against the shared store.
+
+use hydra_baselines::{BaselineCluster, BaselineConfig};
+use hydra_bench::{paper_cluster_config, Report, Scale};
+use hydra_ycsb::{run_workload, DriverConfig, KeyDist, Workload};
+
+fn wl(scale: Scale) -> Workload {
+    Workload {
+        records: scale.records() / 2,
+        ops: scale.ops() / 2,
+        read_ratio: 0.6,
+        dist: KeyDist::zipfian(),
+        key_len: 16,
+        value_len: 64, // protobuf-packed entity rows are a bit larger
+        seed: 3,
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let engines = [1usize, 2, 4, 8, 16, 32, 64];
+    let mut report = Report::new(
+        "fig03_g2",
+        "Fig. 3: G2 engines vs aggregated throughput — HydraDB vs in-memory DB",
+    );
+    report.line(&format!(
+        "{:<10} {:>14} {:>14} {:>8}",
+        "engines", "inmem-DB Mops", "HydraDB Mops", "ratio"
+    ));
+    let mut db_prev = 0.0;
+    let mut db_sat = None;
+    let mut hydra_sat = None;
+    let mut hydra_prev = 0.0;
+    for &n in &engines {
+        let db = {
+            let mut c = BaselineCluster::build(BaselineConfig::g2db());
+            let clients: Vec<_> = (0..n).map(|i| c.add_client(i % 5)).collect();
+            run_workload(&mut c.sim, &clients, &wl(scale), &DriverConfig::default()).mops
+        };
+        let hydra = {
+            let cfg = paper_cluster_config();
+            hydra_bench::run_hydra(cfg, n, &wl(scale))
+        }
+        .mops;
+        if db_sat.is_none() && db_prev > 0.0 && db < db_prev * 1.10 {
+            db_sat = Some(n);
+        }
+        if hydra_sat.is_none() && hydra_prev > 0.0 && hydra < hydra_prev * 1.10 {
+            hydra_sat = Some(n);
+        }
+        db_prev = db;
+        hydra_prev = hydra;
+        report.line(&format!(
+            "{:<10} {:>14.3} {:>14.3} {:>7.1}x",
+            n,
+            db,
+            hydra,
+            hydra / db
+        ));
+        report.datum(&format!("db/{n}"), db);
+        report.datum(&format!("hydra/{n}"), hydra);
+    }
+    let fmt_sat = |s: Option<usize>| s.map_or("64+".to_string(), |n| n.to_string());
+    report.line(&format!(
+        "# knee of the curve: in-memory DB gains <10% past ~{} engines; HydraDB keeps scaling to ~{} — paper: HydraDB sustains 4x more engines at ~10x the throughput",
+        fmt_sat(db_sat),
+        fmt_sat(hydra_sat)
+    ));
+    report.save();
+}

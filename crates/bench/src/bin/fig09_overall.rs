@@ -1,0 +1,56 @@
+//! Figure 9 — peak throughput and average GET/UPDATE latency of HydraDB
+//! against Memcached-, Redis- and RAMCloud-like stores across the six YCSB
+//! workloads (replication disabled for fairness, §6.1).
+
+use hydra_baselines::{BaselineCluster, BaselineConfig};
+use hydra_bench::{paper_cluster_config, paper_workloads, Report, ReportRow, Scale};
+use hydra_ycsb::{run_workload, DriverConfig, WorkloadReport};
+
+fn run_baseline(cfg: BaselineConfig, wl: &hydra_ycsb::Workload, clients: usize) -> WorkloadReport {
+    let mut c = BaselineCluster::build(cfg);
+    let clients: Vec<_> = (0..clients).map(|i| c.add_client(i % 5)).collect();
+    run_workload(&mut c.sim, &clients, wl, &DriverConfig::default())
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let clients = 50;
+    let mut report = Report::new(
+        "fig09_overall",
+        "Fig. 9: HydraDB vs Memcached/Redis/RAMCloud — peak throughput and mean latency",
+    );
+    report.line(&format!(
+        "{:<16} {:<14} {:>10} {:>12} {:>12}",
+        "workload", "system", "Mops", "get_us", "update_us"
+    ));
+    for (name, wl) in paper_workloads(scale, 9) {
+        let hydra = {
+            let cfg = paper_cluster_config();
+            hydra_bench::run_hydra(cfg, clients, &wl)
+        };
+        let memcached = run_baseline(BaselineConfig::memcached(), &wl, clients);
+        let redis = run_baseline(BaselineConfig::redis(), &wl, clients);
+        let ramcloud = run_baseline(BaselineConfig::ramcloud(), &wl, clients);
+        for (sys, r) in [
+            ("HydraDB", &hydra),
+            ("Memcached-like", &memcached),
+            ("Redis-like", &redis),
+            ("RAMCloud-like", &ramcloud),
+        ] {
+            report.line(&format!(
+                "{:<16} {:<14} {:>10.3} {:>12.2} {:>12.2}",
+                name, sys, r.mops, r.get_mean_us, r.update_mean_us
+            ));
+            report.datum(&format!("{name}/{sys}"), ReportRow::from(r));
+        }
+        let worst = memcached.mops.min(redis.mops).min(ramcloud.mops);
+        let best = memcached.mops.max(redis.mops).max(ramcloud.mops);
+        report.line(&format!(
+            "{:<16} -> HydraDB is {:.1}x the best baseline, {:.1}x the worst",
+            "",
+            hydra.mops / best,
+            hydra.mops / worst
+        ));
+    }
+    report.save();
+}

@@ -1,0 +1,107 @@
+//! Figure 12 — scalability, four panels:
+//! (a) scale-out, Uniform: 1–7 server machines, 1 shard each, 60 clients;
+//! (b) scale-out, Zipfian: skew caps rebalancing at a saturation point;
+//! (c) scale-up, Uniform: 1–8 shards on one machine (QP-count driver
+//!     pressure eventually bites);
+//! (d) scale-up, Zipfian.
+//!
+//! Throughput is normalized to the 1-server/1-shard case per workload, as in
+//! the paper. Clients are collocated with the servers in the scale-out runs
+//! (the 8-machine cluster has no spare nodes), which is what attenuates the
+//! 100%-GET series.
+
+use hydra_bench::{one_workload, Report, Scale};
+use hydra_db::ClusterConfig;
+
+const MIXES: [(&str, f64); 3] = [("50g-50u", 0.5), ("90g-10u", 0.9), ("100g", 1.0)];
+
+fn run(cfg: ClusterConfig, wl: &hydra_ycsb::Workload, clients: usize) -> f64 {
+    hydra_bench::run_hydra(cfg, clients, wl).mops
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let clients = 60;
+    let mut report = Report::new(
+        "fig12_scalability",
+        "Fig. 12: scale-out and scale-up (normalized throughput)",
+    );
+
+    for (panel, zipf) in [
+        ("(a) scale-out uniform", false),
+        ("(b) scale-out zipfian", true),
+    ] {
+        report.line(&format!(
+            "\n{panel}: servers 1..7, 1 shard each, 60 collocated clients"
+        ));
+        report.line(&format!(
+            "{:<10} {:>8} {:>8} {:>8}",
+            "servers", MIXES[0].0, MIXES[1].0, MIXES[2].0
+        ));
+        let mut base = [0.0f64; 3];
+        for servers in 1..=7u32 {
+            let mut row = Vec::new();
+            for (mi, (_, ratio)) in MIXES.iter().enumerate() {
+                let wl = one_workload(scale, *ratio, zipf, 12);
+                let cfg = ClusterConfig {
+                    server_nodes: servers,
+                    shards_per_node: 1,
+                    client_nodes: 1,
+                    collocate_clients: true,
+                    arena_words: 1 << 23,
+                    expected_items: 1 << 20,
+                    ..ClusterConfig::default()
+                };
+                let mops = run(cfg, &wl, clients);
+                if servers == 1 {
+                    base[mi] = mops;
+                }
+                row.push(mops / base[mi]);
+                report.datum(&format!("{panel}/{}/{}", MIXES[mi].0, servers), mops);
+            }
+            report.line(&format!(
+                "{:<10} {:>8.2} {:>8.2} {:>8.2}",
+                servers, row[0], row[1], row[2]
+            ));
+        }
+    }
+
+    for (panel, zipf) in [
+        ("(c) scale-up uniform", false),
+        ("(d) scale-up zipfian", true),
+    ] {
+        report.line(&format!(
+            "\n{panel}: shards 1..8 on one machine, 60 clients on 6 machines"
+        ));
+        report.line(&format!(
+            "{:<10} {:>8} {:>8} {:>8}",
+            "shards", MIXES[0].0, MIXES[1].0, MIXES[2].0
+        ));
+        let mut base = [0.0f64; 3];
+        for shards in 1..=8u32 {
+            let mut row = Vec::new();
+            for (mi, (_, ratio)) in MIXES.iter().enumerate() {
+                let wl = one_workload(scale, *ratio, zipf, 12);
+                let cfg = ClusterConfig {
+                    server_nodes: 1,
+                    shards_per_node: shards,
+                    client_nodes: 6,
+                    arena_words: 1 << 23,
+                    expected_items: 1 << 20,
+                    ..ClusterConfig::default()
+                };
+                let mops = run(cfg, &wl, clients);
+                if shards == 1 {
+                    base[mi] = mops;
+                }
+                row.push(mops / base[mi]);
+                report.datum(&format!("{panel}/{}/{}", MIXES[mi].0, shards), mops);
+            }
+            report.line(&format!(
+                "{:<10} {:>8.2} {:>8.2} {:>8.2}",
+                shards, row[0], row[1], row[2]
+            ));
+        }
+    }
+    report.save();
+}

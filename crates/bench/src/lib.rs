@@ -1,0 +1,227 @@
+//! Shared harness for the figure-regeneration binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure from the
+//! paper's evaluation (see DESIGN.md's per-experiment index): it prints the
+//! same rows/series the paper reports and writes both a text and a JSON copy
+//! under `results/`. Absolute numbers come from the calibrated simulator —
+//! only shapes and ratios are claimed (EXPERIMENTS.md).
+//!
+//! Scale: the paper runs 60 M requests over 60 M records. The default here
+//! is 100 K records / 120 K requests, past the point where the simulated
+//! throughput and latency distributions stabilize; set `HYDRA_SCALE=paper`
+//! for a 10× larger run or `HYDRA_SCALE=smoke` for CI-speed smoke output.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use hydra_db::{ClientMode, Cluster, ClusterBuilder, ClusterConfig, HydraClient};
+use hydra_ycsb::{run_workload, DriverConfig, KeyDist, Workload, WorkloadReport};
+
+/// Run-scale knob decoded from `HYDRA_SCALE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// CI-speed sanity output.
+    Smoke,
+    /// Default: stable shapes in seconds of wall time.
+    Normal,
+    /// 10× the default (minutes of wall time).
+    Paper,
+}
+
+impl Scale {
+    /// Reads `HYDRA_SCALE` (smoke|normal|paper).
+    pub fn from_env() -> Scale {
+        match std::env::var("HYDRA_SCALE").as_deref() {
+            Ok("smoke") => Scale::Smoke,
+            Ok("paper") => Scale::Paper,
+            _ => Scale::Normal,
+        }
+    }
+
+    /// Records loaded per experiment.
+    pub fn records(self) -> u64 {
+        match self {
+            Scale::Smoke => 5_000,
+            Scale::Normal => 100_000,
+            Scale::Paper => 1_000_000,
+        }
+    }
+
+    /// Requests replayed per experiment.
+    pub fn ops(self) -> u64 {
+        match self {
+            Scale::Smoke => 10_000,
+            Scale::Normal => 120_000,
+            Scale::Paper => 1_200_000,
+        }
+    }
+}
+
+/// The six §6 workloads at the chosen scale.
+pub fn paper_workloads(scale: Scale, seed: u64) -> Vec<(String, Workload)> {
+    Workload::paper_suite(scale.records(), scale.ops(), seed)
+}
+
+/// A single Zipfian/Uniform workload at the chosen scale.
+pub fn one_workload(scale: Scale, read_ratio: f64, zipf: bool, seed: u64) -> Workload {
+    Workload {
+        records: scale.records(),
+        ops: scale.ops(),
+        read_ratio,
+        dist: if zipf {
+            KeyDist::zipfian()
+        } else {
+            KeyDist::Uniform
+        },
+        key_len: 16,
+        value_len: 32,
+        seed,
+    }
+}
+
+/// The paper's single-machine serving setup: 1 server with 4 shards, 50
+/// clients over 5 client machines (§6).
+pub fn paper_cluster_config() -> ClusterConfig {
+    ClusterConfig {
+        server_nodes: 1,
+        shards_per_node: 4,
+        client_nodes: 5,
+        arena_words: 1 << 23, // 64 MiB per shard: fits the default scale
+        expected_items: 1 << 20,
+        ..ClusterConfig::default()
+    }
+}
+
+/// Builds the cluster and its 50 clients.
+pub fn paper_cluster(cfg: ClusterConfig, clients: usize) -> (Cluster, Vec<HydraClient>) {
+    let nodes = cfg.client_nodes.max(1) as usize;
+    let mut cluster = ClusterBuilder::new(cfg).build();
+    let clients = (0..clients)
+        .map(|i| cluster.add_client(i % nodes))
+        .collect();
+    (cluster, clients)
+}
+
+/// Runs one workload on a fresh cluster built from `cfg`.
+pub fn run_hydra(cfg: ClusterConfig, clients: usize, wl: &Workload) -> WorkloadReport {
+    let (mut cluster, clients) = paper_cluster(cfg, clients);
+    run_workload(&mut cluster.sim, &clients, wl, &DriverConfig::default())
+}
+
+/// Accumulates the report text and mirrors it to stdout.
+pub struct Report {
+    name: &'static str,
+    text: String,
+    json: serde_json::Map<String, serde_json::Value>,
+}
+
+impl Report {
+    /// Starts a report for figure `name` (e.g. `"fig09_overall"`).
+    pub fn new(name: &'static str, title: &str) -> Report {
+        let mut r = Report {
+            name,
+            text: String::new(),
+            json: serde_json::Map::new(),
+        };
+        r.line(&format!("# {title}"));
+        r.line(&format!(
+            "# scale={:?} (set HYDRA_SCALE=smoke|normal|paper)",
+            Scale::from_env()
+        ));
+        r
+    }
+
+    /// Appends (and prints) one line.
+    pub fn line(&mut self, s: &str) {
+        println!("{s}");
+        let _ = writeln!(self.text, "{s}");
+    }
+
+    /// Records a machine-readable datum.
+    pub fn datum(&mut self, key: &str, value: impl serde::Serialize) {
+        self.json.insert(
+            key.to_string(),
+            serde_json::to_value(value).expect("serializable datum"),
+        );
+    }
+
+    /// Writes `results/<name>.txt` and `results/<name>.json`.
+    pub fn save(self) {
+        let dir = results_dir();
+        std::fs::create_dir_all(&dir).expect("create results dir");
+        std::fs::write(dir.join(format!("{}.txt", self.name)), &self.text)
+            .expect("write text report");
+        std::fs::write(
+            dir.join(format!("{}.json", self.name)),
+            serde_json::to_string_pretty(&serde_json::Value::Object(self.json))
+                .expect("serialize json"),
+        )
+        .expect("write json report");
+        println!("# saved to {}/{}.{{txt,json}}", dir.display(), self.name);
+    }
+}
+
+/// `results/` relative to the workspace root (falls back to CWD).
+pub fn results_dir() -> PathBuf {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop(); // crates/
+    p.pop(); // workspace root
+    p.push("results");
+    p
+}
+
+/// Serializable subset of a [`WorkloadReport`] for the JSON artifacts.
+#[derive(serde::Serialize)]
+pub struct ReportRow {
+    pub mops: f64,
+    pub get_mean_us: f64,
+    pub get_p99_us: f64,
+    pub update_mean_us: f64,
+    pub rptr_hits: u64,
+    pub invalid_hits: u64,
+    pub msg_gets: u64,
+}
+
+impl From<&WorkloadReport> for ReportRow {
+    fn from(r: &WorkloadReport) -> Self {
+        ReportRow {
+            mops: r.mops,
+            get_mean_us: r.get_mean_us,
+            get_p99_us: r.get_p99_us,
+            update_mean_us: r.update_mean_us,
+            rptr_hits: r.rptr_hits,
+            invalid_hits: r.invalid_hits,
+            msg_gets: r.msg_gets,
+        }
+    }
+}
+
+/// The §6.2 client-mode design points, in presentation order.
+pub fn design_points() -> [(&'static str, ClientMode); 3] {
+    [
+        ("Send/Recv", ClientMode::SendRecv),
+        ("RDMA Write Only", ClientMode::RdmaWrite),
+        ("RDMA Write + Read", ClientMode::RdmaWriteRead),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parses_env_values() {
+        assert_eq!(Scale::Smoke.records(), 5_000);
+        assert!(Scale::Paper.ops() > Scale::Normal.ops());
+    }
+
+    #[test]
+    fn workload_suite_has_six_entries() {
+        assert_eq!(paper_workloads(Scale::Smoke, 1).len(), 6);
+    }
+
+    #[test]
+    fn results_dir_points_into_workspace() {
+        assert!(results_dir().ends_with("results"));
+    }
+}

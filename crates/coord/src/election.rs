@@ -1,0 +1,175 @@
+//! Leader election via ephemeral-sequential znodes — the standard ZooKeeper
+//! recipe, used for the SWAT leader (§5.1: "In the case of SWAT leader
+//! failure, a new leader from the SWAT group is elected and takes over").
+//!
+//! Each candidate creates `/prefix/member-<seq>` (ephemeral sequential). The
+//! candidate owning the lowest sequence is the leader; every other candidate
+//! watches the member immediately preceding it, so a failure wakes exactly
+//! one successor (no herd effect).
+
+use crate::tree::{Coord, CoordError, CreateMode, SessionId, WatcherId};
+
+/// One candidate's handle into an election.
+#[derive(Debug, Clone)]
+pub struct LeaderElection {
+    /// Election root, e.g. `/swat/election`.
+    prefix: String,
+    /// This candidate's znode path.
+    pub me: String,
+    /// This candidate's session.
+    pub session: SessionId,
+}
+
+impl LeaderElection {
+    /// Joins the election rooted at `prefix` (created if missing).
+    pub fn join(
+        coord: &mut Coord,
+        prefix: &str,
+        session: SessionId,
+        data: Vec<u8>,
+    ) -> Result<LeaderElection, CoordError> {
+        if !coord.exists(prefix) {
+            // Create missing ancestors (prefix paths are short and static).
+            let mut built = String::new();
+            for seg in prefix.split('/').filter(|s| !s.is_empty()) {
+                built.push('/');
+                built.push_str(seg);
+                if !coord.exists(&built) {
+                    coord.create(&built, Vec::new(), CreateMode::Persistent, None)?;
+                }
+            }
+        }
+        let (me, _) = coord.create(
+            &format!("{prefix}/member-"),
+            data,
+            CreateMode::EphemeralSequential,
+            Some(session),
+        )?;
+        Ok(LeaderElection {
+            prefix: prefix.to_string(),
+            me,
+            session,
+        })
+    }
+
+    /// Whether this candidate currently leads (owns the lowest sequence).
+    pub fn is_leader(&self, coord: &Coord) -> Result<bool, CoordError> {
+        let mut children = coord.children(&self.prefix)?;
+        match children.next() {
+            Some(first) => Ok(first == self.me),
+            None => Err(CoordError::NoNode),
+        }
+    }
+
+    /// The current leader's znode and data, if any candidate is present.
+    pub fn leader(&self, coord: &Coord) -> Result<Option<(String, Vec<u8>)>, CoordError> {
+        let first = coord.children(&self.prefix)?.next().map(|s| s.to_string());
+        match first {
+            Some(p) => {
+                let data = coord.get_data(&p)?.to_vec();
+                Ok(Some((p, data)))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Registers the no-herd watch: the candidate immediately ahead of `me`.
+    /// Returns the watched path (`None` when `me` is already the leader).
+    pub fn watch_predecessor(
+        &self,
+        coord: &mut Coord,
+        watcher: WatcherId,
+    ) -> Result<Option<String>, CoordError> {
+        let children = coord.children_vec(&self.prefix)?;
+        let my_idx = children
+            .iter()
+            .position(|c| c == &self.me)
+            .ok_or(CoordError::NoNode)?;
+        if my_idx == 0 {
+            return Ok(None);
+        }
+        let pred = children[my_idx - 1].clone();
+        coord.watch_exists(&pred, watcher);
+        Ok(Some(pred))
+    }
+
+    /// Leaves the election (clean shutdown).
+    pub fn resign(&self, coord: &mut Coord) -> Result<(), CoordError> {
+        coord.delete(&self.me).map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::EventKind;
+
+    #[test]
+    fn lowest_sequence_leads() {
+        let mut z = Coord::new();
+        let s1 = z.create_session(0, 1_000);
+        let s2 = z.create_session(0, 1_000);
+        let e1 = LeaderElection::join(&mut z, "/swat/election", s1, b"node1".to_vec()).unwrap();
+        let e2 = LeaderElection::join(&mut z, "/swat/election", s2, b"node2".to_vec()).unwrap();
+        assert!(e1.is_leader(&z).unwrap());
+        assert!(!e2.is_leader(&z).unwrap());
+        let (leader, data) = e2.leader(&z).unwrap().unwrap();
+        assert_eq!(leader, e1.me);
+        assert_eq!(data, b"node1");
+    }
+
+    #[test]
+    fn successor_takes_over_on_session_expiry() {
+        let mut z = Coord::new();
+        let s1 = z.create_session(0, 100);
+        let s2 = z.create_session(0, 10_000);
+        let e1 = LeaderElection::join(&mut z, "/el", s1, vec![]).unwrap();
+        let e2 = LeaderElection::join(&mut z, "/el", s2, vec![]).unwrap();
+        let watched = e2.watch_predecessor(&mut z, WatcherId(2)).unwrap();
+        assert_eq!(watched, Some(e1.me.clone()));
+        // Leader's session dies.
+        let events = z.tick(10_000);
+        assert!(events
+            .iter()
+            .any(|e| e.kind == EventKind::Deleted && e.watcher == WatcherId(2)));
+        assert!(e2.is_leader(&z).unwrap());
+    }
+
+    #[test]
+    fn middle_candidate_watches_its_predecessor_not_the_leader() {
+        let mut z = Coord::new();
+        let sessions: Vec<_> = (0..3).map(|_| z.create_session(0, 1_000)).collect();
+        let els: Vec<_> = sessions
+            .iter()
+            .map(|&s| LeaderElection::join(&mut z, "/el", s, vec![]).unwrap())
+            .collect();
+        let watched = els[2].watch_predecessor(&mut z, WatcherId(3)).unwrap();
+        assert_eq!(watched, Some(els[1].me.clone()));
+        assert_eq!(
+            els[0].watch_predecessor(&mut z, WatcherId(1)).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn resign_hands_leadership_over() {
+        let mut z = Coord::new();
+        let s1 = z.create_session(0, 1_000);
+        let s2 = z.create_session(0, 1_000);
+        let e1 = LeaderElection::join(&mut z, "/el", s1, vec![]).unwrap();
+        let e2 = LeaderElection::join(&mut z, "/el", s2, vec![]).unwrap();
+        e1.resign(&mut z).unwrap();
+        assert!(e2.is_leader(&z).unwrap());
+        assert_eq!(e2.leader(&z).unwrap().unwrap().0, e2.me);
+    }
+
+    #[test]
+    fn empty_election_reports_no_leader() {
+        let mut z = Coord::new();
+        let s = z.create_session(0, 1_000);
+        let e = LeaderElection::join(&mut z, "/el", s, vec![]).unwrap();
+        e.resign(&mut z).unwrap();
+        assert_eq!(e.leader(&z).unwrap(), None);
+        assert_eq!(e.is_leader(&z).unwrap_err(), CoordError::NoNode);
+    }
+}

@@ -1,0 +1,122 @@
+//! Fabric latency/capacity model parameters.
+
+use hydra_sim::time::{SimTime, US};
+
+/// Which protocol stack a queue pair runs over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Transport {
+    /// Native reliable-connection RDMA verbs: one-sided Read/Write plus
+    /// Send/Recv, microsecond-scale latency, zero target CPU for one-sided
+    /// operations.
+    Rdma,
+    /// Kernel socket path (TCP or IPoIB): Send/Recv only, tens of
+    /// microseconds of protocol latency; receive processing costs target CPU
+    /// (charged by the receiving actor).
+    Socket,
+}
+
+/// Calibrated latency and capacity parameters.
+///
+/// Defaults approximate the paper's testbed: 40 Gbps ConnectX-3 on an IS5030
+/// switch (RDMA read RTT 1–3 µs for small items) with IPoIB measured in the
+/// tens of microseconds. Absolute values only anchor the scale; the figures
+/// claim shapes/ratios (EXPERIMENTS.md).
+#[derive(Debug, Clone)]
+pub struct FabricConfig {
+    /// One-way propagation + switch latency for RDMA packets.
+    pub rdma_prop_ns: SimTime,
+    /// Per-operation initiator NIC overhead (WQE fetch, doorbell).
+    pub rdma_op_ns: SimTime,
+    /// Target-side DMA engine setup cost for one-sided operations.
+    pub rdma_dma_ns: SimTime,
+    /// Additional cost of the two-sided path (recv WQE consumption + CQE)
+    /// applied at the receiver, on top of `rdma_op_ns`.
+    pub send_recv_extra_ns: SimTime,
+    /// NIC serialization cost per byte (0.2 ns/B = 40 Gbps).
+    pub nic_byte_ns: f64,
+    /// One-way latency of the kernel socket path (IPoIB/TCP).
+    pub socket_prop_ns: SimTime,
+    /// Socket-path per-byte cost (protocol + copies; effective ~8 Gbps).
+    pub socket_byte_ns: f64,
+    /// Per-message socket stack overhead (syscalls, skb handling) per side.
+    pub socket_op_ns: SimTime,
+    /// QP count beyond which driver overhead starts growing (§6.3).
+    pub qp_threshold: u32,
+    /// Fractional per-op overhead added per QP beyond the threshold
+    /// (e.g. 0.004 → +40% at threshold+100 QPs).
+    pub qp_penalty_per_conn: f64,
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        FabricConfig {
+            rdma_prop_ns: 600,
+            rdma_op_ns: 100,
+            rdma_dma_ns: 120,
+            send_recv_extra_ns: 350,
+            nic_byte_ns: 0.2,
+            socket_prop_ns: 28 * US,
+            socket_byte_ns: 1.0,
+            socket_op_ns: 4 * US,
+            qp_threshold: 320,
+            qp_penalty_per_conn: 0.004,
+        }
+    }
+}
+
+impl FabricConfig {
+    /// Serialization time of `bytes` on the RDMA NIC.
+    pub fn nic_ser(&self, bytes: usize) -> SimTime {
+        (bytes as f64 * self.nic_byte_ns).round() as SimTime
+    }
+
+    /// Serialization/copy time of `bytes` on the socket path.
+    pub fn socket_ser(&self, bytes: usize) -> SimTime {
+        (bytes as f64 * self.socket_byte_ns).round() as SimTime
+    }
+
+    /// Driver-scalability multiplier for a node with `qps` connections.
+    pub fn qp_penalty(&self, qps: u32) -> f64 {
+        let excess = qps.saturating_sub(self.qp_threshold) as f64;
+        1.0 + excess * self.qp_penalty_per_conn
+    }
+
+    /// Per-op initiator cost including the QP penalty.
+    pub fn op_cost(&self, qps: u32) -> SimTime {
+        (self.rdma_op_ns as f64 * self.qp_penalty(qps)).round() as SimTime
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialization_scales_with_bytes() {
+        let c = FabricConfig::default();
+        assert_eq!(c.nic_ser(0), 0);
+        assert_eq!(c.nic_ser(1000), 200);
+        assert_eq!(c.socket_ser(1000), 1000);
+    }
+
+    #[test]
+    fn qp_penalty_kicks_in_past_threshold() {
+        let c = FabricConfig::default();
+        assert_eq!(c.qp_penalty(1), 1.0);
+        assert_eq!(c.qp_penalty(320), 1.0);
+        assert!(c.qp_penalty(520) > 1.5);
+        assert!(c.op_cost(700) > c.op_cost(10));
+    }
+
+    #[test]
+    fn small_rdma_read_rtt_is_one_to_three_microseconds() {
+        // Sanity-anchor the default model against the paper's quoted range.
+        let c = FabricConfig::default();
+        let item = 64usize;
+        let rtt = c.op_cost(4) // initiator
+            + c.rdma_prop_ns // request flight
+            + c.rdma_dma_ns + c.nic_ser(item) // target DMA + response ser
+            + c.rdma_prop_ns; // response flight
+        assert!((1_000..=3_000).contains(&rtt), "rtt={rtt}ns");
+    }
+}

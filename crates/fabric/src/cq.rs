@@ -1,0 +1,250 @@
+//! Completion queues — the polled verbs completion surface.
+//!
+//! The core fabric API delivers completions through closures, which suits
+//! the event-driven simulator. Real verbs programs instead poll a
+//! *completion queue* (CQ): every posted work request carries a `wr_id`, and
+//! the initiator learns of completion by draining CQEs. This module provides
+//! that surface on top of the closure API, so protocol code written against
+//! `ibv_poll_cq`-style control flow ports directly.
+//!
+//! ```
+//! use hydra_fabric::{CompletionQueue, Fabric, FabricConfig, Transport};
+//! use hydra_sim::Sim;
+//!
+//! let mut sim = Sim::new(1);
+//! let fab = Fabric::new(FabricConfig::default());
+//! let (a, b) = (fab.add_node(), fab.add_node());
+//! let qp = fab.connect(a, b, Transport::Rdma);
+//! let (region, _mem) = fab.alloc_region(b, 16);
+//!
+//! let cq = CompletionQueue::new(4);
+//! cq.post_write(&mut sim, &fab, qp, a, vec![7, 8], region, 0, 0xAB);
+//! cq.post_read(&mut sim, &fab, qp, a, region, 0, 16, 0xCD);
+//! sim.run();
+//!
+//! let cqes = cq.drain();
+//! assert_eq!(cqes.len(), 2);
+//! assert_eq!(cqes[0].wr_id, 0xAB); // writes complete before the read RTT
+//! assert!(cqes[1].read_data.is_some());
+//! ```
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use hydra_sim::time::SimTime;
+use hydra_sim::Sim;
+
+use crate::net::{Fabric, NodeId, QpId, RegionId};
+
+/// What kind of work request completed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CqeOp {
+    /// One-sided write delivered to the target.
+    Write,
+    /// One-sided read returned to the initiator.
+    Read,
+}
+
+/// One completion entry.
+#[derive(Debug, Clone)]
+pub struct Cqe {
+    /// Caller-chosen work-request identifier.
+    pub wr_id: u64,
+    /// Operation kind.
+    pub op: CqeOp,
+    /// Virtual completion time.
+    pub at: SimTime,
+    /// Fetched bytes for reads (`None` for writes).
+    pub read_data: Option<Vec<u8>>,
+}
+
+/// A polled completion queue. Clone-cheap; clones share the queue.
+#[derive(Clone)]
+pub struct CompletionQueue {
+    entries: Rc<RefCell<VecDeque<Cqe>>>,
+    capacity: usize,
+}
+
+impl CompletionQueue {
+    /// Creates a CQ with `capacity` entries. Exceeding capacity is a CQ
+    /// overrun — a protocol bug on real hardware — and panics.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        CompletionQueue {
+            entries: Rc::new(RefCell::new(VecDeque::new())),
+            capacity,
+        }
+    }
+
+    fn push(&self, cqe: Cqe) {
+        let mut q = self.entries.borrow_mut();
+        assert!(
+            q.len() < self.capacity,
+            "completion queue overrun (capacity {})",
+            self.capacity
+        );
+        q.push_back(cqe);
+    }
+
+    /// Posts a one-sided write whose completion lands in this CQ.
+    #[allow(clippy::too_many_arguments)] // verbs post calls are wide by nature
+    pub fn post_write(
+        &self,
+        sim: &mut Sim,
+        fab: &Fabric,
+        qp: QpId,
+        from: NodeId,
+        words: Vec<u64>,
+        dst_region: RegionId,
+        dst_word_off: usize,
+        wr_id: u64,
+    ) {
+        let cq = self.clone();
+        fab.post_write(
+            sim,
+            qp,
+            from,
+            words,
+            dst_region,
+            dst_word_off,
+            Some(Box::new(move |sim| {
+                cq.push(Cqe {
+                    wr_id,
+                    op: CqeOp::Write,
+                    at: sim.now(),
+                    read_data: None,
+                });
+            })),
+        );
+    }
+
+    /// Posts a one-sided read whose completion (with the fetched bytes)
+    /// lands in this CQ.
+    #[allow(clippy::too_many_arguments)] // verbs post calls are wide by nature
+    pub fn post_read(
+        &self,
+        sim: &mut Sim,
+        fab: &Fabric,
+        qp: QpId,
+        from: NodeId,
+        src_region: RegionId,
+        src_word_off: usize,
+        len_bytes: usize,
+        wr_id: u64,
+    ) {
+        let cq = self.clone();
+        fab.post_read(
+            sim,
+            qp,
+            from,
+            src_region,
+            src_word_off,
+            len_bytes,
+            Box::new(move |sim, blob| {
+                cq.push(Cqe {
+                    wr_id,
+                    op: CqeOp::Read,
+                    at: sim.now(),
+                    read_data: Some(blob),
+                });
+            }),
+        );
+    }
+
+    /// Polls up to `max` completions (the `ibv_poll_cq` shape).
+    pub fn poll(&self, max: usize) -> Vec<Cqe> {
+        let mut q = self.entries.borrow_mut();
+        let n = max.min(q.len());
+        q.drain(..n).collect()
+    }
+
+    /// Drains every pending completion.
+    pub fn drain(&self) -> Vec<Cqe> {
+        let len = self.entries.borrow().len();
+        self.poll(len)
+    }
+
+    /// Pending completions.
+    pub fn len(&self) -> usize {
+        self.entries.borrow().len()
+    }
+
+    /// Whether no completions are pending.
+    pub fn is_empty(&self) -> bool {
+        self.entries.borrow().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FabricConfig, Transport};
+    use std::sync::atomic::Ordering;
+
+    fn setup() -> (Sim, Fabric, NodeId, QpId, RegionId) {
+        let sim = Sim::new(1);
+        let fab = Fabric::new(FabricConfig::default());
+        let a = fab.add_node();
+        let b = fab.add_node();
+        let qp = fab.connect(a, b, Transport::Rdma);
+        let (region, _mem) = fab.alloc_region(b, 64);
+        (sim, fab, a, qp, region)
+    }
+
+    #[test]
+    fn completions_arrive_in_completion_order_with_wr_ids() {
+        let (mut sim, fab, a, qp, region) = setup();
+        let cq = CompletionQueue::new(8);
+        cq.post_write(&mut sim, &fab, qp, a, vec![1], region, 0, 100);
+        cq.post_read(&mut sim, &fab, qp, a, region, 0, 8, 200);
+        cq.post_write(&mut sim, &fab, qp, a, vec![2], region, 1, 300);
+        sim.run();
+        let cqes = cq.drain();
+        assert_eq!(cqes.len(), 3);
+        // Both writes complete (one-way) before the read's round trip.
+        assert_eq!(cqes[0].wr_id, 100);
+        assert_eq!(cqes[1].wr_id, 300);
+        assert_eq!(cqes[2].wr_id, 200);
+        assert_eq!(cqes[2].op, CqeOp::Read);
+        assert!(cqes[0].at <= cqes[1].at && cqes[1].at <= cqes[2].at);
+    }
+
+    #[test]
+    fn read_cqe_carries_the_snapshot() {
+        let (mut sim, fab, a, qp, region) = setup();
+        let mem = fab.region_mem(region);
+        mem[3].store(0x1234_5678, Ordering::Relaxed);
+        let cq = CompletionQueue::new(2);
+        cq.post_read(&mut sim, &fab, qp, a, region, 3, 8, 7);
+        sim.run();
+        let cqe = cq.drain().pop().unwrap();
+        let data = cqe.read_data.unwrap();
+        assert_eq!(u64::from_le_bytes(data.try_into().unwrap()), 0x1234_5678);
+    }
+
+    #[test]
+    fn poll_respects_max() {
+        let (mut sim, fab, a, qp, region) = setup();
+        let cq = CompletionQueue::new(16);
+        for i in 0..5 {
+            cq.post_write(&mut sim, &fab, qp, a, vec![i], region, i as usize, i);
+        }
+        sim.run();
+        assert_eq!(cq.len(), 5);
+        assert_eq!(cq.poll(2).len(), 2);
+        assert_eq!(cq.poll(10).len(), 3);
+        assert!(cq.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "overrun")]
+    fn overrun_panics() {
+        let (mut sim, fab, a, qp, region) = setup();
+        let cq = CompletionQueue::new(2);
+        for i in 0..3 {
+            cq.post_write(&mut sim, &fab, qp, a, vec![i], region, i as usize, i);
+        }
+        sim.run();
+    }
+}

@@ -1,0 +1,764 @@
+//! The fabric itself: nodes, regions, queue pairs and the four verbs.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use hydra_sim::time::SimTime;
+use hydra_sim::{FifoResource, Sim};
+
+use crate::config::{FabricConfig, Transport};
+
+/// A machine on the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(pub u32);
+
+/// A registered memory region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RegionId(pub u32);
+
+/// A queue pair (reliable connection between two nodes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QpId(pub u32);
+
+/// Callback invoked when a Send arrives at an endpoint.
+pub type RecvHandler = dyn Fn(&mut Sim, QpId, Vec<u8>);
+
+/// Callback fired when a one-sided Write has landed in the target region.
+pub type WriteDelivered = Box<dyn FnOnce(&mut Sim)>;
+
+/// Callback fired when a one-sided Read's response reaches the initiator.
+pub type ReadComplete = Box<dyn FnOnce(&mut Sim, Vec<u8>)>;
+
+/// Per-node traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    pub writes: u64,
+    pub reads: u64,
+    pub sends: u64,
+    pub bytes_tx: u64,
+    pub bytes_rx: u64,
+}
+
+/// Fabric-wide counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FabricStats {
+    pub writes: u64,
+    pub reads: u64,
+    pub sends: u64,
+    pub bytes: u64,
+}
+
+struct Node {
+    nic_tx: FifoResource,
+    nic_rx: FifoResource,
+    qp_count: u32,
+    stats: NodeStats,
+}
+
+struct Region {
+    node: NodeId,
+    mem: Arc<[AtomicU64]>,
+}
+
+struct Qp {
+    a: NodeId,
+    b: NodeId,
+    transport: Transport,
+    handler_a: Option<Rc<RecvHandler>>,
+    handler_b: Option<Rc<RecvHandler>>,
+}
+
+impl Qp {
+    fn peer_of(&self, n: NodeId) -> NodeId {
+        if n == self.a {
+            self.b
+        } else if n == self.b {
+            self.a
+        } else {
+            panic!("node {n:?} is not an endpoint of this QP");
+        }
+    }
+}
+
+struct Inner {
+    cfg: FabricConfig,
+    nodes: Vec<Node>,
+    regions: Vec<Region>,
+    qps: Vec<Qp>,
+    stats: FabricStats,
+}
+
+/// Handle to the shared fabric. Clones are cheap and refer to the same
+/// network.
+#[derive(Clone)]
+pub struct Fabric {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl Fabric {
+    /// Creates a fabric with the given latency model.
+    pub fn new(cfg: FabricConfig) -> Self {
+        Fabric {
+            inner: Rc::new(RefCell::new(Inner {
+                cfg,
+                nodes: Vec::new(),
+                regions: Vec::new(),
+                qps: Vec::new(),
+                stats: FabricStats::default(),
+            })),
+        }
+    }
+
+    /// Adds a machine and returns its id.
+    pub fn add_node(&self) -> NodeId {
+        let mut inner = self.inner.borrow_mut();
+        let id = NodeId(inner.nodes.len() as u32);
+        inner.nodes.push(Node {
+            nic_tx: FifoResource::new(format!("node{}.tx", id.0)),
+            nic_rx: FifoResource::new(format!("node{}.rx", id.0)),
+            qp_count: 0,
+            stats: NodeStats::default(),
+        });
+        id
+    }
+
+    /// Registers externally owned memory (e.g. a shard arena) on `node`.
+    pub fn register(&self, node: NodeId, mem: Arc<[AtomicU64]>) -> RegionId {
+        let mut inner = self.inner.borrow_mut();
+        let id = RegionId(inner.regions.len() as u32);
+        inner.regions.push(Region { node, mem });
+        id
+    }
+
+    /// Allocates and registers a zeroed region of `words` words on `node`
+    /// (message buffers, replication rings).
+    pub fn alloc_region(&self, node: NodeId, words: usize) -> (RegionId, Arc<[AtomicU64]>) {
+        let mut v = Vec::with_capacity(words);
+        v.resize_with(words, || AtomicU64::new(0));
+        let mem: Arc<[AtomicU64]> = v.into();
+        (self.register(node, mem.clone()), mem)
+    }
+
+    /// Shared handle to a region's memory.
+    pub fn region_mem(&self, region: RegionId) -> Arc<[AtomicU64]> {
+        self.inner.borrow().regions[region.0 as usize].mem.clone()
+    }
+
+    /// The node a region lives on.
+    pub fn region_node(&self, region: RegionId) -> NodeId {
+        self.inner.borrow().regions[region.0 as usize].node
+    }
+
+    /// Establishes a queue pair between `a` and `b`.
+    pub fn connect(&self, a: NodeId, b: NodeId, transport: Transport) -> QpId {
+        let mut inner = self.inner.borrow_mut();
+        let id = QpId(inner.qps.len() as u32);
+        inner.qps.push(Qp {
+            a,
+            b,
+            transport,
+            handler_a: None,
+            handler_b: None,
+        });
+        inner.nodes[a.0 as usize].qp_count += 1;
+        inner.nodes[b.0 as usize].qp_count += 1;
+        id
+    }
+
+    /// Tears down a queue pair's contribution to driver load (failover).
+    pub fn disconnect(&self, qp: QpId) {
+        let mut inner = self.inner.borrow_mut();
+        let (a, b) = {
+            let q = &inner.qps[qp.0 as usize];
+            (q.a, q.b)
+        };
+        inner.nodes[a.0 as usize].qp_count = inner.nodes[a.0 as usize].qp_count.saturating_sub(1);
+        inner.nodes[b.0 as usize].qp_count = inner.nodes[b.0 as usize].qp_count.saturating_sub(1);
+        let q = &mut inner.qps[qp.0 as usize];
+        q.handler_a = None;
+        q.handler_b = None;
+    }
+
+    /// Registers the Send/Recv delivery callback for `endpoint`'s side of
+    /// `qp`.
+    pub fn set_recv_handler(&self, qp: QpId, endpoint: NodeId, handler: Rc<RecvHandler>) {
+        let mut inner = self.inner.borrow_mut();
+        let q = &mut inner.qps[qp.0 as usize];
+        if endpoint == q.a {
+            q.handler_a = Some(handler);
+        } else if endpoint == q.b {
+            q.handler_b = Some(handler);
+        } else {
+            panic!("node {endpoint:?} is not an endpoint of qp {qp:?}");
+        }
+    }
+
+    /// The other end of `qp` as seen from `from`.
+    pub fn peer(&self, qp: QpId, from: NodeId) -> NodeId {
+        self.inner.borrow().qps[qp.0 as usize].peer_of(from)
+    }
+
+    /// Number of QPs currently terminating at `node`.
+    pub fn qp_count(&self, node: NodeId) -> u32 {
+        self.inner.borrow().nodes[node.0 as usize].qp_count
+    }
+
+    /// Per-node statistics.
+    pub fn node_stats(&self, node: NodeId) -> NodeStats {
+        self.inner.borrow().nodes[node.0 as usize].stats
+    }
+
+    /// Fabric-wide statistics.
+    pub fn stats(&self) -> FabricStats {
+        self.inner.borrow().stats
+    }
+
+    /// One-sided RDMA Write: `words` land in `dst_region` at
+    /// `dst_word_off`, in increasing address order, with zero target-CPU
+    /// involvement. `on_delivered` (if any) fires at delivery time — callers
+    /// use it to model "data is now visible" hooks; real initiators learn of
+    /// completion only through higher-level protocol responses.
+    #[allow(clippy::too_many_arguments)] // verbs post calls are wide by nature
+    pub fn post_write(
+        &self,
+        sim: &mut Sim,
+        qp: QpId,
+        from: NodeId,
+        words: Vec<u64>,
+        dst_region: RegionId,
+        dst_word_off: usize,
+        on_delivered: Option<WriteDelivered>,
+    ) {
+        let bytes = words.len() * 8;
+        let (mem, deliver_at) = {
+            let mut inner = self.inner.borrow_mut();
+            let q = &inner.qps[qp.0 as usize];
+            assert_eq!(
+                q.transport,
+                Transport::Rdma,
+                "RDMA Write requires an RDMA QP"
+            );
+            let to = q.peer_of(from);
+            let region = &inner.regions[dst_region.0 as usize];
+            assert_eq!(region.node, to, "write target region not on peer node");
+            assert!(
+                dst_word_off + words.len() <= region.mem.len(),
+                "write beyond region bounds"
+            );
+            let mem = region.mem.clone();
+            let pen_src = inner.cfg.qp_penalty(inner.nodes[from.0 as usize].qp_count);
+            let pen_dst = inner.cfg.qp_penalty(inner.nodes[to.0 as usize].qp_count);
+            let ser = inner.cfg.nic_ser(bytes);
+            let prop = inner.cfg.rdma_prop_ns;
+            let dma = inner.cfg.rdma_dma_ns;
+            let tx_cost = (((inner.cfg.rdma_op_ns + ser) as f64) * pen_src).round() as SimTime;
+            let rx_cost = (((dma + ser) as f64) * pen_dst).round() as SimTime;
+            let tx_done = inner.nodes[from.0 as usize]
+                .nic_tx
+                .acquire(sim.now(), tx_cost);
+            let rx_done = inner.nodes[to.0 as usize]
+                .nic_rx
+                .acquire(tx_done + prop, rx_cost);
+            let src = &mut inner.nodes[from.0 as usize];
+            src.stats.writes += 1;
+            src.stats.bytes_tx += bytes as u64;
+            inner.nodes[to.0 as usize].stats.bytes_rx += bytes as u64;
+            inner.stats.writes += 1;
+            inner.stats.bytes += bytes as u64;
+            (mem, rx_done)
+        };
+        sim.schedule_at(deliver_at, move |sim| {
+            // Increasing address order; the final store releases the payload.
+            let n = words.len();
+            for (i, w) in words.into_iter().enumerate() {
+                let ord = if i + 1 == n {
+                    Ordering::Release
+                } else {
+                    Ordering::Relaxed
+                };
+                mem[dst_word_off + i].store(w, ord);
+            }
+            if let Some(cb) = on_delivered {
+                cb(sim);
+            }
+        });
+    }
+
+    /// One-sided RDMA Read of `len_bytes` from `src_region` at
+    /// `src_word_off`. The target memory is snapshotted when the request
+    /// reaches the target NIC; `on_complete` receives the bytes when the
+    /// response lands back at the initiator.
+    #[allow(clippy::too_many_arguments)] // verbs post calls are wide by nature
+    pub fn post_read(
+        &self,
+        sim: &mut Sim,
+        qp: QpId,
+        from: NodeId,
+        src_region: RegionId,
+        src_word_off: usize,
+        len_bytes: usize,
+        on_complete: ReadComplete,
+    ) {
+        let words = len_bytes.div_ceil(8);
+        let (mem, snap_at, done_at) = {
+            let mut inner = self.inner.borrow_mut();
+            let q = &inner.qps[qp.0 as usize];
+            assert_eq!(
+                q.transport,
+                Transport::Rdma,
+                "RDMA Read requires an RDMA QP"
+            );
+            let target = q.peer_of(from);
+            let region = &inner.regions[src_region.0 as usize];
+            assert_eq!(region.node, target, "read source region not on peer node");
+            assert!(
+                src_word_off + words <= region.mem.len(),
+                "read beyond region bounds"
+            );
+            let mem = region.mem.clone();
+            let pen_src = inner.cfg.qp_penalty(inner.nodes[from.0 as usize].qp_count);
+            let pen_dst = inner
+                .cfg
+                .qp_penalty(inner.nodes[target.0 as usize].qp_count);
+            let prop = inner.cfg.rdma_prop_ns;
+            let dma = inner.cfg.rdma_dma_ns;
+            let op = inner.cfg.rdma_op_ns;
+            let ser = inner.cfg.nic_ser(len_bytes);
+            // Request flight.
+            let tx_done = inner.nodes[from.0 as usize]
+                .nic_tx
+                .acquire(sim.now(), ((op as f64) * pen_src).round() as SimTime);
+            // Target NIC performs the DMA fetch + response serialization
+            // entirely in hardware (zero target CPU).
+            // The target HCA serves the read in hardware: one DMA fetch, no
+            // WQE processing (that is the initiator's job) and no CPU.
+            let snap_at = inner.nodes[target.0 as usize]
+                .nic_rx
+                .acquire(tx_done + prop, ((dma as f64) * pen_dst).round() as SimTime);
+            let resp_tx = inner.nodes[target.0 as usize]
+                .nic_tx
+                .acquire(snap_at, ((ser as f64) * pen_dst).round() as SimTime);
+            let done_at = inner.nodes[from.0 as usize]
+                .nic_rx
+                .acquire(resp_tx + prop, ((dma as f64) * pen_src).round() as SimTime);
+            let src = &mut inner.nodes[from.0 as usize];
+            src.stats.reads += 1;
+            src.stats.bytes_rx += len_bytes as u64;
+            inner.nodes[target.0 as usize].stats.bytes_tx += len_bytes as u64;
+            inner.stats.reads += 1;
+            inner.stats.bytes += len_bytes as u64;
+            (mem, snap_at, done_at)
+        };
+        sim.schedule_at(snap_at, move |sim| {
+            let mut blob = Vec::with_capacity(words * 8);
+            for w in 0..words {
+                blob.extend_from_slice(
+                    &mem[src_word_off + w].load(Ordering::Acquire).to_le_bytes(),
+                );
+            }
+            blob.truncate(len_bytes);
+            sim.schedule_at(done_at.max(sim.now()), move |sim| on_complete(sim, blob));
+        });
+    }
+
+    /// Two-sided Send: `payload` is delivered to the peer's registered recv
+    /// handler. Works on both transports with their respective cost models.
+    pub fn post_send(&self, sim: &mut Sim, qp: QpId, from: NodeId, payload: Vec<u8>) {
+        let bytes = payload.len();
+        let (handler, deliver_at) = {
+            let mut inner = self.inner.borrow_mut();
+            let q = &inner.qps[qp.0 as usize];
+            let to = q.peer_of(from);
+            let transport = q.transport;
+            let handler = if to == q.a {
+                q.handler_a.clone()
+            } else {
+                q.handler_b.clone()
+            };
+            let deliver_at = match transport {
+                Transport::Rdma => {
+                    let pen_src = inner.cfg.qp_penalty(inner.nodes[from.0 as usize].qp_count);
+                    let pen_dst = inner.cfg.qp_penalty(inner.nodes[to.0 as usize].qp_count);
+                    let op = inner.cfg.rdma_op_ns;
+                    let ser = inner.cfg.nic_ser(bytes);
+                    let extra = inner.cfg.send_recv_extra_ns;
+                    let prop = inner.cfg.rdma_prop_ns;
+                    let dma = inner.cfg.rdma_dma_ns;
+                    let tx = inner.nodes[from.0 as usize].nic_tx.acquire(
+                        sim.now(),
+                        (((op + ser) as f64) * pen_src).round() as SimTime,
+                    );
+                    inner.nodes[to.0 as usize].nic_rx.acquire(
+                        tx + prop,
+                        (((dma + ser + extra) as f64) * pen_dst).round() as SimTime,
+                    )
+                }
+                Transport::Socket => {
+                    let op = inner.cfg.socket_op_ns;
+                    let ser = inner.cfg.socket_ser(bytes);
+                    let prop = inner.cfg.socket_prop_ns;
+                    let tx = inner.nodes[from.0 as usize]
+                        .nic_tx
+                        .acquire(sim.now(), op + ser);
+                    inner.nodes[to.0 as usize]
+                        .nic_rx
+                        .acquire(tx + prop, op + ser)
+                }
+            };
+            let src = &mut inner.nodes[from.0 as usize];
+            src.stats.sends += 1;
+            src.stats.bytes_tx += bytes as u64;
+            inner.nodes[to.0 as usize].stats.bytes_rx += bytes as u64;
+            inner.stats.sends += 1;
+            inner.stats.bytes += bytes as u64;
+            (handler, deliver_at)
+        };
+        let handler =
+            handler.unwrap_or_else(|| panic!("no recv handler registered on peer of qp {qp:?}"));
+        sim.schedule_at(deliver_at, move |sim| handler(sim, qp, payload));
+    }
+
+    /// Round-trip estimate of a small RDMA read of `len_bytes` on an
+    /// otherwise idle fabric (used by benchmarks for sanity output).
+    pub fn estimate_read_rtt(&self, len_bytes: usize) -> SimTime {
+        let inner = self.inner.borrow();
+        let c = &inner.cfg;
+        c.rdma_op_ns
+            + c.rdma_prop_ns
+            + c.rdma_op_ns
+            + c.rdma_dma_ns
+            + c.nic_ser(len_bytes)
+            + c.rdma_prop_ns
+            + c.rdma_dma_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydra_sim::time::US;
+    use std::cell::Cell;
+
+    fn setup() -> (Sim, Fabric, NodeId, NodeId, QpId) {
+        let sim = Sim::new(7);
+        let fab = Fabric::new(FabricConfig::default());
+        let a = fab.add_node();
+        let b = fab.add_node();
+        let qp = fab.connect(a, b, Transport::Rdma);
+        (sim, fab, a, b, qp)
+    }
+
+    #[test]
+    fn write_lands_at_positive_latency_and_mutates_target() {
+        let (mut sim, fab, a, _b, qp) = setup();
+        let target = fab.peer(qp, a);
+        let (region, mem) = fab.alloc_region(target, 64);
+        let delivered = Rc::new(Cell::new(0u64));
+        let d = delivered.clone();
+        fab.post_write(
+            &mut sim,
+            qp,
+            a,
+            vec![11, 22, 33],
+            region,
+            4,
+            Some(Box::new(move |sim| d.set(sim.now()))),
+        );
+        assert_eq!(
+            mem[4].load(Ordering::Relaxed),
+            0,
+            "no mutation before delivery"
+        );
+        sim.run();
+        assert_eq!(mem[4].load(Ordering::Relaxed), 11);
+        assert_eq!(mem[5].load(Ordering::Relaxed), 22);
+        assert_eq!(mem[6].load(Ordering::Relaxed), 33);
+        let t = delivered.get();
+        assert!(
+            t > 500 && t < 5_000,
+            "one-way small write should be ~0.8-3us, got {t}ns"
+        );
+    }
+
+    #[test]
+    fn back_to_back_writes_arrive_in_order() {
+        let (mut sim, fab, a, b, qp) = setup();
+        let (region, _mem) = fab.alloc_region(b, 64);
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..5u64 {
+            let o = order.clone();
+            fab.post_write(
+                &mut sim,
+                qp,
+                a,
+                vec![i],
+                region,
+                i as usize,
+                Some(Box::new(move |_| o.borrow_mut().push(i))),
+            );
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn read_snapshots_memory_at_target_arrival_time() {
+        let (mut sim, fab, a, b, qp) = setup();
+        let (region, mem) = fab.alloc_region(b, 8);
+        mem[0].store(0xAAAA, Ordering::Relaxed);
+        // Server-side mutation scheduled at t = 10us.
+        {
+            let mem = mem.clone();
+            sim.schedule_at(10 * US, move |_| mem[0].store(0xBBBB, Ordering::Relaxed));
+        }
+        let got_early = Rc::new(Cell::new(0u64));
+        let got_late = Rc::new(Cell::new(0u64));
+        {
+            let g = got_early.clone();
+            fab.post_read(
+                &mut sim,
+                qp,
+                a,
+                region,
+                0,
+                8,
+                Box::new(move |_, blob| g.set(u64::from_le_bytes(blob.try_into().unwrap()))),
+            );
+        }
+        {
+            let fab2 = fab.clone();
+            let g = got_late.clone();
+            sim.schedule_at(20 * US, move |sim| {
+                fab2.post_read(
+                    sim,
+                    qp,
+                    a,
+                    region,
+                    0,
+                    8,
+                    Box::new(move |_, blob| g.set(u64::from_le_bytes(blob.try_into().unwrap()))),
+                );
+            });
+        }
+        sim.run();
+        assert_eq!(
+            got_early.get(),
+            0xAAAA,
+            "read before the write sees the old value"
+        );
+        assert_eq!(
+            got_late.get(),
+            0xBBBB,
+            "read after the write sees the new value"
+        );
+    }
+
+    #[test]
+    fn read_rtt_in_expected_range() {
+        let (mut sim, fab, a, _b, qp) = setup();
+        let target = fab.peer(qp, a);
+        let (region, _mem) = fab.alloc_region(target, 16);
+        let done = Rc::new(Cell::new(0u64));
+        let d = done.clone();
+        fab.post_read(
+            &mut sim,
+            qp,
+            a,
+            region,
+            0,
+            64,
+            Box::new(move |sim, _| d.set(sim.now())),
+        );
+        sim.run();
+        let rtt = done.get();
+        assert!(
+            (1_000..=3_000).contains(&rtt),
+            "64B read RTT {rtt}ns outside 1-3us"
+        );
+    }
+
+    #[test]
+    fn send_recv_invokes_handler_with_payload() {
+        let (mut sim, fab, a, b, qp) = setup();
+        let got = Rc::new(RefCell::new(Vec::new()));
+        {
+            let got = got.clone();
+            fab.set_recv_handler(
+                qp,
+                b,
+                Rc::new(move |sim: &mut Sim, _qp, payload: Vec<u8>| {
+                    got.borrow_mut().push((sim.now(), payload));
+                }),
+            );
+        }
+        fab.post_send(&mut sim, qp, a, b"hello-fabric".to_vec());
+        sim.run();
+        let got = got.borrow();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].1, b"hello-fabric");
+        assert!(got[0].0 > 1_000, "send latency must exceed write latency");
+    }
+
+    #[test]
+    fn socket_transport_is_an_order_of_magnitude_slower() {
+        let sim_t = |transport| {
+            let mut sim = Sim::new(1);
+            let fab = Fabric::new(FabricConfig::default());
+            let a = fab.add_node();
+            let b = fab.add_node();
+            let qp = fab.connect(a, b, transport);
+            let done = Rc::new(Cell::new(0u64));
+            let d = done.clone();
+            fab.set_recv_handler(qp, b, Rc::new(move |sim: &mut Sim, _, _| d.set(sim.now())));
+            fab.post_send(&mut sim, qp, a, vec![0u8; 64]);
+            sim.run();
+            done.get()
+        };
+        let rdma = sim_t(Transport::Rdma);
+        let socket = sim_t(Transport::Socket);
+        assert!(
+            socket > 10 * rdma,
+            "socket one-way {socket}ns should dwarf rdma {rdma}ns"
+        );
+    }
+
+    #[test]
+    fn qp_pressure_slows_operations() {
+        let mut times = Vec::new();
+        for extra_qps in [0u32, 800] {
+            let mut sim = Sim::new(1);
+            let fab = Fabric::new(FabricConfig::default());
+            let a = fab.add_node();
+            let b = fab.add_node();
+            let qp = fab.connect(a, b, Transport::Rdma);
+            for _ in 0..extra_qps {
+                fab.connect(a, b, Transport::Rdma);
+            }
+            let (region, _mem) = fab.alloc_region(b, 16);
+            let done = Rc::new(Cell::new(0u64));
+            let d = done.clone();
+            fab.post_read(
+                &mut sim,
+                qp,
+                a,
+                region,
+                0,
+                64,
+                Box::new(move |sim, _| d.set(sim.now())),
+            );
+            sim.run();
+            times.push(done.get());
+        }
+        assert!(
+            times[1] as f64 > times[0] as f64 * 1.3,
+            "driver penalty absent: {:?}",
+            times
+        );
+    }
+
+    #[test]
+    fn nic_saturation_queues_operations() {
+        let (mut sim, fab, a, b, qp) = setup();
+        let (region, _mem) = fab.alloc_region(b, 1 << 16);
+        let completions = Rc::new(RefCell::new(Vec::new()));
+        // 100 large reads posted at t=0 must serialize on the target NIC.
+        for _ in 0..100 {
+            let c = completions.clone();
+            fab.post_read(
+                &mut sim,
+                qp,
+                a,
+                region,
+                0,
+                32 * 1024,
+                Box::new(move |sim, _| c.borrow_mut().push(sim.now())),
+            );
+        }
+        sim.run();
+        let c = completions.borrow();
+        assert_eq!(c.len(), 100);
+        let first = c[0];
+        let last = *c.last().unwrap();
+        // 32 KiB at 0.2 ns/B = ~6.5us serialization each; 100 of them must
+        // take at least ~650us end to end.
+        assert!(
+            last - first > 500 * US,
+            "spread {}ns too small",
+            last - first
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not on peer node")]
+    fn write_to_region_on_wrong_node_panics() {
+        let (mut sim, fab, a, _b, qp) = setup();
+        // Region on the *initiator's* node: invalid target.
+        let (region, _mem) = fab.alloc_region(a, 8);
+        fab.post_write(&mut sim, qp, a, vec![1], region, 0, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond region bounds")]
+    fn out_of_bounds_write_panics() {
+        let (mut sim, fab, a, b, qp) = setup();
+        let (region, _mem) = fab.alloc_region(b, 4);
+        fab.post_write(&mut sim, qp, a, vec![1, 2, 3, 4, 5], region, 0, None);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let (mut sim, fab, a, b, qp) = setup();
+        let (region, _mem) = fab.alloc_region(b, 64);
+        fab.post_write(&mut sim, qp, a, vec![1, 2], region, 0, None);
+        fab.post_read(&mut sim, qp, a, region, 0, 16, Box::new(|_, _| {}));
+        sim.run();
+        let s = fab.stats();
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.bytes, 32);
+        assert_eq!(fab.node_stats(a).bytes_tx, 16);
+        assert_eq!(fab.node_stats(a).bytes_rx, 16);
+        assert_eq!(fab.qp_count(a), 1);
+        fab.disconnect(qp);
+        assert_eq!(fab.qp_count(a), 0);
+    }
+
+    #[test]
+    fn framed_message_over_fabric_write() {
+        // End-to-end: a client frames a request with hydra-wire, writes it
+        // into the server's request buffer, the server polls it at delivery
+        // time.
+        use hydra_wire::frame;
+        let (mut sim, fab, a, b, qp) = setup();
+        let (region, mem) = fab.alloc_region(b, 64);
+        // Frame into a local staging buffer, then ship the words.
+        let staging: Vec<AtomicU64> = (0..64).map(|_| AtomicU64::new(0)).collect();
+        let n = frame::write_message(&staging, b"GET user:42").unwrap();
+        let words: Vec<u64> = staging[..n]
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed))
+            .collect();
+        let polled = Rc::new(RefCell::new(None));
+        {
+            let polled = polled.clone();
+            let mem = mem.clone();
+            fab.post_write(
+                &mut sim,
+                qp,
+                a,
+                words,
+                region,
+                0,
+                Some(Box::new(move |_| {
+                    let msg = frame::poll_message(&mem).unwrap().expect("complete frame");
+                    frame::consume_message(&mem, msg.len());
+                    *polled.borrow_mut() = Some(msg);
+                })),
+            );
+        }
+        sim.run();
+        assert_eq!(polled.borrow().as_deref(), Some(b"GET user:42".as_slice()));
+    }
+}

@@ -1,0 +1,867 @@
+//! The HydraDB client library (§4.2).
+//!
+//! A client routes each key through the consistent-hash ring to its
+//! partition's primary shard and talks to it over a dedicated connection:
+//! a request buffer on the server's node and a response buffer on its own
+//! node, both written one-sidedly and detected by polling (§4.2.1). GETs of
+//! previously accessed keys take the fast path: the remote pointer returned
+//! by the first access is cached (privately, or in the node-wide lock-free
+//! shared cache of §4.2.4) and, while its lease holds, later GETs fetch the
+//! item directly with a one-sided RDMA Read and validate it against the
+//! guardian word — falling back to the message path when the item was
+//! updated underneath (§4.2.3).
+//!
+//! Clients are closed-loop: one outstanding operation at a time, matching
+//! the paper's YCSB drivers. Timeouts trigger directory refresh and retry,
+//! which is how fail-over reaches clients.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+use hydra_fabric::{Fabric, NodeId, QpId, RegionId};
+use hydra_lockfree::LockFreeMap;
+use hydra_sim::time::SimTime;
+use hydra_sim::{Histogram, Sim};
+use hydra_store::{FetchedItem, ItemError};
+use hydra_wire::{frame, RemotePtr, Request, Response, Status};
+
+use crate::cluster::Directory;
+use crate::config::ClusterConfig;
+use crate::server::{ServerConn, ShardServer};
+
+/// Client-visible operation failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpError {
+    /// UPDATE/DELETE of an absent key.
+    NotFound,
+    /// INSERT collided (reliable mode).
+    Exists,
+    /// No response within the timeout after all retries (dead shard).
+    Timeout,
+    /// Request exceeds the connection's message slot.
+    TooLarge,
+    /// Server-side error (allocation failure etc.).
+    Server,
+}
+
+/// Completion callback: `Ok(Some(value))` for GET hits, `Ok(None)` for GET
+/// misses, `Ok(None)` for successful writes.
+pub type OpCb = Box<dyn FnOnce(&mut Sim, Result<Option<Vec<u8>>, OpError>)>;
+
+/// Per-client counters and latency recordings.
+#[derive(Debug, Default, Clone)]
+pub struct ClientStats {
+    pub ops: u64,
+    pub gets: u64,
+    pub msg_gets: u64,
+    pub rptr_reads: u64,
+    pub rptr_hits: u64,
+    pub invalid_hits: u64,
+    pub inserts: u64,
+    pub updates: u64,
+    pub deletes: u64,
+    pub lease_renews: u64,
+    pub timeouts: u64,
+    pub retries: u64,
+    /// GET completion latency (both fast and message paths).
+    pub get_lat: Histogram,
+    /// INSERT/UPDATE/DELETE completion latency.
+    pub update_lat: Histogram,
+}
+
+/// A cached remote pointer (§4.2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CachedPtr {
+    /// Partition whose primary exposed the pointer.
+    pub partition: u32,
+    /// Location of the item in the server arena.
+    pub rptr: RemotePtr,
+    /// Lease expiry; the pointer must not be used past this instant.
+    pub lease_expiry: u64,
+}
+
+/// Remote-pointer cache: private to one client, or shared node-wide through
+/// the lock-free map (§4.2.4).
+#[derive(Clone)]
+pub enum PtrCache {
+    /// Exclusive cache (also used when security isolation is enforced).
+    Own(Rc<RefCell<HashMap<Vec<u8>, CachedPtr>>>),
+    /// Node-wide shared cache.
+    Shared(Arc<LockFreeMap<Vec<u8>, CachedPtr>>),
+}
+
+impl PtrCache {
+    fn get(&self, key: &[u8]) -> Option<CachedPtr> {
+        match self {
+            PtrCache::Own(m) => m.borrow().get(key).copied(),
+            PtrCache::Shared(m) => m.get(&key.to_vec()),
+        }
+    }
+
+    fn insert(&self, key: &[u8], ptr: CachedPtr) {
+        match self {
+            PtrCache::Own(m) => {
+                m.borrow_mut().insert(key.to_vec(), ptr);
+            }
+            PtrCache::Shared(m) => {
+                m.insert(key.to_vec(), ptr);
+            }
+        }
+    }
+
+    fn remove(&self, key: &[u8]) {
+        match self {
+            PtrCache::Own(m) => {
+                m.borrow_mut().remove(key);
+            }
+            PtrCache::Shared(m) => {
+                m.remove(&key.to_vec());
+            }
+        }
+    }
+
+    /// Keys whose lease expires within `[now, horizon]` — renewal candidates.
+    fn expiring(&self, now: u64, horizon: u64, limit: usize) -> Vec<(u32, Vec<u8>)> {
+        let mut out = Vec::new();
+        let mut push = |k: &Vec<u8>, v: &CachedPtr| {
+            if out.len() < limit && v.lease_expiry > now && v.lease_expiry <= horizon {
+                out.push((v.partition, k.clone()));
+            }
+        };
+        match self {
+            PtrCache::Own(m) => {
+                for (k, v) in m.borrow().iter() {
+                    push(k, v);
+                }
+            }
+            PtrCache::Shared(m) => m.for_each(|k, v| push(k, v)),
+        }
+        out
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpKind {
+    Get,
+    RdmaGet,
+    Insert,
+    Update,
+    Delete,
+    LeaseRenew,
+}
+
+struct Outstanding {
+    req_id: u64,
+    kind: OpKind,
+    key: Vec<u8>,
+    value: Vec<u8>,
+    cb: Option<OpCb>,
+    issued_at: SimTime,
+    attempts: u32,
+    /// Pending timeout event, cancelled on completion so the event queue
+    /// never drags the virtual clock to the timeout horizon.
+    timeout_ev: Option<hydra_sim::EventId>,
+}
+
+struct ClientConn {
+    server: Rc<RefCell<ShardServer>>,
+    qp: QpId,
+    req_region: RegionId,
+    resp_mem: Arc<[AtomicU64]>,
+    arena_region: RegionId,
+    /// Kicks the server's polling loop when a request write lands.
+    server_kick: Rc<dyn Fn(&mut Sim)>,
+}
+
+pub(crate) struct ClientInner {
+    id: u32,
+    node: NodeId,
+    fab: Fabric,
+    cfg: Rc<ClusterConfig>,
+    directory: Rc<RefCell<Directory>>,
+    conns: HashMap<u32, ClientConn>,
+    ptr_cache: PtrCache,
+    next_req_id: u64,
+    outstanding: Option<Outstanding>,
+    stats: ClientStats,
+}
+
+/// Handle to one client. Cheap to clone; all clones share state.
+#[derive(Clone)]
+pub struct HydraClient {
+    inner: Rc<RefCell<ClientInner>>,
+}
+
+const MAX_ATTEMPTS: u32 = 4;
+
+impl HydraClient {
+    pub(crate) fn new(
+        id: u32,
+        node: NodeId,
+        fab: Fabric,
+        cfg: Rc<ClusterConfig>,
+        directory: Rc<RefCell<Directory>>,
+        shared_cache: Option<Arc<LockFreeMap<Vec<u8>, CachedPtr>>>,
+    ) -> HydraClient {
+        let ptr_cache = match shared_cache {
+            Some(m) => PtrCache::Shared(m),
+            None => PtrCache::Own(Rc::new(RefCell::new(HashMap::new()))),
+        };
+        HydraClient {
+            inner: Rc::new(RefCell::new(ClientInner {
+                id,
+                node,
+                fab,
+                cfg,
+                directory,
+                conns: HashMap::new(),
+                ptr_cache,
+                next_req_id: 0,
+                outstanding: None,
+                stats: ClientStats::default(),
+            })),
+        }
+    }
+
+    /// This client's id.
+    pub fn id(&self) -> u32 {
+        self.inner.borrow().id
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> ClientStats {
+        self.inner.borrow().stats.clone()
+    }
+
+    /// Clears counters and histograms — called between the load phase and
+    /// the measured run, exactly like YCSB's warm-up discard.
+    pub fn reset_stats(&self) {
+        self.inner.borrow_mut().stats = ClientStats::default();
+    }
+
+    /// Whether an operation is in flight (closed-loop discipline).
+    pub fn is_busy(&self) -> bool {
+        self.inner.borrow().outstanding.is_some()
+    }
+
+    /// GET: fast path via cached remote pointer when possible, message path
+    /// otherwise.
+    pub fn get(&self, sim: &mut Sim, key: &[u8], cb: OpCb) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.stats.gets += 1;
+            inner.stats.ops += 1;
+        }
+        let use_read = {
+            let inner = self.inner.borrow();
+            inner.cfg.client_mode.rdma_read()
+        };
+        if use_read {
+            if let Some(ptr) = self.valid_cached_ptr(sim.now(), key) {
+                self.issue_rdma_get(sim, key.to_vec(), ptr, cb);
+                return;
+            }
+        }
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.stats.msg_gets += 1;
+        }
+        self.issue_message_op(
+            sim,
+            OpKind::Get,
+            key.to_vec(),
+            Vec::new(),
+            Some(cb),
+            1,
+            None,
+        );
+    }
+
+    /// INSERT a new key.
+    pub fn insert(&self, sim: &mut Sim, key: &[u8], value: &[u8], cb: OpCb) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.stats.inserts += 1;
+            inner.stats.ops += 1;
+        }
+        self.issue_message_op(
+            sim,
+            OpKind::Insert,
+            key.to_vec(),
+            value.to_vec(),
+            Some(cb),
+            1,
+            None,
+        );
+    }
+
+    /// UPDATE an existing key.
+    pub fn update(&self, sim: &mut Sim, key: &[u8], value: &[u8], cb: OpCb) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.stats.updates += 1;
+            inner.stats.ops += 1;
+        }
+        self.issue_message_op(
+            sim,
+            OpKind::Update,
+            key.to_vec(),
+            value.to_vec(),
+            Some(cb),
+            1,
+            None,
+        );
+    }
+
+    /// Upsert sugar used by examples: INSERT, retrying as UPDATE on
+    /// collision.
+    pub fn put(&self, sim: &mut Sim, key: &[u8], value: &[u8], cb: OpCb) {
+        let this = self.clone();
+        let key2 = key.to_vec();
+        let value2 = value.to_vec();
+        self.insert(
+            sim,
+            key,
+            value,
+            Box::new(move |sim, res| match res {
+                Err(OpError::Exists) => this.update(sim, &key2, &value2, cb),
+                other => cb(sim, other),
+            }),
+        );
+    }
+
+    /// DELETE a key.
+    pub fn delete(&self, sim: &mut Sim, key: &[u8], cb: OpCb) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.stats.deletes += 1;
+            inner.stats.ops += 1;
+        }
+        self.issue_message_op(
+            sim,
+            OpKind::Delete,
+            key.to_vec(),
+            Vec::new(),
+            Some(cb),
+            1,
+            None,
+        );
+    }
+
+    /// Sends one lease-renewal batch for cached pointers expiring within
+    /// `horizon`. No-op (returns false) when busy or nothing qualifies.
+    pub fn renew_expiring_leases(&self, sim: &mut Sim, horizon: SimTime) -> bool {
+        let batch = {
+            let inner = self.inner.borrow();
+            if inner.outstanding.is_some() {
+                return false;
+            }
+            let now = sim.now();
+            inner.ptr_cache.expiring(now, now + horizon, 16)
+        };
+        let Some((partition, _)) = batch.first() else {
+            return false;
+        };
+        let keys: Vec<Vec<u8>> = batch
+            .iter()
+            .filter(|(p, _)| p == partition)
+            .map(|(_, k)| k.clone())
+            .collect();
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.stats.lease_renews += 1;
+        }
+        // Pack the batch through the LeaseRenew request; completion updates
+        // nothing client-side beyond clearing the slot (leases re-extend on
+        // the server; expiries refresh lazily on the next message GET).
+        let key_refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+        let req_id = {
+            let mut inner = self.inner.borrow_mut();
+            inner.next_req_id += 1;
+            inner.next_req_id
+        };
+        let payload = Request::LeaseRenew {
+            req_id,
+            keys: key_refs,
+        }
+        .encode();
+        self.dispatch_payload(
+            sim,
+            *partition,
+            req_id,
+            OpKind::LeaseRenew,
+            Vec::new(),
+            Vec::new(),
+            None,
+            1,
+            None,
+            payload,
+        );
+        true
+    }
+
+    // ---- fast path ----
+
+    fn valid_cached_ptr(&self, now: SimTime, key: &[u8]) -> Option<CachedPtr> {
+        let inner = self.inner.borrow();
+        let ptr = inner.ptr_cache.get(key)?;
+        if ptr.lease_expiry <= now {
+            return None; // lease lapsed: pointer may dangle, do not use
+        }
+        Some(ptr)
+    }
+
+    fn issue_rdma_get(&self, sim: &mut Sim, key: Vec<u8>, ptr: CachedPtr, cb: OpCb) {
+        self.ensure_conn(ptr.partition);
+        let conn_parts = {
+            let mut inner = self.inner.borrow_mut();
+            assert!(inner.outstanding.is_none(), "client is closed-loop");
+            inner.stats.rptr_reads += 1;
+            let conn = &inner.conns[&ptr.partition];
+            // After a fail-over the partition's arena is a different region;
+            // a pointer into the old one is useless.
+            if conn.arena_region.0 != ptr.rptr.region {
+                inner.stats.invalid_hits += 1;
+                inner.ptr_cache.remove(&key);
+                None
+            } else {
+                Some((conn.qp, conn.arena_region, ptr.rptr))
+            }
+        };
+        let Some((qp, arena_region, rptr)) = conn_parts else {
+            let mut inner = self.inner.borrow_mut();
+            inner.stats.msg_gets += 1;
+            drop(inner);
+            self.issue_message_op(sim, OpKind::Get, key, Vec::new(), Some(cb), 1, None);
+            return;
+        };
+        let issued_at = sim.now();
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.next_req_id += 1;
+            inner.outstanding = Some(Outstanding {
+                req_id: inner.next_req_id,
+                kind: OpKind::RdmaGet,
+                key: key.clone(),
+                value: Vec::new(),
+                cb: Some(cb),
+                issued_at,
+                attempts: 1,
+                timeout_ev: None, // one-sided reads always complete
+            });
+        }
+        let this = self.clone();
+        let node = self.inner.borrow().node;
+        let fab = self.inner.borrow().fab.clone();
+        fab.post_read(
+            sim,
+            qp,
+            node,
+            arena_region,
+            (rptr.offset / 8) as usize,
+            rptr.len as usize,
+            Box::new(move |sim, blob| this.on_rdma_get_done(sim, blob)),
+        );
+    }
+
+    fn on_rdma_get_done(&self, sim: &mut Sim, blob: Vec<u8>) {
+        let (key, cb, issued_at) = {
+            let mut inner = self.inner.borrow_mut();
+            let out = inner.outstanding.take().expect("read in flight");
+            debug_assert_eq!(out.kind, OpKind::RdmaGet);
+            (out.key, out.cb, out.issued_at)
+        };
+        match FetchedItem::parse(&blob, &key) {
+            Ok(item) => {
+                let client_ns = {
+                    let mut inner = self.inner.borrow_mut();
+                    inner.stats.rptr_hits += 1;
+                    let client_ns = inner.cfg.costs.client_ns;
+                    let lat = sim.now() - issued_at;
+                    inner.stats.get_lat.record(lat + client_ns);
+                    client_ns
+                };
+                if let Some(cb) = cb {
+                    sim.schedule_in(client_ns, move |sim| cb(sim, Ok(Some(item.value))));
+                }
+            }
+            Err(ItemError::Stale) | Err(ItemError::Corrupt) | Err(ItemError::Truncated) => {
+                // Outdated or reclaimed item observed: invalid hit. Drop the
+                // pointer and fetch the latest version via the message path.
+                {
+                    let mut inner = self.inner.borrow_mut();
+                    inner.stats.invalid_hits += 1;
+                    inner.stats.msg_gets += 1;
+                    inner.ptr_cache.remove(&key);
+                }
+                // Preserve the original issue time so the recorded latency
+                // covers the full (wasted read + retry) window.
+                self.issue_message_op(sim, OpKind::Get, key, Vec::new(), cb, 1, Some(issued_at));
+            }
+        }
+    }
+
+    // ---- message path ----
+
+    #[allow(clippy::too_many_arguments)]
+    fn issue_message_op(
+        &self,
+        sim: &mut Sim,
+        kind: OpKind,
+        key: Vec<u8>,
+        value: Vec<u8>,
+        cb: Option<OpCb>,
+        attempts: u32,
+        issued_at_override: Option<SimTime>,
+    ) {
+        let partition = {
+            let inner = self.inner.borrow();
+            let dir = inner.directory.borrow();
+            match dir.ring.route(&key) {
+                Some(s) => s.0,
+                None => {
+                    drop(dir);
+                    drop(inner);
+                    if let Some(cb) = cb {
+                        cb(sim, Err(OpError::Server));
+                    }
+                    return;
+                }
+            }
+        };
+        let req_id = {
+            let mut inner = self.inner.borrow_mut();
+            inner.next_req_id += 1;
+            inner.next_req_id
+        };
+        let payload = match kind {
+            OpKind::Get => Request::Get { req_id, key: &key }.encode(),
+            OpKind::Insert => Request::Insert {
+                req_id,
+                key: &key,
+                value: &value,
+            }
+            .encode(),
+            OpKind::Update => Request::Update {
+                req_id,
+                key: &key,
+                value: &value,
+            }
+            .encode(),
+            OpKind::Delete => Request::Delete { req_id, key: &key }.encode(),
+            OpKind::RdmaGet | OpKind::LeaseRenew => unreachable!("not message ops"),
+        };
+        self.dispatch_payload(
+            sim,
+            partition,
+            req_id,
+            kind,
+            key,
+            value,
+            cb,
+            attempts,
+            issued_at_override,
+            payload,
+        );
+    }
+
+    /// Ships an encoded request and registers it as the outstanding op.
+    /// (Split out so LeaseRenew can reuse it.)
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch_payload(
+        &self,
+        sim: &mut Sim,
+        partition: u32,
+        req_id: u64,
+        kind: OpKind,
+        key: Vec<u8>,
+        value: Vec<u8>,
+        cb: Option<OpCb>,
+        attempts: u32,
+        issued_at_override: Option<SimTime>,
+        payload: Vec<u8>,
+    ) {
+        self.ensure_conn(partition);
+        let words = frame::frame_to_words(&payload);
+        let (fab, qp, node, req_region, slot_words, send_recv, timeout, server_kick) = {
+            let inner = self.inner.borrow();
+            assert!(inner.outstanding.is_none(), "client is closed-loop");
+            let conn = &inner.conns[&partition];
+            (
+                inner.fab.clone(),
+                conn.qp,
+                inner.node,
+                conn.req_region,
+                inner.cfg.msg_slot_words,
+                !inner.cfg.client_mode.rdma_write(),
+                inner.cfg.op_timeout_ns,
+                conn.server_kick.clone(),
+            )
+        };
+        if words.len() > slot_words {
+            if let Some(cb) = cb {
+                cb(sim, Err(OpError::TooLarge));
+            }
+            return;
+        }
+        if send_recv {
+            fab.post_send(sim, qp, node, payload);
+        } else {
+            // Delivery wakes the shard's polling loop on this connection.
+            fab.post_write(
+                sim,
+                qp,
+                node,
+                words,
+                req_region,
+                0,
+                Some(Box::new(move |sim| server_kick(sim))),
+            );
+        }
+        self.inner.borrow_mut().outstanding = Some(Outstanding {
+            req_id,
+            kind,
+            key,
+            value,
+            cb,
+            issued_at: issued_at_override.unwrap_or(sim.now()),
+            attempts,
+            timeout_ev: None,
+        });
+        // Arm the timeout: if this req_id is still outstanding when it
+        // fires, the shard is unresponsive (dead or overloaded).
+        let this = self.clone();
+        let ev = sim.schedule_in(timeout, move |sim| this.on_timeout(sim, req_id));
+        if let Some(out) = self.inner.borrow_mut().outstanding.as_mut() {
+            out.timeout_ev = Some(ev);
+        }
+    }
+
+    fn on_timeout(&self, sim: &mut Sim, req_id: u64) {
+        let out = {
+            let mut inner = self.inner.borrow_mut();
+            match &inner.outstanding {
+                Some(o) if o.req_id == req_id => {
+                    inner.stats.timeouts += 1;
+                    inner.outstanding.take()
+                }
+                _ => return, // completed long ago
+            }
+        };
+        let Some(out) = out else { return };
+        if out.attempts >= MAX_ATTEMPTS || out.kind == OpKind::LeaseRenew {
+            if let Some(cb) = out.cb {
+                cb(sim, Err(OpError::Timeout));
+            }
+            return;
+        }
+        // Refresh the view of the cluster: the partition's primary may have
+        // been replaced by SWAT. Dropping the connection forces a rebuild
+        // against the current owner.
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.stats.retries += 1;
+            let partition = {
+                let dir = inner.directory.borrow();
+                dir.ring.route(&out.key).map(|s| s.0)
+            };
+            if let Some(p) = partition {
+                let stale = inner
+                    .conns
+                    .get(&p)
+                    .zip(inner.directory.borrow().shards.get(&p).cloned())
+                    .is_some_and(|(c, cur)| !Rc::ptr_eq(&c.server, &cur));
+                if stale {
+                    inner.conns.remove(&p);
+                }
+            }
+        }
+        self.issue_message_op(
+            sim,
+            out.kind,
+            out.key,
+            out.value,
+            out.cb,
+            out.attempts + 1,
+            Some(out.issued_at),
+        );
+    }
+
+    /// Builds (or reuses) the connection to `partition`'s current primary.
+    fn ensure_conn(&self, partition: u32) {
+        let (current, reuse) = {
+            let inner = self.inner.borrow();
+            let current = inner
+                .directory
+                .borrow()
+                .shards
+                .get(&partition)
+                .cloned()
+                .expect("partition exists");
+            let reuse = inner
+                .conns
+                .get(&partition)
+                .is_some_and(|c| Rc::ptr_eq(&c.server, &current));
+            (current, reuse)
+        };
+        if reuse {
+            return;
+        }
+        let (server_node, arena_region) = {
+            let s = current.borrow();
+            (s.node, s.arena_region)
+        };
+        let weak = Rc::downgrade(&self.inner);
+        let (fab, node, qp, req_region, req_mem, resp_region, resp_mem, send_recv) = {
+            let inner = self.inner.borrow();
+            let fab = inner.fab.clone();
+            let qp = fab.connect(inner.node, server_node, inner.cfg.transport);
+            let (req_region, req_mem) = fab.alloc_region(server_node, inner.cfg.msg_slot_words);
+            let (resp_region, resp_mem) = fab.alloc_region(inner.node, inner.cfg.msg_slot_words);
+            let send_recv = !inner.cfg.client_mode.rdma_write();
+            (
+                fab,
+                inner.node,
+                qp,
+                req_region,
+                req_mem,
+                resp_region,
+                resp_mem,
+                send_recv,
+            )
+        };
+        // The server's kick into this client when a response lands.
+        let client_kick: Rc<dyn Fn(&mut Sim)> = {
+            let weak = weak.clone();
+            Rc::new(move |sim: &mut Sim| {
+                if let Some(rc) = weak.upgrade() {
+                    HydraClient { inner: rc }.on_response_kick(sim, partition);
+                }
+            })
+        };
+        let conn_idx = current.borrow_mut().add_conn(ServerConn {
+            qp,
+            req_mem,
+            resp_region,
+            client_kick,
+            send_recv,
+        });
+        if send_recv {
+            // Two-sided mode: deliveries arrive through recv handlers.
+            let server_rc = current.clone();
+            fab.set_recv_handler(
+                qp,
+                server_node,
+                Rc::new(move |sim: &mut Sim, _qp, payload: Vec<u8>| {
+                    ShardServer::on_request_payload(&server_rc, sim, conn_idx, payload);
+                }),
+            );
+            let weak2 = weak.clone();
+            fab.set_recv_handler(
+                qp,
+                node,
+                Rc::new(move |sim: &mut Sim, _qp, payload: Vec<u8>| {
+                    if let Some(rc) = weak2.upgrade() {
+                        HydraClient { inner: rc }.on_response_payload(sim, payload);
+                    }
+                }),
+            );
+        }
+        let server_kick: Rc<dyn Fn(&mut Sim)> = {
+            let server_rc = current.clone();
+            Rc::new(move |sim: &mut Sim| {
+                ShardServer::on_request(&server_rc, sim, conn_idx);
+            })
+        };
+        self.inner.borrow_mut().conns.insert(
+            partition,
+            ClientConn {
+                server: current,
+                qp,
+                req_region,
+                resp_mem,
+                arena_region,
+                server_kick,
+            },
+        );
+    }
+
+    fn on_response_kick(&self, sim: &mut Sim, partition: u32) {
+        let payload = {
+            let inner = self.inner.borrow();
+            let Some(conn) = inner.conns.get(&partition) else {
+                return;
+            };
+            match frame::poll_message(&conn.resp_mem) {
+                Ok(Some(p)) => {
+                    frame::consume_message(&conn.resp_mem, p.len());
+                    p
+                }
+                Ok(None) => return,
+                Err(e) => panic!("corrupt response frame: {e}"),
+            }
+        };
+        self.on_response_payload(sim, payload);
+    }
+
+    fn on_response_payload(&self, sim: &mut Sim, payload: Vec<u8>) {
+        let now = sim.now();
+        let (out, verdict, client_ns) = {
+            let mut inner = self.inner.borrow_mut();
+            let resp = Response::decode(&payload).expect("well-formed response");
+            let matches = inner
+                .outstanding
+                .as_ref()
+                .is_some_and(|o| o.req_id == resp.req_id);
+            if !matches {
+                return; // late response for a timed-out attempt
+            }
+            let out = inner.outstanding.take().expect("checked above");
+            if let Some(ev) = out.timeout_ev {
+                sim.cancel(ev);
+            }
+            let verdict: Result<Option<Vec<u8>>, OpError> = match (out.kind, resp.status) {
+                (OpKind::Get, Status::Ok) => {
+                    if inner.cfg.client_mode.rdma_read()
+                        && !resp.rptr.is_none()
+                        && resp.lease_expiry > now
+                    {
+                        let dir = inner.directory.borrow();
+                        let partition = dir.ring.route(&out.key).map(|s| s.0);
+                        drop(dir);
+                        if let Some(partition) = partition {
+                            inner.ptr_cache.insert(
+                                &out.key,
+                                CachedPtr {
+                                    partition,
+                                    rptr: resp.rptr,
+                                    lease_expiry: resp.lease_expiry,
+                                },
+                            );
+                        }
+                    }
+                    Ok(Some(resp.value.to_vec()))
+                }
+                (OpKind::Get, Status::NotFound) => Ok(None),
+                (_, Status::Ok) => Ok(None),
+                (_, Status::NotFound) => Err(OpError::NotFound),
+                (_, Status::Exists) => Err(OpError::Exists),
+                (_, Status::Error) => Err(OpError::Server),
+            };
+            let client_ns = inner.cfg.costs.client_ns;
+            let lat = now - out.issued_at + client_ns;
+            match out.kind {
+                OpKind::Get | OpKind::RdmaGet => inner.stats.get_lat.record(lat),
+                OpKind::LeaseRenew => {}
+                _ => inner.stats.update_lat.record(lat),
+            }
+            (out, verdict, client_ns)
+        };
+        if let Some(cb) = out.cb {
+            sim.schedule_in(client_ns, move |sim| cb(sim, verdict));
+        }
+    }
+}

@@ -1,0 +1,709 @@
+//! Cluster runtime: deployment, partition directory, and the SWAT
+//! high-availability pipeline (§5.1).
+//!
+//! A [`ClusterBuilder`] materializes a [`ClusterConfig`] into fabric nodes,
+//! shard servers (primaries + secondaries coupled by replication channels),
+//! a ZooKeeper-like coordination service, and the SWAT group. The resulting
+//! [`Cluster`] owns the simulation and hands out [`HydraClient`]s.
+//!
+//! Failure handling follows the paper: every primary shard holds a
+//! coordination session backed by periodic heartbeats and an ephemeral
+//! znode under `/servers`; the SWAT leader (elected via ephemeral-sequential
+//! znodes) watches those ephemerals, and when a session expires it selects a
+//! secondary, promotes it to primary, re-couples the remaining secondaries,
+//! and publishes the new partition map — which clients discover on their
+//! next timeout.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use hydra_coord::{Coord, CreateMode, EventKind, LeaderElection, SessionId, WatcherId};
+use hydra_fabric::{Fabric, NodeId, Transport};
+use hydra_lockfree::LockFreeMap;
+use hydra_replication::{ReplConfig, ReplMode, ReplicationPair};
+use hydra_sim::time::SimTime;
+use hydra_sim::Sim;
+
+use crate::client::{CachedPtr, HydraClient};
+use crate::config::{ClientMode, ClusterConfig, ReplicationMode};
+use crate::ring::{HashRing, ShardId};
+use crate::server::ShardServer;
+
+/// The cluster-wide view clients route through: the consistent-hash ring
+/// plus the current primary of every partition. SWAT mutates it on
+/// fail-over; the generation counter lets caches notice.
+pub struct Directory {
+    /// Key → partition routing.
+    pub ring: HashRing,
+    /// Partition → current primary.
+    pub shards: HashMap<u32, Rc<RefCell<ShardServer>>>,
+    /// Bumped on every reconfiguration.
+    pub generation: u64,
+}
+
+/// Operator-facing snapshot of the whole cluster (see
+/// [`Cluster::report`]).
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// Directory generation (bumps on every reconfiguration).
+    pub generation: u64,
+    /// SWAT promotions performed so far.
+    pub promotions: u64,
+    /// One row per partition.
+    pub rows: Vec<PartitionReport>,
+}
+
+impl std::fmt::Display for ClusterReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "cluster generation {} ({} promotions)",
+            self.generation, self.promotions
+        )?;
+        writeln!(
+            f,
+            "{:<5} {:<5} {:<6} {:>9} {:>8} {:>8} {:>10} {:>6} {:>8}",
+            "part", "node", "alive", "items", "mem%", "reclaim", "requests", "secs", "unacked"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<5} {:<5} {:<6} {:>9} {:>7.1}% {:>8} {:>10} {:>6} {:>8}",
+                r.partition,
+                r.node,
+                r.alive,
+                r.items,
+                r.arena_occupancy * 100.0,
+                r.reclaim_pending,
+                r.requests,
+                r.secondaries,
+                r.repl_unacked
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// One partition's row in a [`ClusterReport`].
+#[derive(Debug, Clone)]
+pub struct PartitionReport {
+    pub partition: u32,
+    pub node: u32,
+    pub alive: bool,
+    pub items: usize,
+    pub arena_occupancy: f64,
+    pub overflow_buckets: usize,
+    pub reclaim_pending: usize,
+    pub requests: u64,
+    pub responses: u64,
+    pub secondaries: usize,
+    pub repl_unacked: u64,
+}
+
+/// Snapshot handle to one partition's replica group.
+pub struct ShardHandle {
+    pub partition: u32,
+    pub primary: Rc<RefCell<ShardServer>>,
+    pub secondaries: Vec<Rc<RefCell<ShardServer>>>,
+}
+
+struct PartitionState {
+    primary: Rc<RefCell<ShardServer>>,
+    secondaries: Vec<Rc<RefCell<ShardServer>>>,
+    session: SessionId,
+    znode: String,
+}
+
+struct HaState {
+    coord: Coord,
+    partitions: Vec<PartitionState>,
+    directory: Rc<RefCell<Directory>>,
+    fab: Fabric,
+    cfg: Rc<ClusterConfig>,
+    swat_sessions: Vec<SessionId>,
+    swat_elections: Vec<LeaderElection>,
+    promotions: u64,
+    monitoring_until: SimTime,
+}
+
+impl HaState {
+    /// The SWAT member currently leading reactions, if any.
+    fn swat_leader_idx(&self) -> Option<usize> {
+        self.swat_elections
+            .iter()
+            .position(|e| e.is_leader(&self.coord).unwrap_or(false))
+    }
+
+    /// Reacts to a failed primary: promote the first live secondary,
+    /// re-couple the remaining secondaries to it, publish the new map.
+    fn promote(&mut self, sim: &mut Sim, partition: usize) -> bool {
+        let state = &mut self.partitions[partition];
+        let Some(idx) = state.secondaries.iter().position(|s| s.borrow().alive) else {
+            return false; // no live secondary: partition is down
+        };
+        let new_primary = state.secondaries.remove(idx);
+        let old_primary = std::mem::replace(&mut state.primary, new_primary.clone());
+        old_primary.borrow_mut().alive = false;
+        // Re-couple surviving secondaries to the new primary.
+        let repl_mode = match self.cfg.replication {
+            ReplicationMode::Strict => Some(ReplMode::Strict),
+            ReplicationMode::Logging { ack_every } => Some(ReplMode::Logging { ack_every }),
+            ReplicationMode::None => None,
+        };
+        if let Some(mode) = repl_mode {
+            let mut np = new_primary.borrow_mut();
+            np.repl.clear();
+            for sec in &state.secondaries {
+                let pair = ReplicationPair::new(
+                    &self.fab,
+                    np.node,
+                    sec.borrow().node,
+                    sec.borrow().engine.clone(),
+                    ReplConfig {
+                        ring_words: self.cfg.repl_ring_words,
+                        mode,
+                        apply_cost_ns: self.cfg.costs.write_ns,
+                    },
+                );
+                np.repl.push(pair);
+            }
+        }
+        // New primary registers its own session + ephemeral; SWAT re-watches.
+        let now = sim.now();
+        let session = self
+            .coord
+            .create_session(now, self.cfg.ha_session_timeout_ns);
+        let _ = self.coord.create(
+            &state.znode,
+            partition.to_string().into_bytes(),
+            CreateMode::Ephemeral,
+            Some(session),
+        );
+        self.coord
+            .watch_exists(&state.znode, WatcherId(partition as u64));
+        state.session = session;
+        // Publish the reconfiguration.
+        let mut dir = self.directory.borrow_mut();
+        dir.shards.insert(partition as u32, new_primary);
+        dir.generation += 1;
+        self.promotions += 1;
+        true
+    }
+}
+
+/// Builds a [`Cluster`] from a [`ClusterConfig`].
+pub struct ClusterBuilder {
+    cfg: ClusterConfig,
+}
+
+impl ClusterBuilder {
+    /// Starts a builder.
+    pub fn new(cfg: ClusterConfig) -> Self {
+        ClusterBuilder { cfg }
+    }
+
+    /// Materializes the deployment.
+    pub fn build(self) -> Cluster {
+        let cfg = Rc::new(self.cfg);
+        assert!(
+            cfg.transport == Transport::Rdma || cfg.client_mode == ClientMode::SendRecv,
+            "the socket transport has no one-sided verbs: use ClientMode::SendRecv"
+        );
+        let mut sim = Sim::new(cfg.seed);
+        let fab = Fabric::new(cfg.fabric.clone());
+        let server_nodes: Vec<NodeId> = (0..cfg.server_nodes).map(|_| fab.add_node()).collect();
+        let client_nodes: Vec<NodeId> = (0..cfg.client_nodes).map(|_| fab.add_node()).collect();
+
+        let mut ring = HashRing::new(cfg.vnodes);
+        let mut shards_map = HashMap::new();
+        let mut partitions = Vec::new();
+        let mut coord = Coord::new();
+        coord
+            .create("/servers", Vec::new(), CreateMode::Persistent, None)
+            .expect("fresh tree");
+
+        let repl_mode = match cfg.replication {
+            ReplicationMode::Strict => Some(ReplMode::Strict),
+            ReplicationMode::Logging { ack_every } => Some(ReplMode::Logging { ack_every }),
+            ReplicationMode::None => None,
+        };
+
+        for p in 0..cfg.total_shards() {
+            let home = if cfg.partitions.is_some() {
+                (p % cfg.server_nodes) as usize
+            } else {
+                (p / cfg.shards_per_node) as usize
+            };
+            let primary = ShardServer::new(ShardId(p), server_nodes[home], &fab, cfg.clone());
+            let mut secondaries = Vec::new();
+            for r in 1..=cfg.replicas {
+                let node = server_nodes[(home + r as usize) % server_nodes.len()];
+                // Secondary shards are dedicated to their primary: they serve
+                // no client requests until promoted.
+                let sec = ShardServer::new(ShardId(p + (r * 10_000)), node, &fab, cfg.clone());
+                if let Some(mode) = repl_mode {
+                    let pair = ReplicationPair::new(
+                        &fab,
+                        primary.borrow().node,
+                        node,
+                        sec.borrow().engine.clone(),
+                        ReplConfig {
+                            ring_words: cfg.repl_ring_words,
+                            mode,
+                            apply_cost_ns: cfg.costs.write_ns,
+                        },
+                    );
+                    primary.borrow_mut().add_replica(pair);
+                }
+                secondaries.push(sec);
+            }
+            ring.add_shard(ShardId(p));
+            shards_map.insert(p, primary.clone());
+
+            let session = coord.create_session(0, cfg.ha_session_timeout_ns);
+            let znode = format!("/servers/part-{p}");
+            coord
+                .create(
+                    &znode,
+                    p.to_string().into_bytes(),
+                    CreateMode::Ephemeral,
+                    Some(session),
+                )
+                .expect("unique partition znode");
+            coord.watch_exists(&znode, WatcherId(p as u64));
+            partitions.push(PartitionState {
+                primary,
+                secondaries,
+                session,
+                znode,
+            });
+        }
+
+        // SWAT group: two members with an ephemeral-sequential election.
+        let mut swat_sessions = Vec::new();
+        let mut swat_elections = Vec::new();
+        for m in 0..2 {
+            let s = coord.create_session(0, cfg.ha_session_timeout_ns);
+            let e = LeaderElection::join(
+                &mut coord,
+                "/swat/election",
+                s,
+                format!("swat-{m}").into_bytes(),
+            )
+            .expect("election joins");
+            swat_sessions.push(s);
+            swat_elections.push(e);
+        }
+
+        let directory = Rc::new(RefCell::new(Directory {
+            ring,
+            shards: shards_map,
+            generation: 0,
+        }));
+        let ha = Rc::new(RefCell::new(HaState {
+            coord,
+            partitions,
+            directory: directory.clone(),
+            fab: fab.clone(),
+            cfg: cfg.clone(),
+            swat_sessions,
+            swat_elections,
+            promotions: 0,
+            monitoring_until: 0,
+        }));
+        // Settle any setup events (none today, but keeps the invariant that
+        // build() returns a quiescent cluster).
+        sim.run();
+        Cluster {
+            sim,
+            fab,
+            cfg,
+            directory,
+            ha,
+            server_nodes,
+            client_nodes,
+            clients: Vec::new(),
+            shared_caches: HashMap::new(),
+            next_client_id: 0,
+        }
+    }
+}
+
+/// A deployed HydraDB cluster plus its simulation.
+pub struct Cluster {
+    /// The virtual clock and event queue. Drive it with `run`/`run_until`.
+    pub sim: Sim,
+    /// The fabric (for traffic statistics).
+    pub fab: Fabric,
+    /// The active configuration.
+    pub cfg: Rc<ClusterConfig>,
+    /// Partition directory shared with clients.
+    pub directory: Rc<RefCell<Directory>>,
+    ha: Rc<RefCell<HaState>>,
+    /// Server machines, in id order.
+    pub server_nodes: Vec<NodeId>,
+    /// Client machines, in id order.
+    pub client_nodes: Vec<NodeId>,
+    clients: Vec<HydraClient>,
+    shared_caches: HashMap<usize, Arc<LockFreeMap<Vec<u8>, CachedPtr>>>,
+    next_client_id: u32,
+}
+
+impl Cluster {
+    /// Creates a client homed on client machine `node_idx` (round-robin
+    /// placement is the caller's policy).
+    pub fn add_client(&mut self, node_idx: usize) -> HydraClient {
+        let node = if self.cfg.collocate_clients {
+            self.server_nodes[node_idx % self.server_nodes.len()]
+        } else {
+            self.client_nodes[node_idx % self.client_nodes.len()]
+        };
+        let shared = if self.cfg.shared_ptr_cache {
+            Some(
+                self.shared_caches
+                    .entry(node_idx % self.client_nodes.len())
+                    .or_insert_with(|| Arc::new(LockFreeMap::new(4096)))
+                    .clone(),
+            )
+        } else {
+            None
+        };
+        let id = self.next_client_id;
+        self.next_client_id += 1;
+        let client = HydraClient::new(
+            id,
+            node,
+            self.fab.clone(),
+            self.cfg.clone(),
+            self.directory.clone(),
+            shared,
+        );
+        self.clients.push(client.clone());
+        client
+    }
+
+    /// All clients created so far.
+    pub fn clients(&self) -> &[HydraClient] {
+        &self.clients
+    }
+
+    /// Runs any outstanding setup events (kept for API symmetry; `build`
+    /// already settles the queue).
+    pub fn run_setup(&mut self) {
+        self.sim.run();
+    }
+
+    /// Snapshot of one partition's replica group.
+    pub fn shard(&self, partition: u32) -> ShardHandle {
+        let ha = self.ha.borrow();
+        let p = &ha.partitions[partition as usize];
+        ShardHandle {
+            partition,
+            primary: p.primary.clone(),
+            secondaries: p.secondaries.clone(),
+        }
+    }
+
+    /// Number of promotions SWAT has performed.
+    pub fn promotions(&self) -> u64 {
+        self.ha.borrow().promotions
+    }
+
+    /// Current directory generation.
+    pub fn generation(&self) -> u64 {
+        self.directory.borrow().generation
+    }
+
+    /// Starts heartbeat + failure-detection machinery until virtual time
+    /// `until`. Without this, failures are never detected (matching a
+    /// deployment that lost its ZooKeeper ensemble).
+    pub fn enable_ha(&mut self, until: SimTime) {
+        {
+            let mut ha = self.ha.borrow_mut();
+            ha.monitoring_until = until;
+            // Align session liveness with the monitoring start.
+            let now = self.sim.now();
+            let sessions: Vec<SessionId> = ha
+                .partitions
+                .iter()
+                .map(|p| p.session)
+                .chain(ha.swat_sessions.iter().copied())
+                .collect();
+            for s in sessions {
+                let _ = ha.coord.heartbeat(s, now);
+            }
+        }
+        Self::schedule_heartbeat(&self.ha, &mut self.sim, self.cfg.ha_heartbeat_ns);
+        Self::schedule_tick(&self.ha, &mut self.sim, self.cfg.ha_tick_ns);
+    }
+
+    fn schedule_heartbeat(ha: &Rc<RefCell<HaState>>, sim: &mut Sim, interval: SimTime) {
+        let ha2 = ha.clone();
+        sim.schedule_in(interval, move |sim| {
+            let now = sim.now();
+            {
+                let mut ha = ha2.borrow_mut();
+                if now > ha.monitoring_until {
+                    return;
+                }
+                let beats: Vec<SessionId> = ha
+                    .partitions
+                    .iter()
+                    .filter(|p| p.primary.borrow().alive)
+                    .map(|p| p.session)
+                    .collect();
+                for s in beats {
+                    let _ = ha.coord.heartbeat(s, now);
+                }
+                let swat: Vec<SessionId> = ha.swat_sessions.clone();
+                for s in swat {
+                    if ha.coord.session_alive(s) {
+                        let _ = ha.coord.heartbeat(s, now);
+                    }
+                }
+            }
+            Cluster::schedule_heartbeat(&ha2, sim, interval);
+        });
+    }
+
+    fn schedule_tick(ha: &Rc<RefCell<HaState>>, sim: &mut Sim, interval: SimTime) {
+        let ha2 = ha.clone();
+        sim.schedule_in(interval, move |sim| {
+            let now = sim.now();
+            let (events, leader) = {
+                let mut ha = ha2.borrow_mut();
+                if now > ha.monitoring_until {
+                    return;
+                }
+                let events = ha.coord.tick(now);
+                (events, ha.swat_leader_idx())
+            };
+            // Only the SWAT leader reacts (§5.1); with the whole SWAT group
+            // down, failures go unhandled.
+            if leader.is_some() {
+                for ev in events {
+                    if ev.kind == EventKind::Deleted {
+                        let partition = ev.watcher.0 as usize;
+                        ha2.borrow_mut().promote(sim, partition);
+                    }
+                }
+            }
+            Cluster::schedule_tick(&ha2, sim, interval);
+        });
+    }
+
+    /// Crashes a partition's current primary process: it stops serving,
+    /// heartbeating, and replicating. Detection requires
+    /// [`enable_ha`](Self::enable_ha).
+    pub fn kill_primary(&mut self, partition: u32) {
+        let ha = self.ha.borrow();
+        ha.partitions[partition as usize].primary.borrow_mut().alive = false;
+    }
+
+    /// Crashes the current SWAT leader (tests the leader hand-over path).
+    pub fn kill_swat_leader(&mut self) {
+        let mut ha = self.ha.borrow_mut();
+        if let Some(idx) = ha.swat_leader_idx() {
+            let s = ha.swat_sessions[idx];
+            let _ = ha.coord.expire_session(s);
+        }
+    }
+
+    /// Immediately promotes a secondary (bypassing detection) — unit-test
+    /// hook for the reconfiguration logic itself.
+    pub fn force_promote(&mut self, partition: u32) -> bool {
+        let ha = self.ha.clone();
+        let mut ha = ha.borrow_mut();
+        // Drop the old znode first so re-creation succeeds.
+        let znode = ha.partitions[partition as usize].znode.clone();
+        let _ = ha.coord.delete(&znode);
+        ha.promote(&mut self.sim, partition as usize)
+    }
+
+    /// Aggregate engine item count across primaries (diagnostics).
+    pub fn total_items(&self) -> usize {
+        let dir = self.directory.borrow();
+        dir.shards
+            .values()
+            .map(|s| s.borrow().engine.borrow().len())
+            .sum()
+    }
+
+    /// Structured snapshot of every partition's health — the operator view
+    /// (items, memory occupancy, index pressure, pending reclamation,
+    /// request counters, replication lag).
+    pub fn report(&self) -> ClusterReport {
+        let ha = self.ha.borrow();
+        let rows = ha
+            .partitions
+            .iter()
+            .enumerate()
+            .map(|(p, state)| {
+                let s = state.primary.borrow();
+                let engine = s.engine.borrow();
+                let stats = s.stats();
+                let repl_lag: u64 = s
+                    .repl
+                    .iter()
+                    .map(|pair| {
+                        let st = pair.stats();
+                        st.records.saturating_sub(pair.acked())
+                    })
+                    .sum();
+                PartitionReport {
+                    partition: p as u32,
+                    node: s.node.0,
+                    alive: s.alive,
+                    items: engine.len(),
+                    arena_occupancy: engine.arena_stats().live_words as f64
+                        / engine.arena_stats().capacity_words.max(1) as f64,
+                    overflow_buckets: 0, // index internals are shard-private
+                    reclaim_pending: engine.reclaim_pending(),
+                    requests: stats.requests,
+                    responses: stats.responses,
+                    secondaries: state.secondaries.len(),
+                    repl_unacked: repl_lag,
+                }
+            })
+            .collect();
+        ClusterReport {
+            generation: self.directory.borrow().generation,
+            promotions: ha.promotions,
+            rows,
+        }
+    }
+
+    /// Node-join reconfiguration (§5.1: SWAT "notifying certain shards to
+    /// migrate data to newly joined nodes"): adds a server machine carrying
+    /// `new_shards` fresh partitions, inserts them into the consistent-hash
+    /// ring, and streams every key-value whose hash now routes to a new
+    /// partition out of its old owner over bulk RDMA Writes. Returns the new
+    /// partition ids once the migration traffic has drained.
+    ///
+    /// Clients discover the change through the shared directory (the ring is
+    /// consulted per operation); their stale remote pointers fail guardian
+    /// validation and fall back to the message path against the new owner.
+    pub fn add_server_with_migration(&mut self, new_shards: u32) -> Vec<u32> {
+        assert!(new_shards > 0);
+        let node = self.fab.add_node();
+        self.server_nodes.push(node);
+        let mut new_parts = Vec::new();
+        // 1. Create the new shards and extend ring + directory + HA state.
+        {
+            let mut ha = self.ha.borrow_mut();
+            let first = ha.partitions.len() as u32;
+            for i in 0..new_shards {
+                let p = first + i;
+                let primary = ShardServer::new(ShardId(p), node, &self.fab, self.cfg.clone());
+                let session = ha
+                    .coord
+                    .create_session(self.sim.now(), self.cfg.ha_session_timeout_ns);
+                let znode = format!("/servers/part-{p}");
+                let _ = ha.coord.create(
+                    &znode,
+                    p.to_string().into_bytes(),
+                    CreateMode::Ephemeral,
+                    Some(session),
+                );
+                ha.coord.watch_exists(&znode, WatcherId(p as u64));
+                ha.partitions.push(PartitionState {
+                    primary: primary.clone(),
+                    secondaries: Vec::new(),
+                    session,
+                    znode,
+                });
+                let mut dir = self.directory.borrow_mut();
+                dir.ring.add_shard(ShardId(p));
+                dir.shards.insert(p, primary);
+                new_parts.push(p);
+            }
+            self.directory.borrow_mut().generation += 1;
+        }
+        // 2. Plan the moves under the new ring.
+        let old_count = {
+            let ha = self.ha.borrow();
+            ha.partitions.len() - new_parts.len()
+        };
+        type Batch = Vec<(Vec<u8>, Vec<u8>)>;
+        let mut moves: Vec<(u32, u32, Batch)> = Vec::new();
+        {
+            let dir = self.directory.borrow();
+            let ha = self.ha.borrow();
+            for src in 0..old_count as u32 {
+                let engine = ha.partitions[src as usize].primary.borrow().engine.clone();
+                let mut by_dst: HashMap<u32, Batch> = HashMap::new();
+                engine.borrow().for_each_item(|k, v| {
+                    let owner = dir.ring.route(&k).expect("ring non-empty").0;
+                    if owner != src {
+                        by_dst.entry(owner).or_default().push((k, v));
+                    }
+                });
+                for (dst, items) in by_dst {
+                    moves.push((src, dst, items));
+                }
+            }
+        }
+        // 3. Execute: bulk-transfer each batch over the fabric, apply at the
+        //    destination on delivery, then retire the source copies.
+        for (src, dst, items) in moves {
+            let (src_node, src_engine, dst_node, dst_engine) = {
+                let ha = self.ha.borrow();
+                let s = ha.partitions[src as usize].primary.borrow();
+                let d = ha.partitions[dst as usize].primary.borrow();
+                (s.node, s.engine.clone(), d.node, d.engine.clone())
+            };
+            let bytes: usize = items.iter().map(|(k, v)| k.len() + v.len() + 16).sum();
+            let qp = self.fab.connect(src_node, dst_node, Transport::Rdma);
+            // Stage the batch as one bulk write into a scratch region sized
+            // for it (migration uses its own registered buffer, like the
+            // replication ring).
+            let words = bytes.div_ceil(8).max(1);
+            let (region, _mem) = self.fab.alloc_region(dst_node, words);
+            let payload = vec![0u64; words];
+            let fab = self.fab.clone();
+            let items2 = items.clone();
+            self.fab.post_write(
+                &mut self.sim,
+                qp,
+                src_node,
+                payload,
+                region,
+                0,
+                Some(Box::new(move |sim| {
+                    let now = sim.now();
+                    for (k, v) in &items2 {
+                        dst_engine
+                            .borrow_mut()
+                            .put(now, k, v)
+                            .expect("destination arena sized for migration");
+                    }
+                    let _ = fab; // keep the fabric alive through the move
+                })),
+            );
+            // Source retires its copies immediately after shipping (the
+            // fence: it no longer owns the range in the ring).
+            let now = self.sim.now();
+            for (k, _) in &items {
+                let _ = src_engine.borrow_mut().delete(now, k);
+            }
+        }
+        self.sim.run();
+        new_parts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_creates_routable_cluster() {
+        let mut cluster = ClusterBuilder::new(ClusterConfig::default()).build();
+        cluster.run_setup();
+        let dir = cluster.directory.borrow();
+        assert_eq!(dir.shards.len(), 4);
+        assert!(dir.ring.route(b"any-key").is_some());
+    }
+}

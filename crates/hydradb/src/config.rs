@@ -1,0 +1,266 @@
+//! Deployment and cost-model configuration.
+
+use hydra_fabric::{FabricConfig, Transport};
+use hydra_sim::time::{SimTime, MS};
+use hydra_store::WriteMode;
+
+/// Server-side execution model (§4.1.1, evaluated in §6.2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecModel {
+    /// One thread per shard performs both request detection and handling —
+    /// HydraDB's choice when RDMA moves the data.
+    SingleThreaded,
+    /// The conventional decoupled design: dedicated dispatch threads hand
+    /// requests to worker threads over synchronized queues. Uses more cores
+    /// and pays a hand-off + synchronization cost per request.
+    Pipelined {
+        /// Worker threads per shard instance (the paper's ablation uses 2).
+        workers: u32,
+    },
+    /// The §6.3 *sub-sharding* proposal (implemented here as an extension):
+    /// one instance keeps all RDMA connections — so driver QP pressure stays
+    /// at `clients x instances` instead of `clients x cores` — while `subs`
+    /// independent sub-shards on their own cores serve disjoint key ranges.
+    /// The connection-owning thread polls and routes; hand-off is an
+    /// in-process enqueue, far cheaper than the pipelined model's
+    /// synchronized queues.
+    SubSharded {
+        /// Sub-shard cores per instance.
+        subs: u32,
+    },
+}
+
+/// Client communication mode (the §6.2 incremental design points).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientMode {
+    /// Verbs Send/Recv for both requests and responses (baseline).
+    SendRecv,
+    /// RDMA-Write message passing with sustained polling ("RDMA Write Only").
+    RdmaWrite,
+    /// RDMA-Write messages + remote-pointer-cached RDMA-Read GETs
+    /// ("RDMA Write + Read").
+    RdmaWriteRead,
+}
+
+impl ClientMode {
+    /// Whether GETs may use one-sided reads.
+    pub fn rdma_read(self) -> bool {
+        matches!(self, ClientMode::RdmaWriteRead)
+    }
+
+    /// Whether messages travel as one-sided writes (vs Send/Recv).
+    pub fn rdma_write(self) -> bool {
+        !matches!(self, ClientMode::SendRecv)
+    }
+}
+
+/// How writes replicate to secondaries (§5.2, Fig. 13).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicationMode {
+    /// No replication (cache deployments, baseline measurements).
+    None,
+    /// Strict request/acknowledge per record.
+    Strict,
+    /// RDMA Logging with relaxed acks every `ack_every` records.
+    Logging {
+        /// Records between acknowledgement requests.
+        ack_every: u32,
+    },
+}
+
+/// Server CPU cost model (nanoseconds of shard-core time per action).
+///
+/// Values approximate a 2.6 GHz Xeon doing the corresponding work on
+/// cache-resident state; they anchor absolute throughput but the figures
+/// only claim relative shapes.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// Hash-table lookup + response assembly for a GET.
+    pub get_ns: SimTime,
+    /// Allocation + item write + index insert for INSERT/UPDATE.
+    pub write_ns: SimTime,
+    /// Index removal + guardian flip for DELETE.
+    pub delete_ns: SimTime,
+    /// Per-value-byte copy cost on the server.
+    pub per_byte_ns: f64,
+    /// Cost of one polling sweep step (checking a request buffer).
+    pub poll_ns: SimTime,
+    /// Pipelined model: fixed serial hand-off cost per request on the
+    /// dispatch path (detection, request copy, enqueue, wake, response
+    /// hand-back).
+    pub dispatch_ns: SimTime,
+    /// Pipelined model: the *state-mutating* share of an op (its cost beyond
+    /// a plain GET) effectively serializes through the shared partition with
+    /// cross-core coherence amplification — the cache lines a worker dirties
+    /// must bounce to whichever thread touches them next. Calibrated against
+    /// §6.2.1 (single-threaded wins 27.4-94.8%, most at 50/50).
+    pub pipeline_mutation_factor: f64,
+    /// Pipelined model: queue synchronization overhead per request.
+    pub sync_ns: SimTime,
+    /// Two-sided (Send/Recv) mode: server CPU charge per message for recv
+    /// WQE replenishment + CQE handling — the cost HERD's analysis (and
+    /// §4.2.1) holds against Send/Recv-based designs.
+    pub recv_cpu_ns: SimTime,
+    /// Client-side processing per completed operation.
+    pub client_ns: SimTime,
+    /// Penalty per op when shard memory lands on a remote NUMA node.
+    pub numa_remote_ns: SimTime,
+    /// Sub-sharding model: in-process hand-off from the connection thread
+    /// to a sub-shard core (no kernel synchronization, just a queue push).
+    pub subshard_handoff_ns: SimTime,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            get_ns: 450,
+            write_ns: 2_200,
+            delete_ns: 1_500,
+            per_byte_ns: 0.06,
+            poll_ns: 15,
+            dispatch_ns: 600,
+            pipeline_mutation_factor: 2.4,
+            sync_ns: 400,
+            recv_cpu_ns: 500,
+            client_ns: 150,
+            numa_remote_ns: 320,
+            subshard_handoff_ns: 120,
+        }
+    }
+}
+
+/// Whole-cluster deployment description consumed by
+/// [`crate::ClusterBuilder`].
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// RNG seed for the run.
+    pub seed: u64,
+    /// Number of server machines.
+    pub server_nodes: u32,
+    /// Shard instances per server machine.
+    pub shards_per_node: u32,
+    /// Override the partition count (default: `server_nodes × shards_per_node`).
+    /// With an override, partition `p`'s primary is homed on node
+    /// `p % server_nodes` — used e.g. by the Fig. 13 single-shard deployment
+    /// whose secondaries live on the other machines.
+    pub partitions: Option<u32>,
+    /// Number of client machines (clients are placed round-robin).
+    pub client_nodes: u32,
+    /// Place clients on the *server* machines instead of dedicated client
+    /// machines — the §6.3 scale-out deployment where the 8-machine cluster
+    /// cannot dedicate nodes, which attenuates 100%-GET scaling.
+    pub collocate_clients: bool,
+    /// Secondary replicas per partition (0 = no HA).
+    pub replicas: u32,
+    /// Replication acknowledgement mode.
+    pub replication: ReplicationMode,
+    /// Client communication mode.
+    pub client_mode: ClientMode,
+    /// Server execution model.
+    pub exec_model: ExecModel,
+    /// Reliable store or cache semantics.
+    pub write_mode: WriteMode,
+    /// Share the remote-pointer cache among clients on one node (§4.2.4).
+    pub shared_ptr_cache: bool,
+    /// Arena words per shard.
+    pub arena_words: usize,
+    /// Expected items per shard (sizes the index).
+    pub expected_items: usize,
+    /// Request/response buffer slot size in words (bounds message size).
+    pub msg_slot_words: usize,
+    /// Virtual nodes per shard on the consistent-hash ring.
+    pub vnodes: u32,
+    /// Whether shards allocate NUMA-locally (§4.1.2); `false` models the
+    /// naive placement for the ablation.
+    pub numa_aware: bool,
+    /// Minimum lease term (paper: 1 s).
+    pub min_lease_ns: SimTime,
+    /// Maximum lease term (paper: 64 s).
+    pub max_lease_ns: SimTime,
+    /// Interval between shard reclamation pumps.
+    pub reclaim_interval_ns: SimTime,
+    /// Poll-loop sleep backoff (§4.2.1's 100 ns high-resolution sleep);
+    /// `None` burns the core busy-polling.
+    pub sleep_backoff_ns: Option<SimTime>,
+    /// Transport for client connections: native RDMA or the kernel socket
+    /// path (HydraDB's TCP mode, Fig. 2). Socket implies `SendRecv`.
+    pub transport: Transport,
+    /// Client-side response timeout per attempt (drives fail-over).
+    pub op_timeout_ns: SimTime,
+    /// When set, clients periodically renew leases of soon-expiring cached
+    /// pointers (§4.2.3).
+    pub lease_renew_interval_ns: Option<SimTime>,
+    /// Replication ring words per secondary.
+    pub repl_ring_words: usize,
+    /// Heartbeat period for shard/SWAT coordination sessions.
+    pub ha_heartbeat_ns: SimTime,
+    /// Coordination-service tick (session-expiry scan) period.
+    pub ha_tick_ns: SimTime,
+    /// Session timeout after which a silent shard is declared failed.
+    pub ha_session_timeout_ns: SimTime,
+    /// Fabric latency model.
+    pub fabric: FabricConfig,
+    /// Server CPU cost model.
+    pub costs: CostModel,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            seed: 42,
+            server_nodes: 1,
+            shards_per_node: 4,
+            partitions: None,
+            client_nodes: 1,
+            collocate_clients: false,
+            replicas: 0,
+            replication: ReplicationMode::None,
+            client_mode: ClientMode::RdmaWriteRead,
+            exec_model: ExecModel::SingleThreaded,
+            write_mode: WriteMode::Reliable,
+            shared_ptr_cache: false,
+            arena_words: 1 << 20,
+            expected_items: 128 << 10,
+            msg_slot_words: 1 << 10,
+            vnodes: 64,
+            numa_aware: true,
+            min_lease_ns: 1_000_000_000,
+            max_lease_ns: 64_000_000_000,
+            reclaim_interval_ns: 100 * MS,
+            sleep_backoff_ns: Some(100),
+            transport: Transport::Rdma,
+            op_timeout_ns: 10 * MS,
+            lease_renew_interval_ns: None,
+            repl_ring_words: 1 << 16,
+            ha_heartbeat_ns: 5 * MS,
+            ha_tick_ns: 10 * MS,
+            ha_session_timeout_ns: 25 * MS,
+            fabric: FabricConfig::default(),
+            costs: CostModel::default(),
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// Total shard count.
+    pub fn total_shards(&self) -> u32 {
+        self.partitions
+            .unwrap_or(self.server_nodes * self.shards_per_node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_coherent() {
+        let c = ClusterConfig::default();
+        assert_eq!(c.total_shards(), 4);
+        assert!(c.client_mode.rdma_read());
+        assert!(c.client_mode.rdma_write());
+        assert!(!ClientMode::SendRecv.rdma_write());
+        assert!(!ClientMode::RdmaWrite.rdma_read());
+        assert!(ClientMode::RdmaWrite.rdma_write());
+    }
+}

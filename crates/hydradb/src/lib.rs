@@ -1,0 +1,55 @@
+//! HydraDB — a resilient RDMA-driven key-value middleware.
+//!
+//! This is the core crate of the SC '15 reproduction: the shard server, the
+//! client library, and the cluster runtime, built on the substrates in the
+//! sibling crates (`hydra-fabric` for verbs, `hydra-store` for the memory
+//! engine, `hydra-replication` for HA log shipping, `hydra-coord` for
+//! ZooKeeper/SWAT semantics).
+//!
+//! # Architecture (paper §4–§5)
+//!
+//! * Data is partitioned by consistent hashing ([`ring`]) across *shards*,
+//!   single-threaded processes each pinned to one core and exclusively owning
+//!   one partition ([`server`]).
+//! * Clients ([`client`]) reach shards through RDMA-Write message passing
+//!   with indicator polling; GETs of previously seen keys bypass the server
+//!   entirely via one-sided RDMA Reads against cached remote pointers,
+//!   validated by guardian words and bounded by leases.
+//! * Every primary shard synchronously replicates to `R` secondaries with
+//!   RDMA Logging Replication; a ZooKeeper-backed SWAT group watches
+//!   liveness and promotes secondaries on failure ([`cluster`]).
+//!
+//! # Quick start
+//!
+//! ```
+//! use hydra_db::{ClusterBuilder, ClusterConfig};
+//!
+//! let mut cluster = ClusterBuilder::new(ClusterConfig::default()).build();
+//! let client = cluster.add_client(0);
+//!
+//! // Clients are closed-loop (one op in flight): chain the GET off the PUT.
+//! let c2 = client.clone();
+//! client.put(
+//!     &mut cluster.sim,
+//!     b"greeting",
+//!     b"hello, fabric",
+//!     Box::new(move |sim, r| {
+//!         r.unwrap();
+//!         c2.get(sim, b"greeting", Box::new(|_, r| {
+//!             assert_eq!(r.unwrap().as_deref(), Some(b"hello, fabric".as_slice()));
+//!         }));
+//!     }),
+//! );
+//! cluster.sim.run();
+//! ```
+
+pub mod client;
+pub mod cluster;
+pub mod config;
+pub mod ring;
+pub mod server;
+
+pub use client::{ClientStats, HydraClient, OpError};
+pub use cluster::{Cluster, ClusterBuilder, ClusterReport, PartitionReport, ShardHandle};
+pub use config::{ClientMode, ClusterConfig, CostModel, ExecModel, ReplicationMode};
+pub use ring::{HashRing, ShardId};

@@ -1,0 +1,158 @@
+//! Consistent hashing (Karger et al.) with virtual nodes — how clients route
+//! a key's 64-bit hashcode to the shard owning its partition (§4, Fig. 4).
+
+use std::collections::BTreeMap;
+
+use hydra_store::hash_key;
+
+/// Identifies a shard (primary partition owner) cluster-wide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ShardId(pub u32);
+
+/// A consistent-hash ring of shards with virtual nodes.
+///
+/// Virtual nodes smooth the key distribution: with `v` vnodes per shard the
+/// expected load imbalance is O(sqrt(log n / v)). The paper's fine-grained
+/// partitioning argument (§4.1.1) corresponds to raising shard count and
+/// vnodes.
+#[derive(Debug, Clone, Default)]
+pub struct HashRing {
+    points: BTreeMap<u64, ShardId>,
+    vnodes: u32,
+}
+
+impl HashRing {
+    /// Creates an empty ring with `vnodes` virtual nodes per shard.
+    pub fn new(vnodes: u32) -> Self {
+        assert!(vnodes > 0, "at least one virtual node required");
+        HashRing {
+            points: BTreeMap::new(),
+            vnodes,
+        }
+    }
+
+    fn point(shard: ShardId, vnode: u32) -> u64 {
+        let mut tag = [0u8; 12];
+        tag[..4].copy_from_slice(&shard.0.to_le_bytes());
+        tag[4..8].copy_from_slice(&vnode.to_le_bytes());
+        tag[8..].copy_from_slice(b"vndh");
+        hash_key(&tag)
+    }
+
+    /// Adds a shard's virtual nodes to the ring.
+    pub fn add_shard(&mut self, shard: ShardId) {
+        for v in 0..self.vnodes {
+            self.points.insert(Self::point(shard, v), shard);
+        }
+    }
+
+    /// Removes a shard (fail-over re-routing).
+    pub fn remove_shard(&mut self, shard: ShardId) {
+        for v in 0..self.vnodes {
+            self.points.remove(&Self::point(shard, v));
+        }
+    }
+
+    /// Number of distinct shards present.
+    pub fn shard_count(&self) -> usize {
+        let mut seen: Vec<ShardId> = self.points.values().copied().collect();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
+    }
+
+    /// Routes a key hash to its owning shard (clockwise successor).
+    pub fn route_hash(&self, hash: u64) -> Option<ShardId> {
+        self.points
+            .range(hash..)
+            .next()
+            .or_else(|| self.points.iter().next())
+            .map(|(_, &s)| s)
+    }
+
+    /// Routes a key to its owning shard.
+    pub fn route(&self, key: &[u8]) -> Option<ShardId> {
+        self.route_hash(hash_key(key))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_deterministic_and_total() {
+        let mut r = HashRing::new(32);
+        for s in 0..4 {
+            r.add_shard(ShardId(s));
+        }
+        for i in 0..1_000 {
+            let k = format!("key-{i}");
+            let a = r.route(k.as_bytes()).unwrap();
+            let b = r.route(k.as_bytes()).unwrap();
+            assert_eq!(a, b);
+        }
+        assert_eq!(r.shard_count(), 4);
+    }
+
+    #[test]
+    fn empty_ring_routes_nowhere() {
+        let r = HashRing::new(8);
+        assert_eq!(r.route(b"anything"), None);
+    }
+
+    #[test]
+    fn load_is_roughly_balanced() {
+        let mut r = HashRing::new(128);
+        let shards = 8u32;
+        for s in 0..shards {
+            r.add_shard(ShardId(s));
+        }
+        let mut counts = vec![0usize; shards as usize];
+        let n = 80_000;
+        for i in 0..n {
+            let k = format!("user:{i}");
+            counts[r.route(k.as_bytes()).unwrap().0 as usize] += 1;
+        }
+        let expect = n / shards as usize;
+        for (s, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expect as f64).abs() / expect as f64;
+            assert!(dev < 0.35, "shard {s} holds {c} of {n} (dev {dev:.2})");
+        }
+    }
+
+    #[test]
+    fn removing_a_shard_only_moves_its_keys() {
+        let mut r = HashRing::new(64);
+        for s in 0..5 {
+            r.add_shard(ShardId(s));
+        }
+        let keys: Vec<String> = (0..5_000).map(|i| format!("k{i}")).collect();
+        let before: Vec<ShardId> = keys
+            .iter()
+            .map(|k| r.route(k.as_bytes()).unwrap())
+            .collect();
+        r.remove_shard(ShardId(2));
+        let mut moved_from_others = 0;
+        for (k, &was) in keys.iter().zip(&before) {
+            let now = r.route(k.as_bytes()).unwrap();
+            assert_ne!(now, ShardId(2));
+            if was != ShardId(2) && now != was {
+                moved_from_others += 1;
+            }
+        }
+        assert_eq!(
+            moved_from_others, 0,
+            "consistent hashing must not reshuffle keys of surviving shards"
+        );
+    }
+
+    #[test]
+    fn wraparound_routes_to_first_point() {
+        let mut r = HashRing::new(1);
+        r.add_shard(ShardId(0));
+        // Any hash beyond the single point wraps to it.
+        assert_eq!(r.route_hash(u64::MAX), Some(ShardId(0)));
+        assert_eq!(r.route_hash(0), Some(ShardId(0)));
+    }
+}

@@ -1,0 +1,473 @@
+//! The shard server: a single-threaded partition owner (§4.1.1).
+//!
+//! One `ShardServer` models one *shard* process pinned to one core. Clients
+//! deposit framed requests into per-connection request buffers with RDMA
+//! Writes; the shard's polling loop detects them, executes the operation
+//! against its [`ShardEngine`], replicates writes to its secondaries, and
+//! RDMA-Writes the framed response back into the client's response buffer.
+//!
+//! Under the simulator the "polling loop" is event-driven but cost-faithful:
+//! request pickup pays the sweep/sleep detection latency, every operation
+//! occupies the shard's core (a [`FifoResource`]), and the optional
+//! *pipelined* execution model (§6.2.1 ablation) routes requests through a
+//! dispatcher resource plus worker resources with per-request hand-off and
+//! synchronization costs — reproducing why decoupling I/O from computation
+//! loses when the NIC already moves the data.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+use hydra_fabric::{Fabric, NodeId, QpId, RegionId};
+use hydra_replication::{replicate_strict, ReplicationPair};
+use hydra_sim::time::SimTime;
+use hydra_sim::{FifoResource, Sim};
+use hydra_store::{EngineError, ShardEngine};
+use hydra_wire::{frame, LogOp, RemotePtr, Request, Response, Status};
+
+use crate::config::{ClusterConfig, ExecModel, ReplicationMode};
+use crate::ring::ShardId;
+
+/// Operation counters for one shard.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    pub requests: u64,
+    pub gets: u64,
+    pub inserts: u64,
+    pub updates: u64,
+    pub deletes: u64,
+    pub lease_renews: u64,
+    pub responses: u64,
+    pub dropped_while_dead: u64,
+}
+
+/// One client connection as seen by the server.
+pub(crate) struct ServerConn {
+    pub qp: QpId,
+    /// Request buffer (registered on the server's node). Unused in
+    /// Send/Recv mode.
+    pub req_mem: Arc<[AtomicU64]>,
+    /// The client's response buffer region (on the client's node).
+    pub resp_region: RegionId,
+    /// Invoked after the response write is delivered — the client's
+    /// polling-loop kick.
+    pub client_kick: Rc<dyn Fn(&mut Sim)>,
+    /// Whether this connection runs the two-sided Send/Recv protocol
+    /// (the §6.2 baseline) instead of RDMA-Write message passing.
+    pub send_recv: bool,
+}
+
+/// A shard server instance. Wrapped in `Rc<RefCell<..>>` by the cluster.
+pub struct ShardServer {
+    pub id: ShardId,
+    pub node: NodeId,
+    pub engine: Rc<RefCell<ShardEngine>>,
+    /// The arena registered for one-sided client reads.
+    pub arena_region: RegionId,
+    pub(crate) cfg: Rc<ClusterConfig>,
+    /// Shard core (single-threaded model) or dispatcher (pipelined model).
+    cpu: FifoResource,
+    /// Worker cores (pipelined model only).
+    workers: Vec<FifoResource>,
+    pub(crate) conns: Vec<ServerConn>,
+    /// Replication channels to this shard's secondaries.
+    pub(crate) repl: Vec<ReplicationPair>,
+    pub alive: bool,
+    fab: Fabric,
+    stats: ServerStats,
+    /// Earliest scheduled reclamation event, if any (lazy GC scheduling).
+    reclaim_scheduled_at: Option<SimTime>,
+}
+
+impl ShardServer {
+    /// Creates a shard bound to `node`, registering its arena with the
+    /// fabric.
+    pub fn new(
+        id: ShardId,
+        node: NodeId,
+        fab: &Fabric,
+        cfg: Rc<ClusterConfig>,
+    ) -> Rc<RefCell<ShardServer>> {
+        let engine = Rc::new(RefCell::new(ShardEngine::new(hydra_store::EngineConfig {
+            arena_words: cfg.arena_words,
+            expected_items: cfg.expected_items,
+            write_mode: cfg.write_mode,
+            min_lease_ns: cfg.min_lease_ns,
+            max_lease_ns: cfg.max_lease_ns,
+        })));
+        let arena_region = fab.register(node, engine.borrow().memory());
+        let workers = match cfg.exec_model {
+            ExecModel::SingleThreaded => Vec::new(),
+            ExecModel::Pipelined { workers } => (0..workers)
+                .map(|w| FifoResource::new(format!("shard{}.worker{}", id.0, w)))
+                .collect(),
+            ExecModel::SubSharded { subs } => (0..subs)
+                .map(|w| FifoResource::new(format!("shard{}.sub{}", id.0, w)))
+                .collect(),
+        };
+        Rc::new(RefCell::new(ShardServer {
+            id,
+            node,
+            engine,
+            arena_region,
+            cfg,
+            cpu: FifoResource::new(format!("shard{}.core", id.0)),
+            workers,
+            conns: Vec::new(),
+            repl: Vec::new(),
+            alive: true,
+            fab: fab.clone(),
+            stats: ServerStats::default(),
+            reclaim_scheduled_at: None,
+        }))
+    }
+
+    /// Attaches a replication channel to a secondary.
+    pub fn add_replica(&mut self, pair: ReplicationPair) {
+        self.repl.push(pair);
+    }
+
+    /// Registers a client connection; returns its index (used by the
+    /// client's kick closures).
+    pub(crate) fn add_conn(&mut self, conn: ServerConn) -> usize {
+        self.conns.push(conn);
+        self.conns.len() - 1
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> ServerStats {
+        self.stats
+    }
+
+    /// Utilization of the shard core over the window since reset.
+    pub fn cpu_utilization(&self, now: SimTime) -> f64 {
+        self.cpu.utilization(now)
+    }
+
+    /// Restarts CPU accounting (after warm-up).
+    pub fn reset_cpu_window(&mut self, now: SimTime) {
+        self.cpu.reset_window(now);
+        for w in &mut self.workers {
+            w.reset_window(now);
+        }
+    }
+
+    /// CPU-cost of serving `req`, per the cost model.
+    fn op_cost(&self, req: &Request<'_>, send_recv: bool) -> SimTime {
+        let c = &self.cfg.costs;
+        let numa = if self.cfg.numa_aware {
+            0
+        } else {
+            c.numa_remote_ns
+        };
+        // Two-sided transports make the server CPU shepherd every message
+        // through the receive queue (§4.2.1 / HERD).
+        let recv = if send_recv { c.recv_cpu_ns } else { 0 };
+        let base = match req {
+            Request::Get { .. } => c.get_ns,
+            Request::Insert { value, .. } | Request::Update { value, .. } => {
+                c.write_ns + (value.len() as f64 * c.per_byte_ns).round() as SimTime
+            }
+            Request::Delete { .. } => c.delete_ns,
+            Request::LeaseRenew { keys, .. } => c.get_ns / 2 * keys.len().max(1) as SimTime,
+        };
+        base + c.poll_ns + numa + recv
+    }
+
+    /// Entry point for RDMA-Write mode: a request frame has landed in
+    /// connection `conn_idx`'s buffer. Polls it out and schedules processing.
+    pub fn on_request(this: &Rc<RefCell<ShardServer>>, sim: &mut Sim, conn_idx: usize) {
+        let payload = {
+            let mut s = this.borrow_mut();
+            if !s.alive {
+                s.stats.dropped_while_dead += 1;
+                return;
+            }
+            let conn = &s.conns[conn_idx];
+            match frame::poll_message(&conn.req_mem) {
+                Ok(Some(p)) => {
+                    frame::consume_message(&conn.req_mem, p.len());
+                    p
+                }
+                Ok(None) => return, // spurious kick (already drained)
+                Err(e) => panic!("corrupt request frame: {e}"),
+            }
+        };
+        Self::on_request_payload(this, sim, conn_idx, payload);
+    }
+
+    /// Entry point for Send/Recv mode (payload arrives through the verbs
+    /// receive queue) and the common scheduling path.
+    pub fn on_request_payload(
+        this: &Rc<RefCell<ShardServer>>,
+        sim: &mut Sim,
+        conn_idx: usize,
+        payload: Vec<u8>,
+    ) {
+        let done_at = {
+            let mut s = this.borrow_mut();
+            if !s.alive {
+                s.stats.dropped_while_dead += 1;
+                return;
+            }
+            let req = Request::decode(&payload).expect("well-formed request");
+            let send_recv = s.conns[conn_idx].send_recv;
+            let cost = s.op_cost(&req, send_recv);
+            s.stats.requests += 1;
+            // Detection latency: when the core is idle, the sweep position
+            // and the sleep backoff determine how fast the shard notices the
+            // write; when busy, the queueing delay dominates and detection is
+            // free (the loop re-polls right after finishing).
+            let now = sim.now();
+            let mut arrival = now;
+            if s.cpu.idle_at(now) {
+                let sweep = s.cfg.costs.poll_ns * (s.conns.len() as u64 / 2);
+                let sleep = s.cfg.sleep_backoff_ns.unwrap_or(0) / 2;
+                arrival += sweep + sleep;
+            }
+            let done_at = match s.cfg.exec_model {
+                ExecModel::SingleThreaded => s.cpu.acquire(arrival, cost),
+                ExecModel::Pipelined { .. } => {
+                    let costs = &s.cfg.costs;
+                    let mutation = cost.saturating_sub(costs.get_ns + costs.poll_ns);
+                    let serial = costs.dispatch_ns
+                        + (costs.pipeline_mutation_factor * mutation as f64).round() as SimTime;
+                    let sync = costs.sync_ns;
+                    let dispatched = s.cpu.acquire(arrival, serial);
+                    let worker = s
+                        .workers
+                        .iter_mut()
+                        .min_by_key(|w| w.free_at())
+                        .expect("pipelined model has workers");
+                    worker.acquire(dispatched + sync, cost)
+                }
+                ExecModel::SubSharded { subs } => {
+                    // The connection-owning thread pays only the poll +
+                    // route cost; sub-shards are keyed, not load-balanced
+                    // (they own disjoint partitions).
+                    let route = s.cfg.costs.poll_ns + s.cfg.costs.subshard_handoff_ns;
+                    let routed = s.cpu.acquire(arrival, route);
+                    let key_hash = match &req {
+                        Request::Get { key, .. }
+                        | Request::Insert { key, .. }
+                        | Request::Update { key, .. }
+                        | Request::Delete { key, .. } => hydra_store::hash_key(key),
+                        Request::LeaseRenew { keys, .. } => {
+                            keys.first().map(|k| hydra_store::hash_key(k)).unwrap_or(0)
+                        }
+                    };
+                    let sub = (key_hash % subs as u64) as usize;
+                    s.workers[sub].acquire(routed, cost)
+                }
+            };
+            done_at
+        };
+        let this2 = this.clone();
+        sim.schedule_at(done_at, move |sim| {
+            Self::execute(&this2, sim, conn_idx, payload);
+        });
+    }
+
+    /// Runs the engine operation and emits the response (after replication,
+    /// for writes under HA).
+    fn execute(this: &Rc<RefCell<ShardServer>>, sim: &mut Sim, conn_idx: usize, payload: Vec<u8>) {
+        enum Action {
+            Respond(Vec<u8>),
+            Replicate {
+                resp: Vec<u8>,
+                op: LogOp,
+                key: Vec<u8>,
+                value: Vec<u8>,
+            },
+        }
+        let action = {
+            let s = this.borrow_mut();
+            if !s.alive {
+                return;
+            }
+            let now = sim.now();
+            let req = Request::decode(&payload).expect("validated on arrival");
+            let req_id = req.req_id();
+            let arena_region = s.arena_region;
+            let mut engine = s.engine.borrow_mut();
+            let to_resp = |status: Status| Response::status_only(status, req_id).encode();
+            let err_status = |e: EngineError| match e {
+                EngineError::Exists => Status::Exists,
+                EngineError::NotFound => Status::NotFound,
+                _ => Status::Error,
+            };
+            match req {
+                Request::Get { key, .. } => {
+                    let resp = match engine.get(now, key) {
+                        Some(got) => Response {
+                            status: Status::Ok,
+                            req_id,
+                            value: &got.value,
+                            rptr: RemotePtr::new(
+                                arena_region.0,
+                                got.info.off_words * 8,
+                                got.info.read_len,
+                            ),
+                            lease_expiry: got.info.lease_expiry,
+                        }
+                        .encode(),
+                        None => to_resp(Status::NotFound),
+                    };
+                    Action::Respond(resp)
+                }
+                Request::Insert { key, value, .. } => match engine.insert(now, key, value) {
+                    Ok(_) => Action::Replicate {
+                        resp: to_resp(Status::Ok),
+                        op: LogOp::Put,
+                        key: key.to_vec(),
+                        value: value.to_vec(),
+                    },
+                    Err(e) => Action::Respond(to_resp(err_status(e))),
+                },
+                Request::Update { key, value, .. } => match engine.update(now, key, value) {
+                    Ok(_) => Action::Replicate {
+                        resp: to_resp(Status::Ok),
+                        op: LogOp::Put,
+                        key: key.to_vec(),
+                        value: value.to_vec(),
+                    },
+                    Err(e) => Action::Respond(to_resp(err_status(e))),
+                },
+                Request::Delete { key, .. } => match engine.delete(now, key) {
+                    Ok(()) => Action::Replicate {
+                        resp: to_resp(Status::Ok),
+                        op: LogOp::Delete,
+                        key: key.to_vec(),
+                        value: Vec::new(),
+                    },
+                    Err(e) => Action::Respond(to_resp(err_status(e))),
+                },
+                Request::LeaseRenew { keys, .. } => {
+                    for k in keys {
+                        engine.renew_lease(now, k);
+                    }
+                    Action::Respond(to_resp(Status::Ok))
+                }
+            }
+        };
+        {
+            let mut s = this.borrow_mut();
+            let req = Request::decode(&payload).expect("validated");
+            match req {
+                Request::Get { .. } => s.stats.gets += 1,
+                Request::Insert { .. } => s.stats.inserts += 1,
+                Request::Update { .. } => s.stats.updates += 1,
+                Request::Delete { .. } => s.stats.deletes += 1,
+                Request::LeaseRenew { .. } => s.stats.lease_renews += 1,
+            }
+        }
+        Self::maybe_schedule_reclaim(this, sim);
+        match action {
+            Action::Respond(resp) => Self::send_response(this, sim, conn_idx, resp),
+            Action::Replicate {
+                resp,
+                op,
+                key,
+                value,
+            } => {
+                let (pairs, mode) = {
+                    let s = this.borrow();
+                    (s.repl.clone(), s.cfg.replication)
+                };
+                if pairs.is_empty() || matches!(mode, ReplicationMode::None) {
+                    Self::send_response(this, sim, conn_idx, resp);
+                    return;
+                }
+                // Synchronous star replication: respond once every secondary
+                // reports completion for its mode.
+                let remaining = Rc::new(std::cell::Cell::new(pairs.len()));
+                for pair in &pairs {
+                    let remaining = remaining.clone();
+                    let this2 = this.clone();
+                    let resp2 = resp.clone();
+                    let done: Box<dyn FnOnce(&mut Sim)> = Box::new(move |sim| {
+                        remaining.set(remaining.get() - 1);
+                        if remaining.get() == 0 {
+                            Self::send_response(&this2, sim, conn_idx, resp2);
+                        }
+                    });
+                    match mode {
+                        ReplicationMode::Strict => {
+                            replicate_strict(pair, sim, op, &key, &value, done)
+                        }
+                        _ => pair.replicate(sim, op, &key, &value, Some(done)),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Arms the background-reclamation event for the earliest pending lease
+    /// expiry. The paper uses a background thread; the event-driven pump has
+    /// identical semantics and terminates when the queue drains.
+    fn maybe_schedule_reclaim(this: &Rc<RefCell<ShardServer>>, sim: &mut Sim) {
+        let at = {
+            let s = this.borrow();
+            let Some(t) = s.engine.borrow().next_reclaim_at() else {
+                return;
+            };
+            let at = t.max(sim.now());
+            if s.reclaim_scheduled_at.is_some_and(|cur| cur <= at) {
+                return; // an earlier (or equal) pump is already armed
+            }
+            at
+        };
+        this.borrow_mut().reclaim_scheduled_at = Some(at);
+        let this2 = this.clone();
+        sim.schedule_at(at, move |sim| {
+            {
+                let s = this2.borrow_mut();
+                s.engine.borrow_mut().pump_reclaim(sim.now());
+            }
+            this2.borrow_mut().reclaim_scheduled_at = None;
+            Self::maybe_schedule_reclaim(&this2, sim);
+        });
+    }
+
+    /// Frames and writes the response into the client's response buffer
+    /// (RDMA-Write mode), or posts it as a Send (Send/Recv mode).
+    fn send_response(
+        this: &Rc<RefCell<ShardServer>>,
+        sim: &mut Sim,
+        conn_idx: usize,
+        resp: Vec<u8>,
+    ) {
+        let (fab, qp, node, region, kick, send_recv) = {
+            let mut s = this.borrow_mut();
+            if !s.alive {
+                return;
+            }
+            s.stats.responses += 1;
+            let conn = &s.conns[conn_idx];
+            (
+                s.fab.clone(),
+                conn.qp,
+                s.node,
+                conn.resp_region,
+                conn.client_kick.clone(),
+                conn.send_recv,
+            )
+        };
+        if send_recv {
+            // The client's recv handler consumes the payload directly.
+            fab.post_send(sim, qp, node, resp);
+        } else {
+            let words = frame::frame_to_words(&resp);
+            fab.post_write(
+                sim,
+                qp,
+                node,
+                words,
+                region,
+                0,
+                Some(Box::new(move |sim| kick(sim))),
+            );
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Model-based property tests: arbitrary single-threaded op sequences must
+//! match `std::collections::HashMap` exactly, including through the
+//! contention-oriented code paths (bucket collisions forced by a tiny table).
+
+use std::collections::HashMap;
+
+use hydra_lockfree::LockFreeMap;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u16, u64),
+    Get(u16),
+    Remove(u16),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (any::<u16>(), any::<u64>()).prop_map(|(k, v)| Op::Insert(k % 512, v)),
+            any::<u16>().prop_map(|k| Op::Get(k % 512)),
+            any::<u16>().prop_map(|k| Op::Remove(k % 512)),
+        ],
+        1..600,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn matches_hashmap_with_many_buckets(ops in ops()) {
+        check(ops, 256);
+    }
+
+    #[test]
+    fn matches_hashmap_with_one_bucket(ops in ops()) {
+        // Everything collides: exercises list traversal, mid-chain removal
+        // and the ordered-insert position logic.
+        check(ops, 1);
+    }
+}
+
+fn check(ops: Vec<Op>, buckets: usize) {
+    let map: LockFreeMap<u16, u64> = LockFreeMap::new(buckets);
+    let mut model: HashMap<u16, u64> = HashMap::new();
+    for op in ops {
+        match op {
+            Op::Insert(k, v) => {
+                let fresh = map.insert(k, v);
+                assert_eq!(fresh, model.insert(k, v).is_none());
+            }
+            Op::Get(k) => assert_eq!(map.get(&k), model.get(&k).copied()),
+            Op::Remove(k) => assert_eq!(map.remove(&k), model.remove(&k)),
+        }
+        assert_eq!(map.len(), model.len());
+    }
+    let mut seen = Vec::new();
+    map.for_each(|k, v| seen.push((*k, *v)));
+    seen.sort_unstable();
+    let mut expect: Vec<(u16, u64)> = model.into_iter().collect();
+    expect.sort_unstable();
+    assert_eq!(seen, expect);
+}
+
+/// Lost-update check under real concurrency: N threads each add a disjoint
+/// counter range; nothing may vanish.
+#[test]
+fn concurrent_inserts_are_never_lost() {
+    use std::sync::Arc;
+    for _round in 0..3 {
+        let map: Arc<LockFreeMap<u32, u32>> = Arc::new(LockFreeMap::new(64));
+        let handles: Vec<_> = (0..4u32)
+            .map(|t| {
+                let m = map.clone();
+                std::thread::spawn(move || {
+                    for i in 0..1_500u32 {
+                        m.insert(t * 10_000 + i, i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(map.len(), 6_000);
+        for t in 0..4u32 {
+            for i in (0..1_500).step_by(97) {
+                assert_eq!(map.get(&(t * 10_000 + i)), Some(i));
+            }
+        }
+    }
+}

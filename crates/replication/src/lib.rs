@@ -1,0 +1,851 @@
+//! RDMA Logging Replication (§5.2).
+//!
+//! A secondary shard's memory is *Single-Writer Zero-Reader*: only its
+//! primary writes to it and no client ever reads it. HydraDB exploits this by
+//! exposing a large ring of registered memory from the secondary to the
+//! primary and letting the primary replicate every write request with plain
+//! one-sided RDMA Writes in a log-structured fashion — no per-request
+//! acknowledgement round trip.
+//!
+//! Protocol, as implemented here:
+//!
+//! * The primary assigns each log record a sequence number (+1 per record),
+//!   frames it with the indicator format ([`hydra_wire::frame`]) and writes
+//!   it at its ring cursor; a 1-word `WRAP` marker handles the ring edge.
+//! * A dedicated applier on the secondary consumes frames in order, applying
+//!   records whose sequence matches its expectation and *discarding*
+//!   everything after a gap or a processing failure.
+//! * Every `ack_every` records the primary appends an `AckRequest` record.
+//!   The secondary answers it by RDMA-writing `(acked_seq, resend_from?)`
+//!   into a small ack region on the *primary* (so even control traffic is
+//!   one-sided). On a resend indication the primary rolls back and re-ships
+//!   every unacknowledged record, in order, and solicits a fresh ack.
+//! * In the **relaxed** mode a replication request completes when its RDMA
+//!   Write is delivered — one one-way flight; repairs happen asynchronously.
+//!   In the **strict** baseline mode (Fig. 13's "request/acknowledge") the
+//!   secondary acknowledges every record and completion waits for the ack.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use hydra_fabric::{Fabric, NodeId, QpId, RegionId};
+use hydra_sim::{FifoResource, Sim};
+use hydra_store::ShardEngine;
+use hydra_wire::frame;
+use hydra_wire::{LogOp, LogRecord};
+
+/// Sentinel word marking "jump back to offset 0" in the ring.
+pub const WRAP_MARKER: u64 = 0x5752_4150_5F5F_5F5F; // "WRAP____"
+
+/// Replication acknowledgement mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplMode {
+    /// Conventional request/acknowledge: the secondary acks every record and
+    /// completion waits for the ack (the Fig. 13 baseline).
+    Strict,
+    /// RDMA Logging: complete at write delivery; solicit an ack every
+    /// `ack_every` records ("several tens" in the paper).
+    Logging {
+        /// Records between acknowledgement requests.
+        ack_every: u32,
+    },
+}
+
+/// Configuration for one primary/secondary pair.
+#[derive(Debug, Clone)]
+pub struct ReplConfig {
+    /// Ring capacity in words (the "large chunk of memory" exposed by the
+    /// secondary).
+    pub ring_words: usize,
+    /// Acknowledgement mode.
+    pub mode: ReplMode,
+    /// Secondary CPU cost to merge one record into its store.
+    pub apply_cost_ns: u64,
+}
+
+impl Default for ReplConfig {
+    fn default() -> Self {
+        ReplConfig {
+            ring_words: 1 << 16,
+            mode: ReplMode::Logging { ack_every: 32 },
+            apply_cost_ns: 600,
+        }
+    }
+}
+
+/// Counters for reporting and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplStats {
+    /// Data records shipped (first transmission).
+    pub records: u64,
+    /// Records re-shipped during rollback.
+    pub resends: u64,
+    /// AckRequest records shipped.
+    pub ack_requests: u64,
+    /// Acks received by the primary.
+    pub acks: u64,
+    /// Rollback episodes.
+    pub rollbacks: u64,
+    /// Records applied by the secondary.
+    pub applied: u64,
+    /// Records discarded by the secondary (gap/failure skipping).
+    pub discarded: u64,
+    /// Times the primary stalled on ring space.
+    pub stalls: u64,
+}
+
+struct PendingRec {
+    seq: u64,
+    op: LogOp,
+    key: Vec<u8>,
+    value: Vec<u8>,
+}
+
+type DoneCb = Box<dyn FnOnce(&mut Sim)>;
+/// A deferred replicate() call parked while the ring is full.
+type BacklogEntry = (LogOp, Vec<u8>, Vec<u8>, Option<DoneCb>);
+
+struct Primary {
+    node: NodeId,
+    qp: QpId,
+    ring_region: RegionId,
+    ring_words: usize,
+    write_off: usize,
+    next_seq: u64,
+    acked: u64,
+    inflight_words: usize,
+    pending: VecDeque<PendingRec>,
+    strict_waiters: HashMap<u64, DoneCb>,
+    since_ack_req: u32,
+    ack_req_outstanding: bool,
+    backlog: VecDeque<BacklogEntry>,
+    ack_mem: Arc<[AtomicU64]>,
+    last_ack_processed: u64,
+}
+
+struct Secondary {
+    node: NodeId,
+    engine: Rc<RefCell<ShardEngine>>,
+    ring_mem: Arc<[AtomicU64]>,
+    read_off: usize,
+    expected: u64,
+    discarded_since_ack: bool,
+    cpu: FifoResource,
+    fail_seqs: std::collections::HashSet<u64>,
+    ack_region: RegionId,
+}
+
+struct Shared {
+    fab: Fabric,
+    cfg: ReplConfig,
+    p: RefCell<Primary>,
+    s: RefCell<Secondary>,
+    stats: RefCell<ReplStats>,
+}
+
+/// A primary shard's replication channel to one secondary shard.
+///
+/// The HydraDB server composes one pair per replica; an INSERT/UPDATE is
+/// client-visible once every pair reports completion (per its mode).
+#[derive(Clone)]
+pub struct ReplicationPair {
+    shared: Rc<Shared>,
+}
+
+impl ReplicationPair {
+    /// Wires a pair up: allocates the secondary's exposed ring and the
+    /// primary's ack region, and connects a dedicated RDMA QP.
+    pub fn new(
+        fab: &Fabric,
+        primary_node: NodeId,
+        secondary_node: NodeId,
+        engine: Rc<RefCell<ShardEngine>>,
+        cfg: ReplConfig,
+    ) -> Self {
+        assert!(cfg.ring_words >= 64, "ring too small to hold a frame");
+        let qp = fab.connect(primary_node, secondary_node, hydra_fabric::Transport::Rdma);
+        let (ring_region, ring_mem) = fab.alloc_region(secondary_node, cfg.ring_words);
+        let (ack_region, ack_mem) = fab.alloc_region(primary_node, 4);
+        let shared = Rc::new(Shared {
+            fab: fab.clone(),
+            cfg: cfg.clone(),
+            p: RefCell::new(Primary {
+                node: primary_node,
+                qp,
+                ring_region,
+                ring_words: cfg.ring_words,
+                write_off: 0,
+                next_seq: 0,
+                acked: 0,
+                inflight_words: 0,
+                pending: VecDeque::new(),
+                strict_waiters: HashMap::new(),
+                since_ack_req: 0,
+                ack_req_outstanding: false,
+                backlog: VecDeque::new(),
+                ack_mem,
+                last_ack_processed: 0,
+            }),
+            s: RefCell::new(Secondary {
+                node: secondary_node,
+                engine,
+                ring_mem,
+                read_off: 0,
+                expected: 0,
+                discarded_since_ack: false,
+                cpu: FifoResource::new("secondary.applier"),
+                fail_seqs: std::collections::HashSet::new(),
+                ack_region,
+            }),
+            stats: RefCell::new(ReplStats::default()),
+        });
+        ReplicationPair { shared }
+    }
+
+    /// Replicates one write. `on_done` fires per the configured mode
+    /// (delivery for Logging, ack for Strict).
+    pub fn replicate(
+        &self,
+        sim: &mut Sim,
+        op: LogOp,
+        key: &[u8],
+        value: &[u8],
+        on_done: Option<DoneCb>,
+    ) {
+        assert!(
+            op != LogOp::AckRequest,
+            "AckRequests are generated internally"
+        );
+        self.enqueue(sim, op, key.to_vec(), value.to_vec(), on_done);
+    }
+
+    /// Last sequence the secondary has acknowledged (0 = none yet; sequences
+    /// are 1-based externally).
+    pub fn acked(&self) -> u64 {
+        self.shared.p.borrow().acked
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> ReplStats {
+        *self.shared.stats.borrow()
+    }
+
+    /// Marks `seq` (1-based, in shipping order of data records) to fail
+    /// processing once on the secondary — the §5.2 failure path.
+    pub fn inject_failure(&self, seq: u64) {
+        self.shared.s.borrow_mut().fail_seqs.insert(seq);
+    }
+
+    /// Forces an acknowledgement request (used by shutdown/failover to drain
+    /// the channel).
+    pub fn request_ack(&self, sim: &mut Sim) {
+        Self::ship_ack_request(&self.shared, sim);
+    }
+
+    // ---- primary side ----
+
+    fn enqueue(
+        &self,
+        sim: &mut Sim,
+        op: LogOp,
+        key: Vec<u8>,
+        value: Vec<u8>,
+        on_done: Option<DoneCb>,
+    ) {
+        let shared = &self.shared;
+        let frame_len = {
+            let rec = LogRecord {
+                seq: 0,
+                op,
+                key: &key,
+                value: &value,
+            };
+            frame::frame_words(rec.encoded_len())
+        };
+        {
+            let mut p = shared.p.borrow_mut();
+            // Keep one frame + marker of headroom so AckRequests always fit.
+            let budget = p.ring_words - frame_len - 16;
+            if p.inflight_words + frame_len > budget || !p.backlog.is_empty() {
+                shared.stats.borrow_mut().stalls += 1;
+                p.backlog.push_back((op, key, value, on_done));
+                let need_ack = !p.ack_req_outstanding;
+                drop(p);
+                if need_ack {
+                    Self::ship_ack_request(shared, sim);
+                }
+                return;
+            }
+        }
+        let seq = {
+            let mut p = shared.p.borrow_mut();
+            p.next_seq += 1;
+            let seq = p.next_seq;
+            p.pending.push_back(PendingRec {
+                seq,
+                op,
+                key: key.clone(),
+                value: value.clone(),
+            });
+            p.since_ack_req += 1;
+            seq
+        };
+        shared.stats.borrow_mut().records += 1;
+        Self::ship(shared, sim, seq, op, &key, &value, on_done);
+        // Solicit acknowledgements per mode.
+        let want_ack = {
+            let p = shared.p.borrow();
+            match shared.cfg.mode {
+                ReplMode::Strict => false, // secondary acks every record
+                ReplMode::Logging { ack_every } => {
+                    p.since_ack_req >= ack_every && !p.ack_req_outstanding
+                }
+            }
+        };
+        if want_ack {
+            Self::ship_ack_request(shared, sim);
+        }
+    }
+
+    /// Frames and writes one record into the ring; arranges the applier kick.
+    fn ship(
+        shared: &Rc<Shared>,
+        sim: &mut Sim,
+        seq: u64,
+        op: LogOp,
+        key: &[u8],
+        value: &[u8],
+        on_done: Option<DoneCb>,
+    ) {
+        let rec = LogRecord {
+            seq,
+            op,
+            key,
+            value,
+        };
+        let words = frame::frame_to_words(&rec.encode());
+        let (qp, node, region, off) = {
+            let mut p = shared.p.borrow_mut();
+            let need = words.len();
+            if p.write_off == p.ring_words {
+                // Previous frame ended exactly at the edge: the reader wraps
+                // implicitly, no marker word fits (or is needed).
+                p.write_off = 0;
+            } else if p.write_off + need > p.ring_words {
+                // Frame would straddle the edge: plant a marker, wrap.
+                let marker_off = p.write_off;
+                p.inflight_words += p.ring_words - marker_off;
+                p.write_off = 0;
+                let (qp, node, region) = (p.qp, p.node, p.ring_region);
+                drop(p);
+                shared
+                    .fab
+                    .post_write(sim, qp, node, vec![WRAP_MARKER], region, marker_off, None);
+                p = shared.p.borrow_mut();
+            }
+            let off = p.write_off;
+            p.write_off += need;
+            p.inflight_words += need;
+            (p.qp, p.node, p.ring_region, off)
+        };
+        let kick = {
+            let shared = shared.clone();
+            Box::new(move |sim: &mut Sim| {
+                if let Some(cb) = on_done {
+                    // Relaxed completion: the record is durable in the
+                    // secondary's memory once the write lands. Strict mode
+                    // registers its callback with the ack machinery instead.
+                    cb(sim);
+                }
+                Self::poll_secondary(&shared, sim);
+            })
+        };
+        shared
+            .fab
+            .post_write(sim, qp, node, words, region, off, Some(kick));
+    }
+
+    /// Registers a strict-mode waiter for `seq`.
+    fn register_strict_waiter(shared: &Rc<Shared>, seq: u64, cb: DoneCb) {
+        shared.p.borrow_mut().strict_waiters.insert(seq, cb);
+    }
+
+    fn ship_ack_request(shared: &Rc<Shared>, sim: &mut Sim) {
+        let seq = {
+            let mut p = shared.p.borrow_mut();
+            p.next_seq += 1;
+            let seq = p.next_seq;
+            p.pending.push_back(PendingRec {
+                seq,
+                op: LogOp::AckRequest,
+                key: Vec::new(),
+                value: Vec::new(),
+            });
+            p.since_ack_req = 0;
+            p.ack_req_outstanding = true;
+            seq
+        };
+        shared.stats.borrow_mut().ack_requests += 1;
+        Self::ship(shared, sim, seq, LogOp::AckRequest, &[], &[], None);
+    }
+
+    /// Handles an ack that landed in the primary's ack region.
+    fn on_ack(shared: &Rc<Shared>, sim: &mut Sim) {
+        shared.stats.borrow_mut().acks += 1;
+        let (acked_raw, resend_raw) = {
+            let p = shared.p.borrow();
+            (
+                p.ack_mem[0].load(Ordering::Acquire),
+                p.ack_mem[1].load(Ordering::Acquire),
+            )
+        };
+        if acked_raw == 0 {
+            return;
+        }
+        let acked = acked_raw - 1;
+        let resend_from = if resend_raw > 0 {
+            Some(resend_raw - 1)
+        } else {
+            None
+        };
+        let mut fire: Vec<DoneCb> = Vec::new();
+        let mut resend: Vec<(u64, LogOp, Vec<u8>, Vec<u8>)> = Vec::new();
+        {
+            let mut p = shared.p.borrow_mut();
+            if acked < p.last_ack_processed && resend_from.is_none() {
+                return; // stale ack overtaken by a newer one
+            }
+            p.last_ack_processed = acked;
+            p.acked = p.acked.max(acked);
+            let acked_now = p.acked;
+            while p.pending.front().is_some_and(|r| r.seq <= acked_now) {
+                let r = p.pending.pop_front().expect("checked front");
+                if let Some(cb) = p.strict_waiters.remove(&r.seq) {
+                    fire.push(cb);
+                }
+            }
+            p.ack_req_outstanding = false;
+            // Recompute in-flight budget: only unacked records occupy the ring.
+            p.inflight_words = p
+                .pending
+                .iter()
+                .map(|r| {
+                    let rec = LogRecord {
+                        seq: r.seq,
+                        op: r.op,
+                        key: &r.key,
+                        value: &r.value,
+                    };
+                    frame::frame_words(rec.encoded_len())
+                })
+                .sum();
+            if let Some(from) = resend_from {
+                for r in p.pending.iter().filter(|r| r.seq >= from) {
+                    resend.push((r.seq, r.op, r.key.clone(), r.value.clone()));
+                }
+            }
+        }
+        for cb in fire {
+            cb(sim);
+        }
+        if !resend.is_empty() {
+            let mut st = shared.stats.borrow_mut();
+            st.rollbacks += 1;
+            st.resends += resend.len() as u64;
+            drop(st);
+            let ends_with_ackreq = resend.last().is_some_and(|r| r.1 == LogOp::AckRequest);
+            for (seq, op, key, value) in resend {
+                Self::ship(shared, sim, seq, op, &key, &value, None);
+            }
+            if !ends_with_ackreq {
+                Self::ship_ack_request(shared, sim);
+            } else {
+                shared.p.borrow_mut().ack_req_outstanding = true;
+            }
+        }
+        // Ring space may have opened up: drain the backlog.
+        let drained: Vec<_> = {
+            let mut p = shared.p.borrow_mut();
+            p.backlog.drain(..).collect()
+        };
+        if !drained.is_empty() {
+            let pair = ReplicationPair {
+                shared: shared.clone(),
+            };
+            for (op, key, value, cb) in drained {
+                pair.enqueue_internal(sim, op, key, value, cb);
+            }
+        }
+    }
+
+    fn enqueue_internal(
+        &self,
+        sim: &mut Sim,
+        op: LogOp,
+        key: Vec<u8>,
+        value: Vec<u8>,
+        on_done: Option<DoneCb>,
+    ) {
+        self.enqueue(sim, op, key, value, on_done);
+    }
+
+    // ---- secondary side ----
+
+    /// Drains every complete frame currently visible in the ring.
+    fn poll_secondary(shared: &Rc<Shared>, sim: &mut Sim) {
+        loop {
+            enum Step {
+                Idle,
+                Wrapped,
+                Record { payload: Vec<u8> },
+            }
+            let step = {
+                let mut s = shared.s.borrow_mut();
+                if s.read_off == s.ring_mem.len() {
+                    s.read_off = 0; // implicit wrap at the exact ring edge
+                }
+                let off = s.read_off;
+                let head = s.ring_mem[off].load(Ordering::Acquire);
+                if head == 0 {
+                    Step::Idle
+                } else if head == WRAP_MARKER {
+                    s.ring_mem[off].store(0, Ordering::Release);
+                    s.read_off = 0;
+                    Step::Wrapped
+                } else {
+                    match frame::poll_message(&s.ring_mem[off..]) {
+                        Ok(Some(payload)) => {
+                            let len = payload.len();
+                            frame::consume_message(&s.ring_mem[off..], len);
+                            s.read_off += frame::frame_words(len);
+                            Step::Record { payload }
+                        }
+                        Ok(None) => Step::Idle, // body still in flight
+                        Err(e) => panic!("corrupt replication frame: {e}"),
+                    }
+                }
+            };
+            match step {
+                Step::Idle => return,
+                Step::Wrapped => continue,
+                Step::Record { payload } => {
+                    Self::apply_record(shared, sim, &payload);
+                }
+            }
+        }
+    }
+
+    fn apply_record(shared: &Rc<Shared>, sim: &mut Sim, payload: &[u8]) {
+        let rec = LogRecord::decode(payload).expect("valid log record");
+        let now = sim.now();
+        let mut send_ack = false;
+        {
+            let mut s = shared.s.borrow_mut();
+            let failed = s.fail_seqs.remove(&rec.seq);
+            let in_order = rec.seq == s.expected + 1;
+            if failed || !in_order {
+                // Gap or processing failure: stop advancing, discard.
+                s.discarded_since_ack = true;
+                shared.stats.borrow_mut().discarded += 1;
+                if rec.op == LogOp::AckRequest {
+                    send_ack = true;
+                }
+            } else {
+                s.cpu.acquire(now, shared.cfg.apply_cost_ns);
+                match rec.op {
+                    LogOp::Put => {
+                        s.engine
+                            .borrow_mut()
+                            .put(now, rec.key, rec.value)
+                            .expect("secondary arena sized for the workload");
+                        shared.stats.borrow_mut().applied += 1;
+                    }
+                    LogOp::Delete => {
+                        // Deleting an absent key is possible after rollback
+                        // repair ordering; treat as applied.
+                        let _ = s.engine.borrow_mut().delete(now, rec.key);
+                        shared.stats.borrow_mut().applied += 1;
+                    }
+                    LogOp::AckRequest => {
+                        send_ack = true;
+                    }
+                }
+                s.expected = rec.seq;
+            }
+            if matches!(shared.cfg.mode, ReplMode::Strict) && rec.op != LogOp::AckRequest {
+                send_ack = true;
+            }
+        }
+        if send_ack {
+            Self::send_ack(shared, sim);
+        }
+    }
+
+    fn send_ack(shared: &Rc<Shared>, sim: &mut Sim) {
+        let (qp, node, region, words, ack_delay) = {
+            let mut s = shared.s.borrow_mut();
+            let acked = s.expected; // 1-based: last applied seq
+            let resend = if s.discarded_since_ack {
+                s.expected + 1 + 1
+            } else {
+                0
+            };
+            s.discarded_since_ack = false;
+            // The ack is sent once the applier thread reaches it.
+            let t = s.cpu.acquire(sim.now(), 100);
+            let delay = t.saturating_sub(sim.now());
+            (
+                shared.p.borrow().qp,
+                s.node,
+                s.ack_region,
+                vec![acked + 1, resend],
+                delay,
+            )
+        };
+        let shared2 = shared.clone();
+        let fab = shared.fab.clone();
+        sim.schedule_in(ack_delay, move |sim| {
+            let on_ack: Box<dyn FnOnce(&mut Sim)> =
+                Box::new(move |sim| ReplicationPair::on_ack(&shared2, sim));
+            fab.post_write(sim, qp, node, words, region, 0, Some(on_ack));
+        });
+    }
+}
+
+/// Strict-mode replication helper: replicates and completes only when the
+/// record is acknowledged. (Relaxed callers use
+/// [`ReplicationPair::replicate`] directly.)
+pub fn replicate_strict(
+    pair: &ReplicationPair,
+    sim: &mut Sim,
+    op: LogOp,
+    key: &[u8],
+    value: &[u8],
+    on_done: DoneCb,
+) {
+    assert!(
+        matches!(pair.shared.cfg.mode, ReplMode::Strict),
+        "pair not configured for strict mode"
+    );
+    pair.replicate(sim, op, key, value, None);
+    let seq = pair.shared.p.borrow().next_seq;
+    ReplicationPair::register_strict_waiter(&pair.shared, seq, on_done);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydra_fabric::FabricConfig;
+    use hydra_store::{EngineConfig, WriteMode};
+
+    fn setup(cfg: ReplConfig) -> (Sim, Fabric, ReplicationPair, Rc<RefCell<ShardEngine>>) {
+        let sim = Sim::new(11);
+        let fab = Fabric::new(FabricConfig::default());
+        let p = fab.add_node();
+        let s = fab.add_node();
+        let engine = Rc::new(RefCell::new(ShardEngine::new(EngineConfig {
+            arena_words: 1 << 16,
+            expected_items: 4096,
+            write_mode: WriteMode::Reliable,
+            min_lease_ns: 1_000,
+            max_lease_ns: 64_000,
+        })));
+        let pair = ReplicationPair::new(&fab, p, s, engine.clone(), cfg);
+        (sim, fab, pair, engine)
+    }
+
+    #[test]
+    fn records_apply_in_order_on_secondary() {
+        let (mut sim, _fab, pair, engine) = setup(ReplConfig::default());
+        for i in 0..100u32 {
+            let key = format!("k{i:03}");
+            pair.replicate(&mut sim, LogOp::Put, key.as_bytes(), &i.to_le_bytes(), None);
+        }
+        sim.run();
+        assert_eq!(pair.stats().applied, 100);
+        assert_eq!(pair.stats().discarded, 0);
+        let mut e = engine.borrow_mut();
+        for i in 0..100u32 {
+            let key = format!("k{i:03}");
+            assert_eq!(e.get(0, key.as_bytes()).unwrap().value, i.to_le_bytes());
+        }
+    }
+
+    #[test]
+    fn relaxed_completion_is_one_flight() {
+        let (mut sim, _fab, pair, _engine) = setup(ReplConfig::default());
+        let done_at = Rc::new(std::cell::Cell::new(0u64));
+        let d = done_at.clone();
+        pair.replicate(
+            &mut sim,
+            LogOp::Put,
+            b"k",
+            b"v",
+            Some(Box::new(move |sim| d.set(sim.now()))),
+        );
+        sim.run();
+        let t = done_at.get();
+        assert!(t > 0 && t < 2_000, "one-way delivery expected, got {t}ns");
+    }
+
+    #[test]
+    fn strict_completion_waits_for_ack() {
+        let cfg = ReplConfig {
+            mode: ReplMode::Strict,
+            ..ReplConfig::default()
+        };
+        let (mut sim, _fab, pair, _engine) = setup(cfg);
+        let done_at = Rc::new(std::cell::Cell::new(0u64));
+        let d = done_at.clone();
+        replicate_strict(
+            &pair,
+            &mut sim,
+            LogOp::Put,
+            b"k",
+            b"v",
+            Box::new(move |sim| d.set(sim.now())),
+        );
+        sim.run();
+        let t = done_at.get();
+        assert!(t > 2_000, "strict ack requires a round trip, got {t}ns");
+        assert_eq!(pair.acked(), 1);
+    }
+
+    #[test]
+    fn ack_requests_follow_ack_every() {
+        let cfg = ReplConfig {
+            mode: ReplMode::Logging { ack_every: 10 },
+            ..Default::default()
+        };
+        let (mut sim, _fab, pair, _engine) = setup(cfg);
+        for i in 0..100u32 {
+            pair.replicate(&mut sim, LogOp::Put, format!("k{i}").as_bytes(), b"v", None);
+            sim.run(); // sequential: each record fully delivered before next
+        }
+        let st = pair.stats();
+        assert!(
+            (8..=14).contains(&st.ack_requests),
+            "expected ~10 ack requests, got {}",
+            st.ack_requests
+        );
+        assert!(st.acks >= st.ack_requests, "every request answered");
+        assert!(pair.acked() >= 100, "acked through the last ack request");
+    }
+
+    #[test]
+    fn ring_wraps_and_keeps_applying() {
+        let cfg = ReplConfig {
+            ring_words: 256, // tiny: forces many wraps over 300 records
+            mode: ReplMode::Logging { ack_every: 8 },
+            apply_cost_ns: 100,
+        };
+        let (mut sim, _fab, pair, engine) = setup(cfg);
+        for i in 0..300u32 {
+            let key = format!("key-{i:04}");
+            pair.replicate(&mut sim, LogOp::Put, key.as_bytes(), &[i as u8; 24], None);
+            sim.run();
+        }
+        assert_eq!(pair.stats().applied, 300);
+        assert!(pair.stats().stalls > 0 || pair.stats().ack_requests > 10);
+        let mut e = engine.borrow_mut();
+        assert_eq!(e.len(), 300);
+        assert_eq!(e.get(0, b"key-0299").unwrap().value, [43u8; 24]);
+    }
+
+    #[test]
+    fn burst_larger_than_ring_drains_via_backlog() {
+        let cfg = ReplConfig {
+            ring_words: 512,
+            mode: ReplMode::Logging { ack_every: 8 },
+            apply_cost_ns: 200,
+        };
+        let (mut sim, _fab, pair, engine) = setup(cfg);
+        // Post everything at t=0 without draining the sim in between.
+        for i in 0..500u32 {
+            let key = format!("key-{i:04}");
+            pair.replicate(&mut sim, LogOp::Put, key.as_bytes(), &[1u8; 16], None);
+        }
+        sim.run();
+        assert_eq!(engine.borrow().len(), 500, "all records applied");
+        assert!(pair.stats().stalls > 0, "burst must have stalled");
+    }
+
+    #[test]
+    fn injected_failure_triggers_rollback_and_repair() {
+        let cfg = ReplConfig {
+            mode: ReplMode::Logging { ack_every: 5 },
+            ..Default::default()
+        };
+        let (mut sim, _fab, pair, engine) = setup(cfg);
+        pair.inject_failure(3);
+        for i in 0..20u32 {
+            let key = format!("k{i:02}");
+            pair.replicate(&mut sim, LogOp::Put, key.as_bytes(), &i.to_le_bytes(), None);
+        }
+        sim.run();
+        let st = pair.stats();
+        assert!(st.rollbacks >= 1, "failure must cause a rollback");
+        assert!(st.discarded >= 1);
+        assert!(st.resends >= 1);
+        // Despite the failure, the secondary converges to the full state.
+        let mut e = engine.borrow_mut();
+        for i in 0..20u32 {
+            let key = format!("k{i:02}");
+            assert_eq!(
+                e.get(0, key.as_bytes()).map(|g| g.value),
+                Some(i.to_le_bytes().to_vec()),
+                "key {i}"
+            );
+        }
+        assert_eq!(e.len(), 20);
+    }
+
+    #[test]
+    fn deletes_replicate() {
+        let (mut sim, _fab, pair, engine) = setup(ReplConfig::default());
+        pair.replicate(&mut sim, LogOp::Put, b"gone", b"v", None);
+        pair.replicate(&mut sim, LogOp::Put, b"kept", b"v", None);
+        pair.replicate(&mut sim, LogOp::Delete, b"gone", &[], None);
+        sim.run();
+        let mut e = engine.borrow_mut();
+        assert!(e.get(0, b"gone").is_none());
+        assert!(e.get(0, b"kept").is_some());
+    }
+
+    #[test]
+    fn strict_mode_latency_exceeds_logging_latency() {
+        // The Fig. 13 shape: relaxed replication costs a fraction of strict.
+        let measure = |mode: ReplMode| {
+            let cfg = ReplConfig {
+                mode,
+                ..Default::default()
+            };
+            let (mut sim, _fab, pair, _engine) = setup(cfg);
+            let total = Rc::new(std::cell::Cell::new(0u64));
+            for _ in 0..50 {
+                let t0 = sim.now();
+                let done = Rc::new(std::cell::Cell::new(0u64));
+                let d = done.clone();
+                let cb: DoneCb = Box::new(move |sim: &mut Sim| d.set(sim.now()));
+                match mode {
+                    ReplMode::Strict => {
+                        replicate_strict(&pair, &mut sim, LogOp::Put, b"key", b"value", cb)
+                    }
+                    _ => pair.replicate(&mut sim, LogOp::Put, b"key", b"value", Some(cb)),
+                }
+                sim.run();
+                total.set(total.get() + (done.get() - t0));
+            }
+            total.get() / 50
+        };
+        let strict = measure(ReplMode::Strict);
+        let logging = measure(ReplMode::Logging { ack_every: 32 });
+        assert!(
+            strict as f64 > logging as f64 * 1.7,
+            "strict {strict}ns vs logging {logging}ns"
+        );
+    }
+}

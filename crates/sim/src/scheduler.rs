@@ -1,0 +1,275 @@
+//! The event scheduler: a virtual clock plus a priority queue of closures.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::time::SimTime;
+
+/// Identifier of a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+type EventFn = Box<dyn FnOnce(&mut Sim)>;
+
+struct Entry {
+    at: SimTime,
+    seq: u64,
+    cancelled: bool,
+    f: Option<EventFn>,
+}
+
+// BinaryHeap is a max-heap; invert the ordering so the earliest (time, seq)
+// pops first. Ties at the same virtual time resolve in scheduling order,
+// which is what makes runs reproducible.
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// The simulation world: virtual clock, event queue and the run's RNG.
+///
+/// Event handlers receive `&mut Sim` and may schedule further events. Shared
+/// mutable actor state lives in `Rc<RefCell<..>>` (the simulation is
+/// single-threaded) or in the `Arc`-and-atomics data-plane structures that the
+/// rest of the workspace provides.
+pub struct Sim {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Entry>,
+    cancelled: std::collections::HashSet<u64>,
+    rng: SmallRng,
+    executed: u64,
+}
+
+impl Sim {
+    /// Creates a simulation whose RNG is seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Sim {
+            now: 0,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            cancelled: std::collections::HashSet::new(),
+            rng: SmallRng::seed_from_u64(seed),
+            executed: 0,
+        }
+    }
+
+    /// Current virtual time in nanoseconds.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn executed_events(&self) -> u64 {
+        self.executed
+    }
+
+    /// The run's deterministic RNG.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+
+    /// Schedules `f` to run at absolute virtual time `at`.
+    ///
+    /// Scheduling in the past is a logic error and panics: silently clamping
+    /// would hide causality bugs in protocol code.
+    pub fn schedule_at(&mut self, at: SimTime, f: impl FnOnce(&mut Sim) + 'static) -> EventId {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: at={} now={}",
+            at,
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Entry {
+            at,
+            seq,
+            cancelled: false,
+            f: Some(Box::new(f)),
+        });
+        EventId(seq)
+    }
+
+    /// Schedules `f` to run `delay` nanoseconds from now.
+    pub fn schedule_in(&mut self, delay: SimTime, f: impl FnOnce(&mut Sim) + 'static) -> EventId {
+        self.schedule_at(self.now + delay, f)
+    }
+
+    /// Cancels a previously scheduled event. Cancelling an event that already
+    /// ran (or was already cancelled) is a no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id.0);
+    }
+
+    /// Runs events until the queue is empty.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs events with `at <= deadline`, then advances the clock to
+    /// `deadline` (if it is later than the last event executed).
+    pub fn run_until(&mut self, deadline: SimTime) {
+        loop {
+            match self.queue.peek() {
+                Some(e) if e.at <= deadline => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Executes the next event, if any. Returns `false` when the queue is
+    /// empty.
+    pub fn step(&mut self) -> bool {
+        loop {
+            let Some(mut entry) = self.queue.pop() else {
+                return false;
+            };
+            if entry.cancelled || self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            debug_assert!(entry.at >= self.now, "time went backwards");
+            self.now = entry.at;
+            self.executed += 1;
+            let f = entry.f.take().expect("event closure already taken");
+            f(self);
+            return true;
+        }
+    }
+
+    /// Whether any events remain scheduled.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+impl std::fmt::Debug for Sim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sim")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("executed", &self.executed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim = Sim::new(1);
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for &t in &[50u64, 10, 30, 20, 40] {
+            let o = order.clone();
+            sim.schedule_at(t, move |sim| o.borrow_mut().push(sim.now()));
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec![10, 20, 30, 40, 50]);
+        assert_eq!(sim.executed_events(), 5);
+    }
+
+    #[test]
+    fn ties_break_in_scheduling_order() {
+        let mut sim = Sim::new(1);
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..10 {
+            let o = order.clone();
+            sim.schedule_at(100, move |_| o.borrow_mut().push(i));
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut sim = Sim::new(1);
+        let hits = Rc::new(RefCell::new(Vec::new()));
+        let h = hits.clone();
+        sim.schedule_at(5, move |sim| {
+            h.borrow_mut().push(sim.now());
+            let h2 = h.clone();
+            sim.schedule_in(7, move |sim| h2.borrow_mut().push(sim.now()));
+        });
+        sim.run();
+        assert_eq!(*hits.borrow(), vec![5, 12]);
+    }
+
+    #[test]
+    fn cancel_suppresses_execution() {
+        let mut sim = Sim::new(1);
+        let hits = Rc::new(RefCell::new(0u32));
+        let h = hits.clone();
+        let id = sim.schedule_at(10, move |_| *h.borrow_mut() += 1);
+        sim.cancel(id);
+        sim.run();
+        assert_eq!(*hits.borrow(), 0);
+    }
+
+    #[test]
+    fn run_until_advances_clock_to_deadline() {
+        let mut sim = Sim::new(1);
+        sim.schedule_at(10, |_| {});
+        sim.schedule_at(100, |_| {});
+        sim.run_until(50);
+        assert_eq!(sim.now(), 50);
+        assert!(!sim.is_idle());
+        sim.run();
+        assert_eq!(sim.now(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut sim = Sim::new(1);
+        sim.schedule_at(10, |sim| {
+            sim.schedule_at(5, |_| {});
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn identical_seeds_are_deterministic() {
+        fn run(seed: u64) -> Vec<u64> {
+            use rand::Rng;
+            let mut sim = Sim::new(seed);
+            let out = Rc::new(RefCell::new(Vec::new()));
+            for _ in 0..100 {
+                let o = out.clone();
+                let d: u64 = 1 + (seed % 3);
+                sim.schedule_in(d, move |sim| {
+                    let v: u64 = sim.rng().gen();
+                    o.borrow_mut().push(v ^ sim.now());
+                });
+            }
+            sim.run();
+            Rc::try_unwrap(out).unwrap().into_inner()
+        }
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests for the simulation kernel: ordering, clock monotonicity,
+//! resource conservation and histogram accuracy under arbitrary inputs.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use hydra_sim::{FifoResource, Histogram, Sim};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Events execute in (time, scheduling-order) and the clock never runs
+    /// backwards.
+    #[test]
+    fn event_order_is_total_and_clock_monotone(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut sim = Sim::new(1);
+        let log: Rc<RefCell<Vec<(u64, usize)>>> = Rc::new(RefCell::new(Vec::new()));
+        for (i, &t) in times.iter().enumerate() {
+            let l = log.clone();
+            sim.schedule_at(t, move |sim| l.borrow_mut().push((sim.now(), i)));
+        }
+        sim.run();
+        let log = log.borrow();
+        prop_assert_eq!(log.len(), times.len());
+        for w in log.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "clock ran backwards");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "tie broken out of scheduling order");
+            }
+        }
+        for &(at, i) in log.iter() {
+            prop_assert_eq!(at, times[i], "event fired at the wrong time");
+        }
+    }
+
+    /// A FIFO resource conserves work: total busy time equals the sum of
+    /// requested durations, and completions never overlap.
+    #[test]
+    fn fifo_resource_conserves_work(jobs in proptest::collection::vec((0u64..10_000, 1u64..500), 1..100)) {
+        let mut r = FifoResource::new("prop");
+        let mut sorted = jobs.clone();
+        sorted.sort_by_key(|&(at, _)| at);
+        let mut prev_end = 0u64;
+        let mut total = 0u64;
+        for &(at, dur) in &sorted {
+            let (start, end) = r.acquire_with_start(at, dur);
+            prop_assert!(start >= at, "service before arrival");
+            prop_assert!(start >= prev_end, "overlapping service");
+            prop_assert_eq!(end - start, dur);
+            prev_end = end;
+            total += dur;
+        }
+        prop_assert_eq!(r.total_busy(), total);
+        prop_assert!(r.utilization(prev_end) <= 1.0);
+    }
+
+    /// Histogram quantiles stay within the recorded min/max and are
+    /// monotone in p; the mean is exact.
+    #[test]
+    fn histogram_quantiles_are_sane(samples in proptest::collection::vec(0u64..10_000_000, 1..500)) {
+        let mut h = Histogram::new();
+        let mut sum = 0u128;
+        for &s in &samples {
+            h.record(s);
+            sum += s as u128;
+        }
+        let min = *samples.iter().min().unwrap();
+        let max = *samples.iter().max().unwrap();
+        prop_assert_eq!(h.min(), min);
+        prop_assert_eq!(h.max(), max);
+        let exact_mean = sum as f64 / samples.len() as f64;
+        prop_assert!((h.mean() - exact_mean).abs() < 1e-6);
+        let mut last = 0u64;
+        for p in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let q = h.quantile(p);
+            prop_assert!(q >= min && q <= max, "q({p})={q} outside [{min},{max}]");
+            prop_assert!(q >= last, "quantiles not monotone");
+            last = q;
+        }
+    }
+
+    /// Quantile error is bounded by the sub-bucket resolution (~3.2%).
+    #[test]
+    fn histogram_median_error_is_bounded(shift in 5u32..24) {
+        let mut h = Histogram::new();
+        let n = 1u64 << shift;
+        for v in 1..=n {
+            h.record(v);
+        }
+        let got = h.quantile(0.5) as f64;
+        let expect = (n / 2) as f64;
+        prop_assert!((got - expect).abs() / expect < 0.04, "median {got} vs {expect}");
+    }
+
+    /// Cancelled events never run, and cancelling is stable under arbitrary
+    /// subsets.
+    #[test]
+    fn cancelled_events_never_fire(n in 1usize..100, cancel_mask in any::<u128>()) {
+        let mut sim = Sim::new(2);
+        let fired: Rc<RefCell<Vec<usize>>> = Rc::new(RefCell::new(Vec::new()));
+        let mut ids = Vec::new();
+        for i in 0..n {
+            let f = fired.clone();
+            ids.push(sim.schedule_at((i as u64 + 1) * 10, move |_| f.borrow_mut().push(i)));
+        }
+        let mut expected = Vec::new();
+        for (i, id) in ids.into_iter().enumerate() {
+            if cancel_mask & (1 << (i % 128)) != 0 {
+                sim.cancel(id);
+            } else {
+                expected.push(i);
+            }
+        }
+        sim.run();
+        prop_assert_eq!(&*fired.borrow(), &expected);
+    }
+}

@@ -1,0 +1,784 @@
+//! The shard engine: one partition's complete server-side state machine.
+//!
+//! A [`ShardEngine`] is owned by exactly one shard thread (or one simulated
+//! shard actor) and implements the full §4 protocol surface:
+//!
+//! * out-of-place writes with guardian flips (INSERT / UPDATE / DELETE),
+//! * GETs that bump popularity, extend leases (1–64 s scaled by popularity)
+//!   and hand back the remote pointer metadata clients cache for RDMA Reads,
+//! * lease renewal,
+//! * lease-deferred reclamation,
+//! * CLOCK eviction when configured as a cache.
+//!
+//! The engine is deliberately transport-free: the server crate feeds it
+//! decoded requests; the replication crate feeds it log records; tests feed
+//! it directly.
+
+use std::collections::VecDeque;
+use std::sync::atomic::AtomicU64;
+
+use crate::arena::Arena;
+use crate::item::{item_words, ItemRef};
+use crate::reclaim::ReclaimQueue;
+use crate::table::CompactTable;
+use crate::{hash_key, ArenaStats, TableStats};
+
+/// Whether the store is a reliable store (INSERT collides) or a cache
+/// (upserts + eviction under memory pressure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteMode {
+    /// INSERT of an existing key fails; no eviction (allocation failure is an
+    /// error surfaced to the client).
+    Reliable,
+    /// INSERT upserts; allocation failure triggers CLOCK eviction.
+    Cache,
+}
+
+/// Engine construction parameters.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Arena capacity in 8-byte words.
+    pub arena_words: usize,
+    /// Expected item count (sizes the compact table).
+    pub expected_items: usize,
+    /// Reliable store or cache.
+    pub write_mode: WriteMode,
+    /// Minimum lease term granted on a GET (paper: 1 s).
+    pub min_lease_ns: u64,
+    /// Maximum lease term (paper: 64 s).
+    pub max_lease_ns: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            arena_words: 1 << 20, // 8 MiB
+            expected_items: 64 << 10,
+            write_mode: WriteMode::Reliable,
+            min_lease_ns: 1_000_000_000,
+            max_lease_ns: 64_000_000_000,
+        }
+    }
+}
+
+/// Engine errors surfaced to the protocol layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineError {
+    /// INSERT collided in reliable mode.
+    Exists,
+    /// UPDATE/DELETE of an absent key.
+    NotFound,
+    /// Arena exhausted (after eviction, in cache mode).
+    OutOfMemory,
+    /// Key exceeds the 16-bit length field.
+    KeyTooLong,
+    /// Value exceeds the 32-bit length field.
+    ValueTooLong,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            EngineError::Exists => "key already exists",
+            EngineError::NotFound => "key not found",
+            EngineError::OutOfMemory => "arena exhausted",
+            EngineError::KeyTooLong => "key too long",
+            EngineError::ValueTooLong => "value too long",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Location metadata for an item, convertible to a wire remote pointer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ItemInfo {
+    /// Word offset of the item in the arena.
+    pub off_words: u64,
+    /// Bytes a remote RDMA Read must fetch (header..guardian).
+    pub read_len: u32,
+    /// Absolute lease expiry granted (0 if none).
+    pub lease_expiry: u64,
+}
+
+/// Result of a server-side GET.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GetResult {
+    /// The value bytes.
+    pub value: Vec<u8>,
+    /// Remote-pointer metadata for the client cache.
+    pub info: ItemInfo,
+}
+
+/// Operation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    pub gets: u64,
+    pub get_hits: u64,
+    pub inserts: u64,
+    pub updates: u64,
+    pub deletes: u64,
+    pub lease_renews: u64,
+    pub evictions: u64,
+    pub reclaimed_blocks: u64,
+    pub oom_events: u64,
+}
+
+/// One partition's storage engine. See module docs.
+///
+/// ```
+/// use hydra_store::{EngineConfig, ShardEngine, WriteMode};
+///
+/// let mut engine = ShardEngine::new(EngineConfig::default());
+/// engine.insert(0, b"user:1", b"ada").unwrap();
+/// let got = engine.get(10, b"user:1").unwrap();
+/// assert_eq!(got.value, b"ada");
+/// assert!(got.info.lease_expiry > 10); // GET granted a lease
+/// engine.update(20, b"user:1", b"lovelace").unwrap();
+/// assert_eq!(engine.get(30, b"user:1").unwrap().value, b"lovelace");
+/// ```
+pub struct ShardEngine {
+    arena: Arena,
+    table: CompactTable,
+    reclaim: ReclaimQueue,
+    cfg: EngineConfig,
+    /// CLOCK ring of (key hash, offset) candidates; entries are validated
+    /// against the table on pop, so stale entries (updated/deleted items)
+    /// are dropped lazily.
+    clock: VecDeque<(u64, u64)>,
+    stats: EngineStats,
+}
+
+impl ShardEngine {
+    /// Builds an engine from `cfg`.
+    pub fn new(cfg: EngineConfig) -> Self {
+        ShardEngine {
+            arena: Arena::new(cfg.arena_words),
+            table: CompactTable::with_capacity(cfg.expected_items),
+            reclaim: ReclaimQueue::new(),
+            clock: VecDeque::new(),
+            cfg,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// The registered-memory word slice remote readers access.
+    #[inline]
+    pub fn words(&self) -> &[AtomicU64] {
+        self.arena.words()
+    }
+
+    /// Shared handle to the arena memory for fabric registration.
+    pub fn memory(&self) -> std::sync::Arc<[AtomicU64]> {
+        self.arena.memory()
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the store holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Index statistics.
+    pub fn table_stats(&self) -> TableStats {
+        self.table.stats()
+    }
+
+    /// Arena statistics.
+    pub fn arena_stats(&self) -> ArenaStats {
+        self.arena.stats()
+    }
+
+    /// Blocks awaiting lease expiry.
+    pub fn reclaim_pending(&self) -> usize {
+        self.reclaim.len()
+    }
+
+    /// High-water mark of (blocks, words) pinned by unexpired leases.
+    pub fn reclaim_peak(&self) -> (usize, u64) {
+        self.reclaim.peak_pending()
+    }
+
+    fn check_lengths(key: &[u8], value: &[u8]) -> Result<(), EngineError> {
+        if key.len() > u16::MAX as usize {
+            return Err(EngineError::KeyTooLong);
+        }
+        if value.len() >= (1u64 << 32) as usize {
+            return Err(EngineError::ValueTooLong);
+        }
+        Ok(())
+    }
+
+    fn find(&mut self, hash: u64, key: &[u8]) -> Option<u64> {
+        let words = self.arena.words();
+        self.table
+            .lookup(hash, |off| ItemRef { off }.key_eq(words, key))
+    }
+
+    fn alloc_item(&mut self, now: u64, klen: usize, vlen: usize) -> Result<u64, EngineError> {
+        let need = item_words(klen, vlen);
+        if let Some(off) = self.arena.alloc(need) {
+            return Ok(off);
+        }
+        // Reclaim anything whose lease has lapsed, then retry.
+        self.pump_reclaim(now);
+        if let Some(off) = self.arena.alloc(need) {
+            return Ok(off);
+        }
+        if self.cfg.write_mode == WriteMode::Cache {
+            // CLOCK eviction: sweep until an allocation fits or the ring is
+            // exhausted twice (every entry got its second chance).
+            let budget = self.clock.len() * 2;
+            for _ in 0..budget {
+                let Some((h, off)) = self.clock.pop_front() else {
+                    break;
+                };
+                let words = self.arena.words();
+                let current = self.table.lookup(h, |o| o == off).is_some();
+                if !current {
+                    continue; // stale ring entry
+                }
+                let item = ItemRef { off };
+                if item.clock_ref(words) {
+                    item.set_clock_ref(words, false);
+                    self.clock.push_back((h, off));
+                    continue;
+                }
+                // Evict: unlink, kill, defer the block to lease expiry.
+                let key = item.key(words);
+                let lease = item.lease(words);
+                let total = item.total_words(words);
+                let removed = self
+                    .table
+                    .remove(h, |o| o == off)
+                    .expect("entry verified current");
+                debug_assert_eq!(removed, off);
+                item.kill(self.arena.words());
+                self.reclaim.push(off, total, lease.max(now));
+                self.stats.evictions += 1;
+                let _ = key;
+                self.pump_reclaim(now);
+                if let Some(off) = self.arena.alloc(need) {
+                    return Ok(off);
+                }
+            }
+        }
+        self.stats.oom_events += 1;
+        Err(EngineError::OutOfMemory)
+    }
+
+    /// INSERT. In reliable mode an existing key yields
+    /// [`EngineError::Exists`]; in cache mode it upserts.
+    pub fn insert(&mut self, now: u64, key: &[u8], value: &[u8]) -> Result<ItemInfo, EngineError> {
+        Self::check_lengths(key, value)?;
+        let hash = hash_key(key);
+        if let Some(old) = self.find(hash, key) {
+            return match self.cfg.write_mode {
+                WriteMode::Reliable => Err(EngineError::Exists),
+                WriteMode::Cache => {
+                    let info = self.replace_item(now, hash, key, value, old)?;
+                    self.stats.inserts += 1;
+                    Ok(info)
+                }
+            };
+        }
+        let off = self.alloc_item(now, key.len(), value.len())?;
+        let item = ItemRef::write_new(self.arena.words(), off, key, value);
+        self.table.insert(hash, off);
+        self.clock.push_back((hash, off));
+        self.stats.inserts += 1;
+        Ok(ItemInfo {
+            off_words: off,
+            read_len: item.read_len(self.arena.words()),
+            lease_expiry: 0,
+        })
+    }
+
+    /// UPDATE of an existing key (out-of-place). Absent keys:
+    /// [`EngineError::NotFound`] in reliable mode, upsert in cache mode.
+    pub fn update(&mut self, now: u64, key: &[u8], value: &[u8]) -> Result<ItemInfo, EngineError> {
+        Self::check_lengths(key, value)?;
+        let hash = hash_key(key);
+        match self.find(hash, key) {
+            Some(old) => {
+                let info = self.replace_item(now, hash, key, value, old)?;
+                self.stats.updates += 1;
+                Ok(info)
+            }
+            None => match self.cfg.write_mode {
+                WriteMode::Reliable => Err(EngineError::NotFound),
+                WriteMode::Cache => {
+                    let off = self.alloc_item(now, key.len(), value.len())?;
+                    let item = ItemRef::write_new(self.arena.words(), off, key, value);
+                    self.table.insert(hash, off);
+                    self.clock.push_back((hash, off));
+                    self.stats.updates += 1;
+                    Ok(ItemInfo {
+                        off_words: off,
+                        read_len: item.read_len(self.arena.words()),
+                        lease_expiry: 0,
+                    })
+                }
+            },
+        }
+    }
+
+    /// Upsert regardless of mode — the replication applier uses this for
+    /// [`hydra_wire::LogOp::Put`] records.
+    pub fn put(&mut self, now: u64, key: &[u8], value: &[u8]) -> Result<ItemInfo, EngineError> {
+        Self::check_lengths(key, value)?;
+        let hash = hash_key(key);
+        match self.find(hash, key) {
+            Some(old) => self.replace_item(now, hash, key, value, old),
+            None => {
+                let off = self.alloc_item(now, key.len(), value.len())?;
+                let item = ItemRef::write_new(self.arena.words(), off, key, value);
+                self.table.insert(hash, off);
+                self.clock.push_back((hash, off));
+                Ok(ItemInfo {
+                    off_words: off,
+                    read_len: item.read_len(self.arena.words()),
+                    lease_expiry: 0,
+                })
+            }
+        }
+    }
+
+    /// The §4.2.3 update path: allocate the new item first, flip the old
+    /// guardian atomically, swap the index link, defer the old block.
+    fn replace_item(
+        &mut self,
+        now: u64,
+        hash: u64,
+        key: &[u8],
+        value: &[u8],
+        old_off: u64,
+    ) -> Result<ItemInfo, EngineError> {
+        let new_off = self.alloc_item(now, key.len(), value.len())?;
+        let new_item = ItemRef::write_new(self.arena.words(), new_off, key, value);
+        let read_len = new_item.read_len(self.arena.words());
+        let old_item = ItemRef { off: old_off };
+        let words = self.arena.words();
+        // Carry popularity across versions so lease scaling survives updates.
+        let pop = old_item.popularity(words);
+        for _ in 0..pop {
+            new_item.bump_popularity(words);
+        }
+        let old_words = old_item.total_words(words);
+        let old_lease = old_item.lease(words);
+        old_item.kill(words);
+        let replaced = self.table.replace(hash, new_off, |off| off == old_off);
+        debug_assert_eq!(replaced, Some(old_off));
+        self.clock.push_back((hash, new_off));
+        self.reclaim.push(old_off, old_words, old_lease.max(now));
+        Ok(ItemInfo {
+            off_words: new_off,
+            read_len,
+            lease_expiry: 0,
+        })
+    }
+
+    /// Lease term granted to an item with popularity `pop`: doubles per
+    /// popularity power-of-two, clamped to `[min_lease, max_lease]` (§4.2.3's
+    /// 1–64 s range).
+    fn lease_term(&self, pop: u8) -> u64 {
+        let level = 63 - (pop as u64).max(1).leading_zeros() as u64; // floor(log2(pop)), pop >= 1
+        let term = self.cfg.min_lease_ns.saturating_shl(level.min(6) as u32);
+        term.clamp(self.cfg.min_lease_ns, self.cfg.max_lease_ns)
+    }
+
+    /// Server-side GET: returns the value plus the remote-pointer metadata
+    /// and extends the item's lease.
+    pub fn get(&mut self, now: u64, key: &[u8]) -> Option<GetResult> {
+        self.stats.gets += 1;
+        let hash = hash_key(key);
+        let off = self.find(hash, key)?;
+        self.stats.get_hits += 1;
+        let words = self.arena.words();
+        let item = ItemRef { off };
+        item.bump_popularity(words);
+        item.set_clock_ref(words, true);
+        let expiry = now + self.lease_term(item.popularity(words));
+        item.extend_lease(words, expiry);
+        Some(GetResult {
+            value: item.value(words),
+            info: ItemInfo {
+                off_words: off,
+                read_len: item.read_len(words),
+                lease_expiry: item.lease(words),
+            },
+        })
+    }
+
+    /// DELETE. Flips the guardian and defers the block.
+    pub fn delete(&mut self, now: u64, key: &[u8]) -> Result<(), EngineError> {
+        let hash = hash_key(key);
+        let Some(off) = self.find(hash, key) else {
+            return Err(EngineError::NotFound);
+        };
+        let words = self.arena.words();
+        let item = ItemRef { off };
+        let total = item.total_words(words);
+        let lease = item.lease(words);
+        item.kill(words);
+        self.table.remove(hash, |o| o == off);
+        self.reclaim.push(off, total, lease.max(now));
+        self.stats.deletes += 1;
+        Ok(())
+    }
+
+    /// Extends the lease of `key` (client-initiated renewal). Returns the
+    /// new expiry, or `None` when the key is gone — at which point the
+    /// server stops extending, per §4.2.3.
+    pub fn renew_lease(&mut self, now: u64, key: &[u8]) -> Option<u64> {
+        self.stats.lease_renews += 1;
+        let hash = hash_key(key);
+        let off = self.find(hash, key)?;
+        let words = self.arena.words();
+        let item = ItemRef { off };
+        let expiry = now + self.lease_term(item.popularity(words));
+        item.extend_lease(words, expiry);
+        Some(item.lease(words))
+    }
+
+    /// Frees every dead block whose lease has expired. The paper runs this on
+    /// a background thread; callers pump it from the shard loop or a periodic
+    /// simulator event. Returns blocks freed.
+    pub fn pump_reclaim(&mut self, now: u64) -> usize {
+        let arena = &mut self.arena;
+        let n = self
+            .reclaim
+            .reclaim(now, |off, words| arena.free(off, words));
+        self.stats.reclaimed_blocks += n as u64;
+        n
+    }
+
+    /// Earliest pending reclamation deadline (schedules the next GC event).
+    pub fn next_reclaim_at(&self) -> Option<u64> {
+        self.reclaim.next_expiry()
+    }
+
+    /// Visits `(hash-agnostic) offsets` of all live items — used by failover
+    /// migration to stream a partition to a new owner.
+    pub fn for_each_item(&self, mut f: impl FnMut(Vec<u8>, Vec<u8>)) {
+        let words = self.arena.words();
+        self.table.for_each(|off| {
+            let item = ItemRef { off };
+            f(item.key(words), item.value(words));
+        });
+    }
+}
+
+/// `u64::checked_shl` that saturates instead of wrapping.
+trait SaturatingShl {
+    fn saturating_shl(self, n: u32) -> u64;
+}
+
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, n: u32) -> u64 {
+        self.checked_shl(n).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::{FetchedItem, ItemError};
+
+    fn cfg_small(mode: WriteMode) -> EngineConfig {
+        EngineConfig {
+            arena_words: 4096,
+            expected_items: 256,
+            write_mode: mode,
+            min_lease_ns: 1_000,
+            max_lease_ns: 64_000,
+        }
+    }
+
+    fn rdma_fetch(engine: &ShardEngine, info: ItemInfo) -> Vec<u8> {
+        // Simulate a one-sided read: copy read_len bytes from the arena.
+        let words = engine.words();
+        let mut blob = Vec::with_capacity(info.read_len as usize);
+        for w in 0..(info.read_len as usize) / 8 {
+            blob.extend_from_slice(
+                &words[info.off_words as usize + w]
+                    .load(std::sync::atomic::Ordering::Relaxed)
+                    .to_le_bytes(),
+            );
+        }
+        blob
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut e = ShardEngine::new(cfg_small(WriteMode::Reliable));
+        e.insert(0, b"k1", b"v1").unwrap();
+        let got = e.get(10, b"k1").unwrap();
+        assert_eq!(got.value, b"v1");
+        assert!(got.info.lease_expiry > 10);
+        assert_eq!(e.get(10, b"missing"), None);
+        assert_eq!(e.len(), 1);
+    }
+
+    #[test]
+    fn reliable_insert_collision_fails() {
+        let mut e = ShardEngine::new(cfg_small(WriteMode::Reliable));
+        e.insert(0, b"k", b"v").unwrap();
+        assert_eq!(e.insert(1, b"k", b"v2").unwrap_err(), EngineError::Exists);
+        assert_eq!(e.get(2, b"k").unwrap().value, b"v");
+    }
+
+    #[test]
+    fn cache_insert_upserts() {
+        let mut e = ShardEngine::new(cfg_small(WriteMode::Cache));
+        e.insert(0, b"k", b"v1").unwrap();
+        e.insert(1, b"k", b"v2").unwrap();
+        assert_eq!(e.get(2, b"k").unwrap().value, b"v2");
+        assert_eq!(e.len(), 1);
+    }
+
+    #[test]
+    fn update_is_out_of_place_and_kills_old_item() {
+        let mut e = ShardEngine::new(cfg_small(WriteMode::Reliable));
+        let i1 = e.insert(0, b"k", b"old-value").unwrap();
+        let blob_before = rdma_fetch(&e, i1);
+        assert!(FetchedItem::parse(&blob_before, b"k").is_ok());
+
+        let i2 = e.update(5, b"k", b"new-value").unwrap();
+        assert_ne!(i1.off_words, i2.off_words, "update must be out-of-place");
+        // A stale remote pointer now observes a dead guardian.
+        let blob_after = rdma_fetch(&e, i1);
+        assert_eq!(
+            FetchedItem::parse(&blob_after, b"k").unwrap_err(),
+            ItemError::Stale
+        );
+        // The fresh pointer works.
+        let blob_new = rdma_fetch(&e, i2);
+        assert_eq!(
+            FetchedItem::parse(&blob_new, b"k").unwrap().value,
+            b"new-value"
+        );
+    }
+
+    #[test]
+    fn update_missing_key() {
+        let mut e = ShardEngine::new(cfg_small(WriteMode::Reliable));
+        assert_eq!(
+            e.update(0, b"nope", b"v").unwrap_err(),
+            EngineError::NotFound
+        );
+        let mut e = ShardEngine::new(cfg_small(WriteMode::Cache));
+        e.update(0, b"nope", b"v").unwrap();
+        assert_eq!(e.get(1, b"nope").unwrap().value, b"v");
+    }
+
+    #[test]
+    fn delete_then_get_misses() {
+        let mut e = ShardEngine::new(cfg_small(WriteMode::Reliable));
+        let info = e.insert(0, b"k", b"v").unwrap();
+        e.delete(1, b"k").unwrap();
+        assert_eq!(e.get(2, b"k"), None);
+        assert_eq!(e.delete(3, b"k").unwrap_err(), EngineError::NotFound);
+        let blob = rdma_fetch(&e, info);
+        assert_eq!(
+            FetchedItem::parse(&blob, b"k").unwrap_err(),
+            ItemError::Stale
+        );
+    }
+
+    #[test]
+    fn memory_reuse_waits_for_lease_expiry() {
+        let mut e = ShardEngine::new(cfg_small(WriteMode::Reliable));
+        e.insert(0, b"k", b"v").unwrap();
+        // GET at t=10 grants a lease (min 1000ns -> expiry 1010).
+        let lease = e.get(10, b"k").unwrap().info.lease_expiry;
+        assert_eq!(lease, 1_010);
+        e.delete(20, b"k").unwrap();
+        assert_eq!(e.reclaim_pending(), 1);
+        assert_eq!(e.pump_reclaim(lease - 1), 0, "must not free during lease");
+        assert_eq!(e.pump_reclaim(lease), 1, "frees once lease lapses");
+        assert_eq!(e.stats().reclaimed_blocks, 1);
+    }
+
+    #[test]
+    fn unleased_items_reclaim_immediately_after_now() {
+        let mut e = ShardEngine::new(cfg_small(WriteMode::Reliable));
+        e.insert(0, b"k", b"v").unwrap();
+        e.delete(5, b"k").unwrap(); // never leased
+        assert_eq!(e.pump_reclaim(5), 1);
+    }
+
+    #[test]
+    fn lease_term_scales_with_popularity() {
+        let mut e = ShardEngine::new(cfg_small(WriteMode::Reliable));
+        e.insert(0, b"hot", b"v").unwrap();
+        let first = e.get(0, b"hot").unwrap().info.lease_expiry;
+        assert_eq!(first, 1_000, "popularity 1 -> min lease");
+        for _ in 0..200 {
+            e.get(0, b"hot").unwrap();
+        }
+        let later = e.get(0, b"hot").unwrap().info.lease_expiry;
+        assert_eq!(later, 64_000, "popularity saturated -> max lease");
+    }
+
+    #[test]
+    fn renew_lease_extends_and_stops_after_delete() {
+        let mut e = ShardEngine::new(cfg_small(WriteMode::Reliable));
+        e.insert(0, b"k", b"v").unwrap();
+        let l1 = e.renew_lease(100, b"k").unwrap();
+        assert!(l1 >= 1_100);
+        e.delete(200, b"k").unwrap();
+        assert_eq!(e.renew_lease(300, b"k"), None, "no renewal for dead keys");
+    }
+
+    #[test]
+    fn cache_mode_evicts_under_pressure() {
+        let cfg = EngineConfig {
+            arena_words: 512,
+            expected_items: 64,
+            write_mode: WriteMode::Cache,
+            min_lease_ns: 0,
+            max_lease_ns: 0,
+        };
+        let mut e = ShardEngine::new(cfg);
+        // Each item: 1 + 1 + 4 + 2 = 8 words; arena fits 64.
+        for i in 0..200 {
+            let key = format!("key{i:04}");
+            e.insert(i, key.as_bytes(), &[0xAB; 32])
+                .unwrap_or_else(|err| panic!("insert {i}: {err}"));
+        }
+        assert!(e.stats().evictions > 0, "evictions must have occurred");
+        assert!(e.len() <= 64);
+        // Recently inserted keys survive.
+        assert!(e.get(1_000, b"key0199").is_some());
+    }
+
+    #[test]
+    fn reliable_mode_oom_is_an_error() {
+        let cfg = EngineConfig {
+            arena_words: 64,
+            expected_items: 8,
+            write_mode: WriteMode::Reliable,
+            min_lease_ns: 1_000,
+            max_lease_ns: 64_000,
+        };
+        let mut e = ShardEngine::new(cfg);
+        let mut failed = false;
+        for i in 0..100 {
+            if e.insert(i, format!("k{i}").as_bytes(), &[0u8; 16]).is_err() {
+                failed = true;
+                break;
+            }
+        }
+        assert!(failed, "reliable mode must surface OOM");
+        assert!(e.stats().oom_events > 0);
+    }
+
+    #[test]
+    fn clock_second_chance_protects_hot_items() {
+        let cfg = EngineConfig {
+            arena_words: 512,
+            expected_items: 64,
+            write_mode: WriteMode::Cache,
+            min_lease_ns: 0,
+            max_lease_ns: 0,
+        };
+        let mut e = ShardEngine::new(cfg);
+        e.insert(0, b"hot-key!", &[1; 32]).unwrap();
+        for i in 0..500 {
+            e.get(i, b"hot-key!"); // keeps the reference bit set
+            let key = format!("cold{i:04}");
+            let _ = e.insert(i, key.as_bytes(), &[0; 32]);
+        }
+        assert!(
+            e.get(1_000, b"hot-key!").is_some(),
+            "hot item must survive CLOCK sweeps"
+        );
+    }
+
+    #[test]
+    fn popularity_survives_update() {
+        let mut e = ShardEngine::new(cfg_small(WriteMode::Reliable));
+        e.insert(0, b"k", b"v1").unwrap();
+        for _ in 0..200 {
+            e.get(0, b"k").unwrap();
+        }
+        e.update(1, b"k", b"v2").unwrap();
+        // Popularity carried over -> still max lease.
+        let lease = e.get(2, b"k").unwrap().info.lease_expiry;
+        assert_eq!(lease, 64_002);
+    }
+
+    #[test]
+    fn for_each_item_enumerates_live_state() {
+        let mut e = ShardEngine::new(cfg_small(WriteMode::Reliable));
+        e.insert(0, b"a", b"1").unwrap();
+        e.insert(0, b"b", b"2").unwrap();
+        e.insert(0, b"c", b"3").unwrap();
+        e.delete(1, b"b").unwrap();
+        let mut seen = Vec::new();
+        e.for_each_item(|k, v| seen.push((k, v)));
+        seen.sort();
+        assert_eq!(
+            seen,
+            vec![
+                (b"a".to_vec(), b"1".to_vec()),
+                (b"c".to_vec(), b"3".to_vec())
+            ]
+        );
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let mut e = ShardEngine::new(cfg_small(WriteMode::Reliable));
+        e.insert(0, b"k", b"v").unwrap();
+        e.get(1, b"k").unwrap();
+        e.get(1, b"missing");
+        e.update(2, b"k", b"v2").unwrap();
+        e.delete(3, b"k").unwrap();
+        let s = e.stats();
+        assert_eq!(s.inserts, 1);
+        assert_eq!(s.gets, 2);
+        assert_eq!(s.get_hits, 1);
+        assert_eq!(s.updates, 1);
+        assert_eq!(s.deletes, 1);
+    }
+
+    #[test]
+    fn heavy_churn_with_reclamation_is_stable() {
+        let cfg = EngineConfig {
+            arena_words: 8192,
+            expected_items: 128,
+            write_mode: WriteMode::Reliable,
+            min_lease_ns: 100,
+            max_lease_ns: 6_400,
+        };
+        let mut e = ShardEngine::new(cfg);
+        for i in 0..64 {
+            e.insert(0, format!("key{i:03}").as_bytes(), &[0; 24])
+                .unwrap();
+        }
+        for round in 0u64..2_000 {
+            let now = round * 10;
+            let k = format!("key{:03}", round % 64);
+            e.get(now, k.as_bytes()).unwrap();
+            e.update(now, k.as_bytes(), &[round as u8; 24]).unwrap();
+            e.pump_reclaim(now);
+        }
+        // All old versions eventually reclaimed.
+        e.pump_reclaim(u64::MAX);
+        assert_eq!(e.reclaim_pending(), 0);
+        let a = e.arena_stats();
+        assert_eq!(a.live_words, 64 * item_words(6, 24) as u64);
+    }
+}

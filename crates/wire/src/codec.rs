@@ -1,0 +1,421 @@
+//! Request/response codecs for the HydraDB key-value protocol.
+//!
+//! Every server-handled operation travels as a framed payload ([`crate::frame`])
+//! containing one encoded [`Request`]; the shard answers with one encoded
+//! [`Response`]. Encodings are little-endian, length-prefixed, and borrow
+//! from the input buffer on decode so the hot path performs no copies beyond
+//! the frame extraction itself.
+//!
+//! Request layout:
+//!
+//! ```text
+//! [op:1][flags:1][pad:2][klen:4][vlen:4][req_id:8][key][value]
+//! ```
+//!
+//! `LEASE_RENEW` reuses the value area for a packed key list.
+//!
+//! Response layout:
+//!
+//! ```text
+//! [status:1][flags:1][pad:2][vlen:4][req_id:8][rptr:16][lease_expiry:8][value]
+//! ```
+
+use crate::rptr::{RemotePtr, REMOTE_PTR_BYTES};
+
+/// Operation codes carried in request headers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum OpCode {
+    /// Read a value (server-side message path).
+    Get = 1,
+    /// Insert a new key (fails if present in reliable mode; upserts in cache mode).
+    Insert = 2,
+    /// Update an existing key (out-of-place; flips the old guardian).
+    Update = 3,
+    /// Remove a key.
+    Delete = 4,
+    /// Extend the leases of a batch of popular keys (§4.2.3).
+    LeaseRenew = 5,
+}
+
+impl OpCode {
+    /// Parses a wire byte.
+    pub fn from_u8(v: u8) -> Option<OpCode> {
+        Some(match v {
+            1 => OpCode::Get,
+            2 => OpCode::Insert,
+            3 => OpCode::Update,
+            4 => OpCode::Delete,
+            5 => OpCode::LeaseRenew,
+            _ => return None,
+        })
+    }
+}
+
+/// Response status codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Status {
+    /// Operation succeeded; value/rptr fields are valid per opcode.
+    Ok = 1,
+    /// Key not present.
+    NotFound = 2,
+    /// Insert collided with an existing key (reliable mode).
+    Exists = 3,
+    /// Server-side failure (allocation, shard shutting down, ...).
+    Error = 4,
+}
+
+impl Status {
+    /// Parses a wire byte.
+    pub fn from_u8(v: u8) -> Option<Status> {
+        Some(match v {
+            1 => Status::Ok,
+            2 => Status::NotFound,
+            3 => Status::Exists,
+            4 => Status::Error,
+            _ => return None,
+        })
+    }
+}
+
+const REQ_HDR: usize = 1 + 1 + 2 + 4 + 4 + 8;
+const RESP_HDR: usize = 1 + 1 + 2 + 4 + 8 + REMOTE_PTR_BYTES + 8;
+
+/// A decoded request, borrowing key/value bytes from the frame payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request<'a> {
+    /// GET through the message path.
+    Get { req_id: u64, key: &'a [u8] },
+    /// INSERT a new key-value pair.
+    Insert {
+        req_id: u64,
+        key: &'a [u8],
+        value: &'a [u8],
+    },
+    /// UPDATE an existing key.
+    Update {
+        req_id: u64,
+        key: &'a [u8],
+        value: &'a [u8],
+    },
+    /// DELETE a key.
+    Delete { req_id: u64, key: &'a [u8] },
+    /// Renew leases on a batch of keys the client deems popular.
+    LeaseRenew { req_id: u64, keys: Vec<&'a [u8]> },
+}
+
+impl<'a> Request<'a> {
+    /// The request identifier echoed in the response.
+    pub fn req_id(&self) -> u64 {
+        match self {
+            Request::Get { req_id, .. }
+            | Request::Insert { req_id, .. }
+            | Request::Update { req_id, .. }
+            | Request::Delete { req_id, .. }
+            | Request::LeaseRenew { req_id, .. } => *req_id,
+        }
+    }
+
+    /// The opcode of this request.
+    pub fn op(&self) -> OpCode {
+        match self {
+            Request::Get { .. } => OpCode::Get,
+            Request::Insert { .. } => OpCode::Insert,
+            Request::Update { .. } => OpCode::Update,
+            Request::Delete { .. } => OpCode::Delete,
+            Request::LeaseRenew { .. } => OpCode::LeaseRenew,
+        }
+    }
+
+    /// Encodes into a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(REQ_HDR + 64);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Encodes, appending to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let (op, req_id, key, value): (OpCode, u64, &[u8], &[u8]) = match self {
+            Request::Get { req_id, key } => (OpCode::Get, *req_id, key, &[]),
+            Request::Insert { req_id, key, value } => (OpCode::Insert, *req_id, key, value),
+            Request::Update { req_id, key, value } => (OpCode::Update, *req_id, key, value),
+            Request::Delete { req_id, key } => (OpCode::Delete, *req_id, key, &[]),
+            Request::LeaseRenew { req_id, keys } => {
+                // Pack the key list into the value area: [count:4] then
+                // repeated [klen:4][key].
+                let mut packed =
+                    Vec::with_capacity(4 + keys.iter().map(|k| 4 + k.len()).sum::<usize>());
+                packed.extend_from_slice(&(keys.len() as u32).to_le_bytes());
+                for k in keys {
+                    packed.extend_from_slice(&(k.len() as u32).to_le_bytes());
+                    packed.extend_from_slice(k);
+                }
+                out.push(OpCode::LeaseRenew as u8);
+                out.push(0);
+                out.extend_from_slice(&[0, 0]);
+                out.extend_from_slice(&0u32.to_le_bytes());
+                out.extend_from_slice(&(packed.len() as u32).to_le_bytes());
+                out.extend_from_slice(&req_id.to_le_bytes());
+                out.extend_from_slice(&packed);
+                return;
+            }
+        };
+        out.push(op as u8);
+        out.push(0);
+        out.extend_from_slice(&[0, 0]);
+        out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(value.len() as u32).to_le_bytes());
+        out.extend_from_slice(&req_id.to_le_bytes());
+        out.extend_from_slice(key);
+        out.extend_from_slice(value);
+    }
+
+    /// Decodes a request from `buf`.
+    pub fn decode(buf: &'a [u8]) -> Option<Request<'a>> {
+        if buf.len() < REQ_HDR {
+            return None;
+        }
+        let op = OpCode::from_u8(buf[0])?;
+        let klen = u32::from_le_bytes(buf[4..8].try_into().ok()?) as usize;
+        let vlen = u32::from_le_bytes(buf[8..12].try_into().ok()?) as usize;
+        let req_id = u64::from_le_bytes(buf[12..20].try_into().ok()?);
+        let body = &buf[REQ_HDR..];
+        if body.len() < klen + vlen {
+            return None;
+        }
+        let key = &body[..klen];
+        let value = &body[klen..klen + vlen];
+        Some(match op {
+            OpCode::Get => Request::Get { req_id, key },
+            OpCode::Insert => Request::Insert { req_id, key, value },
+            OpCode::Update => Request::Update { req_id, key, value },
+            OpCode::Delete => Request::Delete { req_id, key },
+            OpCode::LeaseRenew => {
+                let mut keys = Vec::new();
+                let mut p = value;
+                if p.len() < 4 {
+                    return None;
+                }
+                let count = u32::from_le_bytes(p[..4].try_into().ok()?) as usize;
+                p = &p[4..];
+                for _ in 0..count {
+                    if p.len() < 4 {
+                        return None;
+                    }
+                    let kl = u32::from_le_bytes(p[..4].try_into().ok()?) as usize;
+                    p = &p[4..];
+                    if p.len() < kl {
+                        return None;
+                    }
+                    keys.push(&p[..kl]);
+                    p = &p[kl..];
+                }
+                Request::LeaseRenew { req_id, keys }
+            }
+        })
+    }
+}
+
+/// A decoded response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response<'a> {
+    /// Outcome of the request.
+    pub status: Status,
+    /// Echo of the request identifier.
+    pub req_id: u64,
+    /// Value bytes (GET responses; empty otherwise).
+    pub value: &'a [u8],
+    /// Where the item lives for future RDMA Reads ([`RemotePtr::none`] when
+    /// not applicable).
+    pub rptr: RemotePtr,
+    /// Absolute lease expiry (virtual ns) until which the remote pointer is
+    /// guaranteed valid; 0 when no lease was granted.
+    pub lease_expiry: u64,
+}
+
+impl<'a> Response<'a> {
+    /// Convenience constructor for value-less responses.
+    pub fn status_only(status: Status, req_id: u64) -> Response<'static> {
+        Response {
+            status,
+            req_id,
+            value: &[],
+            rptr: RemotePtr::none(),
+            lease_expiry: 0,
+        }
+    }
+
+    /// Encodes into a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(RESP_HDR + self.value.len());
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Encodes, appending to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(self.status as u8);
+        out.push(0);
+        out.extend_from_slice(&[0, 0]);
+        out.extend_from_slice(&(self.value.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.req_id.to_le_bytes());
+        out.extend_from_slice(&self.rptr.encode());
+        out.extend_from_slice(&self.lease_expiry.to_le_bytes());
+        out.extend_from_slice(self.value);
+    }
+
+    /// Decodes a response from `buf`.
+    pub fn decode(buf: &'a [u8]) -> Option<Response<'a>> {
+        if buf.len() < RESP_HDR {
+            return None;
+        }
+        let status = Status::from_u8(buf[0])?;
+        let vlen = u32::from_le_bytes(buf[4..8].try_into().ok()?) as usize;
+        let req_id = u64::from_le_bytes(buf[8..16].try_into().ok()?);
+        let rptr = RemotePtr::decode(&buf[16..16 + REMOTE_PTR_BYTES])?;
+        let lease_expiry =
+            u64::from_le_bytes(buf[16 + REMOTE_PTR_BYTES..RESP_HDR].try_into().ok()?);
+        let body = &buf[RESP_HDR..];
+        if body.len() < vlen {
+            return None;
+        }
+        Some(Response {
+            status,
+            req_id,
+            value: &body[..vlen],
+            rptr,
+            lease_expiry,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(r: &Request<'_>) {
+        let enc = r.encode();
+        let dec = Request::decode(&enc).expect("decodes");
+        assert_eq!(&dec, r);
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        roundtrip_req(&Request::Get {
+            req_id: 1,
+            key: b"user:42",
+        });
+        roundtrip_req(&Request::Insert {
+            req_id: 2,
+            key: b"k",
+            value: b"v",
+        });
+        roundtrip_req(&Request::Update {
+            req_id: 3,
+            key: b"key16bytes......",
+            value: &[0xAB; 32],
+        });
+        roundtrip_req(&Request::Delete {
+            req_id: 4,
+            key: b"",
+        });
+        roundtrip_req(&Request::LeaseRenew {
+            req_id: 5,
+            keys: vec![b"a".as_slice(), b"bb".as_slice(), b"ccc".as_slice()],
+        });
+        roundtrip_req(&Request::LeaseRenew {
+            req_id: 6,
+            keys: vec![],
+        });
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        let r = Response {
+            status: Status::Ok,
+            req_id: 99,
+            value: b"the value",
+            rptr: RemotePtr::new(3, 4096, 64),
+            lease_expiry: 123_456_789,
+        };
+        let enc = r.encode();
+        assert_eq!(Response::decode(&enc).unwrap(), r);
+
+        let r2 = Response::status_only(Status::NotFound, 7);
+        assert_eq!(Response::decode(&r2.encode()).unwrap(), r2);
+    }
+
+    #[test]
+    fn large_value_roundtrips() {
+        let value = vec![0x5Au8; 4 << 20]; // 4 MiB MapReduce chunk
+        let r = Request::Insert {
+            req_id: 10,
+            key: b"block-0/chunk-3",
+            value: &value,
+        };
+        roundtrip_req(&r);
+    }
+
+    #[test]
+    fn truncated_buffers_decode_none() {
+        let enc = Request::Get {
+            req_id: 1,
+            key: b"user:42",
+        }
+        .encode();
+        for cut in 0..enc.len() {
+            assert!(Request::decode(&enc[..cut]).is_none(), "cut={cut}");
+        }
+        let enc = Response {
+            status: Status::Ok,
+            req_id: 1,
+            value: b"xyz",
+            rptr: RemotePtr::none(),
+            lease_expiry: 0,
+        }
+        .encode();
+        for cut in 0..enc.len() {
+            assert!(Response::decode(&enc[..cut]).is_none(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn unknown_opcode_and_status_rejected() {
+        let mut enc = Request::Get {
+            req_id: 1,
+            key: b"k",
+        }
+        .encode();
+        enc[0] = 0xFF;
+        assert!(Request::decode(&enc).is_none());
+        let mut enc = Response::status_only(Status::Ok, 1).encode();
+        enc[0] = 0;
+        assert!(Response::decode(&enc).is_none());
+    }
+
+    #[test]
+    fn lease_renew_with_corrupt_count_rejected() {
+        let r = Request::LeaseRenew {
+            req_id: 5,
+            keys: vec![b"abc".as_slice()],
+        };
+        let mut enc = r.encode();
+        // Inflate the declared key count beyond the available bytes.
+        let count_off = REQ_HDR;
+        enc[count_off..count_off + 4].copy_from_slice(&1000u32.to_le_bytes());
+        assert!(Request::decode(&enc).is_none());
+    }
+
+    #[test]
+    fn req_id_and_op_accessors() {
+        let r = Request::Update {
+            req_id: 42,
+            key: b"k",
+            value: b"v",
+        };
+        assert_eq!(r.req_id(), 42);
+        assert_eq!(r.op(), OpCode::Update);
+    }
+}

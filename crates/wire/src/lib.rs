@@ -1,0 +1,29 @@
+//! Wire formats for HydraDB.
+//!
+//! This crate is transport-agnostic byte layout: it knows nothing about the
+//! fabric or the simulator. Three layers live here:
+//!
+//! * [`frame`] — the *indicator-encapsulated* message framing of §4.2.1 of
+//!   the paper. One-sided RDMA Write cannot interrupt the receiver, so both
+//!   sides detect messages by polling: a leading indicator word carries the
+//!   payload size, a trailing indicator word marks completion, and the
+//!   receiver zeroes the buffer after consuming. The framing operates on
+//!   `AtomicU64` word slices so the same code is sound both under the
+//!   simulator (single thread) and across real OS threads in tests.
+//! * [`codec`] — request/response encodings for the key-value protocol
+//!   (GET / INSERT / UPDATE / DELETE / LEASE_RENEW) plus the remote-pointer
+//!   and lease metadata piggybacked on GET responses.
+//! * [`log`] — replication log records written by the primary into the
+//!   secondary's exposed ring (§5.2).
+
+pub mod codec;
+pub mod frame;
+pub mod log;
+pub mod rptr;
+
+pub use codec::{OpCode, Request, Response, Status};
+pub use frame::{
+    consume_message, frame_to_words, frame_words, poll_message, write_message, FrameError,
+};
+pub use log::{LogOp, LogRecord};
+pub use rptr::RemotePtr;

@@ -1,0 +1,104 @@
+//! Property-based tests: every encode/decode pair in the wire layer must
+//! round-trip arbitrary inputs, and framing must tolerate arbitrary payload
+//! lengths against arbitrary (sufficient) slot sizes.
+
+use std::sync::atomic::AtomicU64;
+
+use hydra_wire::{frame, LogOp, LogRecord, RemotePtr, Request, Response, Status};
+use proptest::prelude::*;
+
+fn bytes(max: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn frame_roundtrips_any_payload(payload in bytes(2048), slack in 0usize..8) {
+        let words = frame::frame_words(payload.len()) + slack;
+        let slot: Vec<AtomicU64> = (0..words).map(|_| AtomicU64::new(0)).collect();
+        frame::write_message(&slot, &payload).unwrap();
+        let got = frame::poll_message(&slot).unwrap().expect("complete");
+        prop_assert_eq!(&got, &payload);
+        frame::consume_message(&slot, got.len());
+        for w in &slot {
+            prop_assert_eq!(w.load(std::sync::atomic::Ordering::Relaxed), 0);
+        }
+    }
+
+    #[test]
+    fn frame_to_words_equals_write_message(payload in bytes(1024)) {
+        let slot: Vec<AtomicU64> =
+            (0..frame::frame_words(payload.len())).map(|_| AtomicU64::new(0)).collect();
+        frame::write_message(&slot, &payload).unwrap();
+        let direct: Vec<u64> =
+            slot.iter().map(|w| w.load(std::sync::atomic::Ordering::Relaxed)).collect();
+        prop_assert_eq!(frame::frame_to_words(&payload), direct);
+    }
+
+    #[test]
+    fn request_roundtrips(req_id in any::<u64>(), key in bytes(64), value in bytes(256), op in 0u8..4) {
+        let req = match op {
+            0 => Request::Get { req_id, key: &key },
+            1 => Request::Insert { req_id, key: &key, value: &value },
+            2 => Request::Update { req_id, key: &key, value: &value },
+            _ => Request::Delete { req_id, key: &key },
+        };
+        let enc = req.encode();
+        let dec = Request::decode(&enc).expect("decodes");
+        prop_assert_eq!(dec, req);
+    }
+
+    #[test]
+    fn lease_renew_roundtrips(req_id in any::<u64>(), keys in proptest::collection::vec(bytes(32), 0..12)) {
+        let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+        let req = Request::LeaseRenew { req_id, keys: refs };
+        let enc = req.encode();
+        prop_assert_eq!(Request::decode(&enc).expect("decodes"), req);
+    }
+
+    #[test]
+    fn response_roundtrips(
+        req_id in any::<u64>(),
+        value in bytes(512),
+        region in any::<u32>(),
+        offset in 0u64..(1 << 48),
+        len in any::<u32>(),
+        lease in any::<u64>(),
+        status in 1u8..5,
+    ) {
+        let resp = Response {
+            status: Status::from_u8(status).unwrap(),
+            req_id,
+            value: &value,
+            rptr: RemotePtr::new(region, offset, len),
+            lease_expiry: lease,
+        };
+        let enc = resp.encode();
+        prop_assert_eq!(Response::decode(&enc).expect("decodes"), resp);
+    }
+
+    #[test]
+    fn log_record_roundtrips(seq in any::<u64>(), key in bytes(64), value in bytes(256), op in 1u8..4) {
+        let rec = LogRecord { seq, op: LogOp::from_u8(op).unwrap(), key: &key, value: &value };
+        let enc = rec.encode();
+        prop_assert_eq!(enc.len(), rec.encoded_len());
+        prop_assert_eq!(LogRecord::decode(&enc).expect("decodes"), rec);
+    }
+
+    #[test]
+    fn truncated_requests_never_panic(payload in bytes(128), cut in 0usize..128) {
+        // Arbitrary garbage and truncations must decode to None, not panic.
+        let slice = &payload[..cut.min(payload.len())];
+        let _ = Request::decode(slice);
+        let _ = Response::decode(slice);
+        let _ = LogRecord::decode(slice);
+    }
+
+    #[test]
+    fn remote_ptr_roundtrips(region in any::<u32>(), offset in 0u64..(1 << 48), len in any::<u32>()) {
+        let p = RemotePtr::new(region, offset, len);
+        prop_assert_eq!(RemotePtr::decode(&p.encode()), Some(p));
+    }
+}

@@ -1,0 +1,439 @@
+//! Closed-loop benchmark driver.
+//!
+//! Replays pre-generated op streams against any key-value client that
+//! implements [`KvClient`]: HydraDB's own client, or the baseline stores in
+//! `hydra-baselines`. A *load* phase inserts every record, a *warm-up* slice
+//! of each stream runs unmeasured (populating remote-pointer caches, exactly
+//! why Fig. 10's RDMA-Read gains need warmed caches), then statistics reset
+//! and the measured run begins. Throughput is total measured ops over the
+//! virtual wall-clock between the reset and the last completion; latencies
+//! come from the clients' histograms.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use hydra_db::{HydraClient, OpError};
+use hydra_sim::time::{as_secs, as_us, SimTime};
+use hydra_sim::{Histogram, Sim};
+
+use crate::workload::{Op, Workload};
+
+/// Snapshot of a client's measured activity, in driver-neutral terms.
+#[derive(Debug, Default, Clone)]
+pub struct KvSnapshot {
+    /// Completed operations.
+    pub ops: u64,
+    /// GET latency histogram.
+    pub get_lat: Histogram,
+    /// Write latency histogram.
+    pub update_lat: Histogram,
+    /// Fast-path GETs that validated (HydraDB only).
+    pub rptr_hits: u64,
+    /// Fast-path GETs that fetched a stale item (HydraDB only).
+    pub invalid_hits: u64,
+    /// GETs served through the server message path.
+    pub msg_gets: u64,
+}
+
+/// Anything the driver can benchmark.
+pub trait KvClient: Clone + 'static {
+    /// Issues a GET; calls `cb` with the value (or `None` on miss).
+    fn kv_get(&self, sim: &mut Sim, key: &[u8], cb: KvCb);
+    /// Issues an INSERT.
+    fn kv_insert(&self, sim: &mut Sim, key: &[u8], value: &[u8], cb: KvCb);
+    /// Issues an UPDATE.
+    fn kv_update(&self, sim: &mut Sim, key: &[u8], value: &[u8], cb: KvCb);
+    /// Clears measured statistics.
+    fn kv_reset_stats(&self);
+    /// Snapshots measured statistics.
+    fn kv_snapshot(&self) -> KvSnapshot;
+}
+
+/// Completion callback shared by all drivers.
+pub type KvCb = Box<dyn FnOnce(&mut Sim, Result<Option<Vec<u8>>, OpError>)>;
+
+impl KvClient for HydraClient {
+    fn kv_get(&self, sim: &mut Sim, key: &[u8], cb: KvCb) {
+        self.get(sim, key, cb);
+    }
+    fn kv_insert(&self, sim: &mut Sim, key: &[u8], value: &[u8], cb: KvCb) {
+        self.insert(sim, key, value, cb);
+    }
+    fn kv_update(&self, sim: &mut Sim, key: &[u8], value: &[u8], cb: KvCb) {
+        self.update(sim, key, value, cb);
+    }
+    fn kv_reset_stats(&self) {
+        self.reset_stats();
+    }
+    fn kv_snapshot(&self) -> KvSnapshot {
+        let s = self.stats();
+        KvSnapshot {
+            ops: s.gets + s.updates + s.inserts + s.deletes,
+            get_lat: s.get_lat,
+            update_lat: s.update_lat,
+            rptr_hits: s.rptr_hits,
+            invalid_hits: s.invalid_hits,
+            msg_gets: s.msg_gets,
+        }
+    }
+}
+
+/// Driver knobs.
+#[derive(Debug, Clone)]
+pub struct DriverConfig {
+    /// Fraction of each stream replayed before measurement starts.
+    pub warmup_frac: f64,
+    /// Whether operation errors abort the run (on by default; fail-over
+    /// experiments disable it).
+    pub strict: bool,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig {
+            warmup_frac: 0.05,
+            strict: true,
+        }
+    }
+}
+
+/// Aggregated results of one measured run.
+#[derive(Debug, Clone)]
+pub struct WorkloadReport {
+    /// Operations measured.
+    pub ops: u64,
+    /// Virtual time spent in the measured window.
+    pub elapsed_ns: SimTime,
+    /// Throughput in million ops/sec (virtual time).
+    pub mops: f64,
+    /// Mean/percentile GET latency in µs.
+    pub get_mean_us: f64,
+    pub get_p99_us: f64,
+    /// Mean UPDATE latency in µs.
+    pub update_mean_us: f64,
+    pub update_p99_us: f64,
+    /// Fast-path counters (Fig. 11).
+    pub rptr_hits: u64,
+    pub invalid_hits: u64,
+    pub msg_gets: u64,
+    /// Errors tolerated in non-strict mode.
+    pub errors: u64,
+}
+
+impl WorkloadReport {
+    /// One-line rendering used by the figure binaries.
+    pub fn row(&self) -> String {
+        format!(
+            "{:9.3} Mops | get {:7.2}us p99 {:7.2}us | upd {:7.2}us | hits {:>9} invalid {:>9} msg {:>9}",
+            self.mops,
+            self.get_mean_us,
+            self.get_p99_us,
+            self.update_mean_us,
+            self.rptr_hits,
+            self.invalid_hits,
+            self.msg_gets
+        )
+    }
+}
+
+struct Replay {
+    ops: Vec<Op>,
+    pos: usize,
+    version: u64,
+    errors: u64,
+}
+
+/// Loads `wl.records` and replays `wl` over `clients`, returning the report.
+pub fn run_workload<C: KvClient>(
+    sim: &mut Sim,
+    clients: &[C],
+    wl: &Workload,
+    cfg: &DriverConfig,
+) -> WorkloadReport {
+    assert!(!clients.is_empty());
+    load_records(sim, clients, wl);
+
+    let wl = Rc::new(wl.clone());
+    let streams = wl.generate(clients.len());
+    let warmup_done = Rc::new(Cell::new(0usize));
+    let run_done = Rc::new(Cell::new(0usize));
+    let end_time = Rc::new(Cell::new(0u64));
+    let strict = cfg.strict;
+
+    let mut replays = Vec::new();
+    for s in streams {
+        let split = (s.ops.len() as f64 * cfg.warmup_frac) as usize;
+        replays.push((
+            Rc::new(RefCell::new(Replay {
+                ops: s.ops[..split].to_vec(),
+                pos: 0,
+                version: 1,
+                errors: 0,
+            })),
+            s.ops[split..].to_vec(),
+        ));
+    }
+
+    // Warm-up phase.
+    for (i, client) in clients.iter().enumerate() {
+        let st = replays[i].0.clone();
+        drive(
+            sim,
+            client.clone(),
+            wl.clone(),
+            st,
+            warmup_done.clone(),
+            end_time.clone(),
+            strict,
+        );
+    }
+    sim.run();
+    assert_eq!(warmup_done.get(), clients.len(), "warm-up incomplete");
+
+    // Reset and measure.
+    for c in clients {
+        c.kv_reset_stats();
+    }
+    let t0 = sim.now();
+    end_time.set(t0);
+    for (i, client) in clients.iter().enumerate() {
+        let (st, measured) = &replays[i];
+        {
+            let mut st = st.borrow_mut();
+            st.ops = measured.clone();
+            st.pos = 0;
+        }
+        drive(
+            sim,
+            client.clone(),
+            wl.clone(),
+            st.clone(),
+            run_done.clone(),
+            end_time.clone(),
+            strict,
+        );
+    }
+    sim.run();
+    assert_eq!(run_done.get(), clients.len(), "measured run incomplete");
+
+    // Aggregate.
+    let mut get_lat = Histogram::new();
+    let mut update_lat = Histogram::new();
+    let (mut rptr_hits, mut invalid_hits, mut msg_gets, mut ops) = (0, 0, 0, 0u64);
+    let mut errors = 0;
+    for c in clients {
+        let s = c.kv_snapshot();
+        get_lat.merge(&s.get_lat);
+        update_lat.merge(&s.update_lat);
+        rptr_hits += s.rptr_hits;
+        invalid_hits += s.invalid_hits;
+        msg_gets += s.msg_gets;
+        ops += s.ops;
+    }
+    for (st, _) in &replays {
+        errors += st.borrow().errors;
+    }
+    let elapsed = end_time.get().saturating_sub(t0).max(1);
+    WorkloadReport {
+        ops,
+        elapsed_ns: elapsed,
+        mops: ops as f64 / as_secs(elapsed) / 1e6,
+        get_mean_us: as_us(get_lat.mean() as u64),
+        get_p99_us: as_us(get_lat.quantile(0.99)),
+        update_mean_us: as_us(update_lat.mean() as u64),
+        update_p99_us: as_us(update_lat.quantile(0.99)),
+        rptr_hits,
+        invalid_hits,
+        msg_gets,
+        errors,
+    }
+}
+
+/// Inserts all records, striped across the clients, before any measurement.
+pub fn load_records<C: KvClient>(sim: &mut Sim, clients: &[C], wl: &Workload) {
+    let wl = Rc::new(wl.clone());
+    let done = Rc::new(Cell::new(0usize));
+    for (i, client) in clients.iter().enumerate() {
+        let stride = clients.len() as u64;
+        let first = i as u64;
+        load_next(sim, client.clone(), wl.clone(), first, stride, done.clone());
+    }
+    sim.run();
+    assert_eq!(done.get(), clients.len(), "load phase incomplete");
+}
+
+fn load_next<C: KvClient>(
+    sim: &mut Sim,
+    client: C,
+    wl: Rc<Workload>,
+    id: u64,
+    stride: u64,
+    done: Rc<Cell<usize>>,
+) {
+    if id >= wl.records {
+        done.set(done.get() + 1);
+        return;
+    }
+    let key = wl.key_of(id);
+    let value = wl.value_of(id, 0);
+    let c2 = client.clone();
+    client.kv_insert(
+        sim,
+        &key,
+        &value,
+        Box::new(move |sim, r| {
+            if let Err(e) = r {
+                assert!(matches!(e, OpError::Exists), "load failed: {e:?}");
+            }
+            load_next(sim, c2, wl, id + stride, stride, done);
+        }),
+    );
+}
+
+fn drive<C: KvClient>(
+    sim: &mut Sim,
+    client: C,
+    wl: Rc<Workload>,
+    st: Rc<RefCell<Replay>>,
+    done: Rc<Cell<usize>>,
+    end_time: Rc<Cell<u64>>,
+    strict: bool,
+) {
+    let op = {
+        let mut s = st.borrow_mut();
+        if s.pos >= s.ops.len() {
+            done.set(done.get() + 1);
+            end_time.set(end_time.get().max(sim.now()));
+            return;
+        }
+        let op = s.ops[s.pos];
+        s.pos += 1;
+        op
+    };
+    let cont: KvCb = {
+        let client = client.clone();
+        let wl = wl.clone();
+        let st = st.clone();
+        Box::new(move |sim, r| {
+            if let Err(e) = r {
+                if strict {
+                    panic!("workload op failed: {e:?}");
+                }
+                st.borrow_mut().errors += 1;
+            }
+            drive(sim, client, wl, st, done, end_time, strict);
+        })
+    };
+    match op {
+        Op::Read(id) => {
+            let key = wl.key_of(id);
+            client.kv_get(sim, &key, cont);
+        }
+        Op::Update(id) => {
+            let (key, value) = {
+                let mut s = st.borrow_mut();
+                s.version += 1;
+                (wl.key_of(id), wl.value_of(id, s.version))
+            };
+            client.kv_update(sim, &key, &value, cont);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::KeyDist;
+    use hydra_db::{ClientMode, ClusterBuilder, ClusterConfig};
+
+    fn small_wl(read_ratio: f64, dist: KeyDist) -> Workload {
+        Workload {
+            records: 500,
+            ops: 2_000,
+            read_ratio,
+            dist,
+            key_len: 16,
+            value_len: 32,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn driver_completes_and_reports_sane_numbers() {
+        let mut cluster = ClusterBuilder::new(ClusterConfig::default()).build();
+        let clients: Vec<_> = (0..4).map(|_| cluster.add_client(0)).collect();
+        let wl = small_wl(0.9, KeyDist::zipfian());
+        let report = run_workload(&mut cluster.sim, &clients, &wl, &DriverConfig::default());
+        assert!(report.ops >= 1_800, "ops={}", report.ops);
+        assert!(report.mops > 0.0);
+        assert!(report.get_mean_us > 0.5 && report.get_mean_us < 100.0);
+        assert!(report.update_mean_us > 0.5);
+        assert_eq!(report.errors, 0);
+        assert_eq!(cluster.total_items(), 500);
+    }
+
+    #[test]
+    fn read_only_zipfian_mostly_hits_pointer_cache() {
+        let mut cluster = ClusterBuilder::new(ClusterConfig::default()).build();
+        let clients: Vec<_> = (0..2).map(|_| cluster.add_client(0)).collect();
+        let wl = small_wl(1.0, KeyDist::zipfian());
+        let report = run_workload(&mut cluster.sim, &clients, &wl, &DriverConfig::default());
+        assert!(
+            report.rptr_hits > report.msg_gets,
+            "hits={} msg={}",
+            report.rptr_hits,
+            report.msg_gets
+        );
+        assert_eq!(report.invalid_hits, 0, "read-only cannot invalidate");
+    }
+
+    #[test]
+    fn update_heavy_zipfian_produces_invalid_hits() {
+        let mut cluster = ClusterBuilder::new(ClusterConfig::default()).build();
+        let clients: Vec<_> = (0..4).map(|_| cluster.add_client(0)).collect();
+        let wl = small_wl(0.5, KeyDist::zipfian());
+        let report = run_workload(&mut cluster.sim, &clients, &wl, &DriverConfig::default());
+        assert!(
+            report.invalid_hits > 0,
+            "updates must invalidate fast reads"
+        );
+    }
+
+    #[test]
+    fn rdma_modes_rank_correctly_on_throughput() {
+        // The RDMA-Read gain is a *server-offload* effect: it shows when the
+        // shard CPUs are the bottleneck, which needs the paper's 50-client
+        // load against 4 shards (§6.2). In a latency-bound toy regime the
+        // cascading invalidation of hot pointers can even flip the sign.
+        let run = |mode: ClientMode| {
+            let cfg = ClusterConfig {
+                client_nodes: 5,
+                client_mode: mode,
+                ..Default::default()
+            };
+            let mut cluster = ClusterBuilder::new(cfg).build();
+            let clients: Vec<_> = (0..50).map(|i| cluster.add_client(i % 5)).collect();
+            let wl = Workload {
+                records: 20_000,
+                ops: 30_000,
+                read_ratio: 0.9,
+                dist: KeyDist::zipfian(),
+                key_len: 16,
+                value_len: 32,
+                seed: 5,
+            };
+            run_workload(&mut cluster.sim, &clients, &wl, &DriverConfig::default()).mops
+        };
+        let sendrecv = run(ClientMode::SendRecv);
+        let write_only = run(ClientMode::RdmaWrite);
+        let write_read = run(ClientMode::RdmaWriteRead);
+        assert!(
+            write_only > sendrecv,
+            "RDMA-Write ({write_only}) must beat Send/Recv ({sendrecv})"
+        );
+        assert!(
+            write_read > write_only,
+            "adding RDMA Read ({write_read}) must beat write-only ({write_only})"
+        );
+    }
+}

@@ -1,0 +1,199 @@
+//! Zipfian request generation — the standard YCSB algorithm (Gray et al.,
+//! "Quickly Generating Billion-Record Synthetic Databases", SIGMOD '94),
+//! with YCSB's default skew θ = 0.99 and the hash-scrambled variant that
+//! spreads the hot items across the key space (and therefore across
+//! consistent-hashing partitions) the way production traffic does.
+
+use rand::Rng;
+
+/// YCSB's default Zipfian constant.
+pub const DEFAULT_THETA: f64 = 0.99;
+
+/// Draws item ranks `0..n` with Zipfian popularity (rank 0 hottest).
+#[derive(Debug, Clone)]
+pub struct ZipfianGenerator {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+impl ZipfianGenerator {
+    /// Builds a generator over `n` items with skew `theta`. O(n) setup
+    /// (computing ζ(n, θ)), O(1) per draw.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "need at least one item");
+        assert!((0.0..1.0).contains(&theta), "theta in [0,1)");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        ZipfianGenerator {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            zeta2,
+        }
+    }
+
+    /// Builds with the default θ = 0.99.
+    pub fn with_default_theta(n: u64) -> Self {
+        Self::new(n, DEFAULT_THETA)
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        let mut sum = 0.0;
+        for i in 1..=n {
+            sum += 1.0 / (i as f64).powf(theta);
+        }
+        sum
+    }
+
+    /// Number of items.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Draws the next rank in `0..n` (0 = most popular).
+    pub fn next_rank(&self, rng: &mut impl Rng) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+
+    /// Draws a *scrambled* item id: Zipfian popularity, but popular items are
+    /// hashed across the id space (YCSB's `ScrambledZipfianGenerator`).
+    pub fn next_scrambled(&self, rng: &mut impl Rng) -> u64 {
+        let rank = self.next_rank(rng);
+        Self::fnv_scramble(rank) % self.n
+    }
+
+    /// The stable scramble used by [`next_scrambled`](Self::next_scrambled)
+    /// (exposed so tests can locate the hot items).
+    pub fn fnv_scramble(rank: u64) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in rank.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^ (h >> 33)
+    }
+
+    /// The ζ(2)/ζ(n) diagnostics pair (exposed for tests).
+    pub fn zetas(&self) -> (f64, f64) {
+        (self.zeta2, self.zetan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranks_stay_in_range() {
+        let g = ZipfianGenerator::with_default_theta(1000);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..100_000 {
+            assert!(g.next_rank(&mut rng) < 1000);
+            assert!(g.next_scrambled(&mut rng) < 1000);
+        }
+    }
+
+    #[test]
+    fn single_item_always_zero() {
+        let g = ZipfianGenerator::with_default_theta(1);
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..100 {
+            assert_eq!(g.next_rank(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn distribution_is_skewed_like_zipf() {
+        let n = 10_000u64;
+        let g = ZipfianGenerator::with_default_theta(n);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let draws = 200_000;
+        let mut counts = vec![0u64; n as usize];
+        for _ in 0..draws {
+            counts[g.next_rank(&mut rng) as usize] += 1;
+        }
+        // Rank 0 should hold roughly 1/zetan of the mass (~10% at θ=0.99,
+        // n=10k) and vastly exceed the uniform share.
+        let p0 = counts[0] as f64 / draws as f64;
+        assert!(p0 > 0.05, "p0={p0}");
+        // Top 1% of ranks should absorb the majority of requests.
+        let top: u64 = counts[..(n as usize / 100)].iter().sum();
+        let frac = top as f64 / draws as f64;
+        assert!(frac > 0.50, "top-1% fraction {frac}");
+        // Monotone-ish decay between well-separated ranks.
+        assert!(counts[0] > counts[100]);
+        assert!(counts[100] > counts[5_000]);
+    }
+
+    #[test]
+    fn scrambling_preserves_skew_but_moves_hot_ids() {
+        let n = 10_000u64;
+        let g = ZipfianGenerator::with_default_theta(n);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut counts = vec![0u64; n as usize];
+        for _ in 0..200_000 {
+            counts[g.next_scrambled(&mut rng) as usize] += 1;
+        }
+        let hottest_id = ZipfianGenerator::fnv_scramble(0) % n;
+        let max_id = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .map(|(i, _)| i as u64)
+            .unwrap();
+        assert_eq!(
+            max_id, hottest_id,
+            "hottest id must be the scrambled rank 0"
+        );
+        assert_ne!(hottest_id, 0, "scramble must move the hot item");
+    }
+
+    #[test]
+    fn deterministic_for_identical_seeds() {
+        let g = ZipfianGenerator::with_default_theta(5_000);
+        let seq = |seed| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            (0..1000)
+                .map(|_| g.next_scrambled(&mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(seq(9), seq(9));
+        assert_ne!(seq(9), seq(10));
+    }
+
+    #[test]
+    fn theta_zero_is_near_uniform() {
+        let n = 1_000u64;
+        let g = ZipfianGenerator::new(n, 0.0);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut counts = vec![0u64; n as usize];
+        let draws = 200_000;
+        for _ in 0..draws {
+            counts[g.next_rank(&mut rng) as usize] += 1;
+        }
+        let expect = draws as f64 / n as f64;
+        let max = *counts.iter().max().unwrap() as f64;
+        assert!(max < expect * 1.5, "max={max} expect={expect}");
+    }
+}

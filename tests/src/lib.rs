@@ -1,0 +1,49 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use hydra_db::{Cluster, HydraClient};
+
+/// Steps the simulation event-by-event until `done` is set, without jumping
+/// the clock across unrelated far-future events.
+pub fn step_until(cluster: &mut Cluster, done: &Rc<Cell<bool>>) {
+    while !done.get() {
+        assert!(cluster.sim.step(), "queue drained before completion");
+    }
+}
+
+/// Synchronous (in virtual time) INSERT that panics on error.
+pub fn put_ok(cluster: &mut Cluster, client: &HydraClient, key: &[u8], value: &[u8]) {
+    let done = Rc::new(Cell::new(false));
+    let d = done.clone();
+    client.insert(
+        &mut cluster.sim,
+        key,
+        value,
+        Box::new(move |_, r| {
+            r.expect("insert succeeds");
+            d.set(true);
+        }),
+    );
+    step_until(cluster, &done);
+}
+
+/// Synchronous GET returning the value (or `None` on miss).
+pub fn get_value(cluster: &mut Cluster, client: &HydraClient, key: &[u8]) -> Option<Vec<u8>> {
+    let out: Rc<RefCell<Option<Option<Vec<u8>>>>> = Rc::new(RefCell::new(None));
+    let done = Rc::new(Cell::new(false));
+    let o = out.clone();
+    let d = done.clone();
+    client.get(
+        &mut cluster.sim,
+        key,
+        Box::new(move |_, r| {
+            *o.borrow_mut() = Some(r.expect("get succeeds"));
+            d.set(true);
+        }),
+    );
+    step_until(cluster, &done);
+    let got = out.borrow_mut().take();
+    got.expect("get completed")
+}

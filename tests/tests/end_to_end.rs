@@ -1,0 +1,167 @@
+//! Whole-stack integration: YCSB workloads against full HydraDB
+//! deployments, crossing every crate in the workspace.
+
+use hydra_db::{ClientMode, ClusterBuilder, ClusterConfig, ReplicationMode};
+use hydra_integration::{get_value, put_ok};
+use hydra_ycsb::{run_workload, DriverConfig, KeyDist, Workload};
+
+fn wl(records: u64, ops: u64, read_ratio: f64, dist: KeyDist) -> Workload {
+    Workload {
+        records,
+        ops,
+        read_ratio,
+        dist,
+        key_len: 16,
+        value_len: 32,
+        seed: 71,
+    }
+}
+
+#[test]
+fn full_stack_ycsb_with_replication() {
+    // 2 server machines, 2 shards each, 1 replica per partition, RDMA
+    // logging — the complete production configuration.
+    let cfg = ClusterConfig {
+        server_nodes: 2,
+        shards_per_node: 2,
+        client_nodes: 2,
+        replicas: 1,
+        replication: ReplicationMode::Logging { ack_every: 16 },
+        ..ClusterConfig::default()
+    };
+    let mut cluster = ClusterBuilder::new(cfg).build();
+    let clients: Vec<_> = (0..8).map(|i| cluster.add_client(i % 2)).collect();
+    let w = wl(2_000, 8_000, 0.9, KeyDist::zipfian());
+    let report = run_workload(&mut cluster.sim, &clients, &w, &DriverConfig::default());
+    assert!(report.ops >= 7_000);
+    assert_eq!(report.errors, 0);
+    // Replication must have kept every secondary converged.
+    cluster.sim.run();
+    for p in 0..cluster.cfg.total_shards() {
+        let h = cluster.shard(p);
+        assert_eq!(
+            h.primary.borrow().engine.borrow().len(),
+            h.secondaries[0].borrow().engine.borrow().len(),
+            "partition {p} secondary diverged"
+        );
+    }
+}
+
+#[test]
+fn hydra_beats_every_baseline_by_an_order_of_magnitude() {
+    // The Fig. 9 headline, at test scale: throughput >= ~5x the best
+    // baseline and latency far below the socket-path stores.
+    use hydra_baselines::{BaselineCluster, BaselineConfig};
+    let w = wl(2_000, 6_000, 0.9, KeyDist::zipfian());
+    let hydra = {
+        let cfg = ClusterConfig {
+            client_nodes: 5,
+            ..ClusterConfig::default()
+        };
+        let mut cluster = ClusterBuilder::new(cfg).build();
+        let clients: Vec<_> = (0..24).map(|i| cluster.add_client(i % 5)).collect();
+        run_workload(&mut cluster.sim, &clients, &w, &DriverConfig::default())
+    };
+    let mut best_baseline = 0.0f64;
+    for cfg in [
+        BaselineConfig::memcached(),
+        BaselineConfig::redis(),
+        BaselineConfig::ramcloud(),
+    ] {
+        let mut c = BaselineCluster::build(cfg);
+        let clients: Vec<_> = (0..24).map(|i| c.add_client(i % 5)).collect();
+        let r = run_workload(&mut c.sim, &clients, &w, &DriverConfig::default());
+        best_baseline = best_baseline.max(r.mops);
+    }
+    assert!(
+        hydra.mops > best_baseline * 4.0,
+        "hydra {:.3} Mops vs best baseline {:.3} Mops",
+        hydra.mops,
+        best_baseline
+    );
+}
+
+#[test]
+fn socket_transport_mode_serves_the_same_api() {
+    // HydraDB's TCP mode (Fig. 2's middle bar): same protocol over the
+    // socket path with Send/Recv.
+    let cfg = ClusterConfig {
+        transport: hydra_fabric::Transport::Socket,
+        client_mode: ClientMode::SendRecv,
+        ..ClusterConfig::default()
+    };
+    let mut cluster = ClusterBuilder::new(cfg).build();
+    let client = cluster.add_client(0);
+    put_ok(&mut cluster, &client, b"tcp-key", b"tcp-value");
+    assert_eq!(
+        get_value(&mut cluster, &client, b"tcp-key").as_deref(),
+        Some(b"tcp-value".as_slice())
+    );
+    // No one-sided traffic may exist on a socket deployment.
+    assert_eq!(cluster.fab.stats().reads, 0);
+    assert_eq!(cluster.fab.stats().writes, 0);
+}
+
+#[test]
+fn large_values_stream_through_the_stack() {
+    // 4 MiB MapReduce chunks (§2.1) through insert, message GET and
+    // one-sided GET.
+    let cfg = ClusterConfig {
+        msg_slot_words: 1 << 20,
+        arena_words: 1 << 23,
+        expected_items: 64,
+        ..ClusterConfig::default()
+    };
+    let mut cluster = ClusterBuilder::new(cfg).build();
+    let client = cluster.add_client(0);
+    let chunk = vec![0x5Au8; 4 << 20];
+    put_ok(&mut cluster, &client, b"chunk-0", &chunk);
+    assert_eq!(
+        get_value(&mut cluster, &client, b"chunk-0"),
+        Some(chunk.clone())
+    );
+    // Second GET goes one-sided and must carry the same bytes.
+    assert_eq!(get_value(&mut cluster, &client, b"chunk-0"), Some(chunk));
+    assert_eq!(client.stats().rptr_hits, 1);
+}
+
+#[test]
+fn workload_runs_are_deterministic_end_to_end() {
+    let run = |seed: u64| {
+        let cfg = ClusterConfig {
+            seed,
+            ..ClusterConfig::default()
+        };
+        let mut cluster = ClusterBuilder::new(cfg).build();
+        let clients: Vec<_> = (0..4).map(|_| cluster.add_client(0)).collect();
+        let w = wl(1_000, 4_000, 0.5, KeyDist::zipfian());
+        let r = run_workload(&mut cluster.sim, &clients, &w, &DriverConfig::default());
+        (r.ops, r.elapsed_ns, r.rptr_hits, r.invalid_hits, r.msg_gets)
+    };
+    assert_eq!(run(123), run(123), "same seed, same universe");
+}
+
+#[test]
+fn uniform_load_spreads_evenly_across_cluster() {
+    let cfg = ClusterConfig {
+        server_nodes: 4,
+        shards_per_node: 2,
+        client_nodes: 2,
+        ..ClusterConfig::default()
+    };
+    let mut cluster = ClusterBuilder::new(cfg).build();
+    let clients: Vec<_> = (0..8).map(|i| cluster.add_client(i % 2)).collect();
+    let w = wl(8_000, 8_000, 0.5, KeyDist::Uniform);
+    run_workload(&mut cluster.sim, &clients, &w, &DriverConfig::default());
+    let counts: Vec<usize> = (0..8)
+        .map(|p| cluster.shard(p).primary.borrow().engine.borrow().len())
+        .collect();
+    let total: usize = counts.iter().sum();
+    assert_eq!(total, 8_000);
+    for (p, &c) in counts.iter().enumerate() {
+        assert!(
+            c > total / 8 / 3,
+            "shard {p} underloaded: {c} of {total} ({counts:?})"
+        );
+    }
+}

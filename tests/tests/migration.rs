@@ -1,0 +1,96 @@
+//! Node-join data migration (§5.1): a new server machine joins, receives
+//! its consistent-hash ranges, and clients keep reading every key — through
+//! stale-pointer fallbacks where necessary.
+
+use hydra_db::{ClusterBuilder, ClusterConfig};
+use hydra_integration::{get_value, put_ok};
+
+#[test]
+fn node_join_migrates_ranges_and_preserves_every_key() {
+    let cfg = ClusterConfig {
+        server_nodes: 2,
+        shards_per_node: 2,
+        client_nodes: 1,
+        ..ClusterConfig::default()
+    };
+    let mut cluster = ClusterBuilder::new(cfg).build();
+    let client = cluster.add_client(0);
+    let n = 600;
+    for i in 0..n {
+        let k = format!("mig-key-{i:05}");
+        put_ok(
+            &mut cluster,
+            &client,
+            k.as_bytes(),
+            format!("val-{i}").as_bytes(),
+        );
+    }
+    let before_per_shard: Vec<usize> = (0..4)
+        .map(|p| cluster.shard(p).primary.borrow().engine.borrow().len())
+        .collect();
+    let gen_before = cluster.generation();
+
+    // A new machine joins with 2 fresh shards.
+    let new_parts = cluster.add_server_with_migration(2);
+    assert_eq!(new_parts, vec![4, 5]);
+    assert!(cluster.generation() > gen_before);
+
+    // The new shards own real ranges...
+    for &p in &new_parts {
+        let n = cluster.shard(p).primary.borrow().engine.borrow().len();
+        assert!(n > 20, "new partition {p} received only {n} keys");
+    }
+    // ...taken from the old owners...
+    let after_per_shard: Vec<usize> = (0..4)
+        .map(|p| cluster.shard(p).primary.borrow().engine.borrow().len())
+        .collect();
+    for (p, (&b, &a)) in before_per_shard.iter().zip(&after_per_shard).enumerate() {
+        assert!(a < b, "old shard {p} did not shed load ({b} -> {a})");
+    }
+    // ...and nothing was lost or duplicated.
+    assert_eq!(cluster.total_items(), n as usize);
+    for i in 0..n {
+        let k = format!("mig-key-{i:05}");
+        assert_eq!(
+            get_value(&mut cluster, &client, k.as_bytes()).as_deref(),
+            Some(format!("val-{i}").as_bytes()),
+            "key {i} lost in migration"
+        );
+    }
+}
+
+#[test]
+fn warm_pointer_caches_survive_migration_via_fallback() {
+    let mut cluster = ClusterBuilder::new(ClusterConfig::default()).build();
+    let client = cluster.add_client(0);
+    let keys: Vec<String> = (0..200).map(|i| format!("warm-{i:04}")).collect();
+    for k in &keys {
+        put_ok(&mut cluster, &client, k.as_bytes(), b"v0");
+    }
+    // Warm the remote-pointer cache for every key.
+    for k in &keys {
+        assert!(get_value(&mut cluster, &client, k.as_bytes()).is_some());
+    }
+    let hits_before = cluster.clients()[0].stats().rptr_hits;
+
+    cluster.add_server_with_migration(2);
+
+    // Every key still reads correctly; moved keys resolve through the
+    // guardian-detected fallback, unmoved ones keep their fast path.
+    for k in &keys {
+        assert_eq!(
+            get_value(&mut cluster, &client, k.as_bytes()).as_deref(),
+            Some(b"v0".as_slice()),
+            "{k}"
+        );
+    }
+    let s = cluster.clients()[0].stats();
+    assert!(
+        s.invalid_hits > 0,
+        "moved keys must have produced stale-pointer fallbacks"
+    );
+    assert!(
+        s.rptr_hits > hits_before,
+        "unmoved keys must still enjoy the fast path"
+    );
+}

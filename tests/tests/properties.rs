@@ -1,0 +1,164 @@
+//! Cluster-level property tests: the distributed system, driven through the
+//! real client/server/replication protocol, must remain observationally
+//! equivalent to a `HashMap` — under arbitrary op interleavings, with and
+//! without replication.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use hydra_db::{ClusterBuilder, ClusterConfig, OpError, ReplicationMode};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u8, Vec<u8>),
+    Update(u8, Vec<u8>),
+    Get(u8),
+    Delete(u8),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (any::<u8>(), proptest::collection::vec(any::<u8>(), 1..40))
+                .prop_map(|(k, v)| Op::Insert(k % 64, v)),
+            (any::<u8>(), proptest::collection::vec(any::<u8>(), 1..40))
+                .prop_map(|(k, v)| Op::Update(k % 64, v)),
+            any::<u8>().prop_map(|k| Op::Get(k % 64)),
+            any::<u8>().prop_map(|k| Op::Delete(k % 64)),
+        ],
+        1..120,
+    )
+}
+
+fn key_of(k: u8) -> Vec<u8> {
+    format!("prop-key-{k:03}").into_bytes()
+}
+
+fn run_scenario(ops: Vec<Op>, cfg: ClusterConfig) -> Result<(), TestCaseError> {
+    let mut cluster = ClusterBuilder::new(cfg).build();
+    let client = cluster.add_client(0);
+    let model: Rc<RefCell<HashMap<Vec<u8>, Vec<u8>>>> = Rc::new(RefCell::new(HashMap::new()));
+    let failures: Rc<RefCell<Vec<String>>> = Rc::new(RefCell::new(Vec::new()));
+
+    // Each op completes (closed loop) before the next is issued, and the
+    // completion callback checks the outcome against the model.
+    for op in ops {
+        let model = model.clone();
+        let failures = failures.clone();
+        let done = Rc::new(std::cell::Cell::new(false));
+        let d = done.clone();
+        match op {
+            Op::Insert(k, v) => {
+                let key = key_of(k);
+                let existed = model.borrow().contains_key(&key);
+                if !existed {
+                    model.borrow_mut().insert(key.clone(), v.clone());
+                }
+                client.insert(
+                    &mut cluster.sim,
+                    &key,
+                    &v,
+                    Box::new(move |_, r| {
+                        match (existed, r) {
+                            (false, Ok(_)) | (true, Err(OpError::Exists)) => {}
+                            (e, r) => failures
+                                .borrow_mut()
+                                .push(format!("insert existed={e} got {r:?}")),
+                        }
+                        d.set(true);
+                    }),
+                );
+            }
+            Op::Update(k, v) => {
+                let key = key_of(k);
+                let existed = model.borrow().contains_key(&key);
+                if existed {
+                    model.borrow_mut().insert(key.clone(), v.clone());
+                }
+                client.update(
+                    &mut cluster.sim,
+                    &key,
+                    &v,
+                    Box::new(move |_, r| {
+                        match (existed, r) {
+                            (true, Ok(_)) | (false, Err(OpError::NotFound)) => {}
+                            (e, r) => failures
+                                .borrow_mut()
+                                .push(format!("update existed={e} got {r:?}")),
+                        }
+                        d.set(true);
+                    }),
+                );
+            }
+            Op::Get(k) => {
+                let key = key_of(k);
+                let expect = model.borrow().get(&key).cloned();
+                client.get(
+                    &mut cluster.sim,
+                    &key,
+                    Box::new(move |_, r| {
+                        match r {
+                            Ok(got) if got == expect => {}
+                            other => failures
+                                .borrow_mut()
+                                .push(format!("get expected {expect:?} got {other:?}")),
+                        }
+                        d.set(true);
+                    }),
+                );
+            }
+            Op::Delete(k) => {
+                let key = key_of(k);
+                let existed = model.borrow_mut().remove(&key).is_some();
+                client.delete(
+                    &mut cluster.sim,
+                    &key,
+                    Box::new(move |_, r| {
+                        match (existed, r) {
+                            (true, Ok(_)) | (false, Err(OpError::NotFound)) => {}
+                            (e, r) => failures
+                                .borrow_mut()
+                                .push(format!("delete existed={e} got {r:?}")),
+                        }
+                        d.set(true);
+                    }),
+                );
+            }
+        }
+        while !done.get() {
+            prop_assert!(cluster.sim.step(), "queue drained early");
+        }
+    }
+    let fails = failures.borrow();
+    prop_assert!(
+        fails.is_empty(),
+        "mismatches: {:?}",
+        &fails[..fails.len().min(3)]
+    );
+    // Ground truth: server-side item count equals the model.
+    prop_assert_eq!(cluster.total_items(), model.borrow().len());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn cluster_matches_model(ops in ops()) {
+        run_scenario(ops, ClusterConfig::default())?;
+    }
+
+    #[test]
+    fn replicated_cluster_matches_model_and_secondaries_converge(ops in ops()) {
+        let cfg = ClusterConfig {
+            server_nodes: 2,
+            shards_per_node: 1,
+            replicas: 1,
+            replication: ReplicationMode::Logging { ack_every: 4 },
+            ..ClusterConfig::default()
+        };
+        run_scenario(ops, cfg)?;
+    }
+}
