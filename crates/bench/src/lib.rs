@@ -171,7 +171,6 @@ pub fn results_dir() -> PathBuf {
 }
 
 /// Serializable subset of a [`WorkloadReport`] for the JSON artifacts.
-#[derive(serde::Serialize)]
 pub struct ReportRow {
     pub mops: f64,
     pub get_mean_us: f64,
@@ -180,6 +179,20 @@ pub struct ReportRow {
     pub rptr_hits: u64,
     pub invalid_hits: u64,
     pub msg_gets: u64,
+}
+
+impl serde::Serialize for ReportRow {
+    fn to_json_value(&self) -> serde_json::Value {
+        serde_json::json!({
+            "mops": self.mops,
+            "get_mean_us": self.get_mean_us,
+            "get_p99_us": self.get_p99_us,
+            "update_mean_us": self.update_mean_us,
+            "rptr_hits": self.rptr_hits,
+            "invalid_hits": self.invalid_hits,
+            "msg_gets": self.msg_gets,
+        })
+    }
 }
 
 impl From<&WorkloadReport> for ReportRow {

@@ -26,7 +26,7 @@ use hydra_lockfree::LockFreeMap;
 use hydra_sim::time::SimTime;
 use hydra_sim::{Histogram, Sim};
 use hydra_store::{FetchedItem, ItemError};
-use hydra_wire::{frame, RemotePtr, Request, Response, Status};
+use hydra_wire::{frame, KeyList, RemotePtr, Request, Response, Status};
 
 use crate::cluster::Directory;
 use crate::config::ClusterConfig;
@@ -385,7 +385,7 @@ impl HydraClient {
         };
         let payload = Request::LeaseRenew {
             req_id,
-            keys: key_refs,
+            keys: KeyList::Slices(&key_refs),
         }
         .encode();
         self.dispatch_payload(

@@ -78,6 +78,9 @@ pub struct ShardServer {
     stats: ServerStats,
     /// Earliest scheduled reclamation event, if any (lazy GC scheduling).
     reclaim_scheduled_at: Option<SimTime>,
+    /// Reused GET value buffer — steady-state GETs allocate nothing for the
+    /// value copy.
+    get_scratch: Vec<u8>,
 }
 
 impl ShardServer {
@@ -120,6 +123,7 @@ impl ShardServer {
             fab: fab.clone(),
             stats: ServerStats::default(),
             reclaim_scheduled_at: None,
+            get_scratch: Vec::new(),
         }))
     }
 
@@ -254,7 +258,7 @@ impl ShardServer {
                         | Request::Update { key, .. }
                         | Request::Delete { key, .. } => hydra_store::hash_key(key),
                         Request::LeaseRenew { keys, .. } => {
-                            keys.first().map(|k| hydra_store::hash_key(k)).unwrap_or(0)
+                            keys.iter().next().map(hydra_store::hash_key).unwrap_or(0)
                         }
                     };
                     let sub = (key_hash % subs as u64) as usize;
@@ -271,18 +275,24 @@ impl ShardServer {
 
     /// Runs the engine operation and emits the response (after replication,
     /// for writes under HA).
+    ///
+    /// Hot-path contract: the request is decoded exactly once and its
+    /// key/value slices stay borrowed from `payload` end to end — the engine
+    /// copies into its arena where it must, replication reads the borrowed
+    /// slices directly, and GET values land in a per-shard scratch buffer
+    /// reused across requests. No per-request `to_vec()`.
     fn execute(this: &Rc<RefCell<ShardServer>>, sim: &mut Sim, conn_idx: usize, payload: Vec<u8>) {
-        enum Action {
+        enum Action<'a> {
             Respond(Vec<u8>),
             Replicate {
                 resp: Vec<u8>,
                 op: LogOp,
-                key: Vec<u8>,
-                value: Vec<u8>,
+                key: &'a [u8],
+                value: &'a [u8],
             },
         }
         let action = {
-            let s = this.borrow_mut();
+            let mut s = this.borrow_mut();
             if !s.alive {
                 return;
             }
@@ -290,26 +300,24 @@ impl ShardServer {
             let req = Request::decode(&payload).expect("validated on arrival");
             let req_id = req.req_id();
             let arena_region = s.arena_region;
-            let mut engine = s.engine.borrow_mut();
+            let mut scratch = std::mem::take(&mut s.get_scratch);
+            let engine_rc = s.engine.clone();
+            let mut engine = engine_rc.borrow_mut();
             let to_resp = |status: Status| Response::status_only(status, req_id).encode();
             let err_status = |e: EngineError| match e {
                 EngineError::Exists => Status::Exists,
                 EngineError::NotFound => Status::NotFound,
                 _ => Status::Error,
             };
-            match req {
+            let action = match req {
                 Request::Get { key, .. } => {
-                    let resp = match engine.get(now, key) {
-                        Some(got) => Response {
+                    let resp = match engine.get_into(now, key, &mut scratch) {
+                        Some(info) => Response {
                             status: Status::Ok,
                             req_id,
-                            value: &got.value,
-                            rptr: RemotePtr::new(
-                                arena_region.0,
-                                got.info.off_words * 8,
-                                got.info.read_len,
-                            ),
-                            lease_expiry: got.info.lease_expiry,
+                            value: &scratch,
+                            rptr: RemotePtr::new(arena_region.0, info.off_words * 8, info.read_len),
+                            lease_expiry: info.lease_expiry,
                         }
                         .encode(),
                         None => to_resp(Status::NotFound),
@@ -320,8 +328,8 @@ impl ShardServer {
                     Ok(_) => Action::Replicate {
                         resp: to_resp(Status::Ok),
                         op: LogOp::Put,
-                        key: key.to_vec(),
-                        value: value.to_vec(),
+                        key,
+                        value,
                     },
                     Err(e) => Action::Respond(to_resp(err_status(e))),
                 },
@@ -329,8 +337,8 @@ impl ShardServer {
                     Ok(_) => Action::Replicate {
                         resp: to_resp(Status::Ok),
                         op: LogOp::Put,
-                        key: key.to_vec(),
-                        value: value.to_vec(),
+                        key,
+                        value,
                     },
                     Err(e) => Action::Respond(to_resp(err_status(e))),
                 },
@@ -338,22 +346,18 @@ impl ShardServer {
                     Ok(()) => Action::Replicate {
                         resp: to_resp(Status::Ok),
                         op: LogOp::Delete,
-                        key: key.to_vec(),
-                        value: Vec::new(),
+                        key,
+                        value: &[],
                     },
                     Err(e) => Action::Respond(to_resp(err_status(e))),
                 },
                 Request::LeaseRenew { keys, .. } => {
-                    for k in keys {
+                    for k in keys.iter() {
                         engine.renew_lease(now, k);
                     }
                     Action::Respond(to_resp(Status::Ok))
                 }
-            }
-        };
-        {
-            let mut s = this.borrow_mut();
-            let req = Request::decode(&payload).expect("validated");
+            };
             match req {
                 Request::Get { .. } => s.stats.gets += 1,
                 Request::Insert { .. } => s.stats.inserts += 1,
@@ -361,7 +365,10 @@ impl ShardServer {
                 Request::Delete { .. } => s.stats.deletes += 1,
                 Request::LeaseRenew { .. } => s.stats.lease_renews += 1,
             }
-        }
+            drop(engine);
+            s.get_scratch = scratch;
+            action
+        };
         Self::maybe_schedule_reclaim(this, sim);
         match action {
             Action::Respond(resp) => Self::send_response(this, sim, conn_idx, resp),
@@ -394,9 +401,9 @@ impl ShardServer {
                     });
                     match mode {
                         ReplicationMode::Strict => {
-                            replicate_strict(pair, sim, op, &key, &value, done)
+                            replicate_strict(pair, sim, op, key, value, done)
                         }
-                        _ => pair.replicate(sim, op, &key, &value, Some(done)),
+                        _ => pair.replicate(sim, op, key, value, Some(done)),
                     }
                 }
             }

@@ -36,6 +36,7 @@
 //! assert_eq!(fired.get(), 3 * US);
 //! ```
 
+pub mod reference;
 pub mod resource;
 pub mod scheduler;
 pub mod stats;

@@ -1,45 +1,146 @@
-//! The event scheduler: a virtual clock plus a priority queue of closures.
+//! The event scheduler: a virtual clock driving a slab-backed event arena
+//! and a hierarchical timer wheel.
+//!
+//! Hot-path design (see DESIGN.md "Hot-path performance"):
+//!
+//! * **Event arena.** Every scheduled closure lives in a slab cell with a
+//!   64-byte inline payload; closures that fit (all of the simulator's own
+//!   completion/timer closures do) are stored without heap allocation, larger
+//!   ones fall back to one boxed allocation. Freed cells go on a free list,
+//!   so steady-state scheduling allocates nothing.
+//! * **Generational `EventId`s.** An id is `(cell index, generation)`; the
+//!   generation bumps on every free, so a stale cancel is a cheap no-op and
+//!   the old side `HashSet` of cancelled ids is gone entirely.
+//! * **Tombstone cancellation.** `cancel` drops the closure immediately and
+//!   marks the cell; the wheel lazily reaps tombstones when it next touches
+//!   their slot.
+//! * **Hierarchical timer wheel.** Six levels of 64 slots; level `L` slots
+//!   are `2^(6L)` ns wide, giving a `2^36` ns (~69 virtual seconds) horizon
+//!   that covers every short-horizon event the protocols schedule (NIC
+//!   completions, backoff polls, lease timers). Farther events overflow into
+//!   a small binary heap and are drained into the wheel when it empties.
+//!
+//! Determinism contract (load-bearing for every experiment): events execute
+//! in `(time, scheduling-order)` — exactly the order the old
+//! `BinaryHeap<(time, seq)>` produced. The wheel preserves it structurally:
+//! a level-0 slot is a single timestamp; slots only receive cascaded events
+//! while empty (a cascade fires only when all lower levels are empty); and a
+//! direct insert always carries the globally latest sequence number. So
+//! every slot vector stays sequence-sorted without ever sorting.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::mem::MaybeUninit;
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::time::SimTime;
 
+const SLOT_BITS: u32 = 6;
+const SLOTS: usize = 1 << SLOT_BITS;
+const LEVELS: usize = 6;
+/// Events with `at ^ cursor >= 2^HORIZON_BITS` overflow to the heap.
+const HORIZON_BITS: u32 = SLOT_BITS * LEVELS as u32;
+
+/// Inline closure storage per arena cell. 64 bytes covers the workspace's
+/// fattest hot-path closures (fabric completions capture an `Arc`, a `Vec`
+/// and a boxed callback — about five words).
+const INLINE_WORDS: usize = 8;
+
+type Payload = MaybeUninit<[usize; INLINE_WORDS]>;
+/// Moves the closure out of `*payload` and calls it. `payload` must hold a
+/// valid closure of the type this fn was monomorphized for; the payload is
+/// logically uninitialized afterwards.
+type CallFn = unsafe fn(*mut Payload, &mut Sim);
+/// Drops the closure in `*payload` without calling it (same contract).
+type DropFn = unsafe fn(*mut Payload);
+
+unsafe fn call_inline<F: FnOnce(&mut Sim)>(payload: *mut Payload, sim: &mut Sim) {
+    ((*payload).as_mut_ptr() as *mut F).read()(sim)
+}
+
+unsafe fn drop_inline<F: FnOnce(&mut Sim)>(payload: *mut Payload) {
+    drop(((*payload).as_mut_ptr() as *mut F).read())
+}
+
+unsafe fn call_boxed<F: FnOnce(&mut Sim)>(payload: *mut Payload, sim: &mut Sim) {
+    ((*payload).as_mut_ptr() as *mut Box<F>).read()(sim)
+}
+
+unsafe fn drop_boxed<F: FnOnce(&mut Sim)>(payload: *mut Payload) {
+    drop(((*payload).as_mut_ptr() as *mut Box<F>).read())
+}
+
 /// Identifier of a scheduled event, usable for cancellation.
+///
+/// Packs `(generation << 32) | arena cell index`; a generation mismatch means
+/// the event already fired (or was cancelled) and the cell was reused, so the
+/// cancel is a no-op. (A 32-bit generation would need four billion reuses of
+/// one cell between issue and cancel to alias — not a practical concern for
+/// simulation runs.)
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventId(u64);
 
-type EventFn = Box<dyn FnOnce(&mut Sim)>;
+impl EventId {
+    fn new(index: u32, gen: u32) -> EventId {
+        EventId(((gen as u64) << 32) | index as u64)
+    }
 
-struct Entry {
-    at: SimTime,
-    seq: u64,
-    cancelled: bool,
-    f: Option<EventFn>,
+    fn index(self) -> u32 {
+        self.0 as u32
+    }
+
+    fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
 }
 
-// BinaryHeap is a max-heap; invert the ordering so the earliest (time, seq)
-// pops first. Ties at the same virtual time resolve in scheduling order,
-// which is what makes runs reproducible.
-impl PartialEq for Entry {
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CellState {
+    Free,
+    Pending,
+    /// Cancelled but still referenced by a wheel slot / heap entry; the
+    /// closure is already dropped. Reaped lazily.
+    Tombstone,
+}
+
+struct Cell {
+    state: CellState,
+    gen: u32,
+    next_free: u32,
+    at: SimTime,
+    seq: u64,
+    call: CallFn,
+    drop_fn: DropFn,
+    payload: Payload,
+}
+
+/// Far-future overflow entry; min-heap by `(at, seq)` via inverted `Ord`.
+struct HeapEntry {
+    at: SimTime,
+    seq: u64,
+    index: u32,
+}
+
+impl PartialEq for HeapEntry {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
     }
 }
-impl Eq for Entry {}
-impl PartialOrd for Entry {
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl Ord for Entry {
+impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         (other.at, other.seq).cmp(&(self.at, self.seq))
     }
 }
+
+const NO_FREE: u32 = u32::MAX;
 
 /// The simulation world: virtual clock, event queue and the run's RNG.
 ///
@@ -49,9 +150,27 @@ impl Ord for Entry {
 /// rest of the workspace provides.
 pub struct Sim {
     now: SimTime,
+    /// Wheel reference time. Invariants: `cursor <= at` for every pending
+    /// event, and all level/slot assignments are relative to it. Trails
+    /// `now` after `run_until` advances the clock past the last event.
+    cursor: SimTime,
     seq: u64,
-    queue: BinaryHeap<Entry>,
-    cancelled: std::collections::HashSet<u64>,
+    /// Event arena; payloads hold the closures inline.
+    slab: Vec<Cell>,
+    free_head: u32,
+    /// `wheel[l * SLOTS + s]`: arena indices, always sequence-sorted.
+    wheel: Vec<Vec<u32>>,
+    /// Per-level slot-occupancy bitmaps.
+    occupancy: [u64; LEVELS],
+    /// Far-future overflow (`at ^ cursor >= 2^36` at insert time).
+    overflow: BinaryHeap<HeapEntry>,
+    /// The level-0 slot currently being fired, swapped out wholesale so
+    /// handlers can schedule back into that same slot.
+    ready: Vec<u32>,
+    ready_pos: usize,
+    ready_at: SimTime,
+    /// Pending minus tombstoned events.
+    live: usize,
     rng: SmallRng,
     executed: u64,
 }
@@ -61,9 +180,17 @@ impl Sim {
     pub fn new(seed: u64) -> Self {
         Sim {
             now: 0,
+            cursor: 0,
             seq: 0,
-            queue: BinaryHeap::new(),
-            cancelled: std::collections::HashSet::new(),
+            slab: Vec::new(),
+            free_head: NO_FREE,
+            wheel: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            occupancy: [0; LEVELS],
+            overflow: BinaryHeap::new(),
+            ready: Vec::new(),
+            ready_pos: 0,
+            ready_at: 0,
+            live: 0,
             rng: SmallRng::seed_from_u64(seed),
             executed: 0,
         }
@@ -80,6 +207,18 @@ impl Sim {
         self.executed
     }
 
+    /// Number of events scheduled and not yet fired or cancelled.
+    pub fn pending_events(&self) -> usize {
+        self.live
+    }
+
+    /// Arena capacity in cells. Bounded by the peak number of simultaneously
+    /// pending events — not by scheduling or cancellation traffic (the
+    /// regression hook for the no-leak-on-cancel guarantee).
+    pub fn arena_cells(&self) -> usize {
+        self.slab.len()
+    }
+
     /// The run's deterministic RNG.
     pub fn rng(&mut self) -> &mut SmallRng {
         &mut self.rng
@@ -89,7 +228,7 @@ impl Sim {
     ///
     /// Scheduling in the past is a logic error and panics: silently clamping
     /// would hide causality bugs in protocol code.
-    pub fn schedule_at(&mut self, at: SimTime, f: impl FnOnce(&mut Sim) + 'static) -> EventId {
+    pub fn schedule_at<F: FnOnce(&mut Sim) + 'static>(&mut self, at: SimTime, f: F) -> EventId {
         assert!(
             at >= self.now,
             "event scheduled in the past: at={} now={}",
@@ -98,24 +237,48 @@ impl Sim {
         );
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Entry {
-            at,
-            seq,
-            cancelled: false,
-            f: Some(Box::new(f)),
-        });
-        EventId(seq)
+
+        let index = self.alloc_cell();
+        let cell = &mut self.slab[index as usize];
+        cell.state = CellState::Pending;
+        cell.at = at;
+        cell.seq = seq;
+        if std::mem::size_of::<F>() <= INLINE_WORDS * std::mem::size_of::<usize>()
+            && std::mem::align_of::<F>() <= std::mem::align_of::<usize>()
+        {
+            unsafe { (cell.payload.as_mut_ptr() as *mut F).write(f) };
+            cell.call = call_inline::<F>;
+            cell.drop_fn = drop_inline::<F>;
+        } else {
+            unsafe { (cell.payload.as_mut_ptr() as *mut Box<F>).write(Box::new(f)) };
+            cell.call = call_boxed::<F>;
+            cell.drop_fn = drop_boxed::<F>;
+        }
+        let gen = cell.gen;
+        self.live += 1;
+        self.insert_index(index, at);
+        EventId::new(index, gen)
     }
 
     /// Schedules `f` to run `delay` nanoseconds from now.
-    pub fn schedule_in(&mut self, delay: SimTime, f: impl FnOnce(&mut Sim) + 'static) -> EventId {
+    pub fn schedule_in<F: FnOnce(&mut Sim) + 'static>(&mut self, delay: SimTime, f: F) -> EventId {
         self.schedule_at(self.now + delay, f)
     }
 
     /// Cancels a previously scheduled event. Cancelling an event that already
-    /// ran (or was already cancelled) is a no-op.
+    /// ran (or was already cancelled) is a no-op: the generation check makes
+    /// stale ids inert, and nothing is retained per cancel.
     pub fn cancel(&mut self, id: EventId) {
-        self.cancelled.insert(id.0);
+        let Some(cell) = self.slab.get_mut(id.index() as usize) else {
+            return;
+        };
+        if cell.gen != id.generation() || cell.state != CellState::Pending {
+            return;
+        }
+        // Drop the closure now; the wheel reaps the tombstoned cell lazily.
+        unsafe { (cell.drop_fn)(&mut cell.payload) };
+        cell.state = CellState::Tombstone;
+        self.live -= 1;
     }
 
     /// Runs events until the queue is empty.
@@ -127,8 +290,8 @@ impl Sim {
     /// `deadline` (if it is later than the last event executed).
     pub fn run_until(&mut self, deadline: SimTime) {
         loop {
-            match self.queue.peek() {
-                Some(e) if e.at <= deadline => {
+            match self.peek_next_at() {
+                Some(at) if at <= deadline => {
                     self.step();
                 }
                 _ => break,
@@ -143,24 +306,264 @@ impl Sim {
     /// empty.
     pub fn step(&mut self) -> bool {
         loop {
-            let Some(mut entry) = self.queue.pop() else {
+            if !self.advance_to_ready() {
                 return false;
-            };
-            if entry.cancelled || self.cancelled.remove(&entry.seq) {
-                continue;
             }
-            debug_assert!(entry.at >= self.now, "time went backwards");
-            self.now = entry.at;
+            let index = self.ready[self.ready_pos];
+            self.ready_pos += 1;
+            let cell = &mut self.slab[index as usize];
+            match cell.state {
+                CellState::Tombstone => {
+                    self.free_cell(index);
+                    continue;
+                }
+                CellState::Pending => {}
+                CellState::Free => unreachable!("freed cell left in ready batch"),
+            }
+            let at = cell.at;
+            debug_assert!(at >= self.now, "time went backwards");
+            debug_assert_eq!(at, self.ready_at, "ready batch time skewed");
+            let call = cell.call;
+            // Move the closure's bytes to the stack and free the cell
+            // *before* invoking it: the handler may schedule into (and thus
+            // reuse) this very cell, so the arena copy must already be dead.
+            let mut payload: Payload = MaybeUninit::uninit();
+            unsafe {
+                std::ptr::copy_nonoverlapping(&cell.payload, &mut payload, 1);
+            }
+            self.free_cell(index);
+            self.live -= 1;
+            self.now = at;
+            self.cursor = at;
             self.executed += 1;
-            let f = entry.f.take().expect("event closure already taken");
-            f(self);
+            unsafe { call(&mut payload, self) };
             return true;
         }
     }
 
     /// Whether any events remain scheduled.
     pub fn is_idle(&self) -> bool {
-        self.queue.is_empty()
+        self.live == 0
+    }
+
+    // ---- arena ----------------------------------------------------------
+
+    fn alloc_cell(&mut self) -> u32 {
+        if self.free_head != NO_FREE {
+            let index = self.free_head;
+            self.free_head = self.slab[index as usize].next_free;
+            return index;
+        }
+        let index = u32::try_from(self.slab.len()).expect("event arena exceeds u32 indices");
+        self.slab.push(Cell {
+            state: CellState::Free,
+            gen: 0,
+            next_free: NO_FREE,
+            at: 0,
+            seq: 0,
+            call: call_inline::<fn(&mut Sim)>,
+            drop_fn: drop_inline::<fn(&mut Sim)>,
+            payload: MaybeUninit::uninit(),
+        });
+        index
+    }
+
+    fn free_cell(&mut self, index: u32) {
+        let cell = &mut self.slab[index as usize];
+        debug_assert_ne!(cell.state, CellState::Free, "double free of event cell");
+        cell.state = CellState::Free;
+        cell.gen = cell.gen.wrapping_add(1);
+        cell.next_free = self.free_head;
+        self.free_head = index;
+    }
+
+    // ---- wheel ----------------------------------------------------------
+
+    /// Level for an event at `at` relative to the cursor, or `None` for
+    /// overflow. Level `L` iff the highest bit where `at` and `cursor`
+    /// differ lies in `[6L, 6L+6)`.
+    #[inline]
+    fn level_of(&self, at: SimTime) -> Option<usize> {
+        let x = at ^ self.cursor;
+        if x == 0 {
+            return Some(0);
+        }
+        let msb = 63 - x.leading_zeros();
+        if msb >= HORIZON_BITS {
+            None
+        } else {
+            Some((msb / SLOT_BITS) as usize)
+        }
+    }
+
+    fn insert_index(&mut self, index: u32, at: SimTime) {
+        debug_assert!(at >= self.cursor);
+        match self.level_of(at) {
+            Some(level) => {
+                let slot = ((at >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+                self.wheel[level * SLOTS + slot].push(index);
+                self.occupancy[level] |= 1 << slot;
+            }
+            None => {
+                let seq = self.slab[index as usize].seq;
+                self.overflow.push(HeapEntry { at, seq, index });
+            }
+        }
+    }
+
+    /// Ensures `ready[ready_pos..]` holds the next due batch (all events at
+    /// one timestamp, sequence-ordered). Returns `false` when nothing is
+    /// pending. Commits cursor advances, cascades and overflow drains.
+    fn advance_to_ready(&mut self) -> bool {
+        loop {
+            if self.ready_pos < self.ready.len() {
+                return true;
+            }
+            self.ready.clear();
+            self.ready_pos = 0;
+            let Some(level) = self.occupancy.iter().position(|&b| b != 0) else {
+                if !self.drain_overflow() {
+                    // Queue truly empty (trailing tombstones all reaped).
+                    // Re-anchor the wheel at the clock: cascading past the
+                    // tombstones may have carried the cursor beyond `now`,
+                    // and the next insert must see `cursor <= at`.
+                    self.cursor = self.now;
+                    return false;
+                }
+                continue;
+            };
+            let slot = self.occupancy[level].trailing_zeros() as usize;
+            self.occupancy[level] &= !(1 << slot);
+            if level == 0 {
+                // A level-0 slot is one exact timestamp: swap it out as the
+                // ready batch. (Swapping keeps both vectors' capacity alive,
+                // so steady state allocates nothing.)
+                std::mem::swap(&mut self.ready, &mut self.wheel[slot]);
+                self.ready_at = (self.cursor & !(SLOTS as u64 - 1)) | slot as u64;
+            } else {
+                // Cascade the slot downwards. Only reached when all lower
+                // levels are empty, which is what keeps slot vectors
+                // sequence-sorted: cascaded events land in empty slots, and
+                // later direct inserts always have higher sequence numbers.
+                let width = SLOT_BITS * level as u32;
+                let slot_start =
+                    (self.cursor & !((1u64 << (width + SLOT_BITS)) - 1)) | ((slot as u64) << width);
+                // `run_until` can leave the cursor inside this slot's span;
+                // never move it backwards.
+                self.cursor = self.cursor.max(slot_start);
+                let mut buf = std::mem::take(&mut self.wheel[level * SLOTS + slot]);
+                for &index in &buf {
+                    if self.slab[index as usize].state == CellState::Tombstone {
+                        self.free_cell(index);
+                    } else {
+                        let at = self.slab[index as usize].at;
+                        debug_assert!(self.level_of(at).is_some_and(|l| l < level));
+                        self.insert_index(index, at);
+                    }
+                }
+                buf.clear();
+                // Return the buffer (and its capacity) to the slot it came
+                // from: cascades re-insert strictly below `level`, so the
+                // slot is still empty.
+                self.wheel[level * SLOTS + slot] = buf;
+            }
+        }
+    }
+
+    /// Jumps the cursor to the earliest overflow event and pulls every
+    /// overflow entry back inside the wheel horizon. Returns `false` when
+    /// the overflow heap is empty too.
+    fn drain_overflow(&mut self) -> bool {
+        loop {
+            match self.overflow.peek() {
+                None => return false,
+                Some(top) if self.slab[top.index as usize].state == CellState::Tombstone => {
+                    let top = self.overflow.pop().expect("peeked entry");
+                    self.free_cell(top.index);
+                }
+                Some(top) => {
+                    debug_assert!(top.at >= self.cursor);
+                    self.cursor = top.at;
+                    break;
+                }
+            }
+        }
+        while let Some(top) = self.overflow.peek() {
+            if (top.at ^ self.cursor) >> HORIZON_BITS != 0 {
+                break;
+            }
+            let top = self.overflow.pop().expect("peeked entry");
+            if self.slab[top.index as usize].state == CellState::Tombstone {
+                self.free_cell(top.index);
+            } else {
+                // Popped in (at, seq) order, so same-time events land in
+                // their slot sequence-sorted.
+                self.insert_index(top.index, top.at);
+            }
+        }
+        true
+    }
+
+    /// Time of the next live event, without committing cursor movement
+    /// (cascades / overflow drains). The only mutation is tombstone reaping,
+    /// which is unobservable. Used by `run_until` to decide whether to fire.
+    fn peek_next_at(&mut self) -> Option<SimTime> {
+        // Ready batch first.
+        while self.ready_pos < self.ready.len() {
+            let index = self.ready[self.ready_pos];
+            if self.slab[index as usize].state == CellState::Tombstone {
+                self.free_cell(index);
+                self.ready_pos += 1;
+            } else {
+                return Some(self.ready_at);
+            }
+        }
+        // The earliest pending event lives in the lowest occupied slot of
+        // the lowest non-empty level (levels are strictly time-ordered).
+        for level in 0..LEVELS {
+            while self.occupancy[level] != 0 {
+                let slot = self.occupancy[level].trailing_zeros() as usize;
+                let slot_idx = level * SLOTS + slot;
+                let mut vec = std::mem::take(&mut self.wheel[slot_idx]);
+                vec.retain(|&index| {
+                    if self.slab[index as usize].state == CellState::Tombstone {
+                        self.free_cell(index);
+                        false
+                    } else {
+                        true
+                    }
+                });
+                let earliest = vec.iter().map(|&i| self.slab[i as usize].at).min();
+                self.wheel[slot_idx] = vec;
+                match earliest {
+                    None => self.occupancy[level] &= !(1 << slot),
+                    Some(at) => return Some(at),
+                }
+            }
+        }
+        // Overflow heap (lazy tombstone pops).
+        loop {
+            match self.overflow.peek() {
+                None => return None,
+                Some(top) if self.slab[top.index as usize].state == CellState::Tombstone => {
+                    let top = self.overflow.pop().expect("peeked entry");
+                    self.free_cell(top.index);
+                }
+                Some(top) => return Some(top.at),
+            }
+        }
+    }
+}
+
+impl Drop for Sim {
+    fn drop(&mut self) {
+        // Pending closures own resources (Rc's, callbacks); drop them.
+        for cell in &mut self.slab {
+            if cell.state == CellState::Pending {
+                unsafe { (cell.drop_fn)(&mut cell.payload) };
+                cell.state = CellState::Free;
+            }
+        }
     }
 }
 
@@ -168,7 +571,7 @@ impl std::fmt::Debug for Sim {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Sim")
             .field("now", &self.now)
-            .field("pending", &self.queue.len())
+            .field("pending", &self.live)
             .field("executed", &self.executed)
             .finish()
     }
@@ -271,5 +674,203 @@ mod tests {
         }
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
+    }
+
+    // ---- slab + wheel specifics -----------------------------------------
+
+    #[test]
+    fn far_future_events_cross_the_wheel_horizon() {
+        // 2^36 ns horizon; schedule well past it, and nearby, interleaved.
+        let mut sim = Sim::new(1);
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for &t in &[1u64 << 40, 5, (1 << 40) + 1, 1 << 36, 70_000_000_000] {
+            let o = order.clone();
+            sim.schedule_at(t, move |sim| o.borrow_mut().push(sim.now()));
+        }
+        sim.run();
+        assert_eq!(
+            *order.borrow(),
+            vec![5, 1 << 36, 70_000_000_000, 1 << 40, (1 << 40) + 1]
+        );
+    }
+
+    #[test]
+    fn ties_across_overflow_and_wheel_keep_scheduling_order() {
+        let mut sim = Sim::new(1);
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let t = 1u64 << 38;
+        for i in 0..6 {
+            let o = order.clone();
+            // All at the same far-future instant; must fire 0..6 in order.
+            sim.schedule_at(t, move |_| o.borrow_mut().push(i));
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handler_scheduling_at_its_own_time_runs_last_in_batch() {
+        let mut sim = Sim::new(1);
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let o0 = order.clone();
+        sim.schedule_at(10, move |sim| {
+            o0.borrow_mut().push("first");
+            let o = o0.clone();
+            sim.schedule_at(10, move |_| o.borrow_mut().push("zero-delay"));
+        });
+        let o1 = order.clone();
+        sim.schedule_at(10, move |_| o1.borrow_mut().push("second"));
+        sim.run();
+        assert_eq!(*order.borrow(), vec!["first", "second", "zero-delay"]);
+    }
+
+    #[test]
+    fn arena_reuses_cells_and_generations_make_stale_cancels_inert() {
+        let mut sim = Sim::new(1);
+        let hits = Rc::new(RefCell::new(0u32));
+        let h0 = hits.clone();
+        let first = sim.schedule_at(1, move |_| *h0.borrow_mut() += 1);
+        sim.run();
+        // The cell is reused for the next event...
+        let h1 = hits.clone();
+        let second = sim.schedule_at(2, move |_| *h1.borrow_mut() += 10);
+        assert_eq!(first.index(), second.index());
+        assert_ne!(first.generation(), second.generation());
+        // ...and cancelling through the stale id must not kill it.
+        sim.cancel(first);
+        sim.run();
+        assert_eq!(*hits.borrow(), 11);
+        assert_eq!(sim.arena_cells(), 1);
+    }
+
+    #[test]
+    fn cancel_after_fire_does_not_grow_memory() {
+        // Regression for the old `HashSet<u64>` cancel bookkeeping, which
+        // leaked one entry per cancel-after-fire forever. The arena must stay
+        // at its steady-state size no matter how many stale cancels arrive.
+        let mut sim = Sim::new(1);
+        let mut stale = Vec::new();
+        for round in 0..10_000u64 {
+            let id = sim.schedule_at(round, |_| {});
+            sim.run();
+            stale.push(id);
+        }
+        for id in stale {
+            sim.cancel(id); // all no-ops
+        }
+        assert_eq!(sim.arena_cells(), 1, "arena grew under stale cancels");
+        assert!(sim.is_idle());
+        // Live cancels are reclaimed too: a tombstone holds its cell only
+        // until the wheel reaps it, so repeated schedule+cancel churn must
+        // reuse the free list instead of growing the arena again.
+        for round in 0..10_000u64 {
+            let id = sim.schedule_at(20_000 + round, |_| {});
+            sim.cancel(id);
+        }
+        sim.run();
+        let footprint = sim.arena_cells();
+        for round in 0..10_000u64 {
+            let id = sim.schedule_at(60_000 + round, |_| {});
+            sim.cancel(id);
+        }
+        sim.run();
+        assert_eq!(
+            sim.arena_cells(),
+            footprint,
+            "arena grew across churn rounds"
+        );
+    }
+
+    #[test]
+    fn large_closures_fall_back_to_boxing() {
+        let mut sim = Sim::new(1);
+        let big = [7u8; 256]; // larger than the 64-byte inline payload
+        let out = Rc::new(RefCell::new(0u64));
+        let o = out.clone();
+        sim.schedule_at(3, move |_| {
+            *o.borrow_mut() = big.iter().map(|&b| b as u64).sum();
+        });
+        sim.run();
+        assert_eq!(*out.borrow(), 7 * 256);
+    }
+
+    #[test]
+    fn dropping_sim_drops_pending_closures() {
+        struct NoteDrop(Rc<RefCell<u32>>);
+        impl Drop for NoteDrop {
+            fn drop(&mut self) {
+                *self.0.borrow_mut() += 1;
+            }
+        }
+        let drops = Rc::new(RefCell::new(0u32));
+        {
+            let mut sim = Sim::new(1);
+            for t in [1u64, 2, 1 << 40] {
+                let token = NoteDrop(drops.clone());
+                sim.schedule_at(t, move |_| {
+                    let _keep = &token;
+                });
+            }
+            let cancelled = {
+                let token = NoteDrop(drops.clone());
+                sim.schedule_at(5, move |_| {
+                    let _keep = &token;
+                })
+            };
+            sim.cancel(cancelled); // drops its closure immediately
+            assert_eq!(*drops.borrow(), 1);
+        }
+        assert_eq!(*drops.borrow(), 4);
+    }
+
+    #[test]
+    fn run_until_then_scheduling_near_the_cursor_stays_ordered() {
+        // run_until advances `now` past the cursor; later inserts must still
+        // fire in (time, seq) order even when they straddle slot boundaries.
+        let mut sim = Sim::new(1);
+        sim.schedule_at(100_000, |_| {});
+        sim.run_until(70_000);
+        assert_eq!(sim.now(), 70_000);
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for &t in &[70_001u64, 99_999, 70_002, 100_001] {
+            let o = order.clone();
+            sim.schedule_at(t, move |sim| o.borrow_mut().push(sim.now()));
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec![70_001, 70_002, 99_999, 100_001]);
+        assert_eq!(sim.executed_events(), 5);
+    }
+
+    #[test]
+    fn cancelled_far_future_events_do_not_strand_the_cursor() {
+        // Draining a queue whose tail is all tombstones (e.g. a cancelled
+        // lease timer) must not leave the wheel cursor ahead of the clock:
+        // the next near-term insert would otherwise violate `cursor <= at`.
+        let mut sim = Sim::new(1);
+        sim.schedule_at(10, |_| {});
+        let far = sim.schedule_at(1 << 20, |_| {});
+        let heap_far = sim.schedule_at(1 << 40, |_| {});
+        sim.cancel(far);
+        sim.cancel(heap_far);
+        sim.run();
+        assert_eq!(sim.now(), 10);
+        let fired = Rc::new(RefCell::new(false));
+        let f = fired.clone();
+        sim.schedule_at(11, move |_| *f.borrow_mut() = true);
+        sim.run();
+        assert!(*fired.borrow());
+        assert_eq!(sim.now(), 11);
+    }
+
+    #[test]
+    fn pending_events_tracks_live_population() {
+        let mut sim = Sim::new(1);
+        let a = sim.schedule_at(10, |_| {});
+        let _b = sim.schedule_at(20, |_| {});
+        assert_eq!(sim.pending_events(), 2);
+        sim.cancel(a);
+        assert_eq!(sim.pending_events(), 1);
+        sim.run();
+        assert_eq!(sim.pending_events(), 0);
     }
 }

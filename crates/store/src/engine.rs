@@ -400,6 +400,16 @@ impl ShardEngine {
     /// Server-side GET: returns the value plus the remote-pointer metadata
     /// and extends the item's lease.
     pub fn get(&mut self, now: u64, key: &[u8]) -> Option<GetResult> {
+        let mut value = Vec::new();
+        let info = self.get_into(now, key, &mut value)?;
+        Some(GetResult { value, info })
+    }
+
+    /// [`Self::get`] without the value allocation: clears `out` and appends
+    /// the value bytes into it. With a reused scratch buffer this is the
+    /// zero-allocation GET the serving hot path runs per request.
+    pub fn get_into(&mut self, now: u64, key: &[u8], out: &mut Vec<u8>) -> Option<ItemInfo> {
+        out.clear();
         self.stats.gets += 1;
         let hash = hash_key(key);
         let off = self.find(hash, key)?;
@@ -410,13 +420,11 @@ impl ShardEngine {
         item.set_clock_ref(words, true);
         let expiry = now + self.lease_term(item.popularity(words));
         item.extend_lease(words, expiry);
-        Some(GetResult {
-            value: item.value(words),
-            info: ItemInfo {
-                off_words: off,
-                read_len: item.read_len(words),
-                lease_expiry: item.lease(words),
-            },
+        item.value_into(words, out);
+        Some(ItemInfo {
+            off_words: off,
+            read_len: item.read_len(words),
+            lease_expiry: item.lease(words),
         })
     }
 

@@ -176,16 +176,19 @@ impl ItemRef {
 
     /// Copies the value out.
     pub fn value(&self, words: &[AtomicU64]) -> Vec<u8> {
-        let klen = self.klen(words);
         let vlen = self.vlen(words);
         let mut out = Vec::with_capacity(vlen);
-        Self::load_bytes(
-            words,
-            self.off as usize + 1 + klen.div_ceil(8),
-            vlen,
-            &mut out,
-        );
+        self.value_into(words, &mut out);
         out
+    }
+
+    /// Appends the value bytes to `out` — the zero-allocation variant the
+    /// server's GET hot path uses with a reused scratch buffer.
+    pub fn value_into(&self, words: &[AtomicU64], out: &mut Vec<u8>) {
+        let klen = self.klen(words);
+        let vlen = self.vlen(words);
+        out.reserve(vlen);
+        Self::load_bytes(words, self.off as usize + 1 + klen.div_ceil(8), vlen, out);
     }
 
     fn guardian_word(&self, words: &[AtomicU64]) -> usize {

@@ -210,13 +210,18 @@ impl CompactTable {
             self.stats.buckets_probed += 1;
             let b = self.bucket(cur);
             let filter = b.filter();
-            let mut hits: Vec<u64> = Vec::new();
+            // Candidate offsets are copied to the stack so `is_match` (which
+            // may inspect the table's owner) runs without `b` borrowed — and
+            // so a lookup never touches the heap.
+            let mut hits = [0u64; SLOTS_PER_BUCKET];
+            let mut nhits = 0;
             for s in 0..SLOTS_PER_BUCKET {
                 if filter & (1 << s) != 0 && b.slot_sig(s) == sig {
-                    hits.push(b.slot_off(s));
+                    hits[nhits] = b.slot_off(s);
+                    nhits += 1;
                 }
             }
-            for off in hits {
+            for &off in &hits[..nhits] {
                 self.stats.full_compares += 1;
                 if is_match(off) {
                     return Some(off);

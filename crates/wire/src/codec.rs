@@ -82,6 +82,149 @@ impl Status {
 const REQ_HDR: usize = 1 + 1 + 2 + 4 + 4 + 8;
 const RESP_HDR: usize = 1 + 1 + 2 + 4 + 8 + REMOTE_PTR_BYTES + 8;
 
+/// The key batch of a LEASE_RENEW request, iterable without allocation.
+///
+/// On the encode side it wraps the caller's key slices; on the decode side it
+/// is a *validated window* over the packed `[count:4]([klen:4][key])*` wire
+/// bytes — decoding walks the packing once to check bounds and then borrows
+/// it, so the request hot path never builds a `Vec` of key slices.
+#[derive(Clone, Copy)]
+pub enum KeyList<'a> {
+    /// Unpacked key slices (encode side).
+    Slices(&'a [&'a [u8]]),
+    /// Validated packed wire bytes, including the count prefix (decode side).
+    Packed { count: u32, bytes: &'a [u8] },
+}
+
+impl<'a> KeyList<'a> {
+    /// Number of keys in the batch.
+    pub fn len(&self) -> usize {
+        match self {
+            KeyList::Slices(keys) => keys.len(),
+            KeyList::Packed { count, .. } => *count as usize,
+        }
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates over the key slices.
+    pub fn iter(&self) -> KeyListIter<'a> {
+        match self {
+            KeyList::Slices(keys) => KeyListIter::Slices(keys.iter()),
+            KeyList::Packed { count, bytes } => KeyListIter::Packed {
+                remaining: *count,
+                rest: &bytes[4..],
+            },
+        }
+    }
+
+    /// Validates `bytes` as a complete packed key list (count prefix
+    /// included, no trailing garbage) and wraps it.
+    fn parse_packed(bytes: &'a [u8]) -> Option<KeyList<'a>> {
+        let count = u32::from_le_bytes(bytes.get(..4)?.try_into().ok()?);
+        let mut p = &bytes[4..];
+        for _ in 0..count {
+            let kl = u32::from_le_bytes(p.get(..4)?.try_into().ok()?) as usize;
+            p = p.get(4 + kl..)?;
+        }
+        if !p.is_empty() {
+            return None;
+        }
+        Some(KeyList::Packed { count, bytes })
+    }
+
+    fn packed_len(&self) -> usize {
+        match self {
+            KeyList::Slices(keys) => 4 + keys.iter().map(|k| 4 + k.len()).sum::<usize>(),
+            KeyList::Packed { bytes, .. } => bytes.len(),
+        }
+    }
+
+    fn pack_into(&self, out: &mut Vec<u8>) {
+        match self {
+            KeyList::Slices(keys) => {
+                out.extend_from_slice(&(keys.len() as u32).to_le_bytes());
+                for k in *keys {
+                    out.extend_from_slice(&(k.len() as u32).to_le_bytes());
+                    out.extend_from_slice(k);
+                }
+            }
+            KeyList::Packed { bytes, .. } => out.extend_from_slice(bytes),
+        }
+    }
+}
+
+impl<'a> From<&'a [&'a [u8]]> for KeyList<'a> {
+    fn from(keys: &'a [&'a [u8]]) -> Self {
+        KeyList::Slices(keys)
+    }
+}
+
+impl<'a> From<&'a Vec<&'a [u8]>> for KeyList<'a> {
+    fn from(keys: &'a Vec<&'a [u8]>) -> Self {
+        KeyList::Slices(keys)
+    }
+}
+
+impl<'a> IntoIterator for &KeyList<'a> {
+    type Item = &'a [u8];
+    type IntoIter = KeyListIter<'a>;
+    fn into_iter(self) -> KeyListIter<'a> {
+        self.iter()
+    }
+}
+
+impl PartialEq for KeyList<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter())
+    }
+}
+impl Eq for KeyList<'_> {}
+
+impl std::fmt::Debug for KeyList<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+/// Iterator over [`KeyList`] key slices.
+pub enum KeyListIter<'a> {
+    Slices(std::slice::Iter<'a, &'a [u8]>),
+    Packed { remaining: u32, rest: &'a [u8] },
+}
+
+impl<'a> Iterator for KeyListIter<'a> {
+    type Item = &'a [u8];
+
+    fn next(&mut self) -> Option<&'a [u8]> {
+        match self {
+            KeyListIter::Slices(it) => it.next().copied(),
+            KeyListIter::Packed { remaining, rest } => {
+                if *remaining == 0 {
+                    return None;
+                }
+                *remaining -= 1;
+                // Bounds were validated by `parse_packed`.
+                let kl = u32::from_le_bytes(rest[..4].try_into().unwrap()) as usize;
+                let key = &rest[4..4 + kl];
+                *rest = &rest[4 + kl..];
+                Some(key)
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = match self {
+            KeyListIter::Slices(it) => it.len(),
+            KeyListIter::Packed { remaining, .. } => *remaining as usize,
+        };
+        (n, Some(n))
+    }
+}
+
 /// A decoded request, borrowing key/value bytes from the frame payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request<'a> {
@@ -102,7 +245,7 @@ pub enum Request<'a> {
     /// DELETE a key.
     Delete { req_id: u64, key: &'a [u8] },
     /// Renew leases on a batch of keys the client deems popular.
-    LeaseRenew { req_id: u64, keys: Vec<&'a [u8]> },
+    LeaseRenew { req_id: u64, keys: KeyList<'a> },
 }
 
 impl<'a> Request<'a> {
@@ -144,21 +287,15 @@ impl<'a> Request<'a> {
             Request::Delete { req_id, key } => (OpCode::Delete, *req_id, key, &[]),
             Request::LeaseRenew { req_id, keys } => {
                 // Pack the key list into the value area: [count:4] then
-                // repeated [klen:4][key].
-                let mut packed =
-                    Vec::with_capacity(4 + keys.iter().map(|k| 4 + k.len()).sum::<usize>());
-                packed.extend_from_slice(&(keys.len() as u32).to_le_bytes());
-                for k in keys {
-                    packed.extend_from_slice(&(k.len() as u32).to_le_bytes());
-                    packed.extend_from_slice(k);
-                }
+                // repeated [klen:4][key], written straight into `out`.
+                out.reserve(REQ_HDR + keys.packed_len());
                 out.push(OpCode::LeaseRenew as u8);
                 out.push(0);
                 out.extend_from_slice(&[0, 0]);
                 out.extend_from_slice(&0u32.to_le_bytes());
-                out.extend_from_slice(&(packed.len() as u32).to_le_bytes());
+                out.extend_from_slice(&(keys.packed_len() as u32).to_le_bytes());
                 out.extend_from_slice(&req_id.to_le_bytes());
-                out.extend_from_slice(&packed);
+                keys.pack_into(out);
                 return;
             }
         };
@@ -192,28 +329,10 @@ impl<'a> Request<'a> {
             OpCode::Insert => Request::Insert { req_id, key, value },
             OpCode::Update => Request::Update { req_id, key, value },
             OpCode::Delete => Request::Delete { req_id, key },
-            OpCode::LeaseRenew => {
-                let mut keys = Vec::new();
-                let mut p = value;
-                if p.len() < 4 {
-                    return None;
-                }
-                let count = u32::from_le_bytes(p[..4].try_into().ok()?) as usize;
-                p = &p[4..];
-                for _ in 0..count {
-                    if p.len() < 4 {
-                        return None;
-                    }
-                    let kl = u32::from_le_bytes(p[..4].try_into().ok()?) as usize;
-                    p = &p[4..];
-                    if p.len() < kl {
-                        return None;
-                    }
-                    keys.push(&p[..kl]);
-                    p = &p[kl..];
-                }
-                Request::LeaseRenew { req_id, keys }
-            }
+            OpCode::LeaseRenew => Request::LeaseRenew {
+                req_id,
+                keys: KeyList::parse_packed(value)?,
+            },
         })
     }
 }
@@ -321,13 +440,14 @@ mod tests {
             req_id: 4,
             key: b"",
         });
+        let keys = [b"a".as_slice(), b"bb".as_slice(), b"ccc".as_slice()];
         roundtrip_req(&Request::LeaseRenew {
             req_id: 5,
-            keys: vec![b"a".as_slice(), b"bb".as_slice(), b"ccc".as_slice()],
+            keys: KeyList::Slices(&keys),
         });
         roundtrip_req(&Request::LeaseRenew {
             req_id: 6,
-            keys: vec![],
+            keys: KeyList::Slices(&[]),
         });
     }
 
@@ -397,9 +517,10 @@ mod tests {
 
     #[test]
     fn lease_renew_with_corrupt_count_rejected() {
+        let keys = [b"abc".as_slice()];
         let r = Request::LeaseRenew {
             req_id: 5,
-            keys: vec![b"abc".as_slice()],
+            keys: KeyList::Slices(&keys),
         };
         let mut enc = r.encode();
         // Inflate the declared key count beyond the available bytes.

@@ -21,7 +21,7 @@ pub mod frame;
 pub mod log;
 pub mod rptr;
 
-pub use codec::{OpCode, Request, Response, Status};
+pub use codec::{KeyList, OpCode, Request, Response, Status};
 pub use frame::{
     consume_message, frame_to_words, frame_words, poll_message, write_message, FrameError,
 };

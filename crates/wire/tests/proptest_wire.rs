@@ -4,7 +4,7 @@
 
 use std::sync::atomic::AtomicU64;
 
-use hydra_wire::{frame, LogOp, LogRecord, RemotePtr, Request, Response, Status};
+use hydra_wire::{frame, KeyList, LogOp, LogRecord, RemotePtr, Request, Response, Status};
 use proptest::prelude::*;
 
 fn bytes(max: usize) -> impl Strategy<Value = Vec<u8>> {
@@ -53,9 +53,33 @@ proptest! {
     #[test]
     fn lease_renew_roundtrips(req_id in any::<u64>(), keys in proptest::collection::vec(bytes(32), 0..12)) {
         let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
-        let req = Request::LeaseRenew { req_id, keys: refs };
+        let req = Request::LeaseRenew { req_id, keys: KeyList::Slices(&refs) };
         let enc = req.encode();
-        prop_assert_eq!(Request::decode(&enc).expect("decodes"), req);
+        let dec = Request::decode(&enc).expect("decodes");
+        prop_assert_eq!(&dec, &req);
+        // The borrowed (packed) decode re-encodes byte-identically to the
+        // owned (slices) original.
+        prop_assert_eq!(dec.encode(), enc);
+    }
+
+    /// Decoding borrows; re-encoding the borrowed form must reproduce the
+    /// original bytes exactly for every request shape.
+    #[test]
+    fn borrowed_reencode_is_byte_identical(
+        req_id in any::<u64>(),
+        key in bytes(64),
+        value in bytes(256),
+        op in 0u8..4,
+    ) {
+        let req = match op {
+            0 => Request::Get { req_id, key: &key },
+            1 => Request::Insert { req_id, key: &key, value: &value },
+            2 => Request::Update { req_id, key: &key, value: &value },
+            _ => Request::Delete { req_id, key: &key },
+        };
+        let enc = req.encode();
+        let dec = Request::decode(&enc).expect("decodes");
+        prop_assert_eq!(dec.encode(), enc);
     }
 
     #[test]

@@ -1,0 +1,199 @@
+//! Allocation-count tests for the serving hot path.
+//!
+//! A counting global allocator shim verifies the PR's zero-allocation
+//! claims directly: borrowed `Request` decode allocates nothing, the
+//! engine's scratch-buffer GET allocates nothing in steady state, and the
+//! full server-side message-GET path performs no per-request key/value
+//! copies (its allocation count is a small constant, independent of value
+//! size).
+//!
+//! Everything lives in one `#[test]` so no other test thread can run while
+//! the global counter is being read.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use hydra_db::{ClusterBuilder, ClusterConfig};
+use hydra_integration::{get_value, put_ok};
+use hydra_store::{EngineConfig, ShardEngine, WriteMode};
+use hydra_wire::{KeyList, Request};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn count_allocs(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    f();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn hot_paths_do_not_allocate() {
+    decode_is_zero_alloc();
+    steady_state_get_into_is_zero_alloc();
+    server_get_alloc_count_is_constant();
+}
+
+/// Borrowed request decode performs zero heap allocations for every opcode —
+/// including LEASE_RENEW, whose key batch decodes as a validated window over
+/// the packed bytes instead of a `Vec` of slices.
+fn decode_is_zero_alloc() {
+    let keys = [b"hot-key-1".as_slice(), b"hot-key-2".as_slice()];
+    let payloads = [
+        Request::Get {
+            req_id: 1,
+            key: b"user:42",
+        }
+        .encode(),
+        Request::Insert {
+            req_id: 2,
+            key: b"user:42",
+            value: &[0xAB; 256],
+        }
+        .encode(),
+        Request::Update {
+            req_id: 3,
+            key: b"user:42",
+            value: &[0xCD; 64],
+        }
+        .encode(),
+        Request::Delete {
+            req_id: 4,
+            key: b"user:42",
+        }
+        .encode(),
+        Request::LeaseRenew {
+            req_id: 5,
+            keys: KeyList::Slices(&keys),
+        }
+        .encode(),
+    ];
+    let mut total_keys = 0usize;
+    let allocs = count_allocs(|| {
+        for p in &payloads {
+            let req = Request::decode(p).expect("well-formed");
+            match req {
+                Request::Get { key, .. } | Request::Delete { key, .. } => {
+                    total_keys += key.len();
+                }
+                Request::Insert { key, value, .. } | Request::Update { key, value, .. } => {
+                    total_keys += key.len() + value.len();
+                }
+                Request::LeaseRenew { keys, .. } => {
+                    for k in keys.iter() {
+                        total_keys += k.len();
+                    }
+                }
+            }
+        }
+    });
+    assert!(total_keys > 0);
+    assert_eq!(allocs, 0, "request decode must not allocate");
+}
+
+/// After one warm-up to size the scratch buffer, `ShardEngine::get_into`
+/// allocates nothing per request.
+fn steady_state_get_into_is_zero_alloc() {
+    let mut engine = ShardEngine::new(EngineConfig {
+        arena_words: 1 << 14,
+        expected_items: 256,
+        write_mode: WriteMode::Reliable,
+        min_lease_ns: 1_000,
+        max_lease_ns: 64_000,
+    });
+    let keys: Vec<Vec<u8>> = (0..64).map(|i| format!("key{i:04}").into_bytes()).collect();
+    for k in &keys {
+        engine.insert(0, k, &[0x5A; 120]).unwrap();
+    }
+    let mut scratch = Vec::new();
+    engine.get_into(1, &keys[0], &mut scratch).unwrap();
+    let mut hits = 0usize;
+    let allocs = count_allocs(|| {
+        for round in 0..1_000u64 {
+            let k = &keys[(round % 64) as usize];
+            if engine.get_into(round, k, &mut scratch).is_some() {
+                hits += 1;
+            }
+        }
+    });
+    assert_eq!(hits, 1_000);
+    assert_eq!(allocs, 0, "steady-state GET must not allocate");
+}
+
+/// The whole server-side message-GET path (frame poll, decode, engine GET,
+/// response encode, response write) allocates a small constant number of
+/// buffers per request — and the count is essentially independent of value
+/// size, proving no per-request key/value copies survive anywhere in the
+/// path. A doubling-growth copy of a 2 KiB value would add ~7 reallocs per
+/// GET (≥112 over the window); the tolerance below only absorbs
+/// timing-dependent background events (value size changes virtual transfer
+/// times, so a different number of lease/reclaim timers can land inside the
+/// measured window).
+fn server_get_alloc_count_is_constant() {
+    let allocs_for_16_gets = |value_len: usize| -> u64 {
+        let cfg = ClusterConfig {
+            server_nodes: 1,
+            shards_per_node: 1,
+            client_nodes: 1,
+            ..ClusterConfig::default()
+        };
+        let mut cluster = ClusterBuilder::new(cfg).build();
+        let client = cluster.add_client(0);
+        let keys: Vec<Vec<u8>> = (0..48).map(|i| format!("zk{i:05}").into_bytes()).collect();
+        let value = vec![0x77u8; value_len];
+        for k in &keys {
+            put_ok(&mut cluster, &client, k, &value);
+        }
+        // Warm-up: first GETs grow hash maps, rings, the sim arena and the
+        // GET scratch to steady state.
+        for k in keys.iter().take(16) {
+            assert!(get_value(&mut cluster, &client, k).is_some());
+        }
+        // Measured: fresh keys so every GET takes the message path (no
+        // cached remote pointer yet).
+        let measured: Vec<&Vec<u8>> = keys.iter().skip(16).take(16).collect();
+        count_allocs(|| {
+            for k in &measured {
+                assert!(get_value(&mut cluster, &client, k).is_some());
+            }
+        })
+    };
+    let small = allocs_for_16_gets(16);
+    let large = allocs_for_16_gets(2048);
+    let diff = small.abs_diff(large);
+    assert!(
+        diff <= 16,
+        "per-GET allocation count depends on value size \
+         (16 B: {small} allocs / 16 GETs, 2048 B: {large})"
+    );
+    assert!(
+        small / 16 <= 32,
+        "message GET allocates {} times per request; hot path regressed",
+        small / 16
+    );
+}

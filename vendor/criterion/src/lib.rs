@@ -1,0 +1,164 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! Keeps the harness API (`criterion_group!`/`criterion_main!`,
+//! `benchmark_group`, `Bencher::iter`, `black_box`, `BenchmarkId`) so the
+//! workspace's benches compile and run without the registry. Measurement is
+//! deliberately simple: each benchmark runs a short warm-up, then a timed
+//! batch, and prints mean ns/iter. No statistics, plots, or baselines —
+//! the serious perf numbers live in `bench/src/bin/perf_events.rs`.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target time per benchmark (after warm-up).
+const MEASURE_TIME: Duration = Duration::from_millis(300);
+const WARMUP_TIME: Duration = Duration::from_millis(100);
+
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _parent: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.to_string(), f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    repr: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId {
+            repr: format!("{name}/{param}"),
+        }
+    }
+
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId {
+            repr: param.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.repr)
+    }
+}
+
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly until the measurement budget is spent, timing in
+    /// geometrically growing batches to amortise clock reads.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let mut batch = 1u64;
+        while self.elapsed < self.budget {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.elapsed += start.elapsed();
+            self.iters_done += batch;
+            batch = (batch * 2).min(1 << 20);
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, mut f: F) {
+    let mut warm = Bencher {
+        iters_done: 0,
+        elapsed: Duration::ZERO,
+        budget: WARMUP_TIME,
+    };
+    f(&mut warm);
+    let mut b = Bencher {
+        iters_done: 0,
+        elapsed: Duration::ZERO,
+        budget: MEASURE_TIME,
+    };
+    f(&mut b);
+    let ns_per_iter = if b.iters_done == 0 {
+        f64::NAN
+    } else {
+        b.elapsed.as_nanos() as f64 / b.iters_done as f64
+    };
+    println!(
+        "bench {label:<48} {ns_per_iter:>14.1} ns/iter  ({} iters)",
+        b.iters_done
+    );
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,351 @@
+//! Minimal offline stand-in for `crossbeam-epoch`.
+//!
+//! Provides the tagged atomic-pointer API (`Atomic`, `Owned`, `Shared`,
+//! `Guard`, `pin`, `unprotected`) that `hydra-lockfree` uses, backed by plain
+//! `AtomicUsize` with the tag packed into the pointer's low alignment bits.
+//!
+//! Reclamation policy: `Guard::defer_destroy` intentionally **leaks** instead
+//! of deferring a free. Without real epoch tracking there is no safe moment
+//! to reclaim memory that concurrent readers may still hold, and leaking is
+//! the only sound stand-in. The lock-free algorithms above this layer are
+//! unaffected: unlinked nodes simply stay allocated until process exit.
+//! `Shared::into_owned` (used by exclusive-access destructors) still frees
+//! for real.
+
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn tag_mask<T>() -> usize {
+    std::mem::align_of::<T>() - 1
+}
+
+fn decompose<T>(data: usize) -> (usize, usize) {
+    (data & !tag_mask::<T>(), data & tag_mask::<T>())
+}
+
+/// Types that can be handed to `compare_exchange`/`swap` as the new value:
+/// either an `Owned<T>` (transfers ownership) or a `Shared<'g, T>`.
+pub trait Pointer<T> {
+    fn into_usize(self) -> usize;
+    /// # Safety
+    /// `data` must have come from `into_usize` of the same impl.
+    unsafe fn from_usize(data: usize) -> Self;
+}
+
+/// An owned, heap-allocated `T` with a tag, not yet published.
+pub struct Owned<T> {
+    data: usize,
+    _marker: PhantomData<Box<T>>,
+}
+
+impl<T> Owned<T> {
+    pub fn new(value: T) -> Self {
+        let ptr = Box::into_raw(Box::new(value)) as usize;
+        debug_assert_eq!(ptr & tag_mask::<T>(), 0);
+        Owned {
+            data: ptr,
+            _marker: PhantomData,
+        }
+    }
+
+    pub fn into_box(self) -> Box<T> {
+        let (raw, _) = decompose::<T>(self.data);
+        std::mem::forget(self);
+        unsafe { Box::from_raw(raw as *mut T) }
+    }
+
+    pub fn with_tag(self, tag: usize) -> Self {
+        let (raw, _) = decompose::<T>(self.data);
+        let data = raw | (tag & tag_mask::<T>());
+        std::mem::forget(self);
+        Owned {
+            data,
+            _marker: PhantomData,
+        }
+    }
+
+    pub fn into_shared<'g>(self, _guard: &'g Guard) -> Shared<'g, T> {
+        let data = self.data;
+        std::mem::forget(self);
+        Shared {
+            data,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T> std::ops::Deref for Owned<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        let (raw, _) = decompose::<T>(self.data);
+        unsafe { &*(raw as *const T) }
+    }
+}
+
+impl<T> Drop for Owned<T> {
+    fn drop(&mut self) {
+        let (raw, _) = decompose::<T>(self.data);
+        drop(unsafe { Box::from_raw(raw as *mut T) });
+    }
+}
+
+impl<T> Pointer<T> for Owned<T> {
+    fn into_usize(self) -> usize {
+        let data = self.data;
+        std::mem::forget(self);
+        data
+    }
+    unsafe fn from_usize(data: usize) -> Self {
+        Owned {
+            data,
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// A tagged pointer valid for the lifetime of a pin guard. May be null.
+pub struct Shared<'g, T> {
+    data: usize,
+    _marker: PhantomData<(&'g (), *const T)>,
+}
+
+impl<T> Clone for Shared<'_, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Shared<'_, T> {}
+
+impl<'g, T> Shared<'g, T> {
+    pub fn null() -> Self {
+        Shared {
+            data: 0,
+            _marker: PhantomData,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        let (raw, _) = decompose::<T>(self.data);
+        raw == 0
+    }
+
+    pub fn tag(&self) -> usize {
+        let (_, tag) = decompose::<T>(self.data);
+        tag
+    }
+
+    pub fn with_tag(&self, tag: usize) -> Shared<'g, T> {
+        let (raw, _) = decompose::<T>(self.data);
+        Shared {
+            data: raw | (tag & tag_mask::<T>()),
+            _marker: PhantomData,
+        }
+    }
+
+    /// # Safety
+    /// The pointee must be alive; the caller vouches for the reclamation
+    /// discipline (trivially satisfied here since destruction is deferred
+    /// forever).
+    pub unsafe fn as_ref(&self) -> Option<&'g T> {
+        let (raw, _) = decompose::<T>(self.data);
+        (raw as *const T).as_ref()
+    }
+
+    /// # Safety
+    /// The caller must have exclusive access to the pointee.
+    pub unsafe fn into_owned(self) -> Owned<T> {
+        debug_assert!(!self.is_null());
+        let (raw, _) = decompose::<T>(self.data);
+        Owned {
+            data: raw,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T> Pointer<T> for Shared<'_, T> {
+    fn into_usize(self) -> usize {
+        self.data
+    }
+    unsafe fn from_usize(data: usize) -> Self {
+        Shared {
+            data,
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// Error type of `Atomic::compare_exchange`; hands the rejected new pointer
+/// back to the caller.
+pub struct CompareExchangeError<'g, T, P: Pointer<T>> {
+    /// The value the atomic actually held.
+    pub current: Shared<'g, T>,
+    /// The proposed value, returned so ownership is not lost.
+    pub new: P,
+}
+
+/// An atomic tagged pointer to a heap `T`.
+pub struct Atomic<T> {
+    data: AtomicUsize,
+    _marker: PhantomData<*mut T>,
+}
+
+unsafe impl<T: Send + Sync> Send for Atomic<T> {}
+unsafe impl<T: Send + Sync> Sync for Atomic<T> {}
+
+impl<T> Atomic<T> {
+    pub fn null() -> Self {
+        Atomic {
+            data: AtomicUsize::new(0),
+            _marker: PhantomData,
+        }
+    }
+
+    pub fn new(value: T) -> Self {
+        Atomic::from(Owned::new(value))
+    }
+
+    pub fn load<'g>(&self, ord: Ordering, _guard: &'g Guard) -> Shared<'g, T> {
+        Shared {
+            data: self.data.load(ord),
+            _marker: PhantomData,
+        }
+    }
+
+    pub fn store<P: Pointer<T>>(&self, new: P, ord: Ordering) {
+        self.data.store(new.into_usize(), ord);
+    }
+
+    pub fn swap<'g, P: Pointer<T>>(
+        &self,
+        new: P,
+        ord: Ordering,
+        _guard: &'g Guard,
+    ) -> Shared<'g, T> {
+        Shared {
+            data: self.data.swap(new.into_usize(), ord),
+            _marker: PhantomData,
+        }
+    }
+
+    pub fn compare_exchange<'g, P: Pointer<T>>(
+        &self,
+        current: Shared<'_, T>,
+        new: P,
+        success: Ordering,
+        failure: Ordering,
+        _guard: &'g Guard,
+    ) -> Result<Shared<'g, T>, CompareExchangeError<'g, T, P>> {
+        let new_data = new.into_usize();
+        match self
+            .data
+            .compare_exchange(current.data, new_data, success, failure)
+        {
+            Ok(prev) => Ok(Shared {
+                data: prev,
+                _marker: PhantomData,
+            }),
+            Err(actual) => Err(CompareExchangeError {
+                current: Shared {
+                    data: actual,
+                    _marker: PhantomData,
+                },
+                new: unsafe { P::from_usize(new_data) },
+            }),
+        }
+    }
+}
+
+impl<T> From<Owned<T>> for Atomic<T> {
+    fn from(owned: Owned<T>) -> Self {
+        Atomic {
+            data: AtomicUsize::new(owned.into_usize()),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T> From<Shared<'_, T>> for Atomic<T> {
+    fn from(shared: Shared<'_, T>) -> Self {
+        Atomic {
+            data: AtomicUsize::new(shared.data),
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// A pin guard. The stub performs no epoch tracking; the guard only anchors
+/// the `'g` lifetimes.
+pub struct Guard {
+    _priv: (),
+}
+
+impl Guard {
+    /// Deliberately leaks (see crate docs): without epoch tracking there is
+    /// no safe reclamation point, and leaking preserves memory safety.
+    ///
+    /// # Safety
+    /// Mirrors the upstream contract; no additional requirements here.
+    pub unsafe fn defer_destroy<T>(&self, _ptr: Shared<'_, T>) {}
+}
+
+/// Pins the current thread (no-op beyond producing a guard).
+pub fn pin() -> Guard {
+    Guard { _priv: () }
+}
+
+static UNPROTECTED: Guard = Guard { _priv: () };
+
+/// Returns a guard without pinning.
+///
+/// # Safety
+/// Caller must guarantee exclusive access to the data structures touched
+/// through this guard (same contract as upstream).
+pub unsafe fn unprotected() -> &'static Guard {
+    &UNPROTECTED
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering::{AcqRel, Acquire, Relaxed};
+
+    #[test]
+    fn tag_roundtrip_and_cas() {
+        let a: Atomic<u64> = Atomic::null();
+        let guard = &pin();
+        assert!(a.load(Relaxed, guard).is_null());
+
+        let owned = Owned::new(41u64);
+        a.compare_exchange(Shared::null(), owned, AcqRel, Acquire, guard)
+            .ok()
+            .expect("cas from null succeeds");
+        let cur = a.load(Acquire, guard);
+        assert_eq!(unsafe { cur.as_ref() }, Some(&41));
+        assert_eq!(cur.tag(), 0);
+
+        let tagged = cur.with_tag(1);
+        assert_eq!(tagged.tag(), 1);
+        assert_eq!(tagged.with_tag(0).data, cur.data);
+
+        // CAS with stale expected value fails and returns the new pointer.
+        let other = Owned::new(7u64);
+        let err = a
+            .compare_exchange(Shared::null(), other, AcqRel, Acquire, guard)
+            .err()
+            .expect("cas with wrong current fails");
+        assert_eq!(*err.new.into_box(), 7);
+
+        drop(unsafe { a.load(Acquire, guard).into_owned() });
+    }
+
+    #[test]
+    fn swap_returns_previous() {
+        let a: Atomic<String> = Atomic::new("old".to_string());
+        let guard = &pin();
+        let prev = a.swap(Owned::new("new".to_string()), AcqRel, guard);
+        assert_eq!(unsafe { prev.as_ref() }.unwrap(), "old");
+        drop(unsafe { prev.into_owned() });
+        drop(unsafe { a.load(Acquire, guard).into_owned() });
+    }
+}

@@ -1,0 +1,142 @@
+//! Minimal offline stand-in for `proptest`.
+//!
+//! Implements the subset this workspace uses: the `proptest!` macro,
+//! `Strategy` with `prop_map`, `any::<T>()`, integer-range strategies, tuple
+//! strategies, `collection::vec`, `Just`, weighted/unweighted `prop_oneof!`,
+//! `prop_assert*`, and `ProptestConfig::with_cases`.
+//!
+//! Differences from upstream: no shrinking (a failing case panics with its
+//! inputs via the normal assert message), and case generation is seeded
+//! deterministically from the test name + case index, so failures are
+//! reproducible run-over-run.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+pub use arbitrary::any;
+pub use strategy::{BoxedStrategy, Just, Strategy, Union};
+pub use test_runner::{ProptestConfig, TestCaseError, TestRng};
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { ::std::assert!($($tokens)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { ::std::assert_eq!($($tokens)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { ::std::assert_ne!($($tokens)*) };
+}
+
+/// Weighted or unweighted union of strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// The proptest entry point: declares test functions whose arguments are
+/// drawn from strategies for `cases` deterministic cases each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_cfg ($cfg) $($rest)*);
+    };
+    (@with_cfg ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg = $cfg;
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::test_runner::TestRng::deterministic(
+                    stringify!($name),
+                    __case as u64,
+                );
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                // The closure gives `?` and trailing `prop_assert!`s a
+                // `Result` context, exactly like upstream's runner closure.
+                #[allow(clippy::redundant_closure_call)]
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body;
+                        Ok(())
+                    })();
+                $crate::test_runner::finish_case(__outcome);
+            }
+        }
+        $crate::proptest!(@with_cfg ($cfg) $($rest)*);
+    };
+    (@with_cfg ($cfg:expr)) => {};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_cfg ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 10u64..20, y in 0u8..4) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!(y < 4);
+        }
+
+        #[test]
+        fn vec_sizes_respect_bounds(v in crate::collection::vec(any::<u8>(), 1..9)) {
+            prop_assert!(!v.is_empty() && v.len() < 9);
+        }
+
+        #[test]
+        fn oneof_maps_and_result_bodies_work(
+            op in prop_oneof![
+                3 => (0u8..4).prop_map(|x| x as u16),
+                1 => Just(99u16),
+            ],
+        ) {
+            fn check(op: u16) -> Result<(), TestCaseError> {
+                prop_assert!(op < 4 || op == 99);
+                Ok(())
+            }
+            check(op)?;
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_case() {
+        let s = crate::collection::vec(any::<u64>(), 3..10);
+        let mut a = TestRng::deterministic("x", 5);
+        let mut b = TestRng::deterministic("x", 5);
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+
+    #[test]
+    fn cases_differ_from_each_other() {
+        let s = crate::collection::vec(any::<u64>(), 3..10);
+        let mut a = TestRng::deterministic("x", 1);
+        let mut b = TestRng::deterministic("x", 2);
+        assert_ne!(s.generate(&mut a), s.generate(&mut b));
+    }
+}

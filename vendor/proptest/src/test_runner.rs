@@ -1,0 +1,74 @@
+//! Config, RNG, and case-outcome plumbing for the `proptest!` macro.
+
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+/// Per-test configuration; only `cases` is meaningful in the stub.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic per-case RNG. Seeded from the test name and case index so
+/// every run explores the same inputs (no persistence files needed).
+pub struct TestRng {
+    inner: SmallRng,
+}
+
+impl TestRng {
+    pub fn deterministic(test_name: &str, case: u64) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            inner: SmallRng::seed_from_u64(h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.inner.next_u64() % n
+    }
+}
+
+/// Error type kept for signature parity with upstream; test bodies that end
+/// in `Ok(())` type-check against it.
+#[derive(Debug)]
+pub enum TestCaseError {
+    Fail(String),
+    Reject(String),
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "test case rejected: {m}"),
+        }
+    }
+}
+
+#[doc(hidden)]
+pub fn finish_case(outcome: Result<(), TestCaseError>) {
+    if let Err(e) = outcome {
+        panic!("{e}");
+    }
+}

@@ -1,0 +1,110 @@
+//! Minimal offline stand-in for `serde_json`, layered over the `serde`
+//! stub's value tree. Provides exactly what the workspace uses: `Value`,
+//! `Map`, `to_value`, `to_string_pretty`, and the `json!` macro (flat
+//! objects, arrays, and scalars).
+
+pub use serde::{Map, Number, Value};
+
+use serde::Serialize;
+
+/// Error type for interface parity; this stub's conversions are infallible.
+#[derive(Debug)]
+pub struct Error {
+    _priv: (),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("serde_json stub error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Converts any serializable value into a `Value`.
+pub fn to_value<T: Serialize>(value: T) -> Result<Value> {
+    Ok(value.to_json_value())
+}
+
+/// Pretty-prints with a 2-space indent, preserving key insertion order.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(serde::value::to_pretty_string(&value.to_json_value()))
+}
+
+/// Compact single-line rendering.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let pretty = to_string_pretty(value)?;
+    // Cheap compaction: the pretty printer only inserts layout whitespace
+    // after '\n', so stripping newline+indent pairs is lossless.
+    let mut out = String::with_capacity(pretty.len());
+    for line in pretty.lines() {
+        out.push_str(line.trim_start());
+    }
+    Ok(out)
+}
+
+#[doc(hidden)]
+pub fn __to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_json_value()
+}
+
+/// Builds a `Value` from JSON-ish syntax. Supports `null`, scalars,
+/// `[elem, ...]` arrays and `{"key": expr, ...}` objects with expression
+/// values (the shapes this workspace uses).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::__to_value(&$elem) ),* ])
+    };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $( map.insert($key.to_string(), $crate::__to_value(&$val)); )*
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => { $crate::__to_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_objects_in_order() {
+        let v = json!({ "b": 2u64, "a": 1.5f64, "s": "x", "t": true });
+        let s = to_string_pretty(&v).unwrap();
+        assert_eq!(
+            s,
+            "{\n  \"b\": 2,\n  \"a\": 1.5,\n  \"s\": \"x\",\n  \"t\": true\n}"
+        );
+    }
+
+    #[test]
+    fn whole_floats_keep_a_decimal_point() {
+        let v = json!({ "x": 2.0f64 });
+        assert!(to_string_pretty(&v).unwrap().contains("\"x\": 2.0"));
+    }
+
+    #[test]
+    fn to_value_roundtrips_scalars() {
+        assert_eq!(to_value(3u64).unwrap(), Value::Number(Number::from_u64(3)));
+        assert_eq!(to_value("hi").unwrap(), Value::String("hi".into()));
+        assert_eq!(
+            to_value(vec![1u64, 2]).unwrap(),
+            Value::Array(vec![
+                Value::Number(Number::from_u64(1)),
+                Value::Number(Number::from_u64(2)),
+            ])
+        );
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let v = json!({ "k": "a\"b\\c\nd" });
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\"a\\\"b\\\\c\\nd\""), "{s}");
+    }
+}
