@@ -1,0 +1,89 @@
+//! BENCH_batching — doorbell-batched verbs and batched request execution.
+//!
+//! Measures the end-to-end win of the batching/pipelining layer on the
+//! paper's serving setup (1 server x 4 shards, 50 clients): clients run
+//! read-only Zipfian GETs through the RDMA-Write message path, either
+//! closed-loop (depth 1, every request its own frame, WQE and doorbell)
+//! or pipelined (depth d, up to b requests per batch frame; the server
+//! drains the frame in one quantum with interleaved index probing and one
+//! response frame).
+//!
+//! Both arms charge the same measured WQE-build + doorbell MMIO cost
+//! (`post_wqe_ns = 180`) so the comparison isolates batching, not a cost
+//! model asymmetry: the default configuration keeps `post_wqe_ns = 0` and
+//! is untouched by this study.
+
+use hydra_bench::{one_workload, paper_cluster_config, Report, ReportRow, Scale};
+use hydra_db::{ClientMode, ClusterBuilder, ClusterConfig};
+use hydra_ycsb::{run_workload, DriverConfig};
+
+const CLIENTS: usize = 50;
+const POST_WQE_NS: u64 = 180;
+
+fn run_point(depth: usize, batch: usize, scale: Scale) -> (hydra_ycsb::WorkloadReport, f64) {
+    let mut cfg = ClusterConfig {
+        client_mode: ClientMode::RdmaWrite,
+        pipeline_depth: depth,
+        max_batch: batch,
+        ..paper_cluster_config()
+    };
+    cfg.costs.post_wqe_ns = POST_WQE_NS;
+    let wl = one_workload(scale, 1.0, true, 33);
+    let nodes = cfg.client_nodes as usize;
+    let mut cluster = ClusterBuilder::new(cfg).build();
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|i| cluster.add_client(i % nodes))
+        .collect();
+    let dcfg = DriverConfig {
+        window: depth,
+        ..DriverConfig::default()
+    };
+    let db0 = cluster.fab.stats().doorbells;
+    let r = run_workload(&mut cluster.sim, &clients, &wl, &dcfg);
+    let doorbells = cluster.fab.stats().doorbells - db0;
+    let per_op = doorbells as f64 / r.ops.max(1) as f64;
+    (r, per_op)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut report = Report::new(
+        "BENCH_batching",
+        "Doorbell batching + batched execution: GET throughput vs pipeline depth / batch size",
+    );
+    report.line(&format!(
+        "{:<14} {:>10} {:>12} {:>12} {:>14}",
+        "depth/batch", "Mops", "get_us", "p99_us", "doorbells/op"
+    ));
+    let grid = [(1usize, 1usize), (4, 4), (16, 16), (64, 16)];
+    let mut baseline = 0.0;
+    let mut speedup_d64_b16 = 0.0;
+    for (depth, batch) in grid {
+        let (r, per_op) = run_point(depth, batch, scale);
+        if depth == 1 {
+            baseline = r.mops;
+        }
+        if depth == 64 {
+            speedup_d64_b16 = r.mops / baseline;
+        }
+        report.line(&format!(
+            "{:<14} {:>10.3} {:>12.2} {:>12.2} {:>14.2}",
+            format!("d{depth} b{batch}"),
+            r.mops,
+            r.get_mean_us,
+            r.get_p99_us,
+            per_op
+        ));
+        report.datum(&format!("d{depth}_b{batch}"), ReportRow::from(&r));
+        report.datum(&format!("d{depth}_b{batch}_doorbells_per_op"), per_op);
+    }
+    report.line(&format!(
+        "# speedup d64/b16 over closed-loop: {speedup_d64_b16:.2}x (acceptance floor 1.5x)"
+    ));
+    report.datum("speedup_d64_b16", speedup_d64_b16);
+    report.save();
+    assert!(
+        speedup_d64_b16 >= 1.5,
+        "batched pipeline must deliver >= 1.5x GETs ({speedup_d64_b16:.2}x)"
+    );
+}

@@ -161,8 +161,15 @@ impl Report {
     }
 }
 
-/// `results/` relative to the workspace root (falls back to CWD).
+/// `results/` relative to the workspace root, or `HYDRA_RESULTS_DIR` when
+/// set (CI smoke runs point it at a scratch directory so committed results
+/// are never clobbered by reduced-scale output).
 pub fn results_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("HYDRA_RESULTS_DIR") {
+        if !dir.is_empty() {
+            return PathBuf::from(dir);
+        }
+    }
     let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
     p.pop(); // crates/
     p.pop(); // workspace root

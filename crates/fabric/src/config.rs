@@ -27,6 +27,10 @@ pub struct FabricConfig {
     pub rdma_prop_ns: SimTime,
     /// Per-operation initiator NIC overhead (WQE fetch, doorbell).
     pub rdma_op_ns: SimTime,
+    /// Marginal initiator NIC cost of each additional WQE in a doorbell
+    /// batch: the NIC fetches the chained WQE but the MMIO doorbell and PCIe
+    /// round trip were already paid by the first operation of the batch.
+    pub rdma_wqe_ns: SimTime,
     /// Target-side DMA engine setup cost for one-sided operations.
     pub rdma_dma_ns: SimTime,
     /// Additional cost of the two-sided path (recv WQE consumption + CQE)
@@ -52,6 +56,7 @@ impl Default for FabricConfig {
         FabricConfig {
             rdma_prop_ns: 600,
             rdma_op_ns: 100,
+            rdma_wqe_ns: 25,
             rdma_dma_ns: 120,
             send_recv_extra_ns: 350,
             nic_byte_ns: 0.2,
@@ -84,6 +89,18 @@ impl FabricConfig {
     /// Per-op initiator cost including the QP penalty.
     pub fn op_cost(&self, qps: u32) -> SimTime {
         (self.rdma_op_ns as f64 * self.qp_penalty(qps)).round() as SimTime
+    }
+
+    /// Initiator cost of WQE `idx` within a doorbell batch: the first WQE
+    /// pays the full doorbell ([`op_cost`](Self::op_cost)), the rest only the
+    /// chained-WQE fetch.
+    pub fn wqe_cost(&self, qps: u32, idx: usize) -> SimTime {
+        let base = if idx == 0 {
+            self.rdma_op_ns
+        } else {
+            self.rdma_wqe_ns
+        };
+        (base as f64 * self.qp_penalty(qps)).round() as SimTime
     }
 }
 
@@ -118,5 +135,17 @@ mod tests {
             + c.rdma_dma_ns + c.nic_ser(item) // target DMA + response ser
             + c.rdma_prop_ns; // response flight
         assert!((1_000..=3_000).contains(&rtt), "rtt={rtt}ns");
+    }
+
+    #[test]
+    fn doorbell_batch_amortizes_the_per_op_cost() {
+        let c = FabricConfig::default();
+        assert_eq!(c.wqe_cost(1, 0), c.op_cost(1));
+        assert!(c.wqe_cost(1, 1) < c.wqe_cost(1, 0));
+        // A 16-WQE doorbell batch costs well under half of 16 doorbells.
+        let batch: SimTime = (0..16).map(|i| c.wqe_cost(1, i)).sum();
+        assert!(batch * 2 < 16 * c.op_cost(1), "batch={batch}");
+        // The QP penalty still applies to chained WQEs.
+        assert!(c.wqe_cost(700, 1) > c.wqe_cost(10, 1));
     }
 }

@@ -119,6 +119,38 @@ impl CompletionQueue {
         );
     }
 
+    /// Posts a doorbell-batched chain of writes; each WQE's completion lands
+    /// in this CQ under the matching `wr_id`.
+    pub fn post_write_batch(
+        &self,
+        sim: &mut Sim,
+        fab: &Fabric,
+        qp: QpId,
+        from: NodeId,
+        writes: Vec<(Vec<u64>, RegionId, usize, u64)>,
+    ) {
+        let batch = writes
+            .into_iter()
+            .map(|(words, dst_region, dst_word_off, wr_id)| {
+                let cq = self.clone();
+                crate::net::BatchWrite {
+                    words,
+                    dst_region,
+                    dst_word_off,
+                    on_delivered: Some(Box::new(move |sim: &mut Sim| {
+                        cq.push(Cqe {
+                            wr_id,
+                            op: CqeOp::Write,
+                            at: sim.now(),
+                            read_data: None,
+                        });
+                    })),
+                }
+            })
+            .collect();
+        fab.post_write_batch(sim, qp, from, batch);
+    }
+
     /// Posts a one-sided read whose completion (with the fetched bytes)
     /// lands in this CQ.
     #[allow(clippy::too_many_arguments)] // verbs post calls are wide by nature
@@ -157,6 +189,18 @@ impl CompletionQueue {
         let mut q = self.entries.borrow_mut();
         let n = max.min(q.len());
         q.drain(..n).collect()
+    }
+
+    /// Batched drain: moves up to `max` completions into `out` (which is NOT
+    /// cleared — completions append) and returns how many were moved. This is
+    /// the steady-state polling shape — one sweep harvests a whole burst of
+    /// completions into a caller-owned buffer instead of allocating a fresh
+    /// `Vec` per CQE batch.
+    pub fn poll_n(&self, out: &mut Vec<Cqe>, max: usize) -> usize {
+        let mut q = self.entries.borrow_mut();
+        let n = max.min(q.len());
+        out.extend(q.drain(..n));
+        n
     }
 
     /// Drains every pending completion.
@@ -235,6 +279,31 @@ mod tests {
         assert_eq!(cq.poll(2).len(), 2);
         assert_eq!(cq.poll(10).len(), 3);
         assert!(cq.is_empty());
+    }
+
+    #[test]
+    fn batched_posts_drain_through_poll_n() {
+        let (mut sim, fab, a, qp, region) = setup();
+        let cq = CompletionQueue::new(16);
+        cq.post_write_batch(
+            &mut sim,
+            &fab,
+            qp,
+            a,
+            (0..6u64)
+                .map(|i| (vec![i], region, i as usize, 10 + i))
+                .collect(),
+        );
+        sim.run();
+        assert_eq!(fab.stats().doorbells, 1);
+        let mut out = Vec::new();
+        assert_eq!(cq.poll_n(&mut out, 4), 4);
+        assert_eq!(cq.poll_n(&mut out, 16), 2);
+        assert_eq!(cq.poll_n(&mut out, 16), 0);
+        assert!(cq.is_empty());
+        let ids: Vec<u64> = out.iter().map(|c| c.wr_id).collect();
+        assert_eq!(ids, vec![10, 11, 12, 13, 14, 15]);
+        assert!(out.windows(2).all(|w| w[0].at <= w[1].at));
     }
 
     #[test]

@@ -33,6 +33,6 @@ mod net;
 pub use config::{FabricConfig, Transport};
 pub use cq::{CompletionQueue, Cqe, CqeOp};
 pub use net::{
-    Fabric, FabricStats, NodeId, NodeStats, QpId, ReadComplete, RecvHandler, RegionId,
+    BatchWrite, Fabric, FabricStats, NodeId, NodeStats, QpId, ReadComplete, RecvHandler, RegionId,
     WriteDelivered,
 };

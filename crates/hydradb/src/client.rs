@@ -11,9 +11,19 @@
 //! guardian word — falling back to the message path when the item was
 //! updated underneath (§4.2.3).
 //!
-//! Clients are closed-loop: one outstanding operation at a time, matching
-//! the paper's YCSB drivers. Timeouts trigger directory refresh and retry,
-//! which is how fail-over reaches clients.
+//! Clients are closed-loop by default: one outstanding operation at a time,
+//! matching the paper's YCSB drivers. Timeouts trigger directory refresh and
+//! retry, which is how fail-over reaches clients.
+//!
+//! With [`ClusterConfig::pipeline_depth`] above 1 the client runs
+//! *pipelined*: operations queue per connection and ship as multi-request
+//! batch frames ([`hydra_wire::batch`]) — one RDMA Write, one doorbell, one
+//! server polling sweep for a whole window of requests — with at most one
+//! frame in flight per connection and up to `max_batch` requests per frame.
+//! The server answers with one response frame per request frame. Pipelined
+//! mode trades the fail-over machinery for throughput: a frame timeout
+//! fails its operations instead of retrying, and background lease renewal
+//! is skipped (expired pointers simply fall back to message GETs).
 
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -26,7 +36,7 @@ use hydra_lockfree::LockFreeMap;
 use hydra_sim::time::SimTime;
 use hydra_sim::{Histogram, Sim};
 use hydra_store::{FetchedItem, ItemError};
-use hydra_wire::{frame, KeyList, RemotePtr, Request, Response, Status};
+use hydra_wire::{frame, BatchBuilder, BatchFrame, KeyList, RemotePtr, Request, Response, Status};
 
 use crate::cluster::Directory;
 use crate::config::ClusterConfig;
@@ -97,7 +107,7 @@ impl PtrCache {
     fn get(&self, key: &[u8]) -> Option<CachedPtr> {
         match self {
             PtrCache::Own(m) => m.borrow().get(key).copied(),
-            PtrCache::Shared(m) => m.get(&key.to_vec()),
+            PtrCache::Shared(m) => m.get_with(key),
         }
     }
 
@@ -118,7 +128,7 @@ impl PtrCache {
                 m.borrow_mut().remove(key);
             }
             PtrCache::Shared(m) => {
-                m.remove(&key.to_vec());
+                m.remove_with(key);
             }
         }
     }
@@ -176,6 +186,12 @@ struct ClientConn {
     server_kick: Rc<dyn Fn(&mut Sim)>,
 }
 
+/// An operation queued behind the pipeline window, not yet shipped.
+struct QueuedOp {
+    out: Outstanding,
+    payload: Vec<u8>,
+}
+
 pub(crate) struct ClientInner {
     id: u32,
     node: NodeId,
@@ -186,6 +202,16 @@ pub(crate) struct ClientInner {
     ptr_cache: PtrCache,
     next_req_id: u64,
     outstanding: Option<Outstanding>,
+    /// Pipelined mode: operations shipped (or posted one-sided) and awaiting
+    /// completion, keyed by request id.
+    window: HashMap<u64, Outstanding>,
+    /// Pipelined mode: per-partition queues awaiting a free frame slot.
+    queued: HashMap<u32, std::collections::VecDeque<QueuedOp>>,
+    /// Partitions with a request batch frame awaiting its response frame,
+    /// mapped to the frame's timeout event.
+    frame_inflight: HashMap<u32, Option<hydra_sim::EventId>>,
+    /// Reused request-frame builder for the pipelined path.
+    req_batch: BatchBuilder,
     stats: ClientStats,
 }
 
@@ -221,6 +247,10 @@ impl HydraClient {
                 ptr_cache,
                 next_req_id: 0,
                 outstanding: None,
+                window: HashMap::new(),
+                queued: HashMap::new(),
+                frame_inflight: HashMap::new(),
+                req_batch: BatchBuilder::new(),
                 stats: ClientStats::default(),
             })),
         }
@@ -247,6 +277,20 @@ impl HydraClient {
         self.inner.borrow().outstanding.is_some()
     }
 
+    /// Operations issued but not yet completed (shipped, posted one-sided,
+    /// or queued behind the pipeline window). Closed-loop clients report
+    /// 0 or 1; drivers use this to keep `pipeline_depth` ops in flight.
+    pub fn in_flight(&self) -> usize {
+        let inner = self.inner.borrow();
+        usize::from(inner.outstanding.is_some())
+            + inner.window.len()
+            + inner.queued.values().map(|q| q.len()).sum::<usize>()
+    }
+
+    fn pipelined(&self) -> bool {
+        self.inner.borrow().cfg.pipeline_depth > 1
+    }
+
     /// GET: fast path via cached remote pointer when possible, message path
     /// otherwise.
     pub fn get(&self, sim: &mut Sim, key: &[u8], cb: OpCb) {
@@ -261,13 +305,22 @@ impl HydraClient {
         };
         if use_read {
             if let Some(ptr) = self.valid_cached_ptr(sim.now(), key) {
-                self.issue_rdma_get(sim, key.to_vec(), ptr, cb);
+                if self.pipelined() {
+                    self.issue_rdma_get_pipelined(sim, key.to_vec(), ptr, cb);
+                } else {
+                    self.issue_rdma_get(sim, key.to_vec(), ptr, cb);
+                }
                 return;
             }
         }
         {
             let mut inner = self.inner.borrow_mut();
             inner.stats.msg_gets += 1;
+        }
+        if self.pipelined() {
+            let now = sim.now();
+            self.enqueue_pipelined(sim, OpKind::Get, key.to_vec(), Vec::new(), Some(cb), now);
+            return;
         }
         self.issue_message_op(
             sim,
@@ -287,6 +340,18 @@ impl HydraClient {
             inner.stats.inserts += 1;
             inner.stats.ops += 1;
         }
+        if self.pipelined() {
+            let now = sim.now();
+            self.enqueue_pipelined(
+                sim,
+                OpKind::Insert,
+                key.to_vec(),
+                value.to_vec(),
+                Some(cb),
+                now,
+            );
+            return;
+        }
         self.issue_message_op(
             sim,
             OpKind::Insert,
@@ -304,6 +369,18 @@ impl HydraClient {
             let mut inner = self.inner.borrow_mut();
             inner.stats.updates += 1;
             inner.stats.ops += 1;
+        }
+        if self.pipelined() {
+            let now = sim.now();
+            self.enqueue_pipelined(
+                sim,
+                OpKind::Update,
+                key.to_vec(),
+                value.to_vec(),
+                Some(cb),
+                now,
+            );
+            return;
         }
         self.issue_message_op(
             sim,
@@ -340,6 +417,11 @@ impl HydraClient {
             inner.stats.deletes += 1;
             inner.stats.ops += 1;
         }
+        if self.pipelined() {
+            let now = sim.now();
+            self.enqueue_pipelined(sim, OpKind::Delete, key.to_vec(), Vec::new(), Some(cb), now);
+            return;
+        }
         self.issue_message_op(
             sim,
             OpKind::Delete,
@@ -356,7 +438,9 @@ impl HydraClient {
     pub fn renew_expiring_leases(&self, sim: &mut Sim, horizon: SimTime) -> bool {
         let batch = {
             let inner = self.inner.borrow();
-            if inner.outstanding.is_some() {
+            // Pipelined clients skip background renewal: an expired pointer
+            // simply falls back to the (batched) message path.
+            if inner.outstanding.is_some() || inner.cfg.pipeline_depth > 1 {
                 return false;
             }
             let now = sim.now();
@@ -537,23 +621,7 @@ impl HydraClient {
             inner.next_req_id += 1;
             inner.next_req_id
         };
-        let payload = match kind {
-            OpKind::Get => Request::Get { req_id, key: &key }.encode(),
-            OpKind::Insert => Request::Insert {
-                req_id,
-                key: &key,
-                value: &value,
-            }
-            .encode(),
-            OpKind::Update => Request::Update {
-                req_id,
-                key: &key,
-                value: &value,
-            }
-            .encode(),
-            OpKind::Delete => Request::Delete { req_id, key: &key }.encode(),
-            OpKind::RdmaGet | OpKind::LeaseRenew => unreachable!("not message ops"),
-        };
+        let payload = encode_request(kind, req_id, &key, &value);
         self.dispatch_payload(
             sim,
             partition,
@@ -804,25 +872,43 @@ impl HydraClient {
                 Err(e) => panic!("corrupt response frame: {e}"),
             }
         };
+        if BatchFrame::is_batch(&payload) {
+            self.on_response_batch(sim, partition, payload);
+            return;
+        }
         self.on_response_payload(sim, payload);
     }
 
     fn on_response_payload(&self, sim: &mut Sim, payload: Vec<u8>) {
-        let now = sim.now();
-        let (out, verdict, client_ns) = {
+        let resp = Response::decode(&payload).expect("well-formed response");
+        let out = {
             let mut inner = self.inner.borrow_mut();
-            let resp = Response::decode(&payload).expect("well-formed response");
             let matches = inner
                 .outstanding
                 .as_ref()
                 .is_some_and(|o| o.req_id == resp.req_id);
-            if !matches {
-                return; // late response for a timed-out attempt
+            if matches {
+                inner.outstanding.take()
+            } else {
+                // Pipelined SendRecv ops complete individually via the
+                // window; anything else is a late response for a timed-out
+                // attempt.
+                inner.window.remove(&resp.req_id)
             }
-            let out = inner.outstanding.take().expect("checked above");
-            if let Some(ev) = out.timeout_ev {
-                sim.cancel(ev);
-            }
+        };
+        let Some(out) = out else { return };
+        if let Some(ev) = out.timeout_ev {
+            sim.cancel(ev);
+        }
+        self.complete_op(sim, out, &resp);
+    }
+
+    /// Settles one completed operation against its decoded response:
+    /// pointer-cache upkeep, verdict mapping, latency recording, callback.
+    fn complete_op(&self, sim: &mut Sim, out: Outstanding, resp: &Response<'_>) {
+        let now = sim.now();
+        let (verdict, client_ns) = {
+            let mut inner = self.inner.borrow_mut();
             let verdict: Result<Option<Vec<u8>>, OpError> = match (out.kind, resp.status) {
                 (OpKind::Get, Status::Ok) => {
                     if inner.cfg.client_mode.rdma_read()
@@ -858,10 +944,352 @@ impl HydraClient {
                 OpKind::LeaseRenew => {}
                 _ => inner.stats.update_lat.record(lat),
             }
-            (out, verdict, client_ns)
+            (verdict, client_ns)
         };
         if let Some(cb) = out.cb {
             sim.schedule_in(client_ns, move |sim| cb(sim, verdict));
         }
+    }
+
+    // ---- pipelined mode (pipeline_depth > 1) ----
+
+    /// Queues an operation behind the partition's pipeline window and pumps
+    /// the connection. `issued_at` is carried through so retries of invalid
+    /// fast-path hits keep their full latency window.
+    fn enqueue_pipelined(
+        &self,
+        sim: &mut Sim,
+        kind: OpKind,
+        key: Vec<u8>,
+        value: Vec<u8>,
+        cb: Option<OpCb>,
+        issued_at: SimTime,
+    ) {
+        let partition = {
+            let inner = self.inner.borrow();
+            let dir = inner.directory.borrow();
+            dir.ring.route(&key).map(|s| s.0)
+        };
+        let Some(partition) = partition else {
+            if let Some(cb) = cb {
+                cb(sim, Err(OpError::Server));
+            }
+            return;
+        };
+        let (req_id, payload, fits) = {
+            let mut inner = self.inner.borrow_mut();
+            inner.next_req_id += 1;
+            let req_id = inner.next_req_id;
+            let payload = encode_request(kind, req_id, &key, &value);
+            // The op must fit a frame of its own (batch header + one entry).
+            let alone = hydra_wire::BATCH_HDR + hydra_wire::BATCH_ENTRY_HDR + payload.len();
+            let fits = frame::frame_words(alone) <= inner.cfg.msg_slot_words;
+            (req_id, payload, fits)
+        };
+        if !fits {
+            if let Some(cb) = cb {
+                cb(sim, Err(OpError::TooLarge));
+            }
+            return;
+        }
+        self.inner
+            .borrow_mut()
+            .queued
+            .entry(partition)
+            .or_default()
+            .push_back(QueuedOp {
+                out: Outstanding {
+                    req_id,
+                    kind,
+                    key,
+                    value,
+                    cb,
+                    issued_at,
+                    attempts: 1,
+                    timeout_ev: None,
+                },
+                payload,
+            });
+        self.pump(sim, partition);
+    }
+
+    /// Ships queued operations for `partition` if the connection can take
+    /// them: as one batch frame (one doorbell) in RDMA-Write mode, or as a
+    /// doorbell-batched train of individual sends in SendRecv mode.
+    fn pump(&self, sim: &mut Sim, partition: u32) {
+        self.ensure_conn(partition);
+        let send_recv = !self.inner.borrow().cfg.client_mode.rdma_write();
+        if send_recv {
+            self.pump_send_recv(sim, partition);
+        } else {
+            self.pump_frame(sim, partition);
+        }
+    }
+
+    fn pump_frame(&self, sim: &mut Sim, partition: u32) {
+        let (fab, qp, node, req_region, server_kick, timeout, words, req_ids) = {
+            let mut inner = self.inner.borrow_mut();
+            if inner.frame_inflight.contains_key(&partition) {
+                return; // one frame in flight per connection
+            }
+            if inner.queued.get(&partition).is_none_or(|q| q.is_empty()) {
+                return;
+            }
+            let slot_words = inner.cfg.msg_slot_words;
+            let max_batch = inner.cfg.max_batch.max(1);
+            let mut builder = std::mem::replace(&mut inner.req_batch, BatchBuilder::new());
+            builder.clear();
+            let mut req_ids = Vec::new();
+            let inner = &mut *inner;
+            let q = inner.queued.get_mut(&partition).expect("checked above");
+            while (builder.count() as usize) < max_batch {
+                let Some(front) = q.front() else { break };
+                let grown = frame::frame_words(builder.byte_len_with(front.payload.len()));
+                if !builder.is_empty() && grown > slot_words {
+                    break; // next op overflows the slot; ship what we have
+                }
+                let item = q.pop_front().expect("front exists");
+                builder.push(&item.payload);
+                req_ids.push(item.out.req_id);
+                inner.window.insert(item.out.req_id, item.out);
+            }
+            let words = frame::frame_to_words(builder.bytes());
+            inner.req_batch = builder;
+            // Reserve the frame slot now; the timeout event id lands below.
+            inner.frame_inflight.insert(partition, None);
+            let conn = &inner.conns[&partition];
+            (
+                inner.fab.clone(),
+                conn.qp,
+                inner.node,
+                conn.req_region,
+                conn.server_kick.clone(),
+                inner.cfg.op_timeout_ns,
+                words,
+                req_ids,
+            )
+        };
+        fab.post_write(
+            sim,
+            qp,
+            node,
+            words,
+            req_region,
+            0,
+            Some(Box::new(move |sim| server_kick(sim))),
+        );
+        let this = self.clone();
+        let ids = req_ids;
+        let ev = sim.schedule_in(timeout, move |sim| {
+            this.on_frame_timeout(sim, partition, ids)
+        });
+        self.inner
+            .borrow_mut()
+            .frame_inflight
+            .insert(partition, Some(ev));
+    }
+
+    fn pump_send_recv(&self, sim: &mut Sim, partition: u32) {
+        let (fab, qp, node, timeout, mut payloads, req_ids) = {
+            let mut inner = self.inner.borrow_mut();
+            let inner = &mut *inner;
+            let Some(q) = inner.queued.get_mut(&partition) else {
+                return;
+            };
+            if q.is_empty() {
+                return;
+            }
+            let mut payloads = Vec::with_capacity(q.len());
+            let mut req_ids = Vec::with_capacity(q.len());
+            while let Some(item) = q.pop_front() {
+                payloads.push(item.payload);
+                req_ids.push(item.out.req_id);
+                inner.window.insert(item.out.req_id, item.out);
+            }
+            let conn = &inner.conns[&partition];
+            (
+                inner.fab.clone(),
+                conn.qp,
+                inner.node,
+                inner.cfg.op_timeout_ns,
+                payloads,
+                req_ids,
+            )
+        };
+        if payloads.len() == 1 {
+            fab.post_send(sim, qp, node, payloads.pop().expect("one payload"));
+        } else {
+            fab.post_send_batch(sim, qp, node, payloads);
+        }
+        // Individual responses, individual timeouts (no retry in pipelined
+        // mode: a timeout fails the op).
+        for req_id in req_ids {
+            let this = self.clone();
+            let ev = sim.schedule_in(timeout, move |sim| this.on_window_timeout(sim, req_id));
+            if let Some(out) = self.inner.borrow_mut().window.get_mut(&req_id) {
+                out.timeout_ev = Some(ev);
+            }
+        }
+    }
+
+    /// One response frame answers one request frame: settle every response,
+    /// release the frame slot, and pump the next window.
+    fn on_response_batch(&self, sim: &mut Sim, partition: u32, payload: Vec<u8>) {
+        let timeout_ev = {
+            let mut inner = self.inner.borrow_mut();
+            inner.frame_inflight.remove(&partition).flatten()
+        };
+        if let Some(ev) = timeout_ev {
+            sim.cancel(ev);
+        }
+        let batch = BatchFrame::parse(&payload).expect("well-formed response batch");
+        for msg in batch.iter() {
+            let resp = Response::decode(msg).expect("well-formed response");
+            let out = self.inner.borrow_mut().window.remove(&resp.req_id);
+            if let Some(out) = out {
+                self.complete_op(sim, out, &resp);
+            }
+        }
+        self.pump(sim, partition);
+    }
+
+    /// A whole request frame went unanswered: the shard is unresponsive.
+    /// Pipelined mode does not retry — fail every op in the frame.
+    fn on_frame_timeout(&self, sim: &mut Sim, partition: u32, req_ids: Vec<u64>) {
+        let outs: Vec<Outstanding> = {
+            let mut inner = self.inner.borrow_mut();
+            if inner.frame_inflight.remove(&partition).is_none() {
+                return; // frame already answered
+            }
+            let outs: Vec<Outstanding> = req_ids
+                .iter()
+                .filter_map(|id| inner.window.remove(id))
+                .collect();
+            inner.stats.timeouts += outs.len() as u64;
+            outs
+        };
+        for out in outs {
+            if let Some(cb) = out.cb {
+                cb(sim, Err(OpError::Timeout));
+            }
+        }
+        self.pump(sim, partition);
+    }
+
+    /// Per-op timeout for pipelined SendRecv operations.
+    fn on_window_timeout(&self, sim: &mut Sim, req_id: u64) {
+        let out = {
+            let mut inner = self.inner.borrow_mut();
+            let out = inner.window.remove(&req_id);
+            if out.is_some() {
+                inner.stats.timeouts += 1;
+            }
+            out
+        };
+        let Some(out) = out else { return };
+        if let Some(cb) = out.cb {
+            cb(sim, Err(OpError::Timeout));
+        }
+    }
+
+    /// Fast-path GET through the pipeline window: the one-sided read flies
+    /// concurrently with whatever else is outstanding.
+    fn issue_rdma_get_pipelined(&self, sim: &mut Sim, key: Vec<u8>, ptr: CachedPtr, cb: OpCb) {
+        self.ensure_conn(ptr.partition);
+        let conn_parts = {
+            let mut inner = self.inner.borrow_mut();
+            inner.stats.rptr_reads += 1;
+            let conn = &inner.conns[&ptr.partition];
+            if conn.arena_region.0 != ptr.rptr.region {
+                inner.stats.invalid_hits += 1;
+                inner.ptr_cache.remove(&key);
+                None
+            } else {
+                Some((conn.qp, conn.arena_region, ptr.rptr))
+            }
+        };
+        let Some((qp, arena_region, rptr)) = conn_parts else {
+            self.inner.borrow_mut().stats.msg_gets += 1;
+            let now = sim.now();
+            self.enqueue_pipelined(sim, OpKind::Get, key, Vec::new(), Some(cb), now);
+            return;
+        };
+        let issued_at = sim.now();
+        let (req_id, node, fab) = {
+            let mut inner = self.inner.borrow_mut();
+            inner.next_req_id += 1;
+            let req_id = inner.next_req_id;
+            inner.window.insert(
+                req_id,
+                Outstanding {
+                    req_id,
+                    kind: OpKind::RdmaGet,
+                    key,
+                    value: Vec::new(),
+                    cb: Some(cb),
+                    issued_at,
+                    attempts: 1,
+                    timeout_ev: None, // one-sided reads always complete
+                },
+            );
+            (req_id, inner.node, inner.fab.clone())
+        };
+        let this = self.clone();
+        fab.post_read(
+            sim,
+            qp,
+            node,
+            arena_region,
+            (rptr.offset / 8) as usize,
+            rptr.len as usize,
+            Box::new(move |sim, blob| this.on_rdma_get_done_pipelined(sim, req_id, blob)),
+        );
+    }
+
+    fn on_rdma_get_done_pipelined(&self, sim: &mut Sim, req_id: u64, blob: Vec<u8>) {
+        let out = self
+            .inner
+            .borrow_mut()
+            .window
+            .remove(&req_id)
+            .expect("read in flight");
+        debug_assert_eq!(out.kind, OpKind::RdmaGet);
+        let (key, cb, issued_at) = (out.key, out.cb, out.issued_at);
+        match FetchedItem::parse(&blob, &key) {
+            Ok(item) => {
+                let client_ns = {
+                    let mut inner = self.inner.borrow_mut();
+                    inner.stats.rptr_hits += 1;
+                    let client_ns = inner.cfg.costs.client_ns;
+                    let lat = sim.now() - issued_at;
+                    inner.stats.get_lat.record(lat + client_ns);
+                    client_ns
+                };
+                if let Some(cb) = cb {
+                    sim.schedule_in(client_ns, move |sim| cb(sim, Ok(Some(item.value))));
+                }
+            }
+            Err(ItemError::Stale) | Err(ItemError::Corrupt) | Err(ItemError::Truncated) => {
+                {
+                    let mut inner = self.inner.borrow_mut();
+                    inner.stats.invalid_hits += 1;
+                    inner.stats.msg_gets += 1;
+                    inner.ptr_cache.remove(&key);
+                }
+                // Keep the original issue time so the recorded latency covers
+                // the full (wasted read + retry) window.
+                self.enqueue_pipelined(sim, OpKind::Get, key, Vec::new(), cb, issued_at);
+            }
+        }
+    }
+}
+
+fn encode_request(kind: OpKind, req_id: u64, key: &[u8], value: &[u8]) -> Vec<u8> {
+    match kind {
+        OpKind::Get => Request::Get { req_id, key }.encode(),
+        OpKind::Insert => Request::Insert { req_id, key, value }.encode(),
+        OpKind::Update => Request::Update { req_id, key, value }.encode(),
+        OpKind::Delete => Request::Delete { req_id, key }.encode(),
+        OpKind::RdmaGet | OpKind::LeaseRenew => unreachable!("not message ops"),
     }
 }

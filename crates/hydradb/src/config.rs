@@ -105,6 +105,17 @@ pub struct CostModel {
     pub client_ns: SimTime,
     /// Penalty per op when shard memory lands on a remote NUMA node.
     pub numa_remote_ns: SimTime,
+    /// CPU cost to build one send/write WQE and ring the doorbell when
+    /// posting a response. Charged per response on the singleton path and
+    /// once per frame on the batched path (one WQE carries the whole
+    /// response batch). Defaults to 0 so pre-batching calibrations are
+    /// untouched; the batching study sets it to a measured MMIO cost.
+    pub post_wqe_ns: SimTime,
+    /// Multiplier on `get_ns` for GETs served through the batched path:
+    /// interleaved bucket probing overlaps the index cache misses of
+    /// neighbouring keys (memory-level parallelism), so a batched GET's
+    /// probe phase costs less than a serial one.
+    pub batch_probe_factor: f64,
     /// Sub-sharding model: in-process hand-off from the connection thread
     /// to a sub-shard core (no kernel synchronization, just a queue push).
     pub subshard_handoff_ns: SimTime,
@@ -124,6 +135,8 @@ impl Default for CostModel {
             recv_cpu_ns: 500,
             client_ns: 150,
             numa_remote_ns: 320,
+            post_wqe_ns: 0,
+            batch_probe_factor: 0.85,
             subshard_handoff_ns: 120,
         }
     }
@@ -168,6 +181,13 @@ pub struct ClusterConfig {
     pub expected_items: usize,
     /// Request/response buffer slot size in words (bounds message size).
     pub msg_slot_words: usize,
+    /// Outstanding operations a client may keep in flight (1 = the paper's
+    /// closed-loop YCSB discipline). Depths above 1 enable the pipelined
+    /// client: operations queue per connection and ship as batch frames.
+    pub pipeline_depth: usize,
+    /// Maximum requests packed into one batch frame (one doorbell) by the
+    /// pipelined client, and the server's per-quantum execution batch.
+    pub max_batch: usize,
     /// Virtual nodes per shard on the consistent-hash ring.
     pub vnodes: u32,
     /// Whether shards allocate NUMA-locally (§4.1.2); `false` models the
@@ -222,6 +242,8 @@ impl Default for ClusterConfig {
             arena_words: 1 << 20,
             expected_items: 128 << 10,
             msg_slot_words: 1 << 10,
+            pipeline_depth: 1,
+            max_batch: 16,
             vnodes: 64,
             numa_aware: true,
             min_lease_ns: 1_000_000_000,

@@ -24,7 +24,7 @@ use hydra_replication::{replicate_strict, ReplicationPair};
 use hydra_sim::time::SimTime;
 use hydra_sim::{FifoResource, Sim};
 use hydra_store::{EngineError, ShardEngine};
-use hydra_wire::{frame, LogOp, RemotePtr, Request, Response, Status};
+use hydra_wire::{frame, BatchBuilder, BatchFrame, LogOp, RemotePtr, Request, Response, Status};
 
 use crate::config::{ClusterConfig, ExecModel, ReplicationMode};
 use crate::ring::ShardId;
@@ -40,6 +40,172 @@ pub struct ServerStats {
     pub lease_renews: u64,
     pub responses: u64,
     pub dropped_while_dead: u64,
+    /// Batch frames executed through the quantum path.
+    pub batches: u64,
+    /// Requests that arrived inside batch frames (subset of `requests`).
+    pub batched_requests: u64,
+}
+
+/// Applies one decoded request to `engine`, appending the encoded response
+/// to `out`. Returns the replication action for successful writes.
+///
+/// This is the single execution kernel shared by the singleton path and the
+/// batched quantum path, so batched execution is behaviourally identical by
+/// construction; the batched-vs-sequential property test in `tests/` pins
+/// that down. `scratch` is the reused GET value buffer; the returned slices
+/// borrow from the request payload, never from the engine.
+pub fn apply_request<'a>(
+    engine: &mut ShardEngine,
+    now: SimTime,
+    req: &Request<'a>,
+    arena_region: RegionId,
+    scratch: &mut Vec<u8>,
+    out: &mut Vec<u8>,
+) -> Option<(LogOp, &'a [u8], &'a [u8])> {
+    let req_id = req.req_id();
+    let err_status = |e: EngineError| match e {
+        EngineError::Exists => Status::Exists,
+        EngineError::NotFound => Status::NotFound,
+        _ => Status::Error,
+    };
+    match req {
+        Request::Get { key, .. } => {
+            match engine.get_into(now, key, scratch) {
+                Some(info) => Response {
+                    status: Status::Ok,
+                    req_id,
+                    value: scratch,
+                    rptr: RemotePtr::new(arena_region.0, info.off_words * 8, info.read_len),
+                    lease_expiry: info.lease_expiry,
+                }
+                .encode_into(out),
+                None => Response::status_only(Status::NotFound, req_id).encode_into(out),
+            }
+            None
+        }
+        Request::Insert { key, value, .. } => match engine.insert(now, key, value) {
+            Ok(_) => {
+                Response::status_only(Status::Ok, req_id).encode_into(out);
+                Some((LogOp::Put, *key, *value))
+            }
+            Err(e) => {
+                Response::status_only(err_status(e), req_id).encode_into(out);
+                None
+            }
+        },
+        Request::Update { key, value, .. } => match engine.update(now, key, value) {
+            Ok(_) => {
+                Response::status_only(Status::Ok, req_id).encode_into(out);
+                Some((LogOp::Put, *key, *value))
+            }
+            Err(e) => {
+                Response::status_only(err_status(e), req_id).encode_into(out);
+                None
+            }
+        },
+        Request::Delete { key, .. } => match engine.delete(now, key) {
+            Ok(()) => {
+                Response::status_only(Status::Ok, req_id).encode_into(out);
+                Some((LogOp::Delete, *key, &[][..]))
+            }
+            Err(e) => {
+                Response::status_only(err_status(e), req_id).encode_into(out);
+                None
+            }
+        },
+        Request::LeaseRenew { keys, .. } => {
+            for k in keys.iter() {
+                engine.renew_lease(now, k);
+            }
+            Response::status_only(Status::Ok, req_id).encode_into(out);
+            None
+        }
+    }
+}
+
+/// Replication records produced by a batch: one `(op, key, value)` triple
+/// per successful write, borrowing the request payloads.
+pub type ReplRecords<'a> = Vec<(LogOp, &'a [u8], &'a [u8])>;
+
+/// Per-kind operation counts accumulated by [`run_batch`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct BatchOpCounts {
+    pub gets: u64,
+    pub inserts: u64,
+    pub updates: u64,
+    pub deletes: u64,
+    pub lease_renews: u64,
+}
+
+/// Executes a decoded batch against `engine`, packing the responses into
+/// `builder` (cleared by the caller) in request order. Maximal runs of GETs
+/// probe the index interleaved ([`ShardEngine::get_batch_into`]); everything
+/// else goes through [`apply_request`], so a batch is behaviourally identical
+/// to executing its requests sequentially. Returns the replication records
+/// for successful writes (borrowing the request payloads) plus op counts.
+pub fn run_batch<'a>(
+    engine: &mut ShardEngine,
+    now: SimTime,
+    reqs: &[Request<'a>],
+    arena_region: RegionId,
+    scratch: &mut Vec<u8>,
+    builder: &mut BatchBuilder,
+) -> (ReplRecords<'a>, BatchOpCounts) {
+    let mut repl: ReplRecords<'_> = Vec::new();
+    let mut counts = BatchOpCounts::default();
+    let mut i = 0;
+    while i < reqs.len() {
+        if matches!(reqs[i], Request::Get { .. }) {
+            // Maximal GET run: probe interleaved, emit in order.
+            let mut j = i;
+            while j < reqs.len() && matches!(reqs[j], Request::Get { .. }) {
+                j += 1;
+            }
+            let keys: Vec<&[u8]> = reqs[i..j]
+                .iter()
+                .map(|r| match r {
+                    Request::Get { key, .. } => *key,
+                    _ => unreachable!("run holds only GETs"),
+                })
+                .collect();
+            let req_ids: Vec<u64> = reqs[i..j].iter().map(|r| r.req_id()).collect();
+            engine.get_batch_into(now, &keys, scratch, |k, info, val| match info {
+                Some(info) => builder.push_with(|out| {
+                    Response {
+                        status: Status::Ok,
+                        req_id: req_ids[k],
+                        value: val,
+                        rptr: RemotePtr::new(arena_region.0, info.off_words * 8, info.read_len),
+                        lease_expiry: info.lease_expiry,
+                    }
+                    .encode_into(out)
+                }),
+                None => builder.push_with(|out| {
+                    Response::status_only(Status::NotFound, req_ids[k]).encode_into(out)
+                }),
+            });
+            counts.gets += (j - i) as u64;
+            i = j;
+        } else {
+            let req = &reqs[i];
+            let mut action = None;
+            builder.push_with(|out| {
+                action = apply_request(engine, now, req, arena_region, scratch, out);
+            });
+            if let Some(a) = action {
+                repl.push(a);
+            }
+            match req {
+                Request::Get { .. } => unreachable!("handled by the run path"),
+                Request::Insert { .. } => counts.inserts += 1,
+                Request::Update { .. } => counts.updates += 1,
+                Request::Delete { .. } => counts.deletes += 1,
+                Request::LeaseRenew { .. } => counts.lease_renews += 1,
+            }
+            i += 1;
+        }
+    }
+    (repl, counts)
 }
 
 /// One client connection as seen by the server.
@@ -81,6 +247,8 @@ pub struct ShardServer {
     /// Reused GET value buffer — steady-state GETs allocate nothing for the
     /// value copy.
     get_scratch: Vec<u8>,
+    /// Reused response-batch builder for the quantum path.
+    resp_batch: BatchBuilder,
 }
 
 impl ShardServer {
@@ -124,6 +292,7 @@ impl ShardServer {
             stats: ServerStats::default(),
             reclaim_scheduled_at: None,
             get_scratch: Vec::new(),
+            resp_batch: BatchBuilder::new(),
         }))
     }
 
@@ -157,8 +326,21 @@ impl ShardServer {
         }
     }
 
-    /// CPU-cost of serving `req`, per the cost model.
-    fn op_cost(&self, req: &Request<'_>, send_recv: bool) -> SimTime {
+    /// Engine cost of `req` alone (no detection/post overhead).
+    fn base_cost(&self, req: &Request<'_>) -> SimTime {
+        let c = &self.cfg.costs;
+        match req {
+            Request::Get { .. } => c.get_ns,
+            Request::Insert { value, .. } | Request::Update { value, .. } => {
+                c.write_ns + (value.len() as f64 * c.per_byte_ns).round() as SimTime
+            }
+            Request::Delete { .. } => c.delete_ns,
+            Request::LeaseRenew { keys, .. } => c.get_ns / 2 * keys.len().max(1) as SimTime,
+        }
+    }
+
+    /// Per-op NUMA and receive-queue surcharges, per the cost model.
+    fn surcharges(&self, send_recv: bool) -> SimTime {
         let c = &self.cfg.costs;
         let numa = if self.cfg.numa_aware {
             0
@@ -168,15 +350,27 @@ impl ShardServer {
         // Two-sided transports make the server CPU shepherd every message
         // through the receive queue (§4.2.1 / HERD).
         let recv = if send_recv { c.recv_cpu_ns } else { 0 };
+        numa + recv
+    }
+
+    /// CPU-cost of serving `req` on the singleton path: the op itself plus
+    /// one polling-sweep step and one response verb post.
+    fn op_cost(&self, req: &Request<'_>, send_recv: bool) -> SimTime {
+        let c = &self.cfg.costs;
+        self.base_cost(req) + c.poll_ns + c.post_wqe_ns + self.surcharges(send_recv)
+    }
+
+    /// CPU-cost of one request executed inside a batch quantum. The fixed
+    /// per-frame work (one sweep step, one response WQE for the whole
+    /// frame) is charged once by the caller; batched GETs probe the index
+    /// interleaved, overlapping their cache misses.
+    fn batch_item_cost(&self, req: &Request<'_>, send_recv: bool) -> SimTime {
+        let c = &self.cfg.costs;
         let base = match req {
-            Request::Get { .. } => c.get_ns,
-            Request::Insert { value, .. } | Request::Update { value, .. } => {
-                c.write_ns + (value.len() as f64 * c.per_byte_ns).round() as SimTime
-            }
-            Request::Delete { .. } => c.delete_ns,
-            Request::LeaseRenew { keys, .. } => c.get_ns / 2 * keys.len().max(1) as SimTime,
+            Request::Get { .. } => (c.get_ns as f64 * c.batch_probe_factor).round() as SimTime,
+            _ => self.base_cost(req),
         };
-        base + c.poll_ns + numa + recv
+        base + self.surcharges(send_recv)
     }
 
     /// Entry point for RDMA-Write mode: a request frame has landed in
@@ -209,6 +403,10 @@ impl ShardServer {
         conn_idx: usize,
         payload: Vec<u8>,
     ) {
+        if BatchFrame::is_batch(&payload) {
+            Self::on_batch_payload(this, sim, conn_idx, payload);
+            return;
+        }
         let done_at = {
             let mut s = this.borrow_mut();
             if !s.alive {
@@ -273,6 +471,62 @@ impl ShardServer {
         });
     }
 
+    /// A batch frame landed: charge the whole quantum against the shard
+    /// core in one [`FifoResource::acquire_batch`] — one sweep step and one
+    /// response WQE for the frame, per-request marginal cost back-to-back —
+    /// then execute it as a unit.
+    fn on_batch_payload(
+        this: &Rc<RefCell<ShardServer>>,
+        sim: &mut Sim,
+        conn_idx: usize,
+        payload: Vec<u8>,
+    ) {
+        // The decoupled execution ablations (§6.2.1) have no quantum
+        // scheduling path: unpack and run each request individually.
+        let single_threaded = matches!(this.borrow().cfg.exec_model, ExecModel::SingleThreaded);
+        if !single_threaded {
+            let msgs: Vec<Vec<u8>> = BatchFrame::parse(&payload)
+                .expect("validated batch frame")
+                .iter()
+                .map(|m| m.to_vec())
+                .collect();
+            for msg in msgs {
+                Self::on_request_payload(this, sim, conn_idx, msg);
+            }
+            return;
+        }
+        let done_at = {
+            let mut s = this.borrow_mut();
+            if !s.alive {
+                s.stats.dropped_while_dead += 1;
+                return;
+            }
+            let frame = BatchFrame::parse(&payload).expect("validated batch frame");
+            let send_recv = s.conns[conn_idx].send_recv;
+            let mut per_item = Vec::with_capacity(frame.len());
+            for msg in frame.iter() {
+                let req = Request::decode(msg).expect("well-formed request");
+                per_item.push(s.batch_item_cost(&req, send_recv));
+            }
+            s.stats.requests += per_item.len() as u64;
+            s.stats.batches += 1;
+            s.stats.batched_requests += per_item.len() as u64;
+            let fixed = s.cfg.costs.poll_ns + s.cfg.costs.post_wqe_ns;
+            let now = sim.now();
+            let mut arrival = now;
+            if s.cpu.idle_at(now) {
+                let sweep = s.cfg.costs.poll_ns * (s.conns.len() as u64 / 2);
+                let sleep = s.cfg.sleep_backoff_ns.unwrap_or(0) / 2;
+                arrival += sweep + sleep;
+            }
+            s.cpu.acquire_batch(arrival, fixed, &per_item)
+        };
+        let this2 = this.clone();
+        sim.schedule_at(done_at, move |sim| {
+            Self::execute_batch(&this2, sim, conn_idx, payload);
+        });
+    }
+
     /// Runs the engine operation and emits the response (after replication,
     /// for writes under HA).
     ///
@@ -298,66 +552,19 @@ impl ShardServer {
             }
             let now = sim.now();
             let req = Request::decode(&payload).expect("validated on arrival");
-            let req_id = req.req_id();
             let arena_region = s.arena_region;
             let mut scratch = std::mem::take(&mut s.get_scratch);
             let engine_rc = s.engine.clone();
             let mut engine = engine_rc.borrow_mut();
-            let to_resp = |status: Status| Response::status_only(status, req_id).encode();
-            let err_status = |e: EngineError| match e {
-                EngineError::Exists => Status::Exists,
-                EngineError::NotFound => Status::NotFound,
-                _ => Status::Error,
-            };
-            let action = match req {
-                Request::Get { key, .. } => {
-                    let resp = match engine.get_into(now, key, &mut scratch) {
-                        Some(info) => Response {
-                            status: Status::Ok,
-                            req_id,
-                            value: &scratch,
-                            rptr: RemotePtr::new(arena_region.0, info.off_words * 8, info.read_len),
-                            lease_expiry: info.lease_expiry,
-                        }
-                        .encode(),
-                        None => to_resp(Status::NotFound),
-                    };
-                    Action::Respond(resp)
-                }
-                Request::Insert { key, value, .. } => match engine.insert(now, key, value) {
-                    Ok(_) => Action::Replicate {
-                        resp: to_resp(Status::Ok),
-                        op: LogOp::Put,
-                        key,
-                        value,
-                    },
-                    Err(e) => Action::Respond(to_resp(err_status(e))),
-                },
-                Request::Update { key, value, .. } => match engine.update(now, key, value) {
-                    Ok(_) => Action::Replicate {
-                        resp: to_resp(Status::Ok),
-                        op: LogOp::Put,
-                        key,
-                        value,
-                    },
-                    Err(e) => Action::Respond(to_resp(err_status(e))),
-                },
-                Request::Delete { key, .. } => match engine.delete(now, key) {
-                    Ok(()) => Action::Replicate {
-                        resp: to_resp(Status::Ok),
-                        op: LogOp::Delete,
-                        key,
-                        value: &[],
-                    },
-                    Err(e) => Action::Respond(to_resp(err_status(e))),
-                },
-                Request::LeaseRenew { keys, .. } => {
-                    for k in keys.iter() {
-                        engine.renew_lease(now, k);
-                    }
-                    Action::Respond(to_resp(Status::Ok))
-                }
-            };
+            let mut resp = Vec::new();
+            let repl = apply_request(
+                &mut engine,
+                now,
+                &req,
+                arena_region,
+                &mut scratch,
+                &mut resp,
+            );
             match req {
                 Request::Get { .. } => s.stats.gets += 1,
                 Request::Insert { .. } => s.stats.inserts += 1,
@@ -367,7 +574,15 @@ impl ShardServer {
             }
             drop(engine);
             s.get_scratch = scratch;
-            action
+            match repl {
+                Some((op, key, value)) => Action::Replicate {
+                    resp,
+                    op,
+                    key,
+                    value,
+                },
+                None => Action::Respond(resp),
+            }
         };
         Self::maybe_schedule_reclaim(this, sim);
         match action {
@@ -410,6 +625,80 @@ impl ShardServer {
         }
     }
 
+    /// Executes a whole batch frame as one quantum: decode once, serve
+    /// consecutive GET runs through the engine's interleaved batched probe,
+    /// coalesce the quantum's replication records into one doorbell-batched
+    /// shipment per secondary, and answer with a single response frame (one
+    /// RDMA Write for the whole batch). Responses keep request order.
+    fn execute_batch(
+        this: &Rc<RefCell<ShardServer>>,
+        sim: &mut Sim,
+        conn_idx: usize,
+        payload: Vec<u8>,
+    ) {
+        let (resp_bytes, resp_count, repl_records) = {
+            let mut s = this.borrow_mut();
+            if !s.alive {
+                return;
+            }
+            let now = sim.now();
+            let frame = BatchFrame::parse(&payload).expect("validated on arrival");
+            let reqs: Vec<Request<'_>> = frame
+                .iter()
+                .map(|m| Request::decode(m).expect("validated on arrival"))
+                .collect();
+            let arena_region = s.arena_region;
+            let mut scratch = std::mem::take(&mut s.get_scratch);
+            let mut builder = std::mem::take(&mut s.resp_batch);
+            builder.clear();
+            let engine_rc = s.engine.clone();
+            let mut engine = engine_rc.borrow_mut();
+            let (repl, counts) = run_batch(
+                &mut engine,
+                now,
+                &reqs,
+                arena_region,
+                &mut scratch,
+                &mut builder,
+            );
+            drop(engine);
+            s.stats.gets += counts.gets;
+            s.stats.inserts += counts.inserts;
+            s.stats.updates += counts.updates;
+            s.stats.deletes += counts.deletes;
+            s.stats.lease_renews += counts.lease_renews;
+            s.get_scratch = scratch;
+            let resp_count = builder.count() as u64;
+            let resp_bytes = builder.bytes().to_vec();
+            s.resp_batch = builder;
+            (resp_bytes, resp_count, repl)
+        };
+        Self::maybe_schedule_reclaim(this, sim);
+        let (pairs, mode) = {
+            let s = this.borrow();
+            (s.repl.clone(), s.cfg.replication)
+        };
+        if repl_records.is_empty() || pairs.is_empty() || matches!(mode, ReplicationMode::None) {
+            Self::send_response_frame(this, sim, conn_idx, resp_bytes, resp_count);
+            return;
+        }
+        // One doorbell-batched shipment per secondary; respond once every
+        // pair reports the whole quantum complete (per its mode).
+        let remaining = Rc::new(std::cell::Cell::new(pairs.len()));
+        for pair in &pairs {
+            let remaining = remaining.clone();
+            let this2 = this.clone();
+            let resp2 = resp_bytes.clone();
+            let done: Box<dyn FnOnce(&mut Sim)> = Box::new(move |sim| {
+                remaining.set(remaining.get() - 1);
+                if remaining.get() == 0 {
+                    Self::send_response_frame(&this2, sim, conn_idx, resp2, resp_count);
+                }
+            });
+            pair.replicate_batch(sim, &repl_records, Some(done));
+        }
+    }
+
     /// Arms the background-reclamation event for the earliest pending lease
     /// expiry. The paper uses a background thread; the event-driven pump has
     /// identical semantics and terminates when the queue drains.
@@ -445,12 +734,24 @@ impl ShardServer {
         conn_idx: usize,
         resp: Vec<u8>,
     ) {
+        Self::send_response_frame(this, sim, conn_idx, resp, 1);
+    }
+
+    /// Like [`Self::send_response`], for a frame carrying `count` responses
+    /// (a whole batch travels as one write / one doorbell).
+    fn send_response_frame(
+        this: &Rc<RefCell<ShardServer>>,
+        sim: &mut Sim,
+        conn_idx: usize,
+        resp: Vec<u8>,
+        count: u64,
+    ) {
         let (fab, qp, node, region, kick, send_recv) = {
             let mut s = this.borrow_mut();
             if !s.alive {
                 return;
             }
-            s.stats.responses += 1;
+            s.stats.responses += count;
             let conn = &s.conns[conn_idx];
             (
                 s.fab.clone(),

@@ -718,3 +718,155 @@ fn cluster_report_reflects_state() {
     assert_eq!(text.lines().count(), 2 + report.rows.len());
     assert!(text.contains("generation"));
 }
+
+// ---- pipelined client (pipeline_depth > 1) ----
+
+#[test]
+fn pipelined_client_batches_requests_and_serves_correctly() {
+    let cfg = ClusterConfig {
+        client_mode: ClientMode::RdmaWrite, // message path only: every op frames
+        pipeline_depth: 16,
+        max_batch: 16,
+        ..Default::default()
+    };
+    let mut cluster = build(cfg);
+    let client = cluster.add_client(0);
+    for i in 0..24 {
+        let k = format!("pk-{i}");
+        let v = format!("pv-{i}");
+        put_ok(&mut cluster, &client, k.as_bytes(), v.as_bytes());
+    }
+    // Burst of concurrent GETs: the first per partition ships immediately,
+    // the rest coalesce into multi-request frames behind it.
+    let done = Rc::new(Cell::new(0u32));
+    let vals: Rc<RefCell<Vec<Option<Vec<u8>>>>> = Rc::new(RefCell::new(vec![None; 24]));
+    for i in 0..24 {
+        let k = format!("pk-{i}");
+        let d = done.clone();
+        let v = vals.clone();
+        client.get(
+            &mut cluster.sim,
+            k.as_bytes(),
+            Box::new(move |_, r| {
+                v.borrow_mut()[i] = r.unwrap();
+                d.set(d.get() + 1);
+            }),
+        );
+    }
+    assert!(client.in_flight() > 1, "burst must actually pipeline");
+    while done.get() < 24 {
+        assert!(cluster.sim.step(), "queue drained before completion");
+    }
+    for i in 0..24 {
+        assert_eq!(vals.borrow()[i], Some(format!("pv-{i}").into_bytes()));
+    }
+    assert_eq!(client.in_flight(), 0);
+    let frames: u64 = (0..4)
+        .map(|p| cluster.shard(p).primary.borrow().stats().batches)
+        .sum();
+    let batched: u64 = (0..4)
+        .map(|p| cluster.shard(p).primary.borrow().stats().batched_requests)
+        .sum();
+    assert!(frames > 0, "pipelined client must ship batch frames");
+    assert!(
+        batched > frames,
+        "some frame must carry more than one request"
+    );
+    assert_eq!(cluster.total_items(), 24);
+}
+
+#[test]
+fn pipelined_send_recv_completes_through_the_window() {
+    let cfg = ClusterConfig {
+        client_mode: ClientMode::SendRecv,
+        pipeline_depth: 8,
+        ..Default::default()
+    };
+    let mut cluster = build(cfg);
+    let client = cluster.add_client(0);
+    for i in 0..12 {
+        let k = format!("sr-{i}");
+        put_ok(&mut cluster, &client, k.as_bytes(), b"v");
+    }
+    let done = Rc::new(Cell::new(0u32));
+    for i in 0..12 {
+        let k = format!("sr-{i}");
+        let d = done.clone();
+        client.get(
+            &mut cluster.sim,
+            k.as_bytes(),
+            Box::new(move |_, r| {
+                assert_eq!(r.unwrap().as_deref(), Some(b"v".as_slice()));
+                d.set(d.get() + 1);
+            }),
+        );
+    }
+    while done.get() < 12 {
+        assert!(cluster.sim.step(), "queue drained before completion");
+    }
+    assert_eq!(client.in_flight(), 0);
+    assert_eq!(client.stats().timeouts, 0);
+}
+
+#[test]
+fn pipelined_fast_path_reads_fly_concurrently() {
+    let cfg = ClusterConfig {
+        pipeline_depth: 8,
+        ..Default::default()
+    };
+    let mut cluster = build(cfg);
+    let client = cluster.add_client(0);
+    put_ok(&mut cluster, &client, b"hot", b"value");
+    assert!(get_value(&mut cluster, &client, b"hot").is_some()); // caches ptr
+    let done = Rc::new(Cell::new(0u32));
+    for _ in 0..6 {
+        let d = done.clone();
+        client.get(
+            &mut cluster.sim,
+            b"hot",
+            Box::new(move |_, r| {
+                assert_eq!(r.unwrap().as_deref(), Some(b"value".as_slice()));
+                d.set(d.get() + 1);
+            }),
+        );
+    }
+    assert_eq!(client.in_flight(), 6, "all six reads posted concurrently");
+    while done.get() < 6 {
+        assert!(cluster.sim.step(), "queue drained before completion");
+    }
+    let s = client.stats();
+    assert_eq!(s.rptr_hits, 6);
+    assert_eq!(s.invalid_hits, 0);
+}
+
+#[test]
+fn pipelined_frame_timeout_fails_every_op_in_the_frame() {
+    let cfg = ClusterConfig {
+        server_nodes: 1,
+        shards_per_node: 1,
+        client_mode: ClientMode::RdmaWrite,
+        pipeline_depth: 8,
+        op_timeout_ns: MS,
+        ..Default::default()
+    };
+    let mut cluster = build(cfg);
+    let client = cluster.add_client(0);
+    put_ok(&mut cluster, &client, b"k", b"v");
+    cluster.kill_primary(0);
+    let errs = Rc::new(Cell::new(0u32));
+    for _ in 0..5 {
+        let e = errs.clone();
+        client.get(
+            &mut cluster.sim,
+            b"k",
+            Box::new(move |_, r| {
+                assert_eq!(r.unwrap_err(), OpError::Timeout);
+                e.set(e.get() + 1);
+            }),
+        );
+    }
+    cluster.sim.run();
+    assert_eq!(errs.get(), 5, "every pipelined op must fail on timeout");
+    assert_eq!(client.stats().timeouts, 5);
+    assert_eq!(client.in_flight(), 0);
+}

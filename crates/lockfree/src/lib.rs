@@ -20,7 +20,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use crossbeam_epoch::{self as epoch, Atomic, Guard, Owned, Shared};
 
 /// Hashes a key with FNV-1a + avalanche; stable and dependency-free.
-fn hash_of<K: std::hash::Hash>(key: &K) -> u64 {
+fn hash_of<K: std::hash::Hash + ?Sized>(key: &K) -> u64 {
     struct Fnv(u64);
     impl std::hash::Hasher for Fnv {
         fn finish(&self) -> u64 {
@@ -112,7 +112,14 @@ where
 
     /// Harris-Michael search: returns the insertion point for `(hash, key)`,
     /// physically unlinking any marked nodes encountered on the way.
-    fn find<'g>(&'g self, hash: u64, key: &K, guard: &'g Guard) -> FindResult<'g, K, V> {
+    ///
+    /// Generic over a borrowed key form `Q` (like `HashMap::get`) so hot-path
+    /// callers can probe with `&[u8]` without materializing a `Vec<u8>`.
+    fn find<'g, Q>(&'g self, hash: u64, key: &Q, guard: &'g Guard) -> FindResult<'g, K, V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
         let head = &self.buckets[(hash & self.mask) as usize];
         'retry: loop {
             let mut prev = head;
@@ -142,7 +149,7 @@ where
                     }
                     continue;
                 }
-                match (cur_ref.hash, &cur_ref.key).cmp(&(hash, key)) {
+                match (cur_ref.hash, cur_ref.key.borrow()).cmp(&(hash, key)) {
                     std::cmp::Ordering::Less => {
                         prev = &cur_ref.next;
                         cur = next;
@@ -160,6 +167,18 @@ where
 
     /// Returns a clone of the value for `key`, if present.
     pub fn get(&self, key: &K) -> Option<V> {
+        self.get_with(key)
+    }
+
+    /// [`Self::get`] through a borrowed key form: a `LockFreeMap<Vec<u8>, V>`
+    /// answers `get_with(b"k".as_slice())` without allocating the owned key.
+    /// `Q` must hash and order identically to `K` (true for the std
+    /// `Borrow` pairs: `Vec<u8>`/`[u8]`, `String`/`str`).
+    pub fn get_with<Q>(&self, key: &Q) -> Option<V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: std::hash::Hash + Ord + ?Sized,
+    {
         let hash = hash_of(key);
         let guard = &epoch::pin();
         match self.find(hash, key, guard) {
@@ -220,6 +239,15 @@ where
 
     /// Removes `key`. Returns the removed value, or `None` if absent.
     pub fn remove(&self, key: &K) -> Option<V> {
+        self.remove_with(key)
+    }
+
+    /// [`Self::remove`] through a borrowed key form (see [`Self::get_with`]).
+    pub fn remove_with<Q>(&self, key: &Q) -> Option<V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: std::hash::Hash + Ord + ?Sized,
+    {
         let hash = hash_of(key);
         let guard = &epoch::pin();
         loop {
@@ -323,6 +351,25 @@ mod tests {
         assert_eq!(m.remove(&"a".into()), Some(10));
         assert_eq!(m.remove(&"a".into()), None);
         assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn borrowed_key_lookups_match_owned_lookups() {
+        // `Vec<u8>` keys probed with `&[u8]` — the shared pointer cache's
+        // hot path. Hash and order must agree across the Borrow pair.
+        let m: LockFreeMap<Vec<u8>, u64> = LockFreeMap::new(8);
+        for i in 0..200u64 {
+            m.insert(format!("key-{i}").into_bytes(), i);
+        }
+        for i in 0..200u64 {
+            let owned = format!("key-{i}").into_bytes();
+            assert_eq!(m.get_with(owned.as_slice()), Some(i), "key {i}");
+            assert_eq!(m.get(&owned), m.get_with(owned.as_slice()));
+        }
+        assert_eq!(m.get_with(b"absent".as_slice()), None);
+        assert_eq!(m.remove_with(b"key-7".as_slice()), Some(7));
+        assert_eq!(m.get_with(b"key-7".as_slice()), None);
+        assert_eq!(m.len(), 199);
     }
 
     #[test]

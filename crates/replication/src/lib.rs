@@ -95,6 +95,9 @@ pub struct ReplStats {
     pub discarded: u64,
     /// Times the primary stalled on ring space.
     pub stalls: u64,
+    /// Doorbell-batched shipments ([`ReplicationPair::replicate_batch`]);
+    /// each posted a whole quantum of records with one doorbell.
+    pub batches: u64,
 }
 
 struct PendingRec {
@@ -220,6 +223,192 @@ impl ReplicationPair {
             "AckRequests are generated internally"
         );
         self.enqueue(sim, op, key.to_vec(), value.to_vec(), on_done);
+    }
+
+    /// Replicates a whole quantum of writes with one doorbell: every record
+    /// that fits the ring is framed and posted through a single
+    /// [`Fabric::post_write_batch`] (wrap markers ride in the same batch),
+    /// so the NIC pays one MMIO kick per quantum instead of one per record.
+    /// Records the ring cannot take right now drain through the backlog
+    /// path in order. `on_done` fires once everything completed per the
+    /// mode — last delivery for Logging, last ack for Strict (whose
+    /// per-record acknowledgement protocol leaves nothing to coalesce, so
+    /// it fans out through the per-record path).
+    pub fn replicate_batch(
+        &self,
+        sim: &mut Sim,
+        records: &[(LogOp, &[u8], &[u8])],
+        on_done: Option<DoneCb>,
+    ) {
+        if records.is_empty() {
+            if let Some(cb) = on_done {
+                cb(sim);
+            }
+            return;
+        }
+        for (op, _, _) in records {
+            assert!(
+                *op != LogOp::AckRequest,
+                "AckRequests are generated internally"
+            );
+        }
+        if matches!(self.shared.cfg.mode, ReplMode::Strict) {
+            let remaining = Rc::new(std::cell::Cell::new(records.len()));
+            let done = Rc::new(RefCell::new(on_done));
+            for &(op, key, value) in records {
+                let remaining = remaining.clone();
+                let done = done.clone();
+                replicate_strict(
+                    self,
+                    sim,
+                    op,
+                    key,
+                    value,
+                    Box::new(move |sim| {
+                        remaining.set(remaining.get() - 1);
+                        if remaining.get() == 0 {
+                            if let Some(cb) = done.borrow_mut().take() {
+                                cb(sim);
+                            }
+                        }
+                    }),
+                );
+            }
+            return;
+        }
+        let shared = &self.shared;
+        // Take as many leading records as the ring accepts right now.
+        let mut head = 0usize;
+        {
+            let p = shared.p.borrow();
+            if p.backlog.is_empty() {
+                let mut inflight = p.inflight_words;
+                for &(op, key, value) in records {
+                    let rec = LogRecord {
+                        seq: 0,
+                        op,
+                        key,
+                        value,
+                    };
+                    let need = frame::frame_words(rec.encoded_len());
+                    let budget = p.ring_words - need - 16;
+                    if inflight + need > budget {
+                        break;
+                    }
+                    inflight += need;
+                    head += 1;
+                }
+            }
+        }
+        let tail = &records[head..];
+        // Completion has up to two parts: the batched head's last delivery
+        // and the backlogged tail's completion.
+        let parts = usize::from(head > 0) + usize::from(!tail.is_empty());
+        let remaining = Rc::new(std::cell::Cell::new(parts));
+        let done = Rc::new(RefCell::new(on_done));
+        let mk_part_cb = {
+            let remaining = remaining.clone();
+            move || -> DoneCb {
+                let remaining = remaining.clone();
+                let done = done.clone();
+                Box::new(move |sim: &mut Sim| {
+                    remaining.set(remaining.get() - 1);
+                    if remaining.get() == 0 {
+                        if let Some(cb) = done.borrow_mut().take() {
+                            cb(sim);
+                        }
+                    }
+                })
+            }
+        };
+        if head > 0 {
+            let mut writes: Vec<hydra_fabric::BatchWrite> = Vec::with_capacity(head + 1);
+            {
+                let mut p = shared.p.borrow_mut();
+                for (i, &(op, key, value)) in records[..head].iter().enumerate() {
+                    p.next_seq += 1;
+                    let seq = p.next_seq;
+                    p.pending.push_back(PendingRec {
+                        seq,
+                        op,
+                        key: key.to_vec(),
+                        value: value.to_vec(),
+                    });
+                    p.since_ack_req += 1;
+                    let rec = LogRecord {
+                        seq,
+                        op,
+                        key,
+                        value,
+                    };
+                    let words = frame::frame_to_words(&rec.encode());
+                    let need = words.len();
+                    if p.write_off == p.ring_words {
+                        p.write_off = 0;
+                    } else if p.write_off + need > p.ring_words {
+                        let marker_off = p.write_off;
+                        p.inflight_words += p.ring_words - marker_off;
+                        p.write_off = 0;
+                        writes.push(hydra_fabric::BatchWrite {
+                            words: vec![WRAP_MARKER],
+                            dst_region: p.ring_region,
+                            dst_word_off: marker_off,
+                            on_delivered: None,
+                        });
+                    }
+                    let off = p.write_off;
+                    p.write_off += need;
+                    p.inflight_words += need;
+                    // Deliveries land in posting order, so one kick at the
+                    // last record drains the whole quantum on the applier.
+                    let on_delivered = if i == head - 1 {
+                        let cb = mk_part_cb();
+                        let shared2 = shared.clone();
+                        Some(Box::new(move |sim: &mut Sim| {
+                            cb(sim);
+                            Self::poll_secondary(&shared2, sim);
+                        }) as hydra_fabric::WriteDelivered)
+                    } else {
+                        None
+                    };
+                    writes.push(hydra_fabric::BatchWrite {
+                        words,
+                        dst_region: p.ring_region,
+                        dst_word_off: off,
+                        on_delivered,
+                    });
+                }
+            }
+            {
+                let mut st = shared.stats.borrow_mut();
+                st.records += head as u64;
+                st.batches += 1;
+            }
+            let (qp, node) = {
+                let p = shared.p.borrow();
+                (p.qp, p.node)
+            };
+            shared.fab.post_write_batch(sim, qp, node, writes);
+            let want_ack = {
+                let p = shared.p.borrow();
+                match shared.cfg.mode {
+                    ReplMode::Strict => false,
+                    ReplMode::Logging { ack_every } => {
+                        p.since_ack_req >= ack_every && !p.ack_req_outstanding
+                    }
+                }
+            };
+            if want_ack {
+                Self::ship_ack_request(shared, sim);
+            }
+        }
+        if !tail.is_empty() {
+            let last = tail.len() - 1;
+            for (i, &(op, key, value)) in tail.iter().enumerate() {
+                let cb = if i == last { Some(mk_part_cb()) } else { None };
+                self.enqueue(sim, op, key.to_vec(), value.to_vec(), cb);
+            }
+        }
     }
 
     /// Last sequence the secondary has acknowledged (0 = none yet; sequences
@@ -801,6 +990,90 @@ mod tests {
             );
         }
         assert_eq!(e.len(), 20);
+    }
+
+    #[test]
+    fn batched_records_apply_in_order_with_one_doorbell() {
+        let (mut sim, fab, pair, engine) = setup(ReplConfig::default());
+        let records: Vec<(Vec<u8>, Vec<u8>)> = (0..24u32)
+            .map(|i| (format!("bk{i:02}").into_bytes(), i.to_le_bytes().to_vec()))
+            .collect();
+        let refs: Vec<(LogOp, &[u8], &[u8])> = records
+            .iter()
+            .map(|(k, v)| (LogOp::Put, k.as_slice(), v.as_slice()))
+            .collect();
+        pair.replicate_batch(&mut sim, &refs, None);
+        let doorbells_after_post = fab.stats().doorbells;
+        sim.run();
+        assert_eq!(doorbells_after_post, 1, "one doorbell for the quantum");
+        let st = pair.stats();
+        assert_eq!(st.records, 24);
+        assert_eq!(st.applied, 24);
+        assert_eq!(st.batches, 1);
+        assert_eq!(st.discarded, 0);
+        let mut e = engine.borrow_mut();
+        for (i, (k, v)) in records.iter().enumerate() {
+            assert_eq!(e.get(0, k).unwrap().value, *v, "record {i}");
+        }
+    }
+
+    #[test]
+    fn batch_completion_fires_once_after_last_delivery() {
+        let (mut sim, _fab, pair, _engine) = setup(ReplConfig::default());
+        let fired = Rc::new(std::cell::Cell::new(0u32));
+        let f = fired.clone();
+        let refs: Vec<(LogOp, &[u8], &[u8])> = (0..8)
+            .map(|_| (LogOp::Put, b"k".as_slice(), b"v".as_slice()))
+            .collect();
+        pair.replicate_batch(&mut sim, &refs, Some(Box::new(move |_| f.set(f.get() + 1))));
+        sim.run();
+        assert_eq!(fired.get(), 1);
+        assert_eq!(pair.stats().applied, 8);
+    }
+
+    #[test]
+    fn batch_overflowing_the_ring_drains_via_backlog() {
+        let cfg = ReplConfig {
+            ring_words: 256,
+            mode: ReplMode::Logging { ack_every: 8 },
+            apply_cost_ns: 100,
+        };
+        let (mut sim, _fab, pair, engine) = setup(cfg);
+        let records: Vec<(Vec<u8>, Vec<u8>)> = (0..60u32)
+            .map(|i| (format!("key-{i:04}").into_bytes(), vec![i as u8; 24]))
+            .collect();
+        let refs: Vec<(LogOp, &[u8], &[u8])> = records
+            .iter()
+            .map(|(k, v)| (LogOp::Put, k.as_slice(), v.as_slice()))
+            .collect();
+        let fired = Rc::new(std::cell::Cell::new(0u32));
+        let f = fired.clone();
+        pair.replicate_batch(&mut sim, &refs, Some(Box::new(move |_| f.set(f.get() + 1))));
+        sim.run();
+        assert_eq!(fired.get(), 1, "completion after head and tail both drain");
+        assert!(pair.stats().stalls > 0, "tail must have backlogged");
+        assert_eq!(engine.borrow().len(), 60, "every record applied");
+    }
+
+    #[test]
+    fn strict_batch_completes_at_the_last_ack() {
+        let cfg = ReplConfig {
+            mode: ReplMode::Strict,
+            ..ReplConfig::default()
+        };
+        let (mut sim, _fab, pair, engine) = setup(cfg);
+        let done_at = Rc::new(std::cell::Cell::new(0u64));
+        let d = done_at.clone();
+        let refs: Vec<(LogOp, &[u8], &[u8])> = vec![
+            (LogOp::Put, b"a".as_slice(), b"1".as_slice()),
+            (LogOp::Put, b"b".as_slice(), b"2".as_slice()),
+            (LogOp::Put, b"c".as_slice(), b"3".as_slice()),
+        ];
+        pair.replicate_batch(&mut sim, &refs, Some(Box::new(move |sim| d.set(sim.now()))));
+        sim.run();
+        assert!(done_at.get() > 2_000, "strict batch waits for acks");
+        assert_eq!(pair.acked(), 3);
+        assert_eq!(engine.borrow().len(), 3);
     }
 
     #[test]

@@ -29,12 +29,14 @@ pub mod table;
 pub use arena::{Arena, ArenaStats};
 pub use chained::ChainedTable;
 pub use checksum::{ChecksumItem, ChecksumVerdict, Crc64};
-pub use engine::{EngineConfig, EngineError, EngineStats, GetResult, ShardEngine, WriteMode};
+pub use engine::{
+    EngineConfig, EngineError, EngineStats, GetResult, ItemInfo, ShardEngine, WriteMode,
+};
 pub use item::{
     item_words, rdma_read_len, FetchedItem, ItemError, ItemRef, GUARD_DEAD, GUARD_VALID,
 };
 pub use reclaim::ReclaimQueue;
-pub use table::{CompactTable, TableStats};
+pub use table::{CompactTable, TableStats, LOOKUP_BATCH};
 
 /// 64-bit key hash used everywhere: FNV-1a. Stable across runs (and thus
 /// across the consistent-hashing ring, signatures, and partition routing).

@@ -1,7 +1,7 @@
 //! Wire formats for HydraDB.
 //!
 //! This crate is transport-agnostic byte layout: it knows nothing about the
-//! fabric or the simulator. Three layers live here:
+//! fabric or the simulator. Four layers live here:
 //!
 //! * [`frame`] — the *indicator-encapsulated* message framing of §4.2.1 of
 //!   the paper. One-sided RDMA Write cannot interrupt the receiver, so both
@@ -15,12 +15,17 @@
 //!   and lease metadata piggybacked on GET responses.
 //! * [`log`] — replication log records written by the primary into the
 //!   secondary's exposed ring (§5.2).
+//! * [`batch`] — multi-message batch frames: pipelined clients pack several
+//!   encoded requests (and servers several responses) into one framed
+//!   payload, so a whole batch costs one doorbell and one polling sweep.
 
+pub mod batch;
 pub mod codec;
 pub mod frame;
 pub mod log;
 pub mod rptr;
 
+pub use batch::{BatchBuilder, BatchFrame, BatchIter, BATCH_ENTRY_HDR, BATCH_HDR, BATCH_MAGIC};
 pub use codec::{KeyList, OpCode, Request, Response, Status};
 pub use frame::{
     consume_message, frame_to_words, frame_words, poll_message, write_message, FrameError,

@@ -4,7 +4,10 @@
 
 use std::sync::atomic::AtomicU64;
 
-use hydra_wire::{frame, KeyList, LogOp, LogRecord, RemotePtr, Request, Response, Status};
+use hydra_wire::{
+    frame, BatchBuilder, BatchFrame, KeyList, LogOp, LogRecord, RemotePtr, Request, Response,
+    Status,
+};
 use proptest::prelude::*;
 
 fn bytes(max: usize) -> impl Strategy<Value = Vec<u8>> {
@@ -124,5 +127,77 @@ proptest! {
     fn remote_ptr_roundtrips(region in any::<u32>(), offset in 0u64..(1 << 48), len in any::<u32>()) {
         let p = RemotePtr::new(region, offset, len);
         prop_assert_eq!(RemotePtr::decode(&p.encode()), Some(p));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn batch_frame_roundtrips_any_messages(msgs in proptest::collection::vec(bytes(128), 0..20)) {
+        let mut b = BatchBuilder::new();
+        for m in &msgs {
+            b.push(m);
+        }
+        prop_assert_eq!(b.count() as usize, msgs.len());
+        prop_assert!(BatchFrame::is_batch(b.bytes()) );
+        let frame = BatchFrame::parse(b.bytes()).expect("builder output parses");
+        prop_assert_eq!(frame.len(), msgs.len());
+        let got: Vec<Vec<u8>> = frame.iter().map(|m| m.to_vec()).collect();
+        prop_assert_eq!(got, msgs);
+    }
+
+    #[test]
+    fn batch_of_requests_decodes_back(reqs in proptest::collection::vec(
+        (any::<u64>(), bytes(48), bytes(96)), 1..12)
+    ) {
+        // The production shape: encoded requests packed via push_with, then
+        // each window entry decoded independently on the server side.
+        let mut b = BatchBuilder::new();
+        for (req_id, key, value) in &reqs {
+            b.push_with(|out| Request::Update { req_id: *req_id, key, value }.encode_into(out));
+        }
+        let frame = BatchFrame::parse(b.bytes()).expect("parses");
+        for (msg, (req_id, key, value)) in frame.iter().zip(&reqs) {
+            let dec = Request::decode(msg).expect("entry decodes");
+            prop_assert_eq!(dec, Request::Update { req_id: *req_id, key, value });
+        }
+    }
+
+    #[test]
+    fn truncated_batches_rejected(msgs in proptest::collection::vec(bytes(64), 0..8), cut in 0usize..512) {
+        let mut b = BatchBuilder::new();
+        for m in &msgs {
+            b.push(m);
+        }
+        let full = b.bytes();
+        // Every strict prefix fails validation: the entry chain must land
+        // exactly on the frame's end.
+        let cut = cut % full.len().max(1);
+        prop_assert!(BatchFrame::parse(&full[..cut]).is_none());
+        // So does any extension.
+        let mut extended = full.to_vec();
+        extended.push(0);
+        prop_assert!(BatchFrame::parse(&extended).is_none());
+    }
+
+    #[test]
+    fn corrupted_batches_never_panic(msgs in proptest::collection::vec(bytes(64), 1..8),
+                                     idx in any::<usize>(), bit in 0u8..8) {
+        // Single-bit corruption anywhere either still parses (payload bits)
+        // or is rejected — iteration over whatever parses must stay in
+        // bounds and yield exactly `len()` messages.
+        let mut buf = {
+            let mut b = BatchBuilder::new();
+            for m in &msgs {
+                b.push(m);
+            }
+            b.bytes().to_vec()
+        };
+        let idx = idx % buf.len();
+        buf[idx] ^= 1 << bit;
+        if let Some(frame) = BatchFrame::parse(&buf) {
+            prop_assert_eq!(frame.iter().count(), frame.len());
+        }
     }
 }

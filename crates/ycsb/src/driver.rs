@@ -86,6 +86,10 @@ pub struct DriverConfig {
     /// Whether operation errors abort the run (on by default; fail-over
     /// experiments disable it).
     pub strict: bool,
+    /// Operations each client keeps in flight. 1 is the paper's closed-loop
+    /// YCSB discipline; larger windows drive pipelined clients
+    /// ([`hydra_db::ClusterConfig::pipeline_depth`]) asynchronously.
+    pub window: usize,
 }
 
 impl Default for DriverConfig {
@@ -93,6 +97,7 @@ impl Default for DriverConfig {
         DriverConfig {
             warmup_frac: 0.05,
             strict: true,
+            window: 1,
         }
     }
 }
@@ -141,6 +146,8 @@ struct Replay {
     pos: usize,
     version: u64,
     errors: u64,
+    inflight: usize,
+    finished: bool,
 }
 
 /// Loads `wl.records` and replays `wl` over `clients`, returning the report.
@@ -169,10 +176,14 @@ pub fn run_workload<C: KvClient>(
                 pos: 0,
                 version: 1,
                 errors: 0,
+                inflight: 0,
+                finished: false,
             })),
             s.ops[split..].to_vec(),
         ));
     }
+
+    let window = cfg.window.max(1);
 
     // Warm-up phase.
     for (i, client) in clients.iter().enumerate() {
@@ -185,6 +196,7 @@ pub fn run_workload<C: KvClient>(
             warmup_done.clone(),
             end_time.clone(),
             strict,
+            window,
         );
     }
     sim.run();
@@ -202,6 +214,8 @@ pub fn run_workload<C: KvClient>(
             let mut st = st.borrow_mut();
             st.ops = measured.clone();
             st.pos = 0;
+            st.inflight = 0;
+            st.finished = false;
         }
         drive(
             sim,
@@ -211,6 +225,7 @@ pub fn run_workload<C: KvClient>(
             run_done.clone(),
             end_time.clone(),
             strict,
+            window,
         );
     }
     sim.run();
@@ -290,6 +305,11 @@ fn load_next<C: KvClient>(
     );
 }
 
+/// Issues ops from the replay stream, keeping up to `window` in flight.
+/// With `window == 1` this is the classic closed-loop recursion; larger
+/// windows keep a pipelined client's frames full. The stream is complete
+/// when every op has been issued *and* every completion has come back.
+#[allow(clippy::too_many_arguments)]
 fn drive<C: KvClient>(
     sim: &mut Sim,
     client: C,
@@ -298,44 +318,60 @@ fn drive<C: KvClient>(
     done: Rc<Cell<usize>>,
     end_time: Rc<Cell<u64>>,
     strict: bool,
+    window: usize,
 ) {
-    let op = {
-        let mut s = st.borrow_mut();
-        if s.pos >= s.ops.len() {
-            done.set(done.get() + 1);
-            end_time.set(end_time.get().max(sim.now()));
-            return;
-        }
-        let op = s.ops[s.pos];
-        s.pos += 1;
-        op
-    };
-    let cont: KvCb = {
-        let client = client.clone();
-        let wl = wl.clone();
-        let st = st.clone();
-        Box::new(move |sim, r| {
-            if let Err(e) = r {
-                if strict {
-                    panic!("workload op failed: {e:?}");
+    loop {
+        let op = {
+            let mut s = st.borrow_mut();
+            if s.pos >= s.ops.len() {
+                if s.inflight == 0 && !s.finished {
+                    s.finished = true;
+                    done.set(done.get() + 1);
+                    end_time.set(end_time.get().max(sim.now()));
                 }
-                st.borrow_mut().errors += 1;
+                return;
             }
-            drive(sim, client, wl, st, done, end_time, strict);
-        })
-    };
-    match op {
-        Op::Read(id) => {
-            let key = wl.key_of(id);
-            client.kv_get(sim, &key, cont);
-        }
-        Op::Update(id) => {
-            let (key, value) = {
-                let mut s = st.borrow_mut();
-                s.version += 1;
-                (wl.key_of(id), wl.value_of(id, s.version))
-            };
-            client.kv_update(sim, &key, &value, cont);
+            if s.inflight >= window {
+                return;
+            }
+            let op = s.ops[s.pos];
+            s.pos += 1;
+            s.inflight += 1;
+            op
+        };
+        let cont: KvCb = {
+            let client = client.clone();
+            let wl = wl.clone();
+            let st = st.clone();
+            let done = done.clone();
+            let end_time = end_time.clone();
+            Box::new(move |sim, r| {
+                {
+                    let mut s = st.borrow_mut();
+                    s.inflight -= 1;
+                    if let Err(e) = r {
+                        if strict {
+                            panic!("workload op failed: {e:?}");
+                        }
+                        s.errors += 1;
+                    }
+                }
+                drive(sim, client, wl, st, done, end_time, strict, window);
+            })
+        };
+        match op {
+            Op::Read(id) => {
+                let key = wl.key_of(id);
+                client.kv_get(sim, &key, cont);
+            }
+            Op::Update(id) => {
+                let (key, value) = {
+                    let mut s = st.borrow_mut();
+                    s.version += 1;
+                    (wl.key_of(id), wl.value_of(id, s.version))
+                };
+                client.kv_update(sim, &key, &value, cont);
+            }
         }
     }
 }
@@ -396,6 +432,35 @@ mod tests {
         assert!(
             report.invalid_hits > 0,
             "updates must invalidate fast reads"
+        );
+    }
+
+    #[test]
+    fn pipelined_window_beats_closed_loop_throughput() {
+        let run = |depth: usize, window: usize| {
+            let cfg = ClusterConfig {
+                client_nodes: 2,
+                client_mode: ClientMode::RdmaWrite,
+                pipeline_depth: depth,
+                ..Default::default()
+            };
+            let mut cluster = ClusterBuilder::new(cfg).build();
+            let clients: Vec<_> = (0..8).map(|i| cluster.add_client(i % 2)).collect();
+            let wl = small_wl(1.0, KeyDist::zipfian());
+            let dcfg = DriverConfig {
+                window,
+                ..Default::default()
+            };
+            let r = run_workload(&mut cluster.sim, &clients, &wl, &dcfg);
+            assert_eq!(r.errors, 0);
+            assert!(r.ops >= 1_800, "ops={}", r.ops);
+            r.mops
+        };
+        let closed = run(1, 1);
+        let piped = run(16, 16);
+        assert!(
+            piped > closed,
+            "pipelined ({piped}) must beat closed-loop ({closed})"
         );
     }
 

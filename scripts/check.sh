@@ -16,4 +16,12 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> bench smoke (reduced scale, scratch results dir)"
+SMOKE_RESULTS="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_RESULTS"' EXIT
+HYDRA_SCALE=smoke HYDRA_RESULTS_DIR="$SMOKE_RESULTS" \
+    cargo run -q --release -p hydra-bench --bin perf_events
+HYDRA_SCALE=smoke HYDRA_RESULTS_DIR="$SMOKE_RESULTS" \
+    cargo run -q --release -p hydra-bench --bin perf_batching
+
 echo "OK: all tier-1 checks passed"

@@ -15,6 +15,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use hydra_db::{ClusterBuilder, ClusterConfig};
 use hydra_integration::{get_value, put_ok};
+use hydra_lockfree::LockFreeMap;
 use hydra_store::{EngineConfig, ShardEngine, WriteMode};
 use hydra_wire::{KeyList, Request};
 
@@ -56,7 +57,33 @@ fn count_allocs(f: impl FnOnce()) -> u64 {
 fn hot_paths_do_not_allocate() {
     decode_is_zero_alloc();
     steady_state_get_into_is_zero_alloc();
+    shared_cache_lookup_is_zero_alloc();
     server_get_alloc_count_is_constant();
+}
+
+/// The node-wide shared pointer cache resolves GET keys through the
+/// borrowed-key lookup (`get_with`), so the fast-path cache probe performs
+/// zero heap allocations — previously every probe cloned the key into a
+/// `Vec` just to call `get`.
+fn shared_cache_lookup_is_zero_alloc() {
+    let m: LockFreeMap<Vec<u8>, u64> = LockFreeMap::new(64);
+    let keys: Vec<Vec<u8>> = (0..64).map(|i| format!("ck{i:04}").into_bytes()).collect();
+    for (i, k) in keys.iter().enumerate() {
+        m.insert(k.clone(), i as u64);
+    }
+    // Warm-up: the first guard pin may set up thread-local epoch state.
+    assert_eq!(m.get_with(keys[0].as_slice()), Some(0));
+    let mut hits = 0usize;
+    let allocs = count_allocs(|| {
+        for round in 0..1_000usize {
+            let k: &[u8] = &keys[round % 64];
+            if m.get_with(k).is_some() {
+                hits += 1;
+            }
+        }
+    });
+    assert_eq!(hits, 1_000);
+    assert_eq!(allocs, 0, "borrowed-key cache lookup must not allocate");
 }
 
 /// Borrowed request decode performs zero heap allocations for every opcode —
