@@ -1,0 +1,282 @@
+//! Recovery-time benchmark (BENCH_chaos): for each injected fault type,
+//! measure the three phases of HydraDB's resilience story (§5.1) on the
+//! virtual clock —
+//!
+//! * **detection**: fault injection → the primary's coordination session is
+//!   observed expired (missed SWAT heartbeats);
+//! * **failover**: fault injection → SWAT has promoted a secondary and
+//!   published the new partition map;
+//! * **first op**: fault injection → a client write against the failed
+//!   partition completes successfully again (full client-visible outage).
+//!
+//! Faults come from the hydra-chaos plan vocabulary and are injected through
+//! the cluster's chaos controller, exactly as the consistency tests do.
+//! `HYDRA_SEED` repins the run.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use hydra_bench::{results_dir, Report};
+use hydra_chaos::FaultEvent;
+use hydra_db::{Cluster, ClusterBuilder, ClusterConfig, ReplicationMode, ShardId};
+use hydra_sim::time::{MS, SEC, US};
+
+/// A key that the consistent-hash ring routes to `partition`.
+fn key_for_partition(cluster: &Cluster, partition: u32) -> Vec<u8> {
+    let dir = cluster.directory.borrow();
+    for i in 0..100_000u32 {
+        let k = format!("bench-probe-{i:06}").into_bytes();
+        if dir.ring.route(&k) == Some(ShardId(partition)) {
+            return k;
+        }
+    }
+    panic!("no key routes to partition {partition}");
+}
+
+struct Timings {
+    detection_us: f64,
+    failover_us: f64,
+    first_op_us: f64,
+    /// One-sided GETs of a warmed key that completed successfully between
+    /// fault injection and promotion. A process crash leaves the machine's
+    /// memory readable over RDMA, so fast-path readers sail through the
+    /// outage; a machine crash or partition takes the fast path down with
+    /// the message path (§4.2.3's availability story, measured).
+    reads_in_outage: u64,
+}
+
+/// Builds a fresh 3-machine, 2-partition, 1-replica Strict cluster, injects
+/// `faults` against partition 0 at `inject_at` (varying the phase relative
+/// to the heartbeat/tick period across trials), and measures the phases.
+fn measure(seed: u64, faults: &[FaultEvent], inject_at: u64) -> Timings {
+    let cfg = ClusterConfig {
+        seed,
+        server_nodes: 3,
+        partitions: Some(2),
+        client_nodes: 1,
+        replicas: 1,
+        replication: ReplicationMode::Strict,
+        ..ClusterConfig::default()
+    };
+    let mut cluster = ClusterBuilder::new(cfg).build();
+    cluster.enable_ha(10 * SEC);
+    let client = cluster.add_client(0);
+    let probe_key = key_for_partition(&cluster, 0);
+
+    // Seed the partition and warm a reader's remote-pointer cache (two GETs:
+    // the first learns the pointer, the second takes the one-sided path).
+    let reader = cluster.add_client(0);
+    let warm = Rc::new(Cell::new(false));
+    let w = warm.clone();
+    let (r1, k1) = (reader.clone(), probe_key.clone());
+    client.put(
+        &mut cluster.sim,
+        &probe_key,
+        b"pre-fault",
+        Box::new(move |sim, r| {
+            r.expect("warm write succeeds");
+            let (r2, k2) = (r1.clone(), k1.clone());
+            r1.get(
+                sim,
+                &k1,
+                Box::new(move |sim, r| {
+                    r.expect("warm read succeeds");
+                    r2.get(
+                        sim,
+                        &k2,
+                        Box::new(move |_, r| {
+                            r.expect("warm fast read succeeds");
+                            w.set(true);
+                        }),
+                    );
+                }),
+            );
+        }),
+    );
+    cluster.sim.run_until(inject_at);
+    assert!(warm.get());
+
+    let chaos = cluster.chaos();
+    // Failover replaces the partition's session; watch the pre-fault one to
+    // catch the expiry (detection) instant itself.
+    let pre_fault_session = cluster.session_id(0);
+    let t0 = cluster.sim.now();
+    for f in faults {
+        chaos.apply(&mut cluster.sim, f);
+    }
+
+    // Closed-loop fast-path reader running through the outage: counts
+    // lease-guarded one-sided GETs that still complete while the primary is
+    // failed but not yet replaced.
+    let reads_ok = Rc::new(Cell::new(0u64));
+    let reads_stop = Rc::new(Cell::new(false));
+    fn read_loop(
+        sim: &mut hydra_sim::Sim,
+        client: hydra_db::HydraClient,
+        key: Vec<u8>,
+        ok: Rc<Cell<u64>>,
+        stop: Rc<Cell<bool>>,
+    ) {
+        if stop.get() {
+            return;
+        }
+        let (c2, k2, o2, s2) = (client.clone(), key.clone(), ok.clone(), stop.clone());
+        client.get(
+            sim,
+            &key,
+            Box::new(move |sim, r| {
+                if r.is_ok() && !s2.get() {
+                    o2.set(o2.get() + 1);
+                }
+                read_loop(sim, c2, k2, o2, s2);
+            }),
+        );
+    }
+    read_loop(
+        &mut cluster.sim,
+        reader,
+        probe_key.clone(),
+        reads_ok.clone(),
+        reads_stop.clone(),
+    );
+
+    // Phase 1: session expiry observed (step the virtual clock finely so
+    // the measurement granularity is 50 µs, well under the timings).
+    while cluster.session_alive_id(pre_fault_session) {
+        let t = cluster.sim.now() + 50 * US;
+        cluster.sim.run_until(t);
+        assert!(cluster.sim.now() - t0 < 5 * SEC, "detection never happened");
+    }
+    let detection = cluster.sim.now() - t0;
+
+    // Phase 2: promotion published.
+    while cluster.promotions() == 0 {
+        let t = cluster.sim.now() + 50 * US;
+        cluster.sim.run_until(t);
+        assert!(cluster.sim.now() - t0 < 5 * SEC, "failover never happened");
+    }
+    let failover = cluster.sim.now() - t0;
+    let reads_in_outage = reads_ok.get();
+    reads_stop.set(true);
+
+    // Phase 3: first successful client op against the failed partition.
+    // Retry the write until it lands on the promoted primary (the client
+    // discovers the new map through its timeout path).
+    let first_ok: Rc<Cell<u64>> = Rc::new(Cell::new(0));
+    fn attempt(
+        sim: &mut hydra_sim::Sim,
+        client: hydra_db::HydraClient,
+        key: Vec<u8>,
+        first_ok: Rc<Cell<u64>>,
+    ) {
+        let c2 = client.clone();
+        let k2 = key.clone();
+        let f2 = first_ok.clone();
+        client.put(
+            sim,
+            &key,
+            b"post-fault",
+            Box::new(move |sim, r| match r {
+                Ok(_) => f2.set(sim.now()),
+                Err(_) => attempt(sim, c2, k2, f2),
+            }),
+        );
+    }
+    attempt(&mut cluster.sim, client, probe_key, first_ok.clone());
+    while first_ok.get() == 0 {
+        let t = cluster.sim.now() + 50 * US;
+        cluster.sim.run_until(t);
+        assert!(cluster.sim.now() - t0 < 5 * SEC, "service never recovered");
+    }
+    let first_op = first_ok.get() - t0;
+
+    Timings {
+        detection_us: detection as f64 / 1_000.0,
+        failover_us: failover as f64 / 1_000.0,
+        first_op_us: first_op as f64 / 1_000.0,
+        reads_in_outage,
+    }
+}
+
+fn main() {
+    let seed = hydra_sim::seed_from_env(42);
+    let mut report = Report::new(
+        "BENCH_chaos",
+        "Recovery timeline per fault type (virtual clock)",
+    );
+    report.line(&format!("# seed={seed} (set HYDRA_SEED to repin)"));
+    report.line(
+        "# 3 machines, 2 partitions, 1 sync replica; heartbeat 5 ms, session \
+         timeout 25 ms, SWAT tick 10 ms; 8 trials de-phased across the tick",
+    );
+    report.line(
+        "# *_us columns in microseconds; outage_reads = one-sided GETs of a \
+         warmed key completing during the fault-to-promotion window",
+    );
+    report.line(&format!(
+        "{:<24} {:>12} {:>12} {:>13} {:>13} {:>12} {:>13}",
+        "fault",
+        "detect_mean",
+        "detect_max",
+        "failover_mean",
+        "first_op_mean",
+        "first_op_max",
+        "outage_reads"
+    ));
+    report.datum("seed", seed);
+
+    let cases: Vec<(&str, Vec<FaultEvent>)> = vec![
+        (
+            "crash_primary",
+            vec![FaultEvent::CrashPrimary { partition: 0 }],
+        ),
+        ("crash_node", vec![FaultEvent::CrashNode { node: 0 }]),
+        (
+            "partition_node",
+            vec![FaultEvent::Partition { nodes: vec![0] }],
+        ),
+        (
+            "swat_leader_then_crash",
+            vec![
+                FaultEvent::ExpireSwatLeader,
+                FaultEvent::CrashPrimary { partition: 0 },
+            ],
+        ),
+    ];
+    // De-phase the injection instant against the 10 ms tick: real faults
+    // don't align with the detector, so the timings below sweep the phase.
+    let trials: Vec<u64> = (0..8u64).map(|i| 50 * MS + i * 1_300 * US).collect();
+    for (name, faults) in cases {
+        let runs: Vec<Timings> = trials
+            .iter()
+            .map(|&at| measure(seed, &faults, at))
+            .collect();
+        let mean =
+            |f: fn(&Timings) -> f64| -> f64 { runs.iter().map(f).sum::<f64>() / runs.len() as f64 };
+        let max = |f: fn(&Timings) -> f64| -> f64 { runs.iter().map(f).fold(0.0, f64::max) };
+        let (dm, dx) = (mean(|t| t.detection_us), max(|t| t.detection_us));
+        let fm = mean(|t| t.failover_us);
+        let (om, ox) = (mean(|t| t.first_op_us), max(|t| t.first_op_us));
+        let reads: u64 = runs.iter().map(|t| t.reads_in_outage).sum::<u64>() / runs.len() as u64;
+        report.line(&format!(
+            "{name:<24} {dm:>12.1} {dx:>12.1} {fm:>13.1} {om:>13.1} {ox:>12.1} {reads:>13}"
+        ));
+        report.datum(
+            name,
+            serde_json::json!({
+                "detection_mean_us": dm,
+                "detection_max_us": dx,
+                "failover_mean_us": fm,
+                "first_op_mean_us": om,
+                "first_op_max_us": ox,
+                "outage_reads_mean": reads,
+                "trials": runs.len(),
+            }),
+        );
+    }
+    report.line(&format!(
+        "# wrote {}/BENCH_chaos.{{txt,json}}",
+        results_dir().display()
+    ));
+    report.save();
+}

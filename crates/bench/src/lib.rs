@@ -57,13 +57,17 @@ impl Scale {
     }
 }
 
-/// The six §6 workloads at the chosen scale.
+/// The six §6 workloads at the chosen scale. `seed` is the experiment's
+/// default; `HYDRA_SEED` overrides it, so one env var repins every RNG in a
+/// run (cluster sim, workload streams, fault plans).
 pub fn paper_workloads(scale: Scale, seed: u64) -> Vec<(String, Workload)> {
-    Workload::paper_suite(scale.records(), scale.ops(), seed)
+    Workload::paper_suite(scale.records(), scale.ops(), hydra_sim::seed_from_env(seed))
 }
 
-/// A single Zipfian/Uniform workload at the chosen scale.
+/// A single Zipfian/Uniform workload at the chosen scale (`HYDRA_SEED`
+/// overrides `seed`, as in [`paper_workloads`]).
 pub fn one_workload(scale: Scale, read_ratio: f64, zipf: bool, seed: u64) -> Workload {
+    let seed = hydra_sim::seed_from_env(seed);
     Workload {
         records: scale.records(),
         ops: scale.ops(),

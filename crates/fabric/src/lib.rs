@@ -33,6 +33,6 @@ mod net;
 pub use config::{FabricConfig, Transport};
 pub use cq::{CompletionQueue, Cqe, CqeOp};
 pub use net::{
-    BatchWrite, Fabric, FabricStats, NodeId, NodeStats, QpId, ReadComplete, RecvHandler, RegionId,
-    WriteDelivered,
+    BatchWrite, Fabric, FabricStats, FaultStats, LinkFault, NodeId, NodeStats, QpId, ReadComplete,
+    RecvHandler, RegionId, WriteDelivered,
 };

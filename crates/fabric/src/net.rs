@@ -1,12 +1,14 @@
 //! The fabric itself: nodes, regions, queue pairs and the four verbs.
 
 use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use hydra_sim::time::SimTime;
 use hydra_sim::{FifoResource, Sim};
+use rand::Rng;
 
 use crate::config::{FabricConfig, Transport};
 
@@ -63,6 +65,110 @@ pub struct BatchWrite {
     pub on_delivered: Option<WriteDelivered>,
 }
 
+/// A fault program installed on a link (one QP, or every QP between a node
+/// pair). Counts tick down as messages hit the link, so faults self-expire;
+/// `u32::MAX` means "until cleared".
+///
+/// Evaluation order per message: drop counts, then probabilistic drop, then
+/// delay, then duplication. The QP-level fault (if any) is consulted before
+/// the pair-level one; a message is affected by at most one drop but
+/// accumulates delay from both levels.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LinkFault {
+    /// Drop the next `drop_next` messages outright.
+    pub drop_next: u32,
+    /// Independently drop each message with this probability (uses the sim
+    /// RNG, so runs stay seed-deterministic; the RNG is only consumed when
+    /// this is non-zero).
+    pub drop_prob: f64,
+    /// Extra in-flight delay added to each of the next `delay_next`
+    /// messages.
+    pub delay_ns: SimTime,
+    /// How many messages `delay_ns` still applies to.
+    pub delay_next: u32,
+    /// Deliver the next `dup_next` messages twice (redelivery, as after an
+    /// RC retransmit). Applies to Sends and to Writes (the payload lands a
+    /// second time); Reads are never duplicated.
+    pub dup_next: u32,
+}
+
+impl LinkFault {
+    /// A fault that drops the next `n` messages.
+    pub fn drop_next(n: u32) -> Self {
+        LinkFault {
+            drop_next: n,
+            ..Default::default()
+        }
+    }
+
+    /// A fault that delays the next `n` messages by `delay_ns`.
+    pub fn delay_next(n: u32, delay_ns: SimTime) -> Self {
+        LinkFault {
+            delay_ns,
+            delay_next: n,
+            ..Default::default()
+        }
+    }
+
+    /// A fault that redelivers the next `n` messages.
+    pub fn duplicate_next(n: u32) -> Self {
+        LinkFault {
+            dup_next: n,
+            ..Default::default()
+        }
+    }
+
+    fn exhausted(&self) -> bool {
+        self.drop_next == 0 && self.drop_prob == 0.0 && self.delay_next == 0 && self.dup_next == 0
+    }
+}
+
+/// Counters for injected faults (see [`Fabric::fault_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    pub dropped: u64,
+    pub delayed: u64,
+    pub duplicated: u64,
+}
+
+#[derive(Default)]
+struct FaultState {
+    qp: HashMap<u32, LinkFault>,
+    pair: HashMap<(u32, u32), LinkFault>,
+    /// Symmetric node-pair cuts (network partition).
+    cut: HashSet<(u32, u32)>,
+    /// Crashed nodes: all traffic from or to them vanishes on the wire.
+    crashed: HashSet<u32>,
+    /// Per-node NIC slowdown multipliers (degraded link / thermal
+    /// throttling); absent means 1.0.
+    slow: HashMap<u32, f64>,
+    stats: FaultStats,
+}
+
+impl FaultState {
+    fn quiet(&self) -> bool {
+        self.qp.is_empty() && self.pair.is_empty() && self.cut.is_empty() && self.crashed.is_empty()
+    }
+}
+
+/// What the fault layer decided for one message / WQE.
+enum FaultVerdict {
+    /// The message vanishes: no NIC time, no delivery, no completion.
+    Drop,
+    Deliver {
+        extra_delay: SimTime,
+        duplicate: bool,
+    },
+}
+
+fn cut_key(a: NodeId, b: NodeId) -> (u32, u32) {
+    if a.0 <= b.0 {
+        (a.0, b.0)
+    } else {
+        (b.0, a.0)
+    }
+}
+
 struct Node {
     nic_tx: FifoResource,
     nic_rx: FifoResource,
@@ -101,6 +207,74 @@ struct Inner {
     regions: Vec<Region>,
     qps: Vec<Qp>,
     stats: FabricStats,
+    faults: FaultState,
+}
+
+impl Inner {
+    /// NIC slowdown multiplier for `n` (1.0 when healthy).
+    fn slow(&self, n: NodeId) -> f64 {
+        self.faults.slow.get(&n.0).copied().unwrap_or(1.0)
+    }
+
+    /// Runs one message (or one WQE of a batch) through the installed
+    /// faults. `sim` is needed only for probabilistic drops.
+    fn fault_verdict(&mut self, sim: &mut Sim, qp: QpId, from: NodeId, to: NodeId) -> FaultVerdict {
+        if self.faults.quiet() {
+            return FaultVerdict::Deliver {
+                extra_delay: 0,
+                duplicate: false,
+            };
+        }
+        if self.faults.crashed.contains(&from.0) || self.faults.crashed.contains(&to.0) {
+            self.faults.stats.dropped += 1;
+            return FaultVerdict::Drop;
+        }
+        if self.faults.cut.contains(&cut_key(from, to)) {
+            self.faults.stats.dropped += 1;
+            return FaultVerdict::Drop;
+        }
+        let mut extra_delay = 0;
+        let mut duplicate = false;
+        for level in 0..2u8 {
+            let fault = if level == 0 {
+                self.faults.qp.get_mut(&qp.0)
+            } else {
+                self.faults.pair.get_mut(&(from.0, to.0))
+            };
+            let Some(fault) = fault else { continue };
+            if fault.drop_next > 0 {
+                fault.drop_next -= 1;
+                self.faults.stats.dropped += 1;
+                return FaultVerdict::Drop;
+            }
+            if fault.drop_prob > 0.0 && sim.rng().gen_bool(fault.drop_prob) {
+                self.faults.stats.dropped += 1;
+                return FaultVerdict::Drop;
+            }
+            if fault.delay_next > 0 {
+                if fault.delay_next != u32::MAX {
+                    fault.delay_next -= 1;
+                }
+                extra_delay += fault.delay_ns;
+            }
+            if fault.dup_next > 0 {
+                if fault.dup_next != u32::MAX {
+                    fault.dup_next -= 1;
+                }
+                duplicate = true;
+            }
+        }
+        if extra_delay > 0 {
+            self.faults.stats.delayed += 1;
+        }
+        if duplicate {
+            self.faults.stats.duplicated += 1;
+        }
+        FaultVerdict::Deliver {
+            extra_delay,
+            duplicate,
+        }
+    }
 }
 
 /// Handle to the shared fabric. Clones are cheap and refer to the same
@@ -120,8 +294,120 @@ impl Fabric {
                 regions: Vec::new(),
                 qps: Vec::new(),
                 stats: FabricStats::default(),
+                faults: FaultState::default(),
             })),
         }
+    }
+
+    /// Installs a fault program on one queue pair (both directions).
+    pub fn set_qp_fault(&self, qp: QpId, fault: LinkFault) {
+        self.inner.borrow_mut().faults.qp.insert(qp.0, fault);
+    }
+
+    /// Removes the fault program installed on `qp`, if any.
+    pub fn clear_qp_fault(&self, qp: QpId) {
+        self.inner.borrow_mut().faults.qp.remove(&qp.0);
+    }
+
+    /// Installs a fault program on every message flowing `from -> to`,
+    /// regardless of queue pair. Directional: the reverse path is
+    /// unaffected.
+    pub fn set_pair_fault(&self, from: NodeId, to: NodeId, fault: LinkFault) {
+        self.inner
+            .borrow_mut()
+            .faults
+            .pair
+            .insert((from.0, to.0), fault);
+    }
+
+    /// Removes the `from -> to` fault program, if any.
+    pub fn clear_pair_fault(&self, from: NodeId, to: NodeId) {
+        self.inner.borrow_mut().faults.pair.remove(&(from.0, to.0));
+    }
+
+    /// Severs all connectivity between `a` and `b` (network partition).
+    /// Symmetric; messages in either direction vanish until
+    /// [`unblock_pair`](Self::unblock_pair) or [`heal`](Self::heal).
+    pub fn block_pair(&self, a: NodeId, b: NodeId) {
+        self.inner.borrow_mut().faults.cut.insert(cut_key(a, b));
+    }
+
+    /// Restores connectivity between `a` and `b`.
+    pub fn unblock_pair(&self, a: NodeId, b: NodeId) {
+        self.inner.borrow_mut().faults.cut.remove(&cut_key(a, b));
+    }
+
+    /// Heals every partition cut and clears all link fault programs.
+    /// Crashed-node flags are left alone — a healed network does not revive
+    /// a dead machine.
+    pub fn heal(&self) {
+        let mut inner = self.inner.borrow_mut();
+        inner.faults.cut.clear();
+        inner.faults.qp.clear();
+        inner.faults.pair.clear();
+    }
+
+    /// Marks `node` crashed (or alive again). While crashed, every message
+    /// from or to the node vanishes on the wire; pair this with
+    /// [`freeze_node`](Self::freeze_node) so the node's NIC engines stop
+    /// accruing service time.
+    pub fn set_node_crashed(&self, node: NodeId, crashed: bool) {
+        let mut inner = self.inner.borrow_mut();
+        if crashed {
+            inner.faults.crashed.insert(node.0);
+        } else {
+            inner.faults.crashed.remove(&node.0);
+        }
+    }
+
+    /// Whether `node` is currently marked crashed.
+    pub fn is_node_crashed(&self, node: NodeId) -> bool {
+        self.inner.borrow().faults.crashed.contains(&node.0)
+    }
+
+    /// Applies a service-time multiplier to `node`'s NIC costs (1.0 =
+    /// healthy, 4.0 = everything four times slower). Models a degraded or
+    /// thermally throttled machine.
+    pub fn set_node_slow(&self, node: NodeId, factor: f64) {
+        let mut inner = self.inner.borrow_mut();
+        if factor == 1.0 {
+            inner.faults.slow.remove(&node.0);
+        } else {
+            assert!(factor > 0.0, "slow factor must be positive");
+            inner.faults.slow.insert(node.0, factor);
+        }
+    }
+
+    /// Freezes `node`'s NIC engines at `now` (crash). In-flight service is
+    /// paused; acquiring a frozen engine panics, which the crashed-node drop
+    /// gate makes unreachable.
+    pub fn freeze_node(&self, node: NodeId, now: SimTime) {
+        let mut inner = self.inner.borrow_mut();
+        let n = &mut inner.nodes[node.0 as usize];
+        n.nic_tx.freeze(now);
+        n.nic_rx.freeze(now);
+    }
+
+    /// Unfreezes `node`'s NIC engines at `now` (restart).
+    pub fn unfreeze_node(&self, node: NodeId, now: SimTime) {
+        let mut inner = self.inner.borrow_mut();
+        let n = &mut inner.nodes[node.0 as usize];
+        n.nic_tx.unfreeze(now);
+        n.nic_rx.unfreeze(now);
+    }
+
+    /// Counters of injected fault effects since fabric creation.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.inner.borrow().faults.stats
+    }
+
+    /// Drops link fault programs whose counts have all run out (installed
+    /// programs with probabilistic drops are kept). Called by long-running
+    /// chaos drivers to keep lookups cheap; purely an optimization.
+    pub fn sweep_exhausted_faults(&self) {
+        let mut inner = self.inner.borrow_mut();
+        inner.faults.qp.retain(|_, f| !f.exhausted());
+        inner.faults.pair.retain(|_, f| !f.exhausted());
     }
 
     /// Adds a machine and returns its id.
@@ -192,6 +478,7 @@ impl Fabric {
         let q = &mut inner.qps[qp.0 as usize];
         q.handler_a = None;
         q.handler_b = None;
+        inner.faults.qp.remove(&qp.0);
     }
 
     /// Registers the Send/Recv delivery callback for `endpoint`'s side of
@@ -245,7 +532,7 @@ impl Fabric {
         on_delivered: Option<WriteDelivered>,
     ) {
         let bytes = words.len() * 8;
-        let (mem, deliver_at) = {
+        let fated = {
             let mut inner = self.inner.borrow_mut();
             let q = &inner.qps[qp.0 as usize];
             assert_eq!(
@@ -254,36 +541,68 @@ impl Fabric {
                 "RDMA Write requires an RDMA QP"
             );
             let to = q.peer_of(from);
-            let region = &inner.regions[dst_region.0 as usize];
-            assert_eq!(region.node, to, "write target region not on peer node");
-            assert!(
-                dst_word_off + words.len() <= region.mem.len(),
-                "write beyond region bounds"
-            );
-            let mem = region.mem.clone();
-            let pen_src = inner.cfg.qp_penalty(inner.nodes[from.0 as usize].qp_count);
-            let pen_dst = inner.cfg.qp_penalty(inner.nodes[to.0 as usize].qp_count);
-            let ser = inner.cfg.nic_ser(bytes);
-            let prop = inner.cfg.rdma_prop_ns;
-            let dma = inner.cfg.rdma_dma_ns;
-            let tx_cost = (((inner.cfg.rdma_op_ns + ser) as f64) * pen_src).round() as SimTime;
-            let rx_cost = (((dma + ser) as f64) * pen_dst).round() as SimTime;
-            let tx_done = inner.nodes[from.0 as usize]
-                .nic_tx
-                .acquire(sim.now(), tx_cost);
-            let rx_done = inner.nodes[to.0 as usize]
-                .nic_rx
-                .acquire(tx_done + prop, rx_cost);
-            let src = &mut inner.nodes[from.0 as usize];
-            src.stats.writes += 1;
-            src.stats.doorbells += 1;
-            src.stats.bytes_tx += bytes as u64;
-            inner.nodes[to.0 as usize].stats.bytes_rx += bytes as u64;
-            inner.stats.writes += 1;
-            inner.stats.doorbells += 1;
-            inner.stats.bytes += bytes as u64;
-            (mem, rx_done)
+            match inner.fault_verdict(sim, qp, from, to) {
+                FaultVerdict::Drop => None,
+                FaultVerdict::Deliver {
+                    extra_delay,
+                    duplicate,
+                } => {
+                    let region = &inner.regions[dst_region.0 as usize];
+                    assert_eq!(region.node, to, "write target region not on peer node");
+                    assert!(
+                        dst_word_off + words.len() <= region.mem.len(),
+                        "write beyond region bounds"
+                    );
+                    let mem = region.mem.clone();
+                    let pen_src = inner.cfg.qp_penalty(inner.nodes[from.0 as usize].qp_count)
+                        * inner.slow(from);
+                    let pen_dst =
+                        inner.cfg.qp_penalty(inner.nodes[to.0 as usize].qp_count) * inner.slow(to);
+                    let ser = inner.cfg.nic_ser(bytes);
+                    let prop = inner.cfg.rdma_prop_ns;
+                    let dma = inner.cfg.rdma_dma_ns;
+                    let tx_cost =
+                        (((inner.cfg.rdma_op_ns + ser) as f64) * pen_src).round() as SimTime;
+                    let rx_cost = (((dma + ser) as f64) * pen_dst).round() as SimTime;
+                    let tx_done = inner.nodes[from.0 as usize]
+                        .nic_tx
+                        .acquire(sim.now(), tx_cost);
+                    let rx_done = inner.nodes[to.0 as usize]
+                        .nic_rx
+                        .acquire(tx_done + prop, rx_cost);
+                    let src = &mut inner.nodes[from.0 as usize];
+                    src.stats.writes += 1;
+                    src.stats.doorbells += 1;
+                    src.stats.bytes_tx += bytes as u64;
+                    inner.nodes[to.0 as usize].stats.bytes_rx += bytes as u64;
+                    inner.stats.writes += 1;
+                    inner.stats.doorbells += 1;
+                    inner.stats.bytes += bytes as u64;
+                    (mem, rx_done + extra_delay, duplicate).into()
+                }
+            }
         };
+        let Some((mem, deliver_at, duplicate)) = fated else {
+            return;
+        };
+        if duplicate {
+            // Redelivery: the payload lands a second time just after the
+            // first copy, with no extra completion callback (the HCA acks a
+            // retransmit once).
+            let mem = mem.clone();
+            let words = words.clone();
+            sim.schedule_at(deliver_at + 1, move |_| {
+                let n = words.len();
+                for (i, w) in words.into_iter().enumerate() {
+                    let ord = if i + 1 == n {
+                        Ordering::Release
+                    } else {
+                        Ordering::Relaxed
+                    };
+                    mem[dst_word_off + i].store(w, ord);
+                }
+            });
+        }
         sim.schedule_at(deliver_at, move |sim| {
             // Increasing address order; the final store releases the payload.
             let n = words.len();
@@ -324,13 +643,26 @@ impl Fabric {
                 "RDMA Write requires an RDMA QP"
             );
             let to = q.peer_of(from);
-            let pen_src = inner.cfg.qp_penalty(inner.nodes[from.0 as usize].qp_count);
-            let pen_dst = inner.cfg.qp_penalty(inner.nodes[to.0 as usize].qp_count);
+            let pen_src =
+                inner.cfg.qp_penalty(inner.nodes[from.0 as usize].qp_count) * inner.slow(from);
+            let pen_dst =
+                inner.cfg.qp_penalty(inner.nodes[to.0 as usize].qp_count) * inner.slow(to);
             let prop = inner.cfg.rdma_prop_ns;
             let dma = inner.cfg.rdma_dma_ns;
-            let n = writes.len();
+            let mut delivered = 0u64;
             let mut total_bytes = 0u64;
             for (i, w) in writes.into_iter().enumerate() {
+                // Each WQE of the chain runs the fault gauntlet on its own:
+                // a drop program can swallow one record out of the middle of
+                // a doorbell batch, which is exactly the crash-mid-batch
+                // scenario replication's gap detection exists for.
+                let (extra_delay, duplicate) = match inner.fault_verdict(sim, qp, from, to) {
+                    FaultVerdict::Drop => continue,
+                    FaultVerdict::Deliver {
+                        extra_delay,
+                        duplicate,
+                    } => (extra_delay, duplicate),
+                };
                 let bytes = w.words.len() * 8;
                 let region = &inner.regions[w.dst_region.0 as usize];
                 assert_eq!(region.node, to, "write target region not on peer node");
@@ -354,18 +686,41 @@ impl Fabric {
                     .nic_rx
                     .acquire(tx_done + prop, rx_cost);
                 total_bytes += bytes as u64;
-                deliveries.push((rx_done, w.words, mem, w.dst_word_off, w.on_delivered));
+                delivered += 1;
+                deliveries.push((
+                    rx_done + extra_delay,
+                    w.words,
+                    mem,
+                    w.dst_word_off,
+                    w.on_delivered,
+                    duplicate,
+                ));
             }
             let src = &mut inner.nodes[from.0 as usize];
-            src.stats.writes += n as u64;
+            src.stats.writes += delivered;
             src.stats.doorbells += 1;
             src.stats.bytes_tx += total_bytes;
             inner.nodes[to.0 as usize].stats.bytes_rx += total_bytes;
-            inner.stats.writes += n as u64;
+            inner.stats.writes += delivered;
             inner.stats.doorbells += 1;
             inner.stats.bytes += total_bytes;
         }
-        for (deliver_at, words, mem, dst_word_off, on_delivered) in deliveries {
+        for (deliver_at, words, mem, dst_word_off, on_delivered, duplicate) in deliveries {
+            if duplicate {
+                let mem = mem.clone();
+                let words = words.clone();
+                sim.schedule_at(deliver_at + 1, move |_| {
+                    let n = words.len();
+                    for (i, w) in words.into_iter().enumerate() {
+                        let ord = if i + 1 == n {
+                            Ordering::Release
+                        } else {
+                            Ordering::Relaxed
+                        };
+                        mem[dst_word_off + i].store(w, ord);
+                    }
+                });
+            }
             sim.schedule_at(deliver_at, move |sim| {
                 let n = words.len();
                 for (i, w) in words.into_iter().enumerate() {
@@ -399,7 +754,7 @@ impl Fabric {
         on_complete: ReadComplete,
     ) {
         let words = len_bytes.div_ceil(8);
-        let (mem, snap_at, done_at) = {
+        let fated = {
             let mut inner = self.inner.borrow_mut();
             let q = &inner.qps[qp.0 as usize];
             assert_eq!(
@@ -408,6 +763,18 @@ impl Fabric {
                 "RDMA Read requires an RDMA QP"
             );
             let target = q.peer_of(from);
+            let (extra_delay, _) = match inner.fault_verdict(sim, qp, from, target) {
+                // A dropped read never completes; the initiator's own
+                // timeout machinery is what notices.
+                FaultVerdict::Drop => {
+                    drop(inner);
+                    return;
+                }
+                FaultVerdict::Deliver {
+                    extra_delay,
+                    duplicate,
+                } => (extra_delay, duplicate),
+            };
             let region = &inner.regions[src_region.0 as usize];
             assert_eq!(region.node, target, "read source region not on peer node");
             assert!(
@@ -415,10 +782,12 @@ impl Fabric {
                 "read beyond region bounds"
             );
             let mem = region.mem.clone();
-            let pen_src = inner.cfg.qp_penalty(inner.nodes[from.0 as usize].qp_count);
+            let pen_src =
+                inner.cfg.qp_penalty(inner.nodes[from.0 as usize].qp_count) * inner.slow(from);
             let pen_dst = inner
                 .cfg
-                .qp_penalty(inner.nodes[target.0 as usize].qp_count);
+                .qp_penalty(inner.nodes[target.0 as usize].qp_count)
+                * inner.slow(target);
             let prop = inner.cfg.rdma_prop_ns;
             let dma = inner.cfg.rdma_dma_ns;
             let op = inner.cfg.rdma_op_ns;
@@ -448,8 +817,11 @@ impl Fabric {
             inner.stats.reads += 1;
             inner.stats.doorbells += 1;
             inner.stats.bytes += len_bytes as u64;
-            (mem, snap_at, done_at)
+            // A delayed read stalls in the request path: the snapshot itself
+            // happens later, exactly like a slow wire would behave.
+            (mem, snap_at + extra_delay, done_at + extra_delay)
         };
+        let (mem, snap_at, done_at) = fated;
         sim.schedule_at(snap_at, move |sim| {
             let mut blob = Vec::with_capacity(words * 8);
             for w in 0..words {
@@ -466,7 +838,7 @@ impl Fabric {
     /// handler. Works on both transports with their respective cost models.
     pub fn post_send(&self, sim: &mut Sim, qp: QpId, from: NodeId, payload: Vec<u8>) {
         let bytes = payload.len();
-        let (handler, deliver_at) = {
+        let fated = {
             let mut inner = self.inner.borrow_mut();
             let q = &inner.qps[qp.0 as usize];
             let to = q.peer_of(from);
@@ -476,10 +848,22 @@ impl Fabric {
             } else {
                 q.handler_b.clone()
             };
+            let (extra_delay, duplicate) = match inner.fault_verdict(sim, qp, from, to) {
+                FaultVerdict::Drop => {
+                    drop(inner);
+                    return;
+                }
+                FaultVerdict::Deliver {
+                    extra_delay,
+                    duplicate,
+                } => (extra_delay, duplicate),
+            };
             let deliver_at = match transport {
                 Transport::Rdma => {
-                    let pen_src = inner.cfg.qp_penalty(inner.nodes[from.0 as usize].qp_count);
-                    let pen_dst = inner.cfg.qp_penalty(inner.nodes[to.0 as usize].qp_count);
+                    let pen_src = inner.cfg.qp_penalty(inner.nodes[from.0 as usize].qp_count)
+                        * inner.slow(from);
+                    let pen_dst =
+                        inner.cfg.qp_penalty(inner.nodes[to.0 as usize].qp_count) * inner.slow(to);
                     let op = inner.cfg.rdma_op_ns;
                     let ser = inner.cfg.nic_ser(bytes);
                     let extra = inner.cfg.send_recv_extra_ns;
@@ -514,10 +898,17 @@ impl Fabric {
             inner.stats.sends += 1;
             inner.stats.doorbells += 1;
             inner.stats.bytes += bytes as u64;
-            (handler, deliver_at)
+            (handler, deliver_at + extra_delay, duplicate)
         };
+        let (handler, deliver_at, duplicate) = fated;
         let handler =
             handler.unwrap_or_else(|| panic!("no recv handler registered on peer of qp {qp:?}"));
+        if duplicate {
+            // Redelivered copy arrives just behind the original.
+            let handler = handler.clone();
+            let payload = payload.clone();
+            sim.schedule_at(deliver_at + 1, move |sim| handler(sim, qp, payload));
+        }
         sim.schedule_at(deliver_at, move |sim| handler(sim, qp, payload));
     }
 
@@ -548,14 +939,23 @@ impl Fabric {
             } else {
                 q.handler_b.clone()
             };
-            let pen_src = inner.cfg.qp_penalty(inner.nodes[from.0 as usize].qp_count);
-            let pen_dst = inner.cfg.qp_penalty(inner.nodes[to.0 as usize].qp_count);
+            let pen_src =
+                inner.cfg.qp_penalty(inner.nodes[from.0 as usize].qp_count) * inner.slow(from);
+            let pen_dst =
+                inner.cfg.qp_penalty(inner.nodes[to.0 as usize].qp_count) * inner.slow(to);
             let prop = inner.cfg.rdma_prop_ns;
             let dma = inner.cfg.rdma_dma_ns;
             let extra = inner.cfg.send_recv_extra_ns;
-            let n = payloads.len();
+            let mut delivered = 0u64;
             let mut total_bytes = 0u64;
             for (i, payload) in payloads.into_iter().enumerate() {
+                let (extra_delay, duplicate) = match inner.fault_verdict(sim, qp, from, to) {
+                    FaultVerdict::Drop => continue,
+                    FaultVerdict::Deliver {
+                        extra_delay,
+                        duplicate,
+                    } => (extra_delay, duplicate),
+                };
                 let bytes = payload.len();
                 let ser = inner.cfg.nic_ser(bytes);
                 let base = if i == 0 {
@@ -572,21 +972,30 @@ impl Fabric {
                     (((dma + ser + extra) as f64) * pen_dst).round() as SimTime,
                 );
                 total_bytes += bytes as u64;
-                deliveries.push((deliver_at, payload));
+                delivered += 1;
+                deliveries.push((deliver_at + extra_delay, payload, duplicate));
             }
             let src = &mut inner.nodes[from.0 as usize];
-            src.stats.sends += n as u64;
+            src.stats.sends += delivered;
             src.stats.doorbells += 1;
             src.stats.bytes_tx += total_bytes;
             inner.nodes[to.0 as usize].stats.bytes_rx += total_bytes;
-            inner.stats.sends += n as u64;
+            inner.stats.sends += delivered;
             inner.stats.doorbells += 1;
             inner.stats.bytes += total_bytes;
             handler
         };
+        if deliveries.is_empty() {
+            return;
+        }
         let handler =
             handler.unwrap_or_else(|| panic!("no recv handler registered on peer of qp {qp:?}"));
-        for (deliver_at, payload) in deliveries {
+        for (deliver_at, payload, duplicate) in deliveries {
+            if duplicate {
+                let handler = handler.clone();
+                let payload = payload.clone();
+                sim.schedule_at(deliver_at + 1, move |sim| handler(sim, qp, payload));
+            }
             let handler = handler.clone();
             sim.schedule_at(deliver_at, move |sim| handler(sim, qp, payload));
         }
@@ -1033,6 +1442,251 @@ mod tests {
         }
         sim2.run();
         assert!(got.last().unwrap().0 <= last2.get());
+    }
+
+    #[test]
+    fn drop_fault_swallows_exactly_n_messages() {
+        let (mut sim, fab, a, b, qp) = setup();
+        let (region, mem) = fab.alloc_region(b, 8);
+        fab.set_pair_fault(a, b, LinkFault::drop_next(2));
+        for i in 0..4u64 {
+            fab.post_write(&mut sim, qp, a, vec![i + 1], region, i as usize, None);
+        }
+        sim.run();
+        assert_eq!(mem[0].load(Ordering::Relaxed), 0, "first write dropped");
+        assert_eq!(mem[1].load(Ordering::Relaxed), 0, "second write dropped");
+        assert_eq!(mem[2].load(Ordering::Relaxed), 3);
+        assert_eq!(mem[3].load(Ordering::Relaxed), 4);
+        let fs = fab.fault_stats();
+        assert_eq!(fs.dropped, 2);
+        // Dropped writes never count as traffic.
+        assert_eq!(fab.stats().writes, 2);
+    }
+
+    #[test]
+    fn pair_fault_is_directional() {
+        let (mut sim, fab, a, b, qp) = setup();
+        fab.set_pair_fault(a, b, LinkFault::drop_next(u32::MAX));
+        let (region_b, mem_b) = fab.alloc_region(b, 8);
+        let (region_a, mem_a) = fab.alloc_region(a, 8);
+        fab.post_write(&mut sim, qp, a, vec![7], region_b, 0, None);
+        fab.post_write(&mut sim, qp, b, vec![9], region_a, 0, None);
+        sim.run();
+        assert_eq!(mem_b[0].load(Ordering::Relaxed), 0, "a->b dropped");
+        assert_eq!(mem_a[0].load(Ordering::Relaxed), 9, "b->a unaffected");
+    }
+
+    #[test]
+    fn partition_blocks_both_directions_until_healed() {
+        let (mut sim, fab, a, b, qp) = setup();
+        let (region, mem) = fab.alloc_region(b, 8);
+        fab.block_pair(a, b);
+        fab.post_write(&mut sim, qp, a, vec![1], region, 0, None);
+        let done = Rc::new(Cell::new(false));
+        let d = done.clone();
+        fab.post_read(
+            &mut sim,
+            qp,
+            a,
+            region,
+            0,
+            8,
+            Box::new(move |_, _| d.set(true)),
+        );
+        sim.run();
+        assert_eq!(mem[0].load(Ordering::Relaxed), 0);
+        assert!(!done.get(), "read across a cut must never complete");
+        fab.unblock_pair(a, b);
+        fab.post_write(&mut sim, qp, a, vec![2], region, 0, None);
+        sim.run();
+        assert_eq!(mem[0].load(Ordering::Relaxed), 2);
+        assert_eq!(fab.fault_stats().dropped, 2);
+    }
+
+    #[test]
+    fn crashed_node_drops_all_traffic_and_freezes_nics() {
+        let (mut sim, fab, a, b, qp) = setup();
+        let (region, mem) = fab.alloc_region(b, 8);
+        fab.set_node_crashed(b, true);
+        fab.freeze_node(b, sim.now());
+        assert!(fab.is_node_crashed(b));
+        fab.post_write(&mut sim, qp, a, vec![5], region, 0, None);
+        fab.post_send(&mut sim, qp, a, vec![1, 2, 3]);
+        sim.run();
+        assert_eq!(mem[0].load(Ordering::Relaxed), 0);
+        // Restart: traffic flows again.
+        fab.set_node_crashed(b, false);
+        fab.unfreeze_node(b, sim.now());
+        fab.post_write(&mut sim, qp, a, vec![5], region, 0, None);
+        sim.run();
+        assert_eq!(mem[0].load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn delay_fault_defers_delivery_by_the_programmed_amount() {
+        let deliver = |delay: SimTime| {
+            let (mut sim, fab, a, b, qp) = setup();
+            let (region, _mem) = fab.alloc_region(b, 8);
+            if delay > 0 {
+                fab.set_pair_fault(a, b, LinkFault::delay_next(1, delay));
+            }
+            let at = Rc::new(Cell::new(0u64));
+            let t = at.clone();
+            fab.post_write(
+                &mut sim,
+                qp,
+                a,
+                vec![1],
+                region,
+                0,
+                Some(Box::new(move |sim| t.set(sim.now()))),
+            );
+            sim.run();
+            at.get()
+        };
+        let base = deliver(0);
+        let slowed = deliver(50 * US);
+        assert_eq!(slowed, base + 50 * US);
+    }
+
+    #[test]
+    fn duplicate_fault_redelivers_sends_and_write_payloads() {
+        let (mut sim, fab, a, b, qp) = setup();
+        let count = Rc::new(Cell::new(0u32));
+        {
+            let c = count.clone();
+            fab.set_recv_handler(
+                qp,
+                b,
+                Rc::new(move |_sim: &mut Sim, _, _| c.set(c.get() + 1)),
+            );
+        }
+        fab.set_pair_fault(a, b, LinkFault::duplicate_next(1));
+        fab.post_send(&mut sim, qp, a, vec![1]);
+        fab.post_send(&mut sim, qp, a, vec![2]);
+        sim.run();
+        assert_eq!(count.get(), 3, "first send delivered twice, second once");
+        assert_eq!(fab.fault_stats().duplicated, 1);
+        // A duplicated write re-lands its payload after delivery: observable
+        // by a poller that consumed (zeroed) the first copy.
+        let (region, mem) = fab.alloc_region(b, 8);
+        fab.set_pair_fault(a, b, LinkFault::duplicate_next(1));
+        let m = mem.clone();
+        fab.post_write(
+            &mut sim,
+            qp,
+            a,
+            vec![42],
+            region,
+            0,
+            Some(Box::new(move |_| m[0].store(0, Ordering::Relaxed))),
+        );
+        sim.run();
+        assert_eq!(
+            mem[0].load(Ordering::Relaxed),
+            42,
+            "redelivered copy re-stored the payload after the consumer zeroed it"
+        );
+    }
+
+    #[test]
+    fn slow_node_stretches_service_times() {
+        let rtt = |factor: f64| {
+            let (mut sim, fab, a, b, qp) = setup();
+            let (region, _mem) = fab.alloc_region(b, 16);
+            fab.set_node_slow(b, factor);
+            let done = Rc::new(Cell::new(0u64));
+            let d = done.clone();
+            fab.post_read(
+                &mut sim,
+                qp,
+                a,
+                region,
+                0,
+                64,
+                Box::new(move |sim, _| d.set(sim.now())),
+            );
+            sim.run();
+            done.get()
+        };
+        let healthy = rtt(1.0);
+        let throttled = rtt(8.0);
+        assert!(
+            throttled > healthy + healthy / 2,
+            "8x slowdown of the target must show up in the RTT: {healthy} vs {throttled}"
+        );
+    }
+
+    #[test]
+    fn batch_write_drop_swallows_one_wqe_from_the_middle() {
+        let (mut sim, fab, a, b, qp) = setup();
+        let (region, mem) = fab.alloc_region(b, 8);
+        fab.post_write_batch(
+            &mut sim,
+            qp,
+            a,
+            (0..2u64)
+                .map(|i| BatchWrite {
+                    words: vec![i + 1],
+                    dst_region: region,
+                    dst_word_off: i as usize,
+                    on_delivered: None,
+                })
+                .collect(),
+        );
+        fab.set_pair_fault(a, b, LinkFault::drop_next(1));
+        fab.post_write_batch(
+            &mut sim,
+            qp,
+            a,
+            (2..5u64)
+                .map(|i| BatchWrite {
+                    words: vec![i + 1],
+                    dst_region: region,
+                    dst_word_off: i as usize,
+                    on_delivered: None,
+                })
+                .collect(),
+        );
+        sim.run();
+        assert_eq!(mem[0].load(Ordering::Relaxed), 1);
+        assert_eq!(mem[1].load(Ordering::Relaxed), 2);
+        assert_eq!(mem[2].load(Ordering::Relaxed), 0, "dropped mid-chain WQE");
+        assert_eq!(mem[3].load(Ordering::Relaxed), 4);
+        assert_eq!(mem[4].load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn probabilistic_drop_is_seed_deterministic() {
+        let run = |seed: u64| {
+            let mut sim = Sim::new(seed);
+            let fab = Fabric::new(FabricConfig::default());
+            let a = fab.add_node();
+            let b = fab.add_node();
+            let qp = fab.connect(a, b, Transport::Rdma);
+            let (region, mem) = fab.alloc_region(b, 64);
+            fab.set_pair_fault(
+                a,
+                b,
+                LinkFault {
+                    drop_prob: 0.5,
+                    ..Default::default()
+                },
+            );
+            for i in 0..32u64 {
+                fab.post_write(&mut sim, qp, a, vec![1], region, i as usize, None);
+            }
+            sim.run();
+            (0..32)
+                .map(|i| mem[i].load(Ordering::Relaxed))
+                .collect::<Vec<_>>()
+        };
+        let x = run(11);
+        let y = run(11);
+        let z = run(12);
+        assert_eq!(x, y, "same seed, same losses");
+        assert!(x.contains(&0) && x.contains(&1));
+        assert_ne!(x, z, "different seed should lose different messages");
     }
 
     #[test]

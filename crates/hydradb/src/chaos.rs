@@ -1,0 +1,676 @@
+//! Cluster-side fault injection: applies [`hydra_chaos`] fault plans to a
+//! live deployment through the fabric and simulator fault hooks.
+//!
+//! The `hydra-chaos` crate defines *what* can go wrong ([`FaultEvent`]) and
+//! *when* ([`Trigger`]); this module owns *how* each fault lands on a
+//! [`Cluster`](crate::Cluster):
+//!
+//! * machine faults map to the fabric's crash/freeze hooks (NIC engines
+//!   pause, traffic vanishes) plus the shard servers' liveness flags, so
+//!   SWAT detection and promotion run exactly as for an organic failure;
+//! * network faults map to the fabric's per-link drop/delay/duplicate
+//!   interceptors and symmetric partition cuts, with primary heartbeats of
+//!   isolated machines suppressed (HydraDB's coordination service is an
+//!   external quorum ensemble, so only the *server's* heartbeats stop);
+//! * restarts rebuild the node's shards: a never-promoted primary comes
+//!   back with its memory intact, stale or promoted-away secondaries are
+//!   resynced from the current primary's state over a fresh replication
+//!   channel (the old, possibly mid-stream channel is severed).
+//!
+//! Every injected run records client ops in a [`History`] tagged with the
+//! cluster seed, so a checker failure always prints the `HYDRA_SEED` that
+//! reproduces it.
+
+use std::collections::HashSet;
+use std::rc::Rc;
+
+use hydra_chaos::history::OpKind as HistOp;
+use hydra_chaos::{FaultEvent, FaultPlan, History, Outcome, PlannedFault, Trigger};
+use hydra_coord::{CreateMode, WatcherId};
+use hydra_fabric::{Fabric, LinkFault, NodeId, Transport};
+use hydra_replication::{ReplConfig, ReplMode, ReplicationPair};
+use hydra_sim::Sim;
+
+use crate::client::{HydraClient, OpCb};
+use crate::cluster::HaState;
+use crate::config::{ClusterConfig, ReplicationMode};
+use crate::ring::ShardId;
+use crate::server::ShardServer;
+
+use std::cell::RefCell;
+
+/// A shared shard-server handle, as stored in [`HaState`] partitions.
+type Srv = Rc<RefCell<ShardServer>>;
+
+struct ChaosInner {
+    ha: Rc<RefCell<HaState>>,
+    fab: Fabric,
+    cfg: Rc<ClusterConfig>,
+    server_nodes: Vec<NodeId>,
+    client_nodes: Vec<NodeId>,
+    history: History,
+    /// Op-count-triggered faults still waiting for the workload to reach
+    /// their threshold.
+    armed: Vec<PlannedFault>,
+    /// Server-node indices currently powered off.
+    crashed: HashSet<usize>,
+    /// Faults applied so far (all kinds).
+    injected: u64,
+    /// Distinct ids for secondaries rebuilt after a restart.
+    rebuilt_shards: u32,
+}
+
+/// Applies fault plans to one cluster. Cheap to clone; obtained from
+/// [`Cluster::chaos`]. All injection — including the legacy
+/// [`Cluster::kill_primary`] / [`Cluster::kill_swat_leader`] test hooks —
+/// funnels through [`apply`](Self::apply).
+#[derive(Clone)]
+pub struct ChaosController {
+    inner: Rc<RefCell<ChaosInner>>,
+}
+
+impl ChaosController {
+    pub(crate) fn new(
+        ha: Rc<RefCell<HaState>>,
+        fab: Fabric,
+        cfg: Rc<ClusterConfig>,
+        server_nodes: Vec<NodeId>,
+        client_nodes: Vec<NodeId>,
+    ) -> Self {
+        let history = History::new(cfg.seed);
+        ChaosController {
+            inner: Rc::new(RefCell::new(ChaosInner {
+                ha,
+                fab,
+                cfg,
+                server_nodes,
+                client_nodes,
+                history,
+                armed: Vec::new(),
+                crashed: HashSet::new(),
+                injected: 0,
+                rebuilt_shards: 0,
+            })),
+        }
+    }
+
+    /// The shared op log every [`RecordingClient`] appends to.
+    pub fn history(&self) -> History {
+        self.inner.borrow().history.clone()
+    }
+
+    /// Faults applied so far.
+    pub fn injected(&self) -> u64 {
+        self.inner.borrow().injected
+    }
+
+    /// Server-node indices currently crashed (sorted).
+    pub fn crashed_nodes(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.inner.borrow().crashed.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Schedules every fault in `plan`: time triggers land on the event
+    /// queue (clamped to now for past times), op-count triggers arm and
+    /// fire as recording clients invoke operations.
+    pub fn install_plan(&self, sim: &mut Sim, plan: &FaultPlan) {
+        let now = sim.now();
+        for pf in &plan.faults {
+            match pf.trigger {
+                Trigger::At(t) => {
+                    let this = self.clone();
+                    let fault = pf.fault.clone();
+                    sim.schedule_at(t.max(now), move |sim| this.apply(sim, &fault));
+                }
+                Trigger::AtOp(_) => self.inner.borrow_mut().armed.push(pf.clone()),
+            }
+        }
+        self.inner
+            .borrow_mut()
+            .armed
+            .sort_by_key(|pf| match pf.trigger {
+                Trigger::AtOp(n) => n,
+                Trigger::At(t) => t,
+            });
+    }
+
+    /// Called on every recorded invocation; fires armed op-count faults
+    /// whose threshold the history has reached.
+    pub fn note_invocation(&self, sim: &mut Sim) {
+        let due: Vec<FaultEvent> = {
+            let mut inner = self.inner.borrow_mut();
+            let n = inner.history.len() as u64;
+            let mut due = Vec::new();
+            inner.armed.retain(|pf| match pf.trigger {
+                Trigger::AtOp(at) if at <= n => {
+                    due.push(pf.fault.clone());
+                    false
+                }
+                _ => true,
+            });
+            due
+        };
+        for fault in due {
+            self.apply(sim, &fault);
+        }
+    }
+
+    /// Restores full service: restarts every crashed machine, heals the
+    /// network, and repairs replication channels left stalled by dropped
+    /// ring frames. Convergence checks run after this settles.
+    pub fn recover(&self, sim: &mut Sim) {
+        for idx in self.crashed_nodes() {
+            self.apply(sim, &FaultEvent::RestartNode { node: idx });
+        }
+        self.apply(sim, &FaultEvent::Heal);
+        sim.run();
+        self.repair_stalled_replication(sim);
+    }
+
+    /// A dropped ring frame leaves a zero slot the secondary's applier can
+    /// never fill — it parks there silently, and every later record (and in
+    /// Strict mode every later write) stalls behind it. The only repair is
+    /// the one a real operator performs: detect the laggard by its ack
+    /// high-water mark and resync it from the primary.
+    fn repair_stalled_replication(&self, sim: &mut Sim) {
+        let (cfg, ha_rc) = {
+            let inner = self.inner.borrow();
+            (inner.cfg.clone(), inner.ha.clone())
+        };
+        let repl_mode = match cfg.replication {
+            ReplicationMode::Strict => ReplMode::Strict,
+            ReplicationMode::Logging { ack_every } => ReplMode::Logging { ack_every },
+            ReplicationMode::None => return,
+        };
+        let groups: Vec<(Srv, Vec<Srv>)> = {
+            let ha = ha_rc.borrow();
+            ha.partitions
+                .iter()
+                .map(|p| (p.primary.clone(), p.secondaries.clone()))
+                .collect()
+        };
+        // Give every channel a chance to drain organically first.
+        for (primary, _) in &groups {
+            if !primary.borrow().alive {
+                continue;
+            }
+            let pairs = primary.borrow().repl.clone();
+            for pair in &pairs {
+                pair.request_ack(sim);
+            }
+        }
+        sim.run();
+        for (primary, secondaries) in &groups {
+            if !primary.borrow().alive {
+                continue;
+            }
+            for sec in secondaries {
+                if !sec.borrow().alive {
+                    continue;
+                }
+                let sec_node = sec.borrow().node;
+                let lagging = primary
+                    .borrow()
+                    .repl
+                    .iter()
+                    .find(|pair| pair.secondary_node() == sec_node)
+                    .is_none_or(|pair| pair.acked() < pair.stats().records);
+                if lagging {
+                    self.resync_secondary(sim, primary, sec, repl_mode);
+                }
+            }
+        }
+        sim.run();
+    }
+
+    /// Injects one fault now.
+    pub fn apply(&self, sim: &mut Sim, fault: &FaultEvent) {
+        self.inner.borrow_mut().injected += 1;
+        match fault {
+            FaultEvent::CrashNode { node } => self.crash_node(sim, *node),
+            FaultEvent::RestartNode { node } => self.restart_node(sim, *node),
+            FaultEvent::Partition { nodes } => self.partition(nodes),
+            FaultEvent::Heal => self.heal(),
+            FaultEvent::DropMessage { from, to, count } => {
+                self.pair_fault(*from, *to, LinkFault::drop_next(*count));
+            }
+            FaultEvent::DelayMessage {
+                from,
+                to,
+                delay_ns,
+                count,
+            } => {
+                self.pair_fault(*from, *to, LinkFault::delay_next(*count, *delay_ns));
+            }
+            FaultEvent::DuplicateMessage { from, to, count } => {
+                self.pair_fault(*from, *to, LinkFault::duplicate_next(*count));
+            }
+            FaultEvent::SlowNode { node, factor } => {
+                let (fab, n) = {
+                    let inner = self.inner.borrow();
+                    (inner.fab.clone(), inner.server_nodes[*node])
+                };
+                fab.set_node_slow(n, *factor);
+            }
+            FaultEvent::ExpireLease { partition } => self.expire_lease(*partition),
+            FaultEvent::CrashPrimary { partition } => self.crash_primary(*partition),
+            FaultEvent::ExpireSwatLeader => self.expire_swat_leader(),
+            FaultEvent::FailReplApply { partition, seq } => {
+                self.fail_repl_apply(*partition, *seq);
+            }
+        }
+    }
+
+    // ---- machine faults ----
+
+    fn crash_node(&self, sim: &mut Sim, idx: usize) {
+        let (fab, node, ha) = {
+            let mut inner = self.inner.borrow_mut();
+            if !inner.crashed.insert(idx) {
+                return; // already down
+            }
+            (inner.fab.clone(), inner.server_nodes[idx], inner.ha.clone())
+        };
+        // Power off the machine: NIC engines freeze mid-service, every
+        // message from or to it vanishes on the wire.
+        fab.set_node_crashed(node, true);
+        fab.freeze_node(node, sim.now());
+        // Every shard process hosted there goes dark: primaries stop
+        // serving and heartbeating (SWAT detects the silence), secondaries
+        // become non-promotable.
+        let ha = ha.borrow();
+        for p in &ha.partitions {
+            if p.primary.borrow().node == node {
+                p.primary.borrow_mut().alive = false;
+            }
+            for s in &p.secondaries {
+                if s.borrow().node == node {
+                    s.borrow_mut().alive = false;
+                }
+            }
+        }
+    }
+
+    fn restart_node(&self, sim: &mut Sim, idx: usize) {
+        let (fab, node, ha_rc, cfg) = {
+            let mut inner = self.inner.borrow_mut();
+            inner.crashed.remove(&idx);
+            (
+                inner.fab.clone(),
+                inner.server_nodes[idx],
+                inner.ha.clone(),
+                inner.cfg.clone(),
+            )
+        };
+        fab.unfreeze_node(node, sim.now());
+        fab.set_node_crashed(node, false);
+        let repl_mode = match cfg.replication {
+            ReplicationMode::Strict => Some(ReplMode::Strict),
+            ReplicationMode::Logging { ack_every } => Some(ReplMode::Logging { ack_every }),
+            ReplicationMode::None => None,
+        };
+        let n_parts = ha_rc.borrow().partitions.len();
+        for p in 0..n_parts {
+            let (primary, secondaries, znode, session) = {
+                let ha = ha_rc.borrow();
+                let st = &ha.partitions[p];
+                (
+                    st.primary.clone(),
+                    st.secondaries.clone(),
+                    st.znode.clone(),
+                    st.session,
+                )
+            };
+            // A primary hosted here that was never promoted away restarts
+            // with its memory intact; it re-registers its coordination
+            // session so the *next* failure is detectable.
+            if primary.borrow().node == node && !primary.borrow().alive {
+                primary.borrow_mut().alive = true;
+                let mut ha = ha_rc.borrow_mut();
+                let now = sim.now();
+                if ha.coord.session_alive(session) {
+                    // Fast restart, before the session lapsed: just beat.
+                    let _ = ha.coord.heartbeat(session, now);
+                } else {
+                    // Session expired while down. Re-own the znode under a
+                    // fresh session (delete first in case expiry was never
+                    // ticked through) and re-arm the SWAT watch.
+                    let new_session = ha.coord.create_session(now, cfg.ha_session_timeout_ns);
+                    let _ = ha.coord.delete(&znode);
+                    let _ = ha.coord.create(
+                        &znode,
+                        p.to_string().into_bytes(),
+                        CreateMode::Ephemeral,
+                        Some(new_session),
+                    );
+                    ha.coord.watch_exists(&znode, WatcherId(p as u64));
+                    ha.partitions[p].session = new_session;
+                }
+            }
+            if !primary.borrow().alive {
+                continue; // partition fully down; nothing to rebuild against
+            }
+            // Stale secondaries hosted here: their ring stream is ruined
+            // (frames dropped while crashed leave holes the applier can
+            // never fill), so rebuild state from the primary and replace
+            // the channel.
+            if primary.borrow().node != node {
+                for sec in secondaries.iter().filter(|s| s.borrow().node == node) {
+                    sec.borrow_mut().alive = true;
+                    if let Some(mode) = repl_mode {
+                        self.resync_secondary(sim, &primary, sec, mode);
+                    }
+                }
+                // A replica promoted away (or lost with the old primary)
+                // while this machine was down: rebuild a fresh secondary
+                // here so the partition regains its replication factor.
+                let have = ha_rc.borrow().partitions[p].secondaries.len();
+                let on_node = ha_rc.borrow().partitions[p]
+                    .secondaries
+                    .iter()
+                    .any(|s| s.borrow().node == node);
+                if have < cfg.replicas as usize && !on_node {
+                    let id = {
+                        let mut inner = self.inner.borrow_mut();
+                        inner.rebuilt_shards += 1;
+                        ShardId(90_000 + inner.rebuilt_shards)
+                    };
+                    let sec = ShardServer::new(id, node, &fab, cfg.clone());
+                    if let Some(mode) = repl_mode {
+                        self.resync_secondary(sim, &primary, &sec, mode);
+                    }
+                    ha_rc.borrow_mut().partitions[p].secondaries.push(sec);
+                }
+            }
+        }
+    }
+
+    /// Rebuilds `sec` as a faithful copy of `primary` and replaces the
+    /// replication channel between them: the old pair (possibly stalled
+    /// mid-stream) is severed, the secondary's engine is wiped and reloaded
+    /// from a snapshot of the primary, and a fresh pair takes over. One
+    /// bulk RDMA Write sized to the snapshot models the transfer cost.
+    fn resync_secondary(
+        &self,
+        sim: &mut Sim,
+        primary: &Rc<RefCell<ShardServer>>,
+        sec: &Rc<RefCell<ShardServer>>,
+        mode: ReplMode,
+    ) {
+        let (fab, cfg) = {
+            let inner = self.inner.borrow();
+            (inner.fab.clone(), inner.cfg.clone())
+        };
+        let sec_node = sec.borrow().node;
+        let prim_node = primary.borrow().node;
+        // 1. Retire the old channel.
+        let old_pairs: Vec<ReplicationPair> = {
+            let mut prim = primary.borrow_mut();
+            let mut removed = Vec::new();
+            let mut i = 0;
+            while i < prim.repl.len() {
+                if prim.repl[i].secondary_node() == sec_node {
+                    removed.push(prim.repl.remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+            removed
+        };
+        for pair in &old_pairs {
+            pair.sever(sim);
+        }
+        // 2. Wipe whatever partial state the secondary holds.
+        let now = sim.now();
+        {
+            let engine = sec.borrow().engine.clone();
+            let mut engine = engine.borrow_mut();
+            let mut keys = Vec::new();
+            engine.for_each_item(|k, _| keys.push(k));
+            for k in &keys {
+                let _ = engine.delete(now, k);
+            }
+            engine.pump_reclaim(u64::MAX);
+        }
+        // 3. Load the snapshot of the primary's current state.
+        let items: Vec<(Vec<u8>, Vec<u8>)> = {
+            let engine = primary.borrow().engine.clone();
+            let engine = engine.borrow();
+            let mut v = Vec::new();
+            engine.for_each_item(|k, val| v.push((k, val)));
+            v
+        };
+        {
+            let engine = sec.borrow().engine.clone();
+            let mut engine = engine.borrow_mut();
+            for (k, v) in &items {
+                engine
+                    .put(now, k, v)
+                    .expect("secondary arena sized for resync");
+            }
+        }
+        // 4. Fresh replication channel from the current primary.
+        let pair = ReplicationPair::new(
+            &fab,
+            prim_node,
+            sec_node,
+            sec.borrow().engine.clone(),
+            ReplConfig {
+                ring_words: cfg.repl_ring_words,
+                mode,
+                apply_cost_ns: cfg.costs.write_ns,
+            },
+        );
+        primary.borrow_mut().add_replica(pair);
+        // 5. The snapshot travels as one bulk write (cost modeling only —
+        //    state already copied above, deterministically).
+        let bytes: usize = items.iter().map(|(k, v)| k.len() + v.len() + 16).sum();
+        if bytes > 0 {
+            let words = bytes.div_ceil(8);
+            let qp = fab.connect(prim_node, sec_node, Transport::Rdma);
+            let (region, _mem) = fab.alloc_region(sec_node, words);
+            fab.post_write(sim, qp, prim_node, vec![0u64; words], region, 0, None);
+        }
+    }
+
+    // ---- network faults ----
+
+    fn partition(&self, idxs: &[usize]) {
+        let (fab, ha, isolated, others) = {
+            let inner = self.inner.borrow();
+            let isolated: Vec<NodeId> = idxs.iter().map(|&i| inner.server_nodes[i]).collect();
+            let iso_set: HashSet<u32> = isolated.iter().map(|n| n.0).collect();
+            let others: Vec<NodeId> = inner
+                .server_nodes
+                .iter()
+                .chain(inner.client_nodes.iter())
+                .filter(|n| !iso_set.contains(&n.0))
+                .copied()
+                .collect();
+            (inner.fab.clone(), inner.ha.clone(), isolated, others)
+        };
+        for &a in &isolated {
+            for &b in &others {
+                fab.block_pair(a, b);
+            }
+        }
+        // Heartbeats travel out-of-band to the quorum service in this
+        // model, so isolation must silence them explicitly: an isolated
+        // primary cannot reach the ensemble, its session expires, SWAT
+        // fails over — and on heal the fenced old primary stays demoted.
+        let mut ha = ha.borrow_mut();
+        for n in &isolated {
+            ha.partitioned_nodes.insert(n.0);
+        }
+    }
+
+    fn heal(&self) {
+        let (fab, ha) = {
+            let inner = self.inner.borrow();
+            (inner.fab.clone(), inner.ha.clone())
+        };
+        fab.heal();
+        ha.borrow_mut().partitioned_nodes.clear();
+    }
+
+    fn pair_fault(&self, from: usize, to: usize, fault: LinkFault) {
+        let (fab, a, b) = {
+            let inner = self.inner.borrow();
+            (
+                inner.fab.clone(),
+                inner.server_nodes[from],
+                inner.server_nodes[to],
+            )
+        };
+        fab.set_pair_fault(a, b, fault);
+    }
+
+    // ---- process / protocol faults ----
+
+    fn expire_lease(&self, partition: u32) {
+        let ha = self.inner.borrow().ha.clone();
+        let ha = ha.borrow();
+        let primary = &ha.partitions[partition as usize].primary;
+        // Reclaim every deferred block as if all read leases had lapsed:
+        // cached remote pointers into this shard now dangle and only the
+        // guardian word protects fast-path readers.
+        let engine = primary.borrow().engine.clone();
+        engine.borrow_mut().pump_reclaim(u64::MAX);
+    }
+
+    fn crash_primary(&self, partition: u32) {
+        let ha = self.inner.borrow().ha.clone();
+        let ha = ha.borrow();
+        ha.partitions[partition as usize].primary.borrow_mut().alive = false;
+    }
+
+    fn expire_swat_leader(&self) {
+        let ha = self.inner.borrow().ha.clone();
+        let mut ha = ha.borrow_mut();
+        if let Some(idx) = ha.swat_leader_idx() {
+            let s = ha.swat_sessions[idx];
+            let _ = ha.coord.expire_session(s);
+        }
+    }
+
+    fn fail_repl_apply(&self, partition: u32, seq: u64) {
+        let ha = self.inner.borrow().ha.clone();
+        let ha = ha.borrow();
+        let pairs = ha.partitions[partition as usize]
+            .primary
+            .borrow()
+            .repl
+            .clone();
+        for pair in &pairs {
+            pair.inject_failure(seq);
+        }
+    }
+}
+
+/// A [`HydraClient`] whose every operation is recorded in the cluster's
+/// chaos [`History`] (invocation and response on the virtual clock), and
+/// whose invocations drive op-count fault triggers. Obtained from
+/// [`Cluster::add_recording_client`].
+#[derive(Clone)]
+pub struct RecordingClient {
+    client: HydraClient,
+    chaos: ChaosController,
+}
+
+impl RecordingClient {
+    pub(crate) fn new(client: HydraClient, chaos: ChaosController) -> Self {
+        RecordingClient { client, chaos }
+    }
+
+    /// The wrapped client (for stats etc.).
+    pub fn client(&self) -> &HydraClient {
+        &self.client
+    }
+
+    /// GET, recorded. Failed reads constrain nothing in the checker.
+    pub fn get(&self, sim: &mut Sim, key: &[u8], cb: OpCb) {
+        let id = self
+            .chaos
+            .history()
+            .begin(self.client.id(), HistOp::Get, key, None, sim.now());
+        self.chaos.note_invocation(sim);
+        let hist = self.chaos.history();
+        self.client.get(
+            sim,
+            key,
+            Box::new(move |sim, res| {
+                let outcome = match &res {
+                    Ok(v) => Outcome::Ok(v.clone()),
+                    Err(_) => Outcome::Failed,
+                };
+                hist.end(id, sim.now(), outcome);
+                cb(sim, res);
+            }),
+        );
+    }
+
+    /// INSERT, recorded. A failed insert is maybe-applied: the request may
+    /// have executed after the client gave up (or before a lost response).
+    pub fn insert(&self, sim: &mut Sim, key: &[u8], value: &[u8], cb: OpCb) {
+        self.write_op(sim, HistOp::Insert, key, value, cb);
+    }
+
+    /// UPDATE, recorded (maybe-applied on failure).
+    pub fn update(&self, sim: &mut Sim, key: &[u8], value: &[u8], cb: OpCb) {
+        self.write_op(sim, HistOp::Update, key, value, cb);
+    }
+
+    /// Upsert, recorded (maybe-applied on failure).
+    pub fn put(&self, sim: &mut Sim, key: &[u8], value: &[u8], cb: OpCb) {
+        self.write_op(sim, HistOp::Put, key, value, cb);
+    }
+
+    /// DELETE, recorded (maybe-applied on failure).
+    pub fn delete(&self, sim: &mut Sim, key: &[u8], cb: OpCb) {
+        let id = self
+            .chaos
+            .history()
+            .begin(self.client.id(), HistOp::Delete, key, None, sim.now());
+        self.chaos.note_invocation(sim);
+        let hist = self.chaos.history();
+        self.client.delete(
+            sim,
+            key,
+            Box::new(move |sim, res| {
+                let outcome = match &res {
+                    Ok(_) => Outcome::Ok(None),
+                    Err(_) => Outcome::Failed,
+                };
+                hist.end(id, sim.now(), outcome);
+                cb(sim, res);
+            }),
+        );
+    }
+
+    fn write_op(&self, sim: &mut Sim, kind: HistOp, key: &[u8], value: &[u8], cb: OpCb) {
+        let id = self
+            .chaos
+            .history()
+            .begin(self.client.id(), kind, key, Some(value), sim.now());
+        self.chaos.note_invocation(sim);
+        let hist = self.chaos.history();
+        let go = |sim: &mut Sim, cb2: OpCb| match kind {
+            HistOp::Insert => self.client.insert(sim, key, value, cb2),
+            HistOp::Update => self.client.update(sim, key, value, cb2),
+            HistOp::Put => self.client.put(sim, key, value, cb2),
+            _ => unreachable!("write_op handles writes only"),
+        };
+        go(
+            sim,
+            Box::new(move |sim, res| {
+                let outcome = match &res {
+                    Ok(_) => Outcome::Ok(None),
+                    Err(_) => Outcome::Failed,
+                };
+                hist.end(id, sim.now(), outcome);
+                cb(sim, res);
+            }),
+        );
+    }
+}

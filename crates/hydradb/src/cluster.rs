@@ -26,6 +26,7 @@ use hydra_replication::{ReplConfig, ReplMode, ReplicationPair};
 use hydra_sim::time::SimTime;
 use hydra_sim::Sim;
 
+use crate::chaos::{ChaosController, RecordingClient};
 use crate::client::{CachedPtr, HydraClient};
 use crate::config::{ClientMode, ClusterConfig, ReplicationMode};
 use crate::ring::{HashRing, ShardId};
@@ -109,28 +110,32 @@ pub struct ShardHandle {
     pub secondaries: Vec<Rc<RefCell<ShardServer>>>,
 }
 
-struct PartitionState {
-    primary: Rc<RefCell<ShardServer>>,
-    secondaries: Vec<Rc<RefCell<ShardServer>>>,
-    session: SessionId,
-    znode: String,
+pub(crate) struct PartitionState {
+    pub(crate) primary: Rc<RefCell<ShardServer>>,
+    pub(crate) secondaries: Vec<Rc<RefCell<ShardServer>>>,
+    pub(crate) session: SessionId,
+    pub(crate) znode: String,
 }
 
-struct HaState {
-    coord: Coord,
-    partitions: Vec<PartitionState>,
-    directory: Rc<RefCell<Directory>>,
-    fab: Fabric,
-    cfg: Rc<ClusterConfig>,
-    swat_sessions: Vec<SessionId>,
-    swat_elections: Vec<LeaderElection>,
-    promotions: u64,
-    monitoring_until: SimTime,
+pub(crate) struct HaState {
+    pub(crate) coord: Coord,
+    pub(crate) partitions: Vec<PartitionState>,
+    pub(crate) directory: Rc<RefCell<Directory>>,
+    pub(crate) fab: Fabric,
+    pub(crate) cfg: Rc<ClusterConfig>,
+    pub(crate) swat_sessions: Vec<SessionId>,
+    pub(crate) swat_elections: Vec<LeaderElection>,
+    pub(crate) promotions: u64,
+    pub(crate) monitoring_until: SimTime,
+    /// Server machines currently cut off from the coordination ensemble by
+    /// an injected network partition (fabric node ids). Their primaries'
+    /// heartbeats are suppressed so sessions expire and SWAT fails over.
+    pub(crate) partitioned_nodes: std::collections::HashSet<u32>,
 }
 
 impl HaState {
     /// The SWAT member currently leading reactions, if any.
-    fn swat_leader_idx(&self) -> Option<usize> {
+    pub(crate) fn swat_leader_idx(&self) -> Option<usize> {
         self.swat_elections
             .iter()
             .position(|e| e.is_leader(&self.coord).unwrap_or(false))
@@ -312,6 +317,7 @@ impl ClusterBuilder {
             swat_elections,
             promotions: 0,
             monitoring_until: 0,
+            partitioned_nodes: std::collections::HashSet::new(),
         }));
         // Settle any setup events (none today, but keeps the invariant that
         // build() returns a quiescent cluster).
@@ -327,6 +333,7 @@ impl ClusterBuilder {
             clients: Vec::new(),
             shared_caches: HashMap::new(),
             next_client_id: 0,
+            chaos: None,
         }
     }
 }
@@ -349,6 +356,7 @@ pub struct Cluster {
     clients: Vec<HydraClient>,
     shared_caches: HashMap<usize, Arc<LockFreeMap<Vec<u8>, CachedPtr>>>,
     next_client_id: u32,
+    chaos: Option<ChaosController>,
 }
 
 impl Cluster {
@@ -451,7 +459,13 @@ impl Cluster {
                 let beats: Vec<SessionId> = ha
                     .partitions
                     .iter()
-                    .filter(|p| p.primary.borrow().alive)
+                    .filter(|p| {
+                        let prim = p.primary.borrow();
+                        // A primary inside an injected network partition is
+                        // alive but unreachable: its heartbeats never reach
+                        // the ensemble, so its session must lapse.
+                        prim.alive && !ha.partitioned_nodes.contains(&prim.node.0)
+                    })
                     .map(|p| p.session)
                     .collect();
                 for s in beats {
@@ -494,21 +508,133 @@ impl Cluster {
         });
     }
 
+    /// The fault-injection controller for this cluster (created on first
+    /// use). All failures — scripted plans and the legacy kill hooks below —
+    /// go through it, so every run shares one history and one fault log.
+    pub fn chaos(&mut self) -> ChaosController {
+        if self.chaos.is_none() {
+            self.chaos = Some(ChaosController::new(
+                self.ha.clone(),
+                self.fab.clone(),
+                self.cfg.clone(),
+                self.server_nodes.clone(),
+                self.client_nodes.clone(),
+            ));
+        }
+        self.chaos.clone().unwrap()
+    }
+
+    /// Creates a client homed like [`add_client`](Self::add_client) whose
+    /// every op is recorded in the chaos history for consistency checking.
+    pub fn add_recording_client(&mut self, node_idx: usize) -> RecordingClient {
+        let client = self.add_client(node_idx);
+        let chaos = self.chaos();
+        RecordingClient::new(client, chaos)
+    }
+
+    /// Installs a fault plan on this cluster's controller.
+    pub fn install_plan(&mut self, plan: &hydra_chaos::FaultPlan) {
+        let chaos = self.chaos();
+        chaos.install_plan(&mut self.sim, plan);
+    }
+
+    /// Whether a partition's coordination session is currently live.
+    pub fn session_alive(&self, partition: u32) -> bool {
+        let ha = self.ha.borrow();
+        let s = ha.partitions[partition as usize].session;
+        ha.coord.session_alive(s)
+    }
+
+    /// The partition's current coordination session id. Failover replaces
+    /// it, so capture it *before* a fault to observe that session's expiry
+    /// (the detection instant) independently of the promotion that follows.
+    pub fn session_id(&self, partition: u32) -> SessionId {
+        self.ha.borrow().partitions[partition as usize].session
+    }
+
+    /// Whether a specific coordination session is still live.
+    pub fn session_alive_id(&self, session: SessionId) -> bool {
+        self.ha.borrow().coord.session_alive(session)
+    }
+
     /// Crashes a partition's current primary process: it stops serving,
     /// heartbeating, and replicating. Detection requires
-    /// [`enable_ha`](Self::enable_ha).
+    /// [`enable_ha`](Self::enable_ha). Thin wrapper over the chaos
+    /// controller's [`FaultEvent::CrashPrimary`](hydra_chaos::FaultEvent).
     pub fn kill_primary(&mut self, partition: u32) {
-        let ha = self.ha.borrow();
-        ha.partitions[partition as usize].primary.borrow_mut().alive = false;
+        let chaos = self.chaos();
+        chaos.apply(
+            &mut self.sim,
+            &hydra_chaos::FaultEvent::CrashPrimary { partition },
+        );
     }
 
     /// Crashes the current SWAT leader (tests the leader hand-over path).
+    /// Thin wrapper over
+    /// [`FaultEvent::ExpireSwatLeader`](hydra_chaos::FaultEvent).
     pub fn kill_swat_leader(&mut self) {
-        let mut ha = self.ha.borrow_mut();
-        if let Some(idx) = ha.swat_leader_idx() {
-            let s = ha.swat_sessions[idx];
-            let _ = ha.coord.expire_session(s);
+        let chaos = self.chaos();
+        chaos.apply(&mut self.sim, &hydra_chaos::FaultEvent::ExpireSwatLeader);
+    }
+
+    /// Drives outstanding replication to a fixed point: requests acks on
+    /// every live channel and pumps the sim until per-pair counters stop
+    /// moving (stalled channels to dead secondaries stabilize too). Call
+    /// after [`ChaosController::recover`] and before convergence checks.
+    pub fn settle_replication(&mut self) {
+        let mut last: Option<Vec<(u64, u64, u64, u64)>> = None;
+        for _ in 0..24 {
+            let pairs: Vec<ReplicationPair> = {
+                let ha = self.ha.borrow();
+                ha.partitions
+                    .iter()
+                    .flat_map(|p| p.primary.borrow().repl.clone())
+                    .collect()
+            };
+            for pair in &pairs {
+                pair.request_ack(&mut self.sim);
+            }
+            self.sim.run();
+            let fp: Vec<(u64, u64, u64, u64)> = pairs
+                .iter()
+                .map(|p| {
+                    let st = p.stats();
+                    (st.records, st.applied, st.discarded, st.resends)
+                })
+                .collect();
+            if last.as_ref() == Some(&fp) {
+                return;
+            }
+            last = Some(fp);
         }
+    }
+
+    /// Sorted key-value dumps of one partition's replicas, labeled for the
+    /// convergence checker
+    /// ([`check_convergence`](hydra_chaos::check_convergence)).
+    pub fn replica_dumps(&self, partition: u32) -> Vec<hydra_chaos::ReplicaDump> {
+        let ha = self.ha.borrow();
+        let state = &ha.partitions[partition as usize];
+        let dump = |server: &Rc<RefCell<ShardServer>>| {
+            let engine = server.borrow().engine.clone();
+            let engine = engine.borrow();
+            let mut items = Vec::new();
+            engine.for_each_item(|k, v| items.push((k, v)));
+            items.sort();
+            items
+        };
+        let mut out = Vec::new();
+        out.push((
+            format!("primary(node {})", state.primary.borrow().node.0),
+            dump(&state.primary),
+        ));
+        for (i, sec) in state.secondaries.iter().enumerate() {
+            out.push((
+                format!("secondary{}(node {})", i, sec.borrow().node.0),
+                dump(sec),
+            ));
+        }
+        out
     }
 
     /// Immediately promotes a secondary (bypassing detection) — unit-test

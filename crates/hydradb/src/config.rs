@@ -227,7 +227,9 @@ pub struct ClusterConfig {
 impl Default for ClusterConfig {
     fn default() -> Self {
         ClusterConfig {
-            seed: 42,
+            // One knob reproduces a whole run: HYDRA_SEED overrides the
+            // default and threads through the sim, fault plans and workloads.
+            seed: hydra_sim::seed_from_env(42),
             server_nodes: 1,
             shards_per_node: 4,
             partitions: None,

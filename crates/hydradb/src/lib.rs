@@ -43,12 +43,14 @@
 //! cluster.sim.run();
 //! ```
 
+pub mod chaos;
 pub mod client;
 pub mod cluster;
 pub mod config;
 pub mod ring;
 pub mod server;
 
+pub use chaos::{ChaosController, RecordingClient};
 pub use client::{ClientStats, HydraClient, OpError};
 pub use cluster::{Cluster, ClusterBuilder, ClusterReport, PartitionReport, ShardHandle};
 pub use config::{ClientMode, ClusterConfig, CostModel, ExecModel, ReplicationMode};

@@ -147,6 +147,11 @@ struct Shared {
     p: RefCell<Primary>,
     s: RefCell<Secondary>,
     stats: RefCell<ReplStats>,
+    /// Set by [`ReplicationPair::sever`]: the channel is being retired
+    /// (secondary crashed / replaced by reattach). Every subsequent call
+    /// degrades to a no-op so stray in-flight completions can't touch a
+    /// dead secondary's engine.
+    severed: std::cell::Cell<bool>,
 }
 
 /// A primary shard's replication channel to one secondary shard.
@@ -204,8 +209,46 @@ impl ReplicationPair {
                 ack_region,
             }),
             stats: RefCell::new(ReplStats::default()),
+            severed: std::cell::Cell::new(false),
         });
         ReplicationPair { shared }
+    }
+
+    /// The node hosting the primary end of this channel.
+    pub fn primary_node(&self) -> NodeId {
+        self.shared.p.borrow().node
+    }
+
+    /// The node hosting the secondary end of this channel.
+    pub fn secondary_node(&self) -> NodeId {
+        self.shared.s.borrow().node
+    }
+
+    /// Whether [`sever`](Self::sever) has retired this channel.
+    pub fn is_severed(&self) -> bool {
+        self.shared.severed.get()
+    }
+
+    /// Retires the channel, e.g. because the secondary's machine crashed
+    /// and the shard is being rebuilt through a fresh pair. Outstanding
+    /// strict waiters and backlogged completions fire immediately — the
+    /// replacement secondary is seeded from a snapshot of the primary's
+    /// *current* state, which already contains every record this channel
+    /// could still have delivered — and every later call on the pair is a
+    /// no-op (completions still fire so callers never hang).
+    pub fn sever(&self, sim: &mut Sim) {
+        if self.shared.severed.replace(true) {
+            return;
+        }
+        let mut fire: Vec<DoneCb> = Vec::new();
+        {
+            let mut p = self.shared.p.borrow_mut();
+            fire.extend(p.strict_waiters.drain().map(|(_, cb)| cb));
+            fire.extend(p.backlog.drain(..).filter_map(|(_, _, _, cb)| cb));
+        }
+        for cb in fire {
+            cb(sim);
+        }
     }
 
     /// Replicates one write. `on_done` fires per the configured mode
@@ -240,7 +283,7 @@ impl ReplicationPair {
         records: &[(LogOp, &[u8], &[u8])],
         on_done: Option<DoneCb>,
     ) {
-        if records.is_empty() {
+        if records.is_empty() || self.shared.severed.get() {
             if let Some(cb) = on_done {
                 cb(sim);
             }
@@ -445,6 +488,12 @@ impl ReplicationPair {
         on_done: Option<DoneCb>,
     ) {
         let shared = &self.shared;
+        if shared.severed.get() {
+            if let Some(cb) = on_done {
+                cb(sim);
+            }
+            return;
+        }
         let frame_len = {
             let rec = LogRecord {
                 seq: 0,
@@ -563,6 +612,9 @@ impl ReplicationPair {
     }
 
     fn ship_ack_request(shared: &Rc<Shared>, sim: &mut Sim) {
+        if shared.severed.get() {
+            return;
+        }
         let seq = {
             let mut p = shared.p.borrow_mut();
             p.next_seq += 1;
@@ -583,6 +635,9 @@ impl ReplicationPair {
 
     /// Handles an ack that landed in the primary's ack region.
     fn on_ack(shared: &Rc<Shared>, sim: &mut Sim) {
+        if shared.severed.get() {
+            return;
+        }
         shared.stats.borrow_mut().acks += 1;
         let (acked_raw, resend_raw) = {
             let p = shared.p.borrow();
@@ -685,6 +740,9 @@ impl ReplicationPair {
 
     /// Drains every complete frame currently visible in the ring.
     fn poll_secondary(shared: &Rc<Shared>, sim: &mut Sim) {
+        if shared.severed.get() {
+            return;
+        }
         loop {
             enum Step {
                 Idle,
@@ -728,6 +786,9 @@ impl ReplicationPair {
     }
 
     fn apply_record(shared: &Rc<Shared>, sim: &mut Sim, payload: &[u8]) {
+        if shared.severed.get() {
+            return;
+        }
         let rec = LogRecord::decode(payload).expect("valid log record");
         let now = sim.now();
         let mut send_ack = false;
@@ -819,6 +880,10 @@ pub fn replicate_strict(
         matches!(pair.shared.cfg.mode, ReplMode::Strict),
         "pair not configured for strict mode"
     );
+    if pair.shared.severed.get() {
+        on_done(sim);
+        return;
+    }
     pair.replicate(sim, op, key, value, None);
     let seq = pair.shared.p.borrow().next_seq;
     ReplicationPair::register_strict_waiter(&pair.shared, seq, on_done);
@@ -1086,6 +1151,60 @@ mod tests {
         let mut e = engine.borrow_mut();
         assert!(e.get(0, b"gone").is_none());
         assert!(e.get(0, b"kept").is_some());
+    }
+
+    #[test]
+    fn severed_pair_completes_everything_and_goes_quiet() {
+        let cfg = ReplConfig {
+            mode: ReplMode::Strict,
+            ..ReplConfig::default()
+        };
+        let (mut sim, _fab, pair, engine) = setup(cfg);
+        // Park a strict waiter in flight, then sever before the ack lands.
+        let fired = Rc::new(std::cell::Cell::new(0u32));
+        let f = fired.clone();
+        replicate_strict(
+            &pair,
+            &mut sim,
+            LogOp::Put,
+            b"k",
+            b"v",
+            Box::new(move |_| f.set(f.get() + 1)),
+        );
+        pair.sever(&mut sim);
+        assert_eq!(fired.get(), 1, "sever fires the parked strict waiter");
+        assert!(pair.is_severed());
+        // Post-sever traffic completes immediately and applies nothing.
+        let applied_before = pair.stats().applied;
+        let f = fired.clone();
+        replicate_strict(
+            &pair,
+            &mut sim,
+            LogOp::Put,
+            b"post",
+            b"v",
+            Box::new(move |_| f.set(f.get() + 1)),
+        );
+        let f = fired.clone();
+        pair.replicate_batch(
+            &mut sim,
+            &[(LogOp::Put, b"post2".as_slice(), b"v".as_slice())],
+            Some(Box::new(move |_| f.set(f.get() + 1))),
+        );
+        pair.request_ack(&mut sim);
+        sim.run();
+        assert_eq!(fired.get(), 3, "post-sever completions fire immediately");
+        assert_eq!(pair.stats().applied, applied_before);
+        assert!(engine.borrow_mut().get(0, b"post").is_none());
+        // Severing twice is harmless.
+        pair.sever(&mut sim);
+    }
+
+    #[test]
+    fn node_accessors_report_the_wiring() {
+        let (_sim, fab, pair, _engine) = setup(ReplConfig::default());
+        let _ = &fab;
+        assert_ne!(pair.primary_node(), pair.secondary_node());
     }
 
     #[test]

@@ -46,3 +46,25 @@ pub use resource::FifoResource;
 pub use scheduler::{EventId, Sim};
 pub use stats::{Counter, Histogram, HistogramSummary};
 pub use time::SimTime;
+
+/// The cluster-wide RNG seed: the `HYDRA_SEED` environment variable if set
+/// (decimal, or hex with an `0x` prefix), else `default`.
+///
+/// Every randomized component — the simulator clock jitter, YCSB key
+/// streams, chaos fault plans — derives its seed through this single choke
+/// point, so any failing run reproduces exactly by re-running with the seed
+/// the failure printed.
+pub fn seed_from_env(default: u64) -> u64 {
+    match std::env::var("HYDRA_SEED") {
+        Ok(s) => {
+            let s = s.trim();
+            let parsed = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+                u64::from_str_radix(hex, 16)
+            } else {
+                s.parse()
+            };
+            parsed.unwrap_or_else(|_| panic!("HYDRA_SEED is not a valid u64: {s:?}"))
+        }
+        Err(_) => default,
+    }
+}

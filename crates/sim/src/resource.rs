@@ -18,6 +18,7 @@ pub struct FifoResource {
     total_busy: SimTime,
     jobs: u64,
     opened_at: SimTime,
+    frozen_at: Option<SimTime>,
 }
 
 impl FifoResource {
@@ -29,7 +30,37 @@ impl FifoResource {
             total_busy: 0,
             jobs: 0,
             opened_at: 0,
+            frozen_at: None,
         }
+    }
+
+    /// Suspends the server at `now` (node crash / power loss). No new work
+    /// may be reserved while frozen — callers must gate arrivals (the fabric
+    /// fault layer drops traffic to crashed nodes before it reaches the NIC
+    /// engines); an acquire on a frozen resource panics to surface gate
+    /// leaks deterministically. Already-reserved work is paused and resumes
+    /// after [`unfreeze`](Self::unfreeze).
+    pub fn freeze(&mut self, now: SimTime) {
+        if self.frozen_at.is_none() {
+            self.frozen_at = Some(now);
+        }
+    }
+
+    /// Resumes a frozen server at `now`. Work that was queued when the
+    /// freeze hit is shifted by the pause duration, as if the server had
+    /// been powered off mid-job; an idle server stays idle.
+    pub fn unfreeze(&mut self, now: SimTime) {
+        if let Some(t0) = self.frozen_at.take() {
+            let pause = now.saturating_sub(t0);
+            if self.busy_until > t0 {
+                self.busy_until += pause;
+            }
+        }
+    }
+
+    /// Whether the resource is currently frozen.
+    pub fn is_frozen(&self) -> bool {
+        self.frozen_at.is_some()
     }
 
     /// Resource name.
@@ -41,6 +72,7 @@ impl FifoResource {
     /// queued behind any previously reserved work. Returns the completion
     /// time.
     pub fn acquire(&mut self, now: SimTime, dur: SimTime) -> SimTime {
+        assert!(self.frozen_at.is_none(), "acquire on frozen {}", self.name);
         let start = self.busy_until.max(now);
         self.busy_until = start + dur;
         self.total_busy += dur;
@@ -51,6 +83,7 @@ impl FifoResource {
     /// Like [`acquire`](Self::acquire) but also returns the start time, which
     /// callers use to measure pure queueing delay.
     pub fn acquire_with_start(&mut self, now: SimTime, dur: SimTime) -> (SimTime, SimTime) {
+        assert!(self.frozen_at.is_none(), "acquire on frozen {}", self.name);
         let start = self.busy_until.max(now);
         self.busy_until = start + dur;
         self.total_busy += dur;
@@ -67,6 +100,7 @@ impl FifoResource {
     /// completion time of the final item (equal to `now`-relative fixed
     /// cost alone when `per_item` is empty).
     pub fn acquire_batch(&mut self, now: SimTime, fixed: SimTime, per_item: &[SimTime]) -> SimTime {
+        assert!(self.frozen_at.is_none(), "acquire on frozen {}", self.name);
         let start = self.busy_until.max(now);
         let dur = fixed + per_item.iter().sum::<SimTime>();
         self.busy_until = start + dur;
@@ -190,6 +224,41 @@ mod tests {
         // An empty batch still costs the fixed kick and counts one job.
         assert_eq!(r.acquire_batch(0, 5, &[]), 130);
         assert_eq!(r.jobs(), 4);
+    }
+
+    #[test]
+    fn freeze_pauses_queued_work() {
+        let mut r = FifoResource::new("nic");
+        r.acquire(0, 100);
+        r.freeze(40);
+        assert!(r.is_frozen());
+        // Crash lasted 60ns; the remaining 60ns of service resumes at 100.
+        r.unfreeze(100);
+        assert!(!r.is_frozen());
+        assert_eq!(r.free_at(), 160);
+        assert_eq!(r.acquire(100, 10), 170);
+    }
+
+    #[test]
+    fn freeze_of_idle_resource_leaves_it_idle() {
+        let mut r = FifoResource::new("nic");
+        r.acquire(0, 10);
+        r.freeze(50);
+        r.freeze(60); // idempotent: the first freeze wins
+        r.unfreeze(500);
+        assert_eq!(r.free_at(), 10);
+        assert_eq!(r.acquire(500, 5), 505);
+        // Unfreeze without a matching freeze is a no-op.
+        r.unfreeze(600);
+        assert_eq!(r.free_at(), 505);
+    }
+
+    #[test]
+    #[should_panic(expected = "acquire on frozen")]
+    fn acquire_while_frozen_panics() {
+        let mut r = FifoResource::new("nic");
+        r.freeze(0);
+        r.acquire(10, 5);
     }
 
     #[test]

@@ -1,37 +1,61 @@
-//! High availability end to end (§5): replicated writes, a primary crash,
-//! SWAT detection through missed heartbeats, secondary promotion, and
-//! clients recovering with zero acknowledged-data loss.
+//! High availability end to end (§5), driven by a scripted chaos plan:
+//! replicated writes, a machine crash and a network partition injected by
+//! the hydra-chaos engine, SWAT detection through missed heartbeats,
+//! secondary promotion, recovery, and machine-checked consistency — every
+//! recorded op linearizable, no stale reads, replicas converged, and zero
+//! acknowledged-data loss.
 //!
 //! Run with: `cargo run --release --example failover`
+//! Replay any run exactly with `HYDRA_SEED=<seed>`.
 
 use std::cell::Cell;
 use std::rc::Rc;
 
-use hydra_db::{ClusterBuilder, ClusterConfig, ReplicationMode};
+use hydra_chaos::{check_convergence, FaultEvent, FaultPlan};
+use hydra_db::{ClusterBuilder, ClusterConfig, RecordingClient, ReplicationMode};
 use hydra_sim::time::{MS, SEC};
 
 fn main() {
+    let seed = hydra_sim::seed_from_env(42);
     let cfg = ClusterConfig {
+        seed,
         server_nodes: 3,
         shards_per_node: 1,
         client_nodes: 1,
         replicas: 1,
-        replication: ReplicationMode::Logging { ack_every: 16 },
+        replication: ReplicationMode::Strict,
         op_timeout_ns: 20 * MS,
         ..ClusterConfig::default()
     };
     let mut cluster = ClusterBuilder::new(cfg).build();
-    let client = cluster.add_client(0);
+    cluster.enable_ha(5 * SEC);
+    let client = cluster.add_recording_client(0);
+    let chaos = cluster.chaos();
 
-    // Write a batch of orders with synchronous replication.
-    let keys: Vec<String> = (0..200).map(|i| format!("order:{i:06}")).collect();
+    // The adversary's script: machine 0 dies at 60 ms and stays down for
+    // 120 ms; while it is being repaired, machine 1 drops out of the
+    // network for 60 ms. Every fault is data, logged and replayable.
+    let plan = FaultPlan::new(seed)
+        .at(60 * MS, FaultEvent::CrashNode { node: 0 })
+        .at(100 * MS, FaultEvent::Partition { nodes: vec![1] })
+        .at(160 * MS, FaultEvent::Heal)
+        .at(180 * MS, FaultEvent::RestartNode { node: 0 });
+    cluster.install_plan(&plan);
+
+    // Write a stream of orders with synchronous replication, recorded in
+    // the chaos history and paced 1 ms apart so the stream runs straight
+    // through both fault windows. Writes overlapping a window may time out
+    // — the checker treats those as maybe-applied.
+    let keys: Rc<Vec<String>> = Rc::new((0..200).map(|i| format!("order:{i:06}")).collect());
     let loaded = Rc::new(Cell::new(0usize));
+    let failed = Rc::new(Cell::new(0usize));
     fn put_all(
         sim: &mut hydra_sim::Sim,
-        client: hydra_db::HydraClient,
+        client: RecordingClient,
         keys: Rc<Vec<String>>,
         i: usize,
         loaded: Rc<Cell<usize>>,
+        failed: Rc<Cell<usize>>,
     ) {
         if i >= keys.len() {
             return;
@@ -39,62 +63,57 @@ fn main() {
         let key = keys[i].clone();
         let value = format!("{{\"status\":\"paid\",\"seq\":{i}}}");
         let c2 = client.clone();
-        client.insert(
+        client.put(
             sim,
             key.as_bytes(),
             value.as_bytes(),
             Box::new(move |sim, r| {
-                r.expect("replicated insert succeeds");
-                loaded.set(loaded.get() + 1);
-                put_all(sim, c2, keys, i + 1, loaded);
+                match r {
+                    Ok(_) => loaded.set(loaded.get() + 1),
+                    Err(_) => failed.set(failed.get() + 1),
+                }
+                sim.schedule_in(MS, move |sim| {
+                    put_all(sim, c2, keys, i + 1, loaded, failed);
+                });
             }),
         );
     }
-    let keys = Rc::new(keys);
     put_all(
         &mut cluster.sim,
         client.clone(),
         keys.clone(),
         0,
         loaded.clone(),
+        failed.clone(),
     );
     cluster.sim.run();
-    println!("acknowledged {} replicated writes", loaded.get());
-
-    // Verify the replica group really carries the data.
-    for p in 0..cluster.cfg.total_shards() {
-        let h = cluster.shard(p);
-        let (pri, sec) = (
-            h.primary.borrow().engine.borrow().len(),
-            h.secondaries[0].borrow().engine.borrow().len(),
-        );
-        println!("partition {p}: primary holds {pri} keys, secondary holds {sec}");
-        assert_eq!(pri, sec);
-    }
-
-    // Arm the HA machinery and crash every primary.
-    cluster.enable_ha(5 * SEC);
-    cluster.sim.run_until(50 * MS);
     println!(
-        "\n*** crashing all primaries at t={}ms ***",
-        cluster.sim.now() / MS
+        "acknowledged {} replicated writes ({} timed out inside fault windows)",
+        loaded.get(),
+        failed.get()
     );
-    for p in 0..cluster.cfg.total_shards() {
-        cluster.kill_primary(p);
-    }
-    cluster.sim.run_until(300 * MS);
     println!(
-        "SWAT performed {} promotions (directory generation {})",
+        "chaos injected {} faults; SWAT performed {} promotions (directory generation {})",
+        chaos.injected(),
         cluster.promotions(),
         cluster.generation()
     );
-    assert_eq!(cluster.promotions() as u32, cluster.cfg.total_shards());
+    assert!(chaos.injected() >= 4, "the whole plan fired");
+    assert!(
+        cluster.promotions() >= 1,
+        "the crash must have forced at least one promotion"
+    );
 
-    // Every acknowledged order must still be readable from the new primaries.
+    // Recovery: restart anything still down, heal the network, resync any
+    // replication channel the faults left stalled, and drain.
+    chaos.recover(&mut cluster.sim);
+    cluster.settle_replication();
+
+    // Every *acknowledged* order must still be readable — zero data loss.
     let verified = Rc::new(Cell::new(0usize));
     fn verify(
         sim: &mut hydra_sim::Sim,
-        client: hydra_db::HydraClient,
+        client: RecordingClient,
         keys: Rc<Vec<String>>,
         i: usize,
         verified: Rc<Cell<usize>>,
@@ -108,11 +127,13 @@ fn main() {
             sim,
             key.as_bytes(),
             Box::new(move |sim, r| {
-                let v = r
-                    .expect("get succeeds after failover")
-                    .expect("key survives");
-                assert!(v.ends_with(format!("\"seq\":{i}}}").as_bytes()));
-                verified.set(verified.get() + 1);
+                if let Some(v) = r.expect("get succeeds after recovery") {
+                    assert!(
+                        v.ends_with(format!("\"seq\":{i}}}").as_bytes()),
+                        "order {i} returned foreign bytes"
+                    );
+                    verified.set(verified.get() + 1);
+                }
                 verify(sim, c2, keys, i + 1, verified);
             }),
         );
@@ -124,14 +145,37 @@ fn main() {
         0,
         verified.clone(),
     );
-    cluster.sim.run_until(2 * SEC);
+    cluster.sim.run();
     println!(
-        "verified {}/{} orders after fail-over — zero data loss",
+        "verified {}/{} orders after recovery ({} acknowledged)",
         verified.get(),
-        keys.len()
+        keys.len(),
+        loaded.get()
     );
-    assert_eq!(verified.get(), keys.len());
-    let s = client.stats();
+    assert!(
+        verified.get() >= loaded.get(),
+        "acknowledged write lost: only {}/{} orders survive",
+        verified.get(),
+        loaded.get()
+    );
+
+    // The recorded history proves it: linearizable per key, no read of
+    // never-written bytes, replicas converged. Failures print the seed.
+    let history = chaos.history();
+    history.check_linearizable().expect("history linearizable");
+    history
+        .check_reads_observed_writes()
+        .expect("no torn or invented reads");
+    for p in 0..cluster.cfg.total_shards() {
+        check_convergence(seed, &cluster.replica_dumps(p)).expect("replicas converged");
+    }
+    println!(
+        "history: {} ops recorded, {} ok, {} failed — linearizable, reads clean, replicas converged",
+        history.len(),
+        history.completed_ok(),
+        history.failed()
+    );
+    let s = client.client().stats();
     println!(
         "client path: {} timeouts, {} retries, {} invalid fast reads re-routed",
         s.timeouts, s.retries, s.invalid_hits

@@ -23,5 +23,10 @@ HYDRA_SCALE=smoke HYDRA_RESULTS_DIR="$SMOKE_RESULTS" \
     cargo run -q --release -p hydra-bench --bin perf_events
 HYDRA_SCALE=smoke HYDRA_RESULTS_DIR="$SMOKE_RESULTS" \
     cargo run -q --release -p hydra-bench --bin perf_batching
+HYDRA_SCALE=smoke HYDRA_RESULTS_DIR="$SMOKE_RESULTS" \
+    cargo run -q --release -p hydra-bench --bin chaos_recovery
+
+echo "==> chaos soak (100 fixed-seed fault plans, full consistency checks)"
+cargo test -q --release -p hydra-integration --test chaos -- --ignored
 
 echo "OK: all tier-1 checks passed"

@@ -1,0 +1,360 @@
+//! Fault-injection integration (the hydra-chaos adversary): random and
+//! directed fault plans against replicated clusters, with every client op
+//! recorded and the resulting history checked for per-key linearizability,
+//! read integrity (no torn or never-written values) and replica convergence
+//! after recovery. Any failure message carries the `HYDRA_SEED` that
+//! replays it.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use hydra_chaos::{check_convergence, FaultEvent, FaultPlan};
+use hydra_db::{ClusterBuilder, ClusterConfig, RecordingClient, ReplicationMode};
+use hydra_sim::time::{MS, SEC};
+use hydra_sim::Sim;
+use proptest::prelude::*;
+
+/// Closed-loop recorded workload: `total` ops over `keys`, two writes per
+/// read, unique write values (`c<client>-<op>`), tolerant of op failures
+/// (the checker treats failed writes as maybe-applied).
+fn drive(
+    sim: &mut Sim,
+    client: RecordingClient,
+    keys: Rc<Vec<Vec<u8>>>,
+    i: usize,
+    total: usize,
+    done: Rc<Cell<bool>>,
+) {
+    if i >= total {
+        done.set(true);
+        return;
+    }
+    let key = keys[i % keys.len()].clone();
+    let c2 = client.clone();
+    let cont: hydra_db::client::OpCb = Box::new(move |sim, _r| {
+        drive(sim, c2, keys, i + 1, total, done);
+    });
+    if i % 3 == 2 {
+        client.get(sim, &key, cont);
+    } else {
+        let value = format!("c{}-{}", client.client().id(), i).into_bytes();
+        client.put(sim, &key, &value, cont);
+    }
+}
+
+/// One full chaos round: 3 machines, 2 partitions, one synchronous replica
+/// each, HA armed, a random fault plan derived from `seed`, two recorded
+/// clients, recovery, then all three checks.
+fn chaos_round(seed: u64) {
+    let horizon = 400 * MS;
+    let cfg = ClusterConfig {
+        seed,
+        server_nodes: 3,
+        partitions: Some(2),
+        client_nodes: 1,
+        replicas: 1,
+        replication: ReplicationMode::Strict,
+        ..ClusterConfig::default()
+    };
+    let mut cluster = ClusterBuilder::new(cfg).build();
+    cluster.enable_ha(horizon + SEC);
+    let plan = FaultPlan::random(seed, 3, 2, horizon);
+    cluster.install_plan(&plan);
+    let chaos = cluster.chaos();
+
+    let keys: Rc<Vec<Vec<u8>>> = Rc::new(
+        (0..12)
+            .map(|i| format!("key-{i:02}").into_bytes())
+            .collect(),
+    );
+    let mut dones = Vec::new();
+    for c in 0..2 {
+        let client = cluster.add_recording_client(c);
+        let done = Rc::new(Cell::new(false));
+        drive(&mut cluster.sim, client, keys.clone(), 0, 60, done.clone());
+        dones.push(done);
+    }
+    cluster.sim.run();
+    assert!(
+        dones.iter().all(|d| d.get()),
+        "HYDRA_SEED={seed}: client chains did not complete"
+    );
+    // Make sure every planned fault has fired before declaring recovery.
+    let target = (plan.last_event_at() + 50 * MS).max(cluster.sim.now());
+    cluster.sim.run_until(target);
+
+    chaos.recover(&mut cluster.sim);
+    cluster.settle_replication();
+
+    // The cluster must actually serve again: a fresh recorded write+read.
+    let probe = cluster.add_recording_client(0);
+    let ok = Rc::new(Cell::new(false));
+    let ok2 = ok.clone();
+    let p2 = probe.clone();
+    probe.put(
+        &mut cluster.sim,
+        b"post-recovery-probe",
+        b"alive",
+        Box::new(move |sim, r| {
+            r.expect("post-recovery write succeeds");
+            p2.get(
+                sim,
+                b"post-recovery-probe",
+                Box::new(move |_, r| {
+                    assert_eq!(r.unwrap().as_deref(), Some(b"alive".as_slice()));
+                    ok2.set(true);
+                }),
+            );
+        }),
+    );
+    cluster.sim.run();
+    assert!(ok.get(), "HYDRA_SEED={seed}: post-recovery probe stalled");
+    cluster.settle_replication();
+
+    let history = chaos.history();
+    assert!(
+        history.len() >= 121,
+        "both workloads plus the probe recorded"
+    );
+    if let Err(v) = history.check_linearizable() {
+        panic!("{v}");
+    }
+    if let Err(v) = history.check_reads_observed_writes() {
+        panic!("{v}");
+    }
+    for p in 0..cluster.cfg.total_shards() {
+        if let Err(v) = check_convergence(seed, &cluster.replica_dumps(p)) {
+            panic!("partition {p}: {v}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Whatever a random (but seed-replayable) fault plan throws at a
+    /// replicated cluster — crashes, partitions, lost/duplicated/delayed
+    /// replication frames, slow NICs, forced lease expiry — the recorded
+    /// history stays linearizable per key, reads never observe torn or
+    /// invented values, and replicas converge after recovery.
+    #[test]
+    fn random_fault_plans_never_break_consistency(seed in 0u64..10_000) {
+        chaos_round(seed);
+    }
+}
+
+/// Exhaustive sweep for local soak runs: `cargo test -- --ignored chaos`.
+#[test]
+#[ignore = "soak: ~100 full chaos rounds"]
+fn chaos_round_soak() {
+    for seed in 0..100u64 {
+        chaos_round(seed);
+    }
+}
+
+/// The legacy kill hooks now route through the chaos controller: same
+/// SWAT detection and promotion behavior, but the faults are logged.
+#[test]
+fn kill_primary_via_chaos_controller_still_promotes() {
+    let cfg = ClusterConfig {
+        seed: 5,
+        server_nodes: 3,
+        partitions: Some(2),
+        client_nodes: 1,
+        replicas: 1,
+        replication: ReplicationMode::Strict,
+        ..ClusterConfig::default()
+    };
+    let mut cluster = ClusterBuilder::new(cfg).build();
+    cluster.enable_ha(2 * SEC);
+    cluster.sim.run_until(20 * MS);
+    cluster.kill_primary(0);
+    cluster.kill_swat_leader();
+    cluster.sim.run_until(500 * MS);
+    assert_eq!(cluster.promotions(), 1, "partition 0 failed over");
+    assert!(cluster.session_alive(0), "new primary registered a session");
+    let chaos = cluster.chaos();
+    assert_eq!(
+        chaos.injected(),
+        2,
+        "both kills flowed through the chaos API"
+    );
+}
+
+/// Directed mid-batch processing failure (PAPER.md §5.2): a secondary that
+/// fails to apply a record in the middle of a doorbell-batched shipment
+/// discards from the gap on; the primary detects the gap from the ack
+/// high-water mark, rolls back, and resends — and the replica converges.
+#[test]
+fn crash_mid_replicate_batch_rolls_back_and_resends() {
+    use hydra_fabric::{Fabric, FabricConfig};
+    use hydra_replication::{ReplConfig, ReplMode, ReplicationPair};
+    use hydra_store::{EngineConfig, ShardEngine, WriteMode};
+    use hydra_wire::LogOp;
+    use std::cell::RefCell;
+
+    let mut sim = Sim::new(11);
+    let fab = Fabric::new(FabricConfig::default());
+    let p = fab.add_node();
+    let s = fab.add_node();
+    let engine = Rc::new(RefCell::new(ShardEngine::new(EngineConfig {
+        arena_words: 1 << 16,
+        expected_items: 4096,
+        write_mode: WriteMode::Reliable,
+        min_lease_ns: 1_000,
+        max_lease_ns: 64_000,
+    })));
+    let pair = ReplicationPair::new(
+        &fab,
+        p,
+        s,
+        engine.clone(),
+        ReplConfig {
+            mode: ReplMode::Logging { ack_every: 5 },
+            ..Default::default()
+        },
+    );
+    // The 13th record of the batch will fail to process on the secondary.
+    pair.inject_failure(13);
+    let records: Vec<(Vec<u8>, Vec<u8>)> = (0..32u32)
+        .map(|i| (format!("bk{i:02}").into_bytes(), i.to_le_bytes().to_vec()))
+        .collect();
+    let refs: Vec<(LogOp, &[u8], &[u8])> = records
+        .iter()
+        .map(|(k, v)| (LogOp::Put, k.as_slice(), v.as_slice()))
+        .collect();
+    let done = Rc::new(Cell::new(false));
+    let d = done.clone();
+    pair.replicate_batch(&mut sim, &refs, Some(Box::new(move |_| d.set(true))));
+    sim.run();
+    pair.request_ack(&mut sim);
+    sim.run();
+    assert!(
+        done.get(),
+        "batch completion fires despite the mid-batch gap"
+    );
+    let st = pair.stats();
+    assert!(st.rollbacks >= 1, "gap must trigger a rollback");
+    assert!(st.discarded >= 1, "secondary discards from the gap on");
+    assert!(st.resends >= 1, "primary resends the discarded tail");
+    let mut e = engine.borrow_mut();
+    assert_eq!(e.len(), 32, "secondary converges to the full batch");
+    for (k, v) in &records {
+        assert_eq!(e.get(0, k).map(|g| g.value), Some(v.clone()));
+    }
+}
+
+/// Lease-reclamation safety (§4.2.3): force-expire every read lease while a
+/// client holds cached remote pointers, let the freed blocks be reused by
+/// other keys, and keep reading over the one-sided fast path. The guardian
+/// word must force the message fallback — never a torn or stale value.
+#[test]
+fn forced_lease_expiry_never_yields_stale_fast_path_reads() {
+    let cfg = ClusterConfig {
+        seed: 9,
+        client_nodes: 1,
+        ..ClusterConfig::default()
+    };
+    let mut cluster = ClusterBuilder::new(cfg).build();
+    let client = cluster.add_recording_client(0);
+    let chaos = cluster.chaos();
+
+    fn put_rec(cluster: &mut hydra_db::Cluster, c: &RecordingClient, k: &[u8], v: &[u8]) {
+        let done = Rc::new(Cell::new(false));
+        let d = done.clone();
+        c.put(
+            &mut cluster.sim,
+            k,
+            v,
+            Box::new(move |_, r| {
+                r.expect("put succeeds");
+                d.set(true);
+            }),
+        );
+        while !done.get() {
+            assert!(cluster.sim.step(), "queue drained before completion");
+        }
+    }
+    fn get_rec(cluster: &mut hydra_db::Cluster, c: &RecordingClient, k: &[u8]) -> Option<Vec<u8>> {
+        let out: Rc<RefCellOpt> = Rc::new(std::cell::RefCell::new(None));
+        let done = Rc::new(Cell::new(false));
+        let (o, d) = (out.clone(), done.clone());
+        c.get(
+            &mut cluster.sim,
+            k,
+            Box::new(move |_, r| {
+                *o.borrow_mut() = Some(r.expect("get succeeds"));
+                d.set(true);
+            }),
+        );
+        while !done.get() {
+            assert!(cluster.sim.step(), "queue drained before completion");
+        }
+        let got = out.borrow_mut().take();
+        got.expect("get completed")
+    }
+    type RefCellOpt = std::cell::RefCell<Option<Option<Vec<u8>>>>;
+
+    let victims: Vec<Vec<u8>> = (0..50)
+        .map(|i| format!("lease-{i:03}").into_bytes())
+        .collect();
+    for (i, k) in victims.iter().enumerate() {
+        put_rec(&mut cluster, &client, k, format!("v0-{i}").as_bytes());
+    }
+    // Warm the remote-pointer cache: the second read of each key takes the
+    // one-sided path against the cached pointer.
+    for k in &victims {
+        assert!(get_rec(&mut cluster, &client, k).is_some());
+        assert!(get_rec(&mut cluster, &client, k).is_some());
+    }
+    assert!(
+        cluster.clients()[0].stats().rptr_hits > 0,
+        "fast path must be in play before the fault"
+    );
+
+    // Overwrite every victim (old blocks retire behind their leases), then
+    // force-expire all leases and churn the arena so the freed blocks are
+    // reused by unrelated keys — cached pointers now dangle into foreign,
+    // rewritten memory.
+    for (i, k) in victims.iter().enumerate() {
+        put_rec(&mut cluster, &client, k, format!("v1-{i}").as_bytes());
+    }
+    for p in 0..cluster.cfg.total_shards() {
+        chaos.apply(&mut cluster.sim, &FaultEvent::ExpireLease { partition: p });
+    }
+    for i in 0..400 {
+        let k = format!("filler-{i:04}");
+        put_rec(
+            &mut cluster,
+            &client,
+            k.as_bytes(),
+            format!("f-{i}").as_bytes(),
+        );
+    }
+
+    // Every dangling-pointer read must detect the invalid guardian and fall
+    // back to the message path: current value, never v0, never torn bytes.
+    for (i, k) in victims.iter().enumerate() {
+        assert_eq!(
+            get_rec(&mut cluster, &client, k).as_deref(),
+            Some(format!("v1-{i}").as_bytes()),
+            "stale or torn fast-path read of {}",
+            String::from_utf8_lossy(k)
+        );
+    }
+    let s = cluster.clients()[0].stats();
+    assert!(
+        s.invalid_hits >= 1,
+        "at least one dangling pointer must have been caught by the guardian \
+         (got {} invalid hits)",
+        s.invalid_hits
+    );
+    // The recorded history agrees: every read observed a written value.
+    let history = chaos.history();
+    if let Err(v) = history.check_reads_observed_writes() {
+        panic!("{v}");
+    }
+    if let Err(v) = history.check_linearizable() {
+        panic!("{v}");
+    }
+}
