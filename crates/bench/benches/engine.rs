@@ -2,12 +2,13 @@
 //! that the cluster cost model abstracts as `get_ns`/`write_ns`.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use hydra_store::{EngineConfig, ShardEngine, WriteMode};
+use hydra_store::{EngineConfig, IndexKind, ShardEngine, WriteMode};
 
 fn engine_with(n: usize) -> ShardEngine {
     let mut e = ShardEngine::new(EngineConfig {
         arena_words: n * 16,
         expected_items: n,
+        index: IndexKind::Packed,
         write_mode: WriteMode::Reliable,
         min_lease_ns: 1_000_000,
         max_lease_ns: 64_000_000,

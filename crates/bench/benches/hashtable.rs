@@ -1,8 +1,9 @@
-//! Wall-clock comparison of the §4.1.3 compact table, the chained baseline,
-//! and `std::collections::HashMap` (A-HASH, wall-time half).
+//! Wall-clock comparison of the packed cache-line-group table, the §4.1.3
+//! compact table, the chained baseline, and `std::collections::HashMap`
+//! (A-HASH, wall-time half).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use hydra_store::{hash_key, ChainedTable, CompactTable};
+use hydra_store::{hash_key, ChainedTable, CompactTable, PackedTable};
 
 const N: usize = 100_000;
 
@@ -16,16 +17,26 @@ fn bench_lookup(c: &mut Criterion) {
     let keys = keys();
     let hashes: Vec<u64> = keys.iter().map(|k| hash_key(k)).collect();
 
+    let mut packed = PackedTable::with_capacity(N);
     let mut compact = CompactTable::with_capacity(N);
     let mut chained = ChainedTable::new(N / 4);
     let mut std_map = std::collections::HashMap::with_capacity(N);
     for (i, &h) in hashes.iter().enumerate() {
+        packed.insert(h, i as u64, |off| hashes[off as usize]);
         compact.insert(h, i as u64);
         chained.insert(h, i as u64);
         std_map.insert(keys[i].clone(), i as u64);
     }
 
     let mut g = c.benchmark_group("lookup_hit");
+    g.bench_function(BenchmarkId::new("packed", N), |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let idx = i % N;
+            i += 1;
+            black_box(packed.lookup(hashes[idx], |off| off == idx as u64))
+        })
+    });
     g.bench_function(BenchmarkId::new("compact", N), |b| {
         let mut i = 0;
         b.iter(|| {
@@ -57,6 +68,20 @@ fn bench_insert_remove(c: &mut Criterion) {
     let keys = keys();
     let hashes: Vec<u64> = keys.iter().map(|k| hash_key(k)).collect();
     let mut g = c.benchmark_group("insert_remove_cycle");
+    g.bench_function("packed", |b| {
+        let mut t = PackedTable::with_capacity(N);
+        let mut i = 0usize;
+        b.iter(|| {
+            let idx = i % N;
+            i += 1;
+            t.insert(hashes[idx], idx as u64, |off| hashes[off as usize]);
+            black_box(t.remove(
+                hashes[idx],
+                |off| off == idx as u64,
+                |off| hashes[off as usize],
+            ));
+        })
+    });
     g.bench_function("compact", |b| {
         let mut t = CompactTable::with_capacity(N);
         let mut i = 0usize;

@@ -2,7 +2,7 @@
 
 use hydra_fabric::{FabricConfig, Transport};
 use hydra_sim::time::{SimTime, MS};
-use hydra_store::WriteMode;
+use hydra_store::{IndexKind, WriteMode};
 
 /// Server-side execution model (§4.1.1, evaluated in §6.2.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -173,6 +173,10 @@ pub struct ClusterConfig {
     pub exec_model: ExecModel,
     /// Reliable store or cache semantics.
     pub write_mode: WriteMode,
+    /// Index structure per shard: the paper's chained table, the compact
+    /// signature table, or the packed cache-line-group table (the default;
+    /// see `abl_hashtable` for the A/B).
+    pub index: IndexKind,
     /// Share the remote-pointer cache among clients on one node (§4.2.4).
     pub shared_ptr_cache: bool,
     /// Arena words per shard.
@@ -240,6 +244,7 @@ impl Default for ClusterConfig {
             client_mode: ClientMode::RdmaWriteRead,
             exec_model: ExecModel::SingleThreaded,
             write_mode: WriteMode::Reliable,
+            index: IndexKind::Packed,
             shared_ptr_cache: false,
             arena_words: 1 << 20,
             expected_items: 128 << 10,

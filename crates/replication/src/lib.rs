@@ -893,7 +893,7 @@ pub fn replicate_strict(
 mod tests {
     use super::*;
     use hydra_fabric::FabricConfig;
-    use hydra_store::{EngineConfig, WriteMode};
+    use hydra_store::{EngineConfig, IndexKind, WriteMode};
 
     fn setup(cfg: ReplConfig) -> (Sim, Fabric, ReplicationPair, Rc<RefCell<ShardEngine>>) {
         let sim = Sim::new(11);
@@ -903,6 +903,7 @@ mod tests {
         let engine = Rc::new(RefCell::new(ShardEngine::new(EngineConfig {
             arena_words: 1 << 16,
             expected_items: 4096,
+            index: IndexKind::Packed,
             write_mode: WriteMode::Reliable,
             min_lease_ns: 1_000,
             max_lease_ns: 64_000,

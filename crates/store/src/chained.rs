@@ -105,6 +105,43 @@ impl ChainedTable {
         None
     }
 
+    /// Batched lookup. The chained layout has no group line to prefetch —
+    /// chains are pointer soup — so this is simply the scalar loop; it
+    /// exists so the baseline drives the same engine batch path as the
+    /// packed table in the A/B.
+    pub fn lookup_batch(
+        &mut self,
+        hashes: &[u64],
+        out: &mut [Option<u64>],
+        mut is_match: impl FnMut(usize, u64) -> bool,
+    ) {
+        assert!(
+            hashes.len() <= crate::table::LOOKUP_BATCH,
+            "batch exceeds LOOKUP_BATCH"
+        );
+        assert!(out.len() >= hashes.len(), "output buffer too small");
+        for (i, &hash) in hashes.iter().enumerate() {
+            out[i] = self.lookup(hash, |off| is_match(i, off));
+        }
+    }
+
+    /// Visits every stored offset (diagnostics, migration, eviction scans).
+    pub fn for_each(&self, mut f: impl FnMut(u64)) {
+        for head in self.heads.iter() {
+            let mut cur = head.as_deref();
+            while let Some(n) = cur {
+                f(n.offset);
+                cur = n.next.as_deref();
+            }
+        }
+    }
+
+    /// Bytes held by the bucket array plus every boxed node.
+    pub fn mem_bytes(&self) -> usize {
+        self.heads.len() * std::mem::size_of::<Option<Box<Node>>>()
+            + self.len * std::mem::size_of::<Node>()
+    }
+
     /// Removes an entry; returns its offset.
     pub fn remove(&mut self, hash: u64, mut is_match: impl FnMut(u64) -> bool) -> Option<u64> {
         let b = (hash & self.mask) as usize;

@@ -18,9 +18,9 @@ use std::collections::VecDeque;
 use std::sync::atomic::AtomicU64;
 
 use crate::arena::Arena;
+use crate::index::{AnyIndex, Index, IndexKind};
 use crate::item::{item_words, ItemRef};
 use crate::reclaim::ReclaimQueue;
-use crate::table::CompactTable;
 use crate::{hash_key, ArenaStats, TableStats};
 
 /// Whether the store is a reliable store (INSERT collides) or a cache
@@ -39,8 +39,10 @@ pub enum WriteMode {
 pub struct EngineConfig {
     /// Arena capacity in 8-byte words.
     pub arena_words: usize,
-    /// Expected item count (sizes the compact table).
+    /// Expected item count (sizes the index).
     pub expected_items: usize,
+    /// Which index structure backs the shard (the `abl_hashtable` A/B axis).
+    pub index: IndexKind,
     /// Reliable store or cache.
     pub write_mode: WriteMode,
     /// Minimum lease term granted on a GET (paper: 1 s).
@@ -54,6 +56,7 @@ impl Default for EngineConfig {
         EngineConfig {
             arena_words: 1 << 20, // 8 MiB
             expected_items: 64 << 10,
+            index: IndexKind::default(),
             write_mode: WriteMode::Reliable,
             min_lease_ns: 1_000_000_000,
             max_lease_ns: 64_000_000_000,
@@ -122,6 +125,8 @@ pub struct EngineStats {
     pub lease_renews: u64,
     pub evictions: u64,
     pub reclaimed_blocks: u64,
+    /// Displaced index group arrays freed by the reclamation pump.
+    pub retired_index_groups: u64,
     pub oom_events: u64,
 }
 
@@ -140,7 +145,7 @@ pub struct EngineStats {
 /// ```
 pub struct ShardEngine {
     arena: Arena,
-    table: CompactTable,
+    table: AnyIndex,
     reclaim: ReclaimQueue,
     cfg: EngineConfig,
     /// CLOCK ring of (key hash, offset) candidates; entries are validated
@@ -155,12 +160,32 @@ impl ShardEngine {
     pub fn new(cfg: EngineConfig) -> Self {
         ShardEngine {
             arena: Arena::new(cfg.arena_words),
-            table: CompactTable::with_capacity(cfg.expected_items),
+            table: AnyIndex::with_capacity(cfg.index, cfg.expected_items),
             reclaim: ReclaimQueue::new(),
             clock: VecDeque::new(),
             cfg,
             stats: EngineStats::default(),
         }
+    }
+
+    /// Which index structure this shard runs.
+    pub fn index_kind(&self) -> IndexKind {
+        self.table.kind()
+    }
+
+    /// Whether the index has an incremental resize in progress.
+    pub fn index_resizing(&self) -> bool {
+        self.table.is_resizing()
+    }
+
+    /// Bytes of displaced index group arrays awaiting epoch reclamation.
+    pub fn index_retired_bytes(&self) -> usize {
+        self.table.retired_bytes()
+    }
+
+    /// Bytes held by the index's live structures.
+    pub fn index_mem_bytes(&self) -> usize {
+        self.table.mem_bytes()
     }
 
     /// The registered-memory word slice remote readers access.
@@ -225,6 +250,16 @@ impl ShardEngine {
             .lookup(hash, |off| ItemRef { off }.key_eq(words, key))
     }
 
+    /// Links a freshly written item into the index. The rehash callback lets
+    /// the packed index re-derive migrated entries' home groups during
+    /// incremental resize; it only ever sees offsets of live items (every
+    /// engine path removes the index entry before a block can be reclaimed).
+    fn index_insert(&mut self, hash: u64, off: u64) {
+        let words = self.arena.words();
+        self.table
+            .insert(hash, off, |o| ItemRef { off: o }.stored_key_hash(words));
+    }
+
     fn alloc_item(&mut self, now: u64, klen: usize, vlen: usize) -> Result<u64, EngineError> {
         let need = item_words(klen, vlen);
         if let Some(off) = self.arena.alloc(need) {
@@ -232,6 +267,13 @@ impl ShardEngine {
         }
         // Reclaim anything whose lease has lapsed, then retry.
         self.pump_reclaim(now);
+        if let Some(off) = self.arena.alloc(need) {
+            return Ok(off);
+        }
+        // Still stuck: pull free blocks bordering the bump frontier back
+        // into headroom so a size class the free lists have never seen can
+        // be carved.
+        self.arena.compact();
         if let Some(off) = self.arena.alloc(need) {
             return Ok(off);
         }
@@ -255,18 +297,20 @@ impl ShardEngine {
                     continue;
                 }
                 // Evict: unlink, kill, defer the block to lease expiry.
-                let key = item.key(words);
                 let lease = item.lease(words);
                 let total = item.total_words(words);
                 let removed = self
                     .table
-                    .remove(h, |o| o == off)
+                    .remove(
+                        h,
+                        |o| o == off,
+                        |o| ItemRef { off: o }.stored_key_hash(words),
+                    )
                     .expect("entry verified current");
                 debug_assert_eq!(removed, off);
-                item.kill(self.arena.words());
+                item.kill(words);
                 self.reclaim.push(off, total, lease.max(now));
                 self.stats.evictions += 1;
-                let _ = key;
                 self.pump_reclaim(now);
                 if let Some(off) = self.arena.alloc(need) {
                     return Ok(off);
@@ -294,7 +338,7 @@ impl ShardEngine {
         }
         let off = self.alloc_item(now, key.len(), value.len())?;
         let item = ItemRef::write_new(self.arena.words(), off, key, value);
-        self.table.insert(hash, off);
+        self.index_insert(hash, off);
         self.clock.push_back((hash, off));
         self.stats.inserts += 1;
         Ok(ItemInfo {
@@ -320,7 +364,7 @@ impl ShardEngine {
                 WriteMode::Cache => {
                     let off = self.alloc_item(now, key.len(), value.len())?;
                     let item = ItemRef::write_new(self.arena.words(), off, key, value);
-                    self.table.insert(hash, off);
+                    self.index_insert(hash, off);
                     self.clock.push_back((hash, off));
                     self.stats.updates += 1;
                     Ok(ItemInfo {
@@ -343,7 +387,7 @@ impl ShardEngine {
             None => {
                 let off = self.alloc_item(now, key.len(), value.len())?;
                 let item = ItemRef::write_new(self.arena.words(), off, key, value);
-                self.table.insert(hash, off);
+                self.index_insert(hash, off);
                 self.clock.push_back((hash, off));
                 Ok(ItemInfo {
                     off_words: off,
@@ -377,7 +421,12 @@ impl ShardEngine {
         let old_words = old_item.total_words(words);
         let old_lease = old_item.lease(words);
         old_item.kill(words);
-        let replaced = self.table.replace(hash, new_off, |off| off == old_off);
+        let replaced = self.table.replace(
+            hash,
+            new_off,
+            |off| off == old_off,
+            |o| ItemRef { off: o }.stored_key_hash(words),
+        );
         debug_assert_eq!(replaced, Some(old_off));
         self.clock.push_back((hash, new_off));
         self.reclaim.push(old_off, old_words, old_lease.max(now));
@@ -388,12 +437,22 @@ impl ShardEngine {
         })
     }
 
+    /// Lease tier of an item with popularity `pop`: `floor(log2(pop))`
+    /// clamped to 0..=6, i.e. the seven doublings of the §4.2.3 1–64 s
+    /// range. This is the value the packed index caches inline in the
+    /// bucket's meta word ([`crate::PackedTable::touch`]).
+    fn lease_class(pop: u8) -> u8 {
+        (63 - (pop as u64).max(1).leading_zeros() as u64).min(6) as u8
+    }
+
     /// Lease term granted to an item with popularity `pop`: doubles per
     /// popularity power-of-two, clamped to `[min_lease, max_lease]` (§4.2.3's
     /// 1–64 s range).
     fn lease_term(&self, pop: u8) -> u64 {
-        let level = 63 - (pop as u64).max(1).leading_zeros() as u64; // floor(log2(pop)), pop >= 1
-        let term = self.cfg.min_lease_ns.saturating_shl(level.min(6) as u32);
+        let term = self
+            .cfg
+            .min_lease_ns
+            .saturating_shl(Self::lease_class(pop) as u32);
         term.clamp(self.cfg.min_lease_ns, self.cfg.max_lease_ns)
     }
 
@@ -418,9 +477,13 @@ impl ShardEngine {
         let item = ItemRef { off };
         item.bump_popularity(words);
         item.set_clock_ref(words, true);
-        let expiry = now + self.lease_term(item.popularity(words));
+        let pop = item.popularity(words);
+        let expiry = now + self.lease_term(pop);
         item.extend_lease(words, expiry);
         item.value_into(words, out);
+        // Mirror the granted lease tier into the bucket line while it is
+        // still cache-hot (no-op for indexes without inline metadata).
+        self.table.touch(hash, off, Self::lease_class(pop));
         Some(ItemInfo {
             off_words: off,
             read_len: item.read_len(words),
@@ -473,9 +536,11 @@ impl ShardEngine {
                 let item = ItemRef { off };
                 item.bump_popularity(words);
                 item.set_clock_ref(words, true);
-                let expiry = now + self.lease_term(item.popularity(words));
+                let pop = item.popularity(words);
+                let expiry = now + self.lease_term(pop);
                 item.extend_lease(words, expiry);
                 item.value_into(words, scratch);
+                self.table.touch(hashes[i], off, Self::lease_class(pop));
                 emit(
                     chunk_start + i,
                     Some(ItemInfo {
@@ -495,12 +560,22 @@ impl ShardEngine {
         let Some(off) = self.find(hash, key) else {
             return Err(EngineError::NotFound);
         };
+        // Advance the reclamation epoch from the delete path too — a
+        // delete-only workload must drain expired blocks and displaced index
+        // groups without waiting for a put. Pumping *before* pushing leaves
+        // the block killed below for a later epoch, as the lease protocol
+        // requires.
+        self.pump_reclaim(now);
         let words = self.arena.words();
         let item = ItemRef { off };
         let total = item.total_words(words);
         let lease = item.lease(words);
+        self.table.remove(
+            hash,
+            |o| o == off,
+            |o| ItemRef { off: o }.stored_key_hash(words),
+        );
         item.kill(words);
-        self.table.remove(hash, |o| o == off);
         self.reclaim.push(off, total, lease.max(now));
         self.stats.deletes += 1;
         Ok(())
@@ -515,8 +590,10 @@ impl ShardEngine {
         let off = self.find(hash, key)?;
         let words = self.arena.words();
         let item = ItemRef { off };
-        let expiry = now + self.lease_term(item.popularity(words));
+        let pop = item.popularity(words);
+        let expiry = now + self.lease_term(pop);
         item.extend_lease(words, expiry);
+        self.table.touch(hash, off, Self::lease_class(pop));
         Some(item.lease(words))
     }
 
@@ -529,6 +606,11 @@ impl ShardEngine {
             .reclaim
             .reclaim(now, |off, words| arena.free(off, words));
         self.stats.reclaimed_blocks += n as u64;
+        // Displaced index group arrays ride the same epoch: the shard thread
+        // is the only index reader (remote GETs bypass it via one-sided
+        // reads), so a fully drained old half has no remaining readers by
+        // the time any pump runs.
+        self.stats.retired_index_groups += self.table.reclaim_retired() as u64;
         n
     }
 
@@ -568,6 +650,7 @@ mod tests {
         EngineConfig {
             arena_words: 4096,
             expected_items: 256,
+            index: IndexKind::Packed,
             write_mode: mode,
             min_lease_ns: 1_000,
             max_lease_ns: 64_000,
@@ -752,6 +835,7 @@ mod tests {
         let cfg = EngineConfig {
             arena_words: 512,
             expected_items: 64,
+            index: IndexKind::Packed,
             write_mode: WriteMode::Cache,
             min_lease_ns: 0,
             max_lease_ns: 0,
@@ -774,6 +858,7 @@ mod tests {
         let cfg = EngineConfig {
             arena_words: 64,
             expected_items: 8,
+            index: IndexKind::Packed,
             write_mode: WriteMode::Reliable,
             min_lease_ns: 1_000,
             max_lease_ns: 64_000,
@@ -795,6 +880,7 @@ mod tests {
         let cfg = EngineConfig {
             arena_words: 512,
             expected_items: 64,
+            index: IndexKind::Packed,
             write_mode: WriteMode::Cache,
             min_lease_ns: 0,
             max_lease_ns: 0,
@@ -865,6 +951,7 @@ mod tests {
         let cfg = EngineConfig {
             arena_words: 8192,
             expected_items: 128,
+            index: IndexKind::Packed,
             write_mode: WriteMode::Reliable,
             min_lease_ns: 100,
             max_lease_ns: 6_400,
@@ -886,5 +973,121 @@ mod tests {
         assert_eq!(e.reclaim_pending(), 0);
         let a = e.arena_stats();
         assert_eq!(a.live_words, 64 * item_words(6, 24) as u64);
+    }
+
+    #[test]
+    fn delete_only_workload_drains_reclaim_and_retired_groups() {
+        // Regression: the reclamation epoch used to advance only from put
+        // paths, so a delete-only phase accumulated expired blocks (and,
+        // with the packed index, retired group arrays) unboundedly.
+        let cfg = EngineConfig {
+            arena_words: 1 << 16,
+            expected_items: 16, // tiny: loading 2k items forces many resizes
+            index: IndexKind::Packed,
+            write_mode: WriteMode::Reliable,
+            min_lease_ns: 50,
+            max_lease_ns: 3_200,
+        };
+        let mut e = ShardEngine::new(cfg);
+        for i in 0..2_000u64 {
+            e.insert(i, format!("dk{i:05}").as_bytes(), &[7; 16])
+                .unwrap();
+        }
+        // Deletes only from here on; leases are short, so blocks keep
+        // expiring as virtual time advances.
+        let mut peak_pending = 0;
+        for i in 0..2_000u64 {
+            let now = 1_000_000 + i * 100; // far past every grant
+            e.delete(now, format!("dk{i:05}").as_bytes()).unwrap();
+            peak_pending = peak_pending.max(e.reclaim_pending());
+            assert!(
+                e.index_retired_bytes() == 0 || e.index_resizing(),
+                "retired halves must drain from the delete path"
+            );
+        }
+        assert!(
+            peak_pending <= 2,
+            "delete-only loop must not grow the reclaim queue: {peak_pending}"
+        );
+        assert!(e.stats().reclaimed_blocks >= 1_999);
+        assert!(
+            e.stats().retired_index_groups >= 1,
+            "growth during load must have retired old halves"
+        );
+    }
+
+    #[test]
+    fn item_addresses_are_stable_across_index_resizes() {
+        // The address-stability contract behind client-cached remote
+        // pointers: incremental resize moves index *entries*, never items.
+        let cfg = EngineConfig {
+            arena_words: 1 << 16,
+            expected_items: 16,
+            index: IndexKind::Packed,
+            write_mode: WriteMode::Reliable,
+            min_lease_ns: 1_000,
+            max_lease_ns: 64_000,
+        };
+        let mut e = ShardEngine::new(cfg);
+        let info = e.insert(0, b"pinned-key", b"pinned-value!!").unwrap();
+        // Force multiple incremental resizes with unrelated inserts.
+        for i in 0..2_000u64 {
+            e.insert(i, format!("fill{i:05}").as_bytes(), &[0; 8])
+                .unwrap();
+        }
+        assert!(e.table_stats().resizes >= 2, "resizes must have happened");
+        // The cached offset still serves a valid one-sided read...
+        let blob = rdma_fetch(&e, info);
+        let f = FetchedItem::parse(&blob, b"pinned-key").unwrap();
+        assert_eq!(f.value, b"pinned-value!!");
+        // ...and the index agrees the item never moved.
+        let got = e.get(10, b"pinned-key").unwrap();
+        assert_eq!(got.info.off_words, info.off_words);
+    }
+
+    #[test]
+    fn engines_agree_across_index_kinds() {
+        // Cheap cross-kind smoke (the full randomized equivalence lives in
+        // tests/tests/index_equivalence.rs): drive the same script through
+        // all three index structures and compare observable results.
+        let mk = |kind| {
+            ShardEngine::new(EngineConfig {
+                arena_words: 1 << 14,
+                expected_items: 32,
+                index: kind,
+                write_mode: WriteMode::Reliable,
+                min_lease_ns: 1_000,
+                max_lease_ns: 64_000,
+            })
+        };
+        let mut engines = [
+            mk(IndexKind::Chained),
+            mk(IndexKind::Compact),
+            mk(IndexKind::Packed),
+        ];
+        for i in 0..600u64 {
+            let k = format!("ek{}", i % 200);
+            for e in &mut engines {
+                match i % 4 {
+                    0 => {
+                        let _ = e.insert(i, k.as_bytes(), &[i as u8; 12]);
+                    }
+                    1 => {
+                        let _ = e.update(i, k.as_bytes(), &[i as u8; 20]);
+                    }
+                    2 => {
+                        let _ = e.delete(i, k.as_bytes());
+                    }
+                    _ => {}
+                }
+            }
+            let gets: Vec<Option<Vec<u8>>> = engines
+                .iter_mut()
+                .map(|e| e.get(i, k.as_bytes()).map(|g| g.value))
+                .collect();
+            assert_eq!(gets[0], gets[1], "step {i}");
+            assert_eq!(gets[1], gets[2], "step {i}");
+        }
+        assert_eq!(engines[0].len(), engines[2].len());
     }
 }

@@ -174,6 +174,29 @@ impl ItemRef {
         true
     }
 
+    /// Hashes the stored key without allocating — byte-for-byte identical to
+    /// [`crate::hash_key`] on the key bytes. This is what lets the packed
+    /// index re-derive an entry's home group during incremental resize from
+    /// nothing but the 48-bit offset in the bucket line: index entries always
+    /// reference live items, so the key bytes are immutably present.
+    pub fn stored_key_hash(&self, words: &[AtomicU64]) -> u64 {
+        let klen = self.klen(words);
+        let mut h: u64 = crate::FNV_OFFSET;
+        let mut w = self.off as usize + 1;
+        let mut remaining = klen;
+        while remaining > 0 {
+            let v = words[w].load(Ordering::Relaxed);
+            let take = remaining.min(8);
+            for i in 0..take {
+                h ^= (v >> (i * 8)) & 0xFF;
+                h = h.wrapping_mul(crate::FNV_PRIME);
+            }
+            w += 1;
+            remaining -= take;
+        }
+        crate::avalanche(h)
+    }
+
     /// Copies the value out.
     pub fn value(&self, words: &[AtomicU64]) -> Vec<u8> {
         let vlen = self.vlen(words);
@@ -347,6 +370,29 @@ mod tests {
         assert!(!item.key_eq(&words, b"user:43"));
         assert!(!item.key_eq(&words, b"user:4"));
         assert_eq!(item.total_words(&words), item_words(7, 17));
+    }
+
+    #[test]
+    fn stored_key_hash_matches_hash_key() {
+        let words = arena_words(128);
+        let mut off = 0u64;
+        for key in [
+            &b""[..],
+            b"k",
+            b"8bytes!!",
+            b"user:42",
+            b"key16bytes......",
+            b"a-rather-long-key-spanning-several-words",
+        ] {
+            let item = ItemRef::write_new(&words, off, key, b"v");
+            assert_eq!(
+                item.stored_key_hash(&words),
+                crate::hash_key(key),
+                "key {:?}",
+                String::from_utf8_lossy(key)
+            );
+            off += item.total_words(&words) as u64;
+        }
     }
 
     #[test]

@@ -22,38 +22,53 @@ pub mod arena;
 pub mod chained;
 pub mod checksum;
 pub mod engine;
+pub mod index;
 pub mod item;
+pub mod packed;
 pub mod reclaim;
 pub mod table;
 
-pub use arena::{Arena, ArenaStats};
+pub use arena::{size_class, Arena, ArenaStats};
 pub use chained::ChainedTable;
 pub use checksum::{ChecksumItem, ChecksumVerdict, Crc64};
 pub use engine::{
     EngineConfig, EngineError, EngineStats, GetResult, ItemInfo, ShardEngine, WriteMode,
 };
+pub use index::{AnyIndex, Index, IndexKind};
 pub use item::{
     item_words, rdma_read_len, FetchedItem, ItemError, ItemRef, GUARD_DEAD, GUARD_VALID,
 };
+pub use packed::{PackedTable, GROUP_SLOTS};
 pub use reclaim::ReclaimQueue;
 pub use table::{CompactTable, TableStats, LOOKUP_BATCH};
 
-/// 64-bit key hash used everywhere: FNV-1a. Stable across runs (and thus
-/// across the consistent-hashing ring, signatures, and partition routing).
+/// FNV-1a offset basis (shared with [`item::ItemRef::stored_key_hash`],
+/// which must reproduce [`hash_key`] from arena words byte-for-byte).
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime.
+pub(crate) const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// Final avalanche (splitmix64 tail) so low bits are well mixed even for
+/// short sequential keys.
 #[inline]
-pub fn hash_key(key: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in key {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    // Final avalanche (splitmix64 tail) so low bits are well mixed even for
-    // short sequential keys.
+pub(crate) fn avalanche(mut h: u64) -> u64 {
     h ^= h >> 30;
     h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
     h ^= h >> 27;
     h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
     h ^ (h >> 31)
+}
+
+/// 64-bit key hash used everywhere: FNV-1a. Stable across runs (and thus
+/// across the consistent-hashing ring, signatures, and partition routing).
+#[inline]
+pub fn hash_key(key: &[u8]) -> u64 {
+    let mut h: u64 = FNV_OFFSET;
+    for &b in key {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    avalanche(h)
 }
 
 /// The 16-bit slot signature derived from a key hash (§4.1.3).

@@ -122,6 +122,16 @@ pub struct TableStats {
     pub overflow_allocs: u64,
     /// Overflow buckets merged away after removals.
     pub merges: u64,
+    /// Packed table: entries re-placed by incremental-resize migration.
+    pub displacements: u64,
+    /// Packed table: incremental resizes begun (growth or tombstone purge).
+    pub resizes: u64,
+    /// Packed table: old-half groups drained by migration steps.
+    pub migrated_groups: u64,
+    /// Packed table: tombstone lanes discarded when a resize began.
+    pub tombstones_purged: u64,
+    /// Packed table: inline lease-class refreshes ([`crate::PackedTable::touch`]).
+    pub touches: u64,
 }
 
 /// The compact hash table. Maps 64-bit key hashes to arena word offsets,
@@ -473,6 +483,11 @@ impl CompactTable {
     /// Number of live overflow buckets (chain pressure diagnostic).
     pub fn overflow_buckets(&self) -> usize {
         self.overflow.len() - self.overflow_free.len()
+    }
+
+    /// Bytes held by the main branch plus all overflow buckets.
+    pub fn mem_bytes(&self) -> usize {
+        (self.main.len() + self.overflow.len()) * std::mem::size_of::<Bucket>()
     }
 }
 

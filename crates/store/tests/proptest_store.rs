@@ -6,7 +6,8 @@
 use std::collections::HashMap;
 
 use hydra_store::{
-    item_words, EngineConfig, EngineError, FetchedItem, ItemError, ShardEngine, WriteMode,
+    item_words, EngineConfig, EngineError, FetchedItem, IndexKind, ItemError, ShardEngine,
+    WriteMode,
 };
 use proptest::prelude::*;
 
@@ -45,6 +46,7 @@ proptest! {
         let mut engine = ShardEngine::new(EngineConfig {
             arena_words: 1 << 15,
             expected_items: 256,
+            index: IndexKind::Packed,
             write_mode: WriteMode::Reliable,
             min_lease_ns: 500,
             max_lease_ns: 32_000,
@@ -117,6 +119,7 @@ proptest! {
         let mut engine = ShardEngine::new(EngineConfig {
             arena_words: 1 << 14,
             expected_items: 64,
+            index: IndexKind::Packed,
             write_mode: WriteMode::Reliable,
             min_lease_ns: 1_000_000, // long lease: no reuse during the test
             max_lease_ns: 64_000_000,
@@ -162,6 +165,7 @@ fn cache_mode_never_reports_oom_under_churn() {
     let mut engine = ShardEngine::new(EngineConfig {
         arena_words: 2_048,
         expected_items: 64,
+        index: IndexKind::Packed,
         write_mode: WriteMode::Cache,
         min_lease_ns: 0,
         max_lease_ns: 0,

@@ -5,6 +5,18 @@
 //! `RemotePtr` and a lease expiry. The client caches the pointer and, while
 //! the lease holds, later GETs of the same key fetch the item directly with a
 //! one-sided RDMA Read — zero server CPU.
+//!
+//! # Address stability
+//!
+//! A cached pointer names *item* memory in the arena, never index memory.
+//! This is the contract that lets the server resize or rebuild its hash
+//! index (including the packed table's incremental group splits) without
+//! invalidating a single outstanding pointer: resizes move index **entries**
+//! — (tag, offset) pairs — while the items they point at stay at fixed
+//! arena offsets until an update/delete retires them through the guardian
+//! word plus lease-deferred reclamation. Clients therefore never need to be
+//! notified of index maintenance; staleness is only ever signalled by the
+//! guardian protocol on the item itself.
 
 /// Location of an item inside a server-side registered memory region.
 ///

@@ -16,6 +16,9 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> packed-group layout static assertions (64 B size + alignment)"
+cargo test -q --release -p hydra-store layout_is_one_aligned_cache_line
+
 echo "==> bench smoke (reduced scale, scratch results dir)"
 SMOKE_RESULTS="$(mktemp -d)"
 trap 'rm -rf "$SMOKE_RESULTS"' EXIT
@@ -23,6 +26,8 @@ HYDRA_SCALE=smoke HYDRA_RESULTS_DIR="$SMOKE_RESULTS" \
     cargo run -q --release -p hydra-bench --bin perf_events
 HYDRA_SCALE=smoke HYDRA_RESULTS_DIR="$SMOKE_RESULTS" \
     cargo run -q --release -p hydra-bench --bin perf_batching
+HYDRA_SCALE=smoke HYDRA_RESULTS_DIR="$SMOKE_RESULTS" \
+    cargo run -q --release -p hydra-bench --bin perf_index
 HYDRA_SCALE=smoke HYDRA_RESULTS_DIR="$SMOKE_RESULTS" \
     cargo run -q --release -p hydra-bench --bin chaos_recovery
 

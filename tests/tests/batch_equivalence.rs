@@ -10,7 +10,7 @@
 
 use hydra_db::server::{apply_request, run_batch};
 use hydra_fabric::RegionId;
-use hydra_store::{EngineConfig, ShardEngine, WriteMode};
+use hydra_store::{EngineConfig, IndexKind, ShardEngine, WriteMode};
 use hydra_wire::{BatchBuilder, BatchFrame, Request};
 use proptest::prelude::*;
 
@@ -49,6 +49,7 @@ fn engine() -> ShardEngine {
     let mut e = ShardEngine::new(EngineConfig {
         arena_words: 1 << 14,
         expected_items: 256,
+        index: IndexKind::Packed,
         write_mode: WriteMode::Reliable,
         min_lease_ns: 1_000_000,
         max_lease_ns: 64_000_000,

@@ -16,7 +16,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use hydra_db::{ClusterBuilder, ClusterConfig};
 use hydra_integration::{get_value, put_ok};
 use hydra_lockfree::LockFreeMap;
-use hydra_store::{EngineConfig, ShardEngine, WriteMode};
+use hydra_store::{EngineConfig, IndexKind, ShardEngine, WriteMode};
 use hydra_wire::{KeyList, Request};
 
 struct CountingAlloc;
@@ -57,8 +57,81 @@ fn count_allocs(f: impl FnOnce()) -> u64 {
 fn hot_paths_do_not_allocate() {
     decode_is_zero_alloc();
     steady_state_get_into_is_zero_alloc();
+    packed_probe_paths_are_zero_alloc_at_high_lf_and_mid_resize();
     shared_cache_lookup_is_zero_alloc();
     server_get_alloc_count_is_constant();
+}
+
+/// The packed-index probe path — single GET and batched GET — stays
+/// allocation-free at high load factor, and keeps doing so while an
+/// incremental resize is in flight (lookups probe both halves through the
+/// old groups' chains-on flags; no rehash buffer, no displacement scratch).
+fn packed_probe_paths_are_zero_alloc_at_high_lf_and_mid_resize() {
+    let mut engine = ShardEngine::new(EngineConfig {
+        arena_words: 1 << 16,
+        expected_items: 512,
+        index: IndexKind::Packed,
+        write_mode: WriteMode::Reliable,
+        min_lease_ns: 1_000,
+        max_lease_ns: 64_000,
+    });
+    let keys: Vec<Vec<u8>> = (0..400)
+        .map(|i| format!("hotk{i:06}").into_bytes())
+        .collect();
+    for k in &keys {
+        engine.insert(0, k, &[0x3C; 32]).unwrap();
+    }
+    let mut scratch = Vec::new();
+    engine.get_into(1, &keys[0], &mut scratch).unwrap();
+    let allocs = count_allocs(|| {
+        for round in 0..1_000u64 {
+            let k = &keys[(round as usize) % keys.len()];
+            assert!(engine.get_into(round, k, &mut scratch).is_some());
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "packed GET at high load factor must not allocate"
+    );
+
+    // Batched probing: candidate prefetch uses fixed-size stack windows.
+    let refs: Vec<&[u8]> = keys.iter().take(64).map(|k| k.as_slice()).collect();
+    let mut hits = 0usize;
+    engine.get_batch_into(2, &refs, &mut scratch, |_, _, _| {});
+    let allocs = count_allocs(|| {
+        for round in 0..100u64 {
+            engine.get_batch_into(round, &refs, &mut scratch, |_, info, _| {
+                if info.is_some() {
+                    hits += 1;
+                }
+            });
+        }
+    });
+    assert_eq!(hits, 6_400);
+    assert_eq!(allocs, 0, "packed batched GET must not allocate");
+
+    // Drive an incremental resize into flight, then probe mid-resize.
+    // Migration only advances on mutations, so the split stays in progress
+    // for as long as we only read.
+    let mut i = 0u64;
+    while !engine.index_resizing() {
+        engine
+            .insert(0, format!("grow{i:08}").as_bytes(), &[1; 8])
+            .unwrap();
+        i += 1;
+        assert!(i < 1_000_000, "resize never started");
+    }
+    let allocs = count_allocs(|| {
+        for round in 0..1_000u64 {
+            let k = &keys[(round as usize) % keys.len()];
+            assert!(engine.get_into(round, k, &mut scratch).is_some());
+        }
+    });
+    assert_eq!(allocs, 0, "mid-resize packed GET must not allocate");
+    assert!(
+        engine.index_resizing(),
+        "read-only probing must not migrate groups"
+    );
 }
 
 /// The node-wide shared pointer cache resolves GET keys through the
@@ -149,6 +222,7 @@ fn steady_state_get_into_is_zero_alloc() {
     let mut engine = ShardEngine::new(EngineConfig {
         arena_words: 1 << 14,
         expected_items: 256,
+        index: IndexKind::Packed,
         write_mode: WriteMode::Reliable,
         min_lease_ns: 1_000,
         max_lease_ns: 64_000,
