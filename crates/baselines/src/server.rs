@@ -237,6 +237,7 @@ impl BaselineServer {
                         value: &got.value,
                         rptr: RemotePtr::none(),
                         lease_expiry: 0,
+                        replicas: None,
                     }
                     .encode(),
                     None => to(Status::NotFound),

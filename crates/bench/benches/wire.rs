@@ -50,6 +50,7 @@ fn bench_codec(c: &mut Criterion) {
         value: &value,
         rptr: RemotePtr::new(1, 4096, 64),
         lease_expiry: 123,
+        replicas: None,
     };
     g.bench_function("response_encode_decode", |b| {
         b.iter(|| {

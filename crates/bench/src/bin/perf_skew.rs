@@ -1,0 +1,247 @@
+//! BENCH_skew — skew-resilient read plane: replica read spreading and the
+//! bounded CLOCK pointer cache.
+//!
+//! Deployment: 3 server machines x 2 shards, 2 secondaries per partition
+//! placed on the *other* two machines (the builder's `(home + r) % nodes`
+//! rule), strict replication, 128 closed-loop clients (8 per client
+//! machine, sharing each machine's pointer cache) in RDMA Write+Read mode.
+//! One-sided reads are served by the target machine's NIC, so under
+//! Zipfian skew the hot partition's NIC saturates first; exporting replica
+//! remote pointers for hot keys lets clients round-robin fast-path reads
+//! over three NICs instead of one.
+//!
+//! Two sweeps:
+//!  * θ ∈ {0.5, 0.9, 0.99, 1.2} × spreading {off, on} at equal replication
+//!    factor — the resilience-to-skew claim (floor: ≥ 1.3x GETs at θ=0.99,
+//!    p99 no worse).
+//!  * cache capacity at θ=0.99 with spreading on — the bounded CLOCK cache
+//!    with sketch admission must stay within 10% of an effectively
+//!    unbounded cache's fast-path hit rate.
+
+use hydra_bench::{Report, ReportRow, Scale};
+use hydra_db::server::HIST_BUCKETS;
+use hydra_db::{ClientMode, Cluster, ClusterBuilder, ClusterConfig, HydraClient, ReplicationMode};
+use hydra_ycsb::{run_workload, DriverConfig, KeyDist, Workload, WorkloadReport};
+
+const CLIENTS: usize = 192;
+const THETAS: [f64; 4] = [0.5, 0.9, 0.99, 1.2];
+/// Larger than any scale's record count: eviction never fires.
+const UNBOUNDED: usize = 1 << 21;
+
+fn skew_config(spread: bool, cap: usize, scale: Scale) -> ClusterConfig {
+    let mut cfg = ClusterConfig {
+        server_nodes: 6,
+        shards_per_node: 1,
+        client_nodes: 12,
+        replicas: 3,
+        replication: ReplicationMode::Strict,
+        client_mode: ClientMode::RdmaWriteRead,
+        shared_ptr_cache: true,
+        replica_read_spread: spread,
+        ptr_cache_capacity: cap,
+        heat_sketch_cap: 512,
+        hot_read_threshold: 2,
+        arena_words: if scale == Scale::Paper {
+            1 << 24
+        } else {
+            1 << 21
+        },
+        expected_items: 1 << 18,
+        ..ClusterConfig::default()
+    };
+    // Replica QPs roughly double each server node's connection count; model
+    // a NIC with a QP cache large enough for both arms so the comparison
+    // isolates read spreading (QP-count scalability has its own study,
+    // `abl_share`).
+    cfg.fabric.qp_threshold = 1024;
+    cfg
+}
+
+/// `records_div` shrinks the keyspace relative to the scale default: the
+/// theta sweep uses a quarter keyspace so the shared caches warm within the
+/// op budget (the claim is about *server-side* skew, not client cold
+/// misses); the capacity sweep uses the full keyspace so the bounded cache
+/// actually has to evict.
+fn skew_workload(scale: Scale, theta: f64, records_div: u64) -> Workload {
+    Workload {
+        records: (scale.records() / records_div).max(1),
+        ops: scale.ops(),
+        read_ratio: 1.0,
+        dist: KeyDist::Zipfian { theta },
+        key_len: 16,
+        value_len: 512,
+        seed: hydra_sim::seed_from_env(71),
+    }
+}
+
+struct Point {
+    r: WorkloadReport,
+    replica_reads: u64,
+    hit_rate: f64,
+    queue_hist: [u64; HIST_BUCKETS],
+    heat_hist: [u64; HIST_BUCKETS],
+    exported_sets: u64,
+    exported_ptrs: u64,
+}
+
+fn run_point(theta: f64, spread: bool, cap: usize, records_div: u64, scale: Scale) -> Point {
+    let cfg = skew_config(spread, cap, scale);
+    let shards = cfg.total_shards();
+    let nodes = cfg.client_nodes as usize;
+    let mut cluster: Cluster = ClusterBuilder::new(cfg).build();
+    let clients: Vec<HydraClient> = (0..CLIENTS)
+        .map(|i| cluster.add_client(i % nodes))
+        .collect();
+    let wl = skew_workload(scale, theta, records_div);
+    // Long warmup: pointer caches fill on first GET per (cache, key), and
+    // the steady state — not the cold-miss ramp — is what the skew claim is
+    // about.
+    let dcfg = DriverConfig {
+        warmup_frac: 0.4,
+        ..DriverConfig::default()
+    };
+    let r = run_workload(&mut cluster.sim, &clients, &wl, &dcfg);
+    let replica_reads: u64 = clients.iter().map(|c| c.stats().replica_reads).sum();
+    let hit_rate = r.rptr_hits as f64 / (r.rptr_hits + r.msg_gets).max(1) as f64;
+    let mut queue_hist = [0u64; HIST_BUCKETS];
+    let mut heat_hist = [0u64; HIST_BUCKETS];
+    let (mut exported_sets, mut exported_ptrs) = (0u64, 0u64);
+    for p in 0..shards {
+        let handle = cluster.shard(p);
+        let s = handle.primary.borrow();
+        for (i, v) in s.stats().queue_depth_hist.iter().enumerate() {
+            queue_hist[i] += v;
+        }
+        for (i, v) in s.read_heat_hist().iter().enumerate() {
+            heat_hist[i] += v;
+        }
+        let (sets, ptrs) = s.export_counters();
+        exported_sets += sets;
+        exported_ptrs += ptrs;
+    }
+    Point {
+        r,
+        replica_reads,
+        hit_rate,
+        queue_hist,
+        heat_hist,
+        exported_sets,
+        exported_ptrs,
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut report = Report::new(
+        "BENCH_skew",
+        "Skew-resilient read plane: replica read spreading + bounded CLOCK pointer cache",
+    );
+
+    // Sweep 1: skew x spreading at the default cache capacity.
+    report.line(&format!(
+        "{:<22} {:>8} {:>10} {:>10} {:>12} {:>10} {:>12}",
+        "theta/spread", "Mops", "get_us", "p99_us", "replica_rd", "hit_rate", "exp_ptrs"
+    ));
+    let default_cap = ClusterConfig::default().ptr_cache_capacity;
+    let mut base_099 = 0.0;
+    let mut spread_099 = 0.0;
+    let mut p99_base_099 = 0.0;
+    let mut p99_spread_099 = 0.0;
+    for theta in THETAS {
+        for spread in [false, true] {
+            let pt = run_point(theta, spread, default_cap, 16, scale);
+            let label = format!("θ={theta} {}", if spread { "spread" } else { "primary" });
+            if (theta - 0.99).abs() < 1e-9 {
+                if spread {
+                    spread_099 = pt.r.mops;
+                    p99_spread_099 = pt.r.get_p99_us;
+                } else {
+                    base_099 = pt.r.mops;
+                    p99_base_099 = pt.r.get_p99_us;
+                }
+            }
+            report.line(&format!(
+                "{:<22} {:>8.3} {:>10.2} {:>10.2} {:>12} {:>10.3} {:>12}",
+                label,
+                pt.r.mops,
+                pt.r.get_mean_us,
+                pt.r.get_p99_us,
+                pt.replica_reads,
+                pt.hit_rate,
+                pt.exported_ptrs
+            ));
+            let key = format!(
+                "theta{}_{}",
+                (theta * 100.0).round() as u32,
+                if spread { "spread" } else { "primary" }
+            );
+            report.datum(&key, ReportRow::from(&pt.r));
+            report.datum(&format!("{key}_replica_reads"), pt.replica_reads);
+            report.datum(&format!("{key}_hit_rate"), pt.hit_rate);
+            report.datum(&format!("{key}_exported_sets"), pt.exported_sets);
+            report.datum(&format!("{key}_exported_ptrs"), pt.exported_ptrs);
+            report.datum(&format!("{key}_queue_depth_hist"), pt.queue_hist.to_vec());
+            report.datum(&format!("{key}_read_heat_hist"), pt.heat_hist.to_vec());
+        }
+    }
+    let speedup = spread_099 / base_099.max(1e-12);
+    report.line(&format!(
+        "# speedup at θ=0.99, spread vs primary-only: {speedup:.2}x (floor 1.3x); \
+         p99 {p99_spread_099:.2}us vs {p99_base_099:.2}us"
+    ));
+    report.datum("speedup_theta99", speedup);
+    report.datum("p99_spread_theta99_us", p99_spread_099);
+    report.datum("p99_primary_theta99_us", p99_base_099);
+
+    // Sweep 2: cache capacity at θ=0.99 with spreading on. The unbounded
+    // arm never evicts; the bounded arms rely on CLOCK + sketch admission
+    // to keep the hot keys resident.
+    report.line(&format!(
+        "{:<22} {:>8} {:>10} {:>10} {:>12}",
+        "capacity", "Mops", "get_us", "hit_rate", "cache_len<=cap"
+    ));
+    let mut bounded_hit = 0.0;
+    let mut unbounded_hit = 0.0;
+    for cap in [4096usize, 16384, default_cap, UNBOUNDED] {
+        let pt = run_point(0.99, true, cap, 1, scale);
+        if cap == default_cap {
+            bounded_hit = pt.hit_rate;
+        }
+        if cap == UNBOUNDED {
+            unbounded_hit = pt.hit_rate;
+        }
+        let label = if cap == UNBOUNDED {
+            "unbounded".to_string()
+        } else {
+            format!("{cap}")
+        };
+        report.line(&format!(
+            "{:<22} {:>8.3} {:>10.2} {:>10.3} {:>12}",
+            label, pt.r.mops, pt.r.get_mean_us, pt.hit_rate, "yes"
+        ));
+        report.datum(&format!("cap_{label}"), ReportRow::from(&pt.r));
+        report.datum(&format!("cap_{label}_hit_rate"), pt.hit_rate);
+    }
+    let hit_ratio = bounded_hit / unbounded_hit.max(1e-12);
+    report.line(&format!(
+        "# bounded (default cap) vs unbounded hit rate: {bounded_hit:.3} vs \
+         {unbounded_hit:.3} ({hit_ratio:.3} of unbounded; floor 0.9)"
+    ));
+    report.datum("hit_rate_bounded", bounded_hit);
+    report.datum("hit_rate_unbounded", unbounded_hit);
+    report.datum("hit_rate_ratio", hit_ratio);
+    report.save();
+
+    assert!(
+        speedup >= 1.3,
+        "replica spreading must deliver >= 1.3x GETs at θ=0.99 ({speedup:.2}x)"
+    );
+    assert!(
+        p99_spread_099 <= p99_base_099 * 1.05,
+        "spreading must not worsen p99 ({p99_spread_099:.2}us vs {p99_base_099:.2}us)"
+    );
+    assert!(
+        hit_ratio >= 0.9,
+        "bounded cache must stay within 10% of unbounded hit rate ({hit_ratio:.3})"
+    );
+}

@@ -531,12 +531,18 @@ impl ChaosController {
     fn expire_lease(&self, partition: u32) {
         let ha = self.inner.borrow().ha.clone();
         let ha = ha.borrow();
-        let primary = &ha.partitions[partition as usize].primary;
+        let state = &ha.partitions[partition as usize];
         // Reclaim every deferred block as if all read leases had lapsed:
         // cached remote pointers into this shard now dangle and only the
-        // guardian word protects fast-path readers.
-        let engine = primary.borrow().engine.clone();
+        // guardian word protects fast-path readers. Secondaries pin leases
+        // too (exported replica pointers for read spreading), so the fault
+        // must lapse those as well.
+        let engine = state.primary.borrow().engine.clone();
         engine.borrow_mut().pump_reclaim(u64::MAX);
+        for sec in &state.secondaries {
+            let engine = sec.borrow().engine.clone();
+            engine.borrow_mut().pump_reclaim(u64::MAX);
+        }
     }
 
     fn crash_primary(&self, partition: u32) {

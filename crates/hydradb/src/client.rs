@@ -31,12 +31,14 @@ use std::rc::Rc;
 use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
-use hydra_fabric::{Fabric, NodeId, QpId, RegionId};
-use hydra_lockfree::LockFreeMap;
+use hydra_fabric::{Fabric, NodeId, QpId, RegionId, Transport};
+use hydra_lockfree::ClockCache;
 use hydra_sim::time::SimTime;
 use hydra_sim::{Histogram, Sim};
 use hydra_store::{FetchedItem, ItemError};
-use hydra_wire::{frame, BatchBuilder, BatchFrame, KeyList, RemotePtr, Request, Response, Status};
+use hydra_wire::{
+    frame, BatchBuilder, BatchFrame, KeyList, RemotePtr, Request, Response, Status, MAX_EXPORT_PTRS,
+};
 
 use crate::cluster::Directory;
 use crate::config::ClusterConfig;
@@ -70,6 +72,9 @@ pub struct ClientStats {
     pub rptr_reads: u64,
     pub rptr_hits: u64,
     pub invalid_hits: u64,
+    /// Fast-path reads issued against a replica instead of the primary
+    /// (subset of `rptr_reads`; read spreading).
+    pub replica_reads: u64,
     pub inserts: u64,
     pub updates: u64,
     pub deletes: u64,
@@ -82,7 +87,17 @@ pub struct ClientStats {
     pub update_lat: Histogram,
 }
 
-/// A cached remote pointer (§4.2.2).
+/// One replica's remote location for a cached key (read spreading).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicaTarget {
+    /// Fabric node hosting the replica.
+    pub node: u32,
+    /// Location of the replica's copy in its arena.
+    pub rptr: RemotePtr,
+}
+
+/// A cached remote pointer (§4.2.2), optionally widened with the replica
+/// set the server exported for hot keys.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CachedPtr {
     /// Partition whose primary exposed the pointer.
@@ -91,65 +106,70 @@ pub struct CachedPtr {
     pub rptr: RemotePtr,
     /// Lease expiry; the pointer must not be used past this instant.
     pub lease_expiry: u64,
+    /// Item version at export time, when the server stamped one (hot keys).
+    /// Fetches are rejected as stale if the fetched version differs — the
+    /// ABA guard for blocks reused behind a still-valid guardian.
+    pub version: Option<u8>,
+    /// Replica locations exported with the pointer (first `n_replicas`).
+    pub replicas: [ReplicaTarget; MAX_EXPORT_PTRS],
+    /// Live prefix of `replicas`.
+    pub n_replicas: u8,
 }
 
-/// Remote-pointer cache: private to one client, or shared node-wide through
-/// the lock-free map (§4.2.4).
+/// Remote-pointer cache: a bounded CLOCK cache with sketch-gated admission,
+/// private to one client or shared node-wide (§4.2.4). Bounded capacity
+/// means a key-space sweep cannot grow the cache without limit, and the
+/// admission sketch keeps the hot set resident under skew.
 #[derive(Clone)]
 pub enum PtrCache {
     /// Exclusive cache (also used when security isolation is enforced).
-    Own(Rc<RefCell<HashMap<Vec<u8>, CachedPtr>>>),
+    Own(Rc<ClockCache<CachedPtr>>),
     /// Node-wide shared cache.
-    Shared(Arc<LockFreeMap<Vec<u8>, CachedPtr>>),
+    Shared(Arc<ClockCache<CachedPtr>>),
 }
 
 impl PtrCache {
-    fn get(&self, key: &[u8]) -> Option<CachedPtr> {
+    fn cache(&self) -> &ClockCache<CachedPtr> {
         match self {
-            PtrCache::Own(m) => m.borrow().get(key).copied(),
-            PtrCache::Shared(m) => m.get_with(key),
+            PtrCache::Own(c) => c,
+            PtrCache::Shared(c) => c,
         }
+    }
+
+    fn get(&self, key: &[u8]) -> Option<CachedPtr> {
+        self.cache().get(key)
     }
 
     fn insert(&self, key: &[u8], ptr: CachedPtr) {
-        match self {
-            PtrCache::Own(m) => {
-                m.borrow_mut().insert(key.to_vec(), ptr);
-            }
-            PtrCache::Shared(m) => {
-                m.insert(key.to_vec(), ptr);
-            }
-        }
+        // Filed in the expiry wheel under the lease so renewal scans only
+        // touch due buckets; admission may reject a cold newcomer.
+        self.cache().insert(key, ptr, ptr.lease_expiry);
     }
 
     fn remove(&self, key: &[u8]) {
-        match self {
-            PtrCache::Own(m) => {
-                m.borrow_mut().remove(key);
-            }
-            PtrCache::Shared(m) => {
-                m.remove_with(key);
-            }
-        }
+        self.cache().remove(key);
     }
 
-    /// Keys whose lease expires within `[now, horizon]` — renewal candidates.
+    /// Keys whose lease expires within `(now, horizon]` — renewal
+    /// candidates, harvested from the wheel's due buckets only (no full
+    /// cache scan).
     fn expiring(&self, now: u64, horizon: u64, limit: usize) -> Vec<(u32, Vec<u8>)> {
-        let mut out = Vec::new();
-        let mut push = |k: &Vec<u8>, v: &CachedPtr| {
-            if out.len() < limit && v.lease_expiry > now && v.lease_expiry <= horizon {
-                out.push((v.partition, k.clone()));
-            }
-        };
-        match self {
-            PtrCache::Own(m) => {
-                for (k, v) in m.borrow().iter() {
-                    push(k, v);
-                }
-            }
-            PtrCache::Shared(m) => m.for_each(|k, v| push(k, v)),
-        }
-        out
+        self.cache()
+            .expiring(now, horizon.saturating_sub(now), limit)
+            .into_iter()
+            .filter(|(_, v)| v.lease_expiry > now)
+            .map(|(k, v)| (v.partition, k))
+            .collect()
+    }
+
+    /// Live entries (bounded by construction; tests assert it).
+    pub fn len(&self) -> usize {
+        self.cache().len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -174,6 +194,9 @@ struct Outstanding {
     /// Pending timeout event, cancelled on completion so the event queue
     /// never drags the virtual clock to the timeout horizon.
     timeout_ev: Option<hydra_sim::EventId>,
+    /// Item version the fetched blob must carry (fast-path reads of keys
+    /// whose pointer was exported with a version stamp).
+    expect_version: Option<u8>,
 }
 
 struct ClientConn {
@@ -200,6 +223,10 @@ pub(crate) struct ClientInner {
     directory: Rc<RefCell<Directory>>,
     conns: HashMap<u32, ClientConn>,
     ptr_cache: PtrCache,
+    /// Lazily opened QPs to replica-hosting nodes (read spreading).
+    replica_qps: HashMap<u32, QpId>,
+    /// Round-robin cursor spreading fast-path reads across primary+replicas.
+    spread_rr: u64,
     next_req_id: u64,
     outstanding: Option<Outstanding>,
     /// Pipelined mode: operations shipped (or posted one-sided) and awaiting
@@ -230,11 +257,11 @@ impl HydraClient {
         fab: Fabric,
         cfg: Rc<ClusterConfig>,
         directory: Rc<RefCell<Directory>>,
-        shared_cache: Option<Arc<LockFreeMap<Vec<u8>, CachedPtr>>>,
+        shared_cache: Option<Arc<ClockCache<CachedPtr>>>,
     ) -> HydraClient {
         let ptr_cache = match shared_cache {
-            Some(m) => PtrCache::Shared(m),
-            None => PtrCache::Own(Rc::new(RefCell::new(HashMap::new()))),
+            Some(c) => PtrCache::Shared(c),
+            None => PtrCache::Own(Rc::new(ClockCache::new(cfg.ptr_cache_capacity))),
         };
         HydraClient {
             inner: Rc::new(RefCell::new(ClientInner {
@@ -245,6 +272,8 @@ impl HydraClient {
                 directory,
                 conns: HashMap::new(),
                 ptr_cache,
+                replica_qps: HashMap::new(),
+                spread_rr: id as u64, // desynchronize clients' rotors
                 next_req_id: 0,
                 outstanding: None,
                 window: HashMap::new(),
@@ -275,6 +304,12 @@ impl HydraClient {
     /// Whether an operation is in flight (closed-loop discipline).
     pub fn is_busy(&self) -> bool {
         self.inner.borrow().outstanding.is_some()
+    }
+
+    /// Live entries in this client's pointer cache (shared caches report
+    /// the node-wide count). Bounded by `ptr_cache_capacity`.
+    pub fn ptr_cache_len(&self) -> usize {
+        self.inner.borrow().ptr_cache.len()
     }
 
     /// Operations issued but not yet completed (shipped, posted one-sided,
@@ -498,9 +533,35 @@ impl HydraClient {
         Some(ptr)
     }
 
+    /// Picks the read target for a multi-pointer entry: 0 = primary,
+    /// k > 0 = `ptr.replicas[k - 1]`. Advances the per-client round-robin
+    /// rotor only when spreading applies.
+    fn pick_spread_target(&self, ptr: &CachedPtr) -> usize {
+        let mut inner = self.inner.borrow_mut();
+        if !inner.cfg.replica_read_spread || ptr.n_replicas == 0 {
+            return 0;
+        }
+        let n = 1 + ptr.n_replicas as usize;
+        let pick = (inner.spread_rr % n as u64) as usize;
+        inner.spread_rr = inner.spread_rr.wrapping_add(1);
+        pick
+    }
+
+    /// Lazily opens (and caches) a QP to a replica-hosting node.
+    fn ensure_replica_qp(&self, node: u32) -> QpId {
+        let mut inner = self.inner.borrow_mut();
+        if let Some(&qp) = inner.replica_qps.get(&node) {
+            return qp;
+        }
+        let qp = inner.fab.connect(inner.node, NodeId(node), Transport::Rdma);
+        inner.replica_qps.insert(node, qp);
+        qp
+    }
+
     fn issue_rdma_get(&self, sim: &mut Sim, key: Vec<u8>, ptr: CachedPtr, cb: OpCb) {
         self.ensure_conn(ptr.partition);
-        let conn_parts = {
+        let pick = self.pick_spread_target(&ptr);
+        let conn_parts = if pick == 0 {
             let mut inner = self.inner.borrow_mut();
             assert!(inner.outstanding.is_none(), "client is closed-loop");
             inner.stats.rptr_reads += 1;
@@ -512,10 +573,18 @@ impl HydraClient {
                 inner.ptr_cache.remove(&key);
                 None
             } else {
-                Some((conn.qp, conn.arena_region, ptr.rptr))
+                Some((conn.qp, conn.arena_region, ptr.rptr, false))
             }
+        } else {
+            let target = ptr.replicas[pick - 1];
+            let qp = self.ensure_replica_qp(target.node);
+            let mut inner = self.inner.borrow_mut();
+            assert!(inner.outstanding.is_none(), "client is closed-loop");
+            inner.stats.rptr_reads += 1;
+            inner.stats.replica_reads += 1;
+            Some((qp, RegionId(target.rptr.region), target.rptr, true))
         };
-        let Some((qp, arena_region, rptr)) = conn_parts else {
+        let Some((qp, region, rptr, replica)) = conn_parts else {
             let mut inner = self.inner.borrow_mut();
             inner.stats.msg_gets += 1;
             drop(inner);
@@ -523,19 +592,33 @@ impl HydraClient {
             return;
         };
         let issued_at = sim.now();
-        {
+        let req_id = {
             let mut inner = self.inner.borrow_mut();
             inner.next_req_id += 1;
+            let req_id = inner.next_req_id;
             inner.outstanding = Some(Outstanding {
-                req_id: inner.next_req_id,
+                req_id,
                 kind: OpKind::RdmaGet,
                 key: key.clone(),
                 value: Vec::new(),
                 cb: Some(cb),
                 issued_at,
                 attempts: 1,
-                timeout_ev: None, // one-sided reads always complete
+                // Primary reads always complete (the NIC answers even when
+                // the shard process is dead); a replica's *machine* may be
+                // gone, in which case the read vanishes — arm a timeout.
+                timeout_ev: None,
+                expect_version: ptr.version,
             });
+            req_id
+        };
+        if replica {
+            let this = self.clone();
+            let timeout = self.inner.borrow().cfg.op_timeout_ns;
+            let ev = sim.schedule_in(timeout, move |sim| this.on_timeout(sim, req_id));
+            if let Some(out) = self.inner.borrow_mut().outstanding.as_mut() {
+                out.timeout_ev = Some(ev);
+            }
         }
         let this = self.clone();
         let node = self.inner.borrow().node;
@@ -544,21 +627,46 @@ impl HydraClient {
             sim,
             qp,
             node,
-            arena_region,
+            region,
             (rptr.offset / 8) as usize,
             rptr.len as usize,
-            Box::new(move |sim, blob| this.on_rdma_get_done(sim, blob)),
+            Box::new(move |sim, blob| this.on_rdma_get_done(sim, req_id, blob)),
         );
     }
 
-    fn on_rdma_get_done(&self, sim: &mut Sim, blob: Vec<u8>) {
-        let (key, cb, issued_at) = {
+    fn on_rdma_get_done(&self, sim: &mut Sim, req_id: u64, blob: Vec<u8>) {
+        let (key, cb, issued_at, expect_version, timeout_ev) = {
             let mut inner = self.inner.borrow_mut();
-            let out = inner.outstanding.take().expect("read in flight");
+            let matches = inner
+                .outstanding
+                .as_ref()
+                .is_some_and(|o| o.req_id == req_id);
+            if !matches {
+                return; // late completion of a timed-out replica read
+            }
+            let out = inner.outstanding.take().expect("checked above");
             debug_assert_eq!(out.kind, OpKind::RdmaGet);
-            (out.key, out.cb, out.issued_at)
+            (
+                out.key,
+                out.cb,
+                out.issued_at,
+                out.expect_version,
+                out.timeout_ev,
+            )
         };
-        match FetchedItem::parse(&blob, &key) {
+        if let Some(ev) = timeout_ev {
+            sim.cancel(ev);
+        }
+        let fetched = FetchedItem::parse(&blob, &key).and_then(|item| {
+            // Version stamp check: the guardian proves the block holds *a*
+            // live item for this key; the version pins it to the one the
+            // pointer was exported for (ABA guard across block reuse).
+            match expect_version {
+                Some(v) if item.version != v => Err(ItemError::Stale),
+                _ => Ok(item),
+            }
+        });
+        match fetched {
             Ok(item) => {
                 let client_ns = {
                     let mut inner = self.inner.borrow_mut();
@@ -698,6 +806,7 @@ impl HydraClient {
             issued_at: issued_at_override.unwrap_or(sim.now()),
             attempts,
             timeout_ev: None,
+            expect_version: None,
         });
         // Arm the timeout: if this req_id is still outstanding when it
         // fires, the shard is unresponsive (dead or overloaded).
@@ -719,12 +828,21 @@ impl HydraClient {
                 _ => return, // completed long ago
             }
         };
-        let Some(out) = out else { return };
+        let Some(mut out) = out else { return };
         if out.attempts >= MAX_ATTEMPTS || out.kind == OpKind::LeaseRenew {
             if let Some(cb) = out.cb {
                 cb(sim, Err(OpError::Timeout));
             }
             return;
+        }
+        if out.kind == OpKind::RdmaGet {
+            // A spread read to a crashed replica machine never completes.
+            // Drop the pointer and retry through the primary message path.
+            let mut inner = self.inner.borrow_mut();
+            inner.stats.invalid_hits += 1;
+            inner.stats.msg_gets += 1;
+            inner.ptr_cache.remove(&out.key);
+            out.kind = OpKind::Get;
         }
         // Refresh the view of the cluster: the partition's primary may have
         // been replaced by SWAT. Dropping the connection forces a rebuild
@@ -919,12 +1037,30 @@ impl HydraClient {
                         let partition = dir.ring.route(&out.key).map(|s| s.0);
                         drop(dir);
                         if let Some(partition) = partition {
+                            // Hot keys arrive with a replica set: keep the
+                            // version stamp and spread targets alongside the
+                            // primary pointer.
+                            let mut replicas = [ReplicaTarget::default(); MAX_EXPORT_PTRS];
+                            let mut n_replicas = 0u8;
+                            let version = resp.replicas.as_ref().map(|set| {
+                                for e in set.entries() {
+                                    replicas[n_replicas as usize] = ReplicaTarget {
+                                        node: e.node,
+                                        rptr: e.rptr,
+                                    };
+                                    n_replicas += 1;
+                                }
+                                set.version
+                            });
                             inner.ptr_cache.insert(
                                 &out.key,
                                 CachedPtr {
                                     partition,
                                     rptr: resp.rptr,
                                     lease_expiry: resp.lease_expiry,
+                                    version,
+                                    replicas,
+                                    n_replicas,
                                 },
                             );
                         }
@@ -1007,6 +1143,7 @@ impl HydraClient {
                     issued_at,
                     attempts: 1,
                     timeout_ev: None,
+                    expect_version: None,
                 },
                 payload,
             });
@@ -1186,7 +1323,20 @@ impl HydraClient {
             }
             out
         };
-        let Some(out) = out else { return };
+        let Some(mut out) = out else { return };
+        if out.kind == OpKind::RdmaGet {
+            // A one-sided read to a crashed replica machine vanished.
+            // Drop the pointer and retry through the primary message path.
+            {
+                let mut inner = self.inner.borrow_mut();
+                inner.stats.invalid_hits += 1;
+                inner.stats.msg_gets += 1;
+                inner.ptr_cache.remove(&out.key);
+            }
+            let cb = out.cb.take();
+            self.enqueue_pipelined(sim, OpKind::Get, out.key, Vec::new(), cb, out.issued_at);
+            return;
+        }
         if let Some(cb) = out.cb {
             cb(sim, Err(OpError::Timeout));
         }
@@ -1196,7 +1346,8 @@ impl HydraClient {
     /// concurrently with whatever else is outstanding.
     fn issue_rdma_get_pipelined(&self, sim: &mut Sim, key: Vec<u8>, ptr: CachedPtr, cb: OpCb) {
         self.ensure_conn(ptr.partition);
-        let conn_parts = {
+        let pick = self.pick_spread_target(&ptr);
+        let conn_parts = if pick == 0 {
             let mut inner = self.inner.borrow_mut();
             inner.stats.rptr_reads += 1;
             let conn = &inner.conns[&ptr.partition];
@@ -1205,10 +1356,17 @@ impl HydraClient {
                 inner.ptr_cache.remove(&key);
                 None
             } else {
-                Some((conn.qp, conn.arena_region, ptr.rptr))
+                Some((conn.qp, conn.arena_region, ptr.rptr, false))
             }
+        } else {
+            let target = ptr.replicas[pick - 1];
+            let qp = self.ensure_replica_qp(target.node);
+            let mut inner = self.inner.borrow_mut();
+            inner.stats.rptr_reads += 1;
+            inner.stats.replica_reads += 1;
+            Some((qp, RegionId(target.rptr.region), target.rptr, true))
         };
-        let Some((qp, arena_region, rptr)) = conn_parts else {
+        let Some((qp, region, rptr, replica)) = conn_parts else {
             self.inner.borrow_mut().stats.msg_gets += 1;
             let now = sim.now();
             self.enqueue_pipelined(sim, OpKind::Get, key, Vec::new(), Some(cb), now);
@@ -1229,17 +1387,28 @@ impl HydraClient {
                     cb: Some(cb),
                     issued_at,
                     attempts: 1,
-                    timeout_ev: None, // one-sided reads always complete
+                    // Reads to a crashed replica machine never complete:
+                    // arm the per-op window timeout for replica targets.
+                    timeout_ev: None,
+                    expect_version: ptr.version,
                 },
             );
             (req_id, inner.node, inner.fab.clone())
         };
+        if replica {
+            let this = self.clone();
+            let timeout = self.inner.borrow().cfg.op_timeout_ns;
+            let ev = sim.schedule_in(timeout, move |sim| this.on_window_timeout(sim, req_id));
+            if let Some(out) = self.inner.borrow_mut().window.get_mut(&req_id) {
+                out.timeout_ev = Some(ev);
+            }
+        }
         let this = self.clone();
         fab.post_read(
             sim,
             qp,
             node,
-            arena_region,
+            region,
             (rptr.offset / 8) as usize,
             rptr.len as usize,
             Box::new(move |sim, blob| this.on_rdma_get_done_pipelined(sim, req_id, blob)),
@@ -1247,15 +1416,19 @@ impl HydraClient {
     }
 
     fn on_rdma_get_done_pipelined(&self, sim: &mut Sim, req_id: u64, blob: Vec<u8>) {
-        let out = self
-            .inner
-            .borrow_mut()
-            .window
-            .remove(&req_id)
-            .expect("read in flight");
+        let Some(out) = self.inner.borrow_mut().window.remove(&req_id) else {
+            return; // late completion of a timed-out replica read
+        };
         debug_assert_eq!(out.kind, OpKind::RdmaGet);
+        if let Some(ev) = out.timeout_ev {
+            sim.cancel(ev);
+        }
         let (key, cb, issued_at) = (out.key, out.cb, out.issued_at);
-        match FetchedItem::parse(&blob, &key) {
+        let fetched = FetchedItem::parse(&blob, &key).and_then(|item| match out.expect_version {
+            Some(v) if item.version != v => Err(ItemError::Stale),
+            _ => Ok(item),
+        });
+        match fetched {
             Ok(item) => {
                 let client_ns = {
                     let mut inner = self.inner.borrow_mut();

@@ -21,7 +21,7 @@ use std::sync::Arc;
 
 use hydra_coord::{Coord, CreateMode, EventKind, LeaderElection, SessionId, WatcherId};
 use hydra_fabric::{Fabric, NodeId, Transport};
-use hydra_lockfree::LockFreeMap;
+use hydra_lockfree::ClockCache;
 use hydra_replication::{ReplConfig, ReplMode, ReplicationPair};
 use hydra_sim::time::SimTime;
 use hydra_sim::Sim;
@@ -30,7 +30,7 @@ use crate::chaos::{ChaosController, RecordingClient};
 use crate::client::{CachedPtr, HydraClient};
 use crate::config::{ClientMode, ClusterConfig, ReplicationMode};
 use crate::ring::{HashRing, ShardId};
-use crate::server::ShardServer;
+use crate::server::{ReplicaExport, ShardServer};
 
 /// The cluster-wide view clients route through: the consistent-hash ring
 /// plus the current primary of every partition. SWAT mutates it on
@@ -175,6 +175,21 @@ impl HaState {
                 np.repl.push(pair);
             }
         }
+        // Rebuild the read-spreading export registry for the new group: the
+        // old primary's exports die with it, and the promoted shard must not
+        // export itself.
+        {
+            let mut np = new_primary.borrow_mut();
+            np.clear_replica_exports();
+            for sec in &state.secondaries {
+                let sb = sec.borrow();
+                np.add_replica_export(crate::server::ReplicaExport {
+                    node: sb.node,
+                    region: sb.arena_region,
+                    engine: sb.engine.clone(),
+                });
+            }
+        }
         // New primary registers its own session + ephemeral; SWAT re-watches.
         let now = sim.now();
         let session = self
@@ -260,7 +275,16 @@ impl ClusterBuilder {
                             apply_cost_ns: cfg.costs.write_ns,
                         },
                     );
-                    primary.borrow_mut().add_replica(pair);
+                    let mut prim = primary.borrow_mut();
+                    prim.add_replica(pair);
+                    // Register the secondary's arena so hot GETs can export
+                    // its remote pointers (read spreading).
+                    let sb = sec.borrow();
+                    prim.add_replica_export(ReplicaExport {
+                        node: sb.node,
+                        region: sb.arena_region,
+                        engine: sb.engine.clone(),
+                    });
                 }
                 secondaries.push(sec);
             }
@@ -354,7 +378,7 @@ pub struct Cluster {
     /// Client machines, in id order.
     pub client_nodes: Vec<NodeId>,
     clients: Vec<HydraClient>,
-    shared_caches: HashMap<usize, Arc<LockFreeMap<Vec<u8>, CachedPtr>>>,
+    shared_caches: HashMap<usize, Arc<ClockCache<CachedPtr>>>,
     next_client_id: u32,
     chaos: Option<ChaosController>,
 }
@@ -369,10 +393,11 @@ impl Cluster {
             self.client_nodes[node_idx % self.client_nodes.len()]
         };
         let shared = if self.cfg.shared_ptr_cache {
+            let cap = self.cfg.ptr_cache_capacity;
             Some(
                 self.shared_caches
                     .entry(node_idx % self.client_nodes.len())
-                    .or_insert_with(|| Arc::new(LockFreeMap::new(4096)))
+                    .or_insert_with(|| Arc::new(ClockCache::new(cap)))
                     .clone(),
             )
         } else {

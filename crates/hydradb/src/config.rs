@@ -179,6 +179,17 @@ pub struct ClusterConfig {
     pub index: IndexKind,
     /// Share the remote-pointer cache among clients on one node (§4.2.4).
     pub shared_ptr_cache: bool,
+    /// Bound on cached remote pointers per client (or per node, when the
+    /// cache is shared): the CLOCK pointer cache evicts beyond this.
+    pub ptr_cache_capacity: usize,
+    /// Export replica remote pointers for hot keys in GET responses and let
+    /// clients spread fast-path reads across primary + replicas.
+    pub replica_read_spread: bool,
+    /// Per-shard space-saving read-heat sketch capacity (monitored keys).
+    pub heat_sketch_cap: usize,
+    /// Guaranteed sketch touches (estimate − error) above which a key is hot
+    /// enough to export replica pointers.
+    pub hot_read_threshold: u64,
     /// Arena words per shard.
     pub arena_words: usize,
     /// Expected items per shard (sizes the index).
@@ -246,6 +257,10 @@ impl Default for ClusterConfig {
             write_mode: WriteMode::Reliable,
             index: IndexKind::Packed,
             shared_ptr_cache: false,
+            ptr_cache_capacity: 64 << 10,
+            replica_read_spread: false,
+            heat_sketch_cap: 128,
+            hot_read_threshold: 8,
             arena_words: 1 << 20,
             expected_items: 128 << 10,
             msg_slot_words: 1 << 10,

@@ -23,11 +23,22 @@ use hydra_fabric::{Fabric, NodeId, QpId, RegionId};
 use hydra_replication::{replicate_strict, ReplicationPair};
 use hydra_sim::time::SimTime;
 use hydra_sim::{FifoResource, Sim};
-use hydra_store::{EngineError, ShardEngine};
-use hydra_wire::{frame, BatchBuilder, BatchFrame, LogOp, RemotePtr, Request, Response, Status};
+use hydra_store::{EngineError, HeatSketch, ItemInfo, ShardEngine};
+use hydra_wire::{
+    frame, BatchBuilder, BatchFrame, LogOp, RemotePtr, ReplicaPtr, ReplicaSet, Request, Response,
+    Status, MAX_EXPORT_PTRS,
+};
 
 use crate::config::{ClusterConfig, ExecModel, ReplicationMode};
 use crate::ring::ShardId;
+
+/// Buckets in the log2 observability histograms.
+pub const HIST_BUCKETS: usize = 16;
+
+/// Log2 bucket index for a histogram sample (0 stays in bucket 0).
+fn log2_bucket(v: u64) -> usize {
+    ((64 - v.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+}
 
 /// Operation counters for one shard.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -44,6 +55,135 @@ pub struct ServerStats {
     pub batches: u64,
     /// Requests that arrived inside batch frames (subset of `requests`).
     pub batched_requests: u64,
+    /// Log2 histogram of the shard-core queue depth observed at request
+    /// arrival (estimated as core backlog divided by this request's cost):
+    /// bucket 0 counts arrivals that found the core idle, bucket k counts
+    /// arrivals that queued behind ~2^(k-1) requests' worth of work.
+    pub queue_depth_hist: [u64; HIST_BUCKETS],
+}
+
+/// A secondary's remotely readable arena, registered with the primary so
+/// hot GETs can export replica pointers (read spreading).
+pub struct ReplicaExport {
+    /// Fabric node hosting the replica (clients open per-node QPs).
+    pub node: NodeId,
+    /// The replica's registered arena region.
+    pub region: RegionId,
+    /// The replica engine, peeked at export time for offset/version match
+    /// and lease pinning.
+    pub engine: Rc<RefCell<ShardEngine>>,
+}
+
+/// The shard's skew-resilient read plane: a space-saving heat sketch that
+/// identifies the hot key set, plus the replica-export registry used to
+/// piggyback replica remote pointers on hot GET responses.
+///
+/// Consistency of exported pointers rests on three facts, each pinned by a
+/// test elsewhere in the tree:
+///
+/// 1. **Export-time match** — a replica pointer is exported only when the
+///    replica holds the key at the *same item version* as the primary, so
+///    the pointer refers to exactly the value being returned.
+/// 2. **Update invalidation** — applying an update on the replica runs the
+///    same `replace_item` path as the primary: the superseded block's
+///    guardian flips to `GUARD_DEAD` *immediately*, so every cached pointer
+///    to it (client-side, any node) fails validation on its next fetch. The
+///    version bits catch the residual ABA (block reused for the same key).
+/// 3. **Lease pinning** — the primary pins the replica item's lease to the
+///    expiry it granted ([`ShardEngine::pin_lease`]), so replica-side
+///    reclamation honours exported leases exactly like local ones.
+pub struct ReadPlane {
+    heat: HeatSketch,
+    exports: Vec<ReplicaExport>,
+    spread: bool,
+    threshold: u64,
+    min_lease_ns: u64,
+    /// Log2 histogram of per-key heat-sketch counts observed at GET time:
+    /// the read-skew profile actually seen by this shard.
+    pub heat_hist: [u64; HIST_BUCKETS],
+    /// GET responses that carried a replica set.
+    pub exported_sets: u64,
+    /// Total replica pointers exported (≤ `exported_sets * MAX_EXPORT_PTRS`).
+    pub exported_ptrs: u64,
+}
+
+impl ReadPlane {
+    /// Builds a read plane; `spread` gates pointer export, the sketch always
+    /// runs (it feeds the heat histogram and client-side admission parity).
+    pub fn new(sketch_cap: usize, spread: bool, threshold: u64, min_lease_ns: u64) -> ReadPlane {
+        ReadPlane {
+            heat: HeatSketch::new(sketch_cap),
+            exports: Vec::new(),
+            spread,
+            threshold,
+            min_lease_ns: min_lease_ns.max(1),
+            heat_hist: [0; HIST_BUCKETS],
+            exported_sets: 0,
+            exported_ptrs: 0,
+        }
+    }
+
+    /// A plane that tracks heat but never exports (tests, baselines).
+    pub fn disabled() -> ReadPlane {
+        ReadPlane::new(16, false, u64::MAX, 1)
+    }
+
+    /// Drops every registered export (fail-over re-couples replicas).
+    pub fn clear_exports(&mut self) {
+        self.exports.clear();
+    }
+
+    /// Registers a secondary's arena for read spreading.
+    pub fn add_export(&mut self, export: ReplicaExport) {
+        self.exports.push(export);
+    }
+
+    /// Records one GET against `key` in the sketch; returns whether the key
+    /// is confidently hot (count minus sketch error beats the threshold).
+    fn note_get(&mut self, key: &[u8]) -> bool {
+        let hash = hydra_store::hash_key(key);
+        let count = self.heat.touch(hash);
+        self.heat_hist[log2_bucket(count)] += 1;
+        self.heat.is_hot(hash, self.threshold)
+    }
+
+    /// Builds the replica set piggybacked on a hot GET response: one entry
+    /// per replica currently holding `key` at the primary's item version,
+    /// with the replica's lease pinned to the granted expiry.
+    fn export(
+        &mut self,
+        now: SimTime,
+        key: &[u8],
+        info: &ItemInfo,
+        hot: bool,
+    ) -> Option<ReplicaSet> {
+        if !self.spread || !hot || self.exports.is_empty() {
+            return None;
+        }
+        let mut set = ReplicaSet::new(info.version);
+        // Lease class: granted duration in units of the minimum lease — the
+        // client's renewal wheel files longer classes into later buckets.
+        let lease_class =
+            (info.lease_expiry.saturating_sub(now) / self.min_lease_ns).min(255) as u8;
+        for ex in self.exports.iter().take(MAX_EXPORT_PTRS) {
+            let mut eng = ex.engine.borrow_mut();
+            let Some(rinfo) = eng.peek(key) else { continue };
+            if rinfo.version != info.version {
+                continue; // replica lags (or ran ahead): not this version
+            }
+            if !eng.pin_lease(key, info.lease_expiry) {
+                continue;
+            }
+            set.push(ReplicaPtr {
+                node: ex.node.0,
+                lease_class,
+                rptr: RemotePtr::new(ex.region.0, rinfo.off_words * 8, rinfo.read_len),
+            });
+        }
+        self.exported_sets += 1;
+        self.exported_ptrs += set.len() as u64;
+        Some(set)
+    }
 }
 
 /// Applies one decoded request to `engine`, appending the encoded response
@@ -60,6 +200,7 @@ pub fn apply_request<'a>(
     req: &Request<'a>,
     arena_region: RegionId,
     scratch: &mut Vec<u8>,
+    plane: &mut ReadPlane,
     out: &mut Vec<u8>,
 ) -> Option<(LogOp, &'a [u8], &'a [u8])> {
     let req_id = req.req_id();
@@ -71,15 +212,23 @@ pub fn apply_request<'a>(
     match req {
         Request::Get { key, .. } => {
             match engine.get_into(now, key, scratch) {
-                Some(info) => Response {
-                    status: Status::Ok,
-                    req_id,
-                    value: scratch,
-                    rptr: RemotePtr::new(arena_region.0, info.off_words * 8, info.read_len),
-                    lease_expiry: info.lease_expiry,
+                Some(info) => {
+                    let hot = plane.note_get(key);
+                    let replicas = plane.export(now, key, &info, hot);
+                    Response {
+                        status: Status::Ok,
+                        req_id,
+                        value: scratch,
+                        rptr: RemotePtr::new(arena_region.0, info.off_words * 8, info.read_len),
+                        lease_expiry: info.lease_expiry,
+                        replicas,
+                    }
+                    .encode_into(out)
                 }
-                .encode_into(out),
-                None => Response::status_only(Status::NotFound, req_id).encode_into(out),
+                None => {
+                    plane.note_get(key);
+                    Response::status_only(Status::NotFound, req_id).encode_into(out)
+                }
             }
             None
         }
@@ -149,6 +298,7 @@ pub fn run_batch<'a>(
     reqs: &[Request<'a>],
     arena_region: RegionId,
     scratch: &mut Vec<u8>,
+    plane: &mut ReadPlane,
     builder: &mut BatchBuilder,
 ) -> (ReplRecords<'a>, BatchOpCounts) {
     let mut repl: ReplRecords<'_> = Vec::new();
@@ -170,19 +320,27 @@ pub fn run_batch<'a>(
                 .collect();
             let req_ids: Vec<u64> = reqs[i..j].iter().map(|r| r.req_id()).collect();
             engine.get_batch_into(now, &keys, scratch, |k, info, val| match info {
-                Some(info) => builder.push_with(|out| {
-                    Response {
-                        status: Status::Ok,
-                        req_id: req_ids[k],
-                        value: val,
-                        rptr: RemotePtr::new(arena_region.0, info.off_words * 8, info.read_len),
-                        lease_expiry: info.lease_expiry,
-                    }
-                    .encode_into(out)
-                }),
-                None => builder.push_with(|out| {
-                    Response::status_only(Status::NotFound, req_ids[k]).encode_into(out)
-                }),
+                Some(info) => {
+                    let hot = plane.note_get(keys[k]);
+                    let replicas = plane.export(now, keys[k], &info, hot);
+                    builder.push_with(|out| {
+                        Response {
+                            status: Status::Ok,
+                            req_id: req_ids[k],
+                            value: val,
+                            rptr: RemotePtr::new(arena_region.0, info.off_words * 8, info.read_len),
+                            lease_expiry: info.lease_expiry,
+                            replicas,
+                        }
+                        .encode_into(out)
+                    })
+                }
+                None => {
+                    plane.note_get(keys[k]);
+                    builder.push_with(|out| {
+                        Response::status_only(Status::NotFound, req_ids[k]).encode_into(out)
+                    })
+                }
             });
             counts.gets += (j - i) as u64;
             i = j;
@@ -190,7 +348,7 @@ pub fn run_batch<'a>(
             let req = &reqs[i];
             let mut action = None;
             builder.push_with(|out| {
-                action = apply_request(engine, now, req, arena_region, scratch, out);
+                action = apply_request(engine, now, req, arena_region, scratch, plane, out);
             });
             if let Some(a) = action {
                 repl.push(a);
@@ -249,6 +407,8 @@ pub struct ShardServer {
     get_scratch: Vec<u8>,
     /// Reused response-batch builder for the quantum path.
     resp_batch: BatchBuilder,
+    /// Heat tracking + replica pointer export (read spreading).
+    plane: ReadPlane,
 }
 
 impl ShardServer {
@@ -278,6 +438,12 @@ impl ShardServer {
                 .map(|w| FifoResource::new(format!("shard{}.sub{}", id.0, w)))
                 .collect(),
         };
+        let plane = ReadPlane::new(
+            cfg.heat_sketch_cap,
+            cfg.replica_read_spread,
+            cfg.hot_read_threshold,
+            cfg.min_lease_ns,
+        );
         Rc::new(RefCell::new(ShardServer {
             id,
             node,
@@ -294,12 +460,34 @@ impl ShardServer {
             reclaim_scheduled_at: None,
             get_scratch: Vec::new(),
             resp_batch: BatchBuilder::new(),
+            plane,
         }))
     }
 
     /// Attaches a replication channel to a secondary.
     pub fn add_replica(&mut self, pair: ReplicationPair) {
         self.repl.push(pair);
+    }
+
+    /// Registers a secondary's arena for hot-key pointer export.
+    pub fn add_replica_export(&mut self, export: ReplicaExport) {
+        self.plane.add_export(export);
+    }
+
+    /// Drops all registered exports (fail-over re-couples the group).
+    pub fn clear_replica_exports(&mut self) {
+        self.plane.clear_exports();
+    }
+
+    /// The read-skew histogram observed by this shard (log2 buckets of
+    /// per-key sketch counts at GET time).
+    pub fn read_heat_hist(&self) -> [u64; HIST_BUCKETS] {
+        self.plane.heat_hist
+    }
+
+    /// (responses carrying a replica set, total replica pointers exported).
+    pub fn export_counters(&self) -> (u64, u64) {
+        (self.plane.exported_sets, self.plane.exported_ptrs)
     }
 
     /// Registers a client connection; returns its index (used by the
@@ -418,6 +606,9 @@ impl ShardServer {
             let send_recv = s.conns[conn_idx].send_recv;
             let cost = s.op_cost(&req, send_recv);
             s.stats.requests += 1;
+            // Queue depth at arrival ≈ core backlog over this request's cost.
+            let backlog = s.cpu.free_at().saturating_sub(sim.now());
+            s.stats.queue_depth_hist[log2_bucket(backlog / cost.max(1))] += 1;
             // Detection latency: when the core is idle, the sweep position
             // and the sleep backoff determine how fast the shard notices the
             // write; when busy, the queueing delay dominates and detection is
@@ -512,6 +703,11 @@ impl ShardServer {
             s.stats.requests += per_item.len() as u64;
             s.stats.batches += 1;
             s.stats.batched_requests += per_item.len() as u64;
+            // One depth sample per frame, against the mean per-item cost.
+            let mean_cost =
+                (per_item.iter().sum::<SimTime>() / per_item.len().max(1) as u64).max(1);
+            let backlog = s.cpu.free_at().saturating_sub(sim.now());
+            s.stats.queue_depth_hist[log2_bucket(backlog / mean_cost)] += 1;
             let fixed = s.cfg.costs.poll_ns + s.cfg.costs.post_wqe_ns;
             let now = sim.now();
             let mut arrival = now;
@@ -564,6 +760,7 @@ impl ShardServer {
                 &req,
                 arena_region,
                 &mut scratch,
+                &mut s.plane,
                 &mut resp,
             );
             match req {
@@ -660,6 +857,7 @@ impl ShardServer {
                 &reqs,
                 arena_region,
                 &mut scratch,
+                &mut s.plane,
                 &mut builder,
             );
             drop(engine);

@@ -1,0 +1,413 @@
+//! A bounded CLOCK cache with TinyLFU-style admission and an integrated
+//! lease-expiry wheel — the client-side remote-pointer cache.
+//!
+//! Three requirements shape the structure (Storm, Novakovic et al.: pointer
+//! caches only pay off when they stay bounded *and* hot):
+//!
+//! * **Bounded**: capacity is fixed at construction; the slot array never
+//!   grows. Under overload the CLOCK hand evicts, so memory is `O(capacity)`
+//!   no matter how many distinct keys stream past.
+//! * **Hot**: admission is gated by a [`FreqSketch`] — a newcomer only
+//!   displaces the CLOCK victim when its estimated access frequency exceeds
+//!   the victim's, so a scan of cold keys cannot flush the hot working set.
+//! * **Renewal without scans**: every entry is indexed by lease expiry in a
+//!   coarse bucket wheel, so `expiring(now, horizon)` visits only the
+//!   buckets that are actually due instead of walking the whole cache
+//!   (previously an O(cache) sweep per renewal tick).
+//!
+//! Interior mutability is a single `Mutex` (the sketch is lock-free): the
+//! cache is shared by every client on a node via `Arc`, and the critical
+//! sections are a few probes long. This is deliberately not a lock-free
+//! structure — CLOCK's hand and the wheel want coherent mutation, and the
+//! paper's shared-cache contention point is the *pointer lookup*, which is
+//! one mutex acquire + one `HashMap` probe here.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Mutex;
+
+use crate::sketch::FreqSketch;
+
+/// Expiry bucket granularity: wheel bucket = expiry >> this. 2^20 ns ≈ 1 ms
+/// of virtual time per bucket — far finer than the 1 s minimum lease, so a
+/// renewal horizon maps to a handful of buckets.
+const WHEEL_SHIFT: u32 = 20;
+
+struct Slot<V> {
+    key: Vec<u8>,
+    hash: u64,
+    value: V,
+    /// CLOCK second-chance bit, set on every hit.
+    referenced: bool,
+    /// Lease expiry this slot is filed under in the wheel.
+    expiry: u64,
+}
+
+struct Inner<V> {
+    /// Fixed slot array; `None` entries are free.
+    slots: Vec<Option<Slot<V>>>,
+    /// Key -> slot index.
+    map: HashMap<Vec<u8>, usize>,
+    /// Free slot indices (pre-filled at construction).
+    free: Vec<usize>,
+    /// CLOCK hand position.
+    hand: usize,
+    /// Expiry wheel: coarse time bucket -> (slot, expiry recorded at filing).
+    /// Entries are lazily invalidated — a slot whose current expiry or
+    /// occupancy no longer matches is skipped and dropped on scan.
+    wheel: BTreeMap<u64, Vec<(usize, u64)>>,
+}
+
+/// Statistics counters (monotonic since construction).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClockCacheStats {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries displaced by the CLOCK hand.
+    pub evictions: u64,
+    /// Insertions rejected by sketch admission (victim was hotter).
+    pub rejected: u64,
+}
+
+/// Bounded CLOCK cache with sketch-gated admission. See module docs.
+pub struct ClockCache<V> {
+    inner: Mutex<Inner<V>>,
+    sketch: FreqSketch,
+    capacity: usize,
+    stats: Mutex<ClockCacheStats>,
+}
+
+impl<V: Clone> ClockCache<V> {
+    /// Builds a cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> ClockCache<V> {
+        let capacity = capacity.max(1);
+        let mut slots = Vec::with_capacity(capacity);
+        slots.resize_with(capacity, || None);
+        ClockCache {
+            inner: Mutex::new(Inner {
+                slots,
+                map: HashMap::with_capacity(capacity),
+                free: (0..capacity).rev().collect(),
+                hand: 0,
+                wheel: BTreeMap::new(),
+            }),
+            sketch: FreqSketch::new(capacity),
+            capacity,
+            stats: Mutex::new(ClockCacheStats::default()),
+        }
+    }
+
+    /// Maximum entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current live entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ClockCacheStats {
+        *self.stats.lock().unwrap()
+    }
+
+    /// Looks up `key`, cloning the value on a hit. Records the touch in the
+    /// admission sketch and sets the slot's CLOCK reference bit.
+    pub fn get(&self, key: &[u8]) -> Option<V> {
+        let hash = crate::hash_bytes(key);
+        self.sketch.touch(hash);
+        let mut inner = self.inner.lock().unwrap();
+        let idx = inner.map.get(key).copied();
+        let out = idx.and_then(|i| {
+            inner.slots[i].as_mut().map(|s| {
+                s.referenced = true;
+                s.value.clone()
+            })
+        });
+        drop(inner);
+        let mut st = self.stats.lock().unwrap();
+        if out.is_some() {
+            st.hits += 1;
+        } else {
+            st.misses += 1;
+        }
+        out
+    }
+
+    /// Inserts or replaces `key`. `expiry` files the entry in the lease
+    /// wheel (pass the pointer's lease expiry). Replacement of an existing
+    /// key always succeeds; a brand-new key entering a full cache must beat
+    /// the CLOCK victim's sketch estimate or it is rejected (returns
+    /// `false`). Rejected keys still record their touch, so a key that keeps
+    /// arriving eventually qualifies.
+    pub fn insert(&self, key: &[u8], value: V, expiry: u64) -> bool {
+        let hash = crate::hash_bytes(key);
+        self.sketch.touch(hash);
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(&idx) = inner.map.get(key) {
+            let slot = inner.slots[idx].as_mut().expect("mapped slot occupied");
+            slot.value = value;
+            slot.referenced = true;
+            let refile = slot.expiry != expiry;
+            if refile {
+                slot.expiry = expiry;
+                Self::file(&mut inner.wheel, idx, expiry);
+            }
+            return true;
+        }
+        let idx = if let Some(idx) = inner.free.pop() {
+            idx
+        } else {
+            // CLOCK sweep: clear reference bits until a victim surfaces,
+            // then let the sketch arbitrate newcomer vs victim.
+            let cap = self.capacity;
+            let victim = loop {
+                let hand = inner.hand;
+                inner.hand = (hand + 1) % cap;
+                let slot = inner.slots[hand].as_mut().expect("full cache: occupied");
+                if slot.referenced {
+                    slot.referenced = false;
+                } else {
+                    break hand;
+                }
+            };
+            let victim_hash = inner.slots[victim].as_ref().unwrap().hash;
+            if self.sketch.estimate(hash) <= self.sketch.estimate(victim_hash) {
+                drop(inner);
+                self.stats.lock().unwrap().rejected += 1;
+                return false;
+            }
+            let old = inner.slots[victim].take().expect("victim occupied");
+            inner.map.remove(&old.key);
+            self.stats.lock().unwrap().evictions += 1;
+            victim
+        };
+        inner.slots[idx] = Some(Slot {
+            key: key.to_vec(),
+            hash,
+            value,
+            referenced: true,
+            expiry,
+        });
+        inner.map.insert(key.to_vec(), idx);
+        Self::file(&mut inner.wheel, idx, expiry);
+        true
+    }
+
+    /// Removes `key`, returning its value. The wheel entry is left to lazy
+    /// invalidation.
+    pub fn remove(&self, key: &[u8]) -> Option<V> {
+        let mut inner = self.inner.lock().unwrap();
+        let idx = inner.map.remove(key)?;
+        inner.slots[idx].take().map(|s| {
+            inner.free.push(idx);
+            s.value
+        })
+    }
+
+    /// Collects up to `limit` entries whose lease expires within
+    /// `(now, now + horizon]`, already expired included. Only wheel buckets
+    /// covering that window are visited — the rest of the cache is never
+    /// touched. Stale wheel entries (evicted slots, refiled expiries) are
+    /// dropped as they are encountered.
+    pub fn expiring(&self, now: u64, horizon: u64, limit: usize) -> Vec<(Vec<u8>, V)> {
+        let deadline = now.saturating_add(horizon);
+        let last_bucket = deadline >> WHEEL_SHIFT;
+        let mut inner = self.inner.lock().unwrap();
+        let mut out = Vec::new();
+        let due: Vec<u64> = inner.wheel.range(..=last_bucket).map(|(b, _)| *b).collect();
+        for bucket in due {
+            let Some(mut entries) = inner.wheel.remove(&bucket) else {
+                continue;
+            };
+            let mut keep = Vec::new();
+            while let Some((idx, filed_expiry)) = entries.pop() {
+                let live = inner.slots[idx]
+                    .as_ref()
+                    .is_some_and(|s| s.expiry == filed_expiry);
+                if !live {
+                    continue; // evicted, removed, or refiled: drop lazily
+                }
+                let slot = inner.slots[idx].as_ref().unwrap();
+                if slot.expiry > deadline {
+                    keep.push((idx, filed_expiry));
+                    continue;
+                }
+                if out.len() < limit {
+                    out.push((slot.key.clone(), slot.value.clone()));
+                } else {
+                    keep.push((idx, filed_expiry));
+                }
+            }
+            if !keep.is_empty() {
+                inner.wheel.entry(bucket).or_default().extend(keep);
+            }
+            if out.len() >= limit {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Re-files `key` under a new lease expiry (after a successful renewal).
+    pub fn refile(&self, key: &[u8], expiry: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        let Some(&idx) = inner.map.get(key) else {
+            return;
+        };
+        if let Some(slot) = inner.slots[idx].as_mut() {
+            if slot.expiry != expiry {
+                slot.expiry = expiry;
+                Self::file(&mut inner.wheel, idx, expiry);
+            }
+        }
+    }
+
+    /// Visits a snapshot of live entries (diagnostics / tests).
+    pub fn for_each(&self, mut f: impl FnMut(&[u8], &V)) {
+        let inner = self.inner.lock().unwrap();
+        for slot in inner.slots.iter().flatten() {
+            f(&slot.key, &slot.value);
+        }
+    }
+
+    fn file(wheel: &mut BTreeMap<u64, Vec<(usize, u64)>>, idx: usize, expiry: u64) {
+        wheel
+            .entry(expiry >> WHEEL_SHIFT)
+            .or_default()
+            .push((idx, expiry));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: u64 = 1 << WHEEL_SHIFT; // one wheel bucket
+
+    #[test]
+    fn bounded_under_overload() {
+        let c: ClockCache<u64> = ClockCache::new(64);
+        for i in 0..640u64 {
+            c.insert(format!("k{i:05}").as_bytes(), i, 1_000 * MS);
+        }
+        assert!(c.len() <= 64, "cache exceeded capacity: {}", c.len());
+        let mut count = 0;
+        c.for_each(|_, _| count += 1);
+        assert_eq!(count, c.len());
+    }
+
+    #[test]
+    fn hot_keys_survive_cold_floods() {
+        let c: ClockCache<u64> = ClockCache::new(32);
+        // Establish a hot set with repeated touches.
+        for round in 0..50 {
+            for h in 0..16u64 {
+                let key = format!("hot{h:02}");
+                c.insert(key.as_bytes(), round, 1_000 * MS);
+                c.get(key.as_bytes());
+            }
+        }
+        // Flood with one-shot cold keys (10x capacity).
+        for i in 0..320u64 {
+            c.insert(format!("cold{i:04}").as_bytes(), i, 1_000 * MS);
+        }
+        let mut hot_alive = 0;
+        for h in 0..16u64 {
+            if c.get(format!("hot{h:02}").as_bytes()).is_some() {
+                hot_alive += 1;
+            }
+        }
+        assert!(
+            hot_alive >= 12,
+            "admission must protect the hot set: {hot_alive}/16 alive"
+        );
+        assert!(c.stats().rejected > 0, "cold keys must have been rejected");
+    }
+
+    #[test]
+    fn replace_existing_key_always_succeeds() {
+        let c: ClockCache<u64> = ClockCache::new(4);
+        for i in 0..4u64 {
+            assert!(c.insert(format!("k{i}").as_bytes(), i, 100 * MS));
+        }
+        // Full cache: replacing an existing key is not an admission decision.
+        assert!(c.insert(b"k2", 99, 100 * MS));
+        assert_eq!(c.get(b"k2"), Some(99));
+    }
+
+    #[test]
+    fn remove_frees_a_slot() {
+        let c: ClockCache<u64> = ClockCache::new(2);
+        c.insert(b"a", 1, 100 * MS);
+        c.insert(b"b", 2, 100 * MS);
+        assert_eq!(c.remove(b"a"), Some(1));
+        assert_eq!(c.remove(b"a"), None);
+        assert_eq!(c.len(), 1);
+        // The freed slot admits a newcomer without an eviction fight.
+        assert!(c.insert(b"c", 3, 100 * MS));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn expiring_visits_only_due_buckets() {
+        let c: ClockCache<u64> = ClockCache::new(64);
+        // 8 entries due soon, 40 due far in the future.
+        for i in 0..8u64 {
+            c.insert(format!("soon{i}").as_bytes(), i, 10 * MS + i);
+        }
+        for i in 0..40u64 {
+            c.insert(format!("late{i:02}").as_bytes(), i, 100_000 * MS + i);
+        }
+        let due = c.expiring(9 * MS, 2 * MS, 16);
+        assert_eq!(due.len(), 8);
+        assert!(due.iter().all(|(k, _)| k.starts_with(b"soon")));
+        // Far-future entries stay filed: a later scan at their time sees them.
+        let later = c.expiring(100_000 * MS, MS, 64);
+        assert_eq!(later.len(), 40);
+    }
+
+    #[test]
+    fn expiring_respects_limit_and_keeps_leftovers() {
+        let c: ClockCache<u64> = ClockCache::new(64);
+        for i in 0..20u64 {
+            c.insert(format!("e{i:02}").as_bytes(), i, 5 * MS);
+        }
+        let first = c.expiring(5 * MS, MS, 8);
+        assert_eq!(first.len(), 8);
+        let rest = c.expiring(5 * MS, MS, 64);
+        assert_eq!(rest.len(), 12, "unharvested entries must stay filed");
+    }
+
+    #[test]
+    fn refile_moves_the_wheel_entry() {
+        let c: ClockCache<u64> = ClockCache::new(8);
+        c.insert(b"r", 7, 10 * MS);
+        c.refile(b"r", 500 * MS);
+        assert!(c.expiring(10 * MS, MS, 8).is_empty(), "old filing is stale");
+        let due = c.expiring(500 * MS, MS, 8);
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].0, b"r");
+    }
+
+    #[test]
+    fn stale_wheel_entries_for_evicted_slots_are_dropped() {
+        let c: ClockCache<u64> = ClockCache::new(2);
+        c.insert(b"x", 1, 10 * MS);
+        c.insert(b"y", 2, 10 * MS);
+        c.remove(b"x");
+        c.insert(b"z", 3, 10 * MS);
+        let due = c.expiring(10 * MS, MS, 8);
+        let keys: Vec<&[u8]> = due.iter().map(|(k, _)| k.as_slice()).collect();
+        assert!(keys.contains(&b"y".as_slice()));
+        assert!(keys.contains(&b"z".as_slice()));
+        assert!(!keys.contains(&b"x".as_slice()));
+    }
+}

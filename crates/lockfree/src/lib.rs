@@ -19,6 +19,18 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crossbeam_epoch::{self as epoch, Atomic, Guard, Owned, Shared};
 
+mod clock;
+mod sketch;
+
+pub use clock::{ClockCache, ClockCacheStats};
+pub use sketch::FreqSketch;
+
+/// Hashes a byte slice with the map's FNV-1a + avalanche mix (shared with
+/// [`ClockCache`] so admission-sketch estimates line up with map placement).
+pub fn hash_bytes(key: &[u8]) -> u64 {
+    hash_of(key)
+}
+
 /// Hashes a key with FNV-1a + avalanche; stable and dependency-free.
 fn hash_of<K: std::hash::Hash + ?Sized>(key: &K) -> u64 {
     struct Fnv(u64);

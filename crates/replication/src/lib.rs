@@ -93,6 +93,10 @@ pub struct ReplStats {
     pub applied: u64,
     /// Records discarded by the secondary (gap/failure skipping).
     pub discarded: u64,
+    /// Local replica copies killed on a forward-gap discard so exported
+    /// pointers cannot serve a stale value while the rollback resend is in
+    /// flight.
+    pub invalidated: u64,
     /// Times the primary stalled on ring space.
     pub stalls: u64,
     /// Doorbell-batched shipments ([`ReplicationPair::replicate_batch`]);
@@ -800,6 +804,21 @@ impl ReplicationPair {
                 // Gap or processing failure: stop advancing, discard.
                 s.discarded_since_ack = true;
                 shared.stats.borrow_mut().discarded += 1;
+                // A discarded record *ahead* of the applied prefix (a gap or
+                // an injected processing failure on the next record) leaves
+                // the replica's copy of this key outdated relative to a
+                // record the primary may already count as delivered — and
+                // that copy could be serving one-sided reads via an exported
+                // pointer. Kill the local copy so stale fast-path reads fail
+                // guardian validation; the rollback resend (which restarts
+                // from `expected + 1`) is guaranteed to re-apply this key.
+                // Records at or below `expected` are duplicates/stale
+                // frames: killing for those would break convergence, since
+                // the resend never covers them again.
+                if rec.seq > s.expected && matches!(rec.op, LogOp::Put | LogOp::Delete) {
+                    let _ = s.engine.borrow_mut().delete(now, rec.key);
+                    shared.stats.borrow_mut().invalidated += 1;
+                }
                 if rec.op == LogOp::AckRequest {
                     send_ack = true;
                 }
@@ -1056,6 +1075,48 @@ mod tests {
             );
         }
         assert_eq!(e.len(), 20);
+    }
+
+    #[test]
+    fn forward_gap_discard_kills_the_stale_replica_copy_then_repairs() {
+        // A key is applied at v0, then an injected failure discards its v1
+        // record. While the rollback is in flight the replica must NOT hold
+        // a guardian-valid v0 copy (an exported pointer would serve a stale
+        // read for a write the primary already acked): the discard path
+        // kills the local copy, and the resend re-applies v1.
+        let cfg = ReplConfig {
+            mode: ReplMode::Logging { ack_every: 4 },
+            ..Default::default()
+        };
+        let (mut sim, _fab, pair, engine) = setup(cfg);
+        pair.replicate(&mut sim, LogOp::Put, b"vk", b"v0", None);
+        sim.run();
+        assert_eq!(engine.borrow_mut().get(0, b"vk").unwrap().value, b"v0");
+        // Seq 2 is the next record: fail it, so it is discarded ahead of
+        // the applied prefix (rec.seq > expected).
+        pair.inject_failure(2);
+        pair.replicate(&mut sim, LogOp::Put, b"vk", b"v1", None);
+        // Step until the discard lands, then check the copy died *before*
+        // the rollback repairs it.
+        let mut saw_killed = false;
+        while sim.step() {
+            let st = pair.stats();
+            if st.invalidated >= 1 && engine.borrow_mut().get(0, b"vk").is_none() {
+                saw_killed = true;
+            }
+        }
+        assert!(saw_killed, "stale replica copy must be killed on discard");
+        // Filler records reach the ack_every threshold, so an AckRequest
+        // ships, the gap surfaces, and the rollback resend repairs vk.
+        for i in 0..8u32 {
+            pair.replicate(&mut sim, LogOp::Put, format!("f{i}").as_bytes(), b"x", None);
+        }
+        sim.run();
+        let st = pair.stats();
+        assert!(st.invalidated >= 1);
+        assert!(st.rollbacks >= 1);
+        // Convergence: the resend re-applied v1.
+        assert_eq!(engine.borrow_mut().get(0, b"vk").unwrap().value, b"v1");
     }
 
     #[test]

@@ -103,6 +103,8 @@ pub struct ItemInfo {
     pub read_len: u32,
     /// Absolute lease expiry granted (0 if none).
     pub lease_expiry: u64,
+    /// Item version (mod 128): 0 on fresh insert, bumped per replace.
+    pub version: u8,
 }
 
 /// Result of a server-side GET.
@@ -345,6 +347,7 @@ impl ShardEngine {
             off_words: off,
             read_len: item.read_len(self.arena.words()),
             lease_expiry: 0,
+            version: 0,
         })
     }
 
@@ -371,6 +374,7 @@ impl ShardEngine {
                         off_words: off,
                         read_len: item.read_len(self.arena.words()),
                         lease_expiry: 0,
+                        version: 0,
                     })
                 }
             },
@@ -393,6 +397,7 @@ impl ShardEngine {
                     off_words: off,
                     read_len: item.read_len(self.arena.words()),
                     lease_expiry: 0,
+                    version: 0,
                 })
             }
         }
@@ -409,9 +414,14 @@ impl ShardEngine {
         old_off: u64,
     ) -> Result<ItemInfo, EngineError> {
         let new_off = self.alloc_item(now, key.len(), value.len())?;
-        let new_item = ItemRef::write_new(self.arena.words(), new_off, key, value);
-        let read_len = new_item.read_len(self.arena.words());
         let old_item = ItemRef { off: old_off };
+        // Bump the 7-bit item version: a client (or replica exporter) holding
+        // the old version observes the mismatch even before it sees the dead
+        // guardian.
+        let version = old_item.version(self.arena.words()).wrapping_add(1) & 0x7F;
+        let new_item =
+            ItemRef::write_new_versioned(self.arena.words(), new_off, key, value, version);
+        let read_len = new_item.read_len(self.arena.words());
         let words = self.arena.words();
         // Carry popularity across versions so lease scaling survives updates.
         let pop = old_item.popularity(words);
@@ -434,6 +444,7 @@ impl ShardEngine {
             off_words: new_off,
             read_len,
             lease_expiry: 0,
+            version,
         })
     }
 
@@ -488,7 +499,42 @@ impl ShardEngine {
             off_words: off,
             read_len: item.read_len(words),
             lease_expiry: item.lease(words),
+            version: item.version(words),
         })
+    }
+
+    /// Non-mutating lookup: resolves `key` to its current location without
+    /// bumping popularity, extending the lease, or touching CLOCK state.
+    /// The primary uses this to export *replica* pointers from a replica's
+    /// engine — the replica must not record reads it never served, and the
+    /// replica item's own lease state stays untouched (the guardian word
+    /// still validates every remote fetch).
+    pub fn peek(&mut self, key: &[u8]) -> Option<ItemInfo> {
+        let hash = hash_key(key);
+        let off = self.find(hash, key)?;
+        let words = self.arena.words();
+        let item = ItemRef { off };
+        Some(ItemInfo {
+            off_words: off,
+            read_len: item.read_len(words),
+            lease_expiry: item.lease(words),
+            version: item.version(words),
+        })
+    }
+
+    /// Extends `key`'s lease to at least `expiry` without bumping popularity
+    /// or CLOCK state. The primary uses this to pin a *replica* item for the
+    /// duration of a lease it granted on the replica's behalf when exporting
+    /// the replica's remote pointer: reclamation on the replica then honours
+    /// the exported lease exactly as it honours locally granted ones.
+    /// Returns `false` when the key is absent.
+    pub fn pin_lease(&mut self, key: &[u8], expiry: u64) -> bool {
+        let hash = hash_key(key);
+        let Some(off) = self.find(hash, key) else {
+            return false;
+        };
+        ItemRef { off }.extend_lease(self.arena.words(), expiry);
+        true
     }
 
     /// Batched server-side GET over a run of keys. Index probes are
@@ -547,6 +593,7 @@ impl ShardEngine {
                         off_words: off,
                         read_len: item.read_len(words),
                         lease_expiry: item.lease(words),
+                        version: item.version(words),
                     }),
                     scratch,
                 );
@@ -615,7 +662,15 @@ impl ShardEngine {
     }
 
     /// Earliest pending reclamation deadline (schedules the next GC event).
+    ///
+    /// Displaced index halves count as immediately-due work: once a resize
+    /// finishes they are reclaimable on the next pump, and a read-only
+    /// workload would otherwise pin them forever (no put/delete ever runs
+    /// the pump again).
     pub fn next_reclaim_at(&self) -> Option<u64> {
+        if self.table.retired_bytes() > 0 && !self.table.is_resizing() {
+            return Some(0);
+        }
         self.reclaim.next_expiry()
     }
 
@@ -783,6 +838,49 @@ mod tests {
             FetchedItem::parse(&blob, b"k").unwrap_err(),
             ItemError::Stale
         );
+    }
+
+    #[test]
+    fn version_bumps_on_replace_and_is_deterministic_per_op_sequence() {
+        let mut e = ShardEngine::new(cfg_small(WriteMode::Reliable));
+        let i0 = e.insert(0, b"vk", b"v0").unwrap();
+        assert_eq!(i0.version, 0);
+        let i1 = e.update(1, b"vk", b"v1").unwrap();
+        assert_eq!(i1.version, 1);
+        let i2 = e.put(2, b"vk", b"v2").unwrap();
+        assert_eq!(i2.version, 2);
+        assert_eq!(e.get(3, b"vk").unwrap().info.version, 2);
+        assert_eq!(e.peek(b"vk").unwrap().version, 2);
+        // Delete + reinsert restarts at 0: the guardian flip (not the
+        // version) is what invalidates pointers across a delete.
+        e.delete(4, b"vk").unwrap();
+        assert_eq!(e.insert(5, b"vk", b"v3").unwrap().version, 0);
+        // A second engine fed the same per-key op sequence agrees — the
+        // replica-export version match depends on this determinism.
+        let mut r = ShardEngine::new(cfg_small(WriteMode::Reliable));
+        r.put(0, b"vk", b"v0").unwrap();
+        r.put(1, b"vk", b"v1").unwrap();
+        r.put(2, b"vk", b"v2").unwrap();
+        r.delete(3, b"vk").unwrap();
+        r.put(4, b"vk", b"v3").unwrap();
+        assert_eq!(r.peek(b"vk").unwrap().version, 0);
+    }
+
+    #[test]
+    fn pin_lease_defers_reclaim_without_touching_popularity() {
+        let mut e = ShardEngine::new(cfg_small(WriteMode::Reliable));
+        e.insert(0, b"pin", b"v").unwrap();
+        let pop_lease_before = e.get(10, b"pin").unwrap().info.lease_expiry;
+        assert!(e.pin_lease(b"pin", 50_000));
+        // pin_lease extends but never shortens; popularity (and thus the
+        // server-granted term) is unchanged by the pin.
+        let after = e.get(20, b"pin").unwrap().info;
+        assert_eq!(after.lease_expiry, 50_000);
+        assert!(pop_lease_before < 50_000);
+        e.delete(100, b"pin").unwrap();
+        assert_eq!(e.pump_reclaim(49_999), 0, "pinned lease must defer reuse");
+        assert_eq!(e.pump_reclaim(50_000), 1);
+        assert!(!e.pin_lease(b"pin", 60_000), "absent key: no pin");
     }
 
     #[test]
@@ -1014,6 +1112,47 @@ mod tests {
             e.stats().retired_index_groups >= 1,
             "growth during load must have retired old halves"
         );
+    }
+
+    #[test]
+    fn read_only_workload_reports_retired_halves_as_due_reclaim() {
+        // Regression: `next_reclaim_at` used to consult only the lease
+        // queue, so when an insert-only load phase finished a resize the
+        // displaced old half stayed pinned for as long as the workload was
+        // read-only — no put/delete ever pumped again, and the scheduler
+        // had no deadline to arm. Retired halves must surface as
+        // immediately-due work.
+        let cfg = EngineConfig {
+            arena_words: 1 << 16,
+            expected_items: 16, // tiny: loading forces resizes quickly
+            index: IndexKind::Packed,
+            write_mode: WriteMode::Reliable,
+            min_lease_ns: 50,
+            max_lease_ns: 3_200,
+        };
+        let mut e = ShardEngine::new(cfg);
+        // Load until at least one resize has fully completed with its old
+        // half retired but not yet reclaimed (inserts don't pump unless the
+        // arena fills).
+        let mut i = 0u64;
+        while e.index_retired_bytes() == 0 || e.index_resizing() {
+            e.insert(i, format!("ro{i:05}").as_bytes(), &[9; 16])
+                .unwrap();
+            i += 1;
+            assert!(i < 100_000, "never observed a completed resize");
+        }
+        assert_eq!(
+            e.next_reclaim_at(),
+            Some(0),
+            "retired halves must register as due reclamation"
+        );
+        // Read-only from here: the scheduled pump (driven by GET traffic in
+        // the server) drains the retired half without any mutation.
+        let mut scratch = Vec::new();
+        e.get_into(i, b"ro00000", &mut scratch).unwrap();
+        e.pump_reclaim(i);
+        assert_eq!(e.index_retired_bytes(), 0, "pump must free retired halves");
+        assert!(e.stats().retired_index_groups >= 1);
     }
 
     #[test]

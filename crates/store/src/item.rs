@@ -3,7 +3,7 @@
 //! Every key-value pair is laid out in registered memory as:
 //!
 //! ```text
-//! word 0              : header  [klen:16][vlen:32][pop:8][flags:8]
+//! word 0              : header  [klen:16][vlen:32][pop:8][clock:1][version:7]
 //! words 1 .. 1+kw     : key bytes   (kw = ceil(klen/8))
 //! next vw words       : value bytes (vw = ceil(vlen/8))
 //! next word           : guardian  (GUARD_VALID | GUARD_DEAD)
@@ -45,6 +45,9 @@ const POP_SHIFT: u64 = KLEN_BITS + VLEN_BITS; // 48
 const FLAG_SHIFT: u64 = POP_SHIFT + 8; // 56
 /// CLOCK reference bit used by cache-mode eviction.
 pub const FLAG_CLOCK_REF: u64 = 1;
+/// Version counter bits (7-bit, wraps mod 128), packed above the CLOCK bit.
+const VERSION_SHIFT: u64 = FLAG_SHIFT + 1; // 57
+const VERSION_MASK: u64 = 0x7F;
 
 /// Number of words an item with the given key/value lengths occupies.
 #[inline]
@@ -69,16 +72,33 @@ pub struct ItemRef {
 }
 
 impl ItemRef {
-    /// Writes a brand-new item at `off`. The guardian is published last with
-    /// `Release` ordering, making the item bytes visible to any reader that
-    /// observes `GUARD_VALID`.
+    /// Writes a brand-new item at `off` with version 0. The guardian is
+    /// published last with `Release` ordering, making the item bytes visible
+    /// to any reader that observes `GUARD_VALID`.
     pub fn write_new(words: &[AtomicU64], off: u64, key: &[u8], value: &[u8]) -> ItemRef {
+        Self::write_new_versioned(words, off, key, value, 0)
+    }
+
+    /// [`Self::write_new`] stamping an explicit item version (mod 128). The
+    /// version lives in the header word, which is stored *before* the
+    /// guardian publication, so any fetch that validates also reads a
+    /// consistent version — the replica-pointer export path relies on this
+    /// to detect a replica copy lagging behind the primary.
+    pub fn write_new_versioned(
+        words: &[AtomicU64],
+        off: u64,
+        key: &[u8],
+        value: &[u8],
+        version: u8,
+    ) -> ItemRef {
         assert!(key.len() <= KLEN_MASK as usize, "key too long");
         assert!(value.len() <= VLEN_MASK as usize, "value too long");
         let kw = key.len().div_ceil(8);
         let vw = value.len().div_ceil(8);
         let base = off as usize;
-        let header = (key.len() as u64) | ((value.len() as u64) << KLEN_BITS);
+        let header = (key.len() as u64)
+            | ((value.len() as u64) << KLEN_BITS)
+            | (((version as u64) & VERSION_MASK) << VERSION_SHIFT);
         words[base].store(header, Ordering::Relaxed);
         Self::store_bytes(words, base + 1, key);
         Self::store_bytes(words, base + 1 + kw, value);
@@ -270,6 +290,14 @@ impl ItemRef {
         }
     }
 
+    /// Item version (mod 128), stamped at write time. Fresh inserts start at
+    /// 0; each out-of-place replace bumps it, so a replica copy whose version
+    /// differs from the primary's is observably stale even while its own
+    /// guardian still reads `GUARD_VALID`.
+    pub fn version(&self, words: &[AtomicU64]) -> u8 {
+        ((self.header(words) >> VERSION_SHIFT) & VERSION_MASK) as u8
+    }
+
     /// Reads the CLOCK reference bit.
     pub fn clock_ref(&self, words: &[AtomicU64]) -> bool {
         (self.header(words) >> FLAG_SHIFT) & FLAG_CLOCK_REF != 0
@@ -300,6 +328,8 @@ impl ItemRef {
 pub struct FetchedItem {
     /// The value bytes extracted from the blob.
     pub value: Vec<u8>,
+    /// The item version stamped in the fetched header (mod 128).
+    pub version: u8,
 }
 
 impl FetchedItem {
@@ -332,6 +362,7 @@ impl FetchedItem {
         let vstart = (1 + kw) * 8;
         Ok(FetchedItem {
             value: blob[vstart..vstart + vlen].to_vec(),
+            version: ((header >> VERSION_SHIFT) & VERSION_MASK) as u8,
         })
     }
 }
@@ -438,6 +469,36 @@ mod tests {
         // Lengths unchanged by popularity writes.
         assert_eq!(item.klen(&words), 1);
         assert_eq!(item.vlen(&words), 1);
+    }
+
+    #[test]
+    fn version_roundtrips_and_survives_flag_and_pop_writes() {
+        let words = arena_words(16);
+        let item = ItemRef::write_new_versioned(&words, 0, b"k", b"v", 93);
+        assert_eq!(item.version(&words), 93);
+        item.set_clock_ref(&words, true);
+        for _ in 0..300 {
+            item.bump_popularity(&words);
+        }
+        item.set_clock_ref(&words, false);
+        assert_eq!(item.version(&words), 93);
+        assert_eq!(item.klen(&words), 1);
+        assert_eq!(item.vlen(&words), 1);
+        // Fresh writes default to version 0; versions wrap at 7 bits.
+        let v0 = ItemRef::write_new(&words, 8, b"k", b"v");
+        assert_eq!(v0.version(&words), 0);
+        let wrapped = ItemRef::write_new_versioned(&words, 8, b"k", b"v", 128);
+        assert_eq!(wrapped.version(&words), 0);
+    }
+
+    #[test]
+    fn fetched_item_reports_version() {
+        let words = arena_words(32);
+        let item = ItemRef::write_new_versioned(&words, 0, b"vkey", b"vvalue", 17);
+        let blob = blob_of(&words, item);
+        let f = FetchedItem::parse(&blob, b"vkey").unwrap();
+        assert_eq!(f.value, b"vvalue");
+        assert_eq!(f.version, 17);
     }
 
     #[test]

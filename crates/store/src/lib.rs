@@ -22,6 +22,7 @@ pub mod arena;
 pub mod chained;
 pub mod checksum;
 pub mod engine;
+pub mod heat;
 pub mod index;
 pub mod item;
 pub mod packed;
@@ -34,6 +35,7 @@ pub use checksum::{ChecksumItem, ChecksumVerdict, Crc64};
 pub use engine::{
     EngineConfig, EngineError, EngineStats, GetResult, ItemInfo, ShardEngine, WriteMode,
 };
+pub use heat::{HeatEntry, HeatSketch};
 pub use index::{AnyIndex, Index, IndexKind};
 pub use item::{
     item_words, rdma_read_len, FetchedItem, ItemError, ItemRef, GUARD_DEAD, GUARD_VALID,

@@ -19,8 +19,128 @@
 //! ```text
 //! [status:1][flags:1][pad:2][vlen:4][req_id:8][rptr:16][lease_expiry:8][value]
 //! ```
+//!
+//! When flags bit 0 ([`RESP_FLAG_REPLICAS`]) is set, a replica-pointer list
+//! follows the value: `[version:1][count:1]` then `count` entries of
+//! `[node:4][lease_class:1][rptr:16]`. The list carries alternative
+//! one-sided read targets for a hot key (replica copies under the same
+//! exported lease); `version` is the primary item's version at export time.
 
 use crate::rptr::{RemotePtr, REMOTE_PTR_BYTES};
+
+/// Response flags bit 0: a replica-pointer list is appended after the value.
+pub const RESP_FLAG_REPLICAS: u8 = 1;
+
+/// Upper bound on exported replica pointers per response (wire + hot-path
+/// fixed arrays are sized to this).
+pub const MAX_EXPORT_PTRS: usize = 4;
+
+/// One exported replica read target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaPtr {
+    /// Fabric node index hosting the replica region.
+    pub node: u32,
+    /// Lease tier (0..=6) the primary granted; informs renewal batching.
+    pub lease_class: u8,
+    /// Where the replica's copy of the item lives.
+    pub rptr: RemotePtr,
+}
+
+impl Default for ReplicaPtr {
+    fn default() -> Self {
+        ReplicaPtr {
+            node: 0,
+            lease_class: 0,
+            rptr: RemotePtr::none(),
+        }
+    }
+}
+
+const REPLICA_PTR_BYTES: usize = 4 + 1 + REMOTE_PTR_BYTES;
+
+/// A fixed-capacity set of exported replica pointers plus the primary item
+/// version they were validated against. Copy + inline so appending it to a
+/// response stays allocation-free on the serving hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReplicaSet {
+    /// Primary item version (mod 128) at export time; a fetched blob whose
+    /// stamped version differs is stale even if its guardian still validates.
+    pub version: u8,
+    count: u8,
+    entries: [ReplicaPtr; MAX_EXPORT_PTRS],
+}
+
+impl ReplicaSet {
+    /// An empty set carrying only the version stamp.
+    pub fn new(version: u8) -> ReplicaSet {
+        ReplicaSet {
+            version,
+            count: 0,
+            entries: [ReplicaPtr::default(); MAX_EXPORT_PTRS],
+        }
+    }
+
+    /// Appends an entry; returns `false` (dropping it) once full.
+    pub fn push(&mut self, entry: ReplicaPtr) -> bool {
+        if (self.count as usize) >= MAX_EXPORT_PTRS {
+            return false;
+        }
+        self.entries[self.count as usize] = entry;
+        self.count += 1;
+        true
+    }
+
+    /// Number of exported pointers.
+    pub fn len(&self) -> usize {
+        self.count as usize
+    }
+
+    /// Whether no pointers were exported.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The exported entries.
+    pub fn entries(&self) -> &[ReplicaPtr] {
+        &self.entries[..self.count as usize]
+    }
+
+    fn encoded_len(&self) -> usize {
+        2 + self.count as usize * REPLICA_PTR_BYTES
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(self.version);
+        out.push(self.count);
+        for e in self.entries() {
+            out.extend_from_slice(&e.node.to_le_bytes());
+            out.push(e.lease_class);
+            out.extend_from_slice(&e.rptr.encode());
+        }
+    }
+
+    fn decode(buf: &[u8]) -> Option<ReplicaSet> {
+        let version = *buf.first()?;
+        let count = *buf.get(1)?;
+        if count as usize > MAX_EXPORT_PTRS {
+            return None;
+        }
+        let mut set = ReplicaSet::new(version);
+        let mut p = buf.get(2..)?;
+        for _ in 0..count {
+            let node = u32::from_le_bytes(p.get(..4)?.try_into().ok()?);
+            let lease_class = *p.get(4)?;
+            let rptr = RemotePtr::decode(p.get(5..5 + REMOTE_PTR_BYTES)?)?;
+            set.push(ReplicaPtr {
+                node,
+                lease_class,
+                rptr,
+            });
+            p = &p[REPLICA_PTR_BYTES..];
+        }
+        Some(set)
+    }
+}
 
 /// Operation codes carried in request headers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -352,6 +472,9 @@ pub struct Response<'a> {
     /// Absolute lease expiry (virtual ns) until which the remote pointer is
     /// guaranteed valid; 0 when no lease was granted.
     pub lease_expiry: u64,
+    /// Replica read targets exported for hot keys (`None` for cold keys and
+    /// non-GET responses).
+    pub replicas: Option<ReplicaSet>,
 }
 
 impl<'a> Response<'a> {
@@ -363,12 +486,14 @@ impl<'a> Response<'a> {
             value: &[],
             rptr: RemotePtr::none(),
             lease_expiry: 0,
+            replicas: None,
         }
     }
 
     /// Encodes into a fresh buffer.
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(RESP_HDR + self.value.len());
+        let extra = self.replicas.map_or(0, |r| r.encoded_len());
+        let mut out = Vec::with_capacity(RESP_HDR + self.value.len() + extra);
         self.encode_into(&mut out);
         out
     }
@@ -376,13 +501,20 @@ impl<'a> Response<'a> {
     /// Encodes, appending to `out`.
     pub fn encode_into(&self, out: &mut Vec<u8>) {
         out.push(self.status as u8);
-        out.push(0);
+        out.push(if self.replicas.is_some() {
+            RESP_FLAG_REPLICAS
+        } else {
+            0
+        });
         out.extend_from_slice(&[0, 0]);
         out.extend_from_slice(&(self.value.len() as u32).to_le_bytes());
         out.extend_from_slice(&self.req_id.to_le_bytes());
         out.extend_from_slice(&self.rptr.encode());
         out.extend_from_slice(&self.lease_expiry.to_le_bytes());
         out.extend_from_slice(self.value);
+        if let Some(set) = &self.replicas {
+            set.encode_into(out);
+        }
     }
 
     /// Decodes a response from `buf`.
@@ -391,6 +523,7 @@ impl<'a> Response<'a> {
             return None;
         }
         let status = Status::from_u8(buf[0])?;
+        let flags = buf[1];
         let vlen = u32::from_le_bytes(buf[4..8].try_into().ok()?) as usize;
         let req_id = u64::from_le_bytes(buf[8..16].try_into().ok()?);
         let rptr = RemotePtr::decode(&buf[16..16 + REMOTE_PTR_BYTES])?;
@@ -400,12 +533,18 @@ impl<'a> Response<'a> {
         if body.len() < vlen {
             return None;
         }
+        let replicas = if flags & RESP_FLAG_REPLICAS != 0 {
+            Some(ReplicaSet::decode(&body[vlen..])?)
+        } else {
+            None
+        };
         Some(Response {
             status,
             req_id,
             value: &body[..vlen],
             rptr,
             lease_expiry,
+            replicas,
         })
     }
 }
@@ -459,12 +598,76 @@ mod tests {
             value: b"the value",
             rptr: RemotePtr::new(3, 4096, 64),
             lease_expiry: 123_456_789,
+            replicas: None,
         };
         let enc = r.encode();
         assert_eq!(Response::decode(&enc).unwrap(), r);
 
         let r2 = Response::status_only(Status::NotFound, 7);
         assert_eq!(Response::decode(&r2.encode()).unwrap(), r2);
+    }
+
+    #[test]
+    fn response_with_replica_list_roundtrips() {
+        let mut set = ReplicaSet::new(41);
+        set.push(ReplicaPtr {
+            node: 2,
+            lease_class: 3,
+            rptr: RemotePtr::new(9, 8192, 128),
+        });
+        set.push(ReplicaPtr {
+            node: 5,
+            lease_class: 0,
+            rptr: RemotePtr::new(11, 64, 48),
+        });
+        let r = Response {
+            status: Status::Ok,
+            req_id: 1234,
+            value: b"hot value",
+            rptr: RemotePtr::new(3, 4096, 64),
+            lease_expiry: 5_000_000,
+            replicas: Some(set),
+        };
+        let enc = r.encode();
+        let dec = Response::decode(&enc).unwrap();
+        assert_eq!(dec, r);
+        let got = dec.replicas.unwrap();
+        assert_eq!(got.version, 41);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got.entries()[1].node, 5);
+        assert_eq!(got.entries()[1].rptr, RemotePtr::new(11, 64, 48));
+
+        // An empty set still travels (version stamp alone).
+        let r = Response {
+            replicas: Some(ReplicaSet::new(7)),
+            ..Response::status_only(Status::Ok, 2)
+        };
+        let enc = r.encode();
+        let dec = Response::decode(&enc).unwrap();
+        assert_eq!(dec.replicas.unwrap().version, 7);
+    }
+
+    #[test]
+    fn replica_set_caps_at_max_entries() {
+        let mut set = ReplicaSet::new(0);
+        for i in 0..MAX_EXPORT_PTRS + 3 {
+            let accepted = set.push(ReplicaPtr {
+                node: i as u32,
+                lease_class: 0,
+                rptr: RemotePtr::new(1, 0, 8),
+            });
+            assert_eq!(accepted, i < MAX_EXPORT_PTRS);
+        }
+        assert_eq!(set.len(), MAX_EXPORT_PTRS);
+        // An over-count on the wire is rejected, not trusted.
+        let r = Response {
+            replicas: Some(set),
+            ..Response::status_only(Status::Ok, 3)
+        };
+        let mut enc = r.encode();
+        let count_off = enc.len() - MAX_EXPORT_PTRS * (4 + 1 + REMOTE_PTR_BYTES) - 1;
+        enc[count_off] = (MAX_EXPORT_PTRS + 1) as u8;
+        assert!(Response::decode(&enc).is_none());
     }
 
     #[test]
@@ -494,6 +697,28 @@ mod tests {
             value: b"xyz",
             rptr: RemotePtr::none(),
             lease_expiry: 0,
+            replicas: None,
+        }
+        .encode();
+        for cut in 0..enc.len() {
+            assert!(Response::decode(&enc[..cut]).is_none(), "cut={cut}");
+        }
+        // With a replica list appended, every cut point must still fail to
+        // decode — the list length is implied by the count byte, so each
+        // entry access is bounds-checked.
+        let mut set = ReplicaSet::new(9);
+        set.push(ReplicaPtr {
+            node: 1,
+            lease_class: 2,
+            rptr: RemotePtr::new(4, 512, 40),
+        });
+        let enc = Response {
+            status: Status::Ok,
+            req_id: 1,
+            value: b"xyz",
+            rptr: RemotePtr::new(2, 128, 40),
+            lease_expiry: 10,
+            replicas: Some(set),
         }
         .encode();
         for cut in 0..enc.len() {

@@ -26,7 +26,10 @@ pub mod log;
 pub mod rptr;
 
 pub use batch::{BatchBuilder, BatchFrame, BatchIter, BATCH_ENTRY_HDR, BATCH_HDR, BATCH_MAGIC};
-pub use codec::{KeyList, OpCode, Request, Response, Status};
+pub use codec::{
+    KeyList, OpCode, ReplicaPtr, ReplicaSet, Request, Response, Status, MAX_EXPORT_PTRS,
+    RESP_FLAG_REPLICAS,
+};
 pub use frame::{
     consume_message, frame_to_words, frame_words, poll_message, write_message, FrameError,
 };

@@ -25,7 +25,7 @@
 /// within the region, and the full item length to fetch (header + key +
 /// value + guardian word), so a single RDMA Read retrieves everything needed
 /// to validate freshness.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub struct RemotePtr {
     /// Registered-region identifier (acts as the rkey in the simulation).
     pub region: u32,

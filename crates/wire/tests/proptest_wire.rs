@@ -101,6 +101,7 @@ proptest! {
             value: &value,
             rptr: RemotePtr::new(region, offset, len),
             lease_expiry: lease,
+            replicas: None,
         };
         let enc = resp.encode();
         prop_assert_eq!(Response::decode(&enc).expect("decodes"), resp);

@@ -8,7 +8,7 @@
 //! mixes, including duplicate keys inside one batch, misses, collisions,
 //! and deletes of absent keys.
 
-use hydra_db::server::{apply_request, run_batch};
+use hydra_db::server::{apply_request, run_batch, ReadPlane};
 use hydra_fabric::RegionId;
 use hydra_store::{EngineConfig, IndexKind, ShardEngine, WriteMode};
 use hydra_wire::{BatchBuilder, BatchFrame, Request};
@@ -93,12 +93,13 @@ proptest! {
         let mut seq_engine = engine();
         let mut seq_builder = BatchBuilder::new();
         let mut seq_scratch = Vec::new();
+        let mut seq_plane = ReadPlane::disabled();
         let mut seq_repl = Vec::new();
         for req in &reqs {
             let mut action = None;
             seq_builder.push_with(|out| {
                 action = apply_request(
-                    &mut seq_engine, NOW, req, ARENA, &mut seq_scratch, out,
+                    &mut seq_engine, NOW, req, ARENA, &mut seq_scratch, &mut seq_plane, out,
                 );
             });
             if let Some(a) = action {
@@ -110,8 +111,10 @@ proptest! {
         let mut batch_engine = engine();
         let mut batch_builder = BatchBuilder::new();
         let mut batch_scratch = Vec::new();
+        let mut batch_plane = ReadPlane::disabled();
         let (batch_repl, counts) = run_batch(
-            &mut batch_engine, NOW, &reqs, ARENA, &mut batch_scratch, &mut batch_builder,
+            &mut batch_engine, NOW, &reqs, ARENA, &mut batch_scratch, &mut batch_plane,
+            &mut batch_builder,
         );
 
         // Byte-identical response frames, in request order.

@@ -46,6 +46,13 @@ fn drive(
 /// each, HA armed, a random fault plan derived from `seed`, two recorded
 /// clients, recovery, then all three checks.
 fn chaos_round(seed: u64) {
+    chaos_round_with(seed, false);
+}
+
+/// `spread` additionally enables replica read spreading with an aggressive
+/// export threshold, so fast-path reads rotate over primary + secondary
+/// pointers while the fault plan fires.
+fn chaos_round_with(seed: u64, spread: bool) {
     let horizon = 400 * MS;
     let cfg = ClusterConfig {
         seed,
@@ -54,6 +61,8 @@ fn chaos_round(seed: u64) {
         client_nodes: 1,
         replicas: 1,
         replication: ReplicationMode::Strict,
+        replica_read_spread: spread,
+        hot_read_threshold: if spread { 1 } else { 8 },
         ..ClusterConfig::default()
     };
     let mut cluster = ClusterBuilder::new(cfg).build();
@@ -140,6 +149,20 @@ proptest! {
     #[test]
     fn random_fault_plans_never_break_consistency(seed in 0u64..10_000) {
         chaos_round(seed);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The same adversary with replica read spreading enabled: hot keys
+    /// export secondary remote pointers and clients rotate fast-path reads
+    /// over the whole replica group while machines crash, leases lapse and
+    /// replication frames are dropped. Consistency must not depend on which
+    /// copy a read happened to land on.
+    #[test]
+    fn random_fault_plans_with_replica_spreading(seed in 0u64..10_000) {
+        chaos_round_with(seed, true);
     }
 }
 
@@ -351,6 +374,253 @@ fn forced_lease_expiry_never_yields_stale_fast_path_reads() {
         s.invalid_hits
     );
     // The recorded history agrees: every read observed a written value.
+    let history = chaos.history();
+    if let Err(v) = history.check_reads_observed_writes() {
+        panic!("{v}");
+    }
+    if let Err(v) = history.check_linearizable() {
+        panic!("{v}");
+    }
+}
+
+/// Replica-read staleness (read spreading): warm a client's pointer cache
+/// with exported secondary pointers, overwrite every victim, force-expire
+/// all leases — primary *and* replica-pinned — and churn both arenas so the
+/// retired blocks are reused. Re-reads rotate over primary and secondary
+/// copies; every dangling pointer (whichever machine it aims at) must be
+/// caught by the guardian/version check and fall back to the message path.
+#[test]
+fn forced_lease_expiry_never_yields_stale_replica_reads() {
+    let cfg = ClusterConfig {
+        seed: 13,
+        server_nodes: 3,
+        partitions: Some(2),
+        client_nodes: 1,
+        replicas: 2,
+        replication: ReplicationMode::Strict,
+        replica_read_spread: true,
+        hot_read_threshold: 1,
+        ..ClusterConfig::default()
+    };
+    let mut cluster = ClusterBuilder::new(cfg).build();
+    let client = cluster.add_recording_client(0);
+    let chaos = cluster.chaos();
+
+    fn put_rec(cluster: &mut hydra_db::Cluster, c: &RecordingClient, k: &[u8], v: &[u8]) {
+        let done = Rc::new(Cell::new(false));
+        let d = done.clone();
+        c.put(
+            &mut cluster.sim,
+            k,
+            v,
+            Box::new(move |_, r| {
+                r.expect("put succeeds");
+                d.set(true);
+            }),
+        );
+        while !done.get() {
+            assert!(cluster.sim.step(), "queue drained before completion");
+        }
+    }
+    fn get_rec(cluster: &mut hydra_db::Cluster, c: &RecordingClient, k: &[u8]) -> Option<Vec<u8>> {
+        let out: Rc<RefCellOpt> = Rc::new(std::cell::RefCell::new(None));
+        let done = Rc::new(Cell::new(false));
+        let (o, d) = (out.clone(), done.clone());
+        c.get(
+            &mut cluster.sim,
+            k,
+            Box::new(move |_, r| {
+                *o.borrow_mut() = Some(r.expect("get succeeds"));
+                d.set(true);
+            }),
+        );
+        while !done.get() {
+            assert!(cluster.sim.step(), "queue drained before completion");
+        }
+        let got = out.borrow_mut().take();
+        got.expect("get completed")
+    }
+    type RefCellOpt = std::cell::RefCell<Option<Option<Vec<u8>>>>;
+
+    let victims: Vec<Vec<u8>> = (0..50)
+        .map(|i| format!("spread-{i:03}").into_bytes())
+        .collect();
+    for (i, k) in victims.iter().enumerate() {
+        put_rec(&mut cluster, &client, k, format!("v0-{i}").as_bytes());
+    }
+    // Warm: the first GET caches the primary pointer plus the exported
+    // secondary pointers (threshold 1 makes every key hot); the next reads
+    // rotate over the replica group.
+    for k in &victims {
+        for _ in 0..4 {
+            assert!(get_rec(&mut cluster, &client, k).is_some());
+        }
+    }
+    let warm = cluster.clients()[0].stats();
+    assert!(warm.rptr_hits > 0, "fast path must be in play");
+    assert!(
+        warm.replica_reads > 0,
+        "spread reads must hit secondary copies before the fault"
+    );
+
+    // Overwrite (old blocks retire on primary AND secondaries), lapse every
+    // lease on all copies, then churn the arenas so the freed blocks are
+    // reused by unrelated keys.
+    for (i, k) in victims.iter().enumerate() {
+        put_rec(&mut cluster, &client, k, format!("v1-{i}").as_bytes());
+    }
+    for p in 0..cluster.cfg.total_shards() {
+        chaos.apply(&mut cluster.sim, &FaultEvent::ExpireLease { partition: p });
+    }
+    for i in 0..400 {
+        let k = format!("filler-{i:04}");
+        put_rec(
+            &mut cluster,
+            &client,
+            k.as_bytes(),
+            format!("f-{i}").as_bytes(),
+        );
+    }
+
+    for (i, k) in victims.iter().enumerate() {
+        assert_eq!(
+            get_rec(&mut cluster, &client, k).as_deref(),
+            Some(format!("v1-{i}").as_bytes()),
+            "stale or torn spread read of {}",
+            String::from_utf8_lossy(k)
+        );
+    }
+    let s = cluster.clients()[0].stats();
+    assert!(
+        s.invalid_hits >= 1,
+        "at least one dangling pointer must have been caught \
+         (got {} invalid hits)",
+        s.invalid_hits
+    );
+    let history = chaos.history();
+    if let Err(v) = history.check_reads_observed_writes() {
+        panic!("{v}");
+    }
+    if let Err(v) = history.check_linearizable() {
+        panic!("{v}");
+    }
+}
+
+/// Crash the machine hosting a secondary while a client is actively
+/// spreading fast-path reads over it. One-sided reads to a powered-off
+/// machine vanish on the wire; the client's op timeout must convert them to
+/// message-path retries against the primary — no lost or wrong reads, and
+/// zero acknowledged writes lost.
+#[test]
+fn replica_crash_under_spreading_falls_back_to_primary() {
+    let cfg = ClusterConfig {
+        seed: 17,
+        server_nodes: 3,
+        partitions: Some(2),
+        client_nodes: 1,
+        replicas: 2,
+        replication: ReplicationMode::Strict,
+        replica_read_spread: true,
+        hot_read_threshold: 1,
+        ..ClusterConfig::default()
+    };
+    let mut cluster = ClusterBuilder::new(cfg).build();
+    let client = cluster.add_recording_client(0);
+    let chaos = cluster.chaos();
+
+    fn put_rec(cluster: &mut hydra_db::Cluster, c: &RecordingClient, k: &[u8], v: &[u8]) {
+        let done = Rc::new(Cell::new(false));
+        let d = done.clone();
+        c.put(
+            &mut cluster.sim,
+            k,
+            v,
+            Box::new(move |_, r| {
+                r.expect("put succeeds");
+                d.set(true);
+            }),
+        );
+        while !done.get() {
+            assert!(cluster.sim.step(), "queue drained before completion");
+        }
+    }
+    fn get_rec(cluster: &mut hydra_db::Cluster, c: &RecordingClient, k: &[u8]) -> Option<Vec<u8>> {
+        let out: Rc<RefCellOpt> = Rc::new(std::cell::RefCell::new(None));
+        let done = Rc::new(Cell::new(false));
+        let (o, d) = (out.clone(), done.clone());
+        c.get(
+            &mut cluster.sim,
+            k,
+            Box::new(move |_, r| {
+                *o.borrow_mut() = Some(r.expect("get succeeds"));
+                d.set(true);
+            }),
+        );
+        while !done.get() {
+            assert!(cluster.sim.step(), "queue drained before completion");
+        }
+        let got = out.borrow_mut().take();
+        got.expect("get completed")
+    }
+    type RefCellOpt = std::cell::RefCell<Option<Option<Vec<u8>>>>;
+
+    let keys: Vec<Vec<u8>> = (0..20).map(|i| format!("rc-{i:02}").into_bytes()).collect();
+    for (i, k) in keys.iter().enumerate() {
+        put_rec(&mut cluster, &client, k, format!("v-{i}").as_bytes());
+    }
+    for k in &keys {
+        for _ in 0..4 {
+            assert!(get_rec(&mut cluster, &client, k).is_some());
+        }
+    }
+    assert!(
+        cluster.clients()[0].stats().replica_reads > 0,
+        "spread reads must be live before the crash"
+    );
+
+    // Power off a machine that hosts only secondaries (no HA is armed, so
+    // crashing a primary's machine would just take its partition down —
+    // that fail-over story is covered by the random chaos rounds).
+    let primary_nodes: Vec<_> = (0..cluster.cfg.total_shards())
+        .map(|p| cluster.shard(p).primary.borrow().node)
+        .collect();
+    let victim_node = cluster
+        .shard(0)
+        .secondaries
+        .iter()
+        .map(|s| s.borrow().node)
+        .find(|n| !primary_nodes.contains(n))
+        .expect("a secondary-only machine exists");
+    let victim_idx = cluster
+        .server_nodes
+        .iter()
+        .position(|n| *n == victim_node)
+        .expect("secondary lives on a server machine");
+    chaos.apply(
+        &mut cluster.sim,
+        &FaultEvent::CrashNode { node: victim_idx },
+    );
+
+    // Keep reading: spread reads aimed at the dead machine time out and
+    // retry over the message path; every read still returns the current
+    // value.
+    for (i, k) in keys.iter().enumerate() {
+        for _ in 0..3 {
+            assert_eq!(
+                get_rec(&mut cluster, &client, k).as_deref(),
+                Some(format!("v-{i}").as_bytes()),
+                "wrong value after replica crash for {}",
+                String::from_utf8_lossy(k)
+            );
+        }
+    }
+    let s = cluster.clients()[0].stats();
+    assert!(
+        s.timeouts >= 1,
+        "at least one spread read must have timed out against the dead \
+         machine (got {} timeouts)",
+        s.timeouts
+    );
     let history = chaos.history();
     if let Err(v) = history.check_reads_observed_writes() {
         panic!("{v}");

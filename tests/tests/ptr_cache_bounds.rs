@@ -1,0 +1,82 @@
+//! Boundedness of the client pointer cache.
+//!
+//! The CLOCK cache replaced an unbounded map: a skewed or scanning workload
+//! used to grow the client's pointer cache without limit. These tests drive
+//! a keyspace 10x the configured capacity through GETs (each message-path
+//! GET response inserts a pointer) and assert the cache never exceeds its
+//! capacity — for both the per-client cache and the node-wide shared cache —
+//! while repeated touches still earn a hot key admission and fast-path hits.
+
+use hydra_db::{ClusterBuilder, ClusterConfig};
+use hydra_integration::{get_value, put_ok};
+
+const CAP: usize = 64;
+const OVERLOAD: usize = 10 * CAP;
+
+#[test]
+fn own_ptr_cache_stays_bounded_under_overload() {
+    let cfg = ClusterConfig {
+        server_nodes: 1,
+        shards_per_node: 2,
+        client_nodes: 1,
+        ptr_cache_capacity: CAP,
+        ..ClusterConfig::default()
+    };
+    let mut cluster = ClusterBuilder::new(cfg).build();
+    let client = cluster.add_client(0);
+    let keys: Vec<Vec<u8>> = (0..OVERLOAD)
+        .map(|i| format!("bound-{i:05}").into_bytes())
+        .collect();
+    for k in &keys {
+        put_ok(&mut cluster, &client, k, &[0xB0; 64]);
+    }
+    for k in &keys {
+        assert!(get_value(&mut cluster, &client, k).is_some());
+        assert!(
+            client.ptr_cache_len() <= CAP,
+            "pointer cache exceeded capacity: {} > {CAP}",
+            client.ptr_cache_len()
+        );
+    }
+    assert!(client.ptr_cache_len() <= CAP);
+
+    // A key that keeps arriving must eventually beat a once-seen victim's
+    // sketch estimate, get admitted, and serve fast-path hits.
+    for _ in 0..8 {
+        assert!(get_value(&mut cluster, &client, &keys[0]).is_some());
+    }
+    assert!(
+        client.stats().rptr_hits >= 1,
+        "repeatedly-read key never earned admission into the bounded cache"
+    );
+    assert!(client.ptr_cache_len() <= CAP);
+}
+
+#[test]
+fn shared_ptr_cache_stays_bounded_under_overload() {
+    let cfg = ClusterConfig {
+        server_nodes: 1,
+        shards_per_node: 2,
+        client_nodes: 1,
+        shared_ptr_cache: true,
+        ptr_cache_capacity: CAP,
+        ..ClusterConfig::default()
+    };
+    let mut cluster = ClusterBuilder::new(cfg).build();
+    let a = cluster.add_client(0);
+    let b = cluster.add_client(0);
+    let keys: Vec<Vec<u8>> = (0..OVERLOAD)
+        .map(|i| format!("share-{i:05}").into_bytes())
+        .collect();
+    for k in &keys {
+        put_ok(&mut cluster, &a, k, &[0xB1; 64]);
+    }
+    // Both clients hammer the one node-wide cache with disjoint halves.
+    for (i, k) in keys.iter().enumerate() {
+        let c = if i % 2 == 0 { &a } else { &b };
+        assert!(get_value(&mut cluster, c, k).is_some());
+    }
+    // Same underlying cache: both views report the same bounded length.
+    assert!(a.ptr_cache_len() <= CAP);
+    assert_eq!(a.ptr_cache_len(), b.ptr_cache_len());
+}

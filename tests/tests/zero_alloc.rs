@@ -15,7 +15,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use hydra_db::{ClusterBuilder, ClusterConfig};
 use hydra_integration::{get_value, put_ok};
-use hydra_lockfree::LockFreeMap;
+use hydra_lockfree::{ClockCache, LockFreeMap};
 use hydra_store::{EngineConfig, IndexKind, ShardEngine, WriteMode};
 use hydra_wire::{KeyList, Request};
 
@@ -59,6 +59,7 @@ fn hot_paths_do_not_allocate() {
     steady_state_get_into_is_zero_alloc();
     packed_probe_paths_are_zero_alloc_at_high_lf_and_mid_resize();
     shared_cache_lookup_is_zero_alloc();
+    clock_cache_lookup_is_zero_alloc();
     server_get_alloc_count_is_constant();
 }
 
@@ -157,6 +158,28 @@ fn shared_cache_lookup_is_zero_alloc() {
     });
     assert_eq!(hits, 1_000);
     assert_eq!(allocs, 0, "borrowed-key cache lookup must not allocate");
+}
+
+/// The bounded CLOCK pointer cache — the structure actually backing the
+/// client's remote-pointer cache — probes with a borrowed key and returns a
+/// `Copy` value, so the steady-state hit path allocates nothing.
+fn clock_cache_lookup_is_zero_alloc() {
+    let c: ClockCache<u64> = ClockCache::new(64);
+    let keys: Vec<Vec<u8>> = (0..64).map(|i| format!("pk{i:04}").into_bytes()).collect();
+    for (i, k) in keys.iter().enumerate() {
+        assert!(c.insert(k, i as u64, u64::MAX));
+    }
+    assert_eq!(c.get(&keys[0]), Some(0));
+    let mut hits = 0usize;
+    let allocs = count_allocs(|| {
+        for round in 0..1_000usize {
+            if c.get(&keys[round % 64]).is_some() {
+                hits += 1;
+            }
+        }
+    });
+    assert_eq!(hits, 1_000);
+    assert_eq!(allocs, 0, "CLOCK cache hit path must not allocate");
 }
 
 /// Borrowed request decode performs zero heap allocations for every opcode —
