@@ -166,6 +166,7 @@ impl KvClient for BaselineClient {
             rptr_hits: 0,
             invalid_hits: 0,
             msg_gets: inner.get_lat.count(),
+            ..Default::default()
         }
     }
 }

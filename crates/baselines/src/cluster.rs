@@ -166,7 +166,7 @@ impl BaselineCluster {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hydra_ycsb::{run_workload, DriverConfig, KeyDist, KvClient, Workload};
+    use hydra_ycsb::{run_workload, DriverConfig, KeyDist, KvClient, OpMix, Workload};
     use std::cell::Cell;
 
     fn wl(read_ratio: f64) -> Workload {
@@ -178,6 +178,7 @@ mod tests {
             key_len: 16,
             value_len: 32,
             seed: 3,
+            mix: OpMix::ReadUpdate,
         }
     }
 

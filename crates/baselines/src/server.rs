@@ -255,6 +255,9 @@ impl BaselineServer {
                     Err(e) => to(err(e)),
                 },
                 Request::LeaseRenew { .. } => to(Status::Ok),
+                // Baseline stores are hash-only; they never advertise SCAN
+                // and reject it if asked.
+                Request::Scan { .. } => to(Status::Error),
             };
             drop(engine);
             match Request::decode(&payload).expect("validated") {

@@ -32,6 +32,7 @@ fn bench_pregen(c: &mut Criterion) {
         key_len: 16,
         value_len: 32,
         seed: 1,
+        mix: hydra_ycsb::OpMix::ReadUpdate,
     };
     g.bench_function("generate_100k_ops_8_clients", |b| {
         b.iter(|| black_box(wl.generate(8).len()))

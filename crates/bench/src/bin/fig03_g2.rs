@@ -16,6 +16,7 @@ fn wl(scale: Scale) -> Workload {
         key_len: 16,
         value_len: 64, // protobuf-packed entity rows are a bit larger
         seed: 3,
+        mix: hydra_ycsb::OpMix::ReadUpdate,
     }
 }
 

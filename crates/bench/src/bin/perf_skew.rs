@@ -71,6 +71,7 @@ fn skew_workload(scale: Scale, theta: f64, records_div: u64) -> Workload {
         key_len: 16,
         value_len: 512,
         seed: hydra_sim::seed_from_env(71),
+        mix: hydra_ycsb::OpMix::ReadUpdate,
     }
 }
 

@@ -80,6 +80,7 @@ pub fn one_workload(scale: Scale, read_ratio: f64, zipf: bool, seed: u64) -> Wor
         key_len: 16,
         value_len: 32,
         seed,
+        mix: hydra_ycsb::OpMix::ReadUpdate,
     }
 }
 

@@ -632,6 +632,35 @@ impl RecordingClient {
         self.write_op(sim, HistOp::Put, key, value, cb);
     }
 
+    /// SCAN, recorded as one Get observation per returned item, each
+    /// spanning the whole scan window [invoke, completion]. A torn or stale
+    /// item — a value no write ever produced, or one already overwritten
+    /// before the scan began — cannot linearize inside that window, so the
+    /// checker flags it. Failed scans constrain nothing.
+    pub fn scan(&self, sim: &mut Sim, start: &[u8], limit: u32, cb: OpCb) {
+        let invoked = sim.now();
+        self.chaos.note_invocation(sim);
+        let hist = self.chaos.history();
+        let client_id = self.client.id();
+        self.client.scan(
+            sim,
+            start,
+            limit,
+            Box::new(move |sim, res| {
+                let done = sim.now();
+                if let Ok(Some(payload)) = &res {
+                    if let Some(items) = hydra_wire::ScanItems::parse(payload) {
+                        for (k, v) in &items {
+                            let id = hist.begin(client_id, HistOp::Get, k, None, invoked);
+                            hist.end(id, done, Outcome::Ok(Some(v.to_vec())));
+                        }
+                    }
+                }
+                cb(sim, res);
+            }),
+        );
+    }
+
     /// DELETE, recorded (maybe-applied on failure).
     pub fn delete(&self, sim: &mut Sim, key: &[u8], cb: OpCb) {
         let id = self

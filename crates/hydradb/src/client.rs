@@ -37,7 +37,8 @@ use hydra_sim::time::SimTime;
 use hydra_sim::{Histogram, Sim};
 use hydra_store::{FetchedItem, ItemError};
 use hydra_wire::{
-    frame, BatchBuilder, BatchFrame, KeyList, RemotePtr, Request, Response, Status, MAX_EXPORT_PTRS,
+    frame, scan_items_begin, scan_items_finish, scan_items_push, BatchBuilder, BatchFrame, KeyList,
+    RemotePtr, Request, Response, ScanItems, Status, MAX_EXPORT_PTRS,
 };
 
 use crate::cluster::Directory;
@@ -79,12 +80,19 @@ pub struct ClientStats {
     pub updates: u64,
     pub deletes: u64,
     pub lease_renews: u64,
+    /// Logical range scans started by the application.
+    pub scans: u64,
+    /// Per-partition scan requests shipped (fan-out steps plus quantum
+    /// continuations; ≥ `scans × partitions` when scans run).
+    pub scan_steps: u64,
     pub timeouts: u64,
     pub retries: u64,
     /// GET completion latency (both fast and message paths).
     pub get_lat: Histogram,
     /// INSERT/UPDATE/DELETE completion latency.
     pub update_lat: Histogram,
+    /// End-to-end SCAN latency (full fan-out + continuations + merge).
+    pub scan_lat: Histogram,
 }
 
 /// One replica's remote location for a cached key (read spreading).
@@ -181,6 +189,7 @@ enum OpKind {
     Update,
     Delete,
     LeaseRenew,
+    Scan,
 }
 
 struct Outstanding {
@@ -197,6 +206,34 @@ struct Outstanding {
     /// Item version the fetched blob must carry (fast-path reads of keys
     /// whose pointer was exported with a version stamp).
     expect_version: Option<u8>,
+    /// Partition this op was dispatched to. Scans retry against it directly
+    /// (a scan cursor must NOT be re-routed by key hash — the step belongs
+    /// to one partition regardless of where its cursor key would route).
+    partition: Option<u32>,
+}
+
+/// In-progress range scan: the client walks every partition in id order
+/// (hash partitioning scatters the key range across all of them), following
+/// each server's quantum continuations, then merges.
+struct ScanState {
+    /// Original start key (partition cursors reset to it).
+    start: Vec<u8>,
+    /// Global item target; also the per-partition target (each partition
+    /// must contribute its own `limit` smallest candidates for the merged
+    /// smallest-`limit` set to be correct).
+    limit: u32,
+    /// Partition ids in fan-out order.
+    partitions: Vec<u32>,
+    /// Index of the partition currently being scanned.
+    part_idx: usize,
+    /// Items collected from the current partition so far.
+    part_count: u32,
+    /// Next start key for the current partition (continuation: last
+    /// received key + `0x00`, the immediate successor in byte order).
+    cursor: Vec<u8>,
+    /// All collected `(key, value)` pairs, merged and truncated at the end.
+    items: Vec<(Vec<u8>, Vec<u8>)>,
+    issued_at: SimTime,
 }
 
 struct ClientConn {
@@ -468,6 +505,167 @@ impl HydraClient {
         );
     }
 
+    /// Ordered range scan: the `limit` smallest keys `>= start` cluster-wide,
+    /// with their values. Hash partitioning scatters the key range over every
+    /// partition, so the client fans out across partitions sequentially
+    /// (closed-loop discipline), following each server's continuation
+    /// (`more` flag → reissue from the last received key + `0x00`) so no
+    /// single request occupies a shard core past its scan quantum. The
+    /// callback receives the merged result as a packed
+    /// [`hydra_wire::ScanItems`] payload (`more = false`), key-sorted and
+    /// truncated to `limit`.
+    pub fn scan(&self, sim: &mut Sim, start: &[u8], limit: u32, cb: OpCb) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.stats.scans += 1;
+            inner.stats.ops += 1;
+        }
+        let partitions: Vec<u32> = {
+            let inner = self.inner.borrow();
+            let dir = inner.directory.borrow();
+            let mut ps: Vec<u32> = dir.shards.keys().copied().collect();
+            ps.sort_unstable();
+            ps
+        };
+        let state = ScanState {
+            start: start.to_vec(),
+            limit,
+            partitions,
+            part_idx: 0,
+            part_count: 0,
+            cursor: start.to_vec(),
+            items: Vec::new(),
+            issued_at: sim.now(),
+        };
+        self.scan_step(sim, state, cb);
+    }
+
+    /// Issues the next per-partition scan request, or finishes the scan when
+    /// every partition is drained (or `limit` is 0).
+    fn scan_step(&self, sim: &mut Sim, state: ScanState, cb: OpCb) {
+        if state.limit == 0 || state.part_idx >= state.partitions.len() {
+            self.finish_scan(sim, state, cb);
+            return;
+        }
+        let partition = state.partitions[state.part_idx];
+        let remaining = state.limit - state.part_count;
+        let cursor = state.cursor.clone();
+        let this = self.clone();
+        let step_cb: OpCb = Box::new(move |sim, res| {
+            this.on_scan_step(sim, state, cb, res);
+        });
+        self.issue_scan_request(sim, partition, cursor, remaining, step_cb);
+    }
+
+    /// Settles one per-partition response: absorb its items, continue the
+    /// same partition while the server reports truncation, else advance.
+    fn on_scan_step(
+        &self,
+        sim: &mut Sim,
+        mut state: ScanState,
+        cb: OpCb,
+        res: Result<Option<Vec<u8>>, OpError>,
+    ) {
+        let bytes = match res {
+            Ok(Some(bytes)) => bytes,
+            // A scan step always answers Ok(value); treat anything else as
+            // the underlying failure.
+            Ok(None) => {
+                cb(sim, Err(OpError::Server));
+                return;
+            }
+            Err(e) => {
+                cb(sim, Err(e));
+                return;
+            }
+        };
+        let parsed = ScanItems::parse(&bytes).expect("well-formed scan payload");
+        let mut last_key: Option<Vec<u8>> = None;
+        for (k, v) in parsed.iter() {
+            state.items.push((k.to_vec(), v.to_vec()));
+            last_key = Some(k.to_vec());
+            state.part_count += 1;
+        }
+        if parsed.more() && state.part_count < state.limit {
+            if let Some(lk) = last_key {
+                // Continuation: resume just past the last received key.
+                state.cursor = lk;
+                state.cursor.push(0);
+                self.scan_step(sim, state, cb);
+                return;
+            }
+        }
+        // Partition drained (or its per-partition target met): advance.
+        state.part_idx += 1;
+        state.part_count = 0;
+        state.cursor = state.start.clone();
+        self.scan_step(sim, state, cb);
+    }
+
+    /// Merges the fan-out: key-sort, truncate to the global limit, re-pack.
+    /// Keys are unique cluster-wide (each lives on one partition), so the
+    /// sort needs no dedup.
+    fn finish_scan(&self, sim: &mut Sim, mut state: ScanState, cb: OpCb) {
+        state.items.sort_by(|a, b| a.0.cmp(&b.0));
+        state.items.truncate(state.limit as usize);
+        let mut packed = Vec::new();
+        scan_items_begin(&mut packed);
+        for (k, v) in &state.items {
+            scan_items_push(&mut packed, k, v);
+        }
+        scan_items_finish(&mut packed, false, state.items.len() as u32);
+        {
+            let mut inner = self.inner.borrow_mut();
+            let lat = sim.now() - state.issued_at;
+            inner.stats.scan_lat.record(lat);
+        }
+        cb(sim, Ok(Some(packed)));
+    }
+
+    /// Ships one partition-pinned scan request (closed-loop or pipelined).
+    fn issue_scan_request(
+        &self,
+        sim: &mut Sim,
+        partition: u32,
+        cursor: Vec<u8>,
+        limit: u32,
+        cb: OpCb,
+    ) {
+        self.inner.borrow_mut().stats.scan_steps += 1;
+        let limit_bytes = limit.to_le_bytes().to_vec();
+        if self.pipelined() {
+            let now = sim.now();
+            self.enqueue_pipelined_to(
+                sim,
+                partition,
+                OpKind::Scan,
+                cursor,
+                limit_bytes,
+                Some(cb),
+                now,
+            );
+            return;
+        }
+        let req_id = {
+            let mut inner = self.inner.borrow_mut();
+            inner.next_req_id += 1;
+            inner.next_req_id
+        };
+        let payload = encode_request(OpKind::Scan, req_id, &cursor, &limit_bytes);
+        self.dispatch_payload(
+            sim,
+            partition,
+            req_id,
+            OpKind::Scan,
+            cursor,
+            limit_bytes,
+            Some(cb),
+            1,
+            None,
+            payload,
+        );
+    }
+
     /// Sends one lease-renewal batch for cached pointers expiring within
     /// `horizon`. No-op (returns false) when busy or nothing qualifies.
     pub fn renew_expiring_leases(&self, sim: &mut Sim, horizon: SimTime) -> bool {
@@ -609,6 +807,7 @@ impl HydraClient {
                 // gone, in which case the read vanishes — arm a timeout.
                 timeout_ev: None,
                 expect_version: ptr.version,
+                partition: None,
             });
             req_id
         };
@@ -807,6 +1006,7 @@ impl HydraClient {
             attempts,
             timeout_ev: None,
             expect_version: None,
+            partition: Some(partition),
         });
         // Arm the timeout: if this req_id is still outstanding when it
         // fires, the shard is unresponsive (dead or overloaded).
@@ -850,7 +1050,11 @@ impl HydraClient {
         {
             let mut inner = self.inner.borrow_mut();
             inner.stats.retries += 1;
-            let partition = {
+            let partition = if out.kind == OpKind::Scan {
+                // A scan step is pinned to its partition; the cursor key
+                // must not be re-routed by hash.
+                out.partition
+            } else {
                 let dir = inner.directory.borrow();
                 dir.ring.route(&out.key).map(|s| s.0)
             };
@@ -864,6 +1068,30 @@ impl HydraClient {
                     inner.conns.remove(&p);
                 }
             }
+        }
+        if out.kind == OpKind::Scan {
+            // Partition-pinned retry against the partition's current primary
+            // (ensure_conn rebuilds the connection after fail-over).
+            let partition = out.partition.expect("scan steps carry their partition");
+            let req_id = {
+                let mut inner = self.inner.borrow_mut();
+                inner.next_req_id += 1;
+                inner.next_req_id
+            };
+            let payload = encode_request(OpKind::Scan, req_id, &out.key, &out.value);
+            self.dispatch_payload(
+                sim,
+                partition,
+                req_id,
+                OpKind::Scan,
+                out.key,
+                out.value,
+                out.cb,
+                out.attempts + 1,
+                Some(out.issued_at),
+                payload,
+            );
+            return;
         }
         self.issue_message_op(
             sim,
@@ -1068,6 +1296,8 @@ impl HydraClient {
                     Ok(Some(resp.value.to_vec()))
                 }
                 (OpKind::Get, Status::NotFound) => Ok(None),
+                // A scan step's payload is the packed item list.
+                (OpKind::Scan, Status::Ok) => Ok(Some(resp.value.to_vec())),
                 (_, Status::Ok) => Ok(None),
                 (_, Status::NotFound) => Err(OpError::NotFound),
                 (_, Status::Exists) => Err(OpError::Exists),
@@ -1077,7 +1307,9 @@ impl HydraClient {
             let lat = now - out.issued_at + client_ns;
             match out.kind {
                 OpKind::Get | OpKind::RdmaGet => inner.stats.get_lat.record(lat),
-                OpKind::LeaseRenew => {}
+                // Scan latency is recorded end-to-end by `finish_scan`, not
+                // per fan-out step.
+                OpKind::LeaseRenew | OpKind::Scan => {}
                 _ => inner.stats.update_lat.record(lat),
             }
             (verdict, client_ns)
@@ -1112,6 +1344,22 @@ impl HydraClient {
             }
             return;
         };
+        self.enqueue_pipelined_to(sim, partition, kind, key, value, cb, issued_at);
+    }
+
+    /// [`Self::enqueue_pipelined`] with an explicit target partition — scan
+    /// steps are partition-pinned rather than key-routed.
+    #[allow(clippy::too_many_arguments)]
+    fn enqueue_pipelined_to(
+        &self,
+        sim: &mut Sim,
+        partition: u32,
+        kind: OpKind,
+        key: Vec<u8>,
+        value: Vec<u8>,
+        cb: Option<OpCb>,
+        issued_at: SimTime,
+    ) {
         let (req_id, payload, fits) = {
             let mut inner = self.inner.borrow_mut();
             inner.next_req_id += 1;
@@ -1144,6 +1392,7 @@ impl HydraClient {
                     attempts: 1,
                     timeout_ev: None,
                     expect_version: None,
+                    partition: Some(partition),
                 },
                 payload,
             });
@@ -1391,6 +1640,7 @@ impl HydraClient {
                     // arm the per-op window timeout for replica targets.
                     timeout_ev: None,
                     expect_version: ptr.version,
+                    partition: None,
                 },
             );
             (req_id, inner.node, inner.fab.clone())
@@ -1463,6 +1713,14 @@ fn encode_request(kind: OpKind, req_id: u64, key: &[u8], value: &[u8]) -> Vec<u8
         OpKind::Insert => Request::Insert { req_id, key, value }.encode(),
         OpKind::Update => Request::Update { req_id, key, value }.encode(),
         OpKind::Delete => Request::Delete { req_id, key }.encode(),
+        // Scan steps carry the cursor as the key and the 4-byte limit as the
+        // value, mirroring the wire layout.
+        OpKind::Scan => Request::Scan {
+            req_id,
+            start: key,
+            limit: u32::from_le_bytes(value.try_into().expect("4-byte scan limit")),
+        }
+        .encode(),
         OpKind::RdmaGet | OpKind::LeaseRenew => unreachable!("not message ops"),
     }
 }

@@ -119,6 +119,12 @@ pub struct CostModel {
     /// Sub-sharding model: in-process hand-off from the connection thread
     /// to a sub-shard core (no kernel synchronization, just a queue push).
     pub subshard_handoff_ns: SimTime,
+    /// Fixed cost of a SCAN: skiplist descent to the start key + response
+    /// header assembly.
+    pub scan_base_ns: SimTime,
+    /// Per-returned-item cost of a SCAN: successor hop + key/value copy into
+    /// the packed response.
+    pub scan_item_ns: SimTime,
 }
 
 impl Default for CostModel {
@@ -138,6 +144,8 @@ impl Default for CostModel {
             post_wqe_ns: 0,
             batch_probe_factor: 0.85,
             subshard_handoff_ns: 120,
+            scan_base_ns: 600,
+            scan_item_ns: 50,
         }
     }
 }
@@ -203,6 +211,12 @@ pub struct ClusterConfig {
     /// Maximum requests packed into one batch frame (one doorbell) by the
     /// pipelined client, and the server's per-quantum execution batch.
     pub max_batch: usize,
+    /// Shard-core time budget one SCAN may consume before the server
+    /// truncates it and hands the client a continuation (`more` flag). Keeps
+    /// a long range scan from parking behind it every point op in the
+    /// quantum: the per-scan charge is `scan_base_ns + items × scan_item_ns`,
+    /// and the item count is capped so the charge never exceeds this budget.
+    pub scan_quantum_ns: SimTime,
     /// Virtual nodes per shard on the consistent-hash ring.
     pub vnodes: u32,
     /// Whether shards allocate NUMA-locally (§4.1.2); `false` models the
@@ -266,6 +280,7 @@ impl Default for ClusterConfig {
             msg_slot_words: 1 << 10,
             pipeline_depth: 1,
             max_batch: 16,
+            scan_quantum_ns: 25_000,
             vnodes: 64,
             numa_aware: true,
             min_lease_ns: 1_000_000_000,

@@ -54,4 +54,5 @@ pub use chaos::{ChaosController, RecordingClient};
 pub use client::{ClientStats, HydraClient, OpError};
 pub use cluster::{Cluster, ClusterBuilder, ClusterReport, PartitionReport, ShardHandle};
 pub use config::{ClientMode, ClusterConfig, CostModel, ExecModel, ReplicationMode};
+pub use hydra_store::IndexKind;
 pub use ring::{HashRing, ShardId};

@@ -25,8 +25,8 @@ use hydra_sim::time::SimTime;
 use hydra_sim::{FifoResource, Sim};
 use hydra_store::{EngineError, HeatSketch, ItemInfo, ShardEngine};
 use hydra_wire::{
-    frame, BatchBuilder, BatchFrame, LogOp, RemotePtr, ReplicaPtr, ReplicaSet, Request, Response,
-    Status, MAX_EXPORT_PTRS,
+    frame, scan_items_begin, scan_items_finish, scan_items_push, BatchBuilder, BatchFrame, LogOp,
+    RemotePtr, ReplicaPtr, ReplicaSet, Request, Response, Status, MAX_EXPORT_PTRS,
 };
 
 use crate::config::{ClusterConfig, ExecModel, ReplicationMode};
@@ -35,9 +35,45 @@ use crate::ring::ShardId;
 /// Buckets in the log2 observability histograms.
 pub const HIST_BUCKETS: usize = 16;
 
+/// Distinct request kinds tracked by the per-op queue-depth breakdown
+/// (rows of [`ServerStats::queue_depth_hist_by_op`], in [`op_slot`] order).
+pub const OP_KINDS: usize = 6;
+
+/// Row index of `req`'s kind in [`ServerStats::queue_depth_hist_by_op`]:
+/// Get, Insert, Update, Delete, LeaseRenew, Scan.
+pub fn op_slot(req: &Request<'_>) -> usize {
+    match req {
+        Request::Get { .. } => 0,
+        Request::Insert { .. } => 1,
+        Request::Update { .. } => 2,
+        Request::Delete { .. } => 3,
+        Request::LeaseRenew { .. } => 4,
+        Request::Scan { .. } => 5,
+    }
+}
+
 /// Log2 bucket index for a histogram sample (0 stays in bucket 0).
 fn log2_bucket(v: u64) -> usize {
     ((64 - v.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+}
+
+/// Largest item count one scan may return inside its quantum: the biggest
+/// `C` with `scan_base_ns + C × scan_item_ns ≤ scan_quantum_ns`, floored at
+/// 1 so a scan always makes progress. The server truncates longer scans here
+/// and sets the response's `more` flag; the client continues from its last
+/// received key.
+pub fn scan_quantum_items(cfg: &ClusterConfig) -> u32 {
+    let c = &cfg.costs;
+    (cfg.scan_quantum_ns.saturating_sub(c.scan_base_ns) / c.scan_item_ns.max(1)).max(1) as u32
+}
+
+/// Shard-core charge for a scan requesting `limit` items: the descent base
+/// plus per-item cost for the items actually served (the quantum cap bounds
+/// the count, so for any `limit` the charge never exceeds
+/// `scan_quantum_ns` — pinned by `scan_cost_respects_quantum_budget`).
+pub fn scan_cost(cfg: &ClusterConfig, limit: u32) -> SimTime {
+    let c = &cfg.costs;
+    c.scan_base_ns + limit.min(scan_quantum_items(cfg)) as SimTime * c.scan_item_ns
 }
 
 /// Operation counters for one shard.
@@ -49,6 +85,7 @@ pub struct ServerStats {
     pub updates: u64,
     pub deletes: u64,
     pub lease_renews: u64,
+    pub scans: u64,
     pub responses: u64,
     pub dropped_while_dead: u64,
     /// Batch frames executed through the quantum path.
@@ -60,6 +97,12 @@ pub struct ServerStats {
     /// bucket 0 counts arrivals that found the core idle, bucket k counts
     /// arrivals that queued behind ~2^(k-1) requests' worth of work.
     pub queue_depth_hist: [u64; HIST_BUCKETS],
+    /// Per-op-kind breakdown of the queue-depth histogram, one row per
+    /// [`op_slot`] (Get, Insert, Update, Delete, LeaseRenew, Scan). Sampled
+    /// once per *request* on both the singleton and batched paths (the
+    /// aggregate histogram keeps its one-sample-per-frame batching), so
+    /// scan-induced backlog is distinguishable from point-op backlog.
+    pub queue_depth_hist_by_op: [[u64; HIST_BUCKETS]; OP_KINDS],
 }
 
 /// A secondary's remotely readable arena, registered with the primary so
@@ -192,14 +235,19 @@ impl ReadPlane {
 /// This is the single execution kernel shared by the singleton path and the
 /// batched quantum path, so batched execution is behaviourally identical by
 /// construction; the batched-vs-sequential property test in `tests/` pins
-/// that down. `scratch` is the reused GET value buffer; the returned slices
-/// borrow from the request payload, never from the engine.
+/// that down. `scratch` is the reused GET value buffer; `scan_cap` bounds
+/// the items one SCAN may return (its quantum, [`scan_quantum_items`]) and
+/// `scan_buf` is the reused packed-items response buffer. The returned
+/// slices borrow from the request payload, never from the engine.
+#[allow(clippy::too_many_arguments)]
 pub fn apply_request<'a>(
     engine: &mut ShardEngine,
     now: SimTime,
     req: &Request<'a>,
     arena_region: RegionId,
     scratch: &mut Vec<u8>,
+    scan_cap: u32,
+    scan_buf: &mut Vec<u8>,
     plane: &mut ReadPlane,
     out: &mut Vec<u8>,
 ) -> Option<(LogOp, &'a [u8], &'a [u8])> {
@@ -269,6 +317,35 @@ pub fn apply_request<'a>(
             Response::status_only(Status::Ok, req_id).encode_into(out);
             None
         }
+        Request::Scan { start, limit, .. } => {
+            // Read-only: walk the ordered index from `start`, pack up to
+            // `min(limit, scan_cap)` items, and flag truncation so the
+            // client can continue from its last key. The cap is the scan
+            // quantum — a long range never occupies the core past its
+            // budget.
+            let cap = (*limit).min(scan_cap);
+            scan_items_begin(scan_buf);
+            let mut count: u32 = 0;
+            let exhausted = engine.scan_into(start, scratch, |k, v| {
+                if count == cap {
+                    return false;
+                }
+                scan_items_push(scan_buf, k, v);
+                count += 1;
+                true
+            });
+            scan_items_finish(scan_buf, !exhausted, count);
+            Response {
+                status: Status::Ok,
+                req_id,
+                value: scan_buf,
+                rptr: RemotePtr::none(),
+                lease_expiry: 0,
+                replicas: None,
+            }
+            .encode_into(out);
+            None
+        }
     }
 }
 
@@ -284,6 +361,7 @@ pub struct BatchOpCounts {
     pub updates: u64,
     pub deletes: u64,
     pub lease_renews: u64,
+    pub scans: u64,
 }
 
 /// Executes a decoded batch against `engine`, packing the responses into
@@ -292,12 +370,15 @@ pub struct BatchOpCounts {
 /// else goes through [`apply_request`], so a batch is behaviourally identical
 /// to executing its requests sequentially. Returns the replication records
 /// for successful writes (borrowing the request payloads) plus op counts.
+#[allow(clippy::too_many_arguments)]
 pub fn run_batch<'a>(
     engine: &mut ShardEngine,
     now: SimTime,
     reqs: &[Request<'a>],
     arena_region: RegionId,
     scratch: &mut Vec<u8>,
+    scan_cap: u32,
+    scan_buf: &mut Vec<u8>,
     plane: &mut ReadPlane,
     builder: &mut BatchBuilder,
 ) -> (ReplRecords<'a>, BatchOpCounts) {
@@ -348,7 +429,17 @@ pub fn run_batch<'a>(
             let req = &reqs[i];
             let mut action = None;
             builder.push_with(|out| {
-                action = apply_request(engine, now, req, arena_region, scratch, plane, out);
+                action = apply_request(
+                    engine,
+                    now,
+                    req,
+                    arena_region,
+                    scratch,
+                    scan_cap,
+                    scan_buf,
+                    plane,
+                    out,
+                );
             });
             if let Some(a) = action {
                 repl.push(a);
@@ -359,6 +450,7 @@ pub fn run_batch<'a>(
                 Request::Update { .. } => counts.updates += 1,
                 Request::Delete { .. } => counts.deletes += 1,
                 Request::LeaseRenew { .. } => counts.lease_renews += 1,
+                Request::Scan { .. } => counts.scans += 1,
             }
             i += 1;
         }
@@ -405,6 +497,9 @@ pub struct ShardServer {
     /// Reused GET value buffer — steady-state GETs allocate nothing for the
     /// value copy.
     get_scratch: Vec<u8>,
+    /// Reused packed-items buffer for SCAN responses — steady-state scans
+    /// allocate nothing for item assembly.
+    scan_scratch: Vec<u8>,
     /// Reused response-batch builder for the quantum path.
     resp_batch: BatchBuilder,
     /// Heat tracking + replica pointer export (read spreading).
@@ -459,6 +554,7 @@ impl ShardServer {
             stats: ServerStats::default(),
             reclaim_scheduled_at: None,
             get_scratch: Vec::new(),
+            scan_scratch: Vec::new(),
             resp_batch: BatchBuilder::new(),
             plane,
         }))
@@ -525,6 +621,7 @@ impl ShardServer {
             }
             Request::Delete { .. } => c.delete_ns,
             Request::LeaseRenew { keys, .. } => c.get_ns / 2 * keys.len().max(1) as SimTime,
+            Request::Scan { limit, .. } => scan_cost(&self.cfg, *limit),
         }
     }
 
@@ -608,7 +705,9 @@ impl ShardServer {
             s.stats.requests += 1;
             // Queue depth at arrival ≈ core backlog over this request's cost.
             let backlog = s.cpu.free_at().saturating_sub(sim.now());
-            s.stats.queue_depth_hist[log2_bucket(backlog / cost.max(1))] += 1;
+            let depth_bucket = log2_bucket(backlog / cost.max(1));
+            s.stats.queue_depth_hist[depth_bucket] += 1;
+            s.stats.queue_depth_hist_by_op[op_slot(&req)][depth_bucket] += 1;
             // Detection latency: when the core is idle, the sweep position
             // and the sleep backoff determine how fast the shard notices the
             // write; when busy, the queueing delay dominates and detection is
@@ -650,6 +749,9 @@ impl ShardServer {
                         Request::LeaseRenew { keys, .. } => {
                             keys.iter().next().map(hydra_store::hash_key).unwrap_or(0)
                         }
+                        // Scans route by start key: cost accounting only —
+                        // every sub-shard sees the same engine.
+                        Request::Scan { start, .. } => hydra_store::hash_key(start),
                     };
                     let sub = (key_hash % subs as u64) as usize;
                     s.workers[sub].acquire(routed, cost)
@@ -695,10 +797,15 @@ impl ShardServer {
             }
             let frame = BatchFrame::parse(&payload).expect("validated batch frame");
             let send_recv = s.conns[conn_idx].send_recv;
+            let backlog = s.cpu.free_at().saturating_sub(sim.now());
             let mut per_item = Vec::with_capacity(frame.len());
             for msg in frame.iter() {
                 let req = Request::decode(msg).expect("well-formed request");
-                per_item.push(s.batch_item_cost(&req, send_recv));
+                let cost = s.batch_item_cost(&req, send_recv);
+                // Per-op depth samples are per request even on this path.
+                s.stats.queue_depth_hist_by_op[op_slot(&req)]
+                    [log2_bucket(backlog / cost.max(1))] += 1;
+                per_item.push(cost);
             }
             s.stats.requests += per_item.len() as u64;
             s.stats.batches += 1;
@@ -706,7 +813,6 @@ impl ShardServer {
             // One depth sample per frame, against the mean per-item cost.
             let mean_cost =
                 (per_item.iter().sum::<SimTime>() / per_item.len().max(1) as u64).max(1);
-            let backlog = s.cpu.free_at().saturating_sub(sim.now());
             s.stats.queue_depth_hist[log2_bucket(backlog / mean_cost)] += 1;
             let fixed = s.cfg.costs.poll_ns + s.cfg.costs.post_wqe_ns;
             let now = sim.now();
@@ -750,7 +856,9 @@ impl ShardServer {
             let now = sim.now();
             let req = Request::decode(&payload).expect("validated on arrival");
             let arena_region = s.arena_region;
+            let scan_cap = scan_quantum_items(&s.cfg);
             let mut scratch = std::mem::take(&mut s.get_scratch);
+            let mut scan_buf = std::mem::take(&mut s.scan_scratch);
             let engine_rc = s.engine.clone();
             let mut engine = engine_rc.borrow_mut();
             let mut resp = Vec::new();
@@ -760,6 +868,8 @@ impl ShardServer {
                 &req,
                 arena_region,
                 &mut scratch,
+                scan_cap,
+                &mut scan_buf,
                 &mut s.plane,
                 &mut resp,
             );
@@ -769,9 +879,11 @@ impl ShardServer {
                 Request::Update { .. } => s.stats.updates += 1,
                 Request::Delete { .. } => s.stats.deletes += 1,
                 Request::LeaseRenew { .. } => s.stats.lease_renews += 1,
+                Request::Scan { .. } => s.stats.scans += 1,
             }
             drop(engine);
             s.get_scratch = scratch;
+            s.scan_scratch = scan_buf;
             match repl {
                 Some((op, key, value)) => Action::Replicate {
                     resp,
@@ -846,7 +958,9 @@ impl ShardServer {
                 .map(|m| Request::decode(m).expect("validated on arrival"))
                 .collect();
             let arena_region = s.arena_region;
+            let scan_cap = scan_quantum_items(&s.cfg);
             let mut scratch = std::mem::take(&mut s.get_scratch);
+            let mut scan_buf = std::mem::take(&mut s.scan_scratch);
             let mut builder = std::mem::take(&mut s.resp_batch);
             builder.clear();
             let engine_rc = s.engine.clone();
@@ -857,6 +971,8 @@ impl ShardServer {
                 &reqs,
                 arena_region,
                 &mut scratch,
+                scan_cap,
+                &mut scan_buf,
                 &mut s.plane,
                 &mut builder,
             );
@@ -866,7 +982,9 @@ impl ShardServer {
             s.stats.updates += counts.updates;
             s.stats.deletes += counts.deletes;
             s.stats.lease_renews += counts.lease_renews;
+            s.stats.scans += counts.scans;
             s.get_scratch = scratch;
+            s.scan_scratch = scan_buf;
             let resp_count = builder.count() as u64;
             let resp_bytes = builder.bytes().to_vec();
             s.resp_batch = builder;
@@ -976,5 +1094,81 @@ impl ShardServer {
                 Some(Box::new(move |sim| kick(sim))),
             );
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The scan-quantum invariant: for ANY requested limit, the shard-core
+    /// charge of one scan stays within the configured quantum budget, and
+    /// the item cap is exactly the largest count that fits.
+    #[test]
+    fn scan_cost_respects_quantum_budget() {
+        let cfg = ClusterConfig::default();
+        let cap = scan_quantum_items(&cfg);
+        assert!(cap >= 1);
+        // The cap fills the budget: one more item would overflow it.
+        assert!(scan_cost(&cfg, cap) <= cfg.scan_quantum_ns);
+        assert!(
+            cfg.costs.scan_base_ns + (cap as SimTime + 1) * cfg.costs.scan_item_ns
+                > cfg.scan_quantum_ns
+        );
+        for limit in [0u32, 1, 10, 100, cap, cap + 1, 1 << 20, u32::MAX] {
+            let cost = scan_cost(&cfg, limit);
+            assert!(
+                cost <= cfg.scan_quantum_ns,
+                "limit={limit}: cost {cost} exceeds quantum {}",
+                cfg.scan_quantum_ns
+            );
+        }
+        // Below the cap the charge is exactly base + items × per-item.
+        assert_eq!(
+            scan_cost(&cfg, 100),
+            cfg.costs.scan_base_ns + 100 * cfg.costs.scan_item_ns
+        );
+        // Tighter budgets shrink the cap but never below progress.
+        let tight = ClusterConfig {
+            scan_quantum_ns: 0,
+            ..ClusterConfig::default()
+        };
+        assert_eq!(scan_quantum_items(&tight), 1);
+    }
+
+    #[test]
+    fn op_slot_covers_every_request_kind() {
+        let keys = [b"k".as_slice()];
+        let reqs = [
+            Request::Get {
+                req_id: 1,
+                key: b"k",
+            },
+            Request::Insert {
+                req_id: 2,
+                key: b"k",
+                value: b"v",
+            },
+            Request::Update {
+                req_id: 3,
+                key: b"k",
+                value: b"v",
+            },
+            Request::Delete {
+                req_id: 4,
+                key: b"k",
+            },
+            Request::LeaseRenew {
+                req_id: 5,
+                keys: hydra_wire::KeyList::Slices(&keys),
+            },
+            Request::Scan {
+                req_id: 6,
+                start: b"k",
+                limit: 10,
+            },
+        ];
+        let slots: Vec<usize> = reqs.iter().map(op_slot).collect();
+        assert_eq!(slots, (0..OP_KINDS).collect::<Vec<_>>());
     }
 }

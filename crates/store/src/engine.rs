@@ -125,6 +125,10 @@ pub struct EngineStats {
     pub updates: u64,
     pub deletes: u64,
     pub lease_renews: u64,
+    /// Range scans served (each continuation quantum counts once).
+    pub scans: u64,
+    /// Items emitted across all scans.
+    pub scan_items: u64,
     pub evictions: u64,
     pub reclaimed_blocks: u64,
     /// Displaced index group arrays freed by the reclamation pump.
@@ -256,10 +260,13 @@ impl ShardEngine {
     /// the packed index re-derive migrated entries' home groups during
     /// incremental resize; it only ever sees offsets of live items (every
     /// engine path removes the index entry before a block can be reclaimed).
-    fn index_insert(&mut self, hash: u64, off: u64) {
+    /// Key bytes ride along so ordered indexes (the hybrid skiplist) can
+    /// maintain their view; hash-only indexes ignore them.
+    fn index_insert(&mut self, hash: u64, key: &[u8], off: u64) {
         let words = self.arena.words();
-        self.table
-            .insert(hash, off, |o| ItemRef { off: o }.stored_key_hash(words));
+        self.table.insert_keyed(hash, key, off, |o| {
+            ItemRef { off: o }.stored_key_hash(words)
+        });
     }
 
     fn alloc_item(&mut self, now: u64, klen: usize, vlen: usize) -> Result<u64, EngineError> {
@@ -298,13 +305,17 @@ impl ShardEngine {
                     self.clock.push_back((h, off));
                     continue;
                 }
-                // Evict: unlink, kill, defer the block to lease expiry.
+                // Evict: unlink, kill, defer the block to lease expiry. The
+                // key is read back from the item so ordered indexes can drop
+                // their entry too (cold path; the copy is fine).
                 let lease = item.lease(words);
                 let total = item.total_words(words);
+                let victim_key = item.key(words);
                 let removed = self
                     .table
-                    .remove(
+                    .remove_keyed(
                         h,
+                        &victim_key,
                         |o| o == off,
                         |o| ItemRef { off: o }.stored_key_hash(words),
                     )
@@ -340,7 +351,7 @@ impl ShardEngine {
         }
         let off = self.alloc_item(now, key.len(), value.len())?;
         let item = ItemRef::write_new(self.arena.words(), off, key, value);
-        self.index_insert(hash, off);
+        self.index_insert(hash, key, off);
         self.clock.push_back((hash, off));
         self.stats.inserts += 1;
         Ok(ItemInfo {
@@ -367,7 +378,7 @@ impl ShardEngine {
                 WriteMode::Cache => {
                     let off = self.alloc_item(now, key.len(), value.len())?;
                     let item = ItemRef::write_new(self.arena.words(), off, key, value);
-                    self.index_insert(hash, off);
+                    self.index_insert(hash, key, off);
                     self.clock.push_back((hash, off));
                     self.stats.updates += 1;
                     Ok(ItemInfo {
@@ -391,7 +402,7 @@ impl ShardEngine {
             None => {
                 let off = self.alloc_item(now, key.len(), value.len())?;
                 let item = ItemRef::write_new(self.arena.words(), off, key, value);
-                self.index_insert(hash, off);
+                self.index_insert(hash, key, off);
                 self.clock.push_back((hash, off));
                 Ok(ItemInfo {
                     off_words: off,
@@ -431,8 +442,9 @@ impl ShardEngine {
         let old_words = old_item.total_words(words);
         let old_lease = old_item.lease(words);
         old_item.kill(words);
-        let replaced = self.table.replace(
+        let replaced = self.table.replace_keyed(
             hash,
+            key,
             new_off,
             |off| off == old_off,
             |o| ItemRef { off: o }.stored_key_hash(words),
@@ -617,8 +629,9 @@ impl ShardEngine {
         let item = ItemRef { off };
         let total = item.total_words(words);
         let lease = item.lease(words);
-        self.table.remove(
+        self.table.remove_keyed(
             hash,
+            key,
             |o| o == off,
             |o| ItemRef { off: o }.stored_key_hash(words),
         );
@@ -682,6 +695,58 @@ impl ShardEngine {
             let item = ItemRef { off };
             f(item.key(words), item.value(words));
         });
+    }
+
+    /// Whether the shard's index serves ordered scans natively (hybrid
+    /// index) or must emulate them with a full sort.
+    pub fn scan_is_native(&self) -> bool {
+        self.table.is_ordered()
+    }
+
+    /// Ordered range scan from the first key `>= start`. `emit` receives
+    /// each `(key, value)` in key order (the value staged in `scratch`) and
+    /// returns `false` to stop — the server uses this to cap a scan quantum.
+    /// Returns `true` when the keyspace was exhausted, `false` when `emit`
+    /// stopped the walk (i.e. more items remain past the last emitted key).
+    ///
+    /// On a hybrid shard this walks the skiplist's level 0 and allocates
+    /// nothing after warmup. On hash-only shards it falls back to dumping
+    /// and sorting the whole partition per call — the ablation baseline the
+    /// `perf_scan` bench quantifies; correct, but O(n log n) per scan.
+    pub fn scan_into(
+        &mut self,
+        start: &[u8],
+        scratch: &mut Vec<u8>,
+        mut emit: impl FnMut(&[u8], &[u8]) -> bool,
+    ) -> bool {
+        self.stats.scans += 1;
+        if self.table.is_ordered() {
+            let words = self.arena.words();
+            let stats = &mut self.stats;
+            return self.table.scan_from(start, |key, off| {
+                stats.scan_items += 1;
+                scratch.clear();
+                ItemRef { off }.value_into(words, scratch);
+                emit(key, scratch)
+            });
+        }
+        // Emulated ordered scan: full dump + sort.
+        let words = self.arena.words();
+        let mut items: Vec<(Vec<u8>, u64)> = Vec::with_capacity(self.table.len());
+        self.table.for_each(|off| {
+            items.push((ItemRef { off }.key(words), off));
+        });
+        items.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        let begin = items.partition_point(|(k, _)| k.as_slice() < start);
+        for (k, off) in &items[begin..] {
+            self.stats.scan_items += 1;
+            scratch.clear();
+            ItemRef { off: *off }.value_into(words, scratch);
+            if !emit(k, scratch) {
+                return false;
+            }
+        }
+        true
     }
 }
 
@@ -1188,7 +1253,7 @@ mod tests {
     fn engines_agree_across_index_kinds() {
         // Cheap cross-kind smoke (the full randomized equivalence lives in
         // tests/tests/index_equivalence.rs): drive the same script through
-        // all three index structures and compare observable results.
+        // all four index structures and compare observable results.
         let mk = |kind| {
             ShardEngine::new(EngineConfig {
                 arena_words: 1 << 14,
@@ -1203,6 +1268,7 @@ mod tests {
             mk(IndexKind::Chained),
             mk(IndexKind::Compact),
             mk(IndexKind::Packed),
+            mk(IndexKind::Hybrid),
         ];
         for i in 0..600u64 {
             let k = format!("ek{}", i % 200);
@@ -1226,7 +1292,72 @@ mod tests {
                 .collect();
             assert_eq!(gets[0], gets[1], "step {i}");
             assert_eq!(gets[1], gets[2], "step {i}");
+            assert_eq!(gets[2], gets[3], "step {i}");
         }
         assert_eq!(engines[0].len(), engines[2].len());
+        assert_eq!(engines[2].len(), engines[3].len());
+    }
+
+    fn scan_all(e: &mut ShardEngine, start: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        let exhausted = e.scan_into(start, &mut scratch, |k, v| {
+            out.push((k.to_vec(), v.to_vec()));
+            true
+        });
+        assert!(exhausted);
+        out
+    }
+
+    #[test]
+    fn hybrid_scan_matches_emulated_scan_and_mutations() {
+        let mk = |kind| {
+            ShardEngine::new(EngineConfig {
+                arena_words: 1 << 14,
+                expected_items: 16, // tiny: forces hash-side resizes mid-run
+                index: kind,
+                write_mode: WriteMode::Reliable,
+                min_lease_ns: 1_000,
+                max_lease_ns: 64_000,
+            })
+        };
+        let mut hybrid = mk(IndexKind::Hybrid);
+        let mut packed = mk(IndexKind::Packed);
+        for i in 0..400u64 {
+            let k = format!("sk{:04}", (i * 37) % 256);
+            match i % 5 {
+                0..=2 => {
+                    let _ = hybrid.put(i, k.as_bytes(), &[i as u8; 10]);
+                    let _ = packed.put(i, k.as_bytes(), &[i as u8; 10]);
+                }
+                3 => {
+                    let _ = hybrid.delete(i, k.as_bytes());
+                    let _ = packed.delete(i, k.as_bytes());
+                }
+                _ => {
+                    hybrid.pump_reclaim(i);
+                    packed.pump_reclaim(i);
+                }
+            }
+        }
+        assert!(hybrid.scan_is_native());
+        assert!(!packed.scan_is_native());
+        // Full-keyspace and mid-keyspace scans agree exactly.
+        for start in [b"".as_slice(), b"sk0100", b"sk0255x", b"zzz"] {
+            assert_eq!(scan_all(&mut hybrid, start), scan_all(&mut packed, start));
+        }
+        // Early-stop reports "more remain" on both paths.
+        let mut scratch = Vec::new();
+        let mut n = 0;
+        assert!(!hybrid.scan_into(b"", &mut scratch, |_, _| {
+            n += 1;
+            n < 3
+        }));
+        let mut m = 0;
+        assert!(!packed.scan_into(b"", &mut scratch, |_, _| {
+            m += 1;
+            m < 3
+        }));
+        assert!(hybrid.stats().scans >= 5 && hybrid.stats().scan_items > 0);
     }
 }

@@ -1,6 +1,6 @@
 //! The sealed [`Index`] abstraction over the shard's hash structures.
 //!
-//! Three implementations exist, selected per shard by
+//! Four implementations exist, selected per shard by
 //! [`IndexKind`] in the engine configuration:
 //!
 //! * [`crate::PackedTable`] — the production structure: cache-line-packed
@@ -9,6 +9,10 @@
 //!   (one line per bucket, 16-bit signatures, dynamic overflow chains).
 //! * [`crate::ChainedTable`] — the naive linked-list baseline the paper's
 //!   §4.1.3 ablation contrasts against.
+//! * [`crate::HybridTable`] — the packed table paired with a cache-line
+//!   skiplist so ordered scans are possible; point ops are the packed path
+//!   unchanged. Requires the `*_keyed` mutation hooks (it must see key
+//!   bytes to maintain the ordered view).
 //!
 //! The trait is *sealed*: the engine's correctness (address stability of
 //! arena offsets, single-writer discipline, the rehash-callback contract)
@@ -33,7 +37,7 @@
 //!   remote-pointer rules).
 
 use crate::table::TableStats;
-use crate::{ChainedTable, CompactTable, PackedTable};
+use crate::{ChainedTable, CompactTable, HybridTable, PackedTable};
 
 mod private {
     /// Seals [`super::Index`]: only this crate's index structures implement
@@ -43,6 +47,7 @@ mod private {
     impl Sealed for crate::CompactTable {}
     impl Sealed for crate::ChainedTable {}
     impl Sealed for crate::PackedTable {}
+    impl Sealed for crate::HybridTable {}
     impl Sealed for super::AnyIndex {}
 }
 
@@ -56,6 +61,9 @@ pub enum IndexKind {
     /// Cache-line-packed open addressing with SWAR probing (production).
     #[default]
     Packed,
+    /// Packed table + ordered skiplist: point ops on the SWAR hash path,
+    /// range scans on the ordered side (§11).
+    Hybrid,
 }
 
 /// Common interface of the shard index structures. Sealed — see the module
@@ -136,6 +144,59 @@ pub trait Index: private::Sealed {
     /// from the engine's reclamation pump (put *and* delete paths).
     fn reclaim_retired(&mut self) -> usize {
         0
+    }
+
+    /// Whether this index also maintains an ordered view of the keys (and
+    /// therefore supports [`scan_from`](Self::scan_from) natively).
+    fn is_ordered(&self) -> bool {
+        false
+    }
+
+    /// Keyed insert: like [`insert`](Self::insert), but the key bytes are
+    /// available for implementations that maintain an ordered view. The
+    /// engine always mutates through the keyed hooks; hash-only structures
+    /// ignore the key via these defaults.
+    fn insert_keyed(
+        &mut self,
+        hash: u64,
+        _key: &[u8],
+        offset: u64,
+        rehash: impl FnMut(u64) -> u64,
+    ) {
+        self.insert(hash, offset, rehash)
+    }
+
+    /// Keyed variant of [`replace`](Self::replace).
+    fn replace_keyed(
+        &mut self,
+        hash: u64,
+        _key: &[u8],
+        new_offset: u64,
+        is_match: impl FnMut(u64) -> bool,
+        rehash: impl FnMut(u64) -> u64,
+    ) -> Option<u64> {
+        self.replace(hash, new_offset, is_match, rehash)
+    }
+
+    /// Keyed variant of [`remove`](Self::remove).
+    fn remove_keyed(
+        &mut self,
+        hash: u64,
+        _key: &[u8],
+        is_match: impl FnMut(u64) -> bool,
+        rehash: impl FnMut(u64) -> u64,
+    ) -> Option<u64> {
+        self.remove(hash, is_match, rehash)
+    }
+
+    /// Ordered iteration from the first key `>= start`: `f` receives each
+    /// `(key, offset)` in key order and returns `false` to stop. Returns
+    /// `true` when the iteration ran off the end of the keyspace. Only
+    /// meaningful when [`is_ordered`](Self::is_ordered); the default visits
+    /// nothing and reports exhaustion (callers emulate scans by sorting a
+    /// full dump — see `ShardEngine::scan_into`).
+    fn scan_from(&mut self, _start: &[u8], _f: impl FnMut(&[u8], u64) -> bool) -> bool {
+        true
     }
 }
 
@@ -338,6 +399,8 @@ pub enum AnyIndex {
     Compact(CompactTable),
     /// Cache-line-packed open addressing.
     Packed(PackedTable),
+    /// Packed table + ordered skiplist.
+    Hybrid(HybridTable),
 }
 
 impl AnyIndex {
@@ -349,6 +412,7 @@ impl AnyIndex {
             IndexKind::Chained => AnyIndex::Chained(ChainedTable::new(items.max(1))),
             IndexKind::Compact => AnyIndex::Compact(CompactTable::with_capacity(items)),
             IndexKind::Packed => AnyIndex::Packed(PackedTable::with_capacity(items)),
+            IndexKind::Hybrid => AnyIndex::Hybrid(HybridTable::with_capacity(items)),
         }
     }
 
@@ -358,6 +422,7 @@ impl AnyIndex {
             AnyIndex::Chained(_) => IndexKind::Chained,
             AnyIndex::Compact(_) => IndexKind::Compact,
             AnyIndex::Packed(_) => IndexKind::Packed,
+            AnyIndex::Hybrid(_) => IndexKind::Hybrid,
         }
     }
 }
@@ -368,6 +433,7 @@ macro_rules! dispatch {
             AnyIndex::Chained($t) => $body,
             AnyIndex::Compact($t) => $body,
             AnyIndex::Packed($t) => $body,
+            AnyIndex::Hybrid($t) => $body,
         }
     };
 }
@@ -443,6 +509,39 @@ impl Index for AnyIndex {
 
     fn reclaim_retired(&mut self) -> usize {
         dispatch!(self, t => Index::reclaim_retired(t))
+    }
+
+    fn is_ordered(&self) -> bool {
+        dispatch!(self, t => Index::is_ordered(t))
+    }
+
+    fn insert_keyed(&mut self, hash: u64, key: &[u8], offset: u64, rehash: impl FnMut(u64) -> u64) {
+        dispatch!(self, t => Index::insert_keyed(t, hash, key, offset, rehash))
+    }
+
+    fn replace_keyed(
+        &mut self,
+        hash: u64,
+        key: &[u8],
+        new_offset: u64,
+        is_match: impl FnMut(u64) -> bool,
+        rehash: impl FnMut(u64) -> u64,
+    ) -> Option<u64> {
+        dispatch!(self, t => Index::replace_keyed(t, hash, key, new_offset, is_match, rehash))
+    }
+
+    fn remove_keyed(
+        &mut self,
+        hash: u64,
+        key: &[u8],
+        is_match: impl FnMut(u64) -> bool,
+        rehash: impl FnMut(u64) -> u64,
+    ) -> Option<u64> {
+        dispatch!(self, t => Index::remove_keyed(t, hash, key, is_match, rehash))
+    }
+
+    fn scan_from(&mut self, start: &[u8], f: impl FnMut(&[u8], u64) -> bool) -> bool {
+        dispatch!(self, t => Index::scan_from(t, start, f))
     }
 }
 

@@ -27,6 +27,7 @@ pub mod index;
 pub mod item;
 pub mod packed;
 pub mod reclaim;
+pub mod skiplist;
 pub mod table;
 
 pub use arena::{size_class, Arena, ArenaStats};
@@ -42,6 +43,7 @@ pub use item::{
 };
 pub use packed::{PackedTable, GROUP_SLOTS};
 pub use reclaim::ReclaimQueue;
+pub use skiplist::{HybridTable, SkipList, SkipListStats, SKIP_MAX_HEIGHT};
 pub use table::{CompactTable, TableStats, LOOKUP_BATCH};
 
 /// FNV-1a offset basis (shared with [`item::ItemRef::stored_key_hash`],

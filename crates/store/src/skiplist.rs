@@ -1,0 +1,858 @@
+//! Cache-line-conscious skiplist and the hybrid ordered/hash index (§11).
+//!
+//! HydraDB's packed hash table answers point ops in one SWAR probe but cannot
+//! enumerate keys in order, so range scans would need a full-keyspace sort.
+//! [`SkipList`] adds the ordered dimension: every tower is exactly one
+//! 64-byte-aligned cache line (`[`Tower`]`, statically asserted), keys are
+//! interned into a chain of size-classed [`Arena`] slabs rather than boxed
+//! per-node, and unlinked towers are parked on a retired list that is drained
+//! by the same epoch pump that recycles `PackedTable` tables — the single
+//! writer unlinks, readers of a stale snapshot finish their walk, reclaim
+//! frees.
+//!
+//! [`HybridTable`] pairs the skiplist with a [`PackedTable`]: point lookups
+//! keep hitting the SWAR hash path untouched, while the keyed mutation hooks
+//! ([`Index::insert_keyed`] and friends) maintain the ordered view alongside.
+//! Ordered iteration ([`Index::scan_from`]) walks level 0 of the skiplist,
+//! presenting each interned key through a reused scratch buffer so steady-state
+//! scans allocate nothing.
+
+use std::cmp::Ordering as CmpOrdering;
+use std::sync::atomic::Ordering;
+
+use crate::arena::{size_class, Arena};
+use crate::index::Index;
+use crate::packed::PackedTable;
+use crate::table::TableStats;
+
+/// Maximum tower height. With p = 1/4 this comfortably indexes 4^12 ≈ 16M
+/// items per shard — far above any per-shard sizing in the repo.
+pub const SKIP_MAX_HEIGHT: usize = 12;
+
+/// Null link.
+const NIL: u32 = u32::MAX;
+
+/// Initial key-slab capacity in words; slabs double up to [`MAX_SLAB_WORDS`].
+const MIN_SLAB_WORDS: u32 = 1 << 10;
+/// Largest single slab (2^22 words = 32 MiB); also bounds the offset field of
+/// the packed `key_off` encoding (slab index in the top 8 bits).
+const MAX_SLAB_WORDS: u32 = 1 << 22;
+const SLAB_OFF_BITS: u32 = 24;
+const SLAB_OFF_MASK: u32 = (1 << SLAB_OFF_BITS) - 1;
+
+/// One skiplist node: exactly one aligned cache line, so a level-0 walk
+/// touches one line per item and tall-tower traversal never splits a node
+/// across lines. Layout (64 B): key ref (4+2), height+pad (2), value offset
+/// (8), and the full 12-level link array (48).
+#[repr(C, align(64))]
+#[derive(Clone, Copy)]
+struct Tower {
+    /// Packed interned-key reference: `slab_idx << 24 | word_offset`.
+    key_off: u32,
+    /// Key length in bytes.
+    key_len: u16,
+    /// Number of live levels in `next` (1..=SKIP_MAX_HEIGHT).
+    height: u8,
+    _pad: u8,
+    /// Arena word offset of the indexed item.
+    val_off: u64,
+    /// Forward links; `NIL` terminates a level.
+    next: [u32; SKIP_MAX_HEIGHT],
+}
+
+const _: () = assert!(std::mem::size_of::<Tower>() == 64);
+const _: () = assert!(std::mem::align_of::<Tower>() == 64);
+
+impl Tower {
+    fn empty() -> Tower {
+        Tower {
+            key_off: 0,
+            key_len: 0,
+            height: SKIP_MAX_HEIGHT as u8,
+            _pad: 0,
+            val_off: 0,
+            next: [NIL; SKIP_MAX_HEIGHT],
+        }
+    }
+}
+
+/// Statistics for the ordered side of the hybrid index.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SkipListStats {
+    /// Live entries.
+    pub len: u64,
+    /// Towers parked on the retired list awaiting reclaim.
+    pub retired_nodes: u64,
+    /// Key-slab segments allocated so far.
+    pub slabs: u64,
+    /// Total comparisons performed by `find`/`scan` walks.
+    pub cmps: u64,
+}
+
+/// Single-writer skiplist over interned byte keys, mapping each key to an
+/// arena word offset. See the module docs for the design.
+pub struct SkipList {
+    towers: Vec<Tower>,
+    /// Recycled tower indices (from reclaimed removals).
+    free: Vec<u32>,
+    /// Unlinked towers whose key bytes are still interned; drained by
+    /// [`reclaim_retired`](Self::reclaim_retired).
+    retired: Vec<u32>,
+    retired_bytes: usize,
+    /// Size-classed key slabs; geometrically grown, never shrunk.
+    slabs: Vec<Arena>,
+    len: u64,
+    cmps: u64,
+    /// Scan-key presentation buffer, reused across scans (zero-alloc
+    /// steady state).
+    scan_key_buf: Vec<u8>,
+}
+
+impl Default for SkipList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SkipList {
+    /// Creates an empty skiplist (head sentinel only; no key slab yet).
+    pub fn new() -> SkipList {
+        SkipList {
+            towers: vec![Tower::empty()],
+            free: Vec::new(),
+            retired: Vec::new(),
+            retired_bytes: 0,
+            slabs: Vec::new(),
+            len: 0,
+            cmps: 0,
+            scan_key_buf: Vec::new(),
+        }
+    }
+
+    /// Creates a skiplist with tower storage pre-reserved for `items`.
+    pub fn with_capacity(items: usize) -> SkipList {
+        let mut s = SkipList::new();
+        s.towers.reserve(items);
+        s
+    }
+
+    /// Live entries.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the list is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Deterministic tower height: count trailing zero bit-pairs of a remix
+    /// of the key hash (p = 1/4 per extra level). Independent of insertion
+    /// order, so twin engines fed identical ops build identical towers.
+    fn height_for(hash: u64) -> u8 {
+        let mut x = hash.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(31);
+        let mut h = 1u8;
+        while (h as usize) < SKIP_MAX_HEIGHT && x & 3 == 0 {
+            h += 1;
+            x >>= 2;
+        }
+        h
+    }
+
+    // ---- key interning ------------------------------------------------
+
+    /// Interns `key` into the slab chain, growing it if every slab is full.
+    fn intern_key(&mut self, key: &[u8]) -> u32 {
+        let words = key.len().div_ceil(8).max(1) as u32;
+        if let Some((idx, off)) = self.try_alloc_key(words) {
+            self.store_key(idx, off, key);
+            return pack_key_off(idx, off);
+        }
+        // Grow: next slab doubles the last one's capacity (clamped), and is
+        // always big enough for the request.
+        let next_cap = self
+            .slabs
+            .last()
+            .map(|s| (s.capacity_words() as u32).saturating_mul(2))
+            .unwrap_or(MIN_SLAB_WORDS)
+            .clamp(MIN_SLAB_WORDS, MAX_SLAB_WORDS)
+            .max(size_class(words));
+        assert!(
+            self.slabs.len() < (1 << (32 - SLAB_OFF_BITS)),
+            "skiplist key-slab chain exhausted"
+        );
+        self.slabs.push(Arena::new(next_cap as usize));
+        let idx = self.slabs.len() - 1;
+        let off = self.slabs[idx]
+            .alloc(words)
+            .expect("fresh slab sized for request");
+        self.store_key(idx, off as u32, key);
+        pack_key_off(idx, off as u32)
+    }
+
+    /// Tries the newest slab first (older ones are usually full), then any
+    /// older slab whose free lists can still serve the class.
+    fn try_alloc_key(&mut self, words: u32) -> Option<(usize, u32)> {
+        for idx in (0..self.slabs.len()).rev() {
+            if let Some(off) = self.slabs[idx].alloc(words) {
+                return Some((idx, off as u32));
+            }
+        }
+        None
+    }
+
+    fn store_key(&mut self, slab: usize, off: u32, key: &[u8]) {
+        debug_assert!(off <= SLAB_OFF_MASK);
+        let words = self.slabs[slab].words();
+        for (i, chunk) in key.chunks(8).enumerate() {
+            let mut w = [0u8; 8];
+            w[..chunk.len()].copy_from_slice(chunk);
+            words[off as usize + i].store(u64::from_le_bytes(w), Ordering::Relaxed);
+        }
+    }
+
+    fn free_key(&mut self, key_off: u32, key_len: u16) {
+        let (slab, off) = unpack_key_off(key_off);
+        let words = (key_len as usize).div_ceil(8).max(1) as u32;
+        self.slabs[slab].free(off as u64, words);
+    }
+
+    /// Lexicographic comparison of an interned key against `probe`, loading
+    /// slab words lazily (no staging buffer, no allocation).
+    fn cmp_key(&self, key_off: u32, key_len: u16, probe: &[u8]) -> CmpOrdering {
+        let (slab, off) = unpack_key_off(key_off);
+        let words = self.slabs[slab].words();
+        let klen = key_len as usize;
+        let n = klen.min(probe.len());
+        let mut i = 0;
+        while i < n {
+            let w = words[off as usize + i / 8]
+                .load(Ordering::Relaxed)
+                .to_le_bytes();
+            let end = (i / 8 * 8 + 8).min(n);
+            while i < end {
+                let (a, b) = (w[i % 8], probe[i]);
+                if a != b {
+                    return a.cmp(&b);
+                }
+                i += 1;
+            }
+        }
+        klen.cmp(&probe.len())
+    }
+
+    /// Copies an interned key into `out` (clears it first). Reuses `out`'s
+    /// capacity — no allocation once warmed past the largest key.
+    fn load_key_into(&self, key_off: u32, key_len: u16, out: &mut Vec<u8>) {
+        let (slab, off) = unpack_key_off(key_off);
+        let words = self.slabs[slab].words();
+        out.clear();
+        let mut remaining = key_len as usize;
+        let mut w = off as usize;
+        while remaining > 0 {
+            let bytes = words[w].load(Ordering::Relaxed).to_le_bytes();
+            let take = remaining.min(8);
+            out.extend_from_slice(&bytes[..take]);
+            remaining -= take;
+            w += 1;
+        }
+    }
+
+    // ---- core walks ---------------------------------------------------
+
+    /// Walks down from the head, recording the rightmost tower strictly less
+    /// than `key` at every level. Returns the level-0 successor (the first
+    /// tower `>= key`, or `NIL`).
+    fn find_preds(&mut self, key: &[u8], update: &mut [u32; SKIP_MAX_HEIGHT]) -> u32 {
+        let mut x = 0u32;
+        for lvl in (0..SKIP_MAX_HEIGHT).rev() {
+            loop {
+                let nxt = self.towers[x as usize].next[lvl];
+                if nxt == NIL {
+                    break;
+                }
+                let t = self.towers[nxt as usize];
+                self.cmps += 1;
+                if self.cmp_key(t.key_off, t.key_len, key) == CmpOrdering::Less {
+                    x = nxt;
+                } else {
+                    break;
+                }
+            }
+            update[lvl] = x;
+        }
+        self.towers[x as usize].next[0]
+    }
+
+    /// Point lookup (used by tests and the ordered-only paths; the hybrid
+    /// index answers point ops through the hash side).
+    pub fn get(&mut self, key: &[u8]) -> Option<u64> {
+        let mut update = [0u32; SKIP_MAX_HEIGHT];
+        let cand = self.find_preds(key, &mut update);
+        if cand != NIL {
+            let t = self.towers[cand as usize];
+            if self.cmp_key(t.key_off, t.key_len, key) == CmpOrdering::Equal {
+                return Some(t.val_off);
+            }
+        }
+        None
+    }
+
+    /// Inserts `key → val_off`, or replaces the value offset when the key is
+    /// already present. Returns the previous offset, if any. `hash` is the
+    /// key's FNV hash (drives the deterministic tower height).
+    pub fn upsert(&mut self, key: &[u8], hash: u64, val_off: u64) -> Option<u64> {
+        let mut update = [0u32; SKIP_MAX_HEIGHT];
+        let cand = self.find_preds(key, &mut update);
+        if cand != NIL {
+            let t = self.towers[cand as usize];
+            if self.cmp_key(t.key_off, t.key_len, key) == CmpOrdering::Equal {
+                let old = t.val_off;
+                self.towers[cand as usize].val_off = val_off;
+                return Some(old);
+            }
+        }
+        let height = Self::height_for(hash);
+        let key_off = self.intern_key(key);
+        let node = self.alloc_tower();
+        {
+            let t = &mut self.towers[node as usize];
+            t.key_off = key_off;
+            t.key_len = key.len() as u16;
+            t.height = height;
+            t.val_off = val_off;
+            t.next = [NIL; SKIP_MAX_HEIGHT];
+        }
+        for (lvl, &pred) in update.iter().enumerate().take(height as usize) {
+            self.towers[node as usize].next[lvl] = self.towers[pred as usize].next[lvl];
+            self.towers[pred as usize].next[lvl] = node;
+        }
+        self.len += 1;
+        None
+    }
+
+    /// Replaces the value offset of an existing key. Returns the old offset,
+    /// or `None` when absent (no structural change either way).
+    pub fn set(&mut self, key: &[u8], new_off: u64) -> Option<u64> {
+        let mut update = [0u32; SKIP_MAX_HEIGHT];
+        let cand = self.find_preds(key, &mut update);
+        if cand != NIL {
+            let t = self.towers[cand as usize];
+            if self.cmp_key(t.key_off, t.key_len, key) == CmpOrdering::Equal {
+                let old = t.val_off;
+                self.towers[cand as usize].val_off = new_off;
+                return Some(old);
+            }
+        }
+        None
+    }
+
+    /// Unlinks `key` and parks its tower on the retired list (key bytes stay
+    /// interned until [`reclaim_retired`](Self::reclaim_retired)). Returns
+    /// the removed value offset.
+    pub fn remove(&mut self, key: &[u8]) -> Option<u64> {
+        let mut update = [0u32; SKIP_MAX_HEIGHT];
+        let cand = self.find_preds(key, &mut update);
+        if cand == NIL {
+            return None;
+        }
+        let t = self.towers[cand as usize];
+        if self.cmp_key(t.key_off, t.key_len, key) != CmpOrdering::Equal {
+            return None;
+        }
+        for (lvl, &pred) in update.iter().enumerate().take(t.height as usize) {
+            if self.towers[pred as usize].next[lvl] == cand {
+                self.towers[pred as usize].next[lvl] = t.next[lvl];
+            }
+        }
+        self.len -= 1;
+        self.retired.push(cand);
+        self.retired_bytes += Self::tower_footprint(t.key_len);
+        Some(t.val_off)
+    }
+
+    fn tower_footprint(key_len: u16) -> usize {
+        let key_words = (key_len as usize).div_ceil(8).max(1) as u32;
+        64 + size_class(key_words) as usize * 8
+    }
+
+    fn alloc_tower(&mut self) -> u32 {
+        if let Some(idx) = self.free.pop() {
+            return idx;
+        }
+        let idx = self.towers.len() as u32;
+        assert!(idx < NIL, "skiplist tower space exhausted");
+        self.towers.push(Tower::empty());
+        idx
+    }
+
+    /// Bytes parked on the retired list (towers + interned keys).
+    #[inline]
+    pub fn retired_bytes(&self) -> usize {
+        self.retired_bytes
+    }
+
+    /// Frees the interned keys of retired towers and recycles the towers.
+    /// Returns the number of towers reclaimed.
+    pub fn reclaim_retired(&mut self) -> usize {
+        let n = self.retired.len();
+        while let Some(idx) = self.retired.pop() {
+            let t = self.towers[idx as usize];
+            self.free_key(t.key_off, t.key_len);
+            self.free.push(idx);
+        }
+        self.retired_bytes = 0;
+        n
+    }
+
+    /// Resident bytes: tower storage plus key slabs.
+    pub fn mem_bytes(&self) -> usize {
+        let towers = self.towers.capacity() * 64;
+        let slabs: u64 = self.slabs.iter().map(|s| s.capacity_words() * 8).sum();
+        towers + slabs as usize
+    }
+
+    /// Point-in-time statistics.
+    pub fn stats(&self) -> SkipListStats {
+        SkipListStats {
+            len: self.len,
+            retired_nodes: self.retired.len() as u64,
+            slabs: self.slabs.len() as u64,
+            cmps: self.cmps,
+        }
+    }
+
+    /// Ordered iteration from the first key `>= start`. `f` receives each
+    /// `(key, value_offset)` and returns `false` to stop early. Returns
+    /// `true` when the walk ran off the end of the list (nothing left to
+    /// scan), `false` when `f` stopped it — the "more items remain" signal
+    /// behind the wire continuation token.
+    ///
+    /// The key is presented through an internal scratch buffer that is
+    /// reused across calls: after one warmup scan, this path allocates
+    /// nothing.
+    pub fn scan_from(&mut self, start: &[u8], mut f: impl FnMut(&[u8], u64) -> bool) -> bool {
+        // Position: rightmost tower < start, then step to its successor.
+        let mut x = 0u32;
+        for lvl in (0..SKIP_MAX_HEIGHT).rev() {
+            loop {
+                let nxt = self.towers[x as usize].next[lvl];
+                if nxt == NIL {
+                    break;
+                }
+                let t = self.towers[nxt as usize];
+                self.cmps += 1;
+                if self.cmp_key(t.key_off, t.key_len, start) == CmpOrdering::Less {
+                    x = nxt;
+                } else {
+                    break;
+                }
+            }
+        }
+        let mut cur = self.towers[x as usize].next[0];
+        let mut scratch = std::mem::take(&mut self.scan_key_buf);
+        let mut exhausted = true;
+        while cur != NIL {
+            let t = self.towers[cur as usize];
+            self.load_key_into(t.key_off, t.key_len, &mut scratch);
+            if !f(&scratch, t.val_off) {
+                exhausted = false;
+                break;
+            }
+            cur = t.next[0];
+        }
+        self.scan_key_buf = scratch;
+        exhausted
+    }
+}
+
+#[inline]
+fn pack_key_off(slab: usize, off: u32) -> u32 {
+    debug_assert!(off <= SLAB_OFF_MASK);
+    ((slab as u32) << SLAB_OFF_BITS) | off
+}
+
+#[inline]
+fn unpack_key_off(key_off: u32) -> (usize, u32) {
+    ((key_off >> SLAB_OFF_BITS) as usize, key_off & SLAB_OFF_MASK)
+}
+
+/// The hybrid index: a [`PackedTable`] for point ops and a [`SkipList`] for
+/// ordered ones, kept coherent through the keyed mutation hooks. Point-op
+/// behavior (probing, SWAR, incremental resize, epoch reclaim of old tables)
+/// is byte-for-byte the packed path; only mutations pay the skiplist
+/// maintenance walk.
+///
+/// The plain (un-keyed) mutators panic: the hybrid index cannot maintain the
+/// ordered view without key bytes, and a silent hash-only mutation would let
+/// the two sides diverge. `ShardEngine` always uses the keyed hooks.
+pub struct HybridTable {
+    hash: PackedTable,
+    ordered: SkipList,
+}
+
+impl HybridTable {
+    /// Creates a hybrid index sized for `items`.
+    pub fn with_capacity(items: usize) -> HybridTable {
+        HybridTable {
+            hash: PackedTable::with_capacity(items),
+            ordered: SkipList::with_capacity(items),
+        }
+    }
+
+    /// The ordered side, for direct inspection in tests.
+    pub fn ordered(&mut self) -> &mut SkipList {
+        &mut self.ordered
+    }
+
+    /// The hash side, for direct inspection in tests.
+    pub fn hash(&self) -> &PackedTable {
+        &self.hash
+    }
+}
+
+impl Index for HybridTable {
+    fn len(&self) -> usize {
+        self.hash.len()
+    }
+
+    fn stats(&self) -> TableStats {
+        self.hash.stats()
+    }
+
+    fn reset_stats(&mut self) {
+        self.hash.reset_stats();
+    }
+
+    fn mem_bytes(&self) -> usize {
+        self.hash.mem_bytes() + self.ordered.mem_bytes()
+    }
+
+    fn lookup(&mut self, hash: u64, is_match: impl FnMut(u64) -> bool) -> Option<u64> {
+        self.hash.lookup(hash, is_match)
+    }
+
+    fn lookup_batch(
+        &mut self,
+        hashes: &[u64],
+        out: &mut [Option<u64>],
+        is_match: impl FnMut(usize, u64) -> bool,
+    ) {
+        self.hash.lookup_batch(hashes, out, is_match)
+    }
+
+    fn insert(&mut self, _hash: u64, _offset: u64, _rehash: impl FnMut(u64) -> u64) {
+        panic!("hybrid index requires keyed mutation (insert_keyed)");
+    }
+
+    fn replace(
+        &mut self,
+        _hash: u64,
+        _new_offset: u64,
+        _is_match: impl FnMut(u64) -> bool,
+        _rehash: impl FnMut(u64) -> u64,
+    ) -> Option<u64> {
+        panic!("hybrid index requires keyed mutation (replace_keyed)");
+    }
+
+    fn remove(
+        &mut self,
+        _hash: u64,
+        _is_match: impl FnMut(u64) -> bool,
+        _rehash: impl FnMut(u64) -> u64,
+    ) -> Option<u64> {
+        panic!("hybrid index requires keyed mutation (remove_keyed)");
+    }
+
+    fn insert_keyed(&mut self, hash: u64, key: &[u8], offset: u64, rehash: impl FnMut(u64) -> u64) {
+        self.hash.insert(hash, offset, rehash);
+        self.ordered.upsert(key, hash, offset);
+    }
+
+    fn replace_keyed(
+        &mut self,
+        hash: u64,
+        key: &[u8],
+        new_offset: u64,
+        is_match: impl FnMut(u64) -> bool,
+        rehash: impl FnMut(u64) -> u64,
+    ) -> Option<u64> {
+        let old = self.hash.replace(hash, new_offset, is_match, rehash);
+        if old.is_some() {
+            self.ordered.set(key, new_offset);
+        }
+        old
+    }
+
+    fn remove_keyed(
+        &mut self,
+        hash: u64,
+        key: &[u8],
+        is_match: impl FnMut(u64) -> bool,
+        rehash: impl FnMut(u64) -> u64,
+    ) -> Option<u64> {
+        let old = self.hash.remove(hash, is_match, rehash);
+        if old.is_some() {
+            self.ordered.remove(key);
+        }
+        old
+    }
+
+    fn touch(&mut self, hash: u64, offset: u64, lease_class: u8) {
+        self.hash.touch(hash, offset, lease_class)
+    }
+
+    fn for_each(&self, f: impl FnMut(u64)) {
+        self.hash.for_each(f)
+    }
+
+    fn is_resizing(&self) -> bool {
+        self.hash.is_resizing()
+    }
+
+    fn retired_bytes(&self) -> usize {
+        self.hash.retired_bytes() + self.ordered.retired_bytes()
+    }
+
+    fn reclaim_retired(&mut self) -> usize {
+        self.hash.reclaim_retired() + self.ordered.reclaim_retired()
+    }
+
+    fn is_ordered(&self) -> bool {
+        true
+    }
+
+    fn scan_from(&mut self, start: &[u8], f: impl FnMut(&[u8], u64) -> bool) -> bool {
+        self.ordered.scan_from(start, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{hash_key, IndexKind};
+    use std::collections::BTreeMap;
+
+    /// Pinned by scripts/check.sh: a tower is exactly one aligned cache line.
+    #[test]
+    fn skiplist_tower_layout_is_one_aligned_cache_line() {
+        assert_eq!(std::mem::size_of::<Tower>(), 64);
+        assert_eq!(std::mem::align_of::<Tower>(), 64);
+        // 12 levels fit exactly: 4+2+1+1+8 header bytes + 12*4 link bytes.
+        assert_eq!(8 + 8 + SKIP_MAX_HEIGHT * 4, 64);
+    }
+
+    fn dump(s: &mut SkipList) -> Vec<(Vec<u8>, u64)> {
+        let mut out = Vec::new();
+        s.scan_from(b"", |k, v| {
+            out.push((k.to_vec(), v));
+            true
+        });
+        out
+    }
+
+    #[test]
+    fn ordered_iteration_matches_btreemap_model() {
+        let mut s = SkipList::new();
+        let mut model: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+        // Deterministic LCG-driven mixed workload.
+        let mut x = 0x1234_5678_9abc_def0u64;
+        let mut step = || {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            x >> 33
+        };
+        for i in 0..4_000u64 {
+            let k = format!("key-{:05}", step() % 700).into_bytes();
+            let h = hash_key(&k);
+            match step() % 10 {
+                0..=5 => {
+                    s.upsert(&k, h, i);
+                    model.insert(k, i);
+                }
+                6..=7 => {
+                    assert_eq!(s.remove(&k), model.remove(&k), "remove {i}");
+                }
+                8 => {
+                    let expect = model.get(&k).copied();
+                    if let Some(v) = expect {
+                        assert_eq!(s.set(&k, v + 1), Some(v));
+                        model.insert(k, v + 1);
+                    } else {
+                        assert_eq!(s.set(&k, 0), None);
+                    }
+                }
+                _ => {
+                    s.reclaim_retired();
+                }
+            }
+            assert_eq!(s.len(), model.len() as u64);
+        }
+        let got = dump(&mut s);
+        let want: Vec<(Vec<u8>, u64)> = model.into_iter().collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn scan_from_starts_at_first_key_geq_start_and_reports_exhaustion() {
+        let mut s = SkipList::new();
+        for i in [10u64, 20, 30, 40] {
+            let k = format!("k{i:03}").into_bytes();
+            s.upsert(&k, hash_key(&k), i);
+        }
+        // Start between keys.
+        let mut seen = Vec::new();
+        let exhausted = s.scan_from(b"k015", |k, v| {
+            seen.push((k.to_vec(), v));
+            true
+        });
+        assert!(exhausted);
+        assert_eq!(
+            seen,
+            vec![
+                (b"k020".to_vec(), 20),
+                (b"k030".to_vec(), 30),
+                (b"k040".to_vec(), 40)
+            ]
+        );
+        // Early stop => not exhausted.
+        let mut n = 0;
+        let exhausted = s.scan_from(b"", |_, _| {
+            n += 1;
+            n < 2
+        });
+        assert!(!exhausted);
+        assert_eq!(n, 2);
+        // Start past the end: exhausted, nothing visited.
+        let exhausted = s.scan_from(b"zzz", |_, _| panic!("no items expected"));
+        assert!(exhausted);
+    }
+
+    #[test]
+    fn retired_towers_and_keys_are_recycled() {
+        let mut s = SkipList::new();
+        for i in 0..100u64 {
+            let k = format!("rk{i:04}").into_bytes();
+            s.upsert(&k, hash_key(&k), i);
+        }
+        let slabs_before = s.stats().slabs;
+        for i in 0..100u64 {
+            let k = format!("rk{i:04}").into_bytes();
+            assert_eq!(s.remove(&k), Some(i));
+        }
+        assert!(s.retired_bytes() > 0);
+        assert_eq!(s.reclaim_retired(), 100);
+        assert_eq!(s.retired_bytes(), 0);
+        // Re-insert: towers and key slab space come from the free lists,
+        // no new slab growth.
+        for i in 0..100u64 {
+            let k = format!("rk{i:04}").into_bytes();
+            s.upsert(&k, hash_key(&k), i);
+        }
+        assert_eq!(s.stats().slabs, slabs_before);
+        assert_eq!(s.len(), 100);
+    }
+
+    #[test]
+    fn key_interning_grows_across_slabs() {
+        let mut s = SkipList::new();
+        // Big keys force multiple slab segments (MIN_SLAB_WORDS = 1024 words
+        // = 8 KiB; 2000 × 64 B keys ≈ 128 KiB of key bytes).
+        for i in 0..2_000u64 {
+            let mut k = format!("grow-{i:06}").into_bytes();
+            k.resize(64, b'x');
+            s.upsert(&k, hash_key(&k), i);
+        }
+        assert!(s.stats().slabs > 1, "expected slab chain growth");
+        assert_eq!(s.len(), 2_000);
+        let items = dump(&mut s);
+        assert_eq!(items.len(), 2_000);
+        assert!(items.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn hybrid_keeps_hash_and_ordered_sides_coherent() {
+        let mut t = HybridTable::with_capacity(8);
+        let keys: Vec<Vec<u8>> = (0..300)
+            .map(|i| format!("hy-{i:04}").into_bytes())
+            .collect();
+        // Offsets are key indices here, so resize migration can re-derive
+        // any entry's hash from its offset.
+        let rehash = |o: u64| hash_key(&keys[o as usize]);
+        for (i, k) in keys.iter().enumerate() {
+            let h = hash_key(k);
+            t.insert_keyed(h, k, i as u64, rehash);
+        }
+        assert_eq!(t.len(), 300);
+        assert_eq!(t.ordered().len(), 300);
+        // Point path agrees with ordered path.
+        for (i, k) in keys.iter().enumerate() {
+            let h = hash_key(k);
+            assert_eq!(t.lookup(h, |off| off == i as u64), Some(i as u64));
+            assert_eq!(t.ordered().get(k), Some(i as u64));
+        }
+        // Replace moves both sides. (Offset 9_999 stands in for a relocated
+        // item and still hashes to keys[7] if migration rehashes it.)
+        let h = hash_key(&keys[7]);
+        let rehash2 = |o: u64| {
+            if o == 9_999 {
+                hash_key(&keys[7])
+            } else {
+                hash_key(&keys[o as usize])
+            }
+        };
+        assert_eq!(
+            t.replace_keyed(h, &keys[7], 9_999, |off| off == 7, rehash2),
+            Some(7)
+        );
+        assert_eq!(t.ordered().get(&keys[7]), Some(9_999));
+        // Remove drops both sides.
+        assert_eq!(
+            t.remove_keyed(h, &keys[7], |off| off == 9_999, rehash2),
+            Some(9_999)
+        );
+        assert_eq!(t.len(), 299);
+        assert_eq!(t.ordered().len(), 299);
+        assert_eq!(t.ordered().get(&keys[7]), None);
+        assert!(t.is_ordered());
+        assert!(t.retired_bytes() > 0);
+        t.reclaim_retired();
+        assert_eq!(SkipList::new().retired_bytes(), 0);
+    }
+
+    #[test]
+    fn hybrid_is_constructible_through_the_index_kind() {
+        let mut any = crate::AnyIndex::with_capacity(IndexKind::Hybrid, 16);
+        assert_eq!(any.kind(), IndexKind::Hybrid);
+        assert!(any.is_ordered());
+        let k = b"via-any".to_vec();
+        let h = hash_key(&k);
+        any.insert_keyed(h, &k, 42, |_| unreachable!());
+        assert_eq!(any.lookup(h, |off| off == 42), Some(42));
+        let mut seen = Vec::new();
+        let exhausted = any.scan_from(b"", |key, off| {
+            seen.push((key.to_vec(), off));
+            true
+        });
+        assert!(exhausted);
+        assert_eq!(seen, vec![(k, 42)]);
+    }
+
+    #[test]
+    fn tower_heights_are_deterministic_and_bounded() {
+        for i in 0..50_000u64 {
+            let h = SkipList::height_for(i);
+            assert!((1..=SKIP_MAX_HEIGHT as u8).contains(&h));
+            assert_eq!(h, SkipList::height_for(i));
+        }
+        // Height distribution is roughly geometric with p = 1/4: about a
+        // quarter of hashes should reach level 2.
+        let tall = (0..50_000u64)
+            .filter(|&i| SkipList::height_for(crate::avalanche(i)) >= 2)
+            .count();
+        assert!((8_000..17_000).contains(&tall), "tall towers: {tall}");
+    }
+}

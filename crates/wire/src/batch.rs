@@ -11,7 +11,7 @@
 //! ```
 //!
 //! The magic byte `0xB7` is deliberately outside the [`crate::OpCode`] and
-//! [`crate::Status`] value ranges (both 1..=5), so the first byte of a framed
+//! [`crate::Status`] value ranges (1..=6 and 1..=4), so the first byte of a framed
 //! payload tells the receiver whether it holds one message or a batch.
 //! [`BatchFrame::parse`] validates the entire window once — count, per-entry
 //! bounds, and the absence of trailing garbage — after which iteration is

@@ -12,7 +12,13 @@
 //! [op:1][flags:1][pad:2][klen:4][vlen:4][req_id:8][key][value]
 //! ```
 //!
-//! `LEASE_RENEW` reuses the value area for a packed key list.
+//! `LEASE_RENEW` reuses the value area for a packed key list. `SCAN` carries
+//! its start key in the key area and its item limit as a 4-byte value; the
+//! scan *response* reuses the value area for a packed multi-item list
+//! (`[more:1][pad:3][count:4]` then `count` entries of
+//! `[klen:4][vlen:4][key][value]` — see [`ScanItems`]), with the `more` flag
+//! doubling as the continuation token: the client resumes from its last
+//! received key.
 //!
 //! Response layout:
 //!
@@ -156,6 +162,9 @@ pub enum OpCode {
     Delete = 4,
     /// Extend the leases of a batch of popular keys (§4.2.3).
     LeaseRenew = 5,
+    /// Ordered range scan: up to `limit` items starting at `start_key`,
+    /// served in bounded quanta (§11).
+    Scan = 6,
 }
 
 impl OpCode {
@@ -167,6 +176,7 @@ impl OpCode {
             3 => OpCode::Update,
             4 => OpCode::Delete,
             5 => OpCode::LeaseRenew,
+            6 => OpCode::Scan,
             _ => return None,
         })
     }
@@ -366,6 +376,15 @@ pub enum Request<'a> {
     Delete { req_id: u64, key: &'a [u8] },
     /// Renew leases on a batch of keys the client deems popular.
     LeaseRenew { req_id: u64, keys: KeyList<'a> },
+    /// Ordered scan of up to `limit` items from the first key `>= start`.
+    /// The server may truncate at its scan-quantum cap and set the response's
+    /// [`ScanItems::more`] flag; the client then continues from the last key
+    /// it received.
+    Scan {
+        req_id: u64,
+        start: &'a [u8],
+        limit: u32,
+    },
 }
 
 impl<'a> Request<'a> {
@@ -376,7 +395,8 @@ impl<'a> Request<'a> {
             | Request::Insert { req_id, .. }
             | Request::Update { req_id, .. }
             | Request::Delete { req_id, .. }
-            | Request::LeaseRenew { req_id, .. } => *req_id,
+            | Request::LeaseRenew { req_id, .. }
+            | Request::Scan { req_id, .. } => *req_id,
         }
     }
 
@@ -388,6 +408,7 @@ impl<'a> Request<'a> {
             Request::Update { .. } => OpCode::Update,
             Request::Delete { .. } => OpCode::Delete,
             Request::LeaseRenew { .. } => OpCode::LeaseRenew,
+            Request::Scan { .. } => OpCode::Scan,
         }
     }
 
@@ -400,11 +421,21 @@ impl<'a> Request<'a> {
 
     /// Encodes, appending to `out`.
     pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let limit_bytes: [u8; 4];
         let (op, req_id, key, value): (OpCode, u64, &[u8], &[u8]) = match self {
             Request::Get { req_id, key } => (OpCode::Get, *req_id, key, &[]),
             Request::Insert { req_id, key, value } => (OpCode::Insert, *req_id, key, value),
             Request::Update { req_id, key, value } => (OpCode::Update, *req_id, key, value),
             Request::Delete { req_id, key } => (OpCode::Delete, *req_id, key, &[]),
+            Request::Scan {
+                req_id,
+                start,
+                limit,
+            } => {
+                // The limit rides in the value area, like LEASE_RENEW's keys.
+                limit_bytes = limit.to_le_bytes();
+                (OpCode::Scan, *req_id, start, &limit_bytes)
+            }
             Request::LeaseRenew { req_id, keys } => {
                 // Pack the key list into the value area: [count:4] then
                 // repeated [klen:4][key], written straight into `out`.
@@ -453,7 +484,148 @@ impl<'a> Request<'a> {
                 req_id,
                 keys: KeyList::parse_packed(value)?,
             },
+            OpCode::Scan => Request::Scan {
+                req_id,
+                start: key,
+                limit: u32::from_le_bytes(value.try_into().ok()?),
+            },
         })
+    }
+}
+
+/// Packed-items header: `[more:1][pad:3][count:4]`.
+pub const SCAN_ITEMS_HDR: usize = 8;
+
+/// Starts a packed scan-item list in `out` (clears it, reserves the header).
+/// Append items with [`scan_items_push`], then stamp the header with
+/// [`scan_items_finish`]. The server composes scan responses through these
+/// so the hot path reuses one scratch buffer end to end.
+pub fn scan_items_begin(out: &mut Vec<u8>) {
+    out.clear();
+    out.extend_from_slice(&[0u8; SCAN_ITEMS_HDR]);
+}
+
+/// Appends one `[klen:4][vlen:4][key][value]` entry.
+pub fn scan_items_push(out: &mut Vec<u8>, key: &[u8], value: &[u8]) {
+    out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(value.len() as u32).to_le_bytes());
+    out.extend_from_slice(key);
+    out.extend_from_slice(value);
+}
+
+/// Stamps the header started by [`scan_items_begin`].
+pub fn scan_items_finish(out: &mut [u8], more: bool, count: u32) {
+    out[0] = more as u8;
+    out[4..8].copy_from_slice(&count.to_le_bytes());
+}
+
+/// The packed multi-item payload of a scan response — a *validated window*
+/// over `[more:1][pad:3][count:4]([klen:4][vlen:4][key][value])*`, borrowed
+/// from the response value like [`KeyList`] borrows renewal keys: parsing
+/// walks the packing once to check every bound, iteration then slices
+/// without re-validating or allocating.
+#[derive(Clone, Copy)]
+pub struct ScanItems<'a> {
+    more: bool,
+    count: u32,
+    /// Entry bytes (header stripped); bounds validated by `parse`.
+    entries: &'a [u8],
+}
+
+impl<'a> ScanItems<'a> {
+    /// Validates `bytes` as a complete packed item list (header included, no
+    /// trailing garbage) and wraps it.
+    pub fn parse(bytes: &'a [u8]) -> Option<ScanItems<'a>> {
+        let more = match *bytes.first()? {
+            0 => false,
+            1 => true,
+            _ => return None,
+        };
+        let count = u32::from_le_bytes(bytes.get(4..SCAN_ITEMS_HDR)?.try_into().ok()?);
+        let entries = bytes.get(SCAN_ITEMS_HDR..)?;
+        let mut p = entries;
+        for _ in 0..count {
+            let kl = u32::from_le_bytes(p.get(..4)?.try_into().ok()?) as usize;
+            let vl = u32::from_le_bytes(p.get(4..8)?.try_into().ok()?) as usize;
+            p = p.get(8 + kl + vl..)?;
+        }
+        if !p.is_empty() {
+            return None;
+        }
+        Some(ScanItems {
+            more,
+            count,
+            entries,
+        })
+    }
+
+    /// Whether the server truncated the scan (more items remain past the
+    /// last entry) — the continuation signal.
+    pub fn more(&self) -> bool {
+        self.more
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.count as usize
+    }
+
+    /// Whether the scan returned nothing.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Iterates over `(key, value)` pairs.
+    pub fn iter(&self) -> ScanItemsIter<'a> {
+        ScanItemsIter {
+            remaining: self.count,
+            rest: self.entries,
+        }
+    }
+}
+
+impl<'a> IntoIterator for &ScanItems<'a> {
+    type Item = (&'a [u8], &'a [u8]);
+    type IntoIter = ScanItemsIter<'a>;
+    fn into_iter(self) -> ScanItemsIter<'a> {
+        self.iter()
+    }
+}
+
+impl std::fmt::Debug for ScanItems<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScanItems")
+            .field("more", &self.more)
+            .field("count", &self.count)
+            .finish()
+    }
+}
+
+/// Iterator over [`ScanItems`] entries.
+pub struct ScanItemsIter<'a> {
+    remaining: u32,
+    rest: &'a [u8],
+}
+
+impl<'a> Iterator for ScanItemsIter<'a> {
+    type Item = (&'a [u8], &'a [u8]);
+
+    fn next(&mut self) -> Option<(&'a [u8], &'a [u8])> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        // Bounds were validated by `ScanItems::parse`.
+        let kl = u32::from_le_bytes(self.rest[..4].try_into().unwrap()) as usize;
+        let vl = u32::from_le_bytes(self.rest[4..8].try_into().unwrap()) as usize;
+        let key = &self.rest[8..8 + kl];
+        let value = &self.rest[8 + kl..8 + kl + vl];
+        self.rest = &self.rest[8 + kl + vl..];
+        Some((key, value))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining as usize, Some(self.remaining as usize))
     }
 }
 
@@ -752,6 +924,88 @@ mod tests {
         let count_off = REQ_HDR;
         enc[count_off..count_off + 4].copy_from_slice(&1000u32.to_le_bytes());
         assert!(Request::decode(&enc).is_none());
+    }
+
+    #[test]
+    fn scan_request_roundtrips() {
+        roundtrip_req(&Request::Scan {
+            req_id: 7,
+            start: b"user:0000100",
+            limit: 100,
+        });
+        roundtrip_req(&Request::Scan {
+            req_id: 8,
+            start: b"",
+            limit: 0,
+        });
+        // The limit travels in the value area and must be exactly 4 bytes.
+        let enc = Request::Scan {
+            req_id: 9,
+            start: b"s",
+            limit: 3,
+        }
+        .encode();
+        for cut in 0..enc.len() {
+            assert!(Request::decode(&enc[..cut]).is_none(), "cut={cut}");
+        }
+        let mut enc = enc;
+        // Grow the declared value length past the buffer: rejected.
+        enc[8..12].copy_from_slice(&8u32.to_le_bytes());
+        assert!(Request::decode(&enc).is_none());
+    }
+
+    fn packed_items(items: &[(&[u8], &[u8])], more: bool) -> Vec<u8> {
+        let mut out = Vec::new();
+        scan_items_begin(&mut out);
+        for (k, v) in items {
+            scan_items_push(&mut out, k, v);
+        }
+        scan_items_finish(&mut out, more, items.len() as u32);
+        out
+    }
+
+    #[test]
+    fn scan_items_roundtrip() {
+        let items: [(&[u8], &[u8]); 3] =
+            [(b"a", b"1".as_slice()), (b"bb", b""), (b"", b"value-three")];
+        let enc = packed_items(&items, true);
+        let parsed = ScanItems::parse(&enc).expect("parses");
+        assert!(parsed.more());
+        assert_eq!(parsed.len(), 3);
+        let got: Vec<(&[u8], &[u8])> = parsed.iter().collect();
+        assert_eq!(got, items);
+
+        let empty = packed_items(&[], false);
+        let parsed = ScanItems::parse(&empty).expect("parses");
+        assert!(!parsed.more());
+        assert!(parsed.is_empty());
+        assert_eq!(parsed.iter().count(), 0);
+    }
+
+    #[test]
+    fn scan_items_reject_corruption() {
+        let items: [(&[u8], &[u8]); 2] = [(b"k1", b"v1".as_slice()), (b"k2", b"v2")];
+        let enc = packed_items(&items, false);
+        // Every truncation point fails to parse.
+        for cut in 0..enc.len() {
+            assert!(ScanItems::parse(&enc[..cut]).is_none(), "cut={cut}");
+        }
+        // Inflated count beyond available bytes: rejected.
+        let mut bad = enc.clone();
+        bad[4..8].copy_from_slice(&1000u32.to_le_bytes());
+        assert!(ScanItems::parse(&bad).is_none());
+        // Deflated count leaves trailing garbage: rejected.
+        let mut bad = enc.clone();
+        bad[4..8].copy_from_slice(&1u32.to_le_bytes());
+        assert!(ScanItems::parse(&bad).is_none());
+        // A non-boolean `more` byte is corruption, not a flag.
+        let mut bad = enc.clone();
+        bad[0] = 7;
+        assert!(ScanItems::parse(&bad).is_none());
+        // An entry whose klen points past the end: rejected.
+        let mut bad = enc;
+        bad[SCAN_ITEMS_HDR..SCAN_ITEMS_HDR + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(ScanItems::parse(&bad).is_none());
     }
 
     #[test]

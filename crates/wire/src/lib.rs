@@ -11,8 +11,9 @@
 //!   `AtomicU64` word slices so the same code is sound both under the
 //!   simulator (single thread) and across real OS threads in tests.
 //! * [`codec`] — request/response encodings for the key-value protocol
-//!   (GET / INSERT / UPDATE / DELETE / LEASE_RENEW) plus the remote-pointer
-//!   and lease metadata piggybacked on GET responses.
+//!   (GET / INSERT / UPDATE / DELETE / LEASE_RENEW / SCAN) plus the
+//!   remote-pointer and lease metadata piggybacked on GET responses and the
+//!   packed multi-item payload of SCAN responses.
 //! * [`log`] — replication log records written by the primary into the
 //!   secondary's exposed ring (§5.2).
 //! * [`batch`] — multi-message batch frames: pipelined clients pack several
@@ -27,8 +28,9 @@ pub mod rptr;
 
 pub use batch::{BatchBuilder, BatchFrame, BatchIter, BATCH_ENTRY_HDR, BATCH_HDR, BATCH_MAGIC};
 pub use codec::{
-    KeyList, OpCode, ReplicaPtr, ReplicaSet, Request, Response, Status, MAX_EXPORT_PTRS,
-    RESP_FLAG_REPLICAS,
+    scan_items_begin, scan_items_finish, scan_items_push, KeyList, OpCode, ReplicaPtr, ReplicaSet,
+    Request, Response, ScanItems, ScanItemsIter, Status, MAX_EXPORT_PTRS, RESP_FLAG_REPLICAS,
+    SCAN_ITEMS_HDR,
 };
 pub use frame::{
     consume_message, frame_to_words, frame_words, poll_message, write_message, FrameError,

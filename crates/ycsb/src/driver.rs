@@ -33,6 +33,10 @@ pub struct KvSnapshot {
     pub invalid_hits: u64,
     /// GETs served through the server message path.
     pub msg_gets: u64,
+    /// Completed SCANs.
+    pub scans: u64,
+    /// End-to-end SCAN latency histogram (fan-out + continuations included).
+    pub scan_lat: Histogram,
 }
 
 /// Anything the driver can benchmark.
@@ -43,6 +47,12 @@ pub trait KvClient: Clone + 'static {
     fn kv_insert(&self, sim: &mut Sim, key: &[u8], value: &[u8], cb: KvCb);
     /// Issues an UPDATE.
     fn kv_update(&self, sim: &mut Sim, key: &[u8], value: &[u8], cb: KvCb);
+    /// Issues a SCAN of up to `limit` items starting at `start` (key order).
+    /// Clients without an ordered index may leave this unimplemented; only
+    /// scan-bearing workloads (YCSB-E) exercise it.
+    fn kv_scan(&self, _sim: &mut Sim, _start: &[u8], _limit: u32, _cb: KvCb) {
+        panic!("this KvClient does not support SCAN");
+    }
     /// Clears measured statistics.
     fn kv_reset_stats(&self);
     /// Snapshots measured statistics.
@@ -62,18 +72,23 @@ impl KvClient for HydraClient {
     fn kv_update(&self, sim: &mut Sim, key: &[u8], value: &[u8], cb: KvCb) {
         self.update(sim, key, value, cb);
     }
+    fn kv_scan(&self, sim: &mut Sim, start: &[u8], limit: u32, cb: KvCb) {
+        self.scan(sim, start, limit, cb);
+    }
     fn kv_reset_stats(&self) {
         self.reset_stats();
     }
     fn kv_snapshot(&self) -> KvSnapshot {
         let s = self.stats();
         KvSnapshot {
-            ops: s.gets + s.updates + s.inserts + s.deletes,
+            ops: s.gets + s.updates + s.inserts + s.deletes + s.scans,
             get_lat: s.get_lat,
             update_lat: s.update_lat,
             rptr_hits: s.rptr_hits,
             invalid_hits: s.invalid_hits,
             msg_gets: s.msg_gets,
+            scans: s.scans,
+            scan_lat: s.scan_lat,
         }
     }
 }
@@ -117,6 +132,10 @@ pub struct WorkloadReport {
     /// Mean UPDATE latency in µs.
     pub update_mean_us: f64,
     pub update_p99_us: f64,
+    /// SCAN activity (zero unless the workload issues scans).
+    pub scans: u64,
+    pub scan_mean_us: f64,
+    pub scan_p99_us: f64,
     /// Fast-path counters (Fig. 11).
     pub rptr_hits: u64,
     pub invalid_hits: u64,
@@ -234,15 +253,19 @@ pub fn run_workload<C: KvClient>(
     // Aggregate.
     let mut get_lat = Histogram::new();
     let mut update_lat = Histogram::new();
+    let mut scan_lat = Histogram::new();
     let (mut rptr_hits, mut invalid_hits, mut msg_gets, mut ops) = (0, 0, 0, 0u64);
+    let mut scans = 0u64;
     let mut errors = 0;
     for c in clients {
         let s = c.kv_snapshot();
         get_lat.merge(&s.get_lat);
         update_lat.merge(&s.update_lat);
+        scan_lat.merge(&s.scan_lat);
         rptr_hits += s.rptr_hits;
         invalid_hits += s.invalid_hits;
         msg_gets += s.msg_gets;
+        scans += s.scans;
         ops += s.ops;
     }
     for (st, _) in &replays {
@@ -257,6 +280,9 @@ pub fn run_workload<C: KvClient>(
         get_p99_us: as_us(get_lat.quantile(0.99)),
         update_mean_us: as_us(update_lat.mean() as u64),
         update_p99_us: as_us(update_lat.quantile(0.99)),
+        scans,
+        scan_mean_us: as_us(scan_lat.mean() as u64),
+        scan_p99_us: as_us(scan_lat.quantile(0.99)),
         rptr_hits,
         invalid_hits,
         msg_gets,
@@ -372,6 +398,15 @@ fn drive<C: KvClient>(
                 };
                 client.kv_update(sim, &key, &value, cont);
             }
+            Op::Insert(id) => {
+                let key = wl.key_of(id);
+                let value = wl.value_of(id, 0);
+                client.kv_insert(sim, &key, &value, cont);
+            }
+            Op::Scan(id, len) => {
+                let key = wl.key_of(id);
+                client.kv_scan(sim, &key, len, cont);
+            }
         }
     }
 }
@@ -379,8 +414,8 @@ fn drive<C: KvClient>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::workload::KeyDist;
-    use hydra_db::{ClientMode, ClusterBuilder, ClusterConfig};
+    use crate::workload::{KeyDist, OpMix};
+    use hydra_db::{ClientMode, ClusterBuilder, ClusterConfig, IndexKind};
 
     fn small_wl(read_ratio: f64, dist: KeyDist) -> Workload {
         Workload {
@@ -391,6 +426,7 @@ mod tests {
             key_len: 16,
             value_len: 32,
             seed: 5,
+            mix: OpMix::ReadUpdate,
         }
     }
 
@@ -433,6 +469,38 @@ mod tests {
             report.invalid_hits > 0,
             "updates must invalidate fast reads"
         );
+    }
+
+    #[test]
+    fn workload_d_runs_end_to_end() {
+        let cfg = ClusterConfig {
+            index: IndexKind::Hybrid,
+            ..Default::default()
+        };
+        let mut cluster = ClusterBuilder::new(cfg).build();
+        let clients: Vec<_> = (0..4).map(|_| cluster.add_client(0)).collect();
+        let wl = Workload::workload_d(500, 2_000, 5);
+        let report = run_workload(&mut cluster.sim, &clients, &wl, &DriverConfig::default());
+        assert!(report.ops >= 1_800, "ops={}", report.ops);
+        assert_eq!(report.errors, 0);
+        // ~5% of 2000 ops insert fresh records.
+        assert!(cluster.total_items() > 500, "inserts must land");
+    }
+
+    #[test]
+    fn workload_e_runs_end_to_end_on_hybrid_index() {
+        let cfg = ClusterConfig {
+            index: IndexKind::Hybrid,
+            ..Default::default()
+        };
+        let mut cluster = ClusterBuilder::new(cfg).build();
+        let clients: Vec<_> = (0..4).map(|_| cluster.add_client(0)).collect();
+        let wl = Workload::workload_e(500, 1_000, 5);
+        let report = run_workload(&mut cluster.sim, &clients, &wl, &DriverConfig::default());
+        assert!(report.ops >= 900, "ops={}", report.ops);
+        assert_eq!(report.errors, 0);
+        assert!(report.scans > 800, "scans={}", report.scans);
+        assert!(report.scan_mean_us > 0.5, "scan latency must be recorded");
     }
 
     #[test]
@@ -486,6 +554,7 @@ mod tests {
                 key_len: 16,
                 value_len: 32,
                 seed: 5,
+                mix: OpMix::ReadUpdate,
             };
             run_workload(&mut cluster.sim, &clients, &wl, &DriverConfig::default()).mops
         };

@@ -18,5 +18,5 @@ pub mod zipf;
 pub use driver::{
     load_records, run_workload, DriverConfig, KvCb, KvClient, KvSnapshot, WorkloadReport,
 };
-pub use workload::{KeyDist, Op, OpStream, Workload};
+pub use workload::{KeyDist, Op, OpMix, OpStream, Workload};
 pub use zipf::ZipfianGenerator;

@@ -16,7 +16,7 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
-echo "==> packed-group layout static assertions (64 B size + alignment)"
+echo "==> packed-group + skiplist-tower layout static assertions (64 B size + alignment)"
 cargo test -q --release -p hydra-store layout_is_one_aligned_cache_line
 
 echo "==> bench smoke (reduced scale, scratch results dir)"
@@ -32,6 +32,8 @@ HYDRA_SCALE=smoke HYDRA_RESULTS_DIR="$SMOKE_RESULTS" \
     cargo run -q --release -p hydra-bench --bin chaos_recovery
 HYDRA_SCALE=smoke HYDRA_RESULTS_DIR="$SMOKE_RESULTS" \
     cargo run -q --release -p hydra-bench --bin perf_skew
+HYDRA_SCALE=smoke HYDRA_RESULTS_DIR="$SMOKE_RESULTS" \
+    cargo run -q --release -p hydra-bench --bin perf_scan
 
 echo "==> chaos soak (100 fixed-seed fault plans, full consistency checks)"
 cargo test -q --release -p hydra-integration --test chaos -- --ignored

@@ -23,7 +23,12 @@ enum Op {
     Insert(u8, Vec<u8>),
     Update(u8, Vec<u8>),
     Delete(u8),
+    Scan(u8, u32),
 }
+
+/// Scan-quantum cap used by both execution paths; small enough that the
+/// generated scans exercise truncation (`more` flag) as well as exhaustion.
+const SCAN_CAP: u32 = 7;
 
 fn ops() -> impl Strategy<Value = Vec<Op>> {
     proptest::collection::vec(
@@ -36,6 +41,7 @@ fn ops() -> impl Strategy<Value = Vec<Op>> {
             1 => (any::<u8>(), proptest::collection::vec(any::<u8>(), 1..48))
                 .prop_map(|(k, v)| Op::Update(k % 32, v)),
             1 => any::<u8>().prop_map(|k| Op::Delete(k % 32)),
+            1 => (any::<u8>(), 0..16u32).prop_map(|(k, l)| Op::Scan(k % 32, l)),
         ],
         1..96,
     )
@@ -71,7 +77,11 @@ proptest! {
         let keys: Vec<Vec<u8>> = ops
             .iter()
             .map(|op| match op {
-                Op::Get(k) | Op::Insert(k, _) | Op::Update(k, _) | Op::Delete(k) => key_of(*k),
+                Op::Get(k)
+                | Op::Insert(k, _)
+                | Op::Update(k, _)
+                | Op::Delete(k)
+                | Op::Scan(k, _) => key_of(*k),
             })
             .collect();
         let reqs: Vec<Request<'_>> = ops
@@ -85,6 +95,7 @@ proptest! {
                     Op::Insert(_, v) => Request::Insert { req_id, key, value: v },
                     Op::Update(_, v) => Request::Update { req_id, key, value: v },
                     Op::Delete(_) => Request::Delete { req_id, key },
+                    Op::Scan(_, limit) => Request::Scan { req_id, start: key, limit: *limit },
                 }
             })
             .collect();
@@ -93,13 +104,15 @@ proptest! {
         let mut seq_engine = engine();
         let mut seq_builder = BatchBuilder::new();
         let mut seq_scratch = Vec::new();
+        let mut seq_scan_buf = Vec::new();
         let mut seq_plane = ReadPlane::disabled();
         let mut seq_repl = Vec::new();
         for req in &reqs {
             let mut action = None;
             seq_builder.push_with(|out| {
                 action = apply_request(
-                    &mut seq_engine, NOW, req, ARENA, &mut seq_scratch, &mut seq_plane, out,
+                    &mut seq_engine, NOW, req, ARENA, &mut seq_scratch, SCAN_CAP,
+                    &mut seq_scan_buf, &mut seq_plane, out,
                 );
             });
             if let Some(a) = action {
@@ -111,10 +124,11 @@ proptest! {
         let mut batch_engine = engine();
         let mut batch_builder = BatchBuilder::new();
         let mut batch_scratch = Vec::new();
+        let mut batch_scan_buf = Vec::new();
         let mut batch_plane = ReadPlane::disabled();
         let (batch_repl, counts) = run_batch(
-            &mut batch_engine, NOW, &reqs, ARENA, &mut batch_scratch, &mut batch_plane,
-            &mut batch_builder,
+            &mut batch_engine, NOW, &reqs, ARENA, &mut batch_scratch, SCAN_CAP,
+            &mut batch_scan_buf, &mut batch_plane, &mut batch_builder,
         );
 
         // Byte-identical response frames, in request order.
@@ -140,7 +154,7 @@ proptest! {
         }
         // Counts add up to the request list.
         let total = counts.gets + counts.inserts + counts.updates + counts.deletes
-            + counts.lease_renews;
+            + counts.lease_renews + counts.scans;
         prop_assert_eq!(total as usize, reqs.len());
     }
 }

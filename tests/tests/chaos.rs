@@ -9,7 +9,7 @@ use std::cell::Cell;
 use std::rc::Rc;
 
 use hydra_chaos::{check_convergence, FaultEvent, FaultPlan};
-use hydra_db::{ClusterBuilder, ClusterConfig, RecordingClient, ReplicationMode};
+use hydra_db::{ClusterBuilder, ClusterConfig, IndexKind, RecordingClient, ReplicationMode};
 use hydra_sim::time::{MS, SEC};
 use hydra_sim::Sim;
 use proptest::prelude::*;
@@ -42,6 +42,36 @@ fn drive(
     }
 }
 
+/// Like [`drive`], but every fifth op is a SCAN over the shared key space.
+/// Each returned item is recorded as a Get observation spanning the scan
+/// window, so a torn or stale item under fail-over fails the checker.
+fn drive_with_scans(
+    sim: &mut Sim,
+    client: RecordingClient,
+    keys: Rc<Vec<Vec<u8>>>,
+    i: usize,
+    total: usize,
+    done: Rc<Cell<bool>>,
+) {
+    if i >= total {
+        done.set(true);
+        return;
+    }
+    let key = keys[i % keys.len()].clone();
+    let c2 = client.clone();
+    let cont: hydra_db::client::OpCb = Box::new(move |sim, _r| {
+        drive_with_scans(sim, c2, keys, i + 1, total, done);
+    });
+    if i % 5 == 4 {
+        client.scan(sim, &key, 8, cont);
+    } else if i % 3 == 2 {
+        client.get(sim, &key, cont);
+    } else {
+        let value = format!("c{}-{}", client.client().id(), i).into_bytes();
+        client.put(sim, &key, &value, cont);
+    }
+}
+
 /// One full chaos round: 3 machines, 2 partitions, one synchronous replica
 /// each, HA armed, a random fault plan derived from `seed`, two recorded
 /// clients, recovery, then all three checks.
@@ -53,6 +83,18 @@ fn chaos_round(seed: u64) {
 /// export threshold, so fast-path reads rotate over primary + secondary
 /// pointers while the fault plan fires.
 fn chaos_round_with(seed: u64, spread: bool) {
+    chaos_round_inner(seed, spread, false);
+}
+
+/// A chaos round on a hybrid-indexed cluster whose workload interleaves
+/// SCANs with the writes: every returned scan item is checked against the
+/// recorded write history, so fail-over can never surface a torn or stale
+/// item through the ordered plane.
+fn chaos_scan_round(seed: u64) {
+    chaos_round_inner(seed, false, true);
+}
+
+fn chaos_round_inner(seed: u64, spread: bool, scans: bool) {
     let horizon = 400 * MS;
     let cfg = ClusterConfig {
         seed,
@@ -63,6 +105,11 @@ fn chaos_round_with(seed: u64, spread: bool) {
         replication: ReplicationMode::Strict,
         replica_read_spread: spread,
         hot_read_threshold: if spread { 1 } else { 8 },
+        index: if scans {
+            IndexKind::Hybrid
+        } else {
+            IndexKind::Packed
+        },
         ..ClusterConfig::default()
     };
     let mut cluster = ClusterBuilder::new(cfg).build();
@@ -80,7 +127,11 @@ fn chaos_round_with(seed: u64, spread: bool) {
     for c in 0..2 {
         let client = cluster.add_recording_client(c);
         let done = Rc::new(Cell::new(false));
-        drive(&mut cluster.sim, client, keys.clone(), 0, 60, done.clone());
+        if scans {
+            drive_with_scans(&mut cluster.sim, client, keys.clone(), 0, 60, done.clone());
+        } else {
+            drive(&mut cluster.sim, client, keys.clone(), 0, 60, done.clone());
+        }
         dones.push(done);
     }
     cluster.sim.run();
@@ -121,9 +172,13 @@ fn chaos_round_with(seed: u64, spread: bool) {
     cluster.settle_replication();
 
     let history = chaos.history();
+    // Scan rounds record per-item observations instead of one entry per
+    // scan invocation, and a scan that failed mid-fault records nothing.
+    let min_recorded = if scans { 96 } else { 121 };
     assert!(
-        history.len() >= 121,
-        "both workloads plus the probe recorded"
+        history.len() >= min_recorded,
+        "both workloads plus the probe recorded (got {})",
+        history.len()
     );
     if let Err(v) = history.check_linearizable() {
         panic!("{v}");
@@ -166,12 +221,34 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Random fault plans against a hybrid-indexed cluster whose workload
+    /// interleaves SCANs with writes: every scan-returned item is recorded
+    /// as a read observation and must linearize inside the scan window —
+    /// scans never observe torn or stale items across fail-over.
+    #[test]
+    fn random_fault_plans_with_scans(seed in 0u64..10_000) {
+        chaos_scan_round(seed);
+    }
+}
+
 /// Exhaustive sweep for local soak runs: `cargo test -- --ignored chaos`.
 #[test]
 #[ignore = "soak: ~100 full chaos rounds"]
 fn chaos_round_soak() {
     for seed in 0..100u64 {
         chaos_round(seed);
+    }
+}
+
+/// Scan-bearing soak: `cargo test -- --ignored chaos_scan`.
+#[test]
+#[ignore = "soak: ~50 scan-heavy chaos rounds"]
+fn chaos_scan_round_soak() {
+    for seed in 0..50u64 {
+        chaos_scan_round(seed);
     }
 }
 

@@ -3,7 +3,7 @@
 
 use hydra_db::{ClientMode, ClusterBuilder, ClusterConfig, ReplicationMode};
 use hydra_integration::{get_value, put_ok};
-use hydra_ycsb::{run_workload, DriverConfig, KeyDist, Workload};
+use hydra_ycsb::{run_workload, DriverConfig, KeyDist, OpMix, Workload};
 
 fn wl(records: u64, ops: u64, read_ratio: f64, dist: KeyDist) -> Workload {
     Workload {
@@ -14,6 +14,7 @@ fn wl(records: u64, ops: u64, read_ratio: f64, dist: KeyDist) -> Workload {
         key_len: 16,
         value_len: 32,
         seed: 71,
+        mix: OpMix::ReadUpdate,
     }
 }
 

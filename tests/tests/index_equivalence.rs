@@ -1,11 +1,13 @@
 //! Index-structure equivalence: the packed cache-line-group table, the
-//! compact signature table, and the chained-list baseline must be
-//! observationally identical behind `ShardEngine`. Random operation
-//! sequences are driven through triplet engines differing only in
-//! `EngineConfig::index`; every op result, every post-op length, and the
-//! final full iteration contents must agree — across incremental resizes
-//! (the packed engines are deliberately under-sized so load forces several
-//! group splits mid-sequence) and across reclamation pumps.
+//! compact signature table, the chained-list baseline, and the hybrid
+//! (packed + skiplist) index must be observationally identical behind
+//! `ShardEngine`. Random operation sequences are driven through engines
+//! differing only in `EngineConfig::index`; every op result, every post-op
+//! length, and the final full iteration contents must agree — across
+//! incremental resizes (the packed engines are deliberately under-sized so
+//! load forces several group splits mid-sequence) and across reclamation
+//! pumps. A second property pins the hybrid's *ordered* plane: scans must
+//! match a `BTreeMap` model item-for-item under the same interleavings.
 
 use hydra_store::{EngineConfig, EngineError, IndexKind, ShardEngine, WriteMode};
 use proptest::prelude::*;
@@ -77,6 +79,7 @@ proptest! {
             engine(IndexKind::Packed),
             engine(IndexKind::Chained),
             engine(IndexKind::Compact),
+            engine(IndexKind::Hybrid),
         ];
         let mut now = 0u64;
         let mut resized = false;
@@ -93,8 +96,13 @@ proptest! {
                 &results[0], &results[2],
                 "packed vs compact diverged at step {} on {:?}", step, op
             );
+            prop_assert_eq!(
+                &results[0], &results[3],
+                "packed vs hybrid diverged at step {} on {:?}", step, op
+            );
             prop_assert_eq!(engines[0].len(), engines[1].len());
             prop_assert_eq!(engines[0].len(), engines[2].len());
+            prop_assert_eq!(engines[0].len(), engines[3].len());
             resized |= engines[0].index_resizing();
             if let Op::AdvanceTime(dt) = op {
                 now += dt;
@@ -115,11 +123,103 @@ proptest! {
         let packed = dump(&engines[0]);
         prop_assert_eq!(&packed, &dump(&engines[1]), "iteration: packed vs chained");
         prop_assert_eq!(&packed, &dump(&engines[2]), "iteration: packed vs compact");
+        prop_assert_eq!(&packed, &dump(&engines[3]), "iteration: packed vs hybrid");
         // And everything drains identically.
         for e in &mut engines {
             e.pump_reclaim(u64::MAX);
             prop_assert_eq!(e.reclaim_pending(), 0);
         }
+    }
+}
+
+/// Ops for the ordered-plane model check: mutations plus bounded scans.
+#[derive(Debug, Clone)]
+enum OrderedOp {
+    Put(u16, Vec<u8>),
+    Delete(u16),
+    Scan(u16, usize),
+}
+
+fn ordered_op_strategy() -> impl Strategy<Value = OrderedOp> {
+    let val = proptest::collection::vec(any::<u8>(), 0..40);
+    prop_oneof![
+        4 => (any::<u16>(), val).prop_map(|(k, v)| OrderedOp::Put(k, v)),
+        2 => any::<u16>().prop_map(OrderedOp::Delete),
+        2 => (any::<u16>(), 1..24usize).prop_map(|(k, l)| OrderedOp::Scan(k, l)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The hybrid index's ordered iteration must match a `BTreeMap` model
+    /// exactly — every bounded scan mid-sequence and the final full walk —
+    /// while random put/delete interleavings push the packed half through
+    /// incremental resizes (the engine is under-sized on purpose, so any
+    /// skiplist/table drift during a split shows up as a wrong scan).
+    #[test]
+    fn hybrid_ordered_iteration_matches_btreemap_model(
+        ops in proptest::collection::vec(ordered_op_strategy(), 1..400),
+    ) {
+        let mut e = engine(IndexKind::Hybrid);
+        let mut model = std::collections::BTreeMap::<Vec<u8>, Vec<u8>>::new();
+        let mut scratch = Vec::new();
+        let mut resized = false;
+        for (step, op) in ops.iter().enumerate() {
+            match op {
+                OrderedOp::Put(k, v) => {
+                    e.put(0, &key_of(*k), v).expect("put");
+                    model.insert(key_of(*k), v.clone());
+                }
+                OrderedOp::Delete(k) => {
+                    let removed = e.delete(0, &key_of(*k)).is_ok();
+                    prop_assert_eq!(
+                        removed,
+                        model.remove(&key_of(*k)).is_some(),
+                        "delete presence diverged at step {}", step
+                    );
+                }
+                OrderedOp::Scan(k, limit) => {
+                    let start = key_of(*k);
+                    let mut got: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+                    let exhausted = e.scan_into(&start, &mut scratch, |key, value| {
+                        got.push((key.to_vec(), value.to_vec()));
+                        got.len() < *limit
+                    });
+                    let want: Vec<(Vec<u8>, Vec<u8>)> = model
+                        .range(start..)
+                        .take(*limit)
+                        .map(|(k, v)| (k.clone(), v.clone()))
+                        .collect();
+                    prop_assert_eq!(&got, &want, "scan diverged at step {}", step);
+                    prop_assert_eq!(
+                        exhausted,
+                        want.len() < *limit,
+                        "exhaustion flag diverged at step {}", step
+                    );
+                }
+            }
+            prop_assert_eq!(e.len(), model.len());
+            resized |= e.index_resizing();
+        }
+        if e.len() >= 64 {
+            prop_assert!(
+                resized || e.table_stats().resizes > 0,
+                "hybrid hash half never resized despite {} live items", e.len()
+            );
+        }
+        // Full ordered walk from the empty key equals the whole model.
+        let mut walk: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        let exhausted = e.scan_into(b"", &mut scratch, |k, v| {
+            walk.push((k.to_vec(), v.to_vec()));
+            true
+        });
+        prop_assert!(exhausted);
+        let full: Vec<(Vec<u8>, Vec<u8>)> = model
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        prop_assert_eq!(walk, full, "final ordered walk differs from model");
     }
 }
 

@@ -53,11 +53,22 @@ fn count_allocs(f: impl FnOnce()) -> u64 {
     ALLOCS.load(Ordering::Relaxed) - before
 }
 
+/// Measures an idempotent read-only loop three times and keeps the smallest
+/// count. The global counter sees every thread in the process, and libtest's
+/// main thread lazily allocates its channel-wait context at an arbitrary
+/// moment while blocking on this test — a one-time foreign init can pollute
+/// at most one repetition, while a genuine per-call allocation in the
+/// measured path shows up in all three.
+fn count_allocs_min(mut f: impl FnMut()) -> u64 {
+    (0..3).map(|_| count_allocs(&mut f)).min().unwrap()
+}
+
 #[test]
 fn hot_paths_do_not_allocate() {
     decode_is_zero_alloc();
     steady_state_get_into_is_zero_alloc();
     packed_probe_paths_are_zero_alloc_at_high_lf_and_mid_resize();
+    hybrid_point_lookup_and_scan_paths_are_zero_alloc();
     shared_cache_lookup_is_zero_alloc();
     clock_cache_lookup_is_zero_alloc();
     server_get_alloc_count_is_constant();
@@ -84,7 +95,7 @@ fn packed_probe_paths_are_zero_alloc_at_high_lf_and_mid_resize() {
     }
     let mut scratch = Vec::new();
     engine.get_into(1, &keys[0], &mut scratch).unwrap();
-    let allocs = count_allocs(|| {
+    let allocs = count_allocs_min(|| {
         for round in 0..1_000u64 {
             let k = &keys[(round as usize) % keys.len()];
             assert!(engine.get_into(round, k, &mut scratch).is_some());
@@ -99,7 +110,7 @@ fn packed_probe_paths_are_zero_alloc_at_high_lf_and_mid_resize() {
     let refs: Vec<&[u8]> = keys.iter().take(64).map(|k| k.as_slice()).collect();
     let mut hits = 0usize;
     engine.get_batch_into(2, &refs, &mut scratch, |_, _, _| {});
-    let allocs = count_allocs(|| {
+    let allocs = count_allocs_min(|| {
         for round in 0..100u64 {
             engine.get_batch_into(round, &refs, &mut scratch, |_, info, _| {
                 if info.is_some() {
@@ -108,7 +119,7 @@ fn packed_probe_paths_are_zero_alloc_at_high_lf_and_mid_resize() {
             });
         }
     });
-    assert_eq!(hits, 6_400);
+    assert_eq!(hits, 3 * 6_400);
     assert_eq!(allocs, 0, "packed batched GET must not allocate");
 
     // Drive an incremental resize into flight, then probe mid-resize.
@@ -122,7 +133,7 @@ fn packed_probe_paths_are_zero_alloc_at_high_lf_and_mid_resize() {
         i += 1;
         assert!(i < 1_000_000, "resize never started");
     }
-    let allocs = count_allocs(|| {
+    let allocs = count_allocs_min(|| {
         for round in 0..1_000u64 {
             let k = &keys[(round as usize) % keys.len()];
             assert!(engine.get_into(round, k, &mut scratch).is_some());
@@ -132,6 +143,77 @@ fn packed_probe_paths_are_zero_alloc_at_high_lf_and_mid_resize() {
     assert!(
         engine.index_resizing(),
         "read-only probing must not migrate groups"
+    );
+}
+
+/// The hybrid index's hot paths stay allocation-free: point lookups route
+/// through the same SWAR hash probe as the packed table, and ordered scans
+/// walk the skiplist's level-0 chain directly out of the interned-key arena.
+/// The continuation pattern — re-entering `scan_into` at `last_key + 0x00`,
+/// exactly what the server does between scan quanta — must also allocate
+/// nothing once the cursor buffer is sized.
+fn hybrid_point_lookup_and_scan_paths_are_zero_alloc() {
+    let mut engine = ShardEngine::new(EngineConfig {
+        arena_words: 1 << 16,
+        expected_items: 512,
+        index: IndexKind::Hybrid,
+        write_mode: WriteMode::Reliable,
+        min_lease_ns: 1_000,
+        max_lease_ns: 64_000,
+    });
+    assert!(engine.scan_is_native());
+    let keys: Vec<Vec<u8>> = (0..400)
+        .map(|i| format!("ordk{i:06}").into_bytes())
+        .collect();
+    for k in &keys {
+        engine.insert(0, k, &[0x42; 32]).unwrap();
+    }
+
+    // Point lookups through the hash half of the hybrid.
+    let mut scratch = Vec::new();
+    engine.get_into(1, &keys[0], &mut scratch).unwrap();
+    let allocs = count_allocs_min(|| {
+        for round in 0..1_000u64 {
+            let k = &keys[(round as usize) % keys.len()];
+            assert!(engine.get_into(round, k, &mut scratch).is_some());
+        }
+    });
+    assert_eq!(allocs, 0, "hybrid point GET must not allocate");
+
+    // Ordered scans through the skiplist half, including quantum-style
+    // continuations. Warm up once to size scratch and the cursor buffer.
+    let mut cursor = Vec::with_capacity(64);
+    let run_scan = |engine: &mut ShardEngine, scratch: &mut Vec<u8>, cursor: &mut Vec<u8>| {
+        let mut emitted = 0usize;
+        // First quantum: 16 items from a fixed start key.
+        engine.scan_into(b"ordk000100", scratch, |k, _v| {
+            emitted += 1;
+            if emitted == 16 {
+                cursor.clear();
+                cursor.extend_from_slice(k);
+                cursor.push(0);
+                return false;
+            }
+            true
+        });
+        // Continuation quantum: resume just past the last delivered key.
+        engine.scan_into(cursor, scratch, |_k, _v| {
+            emitted += 1;
+            emitted < 32
+        });
+        emitted
+    };
+    assert_eq!(run_scan(&mut engine, &mut scratch, &mut cursor), 32);
+    let mut total = 0usize;
+    let allocs = count_allocs_min(|| {
+        for _ in 0..100 {
+            total += run_scan(&mut engine, &mut scratch, &mut cursor);
+        }
+    });
+    assert_eq!(total, 3 * 3_200);
+    assert_eq!(
+        allocs, 0,
+        "hybrid scan + continuation hot path must not allocate"
     );
 }
 
@@ -148,7 +230,7 @@ fn shared_cache_lookup_is_zero_alloc() {
     // Warm-up: the first guard pin may set up thread-local epoch state.
     assert_eq!(m.get_with(keys[0].as_slice()), Some(0));
     let mut hits = 0usize;
-    let allocs = count_allocs(|| {
+    let allocs = count_allocs_min(|| {
         for round in 0..1_000usize {
             let k: &[u8] = &keys[round % 64];
             if m.get_with(k).is_some() {
@@ -156,7 +238,7 @@ fn shared_cache_lookup_is_zero_alloc() {
             }
         }
     });
-    assert_eq!(hits, 1_000);
+    assert_eq!(hits, 3_000);
     assert_eq!(allocs, 0, "borrowed-key cache lookup must not allocate");
 }
 
@@ -171,14 +253,14 @@ fn clock_cache_lookup_is_zero_alloc() {
     }
     assert_eq!(c.get(&keys[0]), Some(0));
     let mut hits = 0usize;
-    let allocs = count_allocs(|| {
+    let allocs = count_allocs_min(|| {
         for round in 0..1_000usize {
             if c.get(&keys[round % 64]).is_some() {
                 hits += 1;
             }
         }
     });
-    assert_eq!(hits, 1_000);
+    assert_eq!(hits, 3_000);
     assert_eq!(allocs, 0, "CLOCK cache hit path must not allocate");
 }
 
@@ -215,9 +297,15 @@ fn decode_is_zero_alloc() {
             keys: KeyList::Slices(&keys),
         }
         .encode(),
+        Request::Scan {
+            req_id: 6,
+            start: b"user:42",
+            limit: 100,
+        }
+        .encode(),
     ];
     let mut total_keys = 0usize;
-    let allocs = count_allocs(|| {
+    let allocs = count_allocs_min(|| {
         for p in &payloads {
             let req = Request::decode(p).expect("well-formed");
             match req {
@@ -231,6 +319,9 @@ fn decode_is_zero_alloc() {
                     for k in keys.iter() {
                         total_keys += k.len();
                     }
+                }
+                Request::Scan { start, .. } => {
+                    total_keys += start.len();
                 }
             }
         }
@@ -257,7 +348,7 @@ fn steady_state_get_into_is_zero_alloc() {
     let mut scratch = Vec::new();
     engine.get_into(1, &keys[0], &mut scratch).unwrap();
     let mut hits = 0usize;
-    let allocs = count_allocs(|| {
+    let allocs = count_allocs_min(|| {
         for round in 0..1_000u64 {
             let k = &keys[(round % 64) as usize];
             if engine.get_into(round, k, &mut scratch).is_some() {
@@ -265,7 +356,7 @@ fn steady_state_get_into_is_zero_alloc() {
             }
         }
     });
-    assert_eq!(hits, 1_000);
+    assert_eq!(hits, 3_000);
     assert_eq!(allocs, 0, "steady-state GET must not allocate");
 }
 
