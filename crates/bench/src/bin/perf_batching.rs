@@ -12,9 +12,16 @@
 //! (`post_wqe_ns = 180`) so the comparison isolates batching, not a cost
 //! model asymmetry: the default configuration keeps `post_wqe_ns = 0` and
 //! is untouched by this study.
+//!
+//! The AIMD congestion window (on by default) is disabled here: this is an
+//! ablation of *fixed-depth* batching, and an adaptive controller would
+//! fight the very knob the grid sweeps (at depth 64 it throttles the window
+//! to cap client-observed latency, which is its job in production and
+//! exactly wrong in a throughput ablation — `perf_mix` covers the adaptive
+//! behaviour).
 
 use hydra_bench::{one_workload, paper_cluster_config, Report, ReportRow, Scale};
-use hydra_db::{ClientMode, ClusterBuilder, ClusterConfig};
+use hydra_db::{AimdConfig, ClientMode, ClusterBuilder, ClusterConfig};
 use hydra_ycsb::{run_workload, DriverConfig};
 
 const CLIENTS: usize = 50;
@@ -25,6 +32,10 @@ fn run_point(depth: usize, batch: usize, scale: Scale) -> (hydra_ycsb::WorkloadR
         client_mode: ClientMode::RdmaWrite,
         pipeline_depth: depth,
         max_batch: batch,
+        aimd: AimdConfig {
+            enabled: false,
+            ..AimdConfig::default()
+        },
         ..paper_cluster_config()
     };
     cfg.costs.post_wqe_ns = POST_WQE_NS;

@@ -85,23 +85,71 @@ fn bench_scans(e: &mut ShardEngine, records: u64, scans: usize, seed: u64) -> (f
     (scans as f64 / secs, items)
 }
 
-/// Point-GET throughput (Mops) over a scrambled probe order.
-fn bench_gets(e: &mut ShardEngine, records: u64, ops: usize, seed: u64) -> f64 {
+/// Point-GET throughput (Mops) for both engines over the same scrambled
+/// probe order, measured in *interleaved* rounds with alternating engine
+/// order. A sequential A-then-B measurement systematically favours whichever
+/// engine runs second (warmed caches, settled frequency scaling, completed
+/// page faults): the original layout measured hybrid first and packed
+/// second, and the resulting bias exceeded the true index overhead, showing
+/// up as a spurious *negative* "regression". Interleaving slices the probe
+/// stream into short rounds and swaps which engine goes first each round, so
+/// both engines sample the same machine conditions.
+/// Returns `(hybrid Mops, packed Mops, regression %)`. The throughputs are
+/// total-time aggregates; the regression estimate is the *median* of the
+/// per-round packed/hybrid time ratios, so a transient load spike that lands
+/// on a single round (wall-clock probes on a shared machine) cannot swing
+/// the acceptance gate the way it swings the aggregate.
+fn bench_gets_interleaved(
+    hybrid: &mut ShardEngine,
+    packed: &mut ShardEngine,
+    records: u64,
+    ops: usize,
+    seed: u64,
+) -> (f64, f64, f64) {
+    const ROUNDS: usize = 16;
     let mut lcg = Lcg(seed);
-    let keys: Vec<Vec<u8>> = (0..ops)
+    let per_round = (ops / ROUNDS).max(1);
+    let keys: Vec<Vec<u8>> = (0..per_round * ROUNDS)
         .map(|_| key_of(ZipfianGenerator::fnv_scramble(lcg.next()) % records))
         .collect();
     let mut scratch = Vec::new();
-    let start_t = Instant::now();
-    let mut hits = 0usize;
-    for (round, k) in keys.iter().enumerate() {
-        if e.get_into(round as u64, k, &mut scratch).is_some() {
-            hits += 1;
+    let probe = |e: &mut ShardEngine, round: usize, scratch: &mut Vec<u8>| -> f64 {
+        let slice = &keys[round * per_round..(round + 1) * per_round];
+        let start_t = Instant::now();
+        let mut hits = 0usize;
+        for (i, k) in slice.iter().enumerate() {
+            if e.get_into(i as u64, k, scratch).is_some() {
+                hits += 1;
+            }
         }
+        let secs = start_t.elapsed().as_secs_f64();
+        assert_eq!(hits, slice.len(), "all probes target loaded keys");
+        secs
+    };
+    let (mut t_hy, mut t_pk) = (0.0f64, 0.0f64);
+    let mut ratios = Vec::with_capacity(ROUNDS);
+    for round in 0..ROUNDS {
+        let (hy, pk) = if round % 2 == 0 {
+            let hy = probe(hybrid, round, &mut scratch);
+            let pk = probe(packed, round, &mut scratch);
+            (hy, pk)
+        } else {
+            let pk = probe(packed, round, &mut scratch);
+            let hy = probe(hybrid, round, &mut scratch);
+            (hy, pk)
+        };
+        t_hy += hy;
+        t_pk += pk;
+        ratios.push(pk / hy.max(1e-12));
     }
-    let secs = start_t.elapsed().as_secs_f64().max(1e-9);
-    assert_eq!(hits, ops, "all probes target loaded keys");
-    ops as f64 / secs / 1e6
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    let median_ratio = (ratios[ROUNDS / 2 - 1] + ratios[ROUNDS / 2]) / 2.0;
+    let total = (per_round * ROUNDS) as f64;
+    (
+        total / t_hy.max(1e-9) / 1e6,
+        total / t_pk.max(1e-9) / 1e6,
+        (1.0 - median_ratio) * 100.0,
+    )
 }
 
 fn main() {
@@ -143,9 +191,8 @@ fn main() {
         hy_items as f64 / hybrid_scans as f64
     ));
 
-    let g_hy = bench_gets(&mut hybrid, records, get_ops, 19);
-    let g_pk = bench_gets(&mut packed, records, get_ops, 19);
-    let regression_pct = (1.0 - g_hy / g_pk) * 100.0;
+    let (g_hy, g_pk, regression_pct) =
+        bench_gets_interleaved(&mut hybrid, &mut packed, records, get_ops, 19);
     report.line(&format!(
         "{:<22} {:>16.2} {:>16.2} {:>9.2}%",
         "point_get_mops", g_hy, g_pk, regression_pct

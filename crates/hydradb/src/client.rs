@@ -37,12 +37,12 @@ use hydra_sim::time::SimTime;
 use hydra_sim::{Histogram, Sim};
 use hydra_store::{FetchedItem, ItemError};
 use hydra_wire::{
-    frame, scan_items_begin, scan_items_finish, scan_items_push, BatchBuilder, BatchFrame, KeyList,
-    RemotePtr, Request, Response, ScanItems, Status, MAX_EXPORT_PTRS,
+    backlog_hint, frame, scan_items_begin, scan_items_finish, scan_items_push, BatchBuilder,
+    BatchFrame, KeyList, RemotePtr, Request, Response, ScanItems, Status, MAX_EXPORT_PTRS,
 };
 
 use crate::cluster::Directory;
-use crate::config::ClusterConfig;
+use crate::config::{AimdConfig, ClusterConfig};
 use crate::server::{ServerConn, ShardServer};
 
 /// Client-visible operation failures.
@@ -236,6 +236,76 @@ struct ScanState {
     issued_at: SimTime,
 }
 
+/// Per-connection AIMD congestion window bounding how many requests the
+/// pipelined client packs into one frame. Two signals drive it, both read
+/// from settled response frames: the server's piggybacked backlog hint
+/// (µs of shard-core work queued at response time, riding the response pad
+/// bytes) and the frame's observed completion latency. A congested frame
+/// (hint at or above the high watermark, or latency above target) halves
+/// the window; a comfortably clear frame (hint at or below the low
+/// watermark) grows it by one; in between it holds. The window starts at
+/// the configured maximum — an unloaded cluster keeps full-rate batching
+/// from the first frame, and only measured congestion sheds it.
+#[derive(Debug, Clone)]
+pub struct AimdWindow {
+    cwnd: f64,
+    min: usize,
+    max: usize,
+    increase: f64,
+    decrease: f64,
+    backlog_lo_us: u16,
+    backlog_hi_us: u16,
+    latency_target_ns: SimTime,
+}
+
+impl AimdWindow {
+    /// Builds a controller from the cluster's AIMD knobs, capped at `max`
+    /// requests per frame (the transport's `max_batch`).
+    pub fn new(cfg: &AimdConfig, max: usize) -> AimdWindow {
+        let max = max.max(1);
+        AimdWindow {
+            cwnd: max as f64,
+            min: cfg.min_window.clamp(1, max),
+            max,
+            increase: cfg.increase,
+            decrease: cfg.decrease,
+            backlog_lo_us: cfg.backlog_lo_us,
+            backlog_hi_us: cfg.backlog_hi_us,
+            latency_target_ns: cfg.latency_target_ns,
+        }
+    }
+
+    /// Current window: how many requests the next frame may carry.
+    pub fn window(&self) -> usize {
+        (self.cwnd as usize).clamp(self.min, self.max)
+    }
+
+    /// Feeds one settled response frame into the controller: `max_hint_us`
+    /// is the largest backlog hint across the frame's responses and
+    /// `frame_latency_ns` the ship-to-settle time of the whole frame.
+    pub fn on_frame(&mut self, max_hint_us: u16, frame_latency_ns: SimTime) {
+        if max_hint_us >= self.backlog_hi_us || frame_latency_ns > self.latency_target_ns {
+            self.cwnd = (self.cwnd * self.decrease).max(self.min as f64);
+        } else if max_hint_us <= self.backlog_lo_us {
+            self.cwnd = (self.cwnd + self.increase).min(self.max as f64);
+        }
+        // Between the watermarks: hold — the backlog is draining.
+    }
+
+    /// A frame timed out entirely: treat it as maximal congestion.
+    pub fn on_timeout(&mut self) {
+        self.on_frame(u16::MAX, SimTime::MAX);
+    }
+}
+
+/// A request frame awaiting its response frame.
+struct FrameInflight {
+    /// Frame timeout event (None only transiently while arming).
+    timeout_ev: Option<hydra_sim::EventId>,
+    /// When the frame shipped — settling measures frame latency for AIMD.
+    issued_at: SimTime,
+}
+
 struct ClientConn {
     server: Rc<RefCell<ShardServer>>,
     qp: QpId,
@@ -271,9 +341,10 @@ pub(crate) struct ClientInner {
     window: HashMap<u64, Outstanding>,
     /// Pipelined mode: per-partition queues awaiting a free frame slot.
     queued: HashMap<u32, std::collections::VecDeque<QueuedOp>>,
-    /// Partitions with a request batch frame awaiting its response frame,
-    /// mapped to the frame's timeout event.
-    frame_inflight: HashMap<u32, Option<hydra_sim::EventId>>,
+    /// Partitions with a request batch frame awaiting its response frame.
+    frame_inflight: HashMap<u32, FrameInflight>,
+    /// Per-partition AIMD congestion windows (RDMA-Write pipelined mode).
+    aimd: HashMap<u32, AimdWindow>,
     /// Reused request-frame builder for the pipelined path.
     req_batch: BatchBuilder,
     stats: ClientStats,
@@ -316,6 +387,7 @@ impl HydraClient {
                 window: HashMap::new(),
                 queued: HashMap::new(),
                 frame_inflight: HashMap::new(),
+                aimd: HashMap::new(),
                 req_batch: BatchBuilder::new(),
                 stats: ClientStats::default(),
             })),
@@ -1427,8 +1499,22 @@ impl HydraClient {
             builder.clear();
             let mut req_ids = Vec::new();
             let inner = &mut *inner;
+            // AIMD: the congestion window bounds the frame below max_batch;
+            // excess operations stay queued client-side (the window sheds
+            // load instead of deepening the server's run queue).
+            let window = if inner.cfg.aimd.enabled {
+                let cfg = &inner.cfg;
+                inner
+                    .aimd
+                    .entry(partition)
+                    .or_insert_with(|| AimdWindow::new(&cfg.aimd, max_batch))
+                    .window()
+                    .min(max_batch)
+            } else {
+                max_batch
+            };
             let q = inner.queued.get_mut(&partition).expect("checked above");
-            while (builder.count() as usize) < max_batch {
+            while (builder.count() as usize) < window {
                 let Some(front) = q.front() else { break };
                 let grown = frame::frame_words(builder.byte_len_with(front.payload.len()));
                 if !builder.is_empty() && grown > slot_words {
@@ -1442,7 +1528,13 @@ impl HydraClient {
             let words = frame::frame_to_words(builder.bytes());
             inner.req_batch = builder;
             // Reserve the frame slot now; the timeout event id lands below.
-            inner.frame_inflight.insert(partition, None);
+            inner.frame_inflight.insert(
+                partition,
+                FrameInflight {
+                    timeout_ev: None,
+                    issued_at: sim.now(),
+                },
+            );
             let conn = &inner.conns[&partition];
             (
                 inner.fab.clone(),
@@ -1469,10 +1561,9 @@ impl HydraClient {
         let ev = sim.schedule_in(timeout, move |sim| {
             this.on_frame_timeout(sim, partition, ids)
         });
-        self.inner
-            .borrow_mut()
-            .frame_inflight
-            .insert(partition, Some(ev));
+        if let Some(inflight) = self.inner.borrow_mut().frame_inflight.get_mut(&partition) {
+            inflight.timeout_ev = Some(ev);
+        }
     }
 
     fn pump_send_recv(&self, sim: &mut Sim, partition: u32) {
@@ -1521,19 +1612,34 @@ impl HydraClient {
     /// One response frame answers one request frame: settle every response,
     /// release the frame slot, and pump the next window.
     fn on_response_batch(&self, sim: &mut Sim, partition: u32, payload: Vec<u8>) {
-        let timeout_ev = {
+        let inflight = {
             let mut inner = self.inner.borrow_mut();
-            inner.frame_inflight.remove(&partition).flatten()
+            inner.frame_inflight.remove(&partition)
         };
-        if let Some(ev) = timeout_ev {
+        if let Some(ev) = inflight.as_ref().and_then(|f| f.timeout_ev) {
             sim.cancel(ev);
         }
         let batch = BatchFrame::parse(&payload).expect("well-formed response batch");
+        // The server stamps its backlog (µs) into every response; the worst
+        // message of the frame is the congestion signal.
+        let mut max_hint: u16 = 0;
         for msg in batch.iter() {
+            max_hint = max_hint.max(backlog_hint(msg));
             let resp = Response::decode(msg).expect("well-formed response");
             let out = self.inner.borrow_mut().window.remove(&resp.req_id);
             if let Some(out) = out {
                 self.complete_op(sim, out, &resp);
+            }
+        }
+        {
+            let mut inner = self.inner.borrow_mut();
+            if inner.cfg.aimd.enabled {
+                if let Some(win) = inner.aimd.get_mut(&partition) {
+                    let frame_lat = inflight
+                        .map(|f| sim.now().saturating_sub(f.issued_at))
+                        .unwrap_or(0);
+                    win.on_frame(max_hint, frame_lat);
+                }
             }
         }
         self.pump(sim, partition);
@@ -1552,6 +1658,11 @@ impl HydraClient {
                 .filter_map(|id| inner.window.remove(id))
                 .collect();
             inner.stats.timeouts += outs.len() as u64;
+            if inner.cfg.aimd.enabled {
+                if let Some(win) = inner.aimd.get_mut(&partition) {
+                    win.on_timeout();
+                }
+            }
             outs
         };
         for out in outs {
@@ -1722,5 +1833,63 @@ fn encode_request(kind: OpKind, req_id: u64, key: &[u8], value: &[u8]) -> Vec<u8
         }
         .encode(),
         OpKind::RdmaGet | OpKind::LeaseRenew => unreachable!("not message ops"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Golden trace of the AIMD controller: cold start at line rate, a
+    /// congestion step (high backlog hints) walking the window down
+    /// multiplicatively to the floor, a hold band that leaves it put, and
+    /// additive recovery back to the cap. Pure function of its inputs —
+    /// any behavioural change to the controller must rewrite this trace.
+    #[test]
+    fn aimd_window_golden_trace() {
+        let cfg = AimdConfig::default();
+        assert!(cfg.enabled);
+        let mut w = AimdWindow::new(&cfg, 16);
+        // Cold start: full window (an unloaded cluster keeps max batching).
+        assert_eq!(w.window(), 16);
+        // Congestion step: backlog hint at the high watermark halves the
+        // window per frame down to the floor.
+        let mut trace = Vec::new();
+        for _ in 0..6 {
+            w.on_frame(cfg.backlog_hi_us, 10_000);
+            trace.push(w.window());
+        }
+        assert_eq!(trace, vec![8, 4, 2, 1, 1, 1]);
+        // Hold band: a hint between the watermarks leaves the window alone.
+        w.on_frame(cfg.backlog_lo_us + 1, 10_000);
+        assert_eq!(w.window(), 1);
+        // Recovery: clear frames (hint at/below the low watermark) climb
+        // additively, capped at max_batch.
+        let mut trace = Vec::new();
+        for _ in 0..16 {
+            w.on_frame(0, 10_000);
+            trace.push(w.window());
+        }
+        assert_eq!(
+            trace,
+            vec![2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 16]
+        );
+        // A latency breach alone (hint clear) is also congestion.
+        w.on_frame(0, cfg.latency_target_ns + 1);
+        assert_eq!(w.window(), 8);
+        // A frame timeout is maximal congestion.
+        let mut w2 = AimdWindow::new(&cfg, 16);
+        w2.on_timeout();
+        assert_eq!(w2.window(), 8);
+        // The floor respects min_window even against the decrease factor.
+        let floor_cfg = AimdConfig {
+            min_window: 4,
+            ..AimdConfig::default()
+        };
+        let mut w3 = AimdWindow::new(&floor_cfg, 16);
+        for _ in 0..10 {
+            w3.on_timeout();
+        }
+        assert_eq!(w3.window(), 4);
     }
 }

@@ -54,6 +54,63 @@ impl ClientMode {
     }
 }
 
+/// Per-shard run-queue discipline for the single-threaded execution model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// Arrival-order service: every request reserves shard-core time the
+    /// moment it lands (the pre-§12 behaviour). A point GET that arrives
+    /// behind a full scan quantum waits out the whole quantum.
+    Fifo,
+    /// Dual-lane deficit-round-robin: point ops (GET/PUT/DELETE) ride a
+    /// latency lane, SCANs and batch quanta ride a throughput lane, and
+    /// running scans yield the core at chunk boundaries whenever the
+    /// latency lane is non-empty (§12). Applies only under
+    /// [`ExecModel::SingleThreaded`]; the decoupled ablation models keep
+    /// their legacy dispatch paths.
+    DualLane,
+}
+
+/// Client-side AIMD window controller parameters (§12.4): the pipelined
+/// client's per-connection issue window grows additively while the shard
+/// reports a shallow backlog and is cut multiplicatively when the response
+/// frames carry a deep backlog hint (or completion latency blows past the
+/// target), so scan-congested shards shed window instead of queueing.
+#[derive(Debug, Clone)]
+pub struct AimdConfig {
+    /// Gate for the controller; off = fixed `max_batch` packing.
+    pub enabled: bool,
+    /// Floor on the congestion window (requests per frame).
+    pub min_window: usize,
+    /// Additive increase per congestion-free response frame.
+    pub increase: f64,
+    /// Multiplicative decrease factor applied on congestion (0 < f < 1).
+    pub decrease: f64,
+    /// Backlog hint (µs of queued shard-core work) at or below which the
+    /// window may grow.
+    pub backlog_lo_us: u16,
+    /// Backlog hint at or above which the window is cut.
+    pub backlog_hi_us: u16,
+    /// Frame completion latency above which the window is cut even without
+    /// a backlog hint (covers SendRecv and hint-less servers).
+    pub latency_target_ns: SimTime,
+}
+
+impl Default for AimdConfig {
+    fn default() -> Self {
+        AimdConfig {
+            enabled: true,
+            min_window: 1,
+            increase: 1.0,
+            decrease: 0.5,
+            // A response frame normally reports ≤ a few µs of backlog (one
+            // point quantum); a scan quantum parked ahead reports ≥ 25 µs.
+            backlog_lo_us: 4,
+            backlog_hi_us: 16,
+            latency_target_ns: 200_000,
+        }
+    }
+}
+
 /// How writes replicate to secondaries (§5.2, Fig. 13).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReplicationMode {
@@ -125,6 +182,10 @@ pub struct CostModel {
     /// Per-returned-item cost of a SCAN: successor hop + key/value copy into
     /// the packed response.
     pub scan_item_ns: SimTime,
+    /// Cost to resume a preempted scan from its in-engine cursor (guardian
+    /// revalidation + one successor hop) — far cheaper than the full
+    /// `scan_base_ns` descent, and paid only when a scan actually yielded.
+    pub scan_resume_ns: SimTime,
 }
 
 impl Default for CostModel {
@@ -146,6 +207,7 @@ impl Default for CostModel {
             subshard_handoff_ns: 120,
             scan_base_ns: 600,
             scan_item_ns: 50,
+            scan_resume_ns: 150,
         }
     }
 }
@@ -217,6 +279,22 @@ pub struct ClusterConfig {
     /// quantum: the per-scan charge is `scan_base_ns + items × scan_item_ns`,
     /// and the item count is capped so the charge never exceeds this budget.
     pub scan_quantum_ns: SimTime,
+    /// Run-queue discipline for single-threaded shards (§12).
+    pub scheduler: SchedulerKind,
+    /// Items a running scan emits between preemption points under
+    /// [`SchedulerKind::DualLane`]: a latency-lane arrival forces the scan
+    /// to yield at the next chunk boundary (~`scan_chunk_items ×
+    /// scan_item_ns` away) instead of holding the core for the full quantum.
+    pub scan_chunk_items: u32,
+    /// Deficit-round-robin quantum credited to the latency lane per
+    /// scheduling round (ns of shard-core time).
+    pub latency_lane_quantum_ns: SimTime,
+    /// Deficit-round-robin quantum credited to the throughput lane per
+    /// scheduling round. The lane bandwidth ratio under saturation is
+    /// `latency_lane_quantum_ns : throughput_lane_quantum_ns`.
+    pub throughput_lane_quantum_ns: SimTime,
+    /// Client-side AIMD window controller (§12.4).
+    pub aimd: AimdConfig,
     /// Virtual nodes per shard on the consistent-hash ring.
     pub vnodes: u32,
     /// Whether shards allocate NUMA-locally (§4.1.2); `false` models the
@@ -281,6 +359,14 @@ impl Default for ClusterConfig {
             pipeline_depth: 1,
             max_batch: 16,
             scan_quantum_ns: 25_000,
+            scheduler: SchedulerKind::DualLane,
+            scan_chunk_items: 64,
+            // Equal lane quanta: a saturated shard splits core time evenly
+            // between point ops and scan/batch quanta; either lane may use
+            // the full core when the other is idle (DRR is work-conserving).
+            latency_lane_quantum_ns: 4_000,
+            throughput_lane_quantum_ns: 4_000,
+            aimd: AimdConfig::default(),
             vnodes: 64,
             numa_aware: true,
             min_lease_ns: 1_000_000_000,
@@ -316,6 +402,15 @@ mod tests {
     fn defaults_are_coherent() {
         let c = ClusterConfig::default();
         assert_eq!(c.total_shards(), 4);
+        assert_eq!(c.scheduler, SchedulerKind::DualLane);
+        // A scan chunk must fit inside the scan quantum, and the resume
+        // charge must undercut a fresh descent (else preemption never pays).
+        assert!(c.scan_chunk_items as u64 * c.costs.scan_item_ns <= c.scan_quantum_ns);
+        assert!(c.costs.scan_resume_ns < c.costs.scan_base_ns);
+        let a = &c.aimd;
+        assert!(a.min_window >= 1);
+        assert!(a.decrease > 0.0 && a.decrease < 1.0);
+        assert!(a.backlog_lo_us < a.backlog_hi_us);
         assert!(c.client_mode.rdma_read());
         assert!(c.client_mode.rdma_write());
         assert!(!ClientMode::SendRecv.rdma_write());

@@ -51,8 +51,11 @@ pub mod ring;
 pub mod server;
 
 pub use chaos::{ChaosController, RecordingClient};
+pub use client::AimdWindow;
 pub use client::{ClientStats, HydraClient, OpError};
 pub use cluster::{Cluster, ClusterBuilder, ClusterReport, PartitionReport, ShardHandle};
-pub use config::{ClientMode, ClusterConfig, CostModel, ExecModel, ReplicationMode};
+pub use config::{
+    AimdConfig, ClientMode, ClusterConfig, CostModel, ExecModel, ReplicationMode, SchedulerKind,
+};
 pub use hydra_store::IndexKind;
 pub use ring::{HashRing, ShardId};

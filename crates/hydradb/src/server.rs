@@ -15,6 +15,7 @@
 //! loses when the NIC already moves the data.
 
 use std::cell::RefCell;
+use std::collections::VecDeque;
 use std::rc::Rc;
 use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
@@ -22,14 +23,15 @@ use std::sync::Arc;
 use hydra_fabric::{Fabric, NodeId, QpId, RegionId};
 use hydra_replication::{replicate_strict, ReplicationPair};
 use hydra_sim::time::SimTime;
-use hydra_sim::{FifoResource, Sim};
+use hydra_sim::{EventId, FifoResource, Sim};
 use hydra_store::{EngineError, HeatSketch, ItemInfo, ShardEngine};
 use hydra_wire::{
-    frame, scan_items_begin, scan_items_finish, scan_items_push, BatchBuilder, BatchFrame, LogOp,
-    RemotePtr, ReplicaPtr, ReplicaSet, Request, Response, Status, MAX_EXPORT_PTRS,
+    for_each_message_mut, frame, scan_items_begin, scan_items_finish, scan_items_push,
+    set_backlog_hint, BatchBuilder, BatchFrame, LogOp, RemotePtr, ReplicaPtr, ReplicaSet, Request,
+    Response, Status, MAX_EXPORT_PTRS,
 };
 
-use crate::config::{ClusterConfig, ExecModel, ReplicationMode};
+use crate::config::{ClusterConfig, ExecModel, ReplicationMode, SchedulerKind};
 use crate::ring::ShardId;
 
 /// Buckets in the log2 observability histograms.
@@ -103,6 +105,17 @@ pub struct ServerStats {
     /// aggregate histogram keeps its one-sample-per-frame batching), so
     /// scan-induced backlog is distinguishable from point-op backlog.
     pub queue_depth_hist_by_op: [[u64; HIST_BUCKETS]; OP_KINDS],
+    /// Per-op-kind log2 histogram of *service time* (sojourn: arrival to
+    /// engine completion, ns), one row per [`op_slot`]. This is the server
+    /// side of the tail-latency story: queueing plus execution, before the
+    /// response travels back.
+    pub service_time_hist_by_op: [[u64; HIST_BUCKETS]; OP_KINDS],
+    /// Scan chunk grains executed by the dual-lane scheduler (a never-yielded
+    /// scan counts its whole dispatch as chunks too).
+    pub scan_chunks: u64,
+    /// Times a running scan was forced to yield at a chunk boundary because
+    /// the latency lane went non-empty.
+    pub scan_preemptions: u64,
 }
 
 /// A secondary's remotely readable arena, registered with the primary so
@@ -226,6 +239,160 @@ impl ReadPlane {
         self.exported_sets += 1;
         self.exported_ptrs += set.len() as u64;
         Some(set)
+    }
+}
+
+/// Index of the latency lane (GET / PUT / DELETE / lease traffic) in the
+/// dual-lane scheduler.
+const LAT: usize = 0;
+/// Index of the throughput lane (scans and batch quanta).
+const THR: usize = 1;
+
+/// In-engine state of a scan executing in preemptible chunks: the response
+/// accumulates across chunk executions and the cursor tracks the next key,
+/// so a yielded scan resumes exactly where it stopped and the final wire
+/// frame (items, `more` flag, count) is identical to an uninterrupted scan
+/// over a quiescent engine.
+struct ScanTask {
+    conn_idx: usize,
+    req_id: u64,
+    /// Next key to walk from (original start, then `last_key + 0x00`).
+    cursor: Vec<u8>,
+    /// Items still allowed (starts at `limit.min(scan_quantum_items)`).
+    remaining: u32,
+    /// Items already packed into `buf` by earlier chunks.
+    served: u32,
+    /// Accumulated packed-items payload (`scan_items_begin` applied).
+    buf: Vec<u8>,
+    arrived: SimTime,
+}
+
+/// One unit of work queued on a lane. The shard-core cost rides alongside
+/// in the lane deque (it is fixed at enqueue time).
+enum LaneTask {
+    /// A singleton point op (anything but SCAN), executed via [`ShardServer::execute`].
+    Point {
+        conn_idx: usize,
+        payload: Vec<u8>,
+        arrived: SimTime,
+    },
+    /// A whole batch frame, executed via [`ShardServer::execute_batch`].
+    Batch {
+        conn_idx: usize,
+        payload: Vec<u8>,
+        arrived: SimTime,
+    },
+    /// A singleton scan, executed in preemptible chunks.
+    Scan(ScanTask),
+}
+
+/// The task currently occupying the shard core under the dual-lane
+/// scheduler (at most one at a time; lanes queue behind it).
+struct Running {
+    /// Completion (or, once preempted, yield-boundary) event.
+    ev: EventId,
+    start: SimTime,
+    end: SimTime,
+    /// Service time before the first item grain of this dispatch (scan
+    /// descent or resume cost plus fixed per-op overheads); chunk boundaries
+    /// step from `start + head_ns`.
+    head_ns: SimTime,
+    /// Set when a yield is armed: items this dispatch will have served by
+    /// the boundary. Also marks the dispatch non-preemptible (one yield per
+    /// dispatch; the remainder re-queues and can be preempted again there).
+    yield_items: Option<u32>,
+    task: LaneTask,
+}
+
+/// Deficit-round-robin dual-lane run queue (§ tail-latency isolation): the
+/// latency lane holds point ops, the throughput lane scans and batch
+/// quanta. Each lane earns `quantum` ns of credit per visit and serves its
+/// FIFO head while the credit lasts, so point ops are isolated from
+/// scan/batch head-of-line blocking while the throughput lane keeps a
+/// configurable bandwidth share. Tasks are dispatched one at a time onto
+/// the shard core; queued tasks live here, not in the core's reservation
+/// queue, which is what makes scan preemption (releasing the core's
+/// reserved tail) possible.
+#[derive(Default)]
+struct DualLaneSched {
+    lanes: [VecDeque<(LaneTask, SimTime)>; 2],
+    /// Sum of queued (undispatched) costs per lane — the scheduler's share
+    /// of the backlog hint.
+    queued_ns: [SimTime; 2],
+    deficit: [SimTime; 2],
+    current: usize,
+    running: Option<Running>,
+    /// A detection-latency pump is armed (arrival found the shard fully
+    /// idle); further arrivals queue behind it instead of re-arming.
+    pump_armed: bool,
+}
+
+impl DualLaneSched {
+    /// Whether the shard is fully idle from the scheduler's point of view:
+    /// nothing running, nothing queued, no detection pump pending.
+    fn is_idle(&self) -> bool {
+        self.running.is_none()
+            && self.lanes[LAT].is_empty()
+            && self.lanes[THR].is_empty()
+            && !self.pump_armed
+    }
+
+    /// Total undispatched backlog across both lanes, in ns of shard-core time.
+    fn queued_total(&self) -> SimTime {
+        self.queued_ns[LAT] + self.queued_ns[THR]
+    }
+
+    fn enqueue(&mut self, lane: usize, task: LaneTask, cost: SimTime) {
+        self.queued_ns[lane] += cost;
+        self.lanes[lane].push_back((task, cost));
+    }
+
+    /// Re-queues a yielded scan remainder at the *front* of its lane: it
+    /// already consumed throughput-lane credit, so it goes next when the
+    /// lane is served again.
+    fn push_front(&mut self, lane: usize, task: LaneTask, cost: SimTime) {
+        self.queued_ns[lane] += cost;
+        self.lanes[lane].push_front((task, cost));
+    }
+
+    /// DRR pick: serves the current lane's FIFO head while its deficit
+    /// lasts, crediting `quantum[lane]` and rotating otherwise. Deficits
+    /// reset when the queue fully drains, so an idle period never banks
+    /// credit.
+    fn next(&mut self, quantum: [SimTime; 2]) -> Option<(LaneTask, SimTime)> {
+        if self.lanes[LAT].is_empty() && self.lanes[THR].is_empty() {
+            self.deficit = [0; 2];
+            return None;
+        }
+        loop {
+            let lane = self.current;
+            match self.lanes[lane].front() {
+                None => {
+                    self.deficit[lane] = 0;
+                    self.current ^= 1;
+                }
+                Some((_, cost)) if self.deficit[lane] >= *cost => {
+                    let (task, cost) = self.lanes[lane].pop_front().expect("non-empty head");
+                    self.deficit[lane] -= cost;
+                    self.queued_ns[lane] = self.queued_ns[lane].saturating_sub(cost);
+                    return Some((task, cost));
+                }
+                Some(_) => {
+                    self.deficit[lane] += quantum[lane].max(1);
+                    self.current ^= 1;
+                }
+            }
+        }
+    }
+
+    /// Drops everything queued (shard crashed); returns the task count.
+    fn clear_queued(&mut self) -> u64 {
+        let n = (self.lanes[LAT].len() + self.lanes[THR].len()) as u64;
+        self.lanes[LAT].clear();
+        self.lanes[THR].clear();
+        self.queued_ns = [0; 2];
+        self.deficit = [0; 2];
+        n
     }
 }
 
@@ -504,6 +671,9 @@ pub struct ShardServer {
     resp_batch: BatchBuilder,
     /// Heat tracking + replica pointer export (read spreading).
     plane: ReadPlane,
+    /// Dual-lane DRR run queue (used when `cfg.scheduler` is `DualLane`
+    /// under the single-threaded execution model; empty otherwise).
+    sched: DualLaneSched,
 }
 
 impl ShardServer {
@@ -557,6 +727,7 @@ impl ShardServer {
             scan_scratch: Vec::new(),
             resp_batch: BatchBuilder::new(),
             plane,
+            sched: DualLaneSched::default(),
         }))
     }
 
@@ -693,7 +864,11 @@ impl ShardServer {
             Self::on_batch_payload(this, sim, conn_idx, payload);
             return;
         }
-        let done_at = {
+        if this.borrow().dual_lane() {
+            Self::on_single_dual(this, sim, conn_idx, payload);
+            return;
+        }
+        let (done_at, arrived) = {
             let mut s = this.borrow_mut();
             if !s.alive {
                 s.stats.dropped_while_dead += 1;
@@ -757,12 +932,351 @@ impl ShardServer {
                     s.workers[sub].acquire(routed, cost)
                 }
             };
-            done_at
+            (done_at, now)
         };
         let this2 = this.clone();
         sim.schedule_at(done_at, move |sim| {
-            Self::execute(&this2, sim, conn_idx, payload);
+            Self::execute(&this2, sim, conn_idx, payload, arrived);
         });
+    }
+
+    /// Whether this shard runs the dual-lane DRR scheduler (single-threaded
+    /// execution model only; the §6.2.1 decoupled ablations keep their own
+    /// dispatch paths).
+    fn dual_lane(&self) -> bool {
+        matches!(self.cfg.exec_model, ExecModel::SingleThreaded)
+            && matches!(self.cfg.scheduler, SchedulerKind::DualLane)
+    }
+
+    /// Dual-lane arrival path for singleton requests: classify into a lane
+    /// (scans → throughput, everything else → latency), account arrival
+    /// stats, and kick the scheduler. A latency-lane arrival preempts a
+    /// running scan at its next chunk boundary.
+    fn on_single_dual(
+        this: &Rc<RefCell<ShardServer>>,
+        sim: &mut Sim,
+        conn_idx: usize,
+        payload: Vec<u8>,
+    ) {
+        let now = sim.now();
+        let (lane, task, cost) = {
+            let mut s = this.borrow_mut();
+            if !s.alive {
+                s.stats.dropped_while_dead += 1;
+                return;
+            }
+            let send_recv = s.conns[conn_idx].send_recv;
+            let (cost, slot, scan) = {
+                let req = Request::decode(&payload).expect("well-formed request");
+                let scan = match &req {
+                    Request::Scan {
+                        req_id,
+                        start,
+                        limit,
+                    } => Some((*req_id, start.to_vec(), *limit)),
+                    _ => None,
+                };
+                (s.op_cost(&req, send_recv), op_slot(&req), scan)
+            };
+            s.stats.requests += 1;
+            // Queue depth at arrival: core backlog (running task) plus both
+            // lanes' undispatched work, over this request's cost.
+            let backlog = s.cpu.free_at().saturating_sub(now) + s.sched.queued_total();
+            let depth_bucket = log2_bucket(backlog / cost.max(1));
+            s.stats.queue_depth_hist[depth_bucket] += 1;
+            s.stats.queue_depth_hist_by_op[slot][depth_bucket] += 1;
+            match scan {
+                Some((req_id, cursor, limit)) => {
+                    let mut buf = Vec::new();
+                    scan_items_begin(&mut buf);
+                    let task = LaneTask::Scan(ScanTask {
+                        conn_idx,
+                        req_id,
+                        cursor,
+                        remaining: limit.min(scan_quantum_items(&s.cfg)),
+                        served: 0,
+                        buf,
+                        arrived: now,
+                    });
+                    (THR, task, cost)
+                }
+                None => {
+                    let task = LaneTask::Point {
+                        conn_idx,
+                        payload,
+                        arrived: now,
+                    };
+                    (LAT, task, cost)
+                }
+            }
+        };
+        Self::dual_enqueue(this, sim, lane, task, cost);
+    }
+
+    /// Queues a task on `lane` and kicks the scheduler: a fully idle shard
+    /// pays the detection latency (sweep position + sleep backoff, exactly
+    /// as the FIFO path) via an armed pump; a busy shard just queues — the
+    /// completion event re-pumps for free, matching the FIFO model where
+    /// the loop re-polls right after finishing. Latency-lane arrivals
+    /// additionally force a running scan to its next chunk boundary.
+    fn dual_enqueue(
+        this: &Rc<RefCell<ShardServer>>,
+        sim: &mut Sim,
+        lane: usize,
+        task: LaneTask,
+        cost: SimTime,
+    ) {
+        let now = sim.now();
+        let armed_at = {
+            let mut s = this.borrow_mut();
+            let idle = s.sched.is_idle() && s.cpu.idle_at(now);
+            s.sched.enqueue(lane, task, cost);
+            if idle {
+                s.sched.pump_armed = true;
+                let sweep = s.cfg.costs.poll_ns * (s.conns.len() as u64 / 2);
+                let sleep = s.cfg.sleep_backoff_ns.unwrap_or(0) / 2;
+                Some(now + sweep + sleep)
+            } else {
+                if lane == LAT {
+                    Self::preempt_running_scan(&mut s, sim, now, this);
+                }
+                None
+            }
+        };
+        if let Some(at) = armed_at {
+            let this2 = this.clone();
+            sim.schedule_at(at, move |sim| {
+                this2.borrow_mut().sched.pump_armed = false;
+                Self::pump(&this2, sim);
+            });
+        }
+    }
+
+    /// If the task occupying the core is a not-yet-preempted scan, truncate
+    /// its reservation at the next chunk boundary at or after `now` and
+    /// re-aim its event there: the covered chunks execute at the boundary,
+    /// the remainder re-queues, and the freed tail serves the latency lane.
+    fn preempt_running_scan(
+        s: &mut ShardServer,
+        sim: &mut Sim,
+        now: SimTime,
+        this: &Rc<RefCell<ShardServer>>,
+    ) {
+        let Some(mut r) = s.sched.running.take() else {
+            return;
+        };
+        if matches!(r.task, LaneTask::Scan(_)) && r.yield_items.is_none() {
+            let chunk_items = s.cfg.scan_chunk_items.max(1) as u64;
+            let chunk_ns = chunk_items * s.cfg.costs.scan_item_ns.max(1);
+            let head_end = r.start + r.head_ns;
+            // Smallest whole-chunk boundary at or after the arrival (at
+            // least one chunk completes per dispatch, so a scan always
+            // makes progress).
+            let k = if now <= head_end {
+                1
+            } else {
+                (now - head_end).div_ceil(chunk_ns).max(1)
+            };
+            let boundary = head_end + k * chunk_ns;
+            // A boundary at or past the dispatch end means the scan is
+            // nearly done: let it finish (k × chunk ≥ remaining items).
+            if boundary < r.end {
+                sim.cancel(r.ev);
+                s.cpu.preempt_tail(boundary);
+                s.stats.scan_preemptions += 1;
+                r.end = boundary;
+                r.yield_items = Some((k * chunk_items) as u32);
+                let this2 = this.clone();
+                r.ev = sim.schedule_at(boundary, move |sim| {
+                    Self::on_scan_yield(&this2, sim);
+                });
+            }
+        }
+        s.sched.running = Some(r);
+    }
+
+    /// Dispatches the next DRR pick onto the (idle) shard core. At most one
+    /// task runs at a time; its completion event executes it and re-pumps.
+    fn pump(this: &Rc<RefCell<ShardServer>>, sim: &mut Sim) {
+        let mut s = this.borrow_mut();
+        if s.sched.running.is_some() {
+            return;
+        }
+        if !s.alive {
+            let dropped = s.sched.clear_queued();
+            s.stats.dropped_while_dead += dropped;
+            return;
+        }
+        let quantum = [
+            s.cfg.latency_lane_quantum_ns,
+            s.cfg.throughput_lane_quantum_ns,
+        ];
+        let Some((task, cost)) = s.sched.next(quantum) else {
+            return;
+        };
+        let now = sim.now();
+        let done = s.cpu.acquire(now, cost);
+        let head_ns = match &task {
+            LaneTask::Scan(t) => {
+                cost.saturating_sub(t.remaining as SimTime * s.cfg.costs.scan_item_ns)
+            }
+            _ => 0,
+        };
+        let this2 = this.clone();
+        let ev = sim.schedule_at(done, move |sim| {
+            Self::on_task_complete(&this2, sim);
+        });
+        s.sched.running = Some(Running {
+            ev,
+            start: now,
+            end: done,
+            head_ns,
+            yield_items: None,
+            task,
+        });
+    }
+
+    /// A dispatched task ran to completion: execute it (decode + engine +
+    /// replication + response, identical kernels to the FIFO path) and pump
+    /// the next pick.
+    fn on_task_complete(this: &Rc<RefCell<ShardServer>>, sim: &mut Sim) {
+        let r = this.borrow_mut().sched.running.take();
+        let Some(r) = r else { return };
+        match r.task {
+            LaneTask::Point {
+                conn_idx,
+                payload,
+                arrived,
+            } => Self::execute(this, sim, conn_idx, payload, arrived),
+            LaneTask::Batch {
+                conn_idx,
+                payload,
+                arrived,
+            } => Self::execute_batch(this, sim, conn_idx, payload, arrived),
+            LaneTask::Scan(task) => Self::finish_scan_dispatch(this, sim, task),
+        }
+        Self::pump(this, sim);
+    }
+
+    /// A preempted scan reached its yield boundary: execute the chunks
+    /// covered so far (packing items and advancing the cursor), then either
+    /// finish (range drained ⇒ `more = false`) or re-queue the remainder at
+    /// the front of the throughput lane with the cheaper resume cost.
+    fn on_scan_yield(this: &Rc<RefCell<ShardServer>>, sim: &mut Sim) {
+        let mut s = this.borrow_mut();
+        let Some(r) = s.sched.running.take() else {
+            return;
+        };
+        let LaneTask::Scan(mut task) = r.task else {
+            s.sched.running = Some(r);
+            return;
+        };
+        if !s.alive {
+            drop(s);
+            Self::pump(this, sim);
+            return;
+        }
+        let allowance = r.yield_items.unwrap_or(0).min(task.remaining);
+        let engine_rc = s.engine.clone();
+        let mut scratch = std::mem::take(&mut s.get_scratch);
+        let mut count = 0u32;
+        let mut last_key: Vec<u8> = Vec::new();
+        let buf = &mut task.buf;
+        let exhausted = engine_rc
+            .borrow_mut()
+            .scan_into(&task.cursor, &mut scratch, |k, v| {
+                if count == allowance {
+                    return false;
+                }
+                scan_items_push(buf, k, v);
+                last_key.clear();
+                last_key.extend_from_slice(k);
+                count += 1;
+                true
+            });
+        s.get_scratch = scratch;
+        task.served += count;
+        task.remaining -= count;
+        let chunk = s.cfg.scan_chunk_items.max(1) as u64;
+        s.stats.scan_chunks += (count as u64).div_ceil(chunk).max(1);
+        if exhausted {
+            // The range drained inside the covered chunks: the scan is
+            // complete and the freed tail already serves the latency lane.
+            let now = sim.now();
+            scan_items_finish(&mut task.buf, false, task.served);
+            s.stats.scans += 1;
+            s.stats.service_time_hist_by_op[5][log2_bucket(now.saturating_sub(task.arrived))] += 1;
+            let mut resp = Vec::new();
+            Response {
+                status: Status::Ok,
+                req_id: task.req_id,
+                value: &task.buf,
+                rptr: RemotePtr::none(),
+                lease_expiry: 0,
+                replicas: None,
+            }
+            .encode_into(&mut resp);
+            let conn_idx = task.conn_idx;
+            drop(s);
+            Self::send_response(this, sim, conn_idx, resp);
+        } else {
+            last_key.push(0);
+            task.cursor = last_key;
+            let c = &s.cfg.costs;
+            let cost = c.scan_resume_ns + task.remaining as SimTime * c.scan_item_ns;
+            s.sched.push_front(THR, LaneTask::Scan(task), cost);
+            drop(s);
+        }
+        Self::pump(this, sim);
+    }
+
+    /// A scan dispatch ran to its (un-preempted) end: serve the remaining
+    /// allowance, probe one item past it for the `more` flag — the same
+    /// callback contract as the FIFO path's [`apply_request`], so the wire
+    /// frame is byte-identical over a quiescent engine — and respond.
+    fn finish_scan_dispatch(this: &Rc<RefCell<ShardServer>>, sim: &mut Sim, mut task: ScanTask) {
+        let (conn_idx, resp) = {
+            let mut s = this.borrow_mut();
+            if !s.alive {
+                return;
+            }
+            let now = sim.now();
+            let engine_rc = s.engine.clone();
+            let mut scratch = std::mem::take(&mut s.get_scratch);
+            let allowance = task.remaining;
+            let mut count = 0u32;
+            let buf = &mut task.buf;
+            let exhausted = engine_rc
+                .borrow_mut()
+                .scan_into(&task.cursor, &mut scratch, |k, v| {
+                    if count == allowance {
+                        return false;
+                    }
+                    scan_items_push(buf, k, v);
+                    count += 1;
+                    true
+                });
+            s.get_scratch = scratch;
+            let total = task.served + count;
+            scan_items_finish(&mut task.buf, !exhausted, total);
+            let chunk = s.cfg.scan_chunk_items.max(1) as u64;
+            s.stats.scan_chunks += (count as u64).div_ceil(chunk).max(1);
+            s.stats.scans += 1;
+            s.stats.service_time_hist_by_op[5][log2_bucket(now.saturating_sub(task.arrived))] += 1;
+            let mut resp = Vec::new();
+            Response {
+                status: Status::Ok,
+                req_id: task.req_id,
+                value: &task.buf,
+                rptr: RemotePtr::none(),
+                lease_expiry: 0,
+                replicas: None,
+            }
+            .encode_into(&mut resp);
+            (task.conn_idx, resp)
+        };
+        Self::maybe_schedule_reclaim(this, sim);
+        Self::send_response(this, sim, conn_idx, resp);
     }
 
     /// A batch frame landed: charge the whole quantum against the shard
@@ -789,7 +1303,46 @@ impl ShardServer {
             }
             return;
         }
-        let done_at = {
+        let dual = this.borrow().dual_lane();
+        if dual {
+            // Dual-lane: a batch quantum rides the throughput lane whole
+            // (one frame, one dispatch — batches never preempt and are
+            // never preempted).
+            let cost = {
+                let mut s = this.borrow_mut();
+                if !s.alive {
+                    s.stats.dropped_while_dead += 1;
+                    return;
+                }
+                let frame = BatchFrame::parse(&payload).expect("validated batch frame");
+                let send_recv = s.conns[conn_idx].send_recv;
+                let backlog = s.cpu.free_at().saturating_sub(sim.now()) + s.sched.queued_total();
+                let mut total: SimTime = 0;
+                let mut n: u64 = 0;
+                for msg in frame.iter() {
+                    let req = Request::decode(msg).expect("well-formed request");
+                    let cost = s.batch_item_cost(&req, send_recv);
+                    s.stats.queue_depth_hist_by_op[op_slot(&req)]
+                        [log2_bucket(backlog / cost.max(1))] += 1;
+                    total += cost;
+                    n += 1;
+                }
+                s.stats.requests += n;
+                s.stats.batches += 1;
+                s.stats.batched_requests += n;
+                let mean_cost = (total / n.max(1)).max(1);
+                s.stats.queue_depth_hist[log2_bucket(backlog / mean_cost)] += 1;
+                s.cfg.costs.poll_ns + s.cfg.costs.post_wqe_ns + total
+            };
+            let task = LaneTask::Batch {
+                conn_idx,
+                payload,
+                arrived: sim.now(),
+            };
+            Self::dual_enqueue(this, sim, THR, task, cost);
+            return;
+        }
+        let (done_at, arrived) = {
             let mut s = this.borrow_mut();
             if !s.alive {
                 s.stats.dropped_while_dead += 1;
@@ -822,11 +1375,11 @@ impl ShardServer {
                 let sleep = s.cfg.sleep_backoff_ns.unwrap_or(0) / 2;
                 arrival += sweep + sleep;
             }
-            s.cpu.acquire_batch(arrival, fixed, &per_item)
+            (s.cpu.acquire_batch(arrival, fixed, &per_item), now)
         };
         let this2 = this.clone();
         sim.schedule_at(done_at, move |sim| {
-            Self::execute_batch(&this2, sim, conn_idx, payload);
+            Self::execute_batch(&this2, sim, conn_idx, payload, arrived);
         });
     }
 
@@ -838,7 +1391,13 @@ impl ShardServer {
     /// copies into its arena where it must, replication reads the borrowed
     /// slices directly, and GET values land in a per-shard scratch buffer
     /// reused across requests. No per-request `to_vec()`.
-    fn execute(this: &Rc<RefCell<ShardServer>>, sim: &mut Sim, conn_idx: usize, payload: Vec<u8>) {
+    fn execute(
+        this: &Rc<RefCell<ShardServer>>,
+        sim: &mut Sim,
+        conn_idx: usize,
+        payload: Vec<u8>,
+        arrived: SimTime,
+    ) {
         enum Action<'a> {
             Respond(Vec<u8>),
             Replicate {
@@ -881,6 +1440,8 @@ impl ShardServer {
                 Request::LeaseRenew { .. } => s.stats.lease_renews += 1,
                 Request::Scan { .. } => s.stats.scans += 1,
             }
+            s.stats.service_time_hist_by_op[op_slot(&req)]
+                [log2_bucket(now.saturating_sub(arrived))] += 1;
             drop(engine);
             s.get_scratch = scratch;
             s.scan_scratch = scan_buf;
@@ -945,6 +1506,7 @@ impl ShardServer {
         sim: &mut Sim,
         conn_idx: usize,
         payload: Vec<u8>,
+        arrived: SimTime,
     ) {
         let (resp_bytes, resp_count, repl_records) = {
             let mut s = this.borrow_mut();
@@ -957,6 +1519,11 @@ impl ShardServer {
                 .iter()
                 .map(|m| Request::decode(m).expect("validated on arrival"))
                 .collect();
+            // All requests of a quantum complete when the quantum does.
+            let sojourn_bucket = log2_bucket(now.saturating_sub(arrived));
+            for req in &reqs {
+                s.stats.service_time_hist_by_op[op_slot(req)][sojourn_bucket] += 1;
+            }
             let arena_region = s.arena_region;
             let scan_cap = scan_quantum_items(&s.cfg);
             let mut scratch = std::mem::take(&mut s.get_scratch);
@@ -1060,7 +1627,7 @@ impl ShardServer {
         this: &Rc<RefCell<ShardServer>>,
         sim: &mut Sim,
         conn_idx: usize,
-        resp: Vec<u8>,
+        mut resp: Vec<u8>,
         count: u64,
     ) {
         let (fab, qp, node, region, kick, send_recv) = {
@@ -1069,6 +1636,18 @@ impl ShardServer {
                 return;
             }
             s.stats.responses += count;
+            // Piggyback the shard's backlog (µs, saturating at u16::MAX) in
+            // the response pad bytes: core reservation still ahead of `now`
+            // plus both lanes' undispatched work. The client's AIMD window
+            // controller reads it as its congestion signal. An unloaded
+            // shard stamps 0, which is byte-identical to the zeroed pad.
+            let backlog = s.cpu.free_at().saturating_sub(sim.now()) + s.sched.queued_total();
+            let hint = (backlog / 1_000).min(u16::MAX as u64) as u16;
+            if BatchFrame::is_batch(&resp) {
+                for_each_message_mut(&mut resp, |m| set_backlog_hint(m, hint));
+            } else {
+                set_backlog_hint(&mut resp, hint);
+            }
             let conn = &s.conns[conn_idx];
             (
                 s.fab.clone(),
@@ -1134,6 +1713,124 @@ mod tests {
             ..ClusterConfig::default()
         };
         assert_eq!(scan_quantum_items(&tight), 1);
+    }
+
+    fn point(cost: SimTime) -> (LaneTask, SimTime) {
+        (
+            LaneTask::Point {
+                conn_idx: 0,
+                payload: Vec::new(),
+                arrived: 0,
+            },
+            cost,
+        )
+    }
+
+    fn batch(cost: SimTime) -> (LaneTask, SimTime) {
+        (
+            LaneTask::Batch {
+                conn_idx: 0,
+                payload: Vec::new(),
+                arrived: 0,
+            },
+            cost,
+        )
+    }
+
+    /// Latency isolation: point ops enqueued *behind* two full scan quanta
+    /// are still served first — the latency lane's credit covers them long
+    /// before the throughput lane banks enough deficit for a scan.
+    #[test]
+    fn drr_serves_latency_lane_past_queued_scans() {
+        let mut s = DualLaneSched::default();
+        for (t, c) in [batch(8_000), batch(8_000)] {
+            s.enqueue(THR, t, c);
+        }
+        for _ in 0..8 {
+            let (t, c) = point(500);
+            s.enqueue(LAT, t, c);
+        }
+        assert_eq!(s.queued_total(), 2 * 8_000 + 8 * 500);
+        let mut order = Vec::new();
+        while let Some((t, c)) = s.next([4_000, 4_000]) {
+            order.push((matches!(t, LaneTask::Point { .. }), c));
+        }
+        assert_eq!(order.len(), 10);
+        assert!(
+            order[..8].iter().all(|(is_point, _)| *is_point),
+            "all point ops before any scan quantum: {order:?}"
+        );
+        assert!(order[8..].iter().all(|(is_point, _)| !*is_point));
+        assert_eq!(s.queued_total(), 0);
+        // Draining resets the deficits: no credit is banked across idle.
+        assert_eq!(s.deficit, [0; 2]);
+        assert!(s.next([4_000, 4_000]).is_none());
+    }
+
+    /// With sustained load on both lanes, equal quanta split the core's
+    /// bandwidth roughly evenly rather than starving the throughput lane.
+    #[test]
+    fn drr_shares_bandwidth_between_backlogged_lanes() {
+        let mut s = DualLaneSched::default();
+        for _ in 0..64 {
+            let (t, c) = point(500);
+            s.enqueue(LAT, t, c);
+        }
+        for _ in 0..4 {
+            let (t, c) = batch(8_000);
+            s.enqueue(THR, t, c);
+        }
+        // Serve half the total work and measure the split.
+        let mut lat_ns = 0u64;
+        let mut thr_ns = 0u64;
+        while lat_ns + thr_ns < 32_000 {
+            let (t, c) = s.next([4_000, 4_000]).expect("backlogged");
+            match t {
+                LaneTask::Point { .. } => lat_ns += c,
+                _ => thr_ns += c,
+            }
+        }
+        let share = thr_ns as f64 / (lat_ns + thr_ns) as f64;
+        assert!(
+            (0.3..=0.7).contains(&share),
+            "throughput share {share:.2} not balanced (lat {lat_ns} thr {thr_ns})"
+        );
+    }
+
+    /// FIFO order within a lane, and push_front puts a yielded remainder
+    /// at the head of its lane.
+    #[test]
+    fn drr_keeps_fifo_within_lane_and_honours_push_front() {
+        let mut s = DualLaneSched::default();
+        for id in 0..3u64 {
+            s.enqueue(
+                LAT,
+                LaneTask::Point {
+                    conn_idx: id as usize,
+                    payload: Vec::new(),
+                    arrived: 0,
+                },
+                100,
+            );
+        }
+        let (t, _) = s.next([4_000, 4_000]).unwrap();
+        assert!(matches!(t, LaneTask::Point { conn_idx: 0, .. }));
+        s.push_front(
+            LAT,
+            LaneTask::Point {
+                conn_idx: 9,
+                payload: Vec::new(),
+                arrived: 0,
+            },
+            100,
+        );
+        let picks: Vec<usize> = std::iter::from_fn(|| s.next([4_000, 4_000]))
+            .map(|(t, _)| match t {
+                LaneTask::Point { conn_idx, .. } => conn_idx,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(picks, vec![9, 1, 2]);
     }
 
     #[test]

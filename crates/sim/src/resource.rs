@@ -109,6 +109,30 @@ impl FifoResource {
         self.busy_until
     }
 
+    /// Cancels the *unstarted tail* of the most recent reservation: service
+    /// that was reserved past `from` is handed back, so the resource frees at
+    /// `from` instead of its previous `free_at()`. The caller guarantees
+    /// `from` is inside (or at the end of) the last reservation — this is the
+    /// preemption primitive for interruptible work: reserve the full job,
+    /// and if a higher-priority arrival needs the server, truncate the tail
+    /// at a safe boundary and re-reserve the remainder later.
+    ///
+    /// Returns the number of nanoseconds released. Preempting at or after
+    /// `free_at()` is a no-op (the job already finished on schedule).
+    pub fn preempt_tail(&mut self, from: SimTime) -> SimTime {
+        assert!(
+            self.frozen_at.is_none(),
+            "preempt_tail on frozen {}",
+            self.name
+        );
+        let released = self.busy_until.saturating_sub(from);
+        // `total_busy` may have been reset mid-reservation (warm-up window);
+        // saturate rather than underflow.
+        self.total_busy = self.total_busy.saturating_sub(released);
+        self.busy_until = self.busy_until.min(from);
+        released
+    }
+
     /// The earliest time a new reservation could begin service.
     pub fn free_at(&self) -> SimTime {
         self.busy_until
@@ -259,6 +283,51 @@ mod tests {
         let mut r = FifoResource::new("nic");
         r.freeze(0);
         r.acquire(10, 5);
+    }
+
+    #[test]
+    fn preempt_tail_releases_unstarted_service() {
+        let mut r = FifoResource::new("cpu");
+        // A 10µs scan reserved at t=0; a point op arrives at t=3_100 and the
+        // scan yields at its 4µs chunk boundary.
+        assert_eq!(r.acquire(0, 10_000), 10_000);
+        assert_eq!(r.preempt_tail(4_000), 6_000);
+        assert_eq!(r.free_at(), 4_000);
+        assert_eq!(r.total_busy(), 4_000);
+        // The freed tail is immediately reservable; the remainder re-queues
+        // behind it like any other job.
+        assert_eq!(r.acquire(3_100, 500), 4_500);
+        assert_eq!(r.acquire(4_500, 6_000), 10_500);
+        assert_eq!(r.total_busy(), 10_500);
+    }
+
+    #[test]
+    fn preempt_tail_at_or_past_completion_is_noop() {
+        let mut r = FifoResource::new("cpu");
+        r.acquire(0, 100);
+        assert_eq!(r.preempt_tail(100), 0);
+        assert_eq!(r.preempt_tail(250), 0);
+        assert_eq!(r.free_at(), 100);
+        assert_eq!(r.total_busy(), 100);
+    }
+
+    #[test]
+    fn preempt_tail_survives_window_reset() {
+        let mut r = FifoResource::new("cpu");
+        r.acquire(0, 10_000);
+        r.reset_window(2_000); // warm-up cut mid-reservation
+        assert_eq!(r.preempt_tail(4_000), 6_000);
+        assert_eq!(r.total_busy(), 0); // saturates, never underflows
+        assert_eq!(r.free_at(), 4_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "preempt_tail on frozen")]
+    fn preempt_tail_while_frozen_panics() {
+        let mut r = FifoResource::new("cpu");
+        r.acquire(0, 100);
+        r.freeze(10);
+        r.preempt_tail(50);
     }
 
     #[test]

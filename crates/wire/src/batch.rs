@@ -121,6 +121,35 @@ impl<'a> Iterator for BatchIter<'a> {
 
 impl ExactSizeIterator for BatchIter<'_> {}
 
+/// Applies `f` to each packed message of a batch frame, in place — the
+/// mutable counterpart of [`BatchFrame::iter`], used by the server to stamp
+/// per-response metadata (the backlog hint) into an already-built response
+/// frame without reassembling it. Returns `false` (touching nothing past the
+/// failure point) if the frame does not validate.
+pub fn for_each_message_mut(bytes: &mut [u8], mut f: impl FnMut(&mut [u8])) -> bool {
+    if bytes.len() < BATCH_HDR || bytes[0] != BATCH_MAGIC {
+        return false;
+    }
+    let count = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    let window = &mut bytes[BATCH_HDR..];
+    let mut off = 0usize;
+    for _ in 0..count {
+        if off + BATCH_ENTRY_HDR > window.len() {
+            return false;
+        }
+        let len = u32::from_le_bytes(window[off..off + 4].try_into().unwrap()) as usize;
+        let Some(end) = off.checked_add(BATCH_ENTRY_HDR + len) else {
+            return false;
+        };
+        if end > window.len() {
+            return false;
+        }
+        f(&mut window[off + BATCH_ENTRY_HDR..end]);
+        off = end;
+    }
+    off == window.len()
+}
+
 /// Reusable builder for batch frames. `clear` keeps the allocation, so a
 /// steady-state sender builds every batch into the same buffer.
 #[derive(Debug, Clone)]
@@ -268,6 +297,32 @@ mod tests {
         let mut overrun = good;
         overrun[BATCH_HDR..BATCH_HDR + 4].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(BatchFrame::parse(&overrun).is_none());
+    }
+
+    #[test]
+    fn for_each_message_mut_visits_every_message_in_place() {
+        let mut b = BatchBuilder::new();
+        b.push(b"aaa");
+        b.push(b"");
+        b.push(b"ccccc");
+        let mut bytes = b.bytes().to_vec();
+        let mut seen = Vec::new();
+        assert!(for_each_message_mut(&mut bytes, |m| {
+            seen.push(m.len());
+            if !m.is_empty() {
+                m[0] = b'X';
+            }
+        }));
+        assert_eq!(seen, vec![3, 0, 5]);
+        let frame = BatchFrame::parse(&bytes).unwrap();
+        let msgs: Vec<&[u8]> = frame.iter().collect();
+        assert_eq!(msgs, vec![b"Xaa".as_slice(), b"", b"Xcccc"]);
+        // Invalid frames are refused.
+        let mut bad = bytes.clone();
+        bad[0] = 0;
+        assert!(!for_each_message_mut(&mut bad, |_| {}));
+        let mut truncated = bytes[..bytes.len() - 1].to_vec();
+        assert!(!for_each_message_mut(&mut truncated, |_| {}));
     }
 
     #[test]

@@ -721,6 +721,28 @@ impl<'a> Response<'a> {
     }
 }
 
+/// Stamps the 16-bit shard-backlog hint into an encoded response's header
+/// pad bytes (offsets 2..4, little-endian). The hint is piggybacked
+/// congestion feedback — microseconds of queued shard-core work observed
+/// when the response was posted — consumed by the client's AIMD window
+/// controller. Encoders zero the pad, so un-stamped responses read as hint
+/// 0 ("no backlog") and the field is wire-compatible both ways.
+pub fn set_backlog_hint(resp: &mut [u8], hint: u16) {
+    if resp.len() >= RESP_HDR {
+        resp[2..4].copy_from_slice(&hint.to_le_bytes());
+    }
+}
+
+/// Reads the backlog hint from an encoded response (0 when absent or the
+/// buffer is too short to carry a header).
+pub fn backlog_hint(resp: &[u8]) -> u16 {
+    if resp.len() >= RESP_HDR {
+        u16::from_le_bytes([resp[2], resp[3]])
+    } else {
+        0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1006,6 +1028,34 @@ mod tests {
         let mut bad = enc;
         bad[SCAN_ITEMS_HDR..SCAN_ITEMS_HDR + 4].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(ScanItems::parse(&bad).is_none());
+    }
+
+    #[test]
+    fn backlog_hint_rides_the_pad_bytes() {
+        let r = Response {
+            status: Status::Ok,
+            req_id: 31,
+            value: b"payload",
+            rptr: RemotePtr::new(1, 64, 32),
+            lease_expiry: 99,
+            replicas: None,
+        };
+        let clean = r.encode();
+        assert_eq!(backlog_hint(&clean), 0);
+        let mut stamped = clean.clone();
+        set_backlog_hint(&mut stamped, 12_345);
+        assert_eq!(backlog_hint(&stamped), 12_345);
+        // The hint lives entirely in the pad: decode is oblivious to it.
+        assert_eq!(Response::decode(&stamped).unwrap(), r);
+        // Everything outside bytes 2..4 is untouched.
+        let mut scrubbed = stamped;
+        scrubbed[2..4].copy_from_slice(&[0, 0]);
+        assert_eq!(scrubbed, clean);
+        // Stamping/reading a too-short buffer is a harmless no-op.
+        let mut short = vec![0u8; 3];
+        set_backlog_hint(&mut short, 7);
+        assert_eq!(short, vec![0u8; 3]);
+        assert_eq!(backlog_hint(&short), 0);
     }
 
     #[test]

@@ -26,11 +26,14 @@ pub mod frame;
 pub mod log;
 pub mod rptr;
 
-pub use batch::{BatchBuilder, BatchFrame, BatchIter, BATCH_ENTRY_HDR, BATCH_HDR, BATCH_MAGIC};
+pub use batch::{
+    for_each_message_mut, BatchBuilder, BatchFrame, BatchIter, BATCH_ENTRY_HDR, BATCH_HDR,
+    BATCH_MAGIC,
+};
 pub use codec::{
-    scan_items_begin, scan_items_finish, scan_items_push, KeyList, OpCode, ReplicaPtr, ReplicaSet,
-    Request, Response, ScanItems, ScanItemsIter, Status, MAX_EXPORT_PTRS, RESP_FLAG_REPLICAS,
-    SCAN_ITEMS_HDR,
+    backlog_hint, scan_items_begin, scan_items_finish, scan_items_push, set_backlog_hint, KeyList,
+    OpCode, ReplicaPtr, ReplicaSet, Request, Response, ScanItems, ScanItemsIter, Status,
+    MAX_EXPORT_PTRS, RESP_FLAG_REPLICAS, SCAN_ITEMS_HDR,
 };
 pub use frame::{
     consume_message, frame_to_words, frame_words, poll_message, write_message, FrameError,

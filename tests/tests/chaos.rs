@@ -9,7 +9,9 @@ use std::cell::Cell;
 use std::rc::Rc;
 
 use hydra_chaos::{check_convergence, FaultEvent, FaultPlan};
-use hydra_db::{ClusterBuilder, ClusterConfig, IndexKind, RecordingClient, ReplicationMode};
+use hydra_db::{
+    ClusterBuilder, ClusterConfig, IndexKind, RecordingClient, ReplicationMode, SchedulerKind,
+};
 use hydra_sim::time::{MS, SEC};
 use hydra_sim::Sim;
 use proptest::prelude::*;
@@ -94,9 +96,34 @@ fn chaos_scan_round(seed: u64) {
     chaos_round_inner(seed, false, true);
 }
 
+/// A scan-bearing chaos round with aggressive dual-lane preemption: tiny
+/// scan chunks force running scans to yield whenever a point op lands, so
+/// crashes and revivals race against mid-flight yielded scans (the
+/// re-queued remainder must be dropped cleanly on a dead shard and the
+/// lanes must drain after revival).
+fn chaos_lane_round(seed: u64) {
+    chaos_round_cfg(seed, false, true, |cfg| {
+        cfg.scheduler = SchedulerKind::DualLane;
+        cfg.scan_chunk_items = 4;
+    });
+}
+
+/// The legacy FIFO run queue under the same adversary: now that DualLane is
+/// the default, this keeps the non-default scheduler exercised against
+/// faults.
+fn chaos_fifo_round(seed: u64) {
+    chaos_round_cfg(seed, false, true, |cfg| {
+        cfg.scheduler = SchedulerKind::Fifo;
+    });
+}
+
 fn chaos_round_inner(seed: u64, spread: bool, scans: bool) {
+    chaos_round_cfg(seed, spread, scans, |_| {});
+}
+
+fn chaos_round_cfg(seed: u64, spread: bool, scans: bool, tweak: impl FnOnce(&mut ClusterConfig)) {
     let horizon = 400 * MS;
-    let cfg = ClusterConfig {
+    let mut cfg = ClusterConfig {
         seed,
         server_nodes: 3,
         partitions: Some(2),
@@ -112,6 +139,7 @@ fn chaos_round_inner(seed: u64, spread: bool, scans: bool) {
         },
         ..ClusterConfig::default()
     };
+    tweak(&mut cfg);
     let mut cluster = ClusterBuilder::new(cfg).build();
     cluster.enable_ha(horizon + SEC);
     let plan = FaultPlan::random(seed, 3, 2, horizon);
@@ -234,6 +262,30 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Scan-heavy chaos with tiny dual-lane chunks: preempted scans yield
+    /// mid-flight while machines crash and revive. The re-queued remainders
+    /// must be discarded cleanly on dead shards, the lanes must drain after
+    /// revival, and the recorded history must stay consistent throughout.
+    #[test]
+    fn random_fault_plans_with_lane_preemption(seed in 0u64..10_000) {
+        chaos_lane_round(seed);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// The non-default FIFO scheduler against the same adversary, so the
+    /// legacy run-queue path keeps its fault coverage.
+    #[test]
+    fn random_fault_plans_with_fifo_scheduler(seed in 0u64..10_000) {
+        chaos_fifo_round(seed);
+    }
+}
+
 /// Exhaustive sweep for local soak runs: `cargo test -- --ignored chaos`.
 #[test]
 #[ignore = "soak: ~100 full chaos rounds"]
@@ -249,6 +301,15 @@ fn chaos_round_soak() {
 fn chaos_scan_round_soak() {
     for seed in 0..50u64 {
         chaos_scan_round(seed);
+    }
+}
+
+/// Dual-lane preemption soak: `cargo test -- --ignored chaos_lane`.
+#[test]
+#[ignore = "soak: ~50 preemption-heavy chaos rounds"]
+fn chaos_lane_round_soak() {
+    for seed in 0..50u64 {
+        chaos_lane_round(seed);
     }
 }
 
