@@ -85,6 +85,9 @@ impl BaselineClient {
                 (_, Status::NotFound) => Err(OpError::NotFound),
                 (_, Status::Exists) => Err(OpError::Exists),
                 (_, Status::Error) => Err(OpError::Server),
+                // Baselines are static deployments; an ownership redirect
+                // (HydraDB elasticity) can never arrive here.
+                (_, Status::WrongOwner) => Err(OpError::Server),
             };
             let lat = sim.now() - out.issued_at;
             inner.ops += 1;

@@ -68,6 +68,14 @@ pub enum FaultEvent {
     /// secondary discards from the gap on and the primary must roll back
     /// and resend.
     FailReplApply { partition: u32, seq: u64 },
+    /// Bring a brand-new machine online hosting `shards` new partitions and
+    /// start a live join migration toward it. Scripted-only (never emitted
+    /// by [`FaultPlan::random`]): elasticity events are directed scenarios,
+    /// not background noise.
+    JoinNode { shards: u32 },
+    /// Start a live drain migration moving every primary off server node
+    /// `node` so it can leave the cluster. Scripted-only, like `JoinNode`.
+    DrainNode { node: usize },
 }
 
 /// A fault pinned to its trigger.

@@ -34,6 +34,7 @@ use hydra_sim::Sim;
 use crate::client::{HydraClient, OpCb};
 use crate::cluster::HaState;
 use crate::config::{ClusterConfig, ReplicationMode};
+use crate::migration::MigrationEngine;
 use crate::ring::ShardId;
 use crate::server::ShardServer;
 
@@ -46,6 +47,7 @@ struct ChaosInner {
     ha: Rc<RefCell<HaState>>,
     fab: Fabric,
     cfg: Rc<ClusterConfig>,
+    migration: MigrationEngine,
     server_nodes: Vec<NodeId>,
     client_nodes: Vec<NodeId>,
     history: History,
@@ -74,6 +76,7 @@ impl ChaosController {
         ha: Rc<RefCell<HaState>>,
         fab: Fabric,
         cfg: Rc<ClusterConfig>,
+        migration: MigrationEngine,
         server_nodes: Vec<NodeId>,
         client_nodes: Vec<NodeId>,
     ) -> Self {
@@ -83,6 +86,7 @@ impl ChaosController {
                 ha,
                 fab,
                 cfg,
+                migration,
                 server_nodes,
                 client_nodes,
                 history,
@@ -259,7 +263,46 @@ impl ChaosController {
             FaultEvent::FailReplApply { partition, seq } => {
                 self.fail_repl_apply(*partition, *seq);
             }
+            FaultEvent::JoinNode { shards } => self.join_node(sim, *shards),
+            FaultEvent::DrainNode { node } => self.drain_node(sim, *node),
         }
+    }
+
+    /// Registers a server machine added after construction (elastic join
+    /// started through [`Cluster::start_migration`](crate::Cluster)), so
+    /// node-indexed faults can target it.
+    pub(crate) fn note_server_node(&self, node: NodeId) {
+        self.inner.borrow_mut().server_nodes.push(node);
+    }
+
+    // ---- elasticity events ----
+
+    /// Brings a fresh machine online and starts a live join migration of
+    /// `shards` new partitions toward it. The plan ticks in the background;
+    /// ownership flips once catch-up quiesces. Composes with the machine
+    /// faults above: crashing the new node mid-copy aborts the plan.
+    fn join_node(&self, sim: &mut Sim, shards: u32) {
+        let (fab, migration) = {
+            let inner = self.inner.borrow();
+            (inner.fab.clone(), inner.migration.clone())
+        };
+        let node = fab.add_node();
+        let nodes = {
+            let mut inner = self.inner.borrow_mut();
+            inner.server_nodes.push(node);
+            inner.server_nodes.clone()
+        };
+        migration.start_join(sim, shards, node, &nodes);
+    }
+
+    /// Starts a live drain of server node `idx`: every primary hosted there
+    /// streams its range to the survivors and leaves the ring at the flip.
+    fn drain_node(&self, sim: &mut Sim, idx: usize) {
+        let (migration, node) = {
+            let inner = self.inner.borrow();
+            (inner.migration.clone(), inner.server_nodes[idx])
+        };
+        migration.start_drain(sim, node);
     }
 
     // ---- machine faults ----

@@ -87,6 +87,9 @@ pub struct ClientStats {
     pub scan_steps: u64,
     pub timeouts: u64,
     pub retries: u64,
+    /// `WrongOwner` redirects received (stale routing after a migration
+    /// flip): the op re-resolved through the shared directory and retried.
+    pub redirects: u64,
     /// GET completion latency (both fast and message paths).
     pub get_lat: Histogram,
     /// INSERT/UPDATE/DELETE completion latency.
@@ -795,10 +798,19 @@ impl HydraClient {
     // ---- fast path ----
 
     fn valid_cached_ptr(&self, now: SimTime, key: &[u8]) -> Option<CachedPtr> {
-        let inner = self.inner.borrow();
+        let mut inner = self.inner.borrow_mut();
         let ptr = inner.ptr_cache.get(key)?;
         if ptr.lease_expiry <= now {
             return None; // lease lapsed: pointer may dangle, do not use
+        }
+        // A migration flip may have moved the key: a pointer into a shard
+        // the live ring no longer routes to is stale, drop it eagerly
+        // rather than read a retired copy.
+        let owner = inner.directory.borrow().ring.route(key).map(|s| s.0);
+        if owner != Some(ptr.partition) {
+            inner.stats.invalid_hits += 1;
+            inner.ptr_cache.remove(key);
+            return None;
         }
         Some(ptr)
     }
@@ -1325,6 +1337,40 @@ impl HydraClient {
     /// pointer-cache upkeep, verdict mapping, latency recording, callback.
     fn complete_op(&self, sim: &mut Sim, out: Outstanding, resp: &Response<'_>) {
         let now = sim.now();
+        // Ownership redirect: the shard no longer owns the key (migration
+        // flipped the ring). The shared directory already carries the new
+        // ring, so re-routing by hash lands on the current owner. Scan steps
+        // are partition-pinned (the emit filter on the server drops moved
+        // keys), so only keyed ops redirect.
+        if resp.status == Status::WrongOwner
+            && !matches!(out.kind, OpKind::Scan | OpKind::LeaseRenew)
+        {
+            {
+                let mut inner = self.inner.borrow_mut();
+                inner.stats.redirects += 1;
+                inner.ptr_cache.remove(&out.key);
+            }
+            if out.attempts >= MAX_ATTEMPTS {
+                if let Some(cb) = out.cb {
+                    cb(sim, Err(OpError::Server));
+                }
+                return;
+            }
+            if self.pipelined() {
+                self.enqueue_pipelined(sim, out.kind, out.key, out.value, out.cb, out.issued_at);
+            } else {
+                self.issue_message_op(
+                    sim,
+                    out.kind,
+                    out.key,
+                    out.value,
+                    out.cb,
+                    out.attempts + 1,
+                    Some(out.issued_at),
+                );
+            }
+            return;
+        }
         let (verdict, client_ns) = {
             let mut inner = self.inner.borrow_mut();
             let verdict: Result<Option<Vec<u8>>, OpError> = match (out.kind, resp.status) {
@@ -1374,6 +1420,9 @@ impl HydraClient {
                 (_, Status::NotFound) => Err(OpError::NotFound),
                 (_, Status::Exists) => Err(OpError::Exists),
                 (_, Status::Error) => Err(OpError::Server),
+                // Unredirected WrongOwner (scan / lease-renew): surface as a
+                // server error; callers fall back through the message path.
+                (_, Status::WrongOwner) => Err(OpError::Server),
             };
             let client_ns = inner.cfg.costs.client_ns;
             let lat = now - out.issued_at + client_ns;

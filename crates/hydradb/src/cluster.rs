@@ -29,6 +29,7 @@ use hydra_sim::Sim;
 use crate::chaos::{ChaosController, RecordingClient};
 use crate::client::{CachedPtr, HydraClient};
 use crate::config::{ClientMode, ClusterConfig, ReplicationMode};
+use crate::migration::{MigrationEngine, MigrationHandle, MigrationOutcome};
 use crate::ring::{HashRing, ShardId};
 use crate::server::{ReplicaExport, ShardServer};
 
@@ -65,13 +66,24 @@ impl std::fmt::Display for ClusterReport {
         )?;
         writeln!(
             f,
-            "{:<5} {:<5} {:<6} {:>9} {:>8} {:>8} {:>10} {:>6} {:>8}",
-            "part", "node", "alive", "items", "mem%", "reclaim", "requests", "secs", "unacked"
+            "{:<5} {:<5} {:<6} {:>9} {:>8} {:>8} {:>10} {:>6} {:>8} {:<9} {:>8} {:>8}",
+            "part",
+            "node",
+            "alive",
+            "items",
+            "mem%",
+            "reclaim",
+            "requests",
+            "secs",
+            "unacked",
+            "phase",
+            "moved",
+            "drained"
         )?;
         for r in &self.rows {
             writeln!(
                 f,
-                "{:<5} {:<5} {:<6} {:>9} {:>7.1}% {:>8} {:>10} {:>6} {:>8}",
+                "{:<5} {:<5} {:<6} {:>9} {:>7.1}% {:>8} {:>10} {:>6} {:>8} {:<9} {:>8} {:>8}",
                 r.partition,
                 r.node,
                 r.alive,
@@ -80,7 +92,10 @@ impl std::fmt::Display for ClusterReport {
                 r.reclaim_pending,
                 r.requests,
                 r.secondaries,
-                r.repl_unacked
+                r.repl_unacked,
+                r.migration_phase,
+                r.moved_keys,
+                r.drained_keys
             )?;
         }
         Ok(())
@@ -101,6 +116,14 @@ pub struct PartitionReport {
     pub responses: u64,
     pub secondaries: usize,
     pub repl_unacked: u64,
+    /// Live-migration state-machine phase label (`"idle"` outside a plan).
+    pub migration_phase: &'static str,
+    /// Keys this partition streamed out as a migration source.
+    pub moved_keys: u64,
+    /// Payload bytes this partition streamed out as a migration source.
+    pub moved_bytes: u64,
+    /// Keys this partition deleted in its post-flip drain.
+    pub drained_keys: u64,
 }
 
 /// Snapshot handle to one partition's replica group.
@@ -150,7 +173,14 @@ impl HaState {
         };
         let new_primary = state.secondaries.remove(idx);
         let old_primary = std::mem::replace(&mut state.primary, new_primary.clone());
-        old_primary.borrow_mut().alive = false;
+        {
+            // Live-migration bookkeeping survives fail-over: the promoted
+            // primary owns the same key range, so it inherits the ownership
+            // gate and forwarding state.
+            let mut op = old_primary.borrow_mut();
+            op.alive = false;
+            new_primary.borrow_mut().mig = op.mig.take();
+        }
         // Re-couple surviving secondaries to the new primary.
         let repl_mode = match self.cfg.replication {
             ReplicationMode::Strict => Some(ReplMode::Strict),
@@ -343,6 +373,8 @@ impl ClusterBuilder {
             monitoring_until: 0,
             partitioned_nodes: std::collections::HashSet::new(),
         }));
+        let migration =
+            MigrationEngine::new(fab.clone(), cfg.clone(), ha.clone(), directory.clone());
         // Settle any setup events (none today, but keeps the invariant that
         // build() returns a quiescent cluster).
         sim.run();
@@ -352,6 +384,7 @@ impl ClusterBuilder {
             cfg,
             directory,
             ha,
+            migration,
             server_nodes,
             client_nodes,
             clients: Vec::new(),
@@ -373,6 +406,8 @@ pub struct Cluster {
     /// Partition directory shared with clients.
     pub directory: Rc<RefCell<Directory>>,
     ha: Rc<RefCell<HaState>>,
+    /// Live-migration orchestrator (node join/drain under traffic).
+    pub migration: MigrationEngine,
     /// Server machines, in id order.
     pub server_nodes: Vec<NodeId>,
     /// Client machines, in id order.
@@ -542,6 +577,7 @@ impl Cluster {
                 self.ha.clone(),
                 self.fab.clone(),
                 self.cfg.clone(),
+                self.migration.clone(),
                 self.server_nodes.clone(),
                 self.client_nodes.clone(),
             ));
@@ -703,6 +739,18 @@ impl Cluster {
                         st.records.saturating_sub(pair.acked())
                     })
                     .sum();
+                let (migration_phase, moved_keys, moved_bytes, drained_keys) = match &s.mig {
+                    Some(m) => {
+                        let m = m.borrow();
+                        (
+                            m.phase.as_str(),
+                            m.moved_keys,
+                            m.moved_bytes,
+                            m.drained_keys,
+                        )
+                    }
+                    None => ("idle", 0, 0, 0),
+                };
                 PartitionReport {
                     partition: p as u32,
                     node: s.node.0,
@@ -716,6 +764,10 @@ impl Cluster {
                     responses: stats.responses,
                     secondaries: state.secondaries.len(),
                     repl_unacked: repl_lag,
+                    migration_phase,
+                    moved_keys,
+                    moved_bytes,
+                    drained_keys,
                 }
             })
             .collect();
@@ -726,122 +778,94 @@ impl Cluster {
         }
     }
 
-    /// Node-join reconfiguration (§5.1: SWAT "notifying certain shards to
-    /// migrate data to newly joined nodes"): adds a server machine carrying
-    /// `new_shards` fresh partitions, inserts them into the consistent-hash
-    /// ring, and streams every key-value whose hash now routes to a new
-    /// partition out of its old owner over bulk RDMA Writes. Returns the new
-    /// partition ids once the migration traffic has drained.
-    ///
-    /// Clients discover the change through the shared directory (the ring is
-    /// consulted per operation); their stale remote pointers fail guardian
-    /// validation and fall back to the message path against the new owner.
-    pub fn add_server_with_migration(&mut self, new_shards: u32) -> Vec<u32> {
-        assert!(new_shards > 0);
+    /// Starts a *live* node-join migration (§5.1: SWAT "notifying certain
+    /// shards to migrate data to newly joined nodes"): adds a server machine
+    /// carrying `new_shards` fresh partitions and begins streaming the
+    /// moving ranges toward them in bounded quanta while client traffic
+    /// keeps flowing. Ownership flips atomically once the copy converges;
+    /// see [`crate::migration`] for the state machine. Returns the plan
+    /// handle; drive `sim` (or keep issuing ops) to make progress.
+    pub fn start_migration(&mut self, new_shards: u32) -> MigrationHandle {
         let node = self.fab.add_node();
         self.server_nodes.push(node);
-        let mut new_parts = Vec::new();
-        // 1. Create the new shards and extend ring + directory + HA state.
-        {
-            let mut ha = self.ha.borrow_mut();
-            let first = ha.partitions.len() as u32;
-            for i in 0..new_shards {
-                let p = first + i;
-                let primary = ShardServer::new(ShardId(p), node, &self.fab, self.cfg.clone());
-                let session = ha
-                    .coord
-                    .create_session(self.sim.now(), self.cfg.ha_session_timeout_ns);
-                let znode = format!("/servers/part-{p}");
-                let _ = ha.coord.create(
-                    &znode,
-                    p.to_string().into_bytes(),
-                    CreateMode::Ephemeral,
-                    Some(session),
-                );
-                ha.coord.watch_exists(&znode, WatcherId(p as u64));
-                ha.partitions.push(PartitionState {
-                    primary: primary.clone(),
-                    secondaries: Vec::new(),
-                    session,
-                    znode,
-                });
-                let mut dir = self.directory.borrow_mut();
-                dir.ring.add_shard(ShardId(p));
-                dir.shards.insert(p, primary);
-                new_parts.push(p);
-            }
-            self.directory.borrow_mut().generation += 1;
+        if let Some(chaos) = &self.chaos {
+            chaos.note_server_node(node);
         }
-        // 2. Plan the moves under the new ring.
-        let old_count = {
-            let ha = self.ha.borrow();
-            ha.partitions.len() - new_parts.len()
-        };
-        type Batch = Vec<(Vec<u8>, Vec<u8>)>;
-        let mut moves: Vec<(u32, u32, Batch)> = Vec::new();
-        {
-            let dir = self.directory.borrow();
-            let ha = self.ha.borrow();
-            for src in 0..old_count as u32 {
-                let engine = ha.partitions[src as usize].primary.borrow().engine.clone();
-                let mut by_dst: HashMap<u32, Batch> = HashMap::new();
-                engine.borrow().for_each_item(|k, v| {
-                    let owner = dir.ring.route(&k).expect("ring non-empty").0;
-                    if owner != src {
-                        by_dst.entry(owner).or_default().push((k, v));
-                    }
-                });
-                for (dst, items) in by_dst {
-                    moves.push((src, dst, items));
-                }
-            }
-        }
-        // 3. Execute: bulk-transfer each batch over the fabric, apply at the
-        //    destination on delivery, then retire the source copies.
-        for (src, dst, items) in moves {
-            let (src_node, src_engine, dst_node, dst_engine) = {
-                let ha = self.ha.borrow();
-                let s = ha.partitions[src as usize].primary.borrow();
-                let d = ha.partitions[dst as usize].primary.borrow();
-                (s.node, s.engine.clone(), d.node, d.engine.clone())
-            };
-            let bytes: usize = items.iter().map(|(k, v)| k.len() + v.len() + 16).sum();
-            let qp = self.fab.connect(src_node, dst_node, Transport::Rdma);
-            // Stage the batch as one bulk write into a scratch region sized
-            // for it (migration uses its own registered buffer, like the
-            // replication ring).
-            let words = bytes.div_ceil(8).max(1);
-            let (region, _mem) = self.fab.alloc_region(dst_node, words);
-            let payload = vec![0u64; words];
-            let fab = self.fab.clone();
-            let items2 = items.clone();
-            self.fab.post_write(
-                &mut self.sim,
-                qp,
-                src_node,
-                payload,
-                region,
-                0,
-                Some(Box::new(move |sim| {
-                    let now = sim.now();
-                    for (k, v) in &items2 {
-                        dst_engine
-                            .borrow_mut()
-                            .put(now, k, v)
-                            .expect("destination arena sized for migration");
-                    }
-                    let _ = fab; // keep the fabric alive through the move
-                })),
-            );
-            // Source retires its copies immediately after shipping (the
-            // fence: it no longer owns the range in the ring).
-            let now = self.sim.now();
-            for (k, _) in &items {
-                let _ = src_engine.borrow_mut().delete(now, k);
-            }
-        }
+        self.migration
+            .start_join(&mut self.sim, new_shards, node, &self.server_nodes)
+    }
+
+    /// Node-join reconfiguration run to completion: starts a live join plan
+    /// and drains the event queue. Returns the new partition ids. Clients
+    /// created before the call route through the shared directory, so any
+    /// op issued after the flip lands on the new owners; a straggler hitting
+    /// the old owner gets a `WrongOwner` redirect.
+    pub fn add_server_with_migration(&mut self, new_shards: u32) -> Vec<u32> {
+        let handle = self.start_migration(new_shards);
         self.sim.run();
-        new_parts
+        assert_eq!(
+            handle.outcome(),
+            MigrationOutcome::Completed,
+            "join migration settles when the queue drains"
+        );
+        handle.new_partitions()
+    }
+
+    /// Starts a *live* node-drain migration (the inverse of a join): every
+    /// partition homed on server machine `node_idx` streams its whole range
+    /// to the surviving owners and leaves the ring at the flip. Returns the
+    /// plan handle.
+    pub fn start_drain_server(&mut self, node_idx: usize) -> MigrationHandle {
+        let node = self.server_nodes[node_idx];
+        self.migration.start_drain(&mut self.sim, node)
+    }
+
+    /// Node-leave reconfiguration run to completion: starts a live drain
+    /// plan and drains the event queue. Returns the retired partition ids.
+    pub fn drain_server(&mut self, node_idx: usize) -> Vec<u32> {
+        let handle = self.start_drain_server(node_idx);
+        self.sim.run();
+        assert_eq!(
+            handle.outcome(),
+            MigrationOutcome::Completed,
+            "drain migration settles when the queue drains"
+        );
+        handle.departing_partitions()
+    }
+
+    /// The ring generation last published to the `/migration/epoch` znode
+    /// at an ownership flip (0 if no migration has flipped yet).
+    pub fn migration_epoch(&self) -> u64 {
+        let ha = self.ha.borrow();
+        ha.coord
+            .get_data("/migration/epoch")
+            .ok()
+            .and_then(|b| b.try_into().ok().map(u64::from_le_bytes))
+            .unwrap_or(0)
+    }
+
+    /// Audits key placement across the live directory: returns
+    /// `(misplaced, duplicated)` — keys stored on a shard the ring does not
+    /// route them to, and keys present on more than one live primary. Both
+    /// must be zero once a migration has settled.
+    pub fn ownership_audit(&self) -> (usize, usize) {
+        let dir = self.directory.borrow();
+        let mut parts: Vec<u32> = dir.shards.keys().copied().collect();
+        parts.sort_unstable();
+        let mut misplaced = 0usize;
+        let mut counts: HashMap<Vec<u8>, usize> = HashMap::new();
+        for p in parts {
+            let engine = dir.shards[&p].borrow().engine.clone();
+            let engine = engine.borrow();
+            engine.for_each_item(|k, _v| {
+                if dir.ring.route(&k) != Some(ShardId(p)) {
+                    misplaced += 1;
+                }
+                *counts.entry(k).or_insert(0) += 1;
+            });
+        }
+        let duplicated = counts.values().filter(|&&c| c > 1).count();
+        (misplaced, duplicated)
     }
 }
 

@@ -329,6 +329,15 @@ pub struct ClusterConfig {
     pub fabric: FabricConfig,
     /// Server CPU cost model.
     pub costs: CostModel,
+    /// Items a live migration moves per quantum (snapshot scan, catch-up
+    /// flush, post-flip drain). Each quantum rides the throughput lane, so
+    /// the latency lane keeps serving point ops between quanta; smaller
+    /// quanta trade rebalance time for a shallower tail-latency dip.
+    pub migration_quantum_items: u32,
+    /// Pacing interval between successive migration quanta of one
+    /// source-partition job (the migration rate is roughly
+    /// `migration_quantum_items / migration_tick_ns`).
+    pub migration_tick_ns: SimTime,
 }
 
 impl Default for ClusterConfig {
@@ -382,6 +391,8 @@ impl Default for ClusterConfig {
             ha_session_timeout_ns: 25 * MS,
             fabric: FabricConfig::default(),
             costs: CostModel::default(),
+            migration_quantum_items: 128,
+            migration_tick_ns: 100_000,
         }
     }
 }

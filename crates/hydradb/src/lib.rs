@@ -47,6 +47,7 @@ pub mod chaos;
 pub mod client;
 pub mod cluster;
 pub mod config;
+pub mod migration;
 pub mod ring;
 pub mod server;
 
@@ -58,4 +59,5 @@ pub use config::{
     AimdConfig, ClientMode, ClusterConfig, CostModel, ExecModel, ReplicationMode, SchedulerKind,
 };
 pub use hydra_store::IndexKind;
+pub use migration::{MigrationEngine, MigrationHandle, MigrationOutcome, MigrationPhase};
 pub use ring::{HashRing, ShardId};

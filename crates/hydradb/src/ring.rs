@@ -1,7 +1,7 @@
 //! Consistent hashing (Karger et al.) with virtual nodes — how clients route
 //! a key's 64-bit hashcode to the shard owning its partition (§4, Fig. 4).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use hydra_store::hash_key;
 
@@ -18,6 +18,7 @@ pub struct ShardId(pub u32);
 #[derive(Debug, Clone, Default)]
 pub struct HashRing {
     points: BTreeMap<u64, ShardId>,
+    shards: BTreeSet<ShardId>,
     vnodes: u32,
 }
 
@@ -27,6 +28,7 @@ impl HashRing {
         assert!(vnodes > 0, "at least one virtual node required");
         HashRing {
             points: BTreeMap::new(),
+            shards: BTreeSet::new(),
             vnodes,
         }
     }
@@ -41,13 +43,19 @@ impl HashRing {
 
     /// Adds a shard's virtual nodes to the ring.
     pub fn add_shard(&mut self, shard: ShardId) {
+        if !self.shards.insert(shard) {
+            return; // already present; the points are in place
+        }
         for v in 0..self.vnodes {
             self.points.insert(Self::point(shard, v), shard);
         }
     }
 
-    /// Removes a shard (fail-over re-routing).
+    /// Removes a shard (fail-over re-routing, node drain).
     pub fn remove_shard(&mut self, shard: ShardId) {
+        if !self.shards.remove(&shard) {
+            return;
+        }
         for v in 0..self.vnodes {
             self.points.remove(&Self::point(shard, v));
         }
@@ -55,10 +63,17 @@ impl HashRing {
 
     /// Number of distinct shards present.
     pub fn shard_count(&self) -> usize {
-        let mut seen: Vec<ShardId> = self.points.values().copied().collect();
-        seen.sort_unstable();
-        seen.dedup();
-        seen.len()
+        self.shards.len()
+    }
+
+    /// Whether `shard` currently owns ring points.
+    pub fn contains(&self, shard: ShardId) -> bool {
+        self.shards.contains(&shard)
+    }
+
+    /// Distinct shards present, in ascending id order.
+    pub fn shards(&self) -> impl Iterator<Item = ShardId> + '_ {
+        self.shards.iter().copied()
     }
 
     /// Routes a key hash to its owning shard (clockwise successor).
@@ -145,6 +160,57 @@ mod tests {
             moved_from_others, 0,
             "consistent hashing must not reshuffle keys of surviving shards"
         );
+    }
+
+    #[test]
+    fn adding_a_shard_only_moves_keys_to_it() {
+        // Monotone consistent hashing: a join may steal keys for the new
+        // shard, but must never reshuffle keys between surviving shards.
+        let mut r = HashRing::new(64);
+        for s in 0..5 {
+            r.add_shard(ShardId(s));
+        }
+        let keys: Vec<String> = (0..5_000).map(|i| format!("k{i}")).collect();
+        let before: Vec<ShardId> = keys
+            .iter()
+            .map(|k| r.route(k.as_bytes()).unwrap())
+            .collect();
+        r.add_shard(ShardId(5));
+        assert_eq!(r.shard_count(), 6);
+        let mut moved_to_new = 0;
+        for (k, &was) in keys.iter().zip(&before) {
+            let now = r.route(k.as_bytes()).unwrap();
+            if now != was {
+                assert_eq!(
+                    now,
+                    ShardId(5),
+                    "join moved {k} from {was:?} to {now:?}, not to the joiner"
+                );
+                moved_to_new += 1;
+            }
+        }
+        assert!(moved_to_new > 0, "the joiner must take over some ranges");
+
+        // Removing the joiner restores the exact prior routing.
+        r.remove_shard(ShardId(5));
+        assert_eq!(r.shard_count(), 5);
+        for (k, &was) in keys.iter().zip(&before) {
+            assert_eq!(r.route(k.as_bytes()).unwrap(), was, "{k}");
+        }
+    }
+
+    #[test]
+    fn add_and_remove_are_idempotent() {
+        let mut r = HashRing::new(16);
+        r.add_shard(ShardId(7));
+        let points_once = r.points.len();
+        r.add_shard(ShardId(7));
+        assert_eq!(r.points.len(), points_once);
+        assert_eq!(r.shard_count(), 1);
+        r.remove_shard(ShardId(7));
+        r.remove_shard(ShardId(7));
+        assert_eq!(r.shard_count(), 0);
+        assert!(r.points.is_empty());
     }
 
     #[test]

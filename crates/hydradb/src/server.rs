@@ -15,7 +15,7 @@
 //! loses when the NIC already moves the data.
 
 use std::cell::RefCell;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
 use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
@@ -32,6 +32,7 @@ use hydra_wire::{
 };
 
 use crate::config::{ClusterConfig, ExecModel, ReplicationMode, SchedulerKind};
+use crate::migration::{ChannelShipments, MigrationState, RecordsByDst};
 use crate::ring::ShardId;
 
 /// Buckets in the log2 observability histograms.
@@ -267,6 +268,10 @@ struct ScanTask {
     arrived: SimTime,
 }
 
+/// Deferred migration work executed once its shard-core charge has been
+/// paid (a snapshot/catch-up/drain quantum, or an inbound record batch).
+pub(crate) type MigWork = Box<dyn FnOnce(&Rc<RefCell<ShardServer>>, &mut Sim)>;
+
 /// One unit of work queued on a lane. The shard-core cost rides alongside
 /// in the lane deque (it is fixed at enqueue time).
 enum LaneTask {
@@ -284,6 +289,9 @@ enum LaneTask {
     },
     /// A singleton scan, executed in preemptible chunks.
     Scan(ScanTask),
+    /// A migration quantum or inbound record batch (throughput lane: data
+    /// movement shares bandwidth with scans and never blocks point ops).
+    Mig(MigWork),
 }
 
 /// The task currently occupying the shard core under the dual-lane
@@ -396,6 +404,39 @@ impl DualLaneSched {
     }
 }
 
+/// Ownership checks consulted by the execution kernels while a migration is
+/// installed on the shard. `wrong_owner` yields the directory generation for
+/// a wire-level redirect when the *live* ring routes the key elsewhere (a
+/// stale client pointer landed here after the flip); `owns` filters scan
+/// items so moved-in copies stay invisible before the flip and moved-out
+/// copies become invisible at it.
+pub struct OwnershipGate<'g> {
+    pub wrong_owner: &'g dyn Fn(&[u8]) -> Option<u64>,
+    pub owns: &'g dyn Fn(&[u8]) -> bool,
+}
+
+/// Runs `f` under the ownership gate for `mig` (or with no gate when the
+/// shard is not participating in a migration). The gate is self-deactivating:
+/// it consults the live ring, so once a completed plan's ring is in place it
+/// passes every key the shard owns.
+pub(crate) fn with_gate<R>(
+    mig: Option<&Rc<RefCell<MigrationState>>>,
+    f: impl FnOnce(Option<&OwnershipGate<'_>>) -> R,
+) -> R {
+    match mig {
+        Some(m) => {
+            let wrong_owner = |k: &[u8]| m.borrow().wrong_owner(k);
+            let owns = |k: &[u8]| m.borrow().owns(k);
+            let gate = OwnershipGate {
+                wrong_owner: &wrong_owner,
+                owns: &owns,
+            };
+            f(Some(&gate))
+        }
+        None => f(None),
+    }
+}
+
 /// Applies one decoded request to `engine`, appending the encoded response
 /// to `out`. Returns the replication action for successful writes.
 ///
@@ -416,6 +457,7 @@ pub fn apply_request<'a>(
     scan_cap: u32,
     scan_buf: &mut Vec<u8>,
     plane: &mut ReadPlane,
+    gate: Option<&OwnershipGate<'_>>,
     out: &mut Vec<u8>,
 ) -> Option<(LogOp, &'a [u8], &'a [u8])> {
     let req_id = req.req_id();
@@ -424,6 +466,21 @@ pub fn apply_request<'a>(
         EngineError::NotFound => Status::NotFound,
         _ => Status::Error,
     };
+    if let Some(g) = gate {
+        let keyed = match req {
+            Request::Get { key, .. }
+            | Request::Insert { key, .. }
+            | Request::Update { key, .. }
+            | Request::Delete { key, .. } => Some(*key),
+            _ => None,
+        };
+        if let Some(k) = keyed {
+            if let Some(generation) = (g.wrong_owner)(k) {
+                Response::wrong_owner(req_id, generation).encode_into(out);
+                return None;
+            }
+        }
+    }
     match req {
         Request::Get { key, .. } => {
             match engine.get_into(now, key, scratch) {
@@ -479,7 +536,11 @@ pub fn apply_request<'a>(
         },
         Request::LeaseRenew { keys, .. } => {
             for k in keys.iter() {
-                engine.renew_lease(now, k);
+                // A moved-away key's lease is not renewable here; the next
+                // point op on it earns the redirect.
+                if gate.is_none_or(|g| (g.owns)(k)) {
+                    engine.renew_lease(now, k);
+                }
             }
             Response::status_only(Status::Ok, req_id).encode_into(out);
             None
@@ -496,6 +557,9 @@ pub fn apply_request<'a>(
             let exhausted = engine.scan_into(start, scratch, |k, v| {
                 if count == cap {
                     return false;
+                }
+                if gate.is_some_and(|g| !(g.owns)(k)) {
+                    return true; // not ours under the live ring: skip
                 }
                 scan_items_push(scan_buf, k, v);
                 count += 1;
@@ -547,16 +611,48 @@ pub fn run_batch<'a>(
     scan_cap: u32,
     scan_buf: &mut Vec<u8>,
     plane: &mut ReadPlane,
+    gate: Option<&OwnershipGate<'_>>,
     builder: &mut BatchBuilder,
 ) -> (ReplRecords<'a>, BatchOpCounts) {
     let mut repl: ReplRecords<'_> = Vec::new();
     let mut counts = BatchOpCounts::default();
     let mut i = 0;
     while i < reqs.len() {
+        // A key the live ring routes elsewhere answers with a redirect,
+        // bypassing the engine (mirrors the gate in [`apply_request`]).
+        if let Some(g) = gate {
+            let keyed = match &reqs[i] {
+                Request::Get { key, .. }
+                | Request::Insert { key, .. }
+                | Request::Update { key, .. }
+                | Request::Delete { key, .. } => Some(*key),
+                _ => None,
+            };
+            if let Some(generation) = keyed.and_then(|k| (g.wrong_owner)(k)) {
+                let req_id = reqs[i].req_id();
+                builder.push_with(|out| Response::wrong_owner(req_id, generation).encode_into(out));
+                match &reqs[i] {
+                    Request::Get { .. } => counts.gets += 1,
+                    Request::Insert { .. } => counts.inserts += 1,
+                    Request::Update { .. } => counts.updates += 1,
+                    Request::Delete { .. } => counts.deletes += 1,
+                    _ => unreachable!("only keyed ops are gated"),
+                }
+                i += 1;
+                continue;
+            }
+        }
         if matches!(reqs[i], Request::Get { .. }) {
-            // Maximal GET run: probe interleaved, emit in order.
+            // Maximal GET run: probe interleaved, emit in order. A gated
+            // key ends the run (the next iteration redirects it).
             let mut j = i;
-            while j < reqs.len() && matches!(reqs[j], Request::Get { .. }) {
+            while j < reqs.len() {
+                let Request::Get { key, .. } = &reqs[j] else {
+                    break;
+                };
+                if j > i && gate.is_some_and(|g| (g.wrong_owner)(key).is_some()) {
+                    break;
+                }
                 j += 1;
             }
             let keys: Vec<&[u8]> = reqs[i..j]
@@ -605,6 +701,7 @@ pub fn run_batch<'a>(
                     scan_cap,
                     scan_buf,
                     plane,
+                    gate,
                     out,
                 );
             });
@@ -674,6 +771,10 @@ pub struct ShardServer {
     /// Dual-lane DRR run queue (used when `cfg.scheduler` is `DualLane`
     /// under the single-threaded execution model; empty otherwise).
     sched: DualLaneSched,
+    /// Live-migration bookkeeping while this shard participates in a plan
+    /// (source or destination); provides the ownership gate and the
+    /// double-write forwarding hook. Carried across fail-over by promotion.
+    pub(crate) mig: Option<Rc<RefCell<MigrationState>>>,
 }
 
 impl ShardServer {
@@ -728,6 +829,7 @@ impl ShardServer {
             resp_batch: BatchBuilder::new(),
             plane,
             sched: DualLaneSched::default(),
+            mig: None,
         }))
     }
 
@@ -1154,8 +1256,122 @@ impl ShardServer {
                 arrived,
             } => Self::execute_batch(this, sim, conn_idx, payload, arrived),
             LaneTask::Scan(task) => Self::finish_scan_dispatch(this, sim, task),
+            LaneTask::Mig(work) => work(this, sim),
         }
         Self::pump(this, sim);
+    }
+
+    /// Charges `cost` of shard-core time, then runs `work`. Under the
+    /// dual-lane scheduler the charge rides the throughput lane (so
+    /// migration quanta share bandwidth with scans/batches and point-op
+    /// tails stay isolated); otherwise it queues on the core directly.
+    /// Dropped silently if the shard is (or goes) dead — the migration
+    /// engine's stall guard turns the missing progress into an abort.
+    pub(crate) fn run_on_core(
+        this: &Rc<RefCell<ShardServer>>,
+        sim: &mut Sim,
+        cost: SimTime,
+        work: MigWork,
+    ) {
+        if !this.borrow().alive {
+            return;
+        }
+        if this.borrow().dual_lane() {
+            Self::dual_enqueue(this, sim, THR, LaneTask::Mig(work), cost);
+            return;
+        }
+        let done = {
+            let mut s = this.borrow_mut();
+            s.cpu.acquire(sim.now(), cost)
+        };
+        let this2 = this.clone();
+        sim.schedule_at(done, move |sim| {
+            if this2.borrow().alive {
+                work(&this2, sim);
+            }
+        });
+    }
+
+    /// Applies inbound migration records at a destination shard: Put
+    /// upserts, Delete removes-if-present (merge semantics — a catch-up
+    /// record may supersede a snapshot one). The records then replicate to
+    /// this shard's own secondaries and `on_applied` fires (the channel's
+    /// applied counter, which the flip's quiescence check reads).
+    pub(crate) fn apply_migration_records(
+        this: &Rc<RefCell<ShardServer>>,
+        sim: &mut Sim,
+        records: Vec<(LogOp, Vec<u8>, Vec<u8>)>,
+        on_applied: Box<dyn FnOnce(&mut Sim)>,
+    ) {
+        if records.is_empty() {
+            on_applied(sim);
+            return;
+        }
+        if !this.borrow().alive {
+            return;
+        }
+        let cost = {
+            let s = this.borrow();
+            let c = &s.cfg.costs;
+            records
+                .iter()
+                .map(|(op, _k, v)| match op {
+                    LogOp::Delete => c.delete_ns,
+                    _ => c.write_ns + (v.len() as f64 * c.per_byte_ns).round() as SimTime,
+                })
+                .sum::<SimTime>()
+                + c.poll_ns
+        };
+        Self::run_on_core(
+            this,
+            sim,
+            cost,
+            Box::new(move |this, sim| {
+                let pairs = {
+                    let s = this.borrow_mut();
+                    let now = sim.now();
+                    let engine_rc = s.engine.clone();
+                    let mut engine = engine_rc.borrow_mut();
+                    for (op, k, v) in &records {
+                        match op {
+                            LogOp::Delete => {
+                                let _ = engine.delete(now, k);
+                            }
+                            _ => {
+                                engine
+                                    .put(now, k, v)
+                                    .expect("destination arena sized for migration");
+                            }
+                        }
+                    }
+                    drop(engine);
+                    if let Some(m) = s.mig.clone() {
+                        let mut m = m.borrow_mut();
+                        for (op, k, _v) in &records {
+                            match op {
+                                LogOp::Delete => {
+                                    m.received.remove(k);
+                                }
+                                _ => {
+                                    m.received.insert(k.clone());
+                                }
+                            }
+                        }
+                    }
+                    s.repl.clone()
+                };
+                if !pairs.is_empty() {
+                    let borrowed: Vec<(LogOp, &[u8], &[u8])> = records
+                        .iter()
+                        .map(|(op, k, v)| (*op, k.as_slice(), v.as_slice()))
+                        .collect();
+                    for pair in &pairs {
+                        pair.replicate_batch(sim, &borrowed, None);
+                    }
+                }
+                on_applied(sim);
+            }),
+        );
     }
 
     /// A preempted scan reached its yield boundary: execute the chunks
@@ -1178,6 +1394,7 @@ impl ShardServer {
         }
         let allowance = r.yield_items.unwrap_or(0).min(task.remaining);
         let engine_rc = s.engine.clone();
+        let mig = s.mig.clone();
         let mut scratch = std::mem::take(&mut s.get_scratch);
         let mut count = 0u32;
         let mut last_key: Vec<u8> = Vec::new();
@@ -1187,6 +1404,9 @@ impl ShardServer {
             .scan_into(&task.cursor, &mut scratch, |k, v| {
                 if count == allowance {
                     return false;
+                }
+                if mig.as_ref().is_some_and(|m| !m.borrow().owns(k)) {
+                    return true; // not ours under the live ring: skip
                 }
                 scan_items_push(buf, k, v);
                 last_key.clear();
@@ -1242,6 +1462,7 @@ impl ShardServer {
             }
             let now = sim.now();
             let engine_rc = s.engine.clone();
+            let mig = s.mig.clone();
             let mut scratch = std::mem::take(&mut s.get_scratch);
             let allowance = task.remaining;
             let mut count = 0u32;
@@ -1251,6 +1472,9 @@ impl ShardServer {
                 .scan_into(&task.cursor, &mut scratch, |k, v| {
                     if count == allowance {
                         return false;
+                    }
+                    if mig.as_ref().is_some_and(|m| !m.borrow().owns(k)) {
+                        return true; // not ours under the live ring: skip
                     }
                     scan_items_push(buf, k, v);
                     count += 1;
@@ -1407,7 +1631,7 @@ impl ShardServer {
                 value: &'a [u8],
             },
         }
-        let action = {
+        let (action, forward) = {
             let mut s = this.borrow_mut();
             if !s.alive {
                 return;
@@ -1419,19 +1643,23 @@ impl ShardServer {
             let mut scratch = std::mem::take(&mut s.get_scratch);
             let mut scan_buf = std::mem::take(&mut s.scan_scratch);
             let engine_rc = s.engine.clone();
+            let mig = s.mig.clone();
             let mut engine = engine_rc.borrow_mut();
             let mut resp = Vec::new();
-            let repl = apply_request(
-                &mut engine,
-                now,
-                &req,
-                arena_region,
-                &mut scratch,
-                scan_cap,
-                &mut scan_buf,
-                &mut s.plane,
-                &mut resp,
-            );
+            let repl = with_gate(mig.as_ref(), |gate| {
+                apply_request(
+                    &mut engine,
+                    now,
+                    &req,
+                    arena_region,
+                    &mut scratch,
+                    scan_cap,
+                    &mut scan_buf,
+                    &mut s.plane,
+                    gate,
+                    &mut resp,
+                )
+            });
             match req {
                 Request::Get { .. } => s.stats.gets += 1,
                 Request::Insert { .. } => s.stats.inserts += 1,
@@ -1445,7 +1673,18 @@ impl ShardServer {
             drop(engine);
             s.get_scratch = scratch;
             s.scan_scratch = scan_buf;
-            match repl {
+            // Migration hook for a successful write: dirty the key during
+            // the copy phases, or forward it to the new owner during
+            // DoubleWrite (shipped after the borrow drops).
+            let forward = match (&repl, &mig) {
+                (Some((op, key, value)), Some(m)) => {
+                    let dst = m.borrow_mut().on_local_write(key);
+                    dst.and_then(|d| m.borrow().channel(d))
+                        .map(|ch| (ch, *op, key.to_vec(), value.to_vec()))
+                }
+                _ => None,
+            };
+            let action = match repl {
                 Some((op, key, value)) => Action::Replicate {
                     resp,
                     op,
@@ -1453,9 +1692,13 @@ impl ShardServer {
                     value,
                 },
                 None => Action::Respond(resp),
-            }
+            };
+            (action, forward)
         };
         Self::maybe_schedule_reclaim(this, sim);
+        if let Some((ch, op, key, value)) = forward {
+            ch.ship(sim, vec![(op, key, value)]);
+        }
         match action {
             Action::Respond(resp) => Self::send_response(this, sim, conn_idx, resp),
             Action::Replicate {
@@ -1508,7 +1751,7 @@ impl ShardServer {
         payload: Vec<u8>,
         arrived: SimTime,
     ) {
-        let (resp_bytes, resp_count, repl_records) = {
+        let (resp_bytes, resp_count, repl_records, forwards) = {
             let mut s = this.borrow_mut();
             if !s.alive {
                 return;
@@ -1531,18 +1774,22 @@ impl ShardServer {
             let mut builder = std::mem::take(&mut s.resp_batch);
             builder.clear();
             let engine_rc = s.engine.clone();
+            let mig = s.mig.clone();
             let mut engine = engine_rc.borrow_mut();
-            let (repl, counts) = run_batch(
-                &mut engine,
-                now,
-                &reqs,
-                arena_region,
-                &mut scratch,
-                scan_cap,
-                &mut scan_buf,
-                &mut s.plane,
-                &mut builder,
-            );
+            let (repl, counts) = with_gate(mig.as_ref(), |gate| {
+                run_batch(
+                    &mut engine,
+                    now,
+                    &reqs,
+                    arena_region,
+                    &mut scratch,
+                    scan_cap,
+                    &mut scan_buf,
+                    &mut s.plane,
+                    gate,
+                    &mut builder,
+                )
+            });
             drop(engine);
             s.stats.gets += counts.gets;
             s.stats.inserts += counts.inserts;
@@ -1555,9 +1802,35 @@ impl ShardServer {
             let resp_count = builder.count() as u64;
             let resp_bytes = builder.bytes().to_vec();
             s.resp_batch = builder;
-            (resp_bytes, resp_count, repl)
+            // Migration hooks for the quantum's successful writes, grouped
+            // per destination channel (shipped after the borrow drops).
+            let mut forwards: ChannelShipments = Vec::new();
+            if let Some(m) = &mig {
+                let mut grouped: RecordsByDst = BTreeMap::new();
+                {
+                    let mut mm = m.borrow_mut();
+                    for (op, k, v) in &repl {
+                        if let Some(d) = mm.on_local_write(k) {
+                            grouped
+                                .entry(d)
+                                .or_default()
+                                .push((*op, k.to_vec(), v.to_vec()));
+                        }
+                    }
+                }
+                let mm = m.borrow();
+                for (d, recs) in grouped {
+                    if let Some(ch) = mm.channel(d) {
+                        forwards.push((ch, recs));
+                    }
+                }
+            }
+            (resp_bytes, resp_count, repl, forwards)
         };
         Self::maybe_schedule_reclaim(this, sim);
+        for (ch, recs) in forwards {
+            ch.ship(sim, recs);
+        }
         let (pairs, mode) = {
             let s = this.borrow();
             (s.repl.clone(), s.cfg.replication)

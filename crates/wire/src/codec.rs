@@ -194,6 +194,11 @@ pub enum Status {
     Exists = 3,
     /// Server-side failure (allocation, shard shutting down, ...).
     Error = 4,
+    /// The shard no longer owns the key's range: a live migration flipped
+    /// ownership while this request was in flight. The response's
+    /// `lease_expiry` field carries the post-flip ring generation; the
+    /// client re-routes through its (shared, already-updated) directory.
+    WrongOwner = 5,
 }
 
 impl Status {
@@ -204,6 +209,7 @@ impl Status {
             2 => Status::NotFound,
             3 => Status::Exists,
             4 => Status::Error,
+            5 => Status::WrongOwner,
             _ => return None,
         })
     }
@@ -662,6 +668,16 @@ impl<'a> Response<'a> {
         }
     }
 
+    /// A [`Status::WrongOwner`] redirect: the ring generation that made this
+    /// shard stop owning the key travels in the (otherwise unused)
+    /// `lease_expiry` field.
+    pub fn wrong_owner(req_id: u64, generation: u64) -> Response<'static> {
+        Response {
+            lease_expiry: generation,
+            ..Response::status_only(Status::WrongOwner, req_id)
+        }
+    }
+
     /// Encodes into a fresh buffer.
     pub fn encode(&self) -> Vec<u8> {
         let extra = self.replicas.map_or(0, |r| r.encoded_len());
@@ -799,6 +815,18 @@ mod tests {
 
         let r2 = Response::status_only(Status::NotFound, 7);
         assert_eq!(Response::decode(&r2.encode()).unwrap(), r2);
+    }
+
+    #[test]
+    fn wrong_owner_redirect_roundtrips_with_generation() {
+        let r = Response::wrong_owner(99, 17);
+        let enc = r.encode();
+        let d = Response::decode(&enc).unwrap();
+        assert_eq!(d.status, Status::WrongOwner);
+        assert_eq!(d.req_id, 99);
+        assert_eq!(d.lease_expiry, 17, "generation rides the lease field");
+        assert!(d.value.is_empty());
+        assert!(d.rptr.is_none());
     }
 
     #[test]

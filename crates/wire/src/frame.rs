@@ -191,14 +191,17 @@ pub fn poll_message(src: &[AtomicU64]) -> Result<Option<Vec<u8>>, FrameError> {
 /// poll.
 pub fn consume_message(src: &[AtomicU64], payload_len: usize) {
     let words = frame_words(payload_len);
-    // Clear the head first so a concurrent sender polling for slot-free
-    // cannot observe head==0 while the tail of the previous message still
-    // looks valid mid-frame. Order within the remaining words is irrelevant;
-    // the final Release store publishes the zeroing.
-    for w in src.iter().take(words.saturating_sub(1)) {
+    // Zero the body and tail first; the head goes last, with Release. The
+    // sender's busy-check is an Acquire load of the head, so once it observes
+    // head==0 every other word of the frame is already cleared. Clearing the
+    // head before the tail would let a sender start the next frame while our
+    // tail-zeroing store is still in flight — that store then lands on top of
+    // the new frame's MAGIC_TAIL and wedges both sides (the sender sees
+    // SlotBusy forever, the receiver sees a body that never completes).
+    for w in src.iter().take(words).skip(1) {
         w.store(0, Ordering::Relaxed);
     }
-    src[words - 1].store(0, Ordering::Release);
+    src[0].store(0, Ordering::Release);
 }
 
 #[cfg(test)]

@@ -169,12 +169,74 @@ struct Replay {
     finished: bool,
 }
 
+/// A one-shot action fired from inside the measured run (see
+/// [`run_workload_hooked`]).
+pub type OpHook = Box<dyn FnOnce(&mut Sim)>;
+
+/// Hooks pinned to measured-completion counts, fired as the run crosses
+/// them. Shared by every client's drive loop so the trigger is the *global*
+/// completed-op count, deterministic under the virtual clock.
+struct HookState {
+    completed: u64,
+    /// `(threshold, hook)` sorted ascending; fired hooks become `None`.
+    hooks: Vec<(u64, Option<OpHook>)>,
+}
+
+impl HookState {
+    fn new(mut hooks: Vec<(u64, OpHook)>) -> Rc<RefCell<HookState>> {
+        hooks.sort_by_key(|(at, _)| *at);
+        Rc::new(RefCell::new(HookState {
+            completed: 0,
+            hooks: hooks.into_iter().map(|(at, h)| (at, Some(h))).collect(),
+        }))
+    }
+
+    fn none() -> Rc<RefCell<HookState>> {
+        HookState::new(Vec::new())
+    }
+}
+
+/// Bumps the completion count and fires every hook whose threshold the run
+/// has reached (outside the borrow: hooks start migrations, snapshot stats,
+/// inject faults — anything that may re-enter the clients).
+fn note_completion(sim: &mut Sim, hooks: &Rc<RefCell<HookState>>) {
+    let due: Vec<OpHook> = {
+        let mut st = hooks.borrow_mut();
+        st.completed += 1;
+        let n = st.completed;
+        st.hooks
+            .iter_mut()
+            .filter(|(at, h)| *at <= n && h.is_some())
+            .map(|(_, h)| h.take().expect("filtered"))
+            .collect()
+    };
+    for hook in due {
+        hook(sim);
+    }
+}
+
 /// Loads `wl.records` and replays `wl` over `clients`, returning the report.
 pub fn run_workload<C: KvClient>(
     sim: &mut Sim,
     clients: &[C],
     wl: &Workload,
     cfg: &DriverConfig,
+) -> WorkloadReport {
+    run_workload_hooked(sim, clients, wl, cfg, Vec::new())
+}
+
+/// [`run_workload`] with hooks fired mid-run: each `(at, hook)` pair runs
+/// once, as soon as the measured phase's global completed-op count reaches
+/// `at`. Elasticity experiments use this to start a migration (or inject a
+/// fault) at a workload-pinned instant and to snapshot client statistics at
+/// window boundaries. Hooks whose threshold exceeds the total measured op
+/// count never fire. The warm-up and load phases never fire hooks.
+pub fn run_workload_hooked<C: KvClient>(
+    sim: &mut Sim,
+    clients: &[C],
+    wl: &Workload,
+    cfg: &DriverConfig,
+    hooks: Vec<(u64, OpHook)>,
 ) -> WorkloadReport {
     assert!(!clients.is_empty());
     load_records(sim, clients, wl);
@@ -205,6 +267,7 @@ pub fn run_workload<C: KvClient>(
     let window = cfg.window.max(1);
 
     // Warm-up phase.
+    let no_hooks = HookState::none();
     for (i, client) in clients.iter().enumerate() {
         let st = replays[i].0.clone();
         drive(
@@ -216,6 +279,7 @@ pub fn run_workload<C: KvClient>(
             end_time.clone(),
             strict,
             window,
+            no_hooks.clone(),
         );
     }
     sim.run();
@@ -227,6 +291,7 @@ pub fn run_workload<C: KvClient>(
     }
     let t0 = sim.now();
     end_time.set(t0);
+    let hook_state = HookState::new(hooks);
     for (i, client) in clients.iter().enumerate() {
         let (st, measured) = &replays[i];
         {
@@ -245,6 +310,7 @@ pub fn run_workload<C: KvClient>(
             end_time.clone(),
             strict,
             window,
+            hook_state.clone(),
         );
     }
     sim.run();
@@ -345,6 +411,7 @@ fn drive<C: KvClient>(
     end_time: Rc<Cell<u64>>,
     strict: bool,
     window: usize,
+    hooks: Rc<RefCell<HookState>>,
 ) {
     loop {
         let op = {
@@ -371,6 +438,7 @@ fn drive<C: KvClient>(
             let st = st.clone();
             let done = done.clone();
             let end_time = end_time.clone();
+            let hooks = hooks.clone();
             Box::new(move |sim, r| {
                 {
                     let mut s = st.borrow_mut();
@@ -382,7 +450,8 @@ fn drive<C: KvClient>(
                         s.errors += 1;
                     }
                 }
-                drive(sim, client, wl, st, done, end_time, strict, window);
+                note_completion(sim, &hooks);
+                drive(sim, client, wl, st, done, end_time, strict, window, hooks);
             })
         };
         match op {

@@ -16,7 +16,8 @@ pub mod workload;
 pub mod zipf;
 
 pub use driver::{
-    load_records, run_workload, DriverConfig, KvCb, KvClient, KvSnapshot, WorkloadReport,
+    load_records, run_workload, run_workload_hooked, DriverConfig, KvCb, KvClient, KvSnapshot,
+    OpHook, WorkloadReport,
 };
 pub use workload::{KeyDist, Op, OpMix, OpStream, Workload};
 pub use zipf::ZipfianGenerator;

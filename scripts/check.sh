@@ -38,6 +38,11 @@ HYDRA_SCALE=smoke HYDRA_RESULTS_DIR="$SMOKE_RESULTS" \
 # pure-point under DualLane, and DualLane scan throughput >= 0.9x FIFO.
 HYDRA_SCALE=smoke HYDRA_RESULTS_DIR="$SMOKE_RESULTS" \
     cargo run -q --release -p hydra-bench --bin perf_mix
+# perf_elastic asserts the elastic-membership floors: mid-migration GET p99
+# <= 3x steady state, and zero keys lost/duplicated/misplaced after a live
+# node join (plus a timed quiesced drain).
+HYDRA_SCALE=smoke HYDRA_RESULTS_DIR="$SMOKE_RESULTS" \
+    cargo run -q --release -p hydra-bench --bin perf_elastic
 
 echo "==> chaos soak (100 fixed-seed fault plans, full consistency checks)"
 cargo test -q --release -p hydra-integration --test chaos -- --ignored

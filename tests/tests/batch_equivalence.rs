@@ -112,7 +112,7 @@ proptest! {
             seq_builder.push_with(|out| {
                 action = apply_request(
                     &mut seq_engine, NOW, req, ARENA, &mut seq_scratch, SCAN_CAP,
-                    &mut seq_scan_buf, &mut seq_plane, out,
+                    &mut seq_scan_buf, &mut seq_plane, None, out,
                 );
             });
             if let Some(a) = action {
@@ -128,7 +128,7 @@ proptest! {
         let mut batch_plane = ReadPlane::disabled();
         let (batch_repl, counts) = run_batch(
             &mut batch_engine, NOW, &reqs, ARENA, &mut batch_scratch, SCAN_CAP,
-            &mut batch_scan_buf, &mut batch_plane, &mut batch_builder,
+            &mut batch_scan_buf, &mut batch_plane, None, &mut batch_builder,
         );
 
         // Byte-identical response frames, in request order.

@@ -1,9 +1,17 @@
-//! Node-join data migration (§5.1): a new server machine joins, receives
-//! its consistent-hash ranges, and clients keep reading every key — through
-//! stale-pointer fallbacks where necessary.
+//! Elastic membership (§5.1): live node-join and node-drain migrations under
+//! recorded client traffic, with ownership audits, Wing & Gong
+//! linearizability checks across the flip, and a crash-during-DoubleWrite
+//! abort arm.
 
-use hydra_db::{ClusterBuilder, ClusterConfig};
+use std::cell::Cell;
+use std::rc::Rc;
+
+use hydra_chaos::{FaultEvent, FaultPlan};
+use hydra_db::{
+    ClusterBuilder, ClusterConfig, IndexKind, MigrationOutcome, RecordingClient, ReplicationMode,
+};
 use hydra_integration::{get_value, put_ok};
+use hydra_sim::Sim;
 
 #[test]
 fn node_join_migrates_ranges_and_preserves_every_key() {
@@ -93,4 +101,255 @@ fn warm_pointer_caches_survive_migration_via_fallback() {
         s.rptr_hits > hits_before,
         "unmoved keys must still enjoy the fast path"
     );
+}
+
+/// Closed-loop recorded workload over shared keys: two writes per read,
+/// unique write values, tolerant of op failures (the checker treats failed
+/// writes as maybe-applied). `scans` interleaves a SCAN every fifth op so
+/// the ordered plane is exercised across the flip too.
+#[allow(clippy::too_many_arguments)]
+fn drive_mix(
+    sim: &mut Sim,
+    client: RecordingClient,
+    keys: Rc<Vec<Vec<u8>>>,
+    i: usize,
+    total: usize,
+    scans: bool,
+    done: Rc<Cell<bool>>,
+) {
+    if i >= total {
+        done.set(true);
+        return;
+    }
+    let key = keys[i % keys.len()].clone();
+    let c2 = client.clone();
+    let cont: hydra_db::client::OpCb = Box::new(move |sim, _r| {
+        drive_mix(sim, c2, keys, i + 1, total, scans, done);
+    });
+    if scans && i % 5 == 4 {
+        client.scan(sim, &key, 8, cont);
+    } else if i % 3 == 2 {
+        client.get(sim, &key, cont);
+    } else {
+        let value = format!("c{}-{}", client.client().id(), i).into_bytes();
+        client.put(sim, &key, &value, cont);
+    }
+}
+
+/// One elastic round: a node joins mid-traffic (scripted `JoinNode` chaos
+/// event at a workload-pinned op count), then the first machine drains out
+/// under a second recorded wave. The history must stay linearizable across
+/// both flips, no key may be lost, duplicated, or misplaced, and the old
+/// owners must shed their ranges completely.
+fn elastic_round(seed: u64) {
+    let cfg = ClusterConfig {
+        seed,
+        server_nodes: 3,
+        partitions: Some(3),
+        client_nodes: 1,
+        replicas: 1,
+        replication: ReplicationMode::Strict,
+        index: IndexKind::Hybrid,
+        ..ClusterConfig::default()
+    };
+    let mut cluster = ClusterBuilder::new(cfg).build();
+    // The join fires through the chaos plane once 30 recorded ops have been
+    // invoked, pinning the reconfiguration to a point in the workload.
+    let plan = FaultPlan::new(seed).at_op(30, FaultEvent::JoinNode { shards: 2 });
+    cluster.install_plan(&plan);
+    let chaos = cluster.chaos();
+
+    let keys: Rc<Vec<Vec<u8>>> =
+        Rc::new((0..16).map(|i| format!("el-{i:02}").into_bytes()).collect());
+    let mut dones = Vec::new();
+    for c in 0..2 {
+        let client = cluster.add_recording_client(0);
+        let done = Rc::new(Cell::new(false));
+        drive_mix(
+            &mut cluster.sim,
+            client,
+            keys.clone(),
+            0,
+            80,
+            c == 1,
+            done.clone(),
+        );
+        dones.push(done);
+    }
+    cluster.sim.run();
+    assert!(
+        dones.iter().all(|d| d.get()),
+        "HYDRA_SEED={seed}: join-wave chains did not complete"
+    );
+    assert_eq!(
+        cluster.migration.completed(),
+        1,
+        "HYDRA_SEED={seed}: join must settle once the queue drains"
+    );
+    let gen_after_join = cluster.generation();
+    assert_eq!(
+        cluster.migration_epoch(),
+        gen_after_join,
+        "HYDRA_SEED={seed}: flip must publish the ring generation"
+    );
+
+    // Second wave: drain the first machine while fresh traffic runs.
+    let handle = cluster.start_drain_server(0);
+    let mut dones2 = Vec::new();
+    for _ in 0..2 {
+        let client = cluster.add_recording_client(0);
+        let done = Rc::new(Cell::new(false));
+        drive_mix(
+            &mut cluster.sim,
+            client,
+            keys.clone(),
+            0,
+            80,
+            false,
+            done.clone(),
+        );
+        dones2.push(done);
+    }
+    cluster.sim.run();
+    assert!(
+        dones2.iter().all(|d| d.get()),
+        "HYDRA_SEED={seed}: drain-wave chains did not complete"
+    );
+    assert_eq!(
+        handle.outcome(),
+        MigrationOutcome::Completed,
+        "HYDRA_SEED={seed}: drain must settle"
+    );
+    assert!(cluster.generation() > gen_after_join);
+    assert_eq!(cluster.migration_epoch(), cluster.generation());
+
+    // Nothing lost, duplicated, or misplaced; departed owners fully shed.
+    assert_eq!(
+        cluster.ownership_audit(),
+        (0, 0),
+        "HYDRA_SEED={seed}: misplaced or duplicated keys after the round"
+    );
+    assert_eq!(cluster.total_items(), keys.len(), "HYDRA_SEED={seed}");
+    for p in handle.departing_partitions() {
+        let left = cluster.shard(p).primary.borrow().engine.borrow().len();
+        assert_eq!(
+            left, 0,
+            "HYDRA_SEED={seed}: drained partition {p} still holds {left} keys"
+        );
+    }
+
+    let history = chaos.history();
+    if let Err(v) = history.check_linearizable() {
+        panic!("HYDRA_SEED={seed}: {v}");
+    }
+    if let Err(v) = history.check_reads_observed_writes() {
+        panic!("HYDRA_SEED={seed}: {v}");
+    }
+}
+
+#[test]
+fn live_join_and_drain_under_recorded_traffic_stay_linearizable() {
+    elastic_round(21);
+}
+
+/// Crash the joining machine while the plan is in its DoubleWrite window:
+/// the plan must abort, every key must stay readable from the old owners
+/// (the flip never happened), and the cluster must keep serving.
+fn abort_round(seed: u64) {
+    let cfg = ClusterConfig {
+        seed,
+        server_nodes: 2,
+        shards_per_node: 2,
+        client_nodes: 1,
+        // A tiny quantum stretches the catch-up and double-write window so
+        // the crash below reliably lands inside it.
+        migration_quantum_items: 8,
+        ..ClusterConfig::default()
+    };
+    let mut cluster = ClusterBuilder::new(cfg).build();
+    let client = cluster.add_client(0);
+    let n = 400;
+    for i in 0..n {
+        let k = format!("dw-key-{i:04}");
+        put_ok(
+            &mut cluster,
+            &client,
+            k.as_bytes(),
+            format!("val-{i}").as_bytes(),
+        );
+    }
+    let gen_before = cluster.generation();
+    let chaos = cluster.chaos();
+    let new_idx = cluster.server_nodes.len();
+    let handle = cluster.start_migration(2);
+
+    // Step until a source enters DoubleWrite, then power off the joiner.
+    let mut saw_dw = false;
+    while cluster.sim.step() {
+        if handle.flipped() {
+            break;
+        }
+        if cluster
+            .report()
+            .rows
+            .iter()
+            .any(|r| r.migration_phase == "dblwrite")
+        {
+            saw_dw = true;
+            break;
+        }
+    }
+    assert!(
+        saw_dw,
+        "HYDRA_SEED={seed}: double-write window never observed"
+    );
+    chaos.apply(&mut cluster.sim, &FaultEvent::CrashNode { node: new_idx });
+    cluster.sim.run();
+
+    assert_eq!(
+        handle.outcome(),
+        MigrationOutcome::Aborted,
+        "HYDRA_SEED={seed}: losing the joiner mid-copy must abort the plan"
+    );
+    assert_eq!(cluster.migration.aborted(), 1);
+    assert_eq!(
+        cluster.generation(),
+        gen_before,
+        "HYDRA_SEED={seed}: an aborted plan must not flip the ring"
+    );
+    assert_eq!(cluster.ownership_audit(), (0, 0), "HYDRA_SEED={seed}");
+    assert_eq!(cluster.total_items(), n as usize, "HYDRA_SEED={seed}");
+    for i in 0..n {
+        let k = format!("dw-key-{i:04}");
+        assert_eq!(
+            get_value(&mut cluster, &client, k.as_bytes()).as_deref(),
+            Some(format!("val-{i}").as_bytes()),
+            "HYDRA_SEED={seed}: key {i} lost in aborted migration"
+        );
+    }
+    // Still serviceable after the abort.
+    put_ok(&mut cluster, &client, b"post-abort-probe", b"alive");
+    assert_eq!(
+        get_value(&mut cluster, &client, b"post-abort-probe").as_deref(),
+        Some(b"alive".as_slice())
+    );
+}
+
+#[test]
+fn crash_of_joining_node_mid_double_write_aborts_cleanly() {
+    abort_round(33);
+}
+
+/// Seeded elastic soak: `cargo test -- --ignored elastic`. Every seed runs
+/// a full join+drain round under recorded traffic; every third also runs
+/// the crash-during-DoubleWrite abort arm.
+#[test]
+#[ignore = "soak: ~12 elastic rounds with linearizability checks"]
+fn elastic_round_soak() {
+    for seed in 0..12u64 {
+        elastic_round(seed);
+        if seed % 3 == 0 {
+            abort_round(seed);
+        }
+    }
 }
