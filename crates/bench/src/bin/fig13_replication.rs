@@ -95,6 +95,7 @@ fn main() {
             for (label, mode) in [
                 ("strict req/ack", ReplicationMode::Strict),
                 ("RDMA logging", ReplicationMode::Logging { ack_every: 32 }),
+                ("group commit", ReplicationMode::GroupCommit),
             ] {
                 let us = mean_insert_latency(mode, replicas, clients, inserts_per_client);
                 report.line(&format!(

@@ -1,0 +1,296 @@
+//! BENCH_repl — the group-commit write plane vs per-record strict acks.
+//!
+//! Two views of the same protocol change:
+//!
+//! 1. **Channel microbench** — a single [`ReplicationPair`] driven closed-
+//!    loop at pipeline depth D. Per-record strict req/ack serializes one
+//!    ring write + one ack round trip + one cold merge per record, so its
+//!    throughput is pinned by `apply + ack` regardless of depth. Group
+//!    commit ships doorbell-coalesced log quanta, lets one cumulative ack
+//!    cover everything it has applied, and streams the backlog through the
+//!    batched applier — depth converts directly into merge amortization.
+//!
+//! 2. **Cluster sweep** — the fig13 single-shard serving setup under a
+//!    write-heavy YCSB workload (and YCSB-A for the mixed view), sweeping
+//!    replication mode x replicas x client pipeline depth. Reports the
+//!    strict-semantics write p50 (every completion gated on a covering
+//!    ack) and the throughput ratio over per-record strict.
+//!
+//! Acceptance floors asserted at the bottom: group commit sustains >= 1.5x
+//! the per-record strict record rate at channel depth 64, >= 1.3x cluster
+//! write throughput at depth 64, and a strict-semantics write p50 <= 5.5 us
+//! with one synchronous replica.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use hydra_bench::{one_workload, Report, Scale};
+use hydra_db::{AimdConfig, ClusterBuilder, ClusterConfig, ReplicationMode};
+use hydra_fabric::{Fabric, FabricConfig};
+use hydra_replication::{replicate_strict, ReplConfig, ReplMode, ReplicationPair};
+use hydra_sim::{Histogram, Sim};
+use hydra_store::{EngineConfig, IndexKind, ShardEngine, WriteMode};
+use hydra_wire::LogOp;
+use hydra_ycsb::{run_workload, DriverConfig, Workload};
+
+/// Mirrors the cluster's production channel: apply cost = the primary's
+/// write cost, everything else at `ReplConfig` defaults.
+const APPLY_COST_NS: u64 = 2_200;
+
+struct PairBench {
+    pair: ReplicationPair,
+    issued: Cell<u64>,
+    completed: Cell<u64>,
+    total: u64,
+    lat: RefCell<Histogram>,
+    end: Cell<u64>,
+    strict: bool,
+    keys: Vec<Vec<u8>>,
+}
+
+fn issue(b: &Rc<PairBench>, sim: &mut Sim) {
+    let i = b.issued.get();
+    if i >= b.total {
+        return;
+    }
+    b.issued.set(i + 1);
+    let key = b.keys[(i as usize) % b.keys.len()].clone();
+    let t0 = sim.now();
+    let b2 = b.clone();
+    let cb: Box<dyn FnOnce(&mut Sim)> = Box::new(move |sim: &mut Sim| {
+        b2.lat.borrow_mut().record(sim.now().saturating_sub(t0));
+        let done = b2.completed.get() + 1;
+        b2.completed.set(done);
+        if done == b2.total {
+            b2.end.set(sim.now());
+        }
+        issue(&b2, sim);
+    });
+    let value = [0xCD; 32];
+    if b.strict {
+        replicate_strict(&b.pair, sim, LogOp::Put, &key, &value, cb).expect("record fits ring");
+    } else {
+        b.pair
+            .replicate(sim, LogOp::Put, &key, &value, Some(cb))
+            .expect("record fits ring");
+    }
+}
+
+/// Closed-loop channel throughput at pipeline depth `depth`: records/sec
+/// over virtual time plus the ack-gated completion latency distribution.
+fn run_pair(mode: ReplMode, depth: usize, total: u64) -> (f64, f64, f64) {
+    let mut sim = Sim::new(41);
+    let fab = Fabric::new(FabricConfig::default());
+    let p = fab.add_node();
+    let s = fab.add_node();
+    let engine = Rc::new(RefCell::new(ShardEngine::new(EngineConfig {
+        arena_words: 1 << 22,
+        expected_items: 1 << 14,
+        index: IndexKind::Packed,
+        write_mode: WriteMode::Reliable,
+        min_lease_ns: 100,
+        max_lease_ns: 6_400,
+    })));
+    let pair = ReplicationPair::new(
+        &fab,
+        p,
+        s,
+        engine,
+        ReplConfig {
+            ring_words: 1 << 18,
+            mode,
+            apply_cost_ns: APPLY_COST_NS,
+            ..ReplConfig::default()
+        },
+    );
+    let bench = Rc::new(PairBench {
+        pair,
+        issued: Cell::new(0),
+        completed: Cell::new(0),
+        total,
+        lat: RefCell::new(Histogram::new()),
+        end: Cell::new(0),
+        strict: matches!(mode, ReplMode::Strict),
+        keys: (0..1024u32)
+            .map(|i| format!("repl-key-{i:06}").into_bytes())
+            .collect(),
+    });
+    for _ in 0..depth {
+        issue(&bench, &mut sim);
+    }
+    sim.run();
+    assert_eq!(bench.completed.get(), total, "channel drained every record");
+    let elapsed = bench.end.get().max(1);
+    let mrecs = total as f64 / (elapsed as f64 / 1e9) / 1e6;
+    let lat = bench.lat.borrow();
+    (
+        mrecs,
+        lat.quantile(0.5) as f64 / 1_000.0,
+        lat.quantile(0.99) as f64 / 1_000.0,
+    )
+}
+
+/// Fig13-style serving setup: one shard, dedicated replica machines, the
+/// replication channel as the only difference between arms. Total depth =
+/// clients x window; AIMD stays off so the sweep controls the window, and
+/// depth 1 is a true single closed-loop client (the latency gate's view).
+fn cluster_run(
+    mode: ReplicationMode,
+    replicas: u32,
+    clients: usize,
+    window: usize,
+    wl: &Workload,
+) -> hydra_ycsb::WorkloadReport {
+    let cfg = ClusterConfig {
+        server_nodes: 1 + replicas.max(1),
+        shards_per_node: 1,
+        partitions: Some(1),
+        client_nodes: 2,
+        replicas,
+        replication: mode,
+        pipeline_depth: window,
+        aimd: AimdConfig {
+            enabled: false,
+            ..AimdConfig::default()
+        },
+        arena_words: 1 << 23,
+        expected_items: 1 << 20,
+        repl_ring_words: 1 << 18,
+        ..ClusterConfig::default()
+    };
+    let mut cluster = ClusterBuilder::new(cfg).build();
+    let cl: Vec<_> = (0..clients).map(|i| cluster.add_client(i % 2)).collect();
+    let dcfg = DriverConfig {
+        window,
+        ..DriverConfig::default()
+    };
+    run_workload(&mut cluster.sim, &cl, wl, &dcfg)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut report = Report::new(
+        "BENCH_repl",
+        "Group-commit write plane: cumulative acks + pipelined replication vs per-record strict",
+    );
+
+    // Part 1: the replication channel in isolation.
+    report.line("## channel microbench (one ReplicationPair, closed loop)");
+    report.line(&format!(
+        "{:<22} {:>6} {:>10} {:>10} {:>10}",
+        "protocol", "depth", "Mrec/s", "p50_us", "p99_us"
+    ));
+    let total = (scale.ops() / 2).max(5_000);
+    let mut strict_d64 = 0.0;
+    let mut gc_d64 = 0.0;
+    for (label, mode) in [
+        ("strict req/ack", ReplMode::Strict),
+        ("group commit", ReplMode::GroupCommit),
+    ] {
+        for depth in [1usize, 16, 64] {
+            let (mrecs, p50, p99) = run_pair(mode, depth, total);
+            if depth == 64 {
+                match mode {
+                    ReplMode::Strict => strict_d64 = mrecs,
+                    _ => gc_d64 = mrecs,
+                }
+            }
+            report.line(&format!(
+                "{label:<22} {depth:>6} {mrecs:>10.3} {p50:>10.2} {p99:>10.2}"
+            ));
+            let k = if matches!(mode, ReplMode::Strict) {
+                "strict"
+            } else {
+                "gc"
+            };
+            report.datum(&format!("pair/{k}/d{depth}/mrecs"), mrecs);
+            report.datum(&format!("pair/{k}/d{depth}/p50_us"), p50);
+        }
+    }
+    let pair_speedup = gc_d64 / strict_d64.max(1e-9);
+    report.line(&format!(
+        "# channel speedup at depth 64: {pair_speedup:.2}x (floor 1.5x)"
+    ));
+    report.datum("pair/speedup_d64", pair_speedup);
+
+    // Part 2: end-to-end cluster sweep (write-heavy, then YCSB-A).
+    report.line("");
+    report.line("## cluster sweep (single shard, depth = clients x window)");
+    report.line(&format!(
+        "{:<12} {:<16} {:>4} {:>6} {:>10} {:>12} {:>12}",
+        "workload", "protocol", "reps", "depth", "Mops", "upd_p50_us", "upd_p99_us"
+    ));
+    let arms = [
+        ("strict", ReplicationMode::Strict),
+        ("gc", ReplicationMode::GroupCommit),
+    ];
+    let mut strict_wh_d64 = 0.0;
+    let mut gc_wh_d64 = 0.0;
+    let mut gc_p50_d1_r1 = f64::NAN;
+    for (wl_name, read_ratio) in [("write-heavy", 0.0), ("ycsb-a", 0.5)] {
+        let wl = one_workload(scale, read_ratio, true, 47);
+        for (name, mode) in arms {
+            for replicas in [1u32, 2] {
+                for (clients, window) in [(1usize, 1usize), (4, 4), (8, 8)] {
+                    let depth = clients * window;
+                    // YCSB-A rides along at the grid's corners only.
+                    if wl_name == "ycsb-a" && (replicas != 1 || depth == 16) {
+                        continue;
+                    }
+                    let r = cluster_run(mode, replicas, clients, window, &wl);
+                    if wl_name == "write-heavy" && replicas == 1 && depth == 64 {
+                        match mode {
+                            ReplicationMode::Strict => strict_wh_d64 = r.mops,
+                            _ => gc_wh_d64 = r.mops,
+                        }
+                    }
+                    if wl_name == "write-heavy"
+                        && replicas == 1
+                        && depth == 1
+                        && matches!(mode, ReplicationMode::GroupCommit)
+                    {
+                        gc_p50_d1_r1 = r.update_p50_us;
+                    }
+                    report.line(&format!(
+                        "{:<12} {:<16} {:>4} {:>6} {:>10.3} {:>12.2} {:>12.2}",
+                        wl_name, name, replicas, depth, r.mops, r.update_p50_us, r.update_p99_us
+                    ));
+                    report.datum(
+                        &format!("{wl_name}/{name}/r{replicas}/d{depth}/mops"),
+                        r.mops,
+                    );
+                    report.datum(
+                        &format!("{wl_name}/{name}/r{replicas}/d{depth}/upd_p50_us"),
+                        r.update_p50_us,
+                    );
+                }
+            }
+        }
+    }
+    let cluster_speedup = gc_wh_d64 / strict_wh_d64.max(1e-9);
+    report.line(&format!(
+        "# cluster write speedup at depth 64 (r1): {cluster_speedup:.2}x (floor 1.3x)"
+    ));
+    report.line(&format!(
+        "# group-commit write p50, depth 1, 1 replica: {gc_p50_d1_r1:.2} us (ceiling 5.5 us)"
+    ));
+    report.datum("cluster/speedup_d64", cluster_speedup);
+    report.datum("cluster/gc_p50_d1_r1_us", gc_p50_d1_r1);
+    report.save();
+
+    assert!(
+        pair_speedup >= 1.5,
+        "group commit must sustain >= 1.5x per-record strict at channel depth 64 \
+         ({pair_speedup:.2}x)"
+    );
+    assert!(
+        cluster_speedup >= 1.3,
+        "group commit must deliver >= 1.3x cluster write throughput at depth 64 \
+         ({cluster_speedup:.2}x)"
+    );
+    assert!(
+        gc_p50_d1_r1 <= 5.5,
+        "strict-semantics write p50 with one replica must stay <= 5.5 us \
+         ({gc_p50_d1_r1:.2} us)"
+    );
+}

@@ -185,6 +185,7 @@ impl ChaosController {
         let repl_mode = match cfg.replication {
             ReplicationMode::Strict => ReplMode::Strict,
             ReplicationMode::Logging { ack_every } => ReplMode::Logging { ack_every },
+            ReplicationMode::GroupCommit => ReplMode::GroupCommit,
             ReplicationMode::None => return,
         };
         let groups: Vec<(Srv, Vec<Srv>)> = {
@@ -351,6 +352,7 @@ impl ChaosController {
         let repl_mode = match cfg.replication {
             ReplicationMode::Strict => Some(ReplMode::Strict),
             ReplicationMode::Logging { ack_every } => Some(ReplMode::Logging { ack_every }),
+            ReplicationMode::GroupCommit => Some(ReplMode::GroupCommit),
             ReplicationMode::None => None,
         };
         let n_parts = ha_rc.borrow().partitions.len();
@@ -503,6 +505,7 @@ impl ChaosController {
                 ring_words: cfg.repl_ring_words,
                 mode,
                 apply_cost_ns: cfg.costs.write_ns,
+                ..ReplConfig::default()
             },
         );
         primary.borrow_mut().add_replica(pair);

@@ -66,7 +66,7 @@ impl std::fmt::Display for ClusterReport {
         )?;
         writeln!(
             f,
-            "{:<5} {:<5} {:<6} {:>9} {:>8} {:>8} {:>10} {:>6} {:>8} {:<9} {:>8} {:>8}",
+            "{:<5} {:<5} {:<6} {:>9} {:>8} {:>8} {:>10} {:>6} {:>8} {:>6} {:>8} {:>8} {:<9} {:>8} {:>8}",
             "part",
             "node",
             "alive",
@@ -76,6 +76,9 @@ impl std::fmt::Display for ClusterReport {
             "requests",
             "secs",
             "unacked",
+            "lag",
+            "backlog",
+            "acks/rec",
             "phase",
             "moved",
             "drained"
@@ -83,7 +86,7 @@ impl std::fmt::Display for ClusterReport {
         for r in &self.rows {
             writeln!(
                 f,
-                "{:<5} {:<5} {:<6} {:>9} {:>7.1}% {:>8} {:>10} {:>6} {:>8} {:<9} {:>8} {:>8}",
+                "{:<5} {:<5} {:<6} {:>9} {:>7.1}% {:>8} {:>10} {:>6} {:>8} {:>6} {:>8} {:>8.3} {:<9} {:>8} {:>8}",
                 r.partition,
                 r.node,
                 r.alive,
@@ -93,6 +96,9 @@ impl std::fmt::Display for ClusterReport {
                 r.requests,
                 r.secondaries,
                 r.repl_unacked,
+                r.repl_lag_max,
+                r.repl_backlog,
+                r.repl_acks_per_record,
                 r.migration_phase,
                 r.moved_keys,
                 r.drained_keys
@@ -116,6 +122,21 @@ pub struct PartitionReport {
     pub responses: u64,
     pub secondaries: usize,
     pub repl_unacked: u64,
+    /// Worst per-pair replication lag (`next_seq - acked`, includes
+    /// in-flight AckRequests) across this partition's channels.
+    pub repl_lag_max: u64,
+    /// Ring words occupied by shipped-but-unacknowledged frames, summed
+    /// over the partition's channels.
+    pub repl_inflight_words: usize,
+    /// Records parked behind full rings, summed over the channels.
+    pub repl_backlog: usize,
+    /// Acknowledgements received per shipped record (cumulative acks push
+    /// this well below 1.0; per-record strict sits at ~1.0).
+    pub repl_acks_per_record: f64,
+    /// Group-commit release-batch size histogram (log2 buckets), summed
+    /// over the partition's channels: bucket `i` counts cumulative acks
+    /// that released `2^i..2^(i+1)` held responses at once.
+    pub repl_release_hist: [u64; 16],
     /// Live-migration state-machine phase label (`"idle"` outside a plan).
     pub migration_phase: &'static str,
     /// Keys this partition streamed out as a migration source.
@@ -185,6 +206,7 @@ impl HaState {
         let repl_mode = match self.cfg.replication {
             ReplicationMode::Strict => Some(ReplMode::Strict),
             ReplicationMode::Logging { ack_every } => Some(ReplMode::Logging { ack_every }),
+            ReplicationMode::GroupCommit => Some(ReplMode::GroupCommit),
             ReplicationMode::None => None,
         };
         if let Some(mode) = repl_mode {
@@ -200,6 +222,7 @@ impl HaState {
                         ring_words: self.cfg.repl_ring_words,
                         mode,
                         apply_cost_ns: self.cfg.costs.write_ns,
+                        ..ReplConfig::default()
                     },
                 );
                 np.repl.push(pair);
@@ -277,6 +300,7 @@ impl ClusterBuilder {
         let repl_mode = match cfg.replication {
             ReplicationMode::Strict => Some(ReplMode::Strict),
             ReplicationMode::Logging { ack_every } => Some(ReplMode::Logging { ack_every }),
+            ReplicationMode::GroupCommit => Some(ReplMode::GroupCommit),
             ReplicationMode::None => None,
         };
 
@@ -303,6 +327,7 @@ impl ClusterBuilder {
                             ring_words: cfg.repl_ring_words,
                             mode,
                             apply_cost_ns: cfg.costs.write_ns,
+                            ..ReplConfig::default()
                         },
                     );
                     let mut prim = primary.borrow_mut();
@@ -739,6 +764,21 @@ impl Cluster {
                         st.records.saturating_sub(pair.acked())
                     })
                     .sum();
+                let repl_lag_max = s.repl.iter().map(|pair| pair.lag()).max().unwrap_or(0);
+                let repl_inflight_words: usize =
+                    s.repl.iter().map(|pair| pair.inflight_words()).sum();
+                let repl_backlog: usize = s.repl.iter().map(|pair| pair.backlog_len()).sum();
+                let (acks, records) = s.repl.iter().fold((0u64, 0u64), |(a, r), pair| {
+                    let st = pair.stats();
+                    (a + st.acks, r + st.records)
+                });
+                let repl_acks_per_record = acks as f64 / records.max(1) as f64;
+                let mut repl_release_hist = [0u64; 16];
+                for pair in &s.repl {
+                    for (b, n) in pair.stats().release_hist.iter().enumerate() {
+                        repl_release_hist[b] += n;
+                    }
+                }
                 let (migration_phase, moved_keys, moved_bytes, drained_keys) = match &s.mig {
                     Some(m) => {
                         let m = m.borrow();
@@ -764,6 +804,11 @@ impl Cluster {
                     responses: stats.responses,
                     secondaries: state.secondaries.len(),
                     repl_unacked: repl_lag,
+                    repl_lag_max,
+                    repl_inflight_words,
+                    repl_backlog,
+                    repl_acks_per_record,
+                    repl_release_hist,
                     migration_phase,
                     moved_keys,
                     moved_bytes,

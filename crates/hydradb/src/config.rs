@@ -123,6 +123,18 @@ pub enum ReplicationMode {
         /// Records between acknowledgement requests.
         ack_every: u32,
     },
+    /// Group commit: strict durability (respond only once a cumulative ack
+    /// covers the record) with doorbell-coalesced log quanta, one watermark
+    /// ack per train, and seq-ordered release of held responses.
+    GroupCommit,
+}
+
+impl ReplicationMode {
+    /// Whether responses are held for a covering secondary acknowledgement
+    /// (strict durability semantics) rather than completing at delivery.
+    pub fn strict_semantics(&self) -> bool {
+        matches!(self, ReplicationMode::Strict | ReplicationMode::GroupCommit)
+    }
 }
 
 /// Server CPU cost model (nanoseconds of shard-core time per action).
@@ -173,6 +185,12 @@ pub struct CostModel {
     /// neighbouring keys (memory-level parallelism), so a batched GET's
     /// probe phase costs less than a serial one.
     pub batch_probe_factor: f64,
+    /// Multiplier on `write_ns` for INSERT/UPDATEs executed through the
+    /// batched path: like `batch_probe_factor`, neighbouring writes in a
+    /// quantum overlap their index-probe and arena-allocation misses
+    /// (memory-level parallelism), and the write path has more miss work to
+    /// hide than a pure probe. Value copies (`per_byte_ns`) stay serial.
+    pub batch_write_factor: f64,
     /// Sub-sharding model: in-process hand-off from the connection thread
     /// to a sub-shard core (no kernel synchronization, just a queue push).
     pub subshard_handoff_ns: SimTime,
@@ -204,6 +222,7 @@ impl Default for CostModel {
             numa_remote_ns: 320,
             post_wqe_ns: 0,
             batch_probe_factor: 0.85,
+            batch_write_factor: 0.7,
             subshard_handoff_ns: 120,
             scan_base_ns: 600,
             scan_item_ns: 50,

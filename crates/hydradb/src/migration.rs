@@ -532,6 +532,7 @@ impl MigrationEngine {
         let repl_mode = match cfg.replication {
             ReplicationMode::Strict => Some(ReplMode::Strict),
             ReplicationMode::Logging { ack_every } => Some(ReplMode::Logging { ack_every }),
+            ReplicationMode::GroupCommit => Some(ReplMode::GroupCommit),
             ReplicationMode::None => None,
         };
         let home = server_nodes
@@ -572,6 +573,7 @@ impl MigrationEngine {
                             ring_words: cfg.repl_ring_words,
                             mode,
                             apply_cost_ns: cfg.costs.write_ns,
+                            ..ReplConfig::default()
                         },
                     );
                     let mut prim = primary.borrow_mut();
@@ -1201,7 +1203,8 @@ fn drain_quantum(
                 .map(|k| (LogOp::Delete, k.as_slice(), &[][..]))
                 .collect();
             for pair in &pairs {
-                pair.replicate_batch(sim, &records, None);
+                pair.replicate_batch(sim, &records, None)
+                    .expect("catch-up records bounded by msg slot, fit repl ring");
             }
         }
     }

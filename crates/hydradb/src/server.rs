@@ -289,6 +289,10 @@ enum LaneTask {
     },
     /// A singleton scan, executed in preemptible chunks.
     Scan(ScanTask),
+    /// A point op that already executed at dispatch (a group-commit write
+    /// whose replication ship overlaps the modeled merge): the completion
+    /// event only frees the core.
+    Executed,
     /// A migration quantum or inbound record batch (throughput lane: data
     /// movement shares bandwidth with scans and never blocks point ops).
     Mig(MigWork),
@@ -922,11 +926,17 @@ impl ShardServer {
     /// CPU-cost of one request executed inside a batch quantum. The fixed
     /// per-frame work (one sweep step, one response WQE for the whole
     /// frame) is charged once by the caller; batched GETs probe the index
-    /// interleaved, overlapping their cache misses.
+    /// interleaved, overlapping their cache misses, and batched writes
+    /// likewise overlap their probe/allocation misses (value copies stay
+    /// serial).
     fn batch_item_cost(&self, req: &Request<'_>, send_recv: bool) -> SimTime {
         let c = &self.cfg.costs;
         let base = match req {
             Request::Get { .. } => (c.get_ns as f64 * c.batch_probe_factor).round() as SimTime,
+            Request::Insert { value, .. } | Request::Update { value, .. } => {
+                (c.write_ns as f64 * c.batch_write_factor).round() as SimTime
+                    + (value.len() as f64 * c.per_byte_ns).round() as SimTime
+            }
             _ => self.base_cost(req),
         };
         base + self.surcharges(send_recv)
@@ -970,7 +980,7 @@ impl ShardServer {
             Self::on_single_dual(this, sim, conn_idx, payload);
             return;
         }
-        let (done_at, arrived) = {
+        let (done_at, arrived, exec_at) = {
             let mut s = this.borrow_mut();
             if !s.alive {
                 s.stats.dropped_while_dead += 1;
@@ -1034,12 +1044,45 @@ impl ShardServer {
                     s.workers[sub].acquire(routed, cost)
                 }
             };
-            (done_at, now)
+            // Group-commit writes execute at their core slot's *start* so
+            // the replication ship overlaps the modeled merge; the response
+            // stays gated on `done_at`.
+            let exec_at =
+                if matches!(s.cfg.exec_model, ExecModel::SingleThreaded) && s.overlap_exec(&req) {
+                    done_at.saturating_sub(cost)
+                } else {
+                    done_at
+                };
+            (done_at, now, exec_at)
         };
         let this2 = this.clone();
-        sim.schedule_at(done_at, move |sim| {
-            Self::execute(&this2, sim, conn_idx, payload, arrived);
+        sim.schedule_at(exec_at, move |sim| {
+            Self::execute(&this2, sim, conn_idx, payload, arrived, done_at);
         });
+    }
+
+    /// Whether this write's execution can start at its core slot's *start*
+    /// with the response gated on the slot's end: under group commit the
+    /// replication WQE is posted as the local merge begins, so the record's
+    /// flight and the cumulative ack overlap the modeled merge time instead
+    /// of queueing behind it. Same-shard requests still serialize on the
+    /// core FIFO — no other execution lands inside the slot — and the
+    /// write's linearization point stays within its invocation-response
+    /// window, so the early mutation is observationally equivalent.
+    fn overlap_exec(&self, req: &Request) -> bool {
+        matches!(self.cfg.replication, ReplicationMode::GroupCommit)
+            && !self.repl.is_empty()
+            && matches!(
+                req,
+                Request::Insert { .. } | Request::Update { .. } | Request::Delete { .. }
+            )
+    }
+
+    /// [`Self::overlap_exec`] for an undecoded singleton payload.
+    fn overlap_exec_payload(&self, payload: &[u8]) -> bool {
+        Request::decode(payload)
+            .map(|req| self.overlap_exec(&req))
+            .unwrap_or(false)
     }
 
     /// Whether this shard runs the dual-lane DRR scheduler (single-threaded
@@ -1228,6 +1271,21 @@ impl ShardServer {
         let ev = sim.schedule_at(done, move |sim| {
             Self::on_task_complete(&this2, sim);
         });
+        // A group-commit write posts its replication WQE as the merge
+        // starts: execute at dispatch (the mutation is synchronous, so the
+        // log record only ships for a write that succeeded) and gate the
+        // response on the slot's end, letting the record's flight and the
+        // cumulative ack overlap the modeled merge time.
+        let (task, early) = match task {
+            LaneTask::Point {
+                conn_idx,
+                payload,
+                arrived,
+            } if s.overlap_exec_payload(&payload) => {
+                (LaneTask::Executed, Some((conn_idx, payload, arrived)))
+            }
+            t => (t, None),
+        };
         s.sched.running = Some(Running {
             ev,
             start: now,
@@ -1236,6 +1294,10 @@ impl ShardServer {
             yield_items: None,
             task,
         });
+        if let Some((conn_idx, payload, arrived)) = early {
+            drop(s);
+            Self::execute(this, sim, conn_idx, payload, arrived, done);
+        }
     }
 
     /// A dispatched task ran to completion: execute it (decode + engine +
@@ -1244,12 +1306,13 @@ impl ShardServer {
     fn on_task_complete(this: &Rc<RefCell<ShardServer>>, sim: &mut Sim) {
         let r = this.borrow_mut().sched.running.take();
         let Some(r) = r else { return };
+        let now = sim.now();
         match r.task {
             LaneTask::Point {
                 conn_idx,
                 payload,
                 arrived,
-            } => Self::execute(this, sim, conn_idx, payload, arrived),
+            } => Self::execute(this, sim, conn_idx, payload, arrived, now),
             LaneTask::Batch {
                 conn_idx,
                 payload,
@@ -1257,6 +1320,7 @@ impl ShardServer {
             } => Self::execute_batch(this, sim, conn_idx, payload, arrived),
             LaneTask::Scan(task) => Self::finish_scan_dispatch(this, sim, task),
             LaneTask::Mig(work) => work(this, sim),
+            LaneTask::Executed => {}
         }
         Self::pump(this, sim);
     }
@@ -1366,7 +1430,8 @@ impl ShardServer {
                         .map(|(op, k, v)| (*op, k.as_slice(), v.as_slice()))
                         .collect();
                     for pair in &pairs {
-                        pair.replicate_batch(sim, &borrowed, None);
+                        pair.replicate_batch(sim, &borrowed, None)
+                            .expect("migrated records bounded by msg slot, fit repl ring");
                     }
                 }
                 on_applied(sim);
@@ -1615,12 +1680,18 @@ impl ShardServer {
     /// copies into its arena where it must, replication reads the borrowed
     /// slices directly, and GET values land in a per-shard scratch buffer
     /// reused across requests. No per-request `to_vec()`.
+    ///
+    /// `ready_at` is the modeled completion time of this request's core
+    /// slot: it equals `sim.now()` except for overlapped group-commit
+    /// writes (see [`Self::overlap_exec`]), which execute at slot start and
+    /// gate their response on the slot's end.
     fn execute(
         this: &Rc<RefCell<ShardServer>>,
         sim: &mut Sim,
         conn_idx: usize,
         payload: Vec<u8>,
         arrived: SimTime,
+        ready_at: SimTime,
     ) {
         enum Action<'a> {
             Respond(Vec<u8>),
@@ -1669,7 +1740,7 @@ impl ShardServer {
                 Request::Scan { .. } => s.stats.scans += 1,
             }
             s.stats.service_time_hist_by_op[op_slot(&req)]
-                [log2_bucket(now.saturating_sub(arrived))] += 1;
+                [log2_bucket(ready_at.saturating_sub(arrived))] += 1;
             drop(engine);
             s.get_scratch = scratch;
             s.scan_scratch = scan_buf;
@@ -1700,7 +1771,7 @@ impl ShardServer {
             ch.ship(sim, vec![(op, key, value)]);
         }
         match action {
-            Action::Respond(resp) => Self::send_response(this, sim, conn_idx, resp),
+            Action::Respond(resp) => Self::respond_at(this, sim, conn_idx, resp, ready_at),
             Action::Replicate {
                 resp,
                 op,
@@ -1712,12 +1783,32 @@ impl ShardServer {
                     (s.repl.clone(), s.cfg.replication)
                 };
                 if pairs.is_empty() || matches!(mode, ReplicationMode::None) {
-                    Self::send_response(this, sim, conn_idx, resp);
+                    Self::respond_at(this, sim, conn_idx, resp, ready_at);
                     return;
                 }
-                // Synchronous star replication: respond once every secondary
-                // reports completion for its mode.
-                let remaining = Rc::new(std::cell::Cell::new(pairs.len()));
+                // Star replication: respond once every secondary reports
+                // completion for its mode. The shard pipeline is NOT held
+                // for the replication round trip — subsequent requests
+                // execute and ship while these completions are in flight;
+                // strict-semantics modes merely hold this one response
+                // until its covering ack (per-record for Strict, cumulative
+                // for GroupCommit) arrives. An overlapped group-commit
+                // write adds one more gate: the core slot itself, so the
+                // client never sees a completion before the modeled merge
+                // finishes.
+                let extra = usize::from(sim.now() < ready_at);
+                let remaining = Rc::new(std::cell::Cell::new(pairs.len() + extra));
+                if extra == 1 {
+                    let remaining = remaining.clone();
+                    let this2 = this.clone();
+                    let resp2 = resp.clone();
+                    sim.schedule_at(ready_at, move |sim| {
+                        remaining.set(remaining.get() - 1);
+                        if remaining.get() == 0 {
+                            Self::send_response(&this2, sim, conn_idx, resp2);
+                        }
+                    });
+                }
                 for pair in &pairs {
                     let remaining = remaining.clone();
                     let this2 = this.clone();
@@ -1731,8 +1822,17 @@ impl ShardServer {
                     match mode {
                         ReplicationMode::Strict => {
                             replicate_strict(pair, sim, op, key, value, done)
+                                .expect("write bounded by msg slot, fits repl ring")
                         }
-                        _ => pair.replicate(sim, op, key, value, Some(done)),
+                        // GroupCommit ships even a singleton through the
+                        // doorbell-batched path so its AckRequest rides the
+                        // same doorbell as the record.
+                        ReplicationMode::GroupCommit => pair
+                            .replicate_batch(sim, &[(op, key, value)], Some(done))
+                            .expect("write bounded by msg slot, fits repl ring"),
+                        _ => pair
+                            .replicate(sim, op, key, value, Some(done))
+                            .expect("write bounded by msg slot, fits repl ring"),
                     }
                 }
             }
@@ -1852,7 +1952,8 @@ impl ShardServer {
                     Self::send_response_frame(&this2, sim, conn_idx, resp2, resp_count);
                 }
             });
-            pair.replicate_batch(sim, &repl_records, Some(done));
+            pair.replicate_batch(sim, &repl_records, Some(done))
+                .expect("writes bounded by msg slot, fit repl ring");
         }
     }
 
@@ -1892,6 +1993,26 @@ impl ShardServer {
         resp: Vec<u8>,
     ) {
         Self::send_response_frame(this, sim, conn_idx, resp, 1);
+    }
+
+    /// Emits a response at `ready_at` — immediately in the common case
+    /// where the core slot already completed, deferred for an overlapped
+    /// group-commit write that executed at its slot's start.
+    fn respond_at(
+        this: &Rc<RefCell<ShardServer>>,
+        sim: &mut Sim,
+        conn_idx: usize,
+        resp: Vec<u8>,
+        ready_at: SimTime,
+    ) {
+        if sim.now() >= ready_at {
+            Self::send_response(this, sim, conn_idx, resp);
+        } else {
+            let this2 = this.clone();
+            sim.schedule_at(ready_at, move |sim| {
+                Self::send_response(&this2, sim, conn_idx, resp);
+            });
+        }
     }
 
     /// Like [`Self::send_response`], for a frame carrying `count` responses

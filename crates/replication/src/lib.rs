@@ -24,6 +24,23 @@
 //!   Write is delivered — one one-way flight; repairs happen asynchronously.
 //!   In the **strict** baseline mode (Fig. 13's "request/acknowledge") the
 //!   secondary acknowledges every record and completion waits for the ack.
+//! * The **group-commit** mode keeps strict's respond-only-after-ack
+//!   durability at a fraction of the ack traffic: records ship through the
+//!   doorbell-batched ring path with the `AckRequest` riding the same
+//!   doorbell, the secondary writes back one cumulative watermark (the
+//!   highest contiguously accepted sequence), and the primary releases
+//!   *every* waiter at or below it from the seq-ordered completion queue.
+//!   The ack-coverage invariant: a waiter fires only once its record — and
+//!   every record before it — is contiguously staged in the replica (gaps
+//!   and processing failures stall the watermark until the rollback resend
+//!   repairs them), so an acknowledged write survives a primary crash.
+//!   The secondary drains each delivered quantum through a batched applier:
+//!   consecutive records of one drain pass merge at
+//!   [`ReplConfig::batch_apply_factor`] of the cold cost (streaming a
+//!   contiguous log quantum, the way the server's `run_batch` amortizes),
+//!   and the watermark ack is published from the receive path, delayed only
+//!   when the merge backlog exceeds [`ReplConfig::staged_ack_lag_ns`]
+//!   (bounded-apply-queue backpressure).
 
 use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
@@ -52,6 +69,21 @@ pub enum ReplMode {
         /// Records between acknowledgement requests.
         ack_every: u32,
     },
+    /// Group commit: strict's durability (complete only at a covering ack)
+    /// with cumulative acknowledgements. Records ship through the
+    /// doorbell-batched ring path, an `AckRequest` rides the same doorbell
+    /// whenever none is outstanding, and one watermark ack releases every
+    /// waiter at or below it in sequence order.
+    GroupCommit,
+}
+
+impl ReplMode {
+    /// Whether completions in this mode carry strict durability semantics
+    /// (the client response is held until a secondary acknowledgement
+    /// covers the record) rather than delivery semantics.
+    pub fn strict_semantics(&self) -> bool {
+        matches!(self, ReplMode::Strict | ReplMode::GroupCommit)
+    }
 }
 
 /// Configuration for one primary/secondary pair.
@@ -64,6 +96,24 @@ pub struct ReplConfig {
     pub mode: ReplMode,
     /// Secondary CPU cost to merge one record into its store.
     pub apply_cost_ns: u64,
+    /// Merge-cost multiplier for records merged mid-stream by the batched
+    /// applier. Streaming backlogged log records out of the ring amortizes
+    /// decode and overlaps index/arena cache misses the way the server's
+    /// `run_batch` does, so a warm merge costs
+    /// `apply_cost_ns * batch_apply_factor`. The stream breaks — and the
+    /// next record pays the full cold cost — when the applier idles, and
+    /// whenever a per-record acknowledgement (Strict, and Logging's every
+    /// `ack_every`-th record) forces the applier out of its decode-merge
+    /// loop to build the ack. Group commit's cumulative watermark is
+    /// published from the receive path, so its acks never break the stream.
+    pub batch_apply_factor: f64,
+    /// GroupCommit only: how far (in modeled merge time) the receive-path
+    /// watermark ack may run ahead of the applier's merge completion.
+    /// Within the bound the ack is published as soon as the quantum is
+    /// staged; beyond it the ack is delayed by the excess — a bounded
+    /// apply queue, so acknowledgement throughput can never outrun the
+    /// applier for long.
+    pub staged_ack_lag_ns: u64,
 }
 
 impl Default for ReplConfig {
@@ -72,9 +122,53 @@ impl Default for ReplConfig {
             ring_words: 1 << 16,
             mode: ReplMode::Logging { ack_every: 32 },
             apply_cost_ns: 600,
+            batch_apply_factor: 0.55,
+            staged_ack_lag_ns: 25_000,
         }
     }
 }
+
+/// Words of ring headroom the primary always keeps free beyond one frame of
+/// potential wrap-marker waste, so `AckRequest` frames can ship even when
+/// the ring is otherwise saturated.
+pub const RING_HEADROOM_WORDS: usize = 16;
+
+/// Secondary CPU cost of the replication control plane: reading the
+/// watermark for an `AckRequest`, or building and posting one ack WQE. The
+/// records themselves carry the (much larger) merge cost.
+const ACK_CONTROL_NS: u64 = 100;
+
+/// Errors surfaced by the replication API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplError {
+    /// The record's frame can never fit the secondary's ring, even when the
+    /// ring is empty (the budget keeps one frame plus
+    /// [`RING_HEADROOM_WORDS`] in reserve). Shipping it would previously
+    /// underflow the budget arithmetic; now it is rejected up front.
+    RecordTooLarge {
+        /// Words the framed record needs.
+        frame_words: usize,
+        /// Capacity of the ring in words.
+        ring_words: usize,
+    },
+}
+
+impl std::fmt::Display for ReplError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplError::RecordTooLarge {
+                frame_words,
+                ring_words,
+            } => write!(
+                f,
+                "log record of {frame_words} words cannot fit a {ring_words}-word \
+                 replication ring (needs 2*frame + {RING_HEADROOM_WORDS} words)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReplError {}
 
 /// Counters for reporting and tests.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -102,6 +196,18 @@ pub struct ReplStats {
     /// Doorbell-batched shipments ([`ReplicationPair::replicate_batch`]);
     /// each posted a whole quantum of records with one doorbell.
     pub batches: u64,
+    /// Histogram of group-commit release-batch sizes: bucket `i` counts the
+    /// cumulative acks that released `n` waiters with
+    /// `2^i <= n < 2^(i+1)` (bucket 0 = single-waiter releases).
+    pub release_hist: [u64; 16],
+}
+
+impl ReplStats {
+    /// Total waiter releases recorded in [`release_hist`](Self::release_hist)
+    /// (i.e. acks that completed at least one held response).
+    pub fn releases(&self) -> u64 {
+        self.release_hist.iter().sum()
+    }
 }
 
 struct PendingRec {
@@ -141,6 +247,14 @@ struct Secondary {
     expected: u64,
     discarded_since_ack: bool,
     cpu: FifoResource,
+    /// Whether the applier is mid-stream: the previous record was merged in
+    /// the same uninterrupted decode-merge loop, so the next backlogged
+    /// record pays the warm (amortized) cost. Broken by idling (the loop
+    /// parks) and by per-record acknowledgements (Strict/Logging build the
+    /// ack on the apply path, draining the loop's locality); the
+    /// group-commit watermark publishes from the receive path and leaves
+    /// the stream intact.
+    stream_warm: bool,
     fail_seqs: std::collections::HashSet<u64>,
     ack_region: RegionId,
 }
@@ -209,6 +323,7 @@ impl ReplicationPair {
                 expected: 0,
                 discarded_since_ack: false,
                 cpu: FifoResource::new("secondary.applier"),
+                stream_warm: false,
                 fail_seqs: std::collections::HashSet::new(),
                 ack_region,
             }),
@@ -256,7 +371,11 @@ impl ReplicationPair {
     }
 
     /// Replicates one write. `on_done` fires per the configured mode
-    /// (delivery for Logging, ack for Strict).
+    /// (delivery for Logging, covering cumulative ack for GroupCommit,
+    /// per-record ack for Strict via [`replicate_strict`]).
+    ///
+    /// Returns [`ReplError::RecordTooLarge`] — without shipping anything or
+    /// consuming a sequence number — if the record can never fit the ring.
     pub fn replicate(
         &self,
         sim: &mut Sim,
@@ -264,12 +383,30 @@ impl ReplicationPair {
         key: &[u8],
         value: &[u8],
         on_done: Option<DoneCb>,
-    ) {
+    ) -> Result<(), ReplError> {
         assert!(
             op != LogOp::AckRequest,
             "AckRequests are generated internally"
         );
+        Self::check_fits(&self.shared.cfg, key.len(), value.len())?;
         self.enqueue(sim, op, key.to_vec(), value.to_vec(), on_done);
+        Ok(())
+    }
+
+    /// Rejects records whose frame could never ship: the ring budget keeps
+    /// one frame of wrap-marker waste plus [`RING_HEADROOM_WORDS`] in
+    /// reserve, so a record only ever fits when
+    /// `2 * frame + RING_HEADROOM_WORDS <= ring_words`. Anything larger
+    /// used to underflow the budget arithmetic in `enqueue`.
+    fn check_fits(cfg: &ReplConfig, key_len: usize, value_len: usize) -> Result<(), ReplError> {
+        let frame_words = frame::frame_words(LogRecord::encoded_len_for(key_len, value_len));
+        if 2 * frame_words + RING_HEADROOM_WORDS > cfg.ring_words {
+            return Err(ReplError::RecordTooLarge {
+                frame_words,
+                ring_words: cfg.ring_words,
+            });
+        }
+        Ok(())
     }
 
     /// Replicates a whole quantum of writes with one doorbell: every record
@@ -278,26 +415,31 @@ impl ReplicationPair {
     /// so the NIC pays one MMIO kick per quantum instead of one per record.
     /// Records the ring cannot take right now drain through the backlog
     /// path in order. `on_done` fires once everything completed per the
-    /// mode — last delivery for Logging, last ack for Strict (whose
-    /// per-record acknowledgement protocol leaves nothing to coalesce, so
-    /// it fans out through the per-record path).
+    /// mode — last delivery for Logging, covering cumulative ack for
+    /// GroupCommit (whose `AckRequest` rides the same doorbell), last ack
+    /// for Strict (whose per-record acknowledgement protocol leaves
+    /// nothing to coalesce, so it fans out through the per-record path).
+    ///
+    /// Returns [`ReplError::RecordTooLarge`] — without shipping anything —
+    /// if any record can never fit the ring.
     pub fn replicate_batch(
         &self,
         sim: &mut Sim,
         records: &[(LogOp, &[u8], &[u8])],
         on_done: Option<DoneCb>,
-    ) {
+    ) -> Result<(), ReplError> {
+        for &(op, key, value) in records {
+            assert!(
+                op != LogOp::AckRequest,
+                "AckRequests are generated internally"
+            );
+            Self::check_fits(&self.shared.cfg, key.len(), value.len())?;
+        }
         if records.is_empty() || self.shared.severed.get() {
             if let Some(cb) = on_done {
                 cb(sim);
             }
-            return;
-        }
-        for (op, _, _) in records {
-            assert!(
-                *op != LogOp::AckRequest,
-                "AckRequests are generated internally"
-            );
+            return Ok(());
         }
         if matches!(self.shared.cfg.mode, ReplMode::Strict) {
             let remaining = Rc::new(std::cell::Cell::new(records.len()));
@@ -319,11 +461,13 @@ impl ReplicationPair {
                             }
                         }
                     }),
-                );
+                )
+                .expect("records validated above");
             }
-            return;
+            return Ok(());
         }
         let shared = &self.shared;
+        let gc = matches!(shared.cfg.mode, ReplMode::GroupCommit);
         // Take as many leading records as the ring accepts right now.
         let mut head = 0usize;
         {
@@ -338,7 +482,7 @@ impl ReplicationPair {
                         value,
                     };
                     let need = frame::frame_words(rec.encoded_len());
-                    let budget = p.ring_words - need - 16;
+                    let budget = p.ring_words.saturating_sub(need + RING_HEADROOM_WORDS);
                     if inflight + need > budget {
                         break;
                     }
@@ -369,12 +513,15 @@ impl ReplicationPair {
             }
         };
         if head > 0 {
-            let mut writes: Vec<hydra_fabric::BatchWrite> = Vec::with_capacity(head + 1);
+            let mut writes: Vec<hydra_fabric::BatchWrite> = Vec::with_capacity(head + 2);
+            let mut last_data_seq = 0u64;
+            let mut piggybacked_ackreq = false;
             {
                 let mut p = shared.p.borrow_mut();
-                for (i, &(op, key, value)) in records[..head].iter().enumerate() {
+                for &(op, key, value) in records[..head].iter() {
                     p.next_seq += 1;
                     let seq = p.next_seq;
+                    last_data_seq = seq;
                     p.pending.push_back(PendingRec {
                         seq,
                         op,
@@ -389,47 +536,57 @@ impl ReplicationPair {
                         value,
                     };
                     let words = frame::frame_to_words(&rec.encode());
-                    let need = words.len();
-                    if p.write_off == p.ring_words {
-                        p.write_off = 0;
-                    } else if p.write_off + need > p.ring_words {
-                        let marker_off = p.write_off;
-                        p.inflight_words += p.ring_words - marker_off;
-                        p.write_off = 0;
-                        writes.push(hydra_fabric::BatchWrite {
-                            words: vec![WRAP_MARKER],
-                            dst_region: p.ring_region,
-                            dst_word_off: marker_off,
-                            on_delivered: None,
-                        });
-                    }
-                    let off = p.write_off;
-                    p.write_off += need;
-                    p.inflight_words += need;
-                    // Deliveries land in posting order, so one kick at the
-                    // last record drains the whole quantum on the applier.
-                    let on_delivered = if i == head - 1 {
-                        let cb = mk_part_cb();
-                        let shared2 = shared.clone();
-                        Some(Box::new(move |sim: &mut Sim| {
-                            cb(sim);
-                            Self::poll_secondary(&shared2, sim);
-                        }) as hydra_fabric::WriteDelivered)
-                    } else {
-                        None
-                    };
-                    writes.push(hydra_fabric::BatchWrite {
-                        words,
-                        dst_region: p.ring_region,
-                        dst_word_off: off,
-                        on_delivered,
-                    });
+                    Self::push_ring_write(&mut p, &mut writes, words);
                 }
+                // Group commit: the acknowledgement request rides the same
+                // doorbell as the quantum it covers — the secondary drains
+                // the records and the ackreq in one pass and answers with a
+                // single cumulative watermark.
+                if gc && !p.ack_req_outstanding {
+                    p.next_seq += 1;
+                    let seq = p.next_seq;
+                    p.pending.push_back(PendingRec {
+                        seq,
+                        op: LogOp::AckRequest,
+                        key: Vec::new(),
+                        value: Vec::new(),
+                    });
+                    p.since_ack_req = 0;
+                    p.ack_req_outstanding = true;
+                    let rec = LogRecord {
+                        seq,
+                        op: LogOp::AckRequest,
+                        key: &[],
+                        value: &[],
+                    };
+                    let words = frame::frame_to_words(&rec.encode());
+                    Self::push_ring_write(&mut p, &mut writes, words);
+                    piggybacked_ackreq = true;
+                }
+            }
+            // Deliveries land in posting order, so one kick at the last
+            // write drains the whole quantum on the applier. Logging
+            // completes the head part at that delivery; GroupCommit
+            // completes it at the covering cumulative ack instead.
+            let part_cb: Option<DoneCb> = if gc { None } else { Some(mk_part_cb()) };
+            let shared2 = shared.clone();
+            writes
+                .last_mut()
+                .expect("head > 0 produced at least one write")
+                .on_delivered = Some(Box::new(move |sim: &mut Sim| {
+                if let Some(cb) = part_cb {
+                    cb(sim);
+                }
+                Self::poll_secondary(&shared2, sim);
+            }) as hydra_fabric::WriteDelivered);
+            if gc {
+                Self::register_strict_waiter(shared, last_data_seq, mk_part_cb());
             }
             {
                 let mut st = shared.stats.borrow_mut();
                 st.records += head as u64;
                 st.batches += 1;
+                st.ack_requests += u64::from(piggybacked_ackreq);
             }
             let (qp, node) = {
                 let p = shared.p.borrow();
@@ -440,6 +597,9 @@ impl ReplicationPair {
                 let p = shared.p.borrow();
                 match shared.cfg.mode {
                     ReplMode::Strict => false,
+                    // GroupCommit solicited inline above (or one is already
+                    // outstanding and on_ack re-solicits on arrival).
+                    ReplMode::GroupCommit => false,
                     ReplMode::Logging { ack_every } => {
                         p.since_ack_req >= ack_every && !p.ack_req_outstanding
                     }
@@ -456,12 +616,65 @@ impl ReplicationPair {
                 self.enqueue(sim, op, key.to_vec(), value.to_vec(), cb);
             }
         }
+        Ok(())
+    }
+
+    /// Appends one framed ring write (planting a wrap marker first when the
+    /// frame would straddle the ring edge) and advances the write offset /
+    /// inflight budget. Used by the doorbell-batched path so data records
+    /// and piggybacked `AckRequest`s share the bookkeeping.
+    fn push_ring_write(
+        p: &mut Primary,
+        writes: &mut Vec<hydra_fabric::BatchWrite>,
+        words: Vec<u64>,
+    ) {
+        let need = words.len();
+        if p.write_off == p.ring_words {
+            p.write_off = 0;
+        } else if p.write_off + need > p.ring_words {
+            let marker_off = p.write_off;
+            p.inflight_words += p.ring_words - marker_off;
+            p.write_off = 0;
+            writes.push(hydra_fabric::BatchWrite {
+                words: vec![WRAP_MARKER],
+                dst_region: p.ring_region,
+                dst_word_off: marker_off,
+                on_delivered: None,
+            });
+        }
+        let off = p.write_off;
+        p.write_off += need;
+        p.inflight_words += need;
+        writes.push(hydra_fabric::BatchWrite {
+            words,
+            dst_region: p.ring_region,
+            dst_word_off: off,
+            on_delivered: None,
+        });
     }
 
     /// Last sequence the secondary has acknowledged (0 = none yet; sequences
     /// are 1-based externally).
     pub fn acked(&self) -> u64 {
         self.shared.p.borrow().acked
+    }
+
+    /// Replication lag in records: sequences assigned (data and
+    /// `AckRequest`s) but not yet covered by a cumulative ack.
+    pub fn lag(&self) -> u64 {
+        let p = self.shared.p.borrow();
+        p.next_seq - p.acked
+    }
+
+    /// Ring words occupied by shipped-but-unacknowledged frames (including
+    /// wrap-marker waste).
+    pub fn inflight_words(&self) -> usize {
+        self.shared.p.borrow().inflight_words
+    }
+
+    /// Records parked behind a full ring, waiting for an ack to free space.
+    pub fn backlog_len(&self) -> usize {
+        self.shared.p.borrow().backlog.len()
     }
 
     /// Snapshot of the counters.
@@ -510,7 +723,9 @@ impl ReplicationPair {
         {
             let mut p = shared.p.borrow_mut();
             // Keep one frame + marker of headroom so AckRequests always fit.
-            let budget = p.ring_words - frame_len - 16;
+            // (Oversized records were rejected at the public boundary, so
+            // the saturation can only be hit by a misconfigured ring.)
+            let budget = p.ring_words.saturating_sub(frame_len + RING_HEADROOM_WORDS);
             if p.inflight_words + frame_len > budget || !p.backlog.is_empty() {
                 shared.stats.borrow_mut().stalls += 1;
                 p.backlog.push_back((op, key, value, on_done));
@@ -522,6 +737,14 @@ impl ReplicationPair {
                 return;
             }
         }
+        // GroupCommit completes at the covering cumulative ack, so its
+        // callback registers with the ack machinery; other modes hand it to
+        // `ship` (delivery semantics).
+        let (ship_cb, waiter) = if matches!(shared.cfg.mode, ReplMode::GroupCommit) {
+            (None, on_done)
+        } else {
+            (on_done, None)
+        };
         let seq = {
             let mut p = shared.p.borrow_mut();
             p.next_seq += 1;
@@ -535,13 +758,17 @@ impl ReplicationPair {
             p.since_ack_req += 1;
             seq
         };
+        if let Some(cb) = waiter {
+            Self::register_strict_waiter(shared, seq, cb);
+        }
         shared.stats.borrow_mut().records += 1;
-        Self::ship(shared, sim, seq, op, &key, &value, on_done);
+        Self::ship(shared, sim, seq, op, &key, &value, ship_cb);
         // Solicit acknowledgements per mode.
         let want_ack = {
             let p = shared.p.borrow();
             match shared.cfg.mode {
                 ReplMode::Strict => false, // secondary acks every record
+                ReplMode::GroupCommit => !p.ack_req_outstanding,
                 ReplMode::Logging { ack_every } => {
                     p.since_ack_req >= ack_every && !p.ack_req_outstanding
                 }
@@ -696,6 +923,11 @@ impl ReplicationPair {
                 }
             }
         }
+        if !fire.is_empty() {
+            // log2 bucket: releases of size [2^i, 2^(i+1)) land in bucket i.
+            let bucket = (usize::BITS - 1 - fire.len().leading_zeros()).min(15) as usize;
+            shared.stats.borrow_mut().release_hist[bucket] += 1;
+        }
         for cb in fire {
             cb(sim);
         }
@@ -727,6 +959,20 @@ impl ReplicationPair {
                 pair.enqueue_internal(sim, op, key, value, cb);
             }
         }
+        // Group commit runs a continuous ack train: if data records are
+        // still unacknowledged (they shipped while the previous AckRequest
+        // was in flight, so its watermark missed them) solicit again — one
+        // cumulative ack per RTT covers however many records landed in
+        // between. Quiesces as soon as pending holds no data records.
+        if matches!(shared.cfg.mode, ReplMode::GroupCommit) {
+            let need = {
+                let p = shared.p.borrow();
+                !p.ack_req_outstanding && p.pending.iter().any(|r| r.op != LogOp::AckRequest)
+            };
+            if need {
+                Self::ship_ack_request(shared, sim);
+            }
+        }
     }
 
     fn enqueue_internal(
@@ -743,6 +989,15 @@ impl ReplicationPair {
     // ---- secondary side ----
 
     /// Drains every complete frame currently visible in the ring.
+    ///
+    /// The drain is a batched applier: the first record of a pass pays the
+    /// cold `apply_cost_ns`, and each consecutive in-order record after it
+    /// merges warm at `apply_cost_ns * batch_apply_factor` — streaming a
+    /// contiguous log quantum out of the ring amortizes decode and
+    /// overlaps index/arena misses. Sending an ack ends the stream (the
+    /// applier turned around to talk to the NIC), which is also what keeps
+    /// Strict mode — an ack after every record — at the cold per-record
+    /// cost that fig. 13 models.
     fn poll_secondary(shared: &Rc<Shared>, sim: &mut Sim) {
         if shared.severed.get() {
             return;
@@ -789,6 +1044,11 @@ impl ReplicationPair {
         }
     }
 
+    /// Merges one record, tracking the applier's warm-stream state: a
+    /// record that reaches a still-busy applier whose stream is unbroken
+    /// pays the amortized `batch_apply_factor` cost; `AckRequest`s are
+    /// control records (they only read the watermark) and cost a fixed
+    /// [`ACK_CONTROL_NS`].
     fn apply_record(shared: &Rc<Shared>, sim: &mut Sim, payload: &[u8]) {
         if shared.severed.get() {
             return;
@@ -823,7 +1083,19 @@ impl ReplicationPair {
                     send_ack = true;
                 }
             } else {
-                s.cpu.acquire(now, shared.cfg.apply_cost_ns);
+                let cost = if rec.op == LogOp::AckRequest {
+                    ACK_CONTROL_NS
+                } else if s.stream_warm && s.cpu.free_at() > now {
+                    (((shared.cfg.apply_cost_ns as f64) * shared.cfg.batch_apply_factor).round()
+                        as u64)
+                        .max(1)
+                } else {
+                    shared.cfg.apply_cost_ns
+                };
+                s.cpu.acquire(now, cost);
+                if rec.op != LogOp::AckRequest {
+                    s.stream_warm = true;
+                }
                 match rec.op {
                     LogOp::Put => {
                         s.engine
@@ -854,6 +1126,7 @@ impl ReplicationPair {
     }
 
     fn send_ack(shared: &Rc<Shared>, sim: &mut Sim) {
+        let now = sim.now();
         let (qp, node, region, words, ack_delay) = {
             let mut s = shared.s.borrow_mut();
             let acked = s.expected; // 1-based: last applied seq
@@ -863,9 +1136,24 @@ impl ReplicationPair {
                 0
             };
             s.discarded_since_ack = false;
-            // The ack is sent once the applier thread reaches it.
-            let t = s.cpu.acquire(sim.now(), 100);
-            let delay = t.saturating_sub(sim.now());
+            let delay = if matches!(shared.cfg.mode, ReplMode::GroupCommit) {
+                // Group commit publishes the watermark from the receive
+                // path: the quantum's records are already staged (the
+                // engine merge happens as the frames are drained, only the
+                // modeled merge *time* completes later), so the ack does
+                // not queue behind the applier's merge backlog — unless
+                // that backlog exceeds the bounded apply queue, in which
+                // case the ack waits out the excess as backpressure.
+                let merge_lag = s.cpu.free_at().saturating_sub(now);
+                ACK_CONTROL_NS + merge_lag.saturating_sub(shared.cfg.staged_ack_lag_ns)
+            } else {
+                // Per-record protocol: the applier thread itself builds and
+                // posts the ack once it reaches the record — leaving the
+                // decode-merge loop, which breaks the warm stream.
+                s.stream_warm = false;
+                let t = s.cpu.acquire(now, ACK_CONTROL_NS);
+                t.saturating_sub(now)
+            };
             (
                 shared.p.borrow().qp,
                 s.node,
@@ -894,18 +1182,19 @@ pub fn replicate_strict(
     key: &[u8],
     value: &[u8],
     on_done: DoneCb,
-) {
+) -> Result<(), ReplError> {
     assert!(
         matches!(pair.shared.cfg.mode, ReplMode::Strict),
         "pair not configured for strict mode"
     );
     if pair.shared.severed.get() {
         on_done(sim);
-        return;
+        return Ok(());
     }
-    pair.replicate(sim, op, key, value, None);
+    pair.replicate(sim, op, key, value, None)?;
     let seq = pair.shared.p.borrow().next_seq;
     ReplicationPair::register_strict_waiter(&pair.shared, seq, on_done);
+    Ok(())
 }
 
 #[cfg(test)]
@@ -936,7 +1225,8 @@ mod tests {
         let (mut sim, _fab, pair, engine) = setup(ReplConfig::default());
         for i in 0..100u32 {
             let key = format!("k{i:03}");
-            pair.replicate(&mut sim, LogOp::Put, key.as_bytes(), &i.to_le_bytes(), None);
+            pair.replicate(&mut sim, LogOp::Put, key.as_bytes(), &i.to_le_bytes(), None)
+                .unwrap();
         }
         sim.run();
         assert_eq!(pair.stats().applied, 100);
@@ -959,7 +1249,8 @@ mod tests {
             b"k",
             b"v",
             Some(Box::new(move |sim| d.set(sim.now()))),
-        );
+        )
+        .unwrap();
         sim.run();
         let t = done_at.get();
         assert!(t > 0 && t < 2_000, "one-way delivery expected, got {t}ns");
@@ -981,7 +1272,8 @@ mod tests {
             b"k",
             b"v",
             Box::new(move |sim| d.set(sim.now())),
-        );
+        )
+        .unwrap();
         sim.run();
         let t = done_at.get();
         assert!(t > 2_000, "strict ack requires a round trip, got {t}ns");
@@ -996,7 +1288,8 @@ mod tests {
         };
         let (mut sim, _fab, pair, _engine) = setup(cfg);
         for i in 0..100u32 {
-            pair.replicate(&mut sim, LogOp::Put, format!("k{i}").as_bytes(), b"v", None);
+            pair.replicate(&mut sim, LogOp::Put, format!("k{i}").as_bytes(), b"v", None)
+                .unwrap();
             sim.run(); // sequential: each record fully delivered before next
         }
         let st = pair.stats();
@@ -1015,11 +1308,13 @@ mod tests {
             ring_words: 256, // tiny: forces many wraps over 300 records
             mode: ReplMode::Logging { ack_every: 8 },
             apply_cost_ns: 100,
+            ..Default::default()
         };
         let (mut sim, _fab, pair, engine) = setup(cfg);
         for i in 0..300u32 {
             let key = format!("key-{i:04}");
-            pair.replicate(&mut sim, LogOp::Put, key.as_bytes(), &[i as u8; 24], None);
+            pair.replicate(&mut sim, LogOp::Put, key.as_bytes(), &[i as u8; 24], None)
+                .unwrap();
             sim.run();
         }
         assert_eq!(pair.stats().applied, 300);
@@ -1035,12 +1330,14 @@ mod tests {
             ring_words: 512,
             mode: ReplMode::Logging { ack_every: 8 },
             apply_cost_ns: 200,
+            ..Default::default()
         };
         let (mut sim, _fab, pair, engine) = setup(cfg);
         // Post everything at t=0 without draining the sim in between.
         for i in 0..500u32 {
             let key = format!("key-{i:04}");
-            pair.replicate(&mut sim, LogOp::Put, key.as_bytes(), &[1u8; 16], None);
+            pair.replicate(&mut sim, LogOp::Put, key.as_bytes(), &[1u8; 16], None)
+                .unwrap();
         }
         sim.run();
         assert_eq!(engine.borrow().len(), 500, "all records applied");
@@ -1057,7 +1354,8 @@ mod tests {
         pair.inject_failure(3);
         for i in 0..20u32 {
             let key = format!("k{i:02}");
-            pair.replicate(&mut sim, LogOp::Put, key.as_bytes(), &i.to_le_bytes(), None);
+            pair.replicate(&mut sim, LogOp::Put, key.as_bytes(), &i.to_le_bytes(), None)
+                .unwrap();
         }
         sim.run();
         let st = pair.stats();
@@ -1089,13 +1387,15 @@ mod tests {
             ..Default::default()
         };
         let (mut sim, _fab, pair, engine) = setup(cfg);
-        pair.replicate(&mut sim, LogOp::Put, b"vk", b"v0", None);
+        pair.replicate(&mut sim, LogOp::Put, b"vk", b"v0", None)
+            .unwrap();
         sim.run();
         assert_eq!(engine.borrow_mut().get(0, b"vk").unwrap().value, b"v0");
         // Seq 2 is the next record: fail it, so it is discarded ahead of
         // the applied prefix (rec.seq > expected).
         pair.inject_failure(2);
-        pair.replicate(&mut sim, LogOp::Put, b"vk", b"v1", None);
+        pair.replicate(&mut sim, LogOp::Put, b"vk", b"v1", None)
+            .unwrap();
         // Step until the discard lands, then check the copy died *before*
         // the rollback repairs it.
         let mut saw_killed = false;
@@ -1109,7 +1409,8 @@ mod tests {
         // Filler records reach the ack_every threshold, so an AckRequest
         // ships, the gap surfaces, and the rollback resend repairs vk.
         for i in 0..8u32 {
-            pair.replicate(&mut sim, LogOp::Put, format!("f{i}").as_bytes(), b"x", None);
+            pair.replicate(&mut sim, LogOp::Put, format!("f{i}").as_bytes(), b"x", None)
+                .unwrap();
         }
         sim.run();
         let st = pair.stats();
@@ -1129,7 +1430,7 @@ mod tests {
             .iter()
             .map(|(k, v)| (LogOp::Put, k.as_slice(), v.as_slice()))
             .collect();
-        pair.replicate_batch(&mut sim, &refs, None);
+        pair.replicate_batch(&mut sim, &refs, None).unwrap();
         let doorbells_after_post = fab.stats().doorbells;
         sim.run();
         assert_eq!(doorbells_after_post, 1, "one doorbell for the quantum");
@@ -1152,7 +1453,8 @@ mod tests {
         let refs: Vec<(LogOp, &[u8], &[u8])> = (0..8)
             .map(|_| (LogOp::Put, b"k".as_slice(), b"v".as_slice()))
             .collect();
-        pair.replicate_batch(&mut sim, &refs, Some(Box::new(move |_| f.set(f.get() + 1))));
+        pair.replicate_batch(&mut sim, &refs, Some(Box::new(move |_| f.set(f.get() + 1))))
+            .unwrap();
         sim.run();
         assert_eq!(fired.get(), 1);
         assert_eq!(pair.stats().applied, 8);
@@ -1164,6 +1466,7 @@ mod tests {
             ring_words: 256,
             mode: ReplMode::Logging { ack_every: 8 },
             apply_cost_ns: 100,
+            ..Default::default()
         };
         let (mut sim, _fab, pair, engine) = setup(cfg);
         let records: Vec<(Vec<u8>, Vec<u8>)> = (0..60u32)
@@ -1175,7 +1478,8 @@ mod tests {
             .collect();
         let fired = Rc::new(std::cell::Cell::new(0u32));
         let f = fired.clone();
-        pair.replicate_batch(&mut sim, &refs, Some(Box::new(move |_| f.set(f.get() + 1))));
+        pair.replicate_batch(&mut sim, &refs, Some(Box::new(move |_| f.set(f.get() + 1))))
+            .unwrap();
         sim.run();
         assert_eq!(fired.get(), 1, "completion after head and tail both drain");
         assert!(pair.stats().stalls > 0, "tail must have backlogged");
@@ -1196,7 +1500,8 @@ mod tests {
             (LogOp::Put, b"b".as_slice(), b"2".as_slice()),
             (LogOp::Put, b"c".as_slice(), b"3".as_slice()),
         ];
-        pair.replicate_batch(&mut sim, &refs, Some(Box::new(move |sim| d.set(sim.now()))));
+        pair.replicate_batch(&mut sim, &refs, Some(Box::new(move |sim| d.set(sim.now()))))
+            .unwrap();
         sim.run();
         assert!(done_at.get() > 2_000, "strict batch waits for acks");
         assert_eq!(pair.acked(), 3);
@@ -1206,9 +1511,12 @@ mod tests {
     #[test]
     fn deletes_replicate() {
         let (mut sim, _fab, pair, engine) = setup(ReplConfig::default());
-        pair.replicate(&mut sim, LogOp::Put, b"gone", b"v", None);
-        pair.replicate(&mut sim, LogOp::Put, b"kept", b"v", None);
-        pair.replicate(&mut sim, LogOp::Delete, b"gone", &[], None);
+        pair.replicate(&mut sim, LogOp::Put, b"gone", b"v", None)
+            .unwrap();
+        pair.replicate(&mut sim, LogOp::Put, b"kept", b"v", None)
+            .unwrap();
+        pair.replicate(&mut sim, LogOp::Delete, b"gone", &[], None)
+            .unwrap();
         sim.run();
         let mut e = engine.borrow_mut();
         assert!(e.get(0, b"gone").is_none());
@@ -1232,7 +1540,8 @@ mod tests {
             b"k",
             b"v",
             Box::new(move |_| f.set(f.get() + 1)),
-        );
+        )
+        .unwrap();
         pair.sever(&mut sim);
         assert_eq!(fired.get(), 1, "sever fires the parked strict waiter");
         assert!(pair.is_severed());
@@ -1246,13 +1555,15 @@ mod tests {
             b"post",
             b"v",
             Box::new(move |_| f.set(f.get() + 1)),
-        );
+        )
+        .unwrap();
         let f = fired.clone();
         pair.replicate_batch(
             &mut sim,
             &[(LogOp::Put, b"post2".as_slice(), b"v".as_slice())],
             Some(Box::new(move |_| f.set(f.get() + 1))),
-        );
+        )
+        .unwrap();
         pair.request_ack(&mut sim);
         sim.run();
         assert_eq!(fired.get(), 3, "post-sever completions fire immediately");
@@ -1286,9 +1597,11 @@ mod tests {
                 let cb: DoneCb = Box::new(move |sim: &mut Sim| d.set(sim.now()));
                 match mode {
                     ReplMode::Strict => {
-                        replicate_strict(&pair, &mut sim, LogOp::Put, b"key", b"value", cb)
+                        replicate_strict(&pair, &mut sim, LogOp::Put, b"key", b"value", cb).unwrap()
                     }
-                    _ => pair.replicate(&mut sim, LogOp::Put, b"key", b"value", Some(cb)),
+                    _ => pair
+                        .replicate(&mut sim, LogOp::Put, b"key", b"value", Some(cb))
+                        .unwrap(),
                 }
                 sim.run();
                 total.set(total.get() + (done.get() - t0));
@@ -1301,5 +1614,209 @@ mod tests {
             strict as f64 > logging as f64 * 1.7,
             "strict {strict}ns vs logging {logging}ns"
         );
+    }
+
+    #[test]
+    fn oversized_record_is_rejected_not_underflowed() {
+        // Regression: `ring_words - frame_len - 16` used to underflow (debug
+        // panic / release wrap) when a record outgrew the ring. Both entry
+        // points must reject cleanly and ship nothing.
+        let cfg = ReplConfig {
+            ring_words: 64,
+            mode: ReplMode::Logging { ack_every: 4 },
+            ..Default::default()
+        };
+        let (mut sim, _fab, pair, engine) = setup(cfg);
+        let big = vec![7u8; 4096];
+        let err = pair
+            .replicate(&mut sim, LogOp::Put, b"k", &big, None)
+            .unwrap_err();
+        assert!(
+            matches!(err, ReplError::RecordTooLarge { ring_words: 64, .. }),
+            "{err}"
+        );
+        let refs: Vec<(LogOp, &[u8], &[u8])> = vec![
+            (LogOp::Put, b"small".as_slice(), b"v".as_slice()),
+            (LogOp::Put, b"big".as_slice(), big.as_slice()),
+        ];
+        let fired = Rc::new(std::cell::Cell::new(0u32));
+        let f = fired.clone();
+        let err = pair
+            .replicate_batch(&mut sim, &refs, Some(Box::new(move |_| f.set(f.get() + 1))))
+            .unwrap_err();
+        assert!(matches!(err, ReplError::RecordTooLarge { .. }));
+        sim.run();
+        // Atomic rejection: not even the small leading record shipped.
+        assert_eq!(pair.stats().records, 0);
+        assert_eq!(fired.get(), 0, "no completion for a rejected batch");
+        assert_eq!(engine.borrow().len(), 0);
+        // A record that does fit still flows normally afterwards.
+        pair.replicate(&mut sim, LogOp::Put, b"ok", b"v", None)
+            .unwrap();
+        sim.run();
+        assert_eq!(engine.borrow().len(), 1);
+    }
+
+    #[test]
+    fn group_commit_completes_only_at_the_covering_ack() {
+        // Baseline: one-way delivery time on an identical relaxed pair.
+        let (mut sim, _fab, pair, _engine) = setup(ReplConfig::default());
+        let delivery_at = Rc::new(std::cell::Cell::new(0u64));
+        let d = delivery_at.clone();
+        pair.replicate(
+            &mut sim,
+            LogOp::Put,
+            b"k",
+            b"v",
+            Some(Box::new(move |sim| d.set(sim.now()))),
+        )
+        .unwrap();
+        sim.run();
+        let one_way = delivery_at.get();
+        assert!(one_way > 0);
+
+        let cfg = ReplConfig {
+            mode: ReplMode::GroupCommit,
+            ..Default::default()
+        };
+        let (mut sim, _fab, pair, _engine) = setup(cfg);
+        let observed = Rc::new(std::cell::Cell::new((0u64, false)));
+        let o = observed.clone();
+        let p2 = pair.clone();
+        pair.replicate(
+            &mut sim,
+            LogOp::Put,
+            b"k",
+            b"v",
+            Some(Box::new(move |sim| o.set((sim.now(), p2.acked() >= 1)))),
+        )
+        .unwrap();
+        sim.run();
+        let (t, covered) = observed.get();
+        assert!(
+            t as f64 > one_way as f64 * 1.5,
+            "group commit waits for the ack round trip: {t}ns vs {one_way}ns one-way"
+        );
+        assert!(
+            covered,
+            "completion fired before the cumulative ack covered seq 1"
+        );
+        assert_eq!(pair.acked(), pair.shared.p.borrow().next_seq);
+    }
+
+    #[test]
+    fn group_commit_batch_is_one_doorbell_and_one_cumulative_ack() {
+        let cfg = ReplConfig {
+            mode: ReplMode::GroupCommit,
+            ..Default::default()
+        };
+        let (mut sim, fab, pair, engine) = setup(cfg);
+        let records: Vec<(Vec<u8>, Vec<u8>)> = (0..24u32)
+            .map(|i| (format!("gk{i:02}").into_bytes(), i.to_le_bytes().to_vec()))
+            .collect();
+        let refs: Vec<(LogOp, &[u8], &[u8])> = records
+            .iter()
+            .map(|(k, v)| (LogOp::Put, k.as_slice(), v.as_slice()))
+            .collect();
+        let done_at = Rc::new(std::cell::Cell::new(0u64));
+        let d = done_at.clone();
+        pair.replicate_batch(&mut sim, &refs, Some(Box::new(move |sim| d.set(sim.now()))))
+            .unwrap();
+        let doorbells_after_post = fab.stats().doorbells;
+        sim.run();
+        // The 24 records AND the piggybacked AckRequest share one doorbell.
+        assert_eq!(
+            doorbells_after_post, 1,
+            "ackreq must ride the batch doorbell"
+        );
+        let st = pair.stats();
+        assert_eq!(st.records, 24);
+        assert_eq!(st.applied, 24);
+        assert_eq!(st.ack_requests, 1, "one cumulative ack request per quantum");
+        assert_eq!(st.acks, 1, "one watermark ack covers the whole quantum");
+        assert!(
+            done_at.get() > 2_000,
+            "completion held for the covering ack"
+        );
+        assert_eq!(engine.borrow().len(), 24);
+        // The single ack released the whole quantum's waiter in one batch.
+        assert_eq!(st.releases(), 1);
+    }
+
+    #[test]
+    fn group_commit_ack_train_covers_records_shipped_mid_flight() {
+        let cfg = ReplConfig {
+            mode: ReplMode::GroupCommit,
+            ..Default::default()
+        };
+        let (mut sim, _fab, pair, engine) = setup(cfg);
+        let fired = Rc::new(std::cell::Cell::new(0u32));
+        // First record solicits an ackreq; the rest ship while it is in
+        // flight, so on_ack's re-solicitation must pick them up.
+        for i in 0..12u32 {
+            let f = fired.clone();
+            pair.replicate(
+                &mut sim,
+                LogOp::Put,
+                format!("t{i:02}").as_bytes(),
+                b"v",
+                Some(Box::new(move |_| f.set(f.get() + 1))),
+            )
+            .unwrap();
+        }
+        sim.run();
+        assert_eq!(fired.get(), 12, "every waiter released by the ack train");
+        assert_eq!(engine.borrow().len(), 12);
+        let st = pair.stats();
+        assert!(
+            st.ack_requests < 12,
+            "cumulative acks must coalesce: {} ack requests for 12 records",
+            st.ack_requests
+        );
+        assert_eq!(pair.lag(), 0, "train quiesces once everything is covered");
+        assert_eq!(pair.inflight_words(), 0);
+        assert_eq!(pair.backlog_len(), 0);
+    }
+
+    #[test]
+    fn group_commit_converges_through_failure_rollback() {
+        let cfg = ReplConfig {
+            mode: ReplMode::GroupCommit,
+            ..Default::default()
+        };
+        let (mut sim, _fab, pair, engine) = setup(cfg);
+        pair.inject_failure(3);
+        let fired = Rc::new(std::cell::Cell::new(0u32));
+        for i in 0..10u32 {
+            let f = fired.clone();
+            pair.replicate(
+                &mut sim,
+                LogOp::Put,
+                format!("r{i:02}").as_bytes(),
+                &i.to_le_bytes(),
+                Some(Box::new(move |_| f.set(f.get() + 1))),
+            )
+            .unwrap();
+        }
+        sim.run();
+        let st = pair.stats();
+        assert!(
+            st.rollbacks >= 1,
+            "failure must stall the watermark and roll back"
+        );
+        assert_eq!(
+            fired.get(),
+            10,
+            "resend repairs and the train releases everyone"
+        );
+        let mut e = engine.borrow_mut();
+        for i in 0..10u32 {
+            let key = format!("r{i:02}");
+            assert_eq!(
+                e.get(0, key.as_bytes()).unwrap().value,
+                i.to_le_bytes(),
+                "key {i}"
+            );
+        }
     }
 }

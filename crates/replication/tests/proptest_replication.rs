@@ -8,7 +8,7 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use hydra_fabric::{Fabric, FabricConfig};
-use hydra_replication::{ReplConfig, ReplMode, ReplicationPair};
+use hydra_replication::{replicate_strict, ReplConfig, ReplMode, ReplicationPair};
 use hydra_sim::Sim;
 use hydra_store::{EngineConfig, IndexKind, ShardEngine, WriteMode};
 use hydra_wire::LogOp;
@@ -34,6 +34,9 @@ fn ops() -> impl Strategy<Value = Vec<Op>> {
 fn key_of(k: u8) -> Vec<u8> {
     format!("rk{k:03}").into_bytes()
 }
+
+/// The secondary's sorted (key, value) state, for cross-mode comparison.
+type ObservedState = Vec<(Vec<u8>, Vec<u8>)>;
 
 fn run(
     ops: &[Op],
@@ -62,6 +65,7 @@ fn run(
             ring_words,
             mode,
             apply_cost_ns: 150,
+            ..ReplConfig::default()
         },
     );
     for &f in fail_seqs {
@@ -73,11 +77,13 @@ fn run(
         match op {
             Op::Put(k, v) => {
                 model.insert(key_of(*k), v.clone());
-                pair.replicate(&mut sim, LogOp::Put, &key_of(*k), v, None);
+                pair.replicate(&mut sim, LogOp::Put, &key_of(*k), v, None)
+                    .expect("record fits ring");
             }
             Op::Delete(k) => {
                 model.remove(&key_of(*k));
-                pair.replicate(&mut sim, LogOp::Delete, &key_of(*k), &[], None);
+                pair.replicate(&mut sim, LogOp::Delete, &key_of(*k), &[], None)
+                    .expect("record fits ring");
             }
         }
     }
@@ -128,4 +134,109 @@ proptest! {
     ) {
         run(&ops, &fails, ReplMode::Strict, 1 << 14)?;
     }
+
+    #[test]
+    fn group_commit_converges_with_failures(
+        ops in ops(),
+        fails in proptest::collection::vec(1u64..150, 0..6),
+    ) {
+        run(&ops, &fails, ReplMode::GroupCommit, 1 << 14)?;
+    }
+
+    #[test]
+    fn group_commit_converges_on_tiny_ring(ops in ops()) {
+        // Constant wrapping + stalls + backlog draining under the ack train.
+        run(&ops, &[], ReplMode::GroupCommit, 256)?;
+    }
+
+    // Observational equivalence: group commit and per-record strict are the
+    // same protocol to an observer — byte-identical engine state on both
+    // ends once drained, and no completion ever fires before a cumulative
+    // ack covers its record.
+    #[test]
+    fn group_commit_equivalent_to_strict(
+        ops in ops(),
+        fails in proptest::collection::vec(1u64..150, 0..4),
+    ) {
+        let strict = run_observed(&ops, &fails, ReplMode::Strict, 1 << 14)?;
+        let gc = run_observed(&ops, &fails, ReplMode::GroupCommit, 1 << 14)?;
+        prop_assert_eq!(strict, gc, "secondary state diverged between modes");
+    }
+}
+
+/// Runs `ops` through a pair whose completions assert the ack-coverage
+/// invariant (a callback may only fire once `acked >= seq`), then returns
+/// the secondary's sorted state for cross-mode comparison.
+fn run_observed(
+    ops: &[Op],
+    fail_seqs: &[u64],
+    mode: ReplMode,
+    ring_words: usize,
+) -> Result<ObservedState, TestCaseError> {
+    let mut sim = Sim::new(7);
+    let fab = Fabric::new(FabricConfig::default());
+    let p = fab.add_node();
+    let s = fab.add_node();
+    let engine = Rc::new(RefCell::new(ShardEngine::new(EngineConfig {
+        arena_words: 1 << 15,
+        expected_items: 512,
+        index: IndexKind::Packed,
+        write_mode: WriteMode::Reliable,
+        min_lease_ns: 100,
+        max_lease_ns: 6_400,
+    })));
+    let pair = ReplicationPair::new(
+        &fab,
+        p,
+        s,
+        engine.clone(),
+        ReplConfig {
+            ring_words,
+            mode,
+            apply_cost_ns: 150,
+            ..ReplConfig::default()
+        },
+    );
+    for &f in fail_seqs {
+        pair.inject_failure(f);
+    }
+    let strict_semantics = mode.strict_semantics();
+    let completions = Rc::new(RefCell::new(Vec::<bool>::new()));
+    for op in ops {
+        // The data record this call will ship gets the next sequence.
+        let seq = pair.acked() + pair.lag() + 1;
+        let covered = {
+            let pair = pair.clone();
+            let completions = completions.clone();
+            Box::new(move |_: &mut Sim| {
+                completions.borrow_mut().push(pair.acked() >= seq);
+            })
+        };
+        let (log_op, key, value) = match op {
+            Op::Put(k, v) => (LogOp::Put, key_of(*k), v.clone()),
+            Op::Delete(k) => (LogOp::Delete, key_of(*k), Vec::new()),
+        };
+        if matches!(mode, ReplMode::Strict) {
+            replicate_strict(&pair, &mut sim, log_op, &key, &value, covered)
+                .expect("record fits ring");
+        } else {
+            pair.replicate(&mut sim, log_op, &key, &value, Some(covered))
+                .expect("record fits ring");
+        }
+    }
+    pair.request_ack(&mut sim);
+    sim.run();
+    let done = completions.borrow();
+    prop_assert_eq!(done.len(), ops.len(), "every completion fired");
+    if strict_semantics {
+        prop_assert!(
+            done.iter().all(|&covered| covered),
+            "a strict-semantics completion fired before its covering ack"
+        );
+    }
+    let engine = engine.borrow();
+    let mut items = Vec::new();
+    engine.for_each_item(|k, v| items.push((k, v)));
+    items.sort();
+    Ok(items)
 }

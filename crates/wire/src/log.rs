@@ -7,6 +7,21 @@
 //! `AckRequest` record (no payload) asks the secondary to publish its
 //! acknowledgement counter — the "relaxed request/acknowledge" model where
 //! the primary only solicits an ack every few tens of records.
+//!
+//! # Cumulative acknowledgement (group commit)
+//!
+//! The acknowledgement is always *cumulative*: the secondary RDMA-writes
+//! `[acked_seq + 1, resend_from + 1]` into the primary's ack region, where
+//! `acked_seq` is the highest sequence such that every record `<= acked_seq`
+//! has been contiguously staged and merged (or is a consumed `AckRequest`).
+//! Group-commit mode leans on this: the primary ships a whole quantum with
+//! one doorbell, appends a single `AckRequest` to the same doorbell, and the
+//! one returning watermark releases *every* held response at or below it in
+//! sequence order. A gap (lost/overtaken frame) or a processing failure
+//! stalls the watermark at the last good sequence — the second word then
+//! carries `resend_from + 1` and the primary rolls back and re-ships from
+//! there — so an acknowledged record is always covered by replica state,
+//! never skipped over.
 
 /// Operation captured in a log record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,6 +76,12 @@ impl<'a> LogRecord<'a> {
     /// Encoded length in bytes.
     pub fn encoded_len(&self) -> usize {
         LOG_HDR + self.key.len() + self.value.len()
+    }
+
+    /// Encoded length a record with the given key/value sizes would have,
+    /// without constructing it — lets shippers size-check before framing.
+    pub const fn encoded_len_for(key_len: usize, value_len: usize) -> usize {
+        LOG_HDR + key_len + value_len
     }
 
     /// Encodes into a fresh buffer:

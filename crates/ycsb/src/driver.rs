@@ -129,8 +129,10 @@ pub struct WorkloadReport {
     /// Mean/percentile GET latency in µs.
     pub get_mean_us: f64,
     pub get_p99_us: f64,
-    /// Mean UPDATE latency in µs.
+    /// Mean/percentile UPDATE latency in µs (p50 is the replication-mode
+    /// comparison point: the median write round trip under load).
     pub update_mean_us: f64,
+    pub update_p50_us: f64,
     pub update_p99_us: f64,
     /// SCAN activity (zero unless the workload issues scans).
     pub scans: u64,
@@ -345,6 +347,7 @@ pub fn run_workload_hooked<C: KvClient>(
         get_mean_us: as_us(get_lat.mean() as u64),
         get_p99_us: as_us(get_lat.quantile(0.99)),
         update_mean_us: as_us(update_lat.mean() as u64),
+        update_p50_us: as_us(update_lat.quantile(0.5)),
         update_p99_us: as_us(update_lat.quantile(0.99)),
         scans,
         scan_mean_us: as_us(scan_lat.mean() as u64),

@@ -43,6 +43,11 @@ HYDRA_SCALE=smoke HYDRA_RESULTS_DIR="$SMOKE_RESULTS" \
 # node join (plus a timed quiesced drain).
 HYDRA_SCALE=smoke HYDRA_RESULTS_DIR="$SMOKE_RESULTS" \
     cargo run -q --release -p hydra-bench --bin perf_elastic
+# perf_repl asserts the group-commit write-plane floors: >= 1.5x per-record
+# strict at channel depth 64, >= 1.3x cluster write throughput at depth 64,
+# and a strict-semantics write p50 <= 5.5 us with one synchronous replica.
+HYDRA_SCALE=smoke HYDRA_RESULTS_DIR="$SMOKE_RESULTS" \
+    cargo run -q --release -p hydra-bench --bin perf_repl
 
 echo "==> chaos soak (100 fixed-seed fault plans, full consistency checks)"
 cargo test -q --release -p hydra-integration --test chaos -- --ignored
