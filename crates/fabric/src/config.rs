@@ -49,6 +49,27 @@ pub struct FabricConfig {
     /// Fractional per-op overhead added per QP beyond the threshold
     /// (e.g. 0.004 → +40% at threshold+100 QPs).
     pub qp_penalty_per_conn: f64,
+    /// Per-node on-chip QP-state (ICM) cache capacity, in connections. RC
+    /// QP context lives in host memory and is cached on the NIC; once a
+    /// node terminates more active connections than fit, every op on a
+    /// cold QP pays a PCIe fetch ([`nic_miss_ns`](Self::nic_miss_ns)) —
+    /// the RDMAvisor connection-scaling cliff. `0` disables the model
+    /// (infinite cache).
+    pub qp_cache_entries: usize,
+    /// Per-node on-chip memory-translation (MTT) cache capacity, in page
+    /// entries. Registered regions consume one translation entry per
+    /// `page_bytes` page; accesses to pages evicted from the cache pay
+    /// the same PCIe fetch. `0` disables the model.
+    pub mtt_cache_entries: usize,
+    /// PCIe round-trip surcharge for fetching evicted QP state or a
+    /// translation entry from host memory (per cold entry touched).
+    pub nic_miss_ns: SimTime,
+    /// Translation granularity for regions registered without an explicit
+    /// page size ([`crate::Fabric::register`] /
+    /// [`crate::Fabric::alloc_region`]). 4 KiB matches default mappings;
+    /// huge-page registrations pass 2 MiB explicitly and collapse their
+    /// MTT footprint ~512×.
+    pub default_page_bytes: usize,
 }
 
 impl Default for FabricConfig {
@@ -65,6 +86,10 @@ impl Default for FabricConfig {
             socket_op_ns: 4 * US,
             qp_threshold: 320,
             qp_penalty_per_conn: 0.004,
+            qp_cache_entries: 1024,
+            mtt_cache_entries: 16 * 1024,
+            nic_miss_ns: 500,
+            default_page_bytes: 4096,
         }
     }
 }
@@ -114,6 +139,22 @@ mod tests {
         assert_eq!(c.nic_ser(0), 0);
         assert_eq!(c.nic_ser(1000), 200);
         assert_eq!(c.socket_ser(1000), 1000);
+    }
+
+    #[test]
+    fn nic_cache_defaults_are_coherent() {
+        let c = FabricConfig::default();
+        // The on-chip caches must be comfortably larger than the QP-penalty
+        // threshold: the driver penalty is the soft slope, the cache cliff
+        // the hard one, and they should engage in that order.
+        assert!(c.qp_cache_entries as u32 > c.qp_threshold);
+        assert!(c.mtt_cache_entries > c.qp_cache_entries);
+        // A miss surcharge is a PCIe round trip: same order of magnitude as
+        // the doorbell, far below the propagation delay.
+        assert!(c.nic_miss_ns >= c.rdma_op_ns && c.nic_miss_ns <= c.rdma_prop_ns);
+        assert!(c.default_page_bytes.is_power_of_two());
+        // Huge pages collapse the MTT footprint by 512x against the default.
+        assert_eq!((2 << 20) / c.default_page_bytes, 512);
     }
 
     #[test]

@@ -21,8 +21,32 @@ pub struct NodeId(pub u32);
 pub struct RegionId(pub u32);
 
 /// A queue pair (reliable connection between two nodes).
+///
+/// The raw id packs a slot index (low 24 bits) and a generation counter
+/// (high 8 bits): [`Fabric::disconnect`] recycles the slot and bumps the
+/// generation, so a stale handle kept across a disconnect can never
+/// silently address the connection that now occupies the slot — any verb
+/// posted on it panics instead.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct QpId(pub u32);
+
+const QP_SLOT_BITS: u32 = 24;
+const QP_SLOT_MASK: u32 = (1 << QP_SLOT_BITS) - 1;
+
+impl QpId {
+    fn pack(slot: usize, generation: u32) -> QpId {
+        debug_assert!(slot as u32 <= QP_SLOT_MASK, "QP slot space exhausted");
+        QpId(((generation & 0xFF) << QP_SLOT_BITS) | (slot as u32 & QP_SLOT_MASK))
+    }
+
+    fn slot(self) -> usize {
+        (self.0 & QP_SLOT_MASK) as usize
+    }
+
+    fn generation(self) -> u32 {
+        self.0 >> QP_SLOT_BITS
+    }
+}
 
 /// Callback invoked when a Send arrives at an endpoint.
 pub type RecvHandler = dyn Fn(&mut Sim, QpId, Vec<u8>);
@@ -44,6 +68,19 @@ pub struct NodeStats {
     /// MMIO doorbells rung by this node. Each singleton verb post rings one;
     /// a doorbell-batched post rings one for the whole WQE chain.
     pub doorbells: u64,
+    /// QP-state (ICM) cache references that found the context on chip
+    /// (compulsory fills into a non-full cache count here: the model
+    /// charges capacity misses, not connection warm-up).
+    pub qp_cache_hits: u64,
+    /// QP-state cache references that had to evict and fetch over PCIe.
+    pub qp_cache_misses: u64,
+    /// Translation (MTT) cache references served on chip.
+    pub mtt_cache_hits: u64,
+    /// Translation cache references that had to evict and fetch over PCIe.
+    pub mtt_cache_misses: u64,
+    /// Total PCIe-fetch surcharge (ns) this node's NIC paid for the misses
+    /// above.
+    pub miss_penalty_ns: u64,
 }
 
 /// Fabric-wide counters.
@@ -169,16 +206,131 @@ fn cut_key(a: NodeId, b: NodeId) -> (u32, u32) {
     }
 }
 
+/// An O(1) LRU set modeling one on-chip NIC cache (QP state or MTT).
+///
+/// Entries are u64 keys in an intrusive doubly linked list over a slab;
+/// `touch` either finds the key (hit, moved to front), fills a free line
+/// (compulsory fill — counted as a hit, because the model charges the
+/// *capacity* cliff, not one-time warm-up), or evicts the LRU tail and
+/// reports a miss. Capacity 0 disables the cache (every touch hits).
+pub(crate) struct NicCache {
+    cap: usize,
+    map: HashMap<u64, usize>,
+    slab: Vec<CacheLine>,
+    head: usize,
+    tail: usize,
+}
+
+struct CacheLine {
+    key: u64,
+    prev: usize,
+    next: usize,
+}
+
+const LRU_NIL: usize = usize::MAX;
+
+impl NicCache {
+    pub(crate) fn new(cap: usize) -> NicCache {
+        NicCache {
+            cap,
+            map: HashMap::new(),
+            slab: Vec::new(),
+            head: LRU_NIL,
+            tail: LRU_NIL,
+        }
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slab[i].prev, self.slab[i].next);
+        if prev != LRU_NIL {
+            self.slab[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != LRU_NIL {
+            self.slab[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slab[i].prev = LRU_NIL;
+        self.slab[i].next = self.head;
+        if self.head != LRU_NIL {
+            self.slab[self.head].prev = i;
+        } else {
+            self.tail = i;
+        }
+        self.head = i;
+    }
+
+    /// References `key`; returns `true` on a capacity miss (the key was
+    /// absent and filling it required evicting the LRU entry).
+    pub(crate) fn touch(&mut self, key: u64) -> bool {
+        if self.cap == 0 {
+            return false;
+        }
+        if let Some(&i) = self.map.get(&key) {
+            if self.head != i {
+                self.unlink(i);
+                self.push_front(i);
+            }
+            return false;
+        }
+        if self.slab.len() < self.cap {
+            // Compulsory fill into a free line: no eviction, no surcharge.
+            let i = self.slab.len();
+            self.slab.push(CacheLine {
+                key,
+                prev: LRU_NIL,
+                next: LRU_NIL,
+            });
+            self.map.insert(key, i);
+            self.push_front(i);
+            return false;
+        }
+        // Full: evict the LRU tail and reuse its line.
+        let i = self.tail;
+        self.unlink(i);
+        let old = std::mem::replace(&mut self.slab[i].key, key);
+        self.map.remove(&old);
+        self.map.insert(key, i);
+        self.push_front(i);
+        true
+    }
+
+    /// Current number of resident entries.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.slab.len()
+    }
+}
+
 struct Node {
     nic_tx: FifoResource,
     nic_rx: FifoResource,
     qp_count: u32,
     stats: NodeStats,
+    /// On-chip QP-state (ICM) cache; keys are raw QP ids.
+    qp_cache: NicCache,
+    /// On-chip translation cache; keys are `(region << 32) | page_index`.
+    mtt_cache: NicCache,
+    /// Translation entries consumed by regions registered on this node
+    /// (`ceil(region_bytes / page_bytes)` summed over regions).
+    mtt_registered: u64,
+    /// Receive buffers currently provisioned on this node (per-QP rings
+    /// and/or the node SRQ).
+    recv_posted: u64,
+    /// Whether the node-wide shared receive queue has been provisioned.
+    srq_installed: bool,
 }
 
 struct Region {
     node: NodeId,
     mem: Arc<[AtomicU64]>,
+    /// Translation granularity this region was registered with.
+    page_bytes: usize,
 }
 
 struct Qp {
@@ -201,11 +353,20 @@ impl Qp {
     }
 }
 
+/// One entry of the QP table: the live connection (if any) plus the
+/// generation stamped into handles addressing this slot.
+struct QpSlot {
+    generation: u32,
+    qp: Option<Qp>,
+}
+
 struct Inner {
     cfg: FabricConfig,
     nodes: Vec<Node>,
     regions: Vec<Region>,
-    qps: Vec<Qp>,
+    qps: Vec<QpSlot>,
+    /// Recyclable QP slots (indices into `qps` whose `qp` is `None`).
+    free_qps: Vec<u32>,
     stats: FabricStats,
     faults: FaultState,
 }
@@ -214,6 +375,82 @@ impl Inner {
     /// NIC slowdown multiplier for `n` (1.0 when healthy).
     fn slow(&self, n: NodeId) -> f64 {
         self.faults.slow.get(&n.0).copied().unwrap_or(1.0)
+    }
+
+    /// Resolves a QP handle, panicking on a stale or disconnected id.
+    fn qp(&self, id: QpId) -> &Qp {
+        let slot = self
+            .qps
+            .get(id.slot())
+            .unwrap_or_else(|| panic!("unknown QP slot {id:?}"));
+        assert_eq!(
+            slot.generation,
+            id.generation(),
+            "stale QpId {id:?}: slot was recycled by a later connect"
+        );
+        slot.qp
+            .as_ref()
+            .unwrap_or_else(|| panic!("QpId {id:?} was disconnected"))
+    }
+
+    /// Mutable variant of [`qp`](Self::qp).
+    fn qp_mut(&mut self, id: QpId) -> &mut Qp {
+        let slot = self
+            .qps
+            .get_mut(id.slot())
+            .unwrap_or_else(|| panic!("unknown QP slot {id:?}"));
+        assert_eq!(
+            slot.generation,
+            id.generation(),
+            "stale QpId {id:?}: slot was recycled by a later connect"
+        );
+        slot.qp
+            .as_mut()
+            .unwrap_or_else(|| panic!("QpId {id:?} was disconnected"))
+    }
+
+    /// References `node`'s QP-state cache for `qp` and returns the PCIe
+    /// surcharge (0 on hit / warm fill).
+    fn qp_state_touch(&mut self, node: NodeId, qp: QpId) -> SimTime {
+        let miss_ns = self.cfg.nic_miss_ns;
+        let n = &mut self.nodes[node.0 as usize];
+        if n.qp_cache.touch(qp.0 as u64) {
+            n.stats.qp_cache_misses += 1;
+            n.stats.miss_penalty_ns += miss_ns;
+            miss_ns
+        } else {
+            n.stats.qp_cache_hits += 1;
+            0
+        }
+    }
+
+    /// References `node`'s translation cache for every page of
+    /// `region[byte_off .. byte_off + len_bytes)` and returns the summed
+    /// PCIe surcharge. The region must live on `node`.
+    fn mtt_touch(
+        &mut self,
+        node: NodeId,
+        region: RegionId,
+        byte_off: usize,
+        len_bytes: usize,
+    ) -> SimTime {
+        let page = self.regions[region.0 as usize].page_bytes;
+        let miss_ns = self.cfg.nic_miss_ns;
+        let first = byte_off / page;
+        let last = (byte_off + len_bytes.max(1) - 1) / page;
+        let n = &mut self.nodes[node.0 as usize];
+        let mut surcharge = 0;
+        for p in first..=last {
+            let key = ((region.0 as u64) << 32) | p as u64;
+            if n.mtt_cache.touch(key) {
+                n.stats.mtt_cache_misses += 1;
+                n.stats.miss_penalty_ns += miss_ns;
+                surcharge += miss_ns;
+            } else {
+                n.stats.mtt_cache_hits += 1;
+            }
+        }
+        surcharge
     }
 
     /// Runs one message (or one WQE of a batch) through the installed
@@ -293,6 +530,7 @@ impl Fabric {
                 nodes: Vec::new(),
                 regions: Vec::new(),
                 qps: Vec::new(),
+                free_qps: Vec::new(),
                 stats: FabricStats::default(),
                 faults: FaultState::default(),
             })),
@@ -414,30 +652,128 @@ impl Fabric {
     pub fn add_node(&self) -> NodeId {
         let mut inner = self.inner.borrow_mut();
         let id = NodeId(inner.nodes.len() as u32);
+        let (qp_cap, mtt_cap) = (inner.cfg.qp_cache_entries, inner.cfg.mtt_cache_entries);
         inner.nodes.push(Node {
             nic_tx: FifoResource::new(format!("node{}.tx", id.0)),
             nic_rx: FifoResource::new(format!("node{}.rx", id.0)),
             qp_count: 0,
             stats: NodeStats::default(),
+            qp_cache: NicCache::new(qp_cap),
+            mtt_cache: NicCache::new(mtt_cap),
+            mtt_registered: 0,
+            recv_posted: 0,
+            srq_installed: false,
         });
         id
     }
 
-    /// Registers externally owned memory (e.g. a shard arena) on `node`.
+    /// Registers externally owned memory (e.g. a shard arena) on `node`
+    /// at the default translation granularity
+    /// ([`FabricConfig::default_page_bytes`]).
     pub fn register(&self, node: NodeId, mem: Arc<[AtomicU64]>) -> RegionId {
+        let page = self.inner.borrow().cfg.default_page_bytes;
+        self.register_paged(node, mem, page)
+    }
+
+    /// Registers externally owned memory on `node`, mapped with
+    /// `page_bytes` pages. Registration consumes
+    /// `ceil(bytes / page_bytes)` translation entries on the node's NIC —
+    /// huge pages (2 MiB) collapse that footprint ~512× against the 4 KiB
+    /// default, which is what keeps a large arena resident in the MTT
+    /// cache.
+    pub fn register_paged(
+        &self,
+        node: NodeId,
+        mem: Arc<[AtomicU64]>,
+        page_bytes: usize,
+    ) -> RegionId {
+        assert!(
+            page_bytes.is_power_of_two() && page_bytes >= 64,
+            "page size must be a power of two of at least 64 B"
+        );
         let mut inner = self.inner.borrow_mut();
         let id = RegionId(inner.regions.len() as u32);
-        inner.regions.push(Region { node, mem });
+        let entries = (mem.len() * 8).div_ceil(page_bytes) as u64;
+        inner.nodes[node.0 as usize].mtt_registered += entries;
+        inner.regions.push(Region {
+            node,
+            mem,
+            page_bytes,
+        });
         id
     }
 
     /// Allocates and registers a zeroed region of `words` words on `node`
-    /// (message buffers, replication rings).
+    /// (message buffers, replication rings) at the default translation
+    /// granularity.
     pub fn alloc_region(&self, node: NodeId, words: usize) -> (RegionId, Arc<[AtomicU64]>) {
+        let page = self.inner.borrow().cfg.default_page_bytes;
+        self.alloc_region_paged(node, words, page)
+    }
+
+    /// Allocates and registers a zeroed region mapped with `page_bytes`
+    /// pages (see [`register_paged`](Self::register_paged)).
+    pub fn alloc_region_paged(
+        &self,
+        node: NodeId,
+        words: usize,
+        page_bytes: usize,
+    ) -> (RegionId, Arc<[AtomicU64]>) {
         let mut v = Vec::with_capacity(words);
         v.resize_with(words, || AtomicU64::new(0));
         let mem: Arc<[AtomicU64]> = v.into();
-        (self.register(node, mem.clone()), mem)
+        (self.register_paged(node, mem.clone(), page_bytes), mem)
+    }
+
+    /// Translation entries consumed by regions registered on `node`.
+    pub fn mtt_registered(&self, node: NodeId) -> u64 {
+        self.inner.borrow().nodes[node.0 as usize].mtt_registered
+    }
+
+    /// Provisions `n` receive buffers on `node` (a per-QP recv ring).
+    /// Pure accounting: the posted-buffer footprint is what the SRQ
+    /// optimization bounds, and reports surface it.
+    pub fn provision_recvs(&self, node: NodeId, n: u64) {
+        self.inner.borrow_mut().nodes[node.0 as usize].recv_posted += n;
+    }
+
+    /// Releases `n` previously provisioned receive buffers on `node`.
+    pub fn release_recvs(&self, node: NodeId, n: u64) {
+        let mut inner = self.inner.borrow_mut();
+        let node = &mut inner.nodes[node.0 as usize];
+        node.recv_posted = node.recv_posted.saturating_sub(n);
+    }
+
+    /// Provisions the node-wide shared receive queue: one pool of `depth`
+    /// buffers every connection terminating at `node` consumes from,
+    /// instead of a dedicated ring per QP. Idempotent — only the first
+    /// call posts buffers, so per-connection setup paths may call it
+    /// unconditionally.
+    pub fn ensure_srq(&self, node: NodeId, depth: u64) {
+        let mut inner = self.inner.borrow_mut();
+        let node = &mut inner.nodes[node.0 as usize];
+        if !node.srq_installed {
+            node.srq_installed = true;
+            node.recv_posted += depth;
+        }
+    }
+
+    /// Receive buffers currently provisioned on `node` (rings + SRQ).
+    pub fn recv_posted(&self, node: NodeId) -> u64 {
+        self.inner.borrow().nodes[node.0 as usize].recv_posted
+    }
+
+    /// `(total_slots, free_slots)` of the QP table — churn regression
+    /// tests assert the table stays bounded under connect/disconnect
+    /// cycles.
+    pub fn qp_slots(&self) -> (usize, usize) {
+        let inner = self.inner.borrow();
+        (inner.qps.len(), inner.free_qps.len())
+    }
+
+    /// Number of machines on the fabric.
+    pub fn node_count(&self) -> usize {
+        self.inner.borrow().nodes.len()
     }
 
     /// Shared handle to a region's memory.
@@ -450,34 +786,61 @@ impl Fabric {
         self.inner.borrow().regions[region.0 as usize].node
     }
 
-    /// Establishes a queue pair between `a` and `b`.
+    /// Establishes a queue pair between `a` and `b`. Slots freed by
+    /// [`disconnect`](Self::disconnect) are recycled from a free-list with
+    /// a bumped generation, so the QP table stays bounded under
+    /// migration/reconnect churn and stale ids are caught rather than
+    /// silently aliased.
     pub fn connect(&self, a: NodeId, b: NodeId, transport: Transport) -> QpId {
         let mut inner = self.inner.borrow_mut();
-        let id = QpId(inner.qps.len() as u32);
-        inner.qps.push(Qp {
+        let qp = Qp {
             a,
             b,
             transport,
             handler_a: None,
             handler_b: None,
-        });
+        };
+        let id = match inner.free_qps.pop() {
+            Some(slot) => {
+                let s = &mut inner.qps[slot as usize];
+                debug_assert!(s.qp.is_none(), "free-list slot still occupied");
+                s.qp = Some(qp);
+                QpId::pack(slot as usize, s.generation)
+            }
+            None => {
+                let slot = inner.qps.len();
+                assert!(slot < (1 << QP_SLOT_BITS), "QP table exhausted");
+                inner.qps.push(QpSlot {
+                    generation: 0,
+                    qp: Some(qp),
+                });
+                QpId::pack(slot, 0)
+            }
+        };
         inner.nodes[a.0 as usize].qp_count += 1;
         inner.nodes[b.0 as usize].qp_count += 1;
         id
     }
 
-    /// Tears down a queue pair's contribution to driver load (failover).
+    /// Tears down a queue pair (failover, migration): driver load drops on
+    /// both endpoints and the slot returns to the free-list with its
+    /// generation bumped, so any verb posted on the stale id panics instead
+    /// of hitting whichever connection reuses the slot.
     pub fn disconnect(&self, qp: QpId) {
         let mut inner = self.inner.borrow_mut();
         let (a, b) = {
-            let q = &inner.qps[qp.0 as usize];
+            let q = inner.qp(qp);
             (q.a, q.b)
         };
         inner.nodes[a.0 as usize].qp_count = inner.nodes[a.0 as usize].qp_count.saturating_sub(1);
         inner.nodes[b.0 as usize].qp_count = inner.nodes[b.0 as usize].qp_count.saturating_sub(1);
-        let q = &mut inner.qps[qp.0 as usize];
-        q.handler_a = None;
-        q.handler_b = None;
+        let slot = qp.slot();
+        let s = &mut inner.qps[slot];
+        s.qp = None;
+        s.generation = (s.generation + 1) & 0xFF;
+        inner.free_qps.push(slot as u32);
+        // Faults are keyed by the full (slot, generation) id, so a recycled
+        // slot never inherits a dead connection's fault program.
         inner.faults.qp.remove(&qp.0);
     }
 
@@ -485,7 +848,7 @@ impl Fabric {
     /// `qp`.
     pub fn set_recv_handler(&self, qp: QpId, endpoint: NodeId, handler: Rc<RecvHandler>) {
         let mut inner = self.inner.borrow_mut();
-        let q = &mut inner.qps[qp.0 as usize];
+        let q = inner.qp_mut(qp);
         if endpoint == q.a {
             q.handler_a = Some(handler);
         } else if endpoint == q.b {
@@ -497,7 +860,7 @@ impl Fabric {
 
     /// The other end of `qp` as seen from `from`.
     pub fn peer(&self, qp: QpId, from: NodeId) -> NodeId {
-        self.inner.borrow().qps[qp.0 as usize].peer_of(from)
+        self.inner.borrow().qp(qp).peer_of(from)
     }
 
     /// Number of QPs currently terminating at `node`.
@@ -534,7 +897,7 @@ impl Fabric {
         let bytes = words.len() * 8;
         let fated = {
             let mut inner = self.inner.borrow_mut();
-            let q = &inner.qps[qp.0 as usize];
+            let q = inner.qp(qp);
             assert_eq!(
                 q.transport,
                 Transport::Rdma,
@@ -561,9 +924,12 @@ impl Fabric {
                     let ser = inner.cfg.nic_ser(bytes);
                     let prop = inner.cfg.rdma_prop_ns;
                     let dma = inner.cfg.rdma_dma_ns;
-                    let tx_cost =
-                        (((inner.cfg.rdma_op_ns + ser) as f64) * pen_src).round() as SimTime;
-                    let rx_cost = (((dma + ser) as f64) * pen_dst).round() as SimTime;
+                    let tx_cost = (((inner.cfg.rdma_op_ns + ser) as f64) * pen_src).round()
+                        as SimTime
+                        + inner.qp_state_touch(from, qp);
+                    let rx_cost = (((dma + ser) as f64) * pen_dst).round() as SimTime
+                        + inner.qp_state_touch(to, qp)
+                        + inner.mtt_touch(to, dst_region, dst_word_off * 8, bytes);
                     let tx_done = inner.nodes[from.0 as usize]
                         .nic_tx
                         .acquire(sim.now(), tx_cost);
@@ -636,7 +1002,7 @@ impl Fabric {
         let mut deliveries = Vec::with_capacity(writes.len());
         {
             let mut inner = self.inner.borrow_mut();
-            let q = &inner.qps[qp.0 as usize];
+            let q = inner.qp(qp);
             assert_eq!(
                 q.transport,
                 Transport::Rdma,
@@ -649,6 +1015,10 @@ impl Fabric {
                 inner.cfg.qp_penalty(inner.nodes[to.0 as usize].qp_count) * inner.slow(to);
             let prop = inner.cfg.rdma_prop_ns;
             let dma = inner.cfg.rdma_dma_ns;
+            // The QP context is touched once per doorbell on each side: the
+            // NIC keeps it resident while it walks the WQE chain.
+            let qp_tx_surcharge = inner.qp_state_touch(from, qp);
+            let qp_rx_surcharge = inner.qp_state_touch(to, qp);
             let mut delivered = 0u64;
             let mut total_bytes = 0u64;
             for (i, w) in writes.into_iter().enumerate() {
@@ -677,8 +1047,11 @@ impl Fabric {
                 } else {
                     inner.cfg.rdma_wqe_ns
                 };
-                let tx_cost = (((base + ser) as f64) * pen_src).round() as SimTime;
-                let rx_cost = (((dma + ser) as f64) * pen_dst).round() as SimTime;
+                let tx_cost = (((base + ser) as f64) * pen_src).round() as SimTime
+                    + if i == 0 { qp_tx_surcharge } else { 0 };
+                let rx_cost = (((dma + ser) as f64) * pen_dst).round() as SimTime
+                    + if i == 0 { qp_rx_surcharge } else { 0 }
+                    + inner.mtt_touch(to, w.dst_region, w.dst_word_off * 8, bytes);
                 let tx_done = inner.nodes[from.0 as usize]
                     .nic_tx
                     .acquire(sim.now(), tx_cost);
@@ -756,7 +1129,7 @@ impl Fabric {
         let words = len_bytes.div_ceil(8);
         let fated = {
             let mut inner = self.inner.borrow_mut();
-            let q = &inner.qps[qp.0 as usize];
+            let q = inner.qp(qp);
             assert_eq!(
                 q.transport,
                 Transport::Rdma,
@@ -792,17 +1165,22 @@ impl Fabric {
             let dma = inner.cfg.rdma_dma_ns;
             let op = inner.cfg.rdma_op_ns;
             let ser = inner.cfg.nic_ser(len_bytes);
+            let tx_surcharge = inner.qp_state_touch(from, qp);
+            let rx_surcharge = inner.qp_state_touch(target, qp)
+                + inner.mtt_touch(target, src_region, src_word_off * 8, len_bytes);
             // Request flight.
-            let tx_done = inner.nodes[from.0 as usize]
-                .nic_tx
-                .acquire(sim.now(), ((op as f64) * pen_src).round() as SimTime);
+            let tx_done = inner.nodes[from.0 as usize].nic_tx.acquire(
+                sim.now(),
+                ((op as f64) * pen_src).round() as SimTime + tx_surcharge,
+            );
             // Target NIC performs the DMA fetch + response serialization
             // entirely in hardware (zero target CPU).
             // The target HCA serves the read in hardware: one DMA fetch, no
             // WQE processing (that is the initiator's job) and no CPU.
-            let snap_at = inner.nodes[target.0 as usize]
-                .nic_rx
-                .acquire(tx_done + prop, ((dma as f64) * pen_dst).round() as SimTime);
+            let snap_at = inner.nodes[target.0 as usize].nic_rx.acquire(
+                tx_done + prop,
+                ((dma as f64) * pen_dst).round() as SimTime + rx_surcharge,
+            );
             let resp_tx = inner.nodes[target.0 as usize]
                 .nic_tx
                 .acquire(snap_at, ((ser as f64) * pen_dst).round() as SimTime);
@@ -840,7 +1218,7 @@ impl Fabric {
         let bytes = payload.len();
         let fated = {
             let mut inner = self.inner.borrow_mut();
-            let q = &inner.qps[qp.0 as usize];
+            let q = inner.qp(qp);
             let to = q.peer_of(from);
             let transport = q.transport;
             let handler = if to == q.a {
@@ -869,13 +1247,15 @@ impl Fabric {
                     let extra = inner.cfg.send_recv_extra_ns;
                     let prop = inner.cfg.rdma_prop_ns;
                     let dma = inner.cfg.rdma_dma_ns;
+                    let tx_surcharge = inner.qp_state_touch(from, qp);
+                    let rx_surcharge = inner.qp_state_touch(to, qp);
                     let tx = inner.nodes[from.0 as usize].nic_tx.acquire(
                         sim.now(),
-                        (((op + ser) as f64) * pen_src).round() as SimTime,
+                        (((op + ser) as f64) * pen_src).round() as SimTime + tx_surcharge,
                     );
                     inner.nodes[to.0 as usize].nic_rx.acquire(
                         tx + prop,
-                        (((dma + ser + extra) as f64) * pen_dst).round() as SimTime,
+                        (((dma + ser + extra) as f64) * pen_dst).round() as SimTime + rx_surcharge,
                     )
                 }
                 Transport::Socket => {
@@ -923,7 +1303,7 @@ impl Fabric {
         if payloads.is_empty() {
             return;
         }
-        if self.inner.borrow().qps[qp.0 as usize].transport == Transport::Socket {
+        if self.inner.borrow().qp(qp).transport == Transport::Socket {
             for p in payloads {
                 self.post_send(sim, qp, from, p);
             }
@@ -932,7 +1312,7 @@ impl Fabric {
         let mut deliveries = Vec::with_capacity(payloads.len());
         let handler = {
             let mut inner = self.inner.borrow_mut();
-            let q = &inner.qps[qp.0 as usize];
+            let q = inner.qp(qp);
             let to = q.peer_of(from);
             let handler = if to == q.a {
                 q.handler_a.clone()
@@ -946,6 +1326,8 @@ impl Fabric {
             let prop = inner.cfg.rdma_prop_ns;
             let dma = inner.cfg.rdma_dma_ns;
             let extra = inner.cfg.send_recv_extra_ns;
+            let qp_tx_surcharge = inner.qp_state_touch(from, qp);
+            let qp_rx_surcharge = inner.qp_state_touch(to, qp);
             let mut delivered = 0u64;
             let mut total_bytes = 0u64;
             for (i, payload) in payloads.into_iter().enumerate() {
@@ -965,11 +1347,13 @@ impl Fabric {
                 };
                 let tx = inner.nodes[from.0 as usize].nic_tx.acquire(
                     sim.now(),
-                    (((base + ser) as f64) * pen_src).round() as SimTime,
+                    (((base + ser) as f64) * pen_src).round() as SimTime
+                        + if i == 0 { qp_tx_surcharge } else { 0 },
                 );
                 let deliver_at = inner.nodes[to.0 as usize].nic_rx.acquire(
                     tx + prop,
-                    (((dma + ser + extra) as f64) * pen_dst).round() as SimTime,
+                    (((dma + ser + extra) as f64) * pen_dst).round() as SimTime
+                        + if i == 0 { qp_rx_surcharge } else { 0 },
                 );
                 total_bytes += bytes as u64;
                 delivered += 1;
@@ -1724,5 +2108,218 @@ mod tests {
         }
         sim.run();
         assert_eq!(polled.borrow().as_deref(), Some(b"GET user:42".as_slice()));
+    }
+
+    #[test]
+    fn lru_cache_golden_trace() {
+        // Golden trace for the NIC cache replacement policy: capacity 3,
+        // misses charged only when a fill evicts.
+        let mut c = NicCache::new(3);
+        assert!(!c.touch(1), "compulsory fill is free");
+        assert!(!c.touch(2), "compulsory fill is free");
+        assert!(!c.touch(3), "compulsory fill is free");
+        assert_eq!(c.len(), 3);
+        assert!(!c.touch(1), "hit");
+        // LRU order now (MRU..LRU) = 1, 3, 2 -> filling 4 evicts 2.
+        assert!(c.touch(4), "capacity miss evicts LRU");
+        assert!(!c.touch(1), "1 stayed resident");
+        assert!(!c.touch(3), "3 stayed resident");
+        assert!(c.touch(2), "2 was the eviction victim");
+        // 2's fill evicted 4 (LRU after the touches above).
+        assert!(c.touch(4), "4 was evicted in turn");
+        assert_eq!(c.len(), 3, "resident count pinned at capacity");
+        // cap == 0 disables the model entirely.
+        let mut off = NicCache::new(0);
+        for k in 0..100 {
+            assert!(!off.touch(k));
+        }
+    }
+
+    #[test]
+    fn qp_slot_churn_stays_bounded() {
+        // Regression: connect used to always push a new slot and disconnect
+        // never reclaimed it, so migration/reconnect cycles grew the QP
+        // table forever.
+        let (_sim, fab, a, b, qp0) = setup();
+        fab.disconnect(qp0);
+        let mut last = qp0;
+        for _ in 0..1000 {
+            let qp = fab.connect(a, b, Transport::Rdma);
+            assert_eq!(qp.slot(), last.slot(), "free-list must recycle the slot");
+            assert_ne!(qp, last, "recycled id must carry a new generation");
+            fab.disconnect(qp);
+            last = qp;
+        }
+        let (total, free) = fab.qp_slots();
+        assert_eq!(total, 1, "churn must not grow the table");
+        assert_eq!(free, 1);
+        assert_eq!(fab.qp_count(a), 0);
+        assert_eq!(fab.qp_count(b), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale QpId")]
+    fn stale_qp_id_is_rejected_after_recycle() {
+        let (mut sim, fab, a, b, qp) = setup();
+        fab.disconnect(qp);
+        let _fresh = fab.connect(a, b, Transport::Rdma);
+        // The old id aliases the recycled slot but its generation is stale.
+        fab.post_send(&mut sim, qp, a, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn qp_cache_thrash_adds_miss_surcharge() {
+        // More active QPs than ICM cache lines: round-robin ops across them
+        // must pay the PCIe fetch on (nearly) every touch, visible both in
+        // the counters and in delivery latency.
+        let cfg = FabricConfig {
+            qp_cache_entries: 4,
+            qp_threshold: 10_000, // isolate the cache cliff from the driver slope
+            ..FabricConfig::default()
+        };
+        let sim = &mut Sim::new(7);
+        let fab = Fabric::new(cfg.clone());
+        let a = fab.add_node();
+        let b = fab.add_node();
+        let qps: Vec<QpId> = (0..8).map(|_| fab.connect(a, b, Transport::Rdma)).collect();
+        let (region, _mem) = fab.alloc_region(b, 1024);
+        for round in 0..4 {
+            for (i, &qp) in qps.iter().enumerate() {
+                fab.post_write(sim, qp, a, vec![round as u64], region, i, None);
+            }
+        }
+        sim.run();
+        let s = fab.node_stats(a);
+        // Warm-up fills 4 lines for free; with 8 QPs round-robin over a
+        // 4-line cache every subsequent touch evicts.
+        assert!(
+            s.qp_cache_misses >= 24,
+            "expected heavy ICM thrash, got {} misses / {} hits",
+            s.qp_cache_misses,
+            s.qp_cache_hits
+        );
+        assert_eq!(
+            s.miss_penalty_ns,
+            (s.qp_cache_misses + s.mtt_cache_misses) * cfg.nic_miss_ns,
+            "surcharge must equal misses x nic_miss_ns"
+        );
+        // A config with 8+ lines sees zero misses on the same trace.
+        let roomy = FabricConfig {
+            qp_cache_entries: 8,
+            qp_threshold: 10_000,
+            ..FabricConfig::default()
+        };
+        let sim2 = &mut Sim::new(7);
+        let fab2 = Fabric::new(roomy);
+        let a2 = fab2.add_node();
+        let b2 = fab2.add_node();
+        let qps2: Vec<QpId> = (0..8)
+            .map(|_| fab2.connect(a2, b2, Transport::Rdma))
+            .collect();
+        let (region2, _mem2) = fab2.alloc_region(b2, 1024);
+        for round in 0..4 {
+            for (i, &qp) in qps2.iter().enumerate() {
+                fab2.post_write(sim2, qp, a2, vec![round as u64], region2, i, None);
+            }
+        }
+        sim2.run();
+        assert_eq!(fab2.node_stats(a2).qp_cache_misses, 0);
+        assert!(
+            sim.now() > sim2.now(),
+            "thrashed run must finish later: {} vs {}",
+            sim.now(),
+            sim2.now()
+        );
+    }
+
+    #[test]
+    fn huge_pages_collapse_mtt_footprint() {
+        let fab = Fabric::new(FabricConfig::default());
+        let n = fab.add_node();
+        let words = 1 << 20; // 8 MiB region
+        let (_r4k, _m1) = fab.alloc_region_paged(n, words, 4096);
+        assert_eq!(fab.mtt_registered(n), 2048, "8 MiB / 4 KiB pages");
+        let before = fab.mtt_registered(n);
+        let (_r2m, _m2) = fab.alloc_region_paged(n, words, 2 << 20);
+        assert_eq!(
+            fab.mtt_registered(n) - before,
+            4,
+            "8 MiB / 2 MiB huge pages = 512x fewer entries"
+        );
+    }
+
+    #[test]
+    fn mtt_thrash_charges_translation_misses() {
+        // A region larger than the translation cache, swept with 4 KiB
+        // pages, must thrash; the same sweep with huge pages stays resident.
+        let cfg = FabricConfig {
+            mtt_cache_entries: 8,
+            qp_threshold: 10_000,
+            ..FabricConfig::default()
+        };
+        let sweep = |page_bytes: usize| -> (u64, u64) {
+            let sim = &mut Sim::new(7);
+            let fab = Fabric::new(cfg.clone());
+            let a = fab.add_node();
+            let b = fab.add_node();
+            let qp = fab.connect(a, b, Transport::Rdma);
+            // 16 pages of 4 KiB = 8192 words.
+            let (region, _mem) = fab.alloc_region_paged(b, 8192, page_bytes);
+            for round in 0..3 {
+                for page in 0..16 {
+                    fab.post_write(sim, qp, a, vec![round], region, page * 512, None);
+                }
+            }
+            sim.run();
+            let s = fab.node_stats(b);
+            (s.mtt_cache_misses, s.mtt_cache_hits)
+        };
+        let (misses_4k, _) = sweep(4096);
+        let (misses_huge, hits_huge) = sweep(2 << 20);
+        assert!(
+            misses_4k >= 32,
+            "16-page sweep over an 8-line cache must thrash, got {misses_4k}"
+        );
+        assert_eq!(misses_huge, 0, "one huge page covers the whole region");
+        assert!(hits_huge > 0);
+    }
+
+    #[test]
+    fn srq_accounting_is_idempotent_and_bounded() {
+        let fab = Fabric::new(FabricConfig::default());
+        let n = fab.add_node();
+        // Dedicated rings: each connection posts its own buffers.
+        fab.provision_recvs(n, 16);
+        fab.provision_recvs(n, 16);
+        assert_eq!(fab.recv_posted(n), 32);
+        fab.release_recvs(n, 16);
+        assert_eq!(fab.recv_posted(n), 16);
+        // SRQ: first ensure posts the pool, later ensures are no-ops.
+        fab.ensure_srq(n, 1024);
+        fab.ensure_srq(n, 1024);
+        fab.ensure_srq(n, 1024);
+        assert_eq!(fab.recv_posted(n), 16 + 1024);
+        // Releasing never underflows.
+        fab.release_recvs(n, 10_000);
+        assert_eq!(fab.recv_posted(n), 0);
+    }
+
+    #[test]
+    fn warm_cache_fills_are_free_at_small_scale() {
+        // At a handful of connections the caches never evict, so the model
+        // must not perturb the calibrated latency anchors at all.
+        let (mut sim, fab, a, _b, qp) = setup();
+        let target = fab.peer(qp, a);
+        let (region, _mem) = fab.alloc_region(target, 64);
+        for i in 0..32 {
+            fab.post_write(&mut sim, qp, a, vec![i], region, (i % 64) as usize, None);
+        }
+        sim.run();
+        let s = fab.node_stats(a);
+        let t = fab.node_stats(target);
+        assert_eq!(s.qp_cache_misses, 0);
+        assert_eq!(t.qp_cache_misses + t.mtt_cache_misses, 0);
+        assert_eq!(s.miss_penalty_ns + t.miss_penalty_ns, 0);
+        assert!(s.qp_cache_hits > 0, "warm touches still counted as hits");
     }
 }

@@ -505,6 +505,7 @@ impl ChaosController {
                 ring_words: cfg.repl_ring_words,
                 mode,
                 apply_cost_ns: cfg.costs.write_ns,
+                page_bytes: cfg.page_bytes,
                 ..ReplConfig::default()
             },
         );

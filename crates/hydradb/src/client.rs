@@ -317,6 +317,26 @@ struct ClientConn {
     arena_region: RegionId,
     /// Kicks the server's polling loop when a request write lands.
     server_kick: Rc<dyn Fn(&mut Sim)>,
+    /// Channel tag stamped into request headers when the QP is shared by a
+    /// multiplexed channel (0 on dedicated connections — the wire default).
+    tag: u16,
+}
+
+/// Send/Recv demux table of a multiplexed channel: channel tag → the
+/// tagged partition's server instance and connection slot.
+type DemuxTable = HashMap<u16, (Rc<RefCell<ShardServer>>, usize)>;
+
+/// One pooled QP per (client, server node): partitions share the queue
+/// pair — the NIC-resident state — while keeping their own message
+/// buffers, connection slots and kicks. Requests carry a channel tag
+/// ([`hydra_wire::set_channel_tag`]) so the Send/Recv receive path can
+/// route payloads to the right partition.
+struct MuxChannel {
+    qp: QpId,
+    /// Next channel tag to hand to a partition joining this channel.
+    next_tag: u16,
+    /// Shared with the channel's recv handler on the server node.
+    demux: Rc<RefCell<DemuxTable>>,
 }
 
 /// An operation queued behind the pipeline window, not yet shipped.
@@ -332,6 +352,8 @@ pub(crate) struct ClientInner {
     cfg: Rc<ClusterConfig>,
     directory: Rc<RefCell<Directory>>,
     conns: HashMap<u32, ClientConn>,
+    /// Multiplexed mode: pooled QPs keyed by server node.
+    channels: HashMap<u32, MuxChannel>,
     ptr_cache: PtrCache,
     /// Lazily opened QPs to replica-hosting nodes (read spreading).
     replica_qps: HashMap<u32, QpId>,
@@ -382,6 +404,7 @@ impl HydraClient {
                 cfg,
                 directory,
                 conns: HashMap::new(),
+                channels: HashMap::new(),
                 ptr_cache,
                 replica_qps: HashMap::new(),
                 spread_rr: id as u64, // desynchronize clients' rotors
@@ -422,6 +445,14 @@ impl HydraClient {
     /// the node-wide count). Bounded by `ptr_cache_capacity`.
     pub fn ptr_cache_len(&self) -> usize {
         self.inner.borrow().ptr_cache.len()
+    }
+
+    /// The QP serving `partition`'s connection, if one has been built.
+    /// Under [`ClusterConfig::mux_connections`] every partition homed on
+    /// one server node reports the same pooled QP — tests use this to
+    /// verify the sharing (and chaos tests to fault the shared channel).
+    pub fn conn_qp(&self, partition: u32) -> Option<QpId> {
+        self.inner.borrow().conns.get(&partition).map(|c| c.qp)
     }
 
     /// Operations issued but not yet completed (shipped, posted one-sided,
@@ -1041,14 +1072,14 @@ impl HydraClient {
         cb: Option<OpCb>,
         attempts: u32,
         issued_at_override: Option<SimTime>,
-        payload: Vec<u8>,
+        mut payload: Vec<u8>,
     ) {
         self.ensure_conn(partition);
-        let words = frame::frame_to_words(&payload);
         let (fab, qp, node, req_region, slot_words, send_recv, timeout, server_kick) = {
             let inner = self.inner.borrow();
             assert!(inner.outstanding.is_none(), "client is closed-loop");
             let conn = &inner.conns[&partition];
+            hydra_wire::set_channel_tag(&mut payload, conn.tag);
             (
                 inner.fab.clone(),
                 conn.qp,
@@ -1060,6 +1091,7 @@ impl HydraClient {
                 conn.server_kick.clone(),
             )
         };
+        let words = frame::frame_to_words(&payload);
         if words.len() > slot_words {
             if let Some(cb) = cb {
                 cb(sim, Err(OpError::TooLarge));
@@ -1149,7 +1181,9 @@ impl HydraClient {
                     .zip(inner.directory.borrow().shards.get(&p).cloned())
                     .is_some_and(|(c, cur)| !Rc::ptr_eq(&c.server, &cur));
                 if stale {
-                    inner.conns.remove(&p);
+                    drop(inner);
+                    self.retire_stale_conn(p);
+                    self.inner.borrow_mut().conns.remove(&p);
                 }
             }
         }
@@ -1189,6 +1223,12 @@ impl HydraClient {
     }
 
     /// Builds (or reuses) the connection to `partition`'s current primary.
+    ///
+    /// Dedicated mode opens one QP per partition. Multiplexed mode
+    /// ([`ClusterConfig::mux_connections`]) pools one QP per (client,
+    /// server node) in `channels` and hands the partition a channel tag;
+    /// the per-partition message buffers, connection slot and kicks are
+    /// unchanged, so the two modes are observationally equivalent.
     fn ensure_conn(&self, partition: u32) {
         let (current, reuse) = {
             let inner = self.inner.borrow();
@@ -1213,17 +1253,71 @@ impl HydraClient {
             (s.node, s.arena_region)
         };
         let weak = Rc::downgrade(&self.inner);
-        let (fab, node, qp, req_region, req_mem, resp_region, resp_mem, send_recv) = {
-            let inner = self.inner.borrow();
+        self.retire_stale_conn(partition);
+        let (
+            fab,
+            node,
+            qp,
+            tag,
+            demux,
+            new_channel,
+            req_region,
+            req_mem,
+            resp_region,
+            resp_mem,
+            send_recv,
+        ) = {
+            let mut inner = self.inner.borrow_mut();
+            let inner = &mut *inner;
             let fab = inner.fab.clone();
-            let qp = fab.connect(inner.node, server_node, inner.cfg.transport);
-            let (req_region, req_mem) = fab.alloc_region(server_node, inner.cfg.msg_slot_words);
-            let (resp_region, resp_mem) = fab.alloc_region(inner.node, inner.cfg.msg_slot_words);
+            let node = inner.node;
             let send_recv = !inner.cfg.client_mode.rdma_write();
+            let page = inner.cfg.page_bytes;
+            let (req_region, req_mem) =
+                fab.alloc_region_paged(server_node, inner.cfg.msg_slot_words, page);
+            let (resp_region, resp_mem) =
+                fab.alloc_region_paged(node, inner.cfg.msg_slot_words, page);
+            let new_qp = |fab: &Fabric| {
+                let qp = fab.connect(node, server_node, inner.cfg.transport);
+                // Receive provisioning is per QP endpoint: a dedicated ring
+                // each side, or the server's node-wide SRQ pool.
+                if inner.cfg.srq {
+                    fab.ensure_srq(server_node, inner.cfg.srq_depth);
+                } else {
+                    fab.provision_recvs(server_node, inner.cfg.recv_ring_depth);
+                }
+                fab.provision_recvs(node, inner.cfg.recv_ring_depth);
+                qp
+            };
+            let (qp, tag, demux, new_channel) = if inner.cfg.mux_connections {
+                match inner.channels.entry(server_node.0) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        let ch = e.get_mut();
+                        let tag = ch.next_tag;
+                        ch.next_tag = ch.next_tag.wrapping_add(1);
+                        (ch.qp, tag, Some(ch.demux.clone()), false)
+                    }
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        let qp = new_qp(&fab);
+                        let demux: Rc<RefCell<DemuxTable>> = Rc::new(RefCell::new(HashMap::new()));
+                        v.insert(MuxChannel {
+                            qp,
+                            next_tag: 1,
+                            demux: demux.clone(),
+                        });
+                        (qp, 0u16, Some(demux), true)
+                    }
+                }
+            } else {
+                (new_qp(&fab), 0u16, None, false)
+            };
             (
                 fab,
-                inner.node,
+                node,
                 qp,
+                tag,
+                demux,
+                new_channel,
                 req_region,
                 req_mem,
                 resp_region,
@@ -1247,26 +1341,56 @@ impl HydraClient {
             client_kick,
             send_recv,
         });
+        if let Some(demux) = &demux {
+            demux.borrow_mut().insert(tag, (current.clone(), conn_idx));
+        }
         if send_recv {
             // Two-sided mode: deliveries arrive through recv handlers.
-            let server_rc = current.clone();
-            fab.set_recv_handler(
-                qp,
-                server_node,
-                Rc::new(move |sim: &mut Sim, _qp, payload: Vec<u8>| {
-                    ShardServer::on_request_payload(&server_rc, sim, conn_idx, payload);
-                }),
-            );
-            let weak2 = weak.clone();
-            fab.set_recv_handler(
-                qp,
-                node,
-                Rc::new(move |sim: &mut Sim, _qp, payload: Vec<u8>| {
-                    if let Some(rc) = weak2.upgrade() {
-                        HydraClient { inner: rc }.on_response_payload(sim, payload);
-                    }
-                }),
-            );
+            match &demux {
+                None => {
+                    // Dedicated QP: the handler is partition-specific.
+                    let server_rc = current.clone();
+                    fab.set_recv_handler(
+                        qp,
+                        server_node,
+                        Rc::new(move |sim: &mut Sim, _qp, payload: Vec<u8>| {
+                            ShardServer::on_request_payload(&server_rc, sim, conn_idx, payload);
+                        }),
+                    );
+                }
+                Some(demux) if new_channel => {
+                    // Multiplexed QP: one handler per channel, routing each
+                    // request payload by its stamped channel tag.
+                    let demux = demux.clone();
+                    fab.set_recv_handler(
+                        qp,
+                        server_node,
+                        Rc::new(move |sim: &mut Sim, _qp, payload: Vec<u8>| {
+                            let tag = hydra_wire::channel_tag(&payload);
+                            let target = demux.borrow().get(&tag).cloned();
+                            let Some((server_rc, idx)) = target else {
+                                return; // tag retired (partition rerouted)
+                            };
+                            ShardServer::on_request_payload(&server_rc, sim, idx, payload);
+                        }),
+                    );
+                }
+                Some(_) => {} // channel handler already installed
+            }
+            if demux.is_none() || new_channel {
+                // Responses key on req_id, so one handler serves the whole
+                // channel in either mode.
+                let weak2 = weak.clone();
+                fab.set_recv_handler(
+                    qp,
+                    node,
+                    Rc::new(move |sim: &mut Sim, _qp, payload: Vec<u8>| {
+                        if let Some(rc) = weak2.upgrade() {
+                            HydraClient { inner: rc }.on_response_payload(sim, payload);
+                        }
+                    }),
+                );
+            }
         }
         let server_kick: Rc<dyn Fn(&mut Sim)> = {
             let server_rc = current.clone();
@@ -1283,8 +1407,23 @@ impl HydraClient {
                 resp_mem,
                 arena_region,
                 server_kick,
+                tag,
             },
         );
+    }
+
+    /// Drops `partition`'s demux registration when its connection is about
+    /// to be replaced (fail-over/migration rerouted the partition), so the
+    /// shared channel stops routing its tag to the dead server instance.
+    fn retire_stale_conn(&self, partition: u32) {
+        let inner = self.inner.borrow();
+        let Some(old) = inner.conns.get(&partition) else {
+            return;
+        };
+        let old_node = old.server.borrow().node;
+        if let Some(ch) = inner.channels.get(&old_node.0) {
+            ch.demux.borrow_mut().remove(&old.tag);
+        }
     }
 
     fn on_response_kick(&self, sim: &mut Sim, partition: u32) {
@@ -1562,6 +1701,7 @@ impl HydraClient {
             } else {
                 max_batch
             };
+            let tag = inner.conns[&partition].tag;
             let q = inner.queued.get_mut(&partition).expect("checked above");
             while (builder.count() as usize) < window {
                 let Some(front) = q.front() else { break };
@@ -1569,7 +1709,8 @@ impl HydraClient {
                 if !builder.is_empty() && grown > slot_words {
                     break; // next op overflows the slot; ship what we have
                 }
-                let item = q.pop_front().expect("front exists");
+                let mut item = q.pop_front().expect("front exists");
+                hydra_wire::set_channel_tag(&mut item.payload, tag);
                 builder.push(&item.payload);
                 req_ids.push(item.out.req_id);
                 inner.window.insert(item.out.req_id, item.out);
@@ -1627,7 +1768,9 @@ impl HydraClient {
             }
             let mut payloads = Vec::with_capacity(q.len());
             let mut req_ids = Vec::with_capacity(q.len());
-            while let Some(item) = q.pop_front() {
+            let tag = inner.conns[&partition].tag;
+            while let Some(mut item) = q.pop_front() {
+                hydra_wire::set_channel_tag(&mut item.payload, tag);
                 payloads.push(item.payload);
                 req_ids.push(item.out.req_id);
                 inner.window.insert(item.out.req_id, item.out);

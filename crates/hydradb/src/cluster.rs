@@ -55,6 +55,32 @@ pub struct ClusterReport {
     pub promotions: u64,
     /// One row per partition.
     pub rows: Vec<PartitionReport>,
+    /// One row per machine: fabric/NIC occupancy (connection-scaling
+    /// health).
+    pub nodes: Vec<NodeFabricReport>,
+}
+
+/// Per-machine fabric occupancy in a [`ClusterReport`]: how hard the node
+/// leans on the NIC's connection-scaling resources (QP table, posted recv
+/// buffers, on-chip QP-state and translation caches).
+#[derive(Debug, Clone)]
+pub struct NodeFabricReport {
+    pub node: u32,
+    /// QPs currently terminating at this machine.
+    pub qps: u32,
+    /// Receive buffers provisioned (per-QP rings + SRQ pool).
+    pub recv_posted: u64,
+    /// Translation entries consumed by registered regions
+    /// (`ceil(bytes / page_bytes)` per region).
+    pub mtt_entries: u64,
+    /// QP-state (ICM) cache hits / capacity misses.
+    pub qp_cache_hits: u64,
+    pub qp_cache_misses: u64,
+    /// Translation (MTT) cache hits / capacity misses.
+    pub mtt_cache_hits: u64,
+    pub mtt_cache_misses: u64,
+    /// Total PCIe-fetch surcharge this node's NIC paid for cold entries.
+    pub miss_penalty_ns: u64,
 }
 
 impl std::fmt::Display for ClusterReport {
@@ -102,6 +128,34 @@ impl std::fmt::Display for ClusterReport {
                 r.migration_phase,
                 r.moved_keys,
                 r.drained_keys
+            )?;
+        }
+        writeln!(
+            f,
+            "{:<5} {:>6} {:>8} {:>9} {:>10} {:>10} {:>10} {:>10} {:>12}",
+            "node",
+            "qps",
+            "recvs",
+            "mtt_ent",
+            "qp_hits",
+            "qp_miss",
+            "mtt_hits",
+            "mtt_miss",
+            "miss_pen_ns"
+        )?;
+        for n in &self.nodes {
+            writeln!(
+                f,
+                "{:<5} {:>6} {:>8} {:>9} {:>10} {:>10} {:>10} {:>10} {:>12}",
+                n.node,
+                n.qps,
+                n.recv_posted,
+                n.mtt_entries,
+                n.qp_cache_hits,
+                n.qp_cache_misses,
+                n.mtt_cache_hits,
+                n.mtt_cache_misses,
+                n.miss_penalty_ns
             )?;
         }
         Ok(())
@@ -222,6 +276,7 @@ impl HaState {
                         ring_words: self.cfg.repl_ring_words,
                         mode,
                         apply_cost_ns: self.cfg.costs.write_ns,
+                        page_bytes: self.cfg.page_bytes,
                         ..ReplConfig::default()
                     },
                 );
@@ -327,6 +382,7 @@ impl ClusterBuilder {
                             ring_words: cfg.repl_ring_words,
                             mode,
                             apply_cost_ns: cfg.costs.write_ns,
+                            page_bytes: cfg.page_bytes,
                             ..ReplConfig::default()
                         },
                     );
@@ -816,10 +872,30 @@ impl Cluster {
                 }
             })
             .collect();
+        let nodes = self
+            .server_nodes
+            .iter()
+            .chain(self.client_nodes.iter())
+            .map(|&n| {
+                let st = self.fab.node_stats(n);
+                NodeFabricReport {
+                    node: n.0,
+                    qps: self.fab.qp_count(n),
+                    recv_posted: self.fab.recv_posted(n),
+                    mtt_entries: self.fab.mtt_registered(n),
+                    qp_cache_hits: st.qp_cache_hits,
+                    qp_cache_misses: st.qp_cache_misses,
+                    mtt_cache_hits: st.mtt_cache_hits,
+                    mtt_cache_misses: st.mtt_cache_misses,
+                    miss_penalty_ns: st.miss_penalty_ns,
+                }
+            })
+            .collect();
         ClusterReport {
             generation: self.directory.borrow().generation,
             promotions: ha.promotions,
             rows,
+            nodes,
         }
     }
 
@@ -925,5 +1001,131 @@ mod tests {
         let dir = cluster.directory.borrow();
         assert_eq!(dir.shards.len(), 4);
         assert!(dir.ring.route(b"any-key").is_some());
+    }
+
+    /// Touches every partition from one client and returns the cluster
+    /// plus the client (ops complete — the sim is drained).
+    fn run_all_partitions(cfg: ClusterConfig) -> (Cluster, crate::HydraClient) {
+        let shards = cfg.total_shards();
+        let mut cluster = ClusterBuilder::new(cfg).build();
+        let client = cluster.add_client(0);
+        // Enough distinct keys to land on all partitions.
+        for i in 0..(shards * 8) {
+            let key = format!("key-{i:04}");
+            let c = client.clone();
+            let k = key.clone().into_bytes();
+            cluster.sim.schedule_at(cluster.sim.now(), move |sim| {
+                c.insert(sim, &k, b"value", Box::new(|_, r| assert!(r.is_ok())));
+            });
+            cluster.sim.run();
+        }
+        (cluster, client)
+    }
+
+    #[test]
+    fn mux_pools_one_qp_per_server_node() {
+        let cfg = ClusterConfig {
+            server_nodes: 2,
+            shards_per_node: 2,
+            mux_connections: true,
+            ..ClusterConfig::default()
+        };
+        let (cluster, client) = run_all_partitions(cfg);
+        // Every partition has a connection, but partitions homed on the
+        // same node share one QP.
+        let mut by_node: HashMap<u32, Vec<hydra_fabric::QpId>> = HashMap::new();
+        for p in 0..4 {
+            let qp = client.conn_qp(p).expect("partition touched");
+            let node = cluster.shard(p).primary.borrow().node.0;
+            by_node.entry(node).or_default().push(qp);
+        }
+        assert_eq!(by_node.len(), 2);
+        for (node, qps) in &by_node {
+            assert!(
+                qps.windows(2).all(|w| w[0] == w[1]),
+                "node {node}: partitions must share the pooled QP, got {qps:?}"
+            );
+        }
+        let (a, b) = (by_node[&0][0], by_node[&1][0]);
+        assert_ne!(a, b, "distinct server nodes use distinct QPs");
+        // The client node terminates exactly server_nodes client QPs
+        // (replication/migration QPs live between server nodes).
+        let client_node = cluster.client_nodes[0];
+        assert_eq!(cluster.fab.qp_count(client_node), 2);
+
+        // Dedicated mode on the same deployment: one QP per partition.
+        let cfg = ClusterConfig {
+            server_nodes: 2,
+            shards_per_node: 2,
+            mux_connections: false,
+            ..ClusterConfig::default()
+        };
+        let (cluster, client) = run_all_partitions(cfg);
+        let qps: std::collections::HashSet<_> = (0..4)
+            .map(|p| client.conn_qp(p).expect("touched"))
+            .collect();
+        assert_eq!(qps.len(), 4, "dedicated mode keeps per-partition QPs");
+        assert_eq!(cluster.fab.qp_count(cluster.client_nodes[0]), 4);
+    }
+
+    #[test]
+    fn report_surfaces_fabric_occupancy() {
+        let cfg = ClusterConfig {
+            server_nodes: 1,
+            shards_per_node: 4,
+            ..ClusterConfig::default()
+        };
+        let (cluster, _client) = run_all_partitions(cfg);
+        let report = cluster.report();
+        assert_eq!(report.nodes.len(), 2, "1 server + 1 client machine");
+        let server = &report.nodes[0];
+        assert_eq!(server.node, cluster.server_nodes[0].0);
+        assert_eq!(server.qps, 4, "4 dedicated partition connections");
+        assert!(server.recv_posted > 0, "per-QP recv rings provisioned");
+        // 4 shard arenas + 4 request slots at 4 KiB pages.
+        assert!(server.mtt_entries > 0);
+        // Default caches are far larger than this deployment: warm fills
+        // only, zero misses, zero surcharge.
+        assert!(server.qp_cache_hits > 0);
+        assert_eq!(server.qp_cache_misses, 0);
+        assert_eq!(server.mtt_cache_misses, 0);
+        assert_eq!(server.miss_penalty_ns, 0);
+        // The text rendering includes the occupancy table.
+        let text = format!("{report}");
+        assert!(text.contains("miss_pen_ns"));
+    }
+
+    #[test]
+    fn srq_and_huge_pages_shrink_nic_footprint() {
+        let base = ClusterConfig {
+            server_nodes: 1,
+            shards_per_node: 4,
+            ..ClusterConfig::default()
+        };
+        let (dedicated, _c) = run_all_partitions(base.clone());
+        let srq_cfg = ClusterConfig {
+            srq: true,
+            page_bytes: 2 << 20,
+            ..base
+        };
+        let (optimized, _c) = run_all_partitions(srq_cfg.clone());
+        let node = dedicated.server_nodes[0];
+        // Rings: 4 conns x recv_ring_depth. SRQ: one pool, regardless of
+        // connection count.
+        assert_eq!(
+            dedicated.fab.recv_posted(node),
+            4 * dedicated.cfg.recv_ring_depth
+        );
+        assert_eq!(
+            optimized.fab.recv_posted(optimized.server_nodes[0]),
+            srq_cfg.srq_depth
+        );
+        // Huge pages collapse the MTT footprint of the same regions.
+        let mtt_4k = dedicated.fab.mtt_registered(node);
+        let mtt_huge = optimized.fab.mtt_registered(optimized.server_nodes[0]);
+        assert!(
+            mtt_huge * 64 < mtt_4k,
+            "2 MiB pages must collapse MTT entries: {mtt_huge} vs {mtt_4k}"
+        );
     }
 }

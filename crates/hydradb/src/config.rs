@@ -357,6 +357,28 @@ pub struct ClusterConfig {
     /// source-partition job (the migration rate is roughly
     /// `migration_quantum_items / migration_tick_ns`).
     pub migration_tick_ns: SimTime,
+    /// Pool one QP per (client, server node) instead of one per partition:
+    /// requests carry a channel tag in the frame-header pad bytes and the
+    /// server demuxes to the tagged partition's connection state. Cuts a
+    /// client's QP footprint from `partitions` to `server_nodes` and the
+    /// server's from `clients × shards_per_node` to `clients` — the Storm
+    /// fix for the NIC's ICM-cache connection cliff.
+    pub mux_connections: bool,
+    /// Post server receive buffers to one shared receive queue per node
+    /// (depth [`srq_depth`](Self::srq_depth)) instead of a dedicated
+    /// [`recv_ring_depth`](Self::recv_ring_depth)-deep ring per QP, so
+    /// posted-buffer memory stays O(1) in the connection count.
+    pub srq: bool,
+    /// Receive buffers posted per connection endpoint when `srq` is off.
+    pub recv_ring_depth: u64,
+    /// Receive buffers in the node-wide shared receive queue when `srq` is
+    /// on.
+    pub srq_depth: u64,
+    /// Translation page size for the memory regions hydradb registers
+    /// (arenas, message buffers, replication rings). The 4 KiB default
+    /// models ordinary mappings; 2 MiB huge pages collapse the MTT
+    /// footprint ~512× and keep the translation cache always-hit.
+    pub page_bytes: usize,
 }
 
 impl Default for ClusterConfig {
@@ -412,6 +434,11 @@ impl Default for ClusterConfig {
             costs: CostModel::default(),
             migration_quantum_items: 128,
             migration_tick_ns: 100_000,
+            mux_connections: false,
+            srq: false,
+            recv_ring_depth: 16,
+            srq_depth: 1024,
+            page_bytes: 4096,
         }
     }
 }
@@ -446,5 +473,12 @@ mod tests {
         assert!(!ClientMode::SendRecv.rdma_write());
         assert!(!ClientMode::RdmaWrite.rdma_read());
         assert!(ClientMode::RdmaWrite.rdma_write());
+        // Connection-scaling knobs: dedicated QPs + per-QP rings + 4 KiB
+        // pages by default (the unoptimized baseline); the SRQ pool must
+        // dwarf a single ring or sharing it would *shrink* capacity.
+        assert!(!c.mux_connections && !c.srq);
+        assert!(c.srq_depth > c.recv_ring_depth);
+        assert!(c.page_bytes.is_power_of_two());
+        assert_eq!(c.page_bytes, c.fabric.default_page_bytes);
     }
 }

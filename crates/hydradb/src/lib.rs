@@ -54,7 +54,9 @@ pub mod server;
 pub use chaos::{ChaosController, RecordingClient};
 pub use client::AimdWindow;
 pub use client::{ClientStats, HydraClient, OpError};
-pub use cluster::{Cluster, ClusterBuilder, ClusterReport, PartitionReport, ShardHandle};
+pub use cluster::{
+    Cluster, ClusterBuilder, ClusterReport, NodeFabricReport, PartitionReport, ShardHandle,
+};
 pub use config::{
     AimdConfig, ClientMode, ClusterConfig, CostModel, ExecModel, ReplicationMode, SchedulerKind,
 };

@@ -798,7 +798,7 @@ impl ShardServer {
             min_lease_ns: cfg.min_lease_ns,
             max_lease_ns: cfg.max_lease_ns,
         })));
-        let arena_region = fab.register(node, engine.borrow().memory());
+        let arena_region = fab.register_paged(node, engine.borrow().memory(), cfg.page_bytes);
         let workers = match cfg.exec_model {
             ExecModel::SingleThreaded => Vec::new(),
             ExecModel::Pipelined { workers } => (0..workers)

@@ -713,10 +713,15 @@ fn cluster_report_reflects_state() {
         assert!(r.arena_occupancy > 0.0 && r.arena_occupancy < 1.0);
         assert!(r.requests >= r.items as u64);
     }
-    // Display renders one line per partition plus headers.
+    // Display renders one line per partition and per machine, plus the
+    // generation line and the two table headers.
     let text = format!("{report}");
-    assert_eq!(text.lines().count(), 2 + report.rows.len());
+    assert_eq!(
+        text.lines().count(),
+        3 + report.rows.len() + report.nodes.len()
+    );
     assert!(text.contains("generation"));
+    assert!(text.contains("miss_pen_ns"));
 }
 
 // ---- pipelined client (pipeline_depth > 1) ----

@@ -114,6 +114,10 @@ pub struct ReplConfig {
     /// apply queue, so acknowledgement throughput can never outrun the
     /// applier for long.
     pub staged_ack_lag_ns: u64,
+    /// Translation page size the ring and ack regions register with on the
+    /// fabric's NIC model (4 KiB default mappings; 2 MiB collapses the MTT
+    /// footprint).
+    pub page_bytes: usize,
 }
 
 impl Default for ReplConfig {
@@ -124,6 +128,7 @@ impl Default for ReplConfig {
             apply_cost_ns: 600,
             batch_apply_factor: 0.55,
             staged_ack_lag_ns: 25_000,
+            page_bytes: 4096,
         }
     }
 }
@@ -293,8 +298,9 @@ impl ReplicationPair {
     ) -> Self {
         assert!(cfg.ring_words >= 64, "ring too small to hold a frame");
         let qp = fab.connect(primary_node, secondary_node, hydra_fabric::Transport::Rdma);
-        let (ring_region, ring_mem) = fab.alloc_region(secondary_node, cfg.ring_words);
-        let (ack_region, ack_mem) = fab.alloc_region(primary_node, 4);
+        let (ring_region, ring_mem) =
+            fab.alloc_region_paged(secondary_node, cfg.ring_words, cfg.page_bytes);
+        let (ack_region, ack_mem) = fab.alloc_region_paged(primary_node, 4, cfg.page_bytes);
         let shared = Rc::new(Shared {
             fab: fab.clone(),
             cfg: cfg.clone(),

@@ -759,6 +759,29 @@ pub fn backlog_hint(resp: &[u8]) -> u16 {
     }
 }
 
+/// Stamps the 16-bit channel tag into an encoded request's header pad
+/// bytes (offsets 2..4, little-endian). Multiplexed clients pool one QP
+/// per (client, server-node) pair and carry many partitions over it; the
+/// tag names the target partition's connection slot so the server can
+/// demux without a dedicated QP per partition. Encoders zero the pad, so
+/// un-stamped requests read as tag 0 — exactly what dedicated-QP
+/// deployments use — and the field is wire-compatible both ways.
+pub fn set_channel_tag(req: &mut [u8], tag: u16) {
+    if req.len() >= REQ_HDR {
+        req[2..4].copy_from_slice(&tag.to_le_bytes());
+    }
+}
+
+/// Reads the channel tag from an encoded request (0 when absent or the
+/// buffer is too short to carry a header).
+pub fn channel_tag(req: &[u8]) -> u16 {
+    if req.len() >= REQ_HDR {
+        u16::from_le_bytes([req[2], req[3]])
+    } else {
+        0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1084,6 +1107,31 @@ mod tests {
         set_backlog_hint(&mut short, 7);
         assert_eq!(short, vec![0u8; 3]);
         assert_eq!(backlog_hint(&short), 0);
+    }
+
+    #[test]
+    fn channel_tag_rides_the_request_pad_bytes() {
+        let r = Request::Insert {
+            req_id: 77,
+            key: b"user:42",
+            value: b"payload",
+        };
+        let clean = r.encode();
+        assert_eq!(channel_tag(&clean), 0, "encoders zero the pad");
+        let mut stamped = clean.clone();
+        set_channel_tag(&mut stamped, 513);
+        assert_eq!(channel_tag(&stamped), 513);
+        // The tag lives entirely in the pad: decode is oblivious to it.
+        assert_eq!(Request::decode(&stamped).unwrap(), r);
+        // Everything outside bytes 2..4 is untouched.
+        let mut scrubbed = stamped;
+        scrubbed[2..4].copy_from_slice(&[0, 0]);
+        assert_eq!(scrubbed, clean);
+        // Stamping/reading a too-short buffer is a harmless no-op.
+        let mut short = vec![0u8; REQ_HDR - 1];
+        set_channel_tag(&mut short, 7);
+        assert_eq!(short, vec![0u8; REQ_HDR - 1]);
+        assert_eq!(channel_tag(&short), 0);
     }
 
     #[test]

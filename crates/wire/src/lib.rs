@@ -31,9 +31,9 @@ pub use batch::{
     BATCH_MAGIC,
 };
 pub use codec::{
-    backlog_hint, scan_items_begin, scan_items_finish, scan_items_push, set_backlog_hint, KeyList,
-    OpCode, ReplicaPtr, ReplicaSet, Request, Response, ScanItems, ScanItemsIter, Status,
-    MAX_EXPORT_PTRS, RESP_FLAG_REPLICAS, SCAN_ITEMS_HDR,
+    backlog_hint, channel_tag, scan_items_begin, scan_items_finish, scan_items_push,
+    set_backlog_hint, set_channel_tag, KeyList, OpCode, ReplicaPtr, ReplicaSet, Request, Response,
+    ScanItems, ScanItemsIter, Status, MAX_EXPORT_PTRS, RESP_FLAG_REPLICAS, SCAN_ITEMS_HDR,
 };
 pub use frame::{
     consume_message, frame_to_words, frame_words, poll_message, write_message, FrameError,

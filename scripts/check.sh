@@ -48,6 +48,11 @@ HYDRA_SCALE=smoke HYDRA_RESULTS_DIR="$SMOKE_RESULTS" \
 # and a strict-semantics write p50 <= 5.5 us with one synchronous replica.
 HYDRA_SCALE=smoke HYDRA_RESULTS_DIR="$SMOKE_RESULTS" \
     cargo run -q --release -p hydra-bench --bin perf_repl
+# perf_conn asserts the connection-scaling floors: mux + huge pages >= 1.3x
+# dedicated/4K throughput at the top of the client sweep (the NIC cache
+# cliff), and <= 5% overhead at 16 clients where the caches never miss.
+HYDRA_SCALE=smoke HYDRA_RESULTS_DIR="$SMOKE_RESULTS" \
+    cargo run -q --release -p hydra-bench --bin perf_conn
 
 echo "==> chaos soak (100 fixed-seed fault plans, full consistency checks)"
 cargo test -q --release -p hydra-integration --test chaos -- --ignored

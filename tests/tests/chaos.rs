@@ -131,6 +131,20 @@ fn chaos_round_inner(seed: u64, spread: bool, scans: bool) {
     chaos_round_cfg(seed, spread, scans, |_| {});
 }
 
+/// The multiplexed connection plane under the full adversary: one QP per
+/// (client, server node) carrying every partition's traffic, SRQ receive
+/// pooling, and Send/Recv serving so the channel-tag demux is the live
+/// request path. A QP-level fault now fans out to *all* partitions sharing
+/// the channel, and fail-over re-homes a partition onto the surviving
+/// node's channel mid-plan — the checker must stay clean regardless.
+fn chaos_mux_round(seed: u64) {
+    chaos_round_cfg(seed, false, true, |cfg| {
+        cfg.mux_connections = true;
+        cfg.srq = true;
+        cfg.client_mode = hydra_db::ClientMode::SendRecv;
+    });
+}
+
 fn chaos_round_cfg(seed: u64, spread: bool, scans: bool, tweak: impl FnOnce(&mut ClusterConfig)) {
     let horizon = 400 * MS;
     let mut cfg = ClusterConfig {
@@ -309,6 +323,19 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Random fault plans against the multiplexed connection plane (QP
+    /// pooling + SRQ + tag demux): channel-level faults hit every partition
+    /// sharing the QP and promotions re-home partitions across channels,
+    /// yet the recorded history stays linearizable and replicas converge.
+    #[test]
+    fn random_fault_plans_with_multiplexed_channels(seed in 0u64..10_000) {
+        chaos_mux_round(seed);
+    }
+}
+
 /// Exhaustive sweep for local soak runs: `cargo test -- --ignored chaos`.
 #[test]
 #[ignore = "soak: ~100 full chaos rounds"]
@@ -344,6 +371,114 @@ fn chaos_gc_round_soak() {
     for seed in 0..50u64 {
         chaos_gc_round(seed);
     }
+}
+
+/// Multiplexed-channel soak: `cargo test -- --ignored chaos_mux`.
+#[test]
+#[ignore = "soak: ~50 multiplexed-channel chaos rounds"]
+fn chaos_mux_round_soak() {
+    for seed in 0..50u64 {
+        chaos_mux_round(seed);
+    }
+}
+
+/// Directed fan-out check: with multiplexing on, a fault programmed on the
+/// one pooled QP delays traffic of *every* partition behind it; with
+/// dedicated QPs the same fault stays confined to its own partition. This
+/// is the observable blast-radius trade the Storm/RDMAvisor design makes,
+/// pinned down so it stays intentional.
+#[test]
+fn mux_qp_fault_fans_out_to_channel_partners() {
+    use hydra_fabric::LinkFault;
+    use hydra_sim::SimTime;
+
+    const DELAY: SimTime = 150_000;
+
+    /// Returns (baseline, faulted) GET latency per partition after
+    /// programming a delay fault on partition 0's QP.
+    fn run(mux: bool) -> ([SimTime; 2], [SimTime; 2]) {
+        let cfg = ClusterConfig {
+            seed: 909,
+            server_nodes: 1,
+            partitions: Some(2),
+            client_nodes: 1,
+            // Message-path GETs only, so every op actually crosses the QP.
+            client_mode: hydra_db::ClientMode::RdmaWrite,
+            mux_connections: mux,
+            srq: mux,
+            ..ClusterConfig::default()
+        };
+        let mut cluster = ClusterBuilder::new(cfg).build();
+        let client = cluster.add_client(0);
+
+        // One key per partition, routed through the live ring.
+        let mut keys: [Option<Vec<u8>>; 2] = [None, None];
+        for i in 0u32.. {
+            let k = format!("fan-key-{i:03}").into_bytes();
+            let p = cluster.directory.borrow().ring.route(&k).unwrap().0 as usize;
+            if keys[p].is_none() {
+                keys[p] = Some(k);
+                if keys.iter().all(|k| k.is_some()) {
+                    break;
+                }
+            }
+        }
+        let keys = keys.map(Option::unwrap);
+        for (i, k) in keys.iter().enumerate() {
+            hydra_integration::put_ok(&mut cluster, &client, k, format!("v{i}").as_bytes());
+        }
+        let qp0 = client.conn_qp(0).expect("partition 0 connected");
+        let qp1 = client.conn_qp(1).expect("partition 1 connected");
+        if mux {
+            assert_eq!(qp0, qp1, "mux must pool both partitions on one QP");
+        } else {
+            assert_ne!(qp0, qp1, "dedicated partitions own distinct QPs");
+        }
+
+        let lat = |cluster: &mut hydra_db::Cluster, key: &[u8]| -> SimTime {
+            let t0 = cluster.sim.now();
+            let v = hydra_integration::get_value(cluster, &client, key);
+            assert!(v.is_some(), "faulted GET must still complete");
+            cluster.sim.now() - t0
+        };
+        let base = [lat(&mut cluster, &keys[0]), lat(&mut cluster, &keys[1])];
+
+        cluster
+            .fab
+            .set_qp_fault(qp0, LinkFault::delay_next(8, DELAY));
+        let faulted = [lat(&mut cluster, &keys[0]), lat(&mut cluster, &keys[1])];
+        (base, faulted)
+    }
+
+    let (ded_base, ded_faulted) = run(false);
+    assert!(
+        ded_faulted[0] >= ded_base[0] + DELAY,
+        "dedicated: the faulted partition sees the delay \
+         ({} vs base {})",
+        ded_faulted[0],
+        ded_base[0]
+    );
+    assert!(
+        ded_faulted[1] < ded_base[1] + DELAY / 2,
+        "dedicated: the sibling partition is untouched \
+         ({} vs base {})",
+        ded_faulted[1],
+        ded_base[1]
+    );
+
+    let (mux_base, mux_faulted) = run(true);
+    assert!(
+        mux_faulted[0] >= mux_base[0] + DELAY,
+        "mux: the faulted partition sees the delay ({} vs base {})",
+        mux_faulted[0],
+        mux_base[0]
+    );
+    assert!(
+        mux_faulted[1] >= mux_base[1] + DELAY,
+        "mux: the channel partner inherits the fault ({} vs base {})",
+        mux_faulted[1],
+        mux_base[1]
+    );
 }
 
 /// The legacy kill hooks now route through the chaos controller: same

@@ -17,7 +17,7 @@ use hydra_db::{ClusterBuilder, ClusterConfig};
 use hydra_integration::{get_value, put_ok};
 use hydra_lockfree::{ClockCache, LockFreeMap};
 use hydra_store::{EngineConfig, IndexKind, ShardEngine, WriteMode};
-use hydra_wire::{KeyList, Request};
+use hydra_wire::{channel_tag, set_channel_tag, KeyList, Request};
 
 struct CountingAlloc;
 
@@ -72,6 +72,7 @@ fn hot_paths_do_not_allocate() {
     shared_cache_lookup_is_zero_alloc();
     clock_cache_lookup_is_zero_alloc();
     server_get_alloc_count_is_constant();
+    mux_tag_stamp_and_demux_add_no_allocations();
 }
 
 /// The packed-index probe path — single GET and batched GET — stays
@@ -410,5 +411,66 @@ fn server_get_alloc_count_is_constant() {
         small / 16 <= 32,
         "message GET allocates {} times per request; hot path regressed",
         small / 16
+    );
+}
+
+/// The multiplexed send/demux path stays allocation-free: stamping and
+/// reading the channel tag rewrites header pad bytes in place, and the
+/// whole mux serving loop (tag stamp on dispatch, channel-table reuse,
+/// tag-keyed demux on the server's shared recv path) adds no per-request
+/// allocations over the dedicated-QP baseline.
+fn mux_tag_stamp_and_demux_add_no_allocations() {
+    // Micro: the tag accessors are in-place rewrites of an encoded frame.
+    let mut payload = Request::Get {
+        req_id: 9,
+        key: b"user:42",
+    }
+    .encode();
+    let mut acc = 0u64;
+    let allocs = count_allocs_min(|| {
+        for round in 0..1_000u16 {
+            set_channel_tag(&mut payload, round);
+            acc += channel_tag(&payload) as u64;
+        }
+    });
+    assert!(acc > 0);
+    assert_eq!(allocs, 0, "channel-tag stamp/read must not allocate");
+
+    // Macro: per-GET allocation counts through a live cluster, Send/Recv
+    // serving (the one mode where the server demuxes by tag), two
+    // partitions sharing the client's channel. Mux must cost the same
+    // number of allocations per request as dedicated QPs.
+    let allocs_for_16_gets = |mux: bool| -> u64 {
+        let cfg = ClusterConfig {
+            server_nodes: 1,
+            shards_per_node: 2,
+            client_nodes: 1,
+            client_mode: hydra_db::ClientMode::SendRecv,
+            mux_connections: mux,
+            srq: mux,
+            ..ClusterConfig::default()
+        };
+        let mut cluster = ClusterBuilder::new(cfg).build();
+        let client = cluster.add_client(0);
+        let keys: Vec<Vec<u8>> = (0..48).map(|i| format!("mk{i:05}").into_bytes()).collect();
+        for k in &keys {
+            put_ok(&mut cluster, &client, k, &[0x66u8; 64]);
+        }
+        for k in keys.iter().take(16) {
+            assert!(get_value(&mut cluster, &client, k).is_some());
+        }
+        let measured: Vec<&Vec<u8>> = keys.iter().skip(16).take(16).collect();
+        count_allocs(|| {
+            for k in &measured {
+                assert!(get_value(&mut cluster, &client, k).is_some());
+            }
+        })
+    };
+    let dedicated = allocs_for_16_gets(false);
+    let muxed = allocs_for_16_gets(true);
+    assert!(
+        muxed.abs_diff(dedicated) <= 16,
+        "mux demux path changes the per-GET allocation count \
+         (dedicated: {dedicated} allocs / 16 GETs, mux: {muxed})"
     );
 }
